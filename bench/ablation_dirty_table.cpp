@@ -1,0 +1,89 @@
+// Ablation: dirty-table management overhead — the paper's explicit future
+// work ("the overhead of managing dirty data table in the key-value store,
+// which introduces memory footprint and latency", Section VI).  Measures
+// KV memory and insert/scan latency as dirty entries accumulate, including
+// the duplicate-heavy case (hot objects re-written every version).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "core/dirty_table.h"
+
+int main(int argc, char** argv) {
+  using namespace ech;
+  const auto opts = ech::bench::parse_options(argc, argv);
+  ech::bench::banner("Ablation — dirty-table overhead",
+                     "Xie & Chen, IPDPS'17, Sec. VI (future work)");
+
+  const std::size_t scale = opts.quick ? 1 : 4;
+  CsvWriter csv(opts.csv_path,
+                {"entries", "hot_fraction", "dedupe", "kept", "kv_bytes",
+                 "bytes_per_entry", "insert_us", "scan_us_per_entry"});
+  ech::bench::print_row({"inserts", "hot-frac", "dedup", "kept", "kv-mem",
+                         "B/insert", "insert", "scan/entry"}, 12);
+
+  for (const bool dedupe : {false, true}) {
+  for (const double hot_fraction : {0.0, 0.5, 0.9}) {
+    for (std::size_t entries : {10'000ul * scale, 50'000ul * scale,
+                                250'000ul * scale}) {
+      kv::ShardedStore store(8);
+      DirtyTable table(store, dedupe);
+      Rng rng(7);
+
+      const std::uint64_t unique = 100'000;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < entries; ++i) {
+        // Hot objects are re-dirtied across versions -> duplicate entries.
+        const bool hot = rng.bernoulli(hot_fraction);
+        const std::uint64_t oid =
+            hot ? rng.uniform(0, 99) : rng.uniform(100, unique);
+        (void)table.insert(
+            ObjectId{oid}, Version{static_cast<std::uint32_t>(1 + i / 10'000)});
+      }
+      const double insert_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count() /
+          static_cast<double>(entries);
+
+      const auto t1 = std::chrono::steady_clock::now();
+      table.restart();
+      std::size_t scanned = 0;
+      while (table.fetch_next().has_value()) ++scanned;
+      (void)scanned;
+      const double scan_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t1)
+              .count() /
+          static_cast<double>(scanned ? scanned : 1);
+
+      const std::size_t mem = table.memory_usage_bytes();
+      ech::bench::print_row(
+          {std::to_string(entries), ech::fmt_double(hot_fraction, 1),
+           dedupe ? "on" : "off", std::to_string(table.size()),
+           ech::fmt_bytes(static_cast<long long>(mem)),
+           ech::fmt_double(static_cast<double>(mem) /
+                               static_cast<double>(entries),
+                           1),
+           ech::fmt_double(insert_us, 2) + " us",
+           ech::fmt_double(scan_us, 2) + " us"},
+          12);
+      csv.row_numeric({static_cast<double>(entries), hot_fraction,
+                       dedupe ? 1.0 : 0.0,
+                       static_cast<double>(table.size()),
+                       static_cast<double>(mem),
+                       static_cast<double>(mem) / entries, insert_us,
+                       scan_us});
+    }
+  }
+  }
+  std::printf(
+      "\ntakeaway: the table costs a few bytes per entry plus O(1) inserts;\n"
+      "duplicate-heavy workloads inflate it linearly.  The dedup-on-insert\n"
+      "index (our extension to the paper's Sec. VI open question) bounds it\n"
+      "by the dirty working set for a marker key per live entry and a\n"
+      "slightly costlier insert.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: fail-over under churn — availability and durability of the
+// elastic cluster as server MTTF shrinks, per replication level.  The
+// paper leans on consistent hashing's easy fail-over (Section II-A); this
+// quantifies it for the elastic variant, where repair traffic shares the
+// migration budget.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/csv.h"
+#include "sim/failure_injector.h"
+
+int main(int argc, char** argv) {
+  using namespace ech;
+  const auto opts = ech::bench::parse_options(argc, argv);
+  ech::bench::banner("Ablation — failure resilience under churn",
+                     "Xie & Chen, IPDPS'17, Sec. II-A (fail-over)");
+
+  const double horizon = opts.quick ? 300.0 : 900.0;
+  constexpr std::uint64_t kObjects = 500;
+
+  CsvWriter csv(opts.csv_path,
+                {"replicas", "mttf_s", "failures", "availability",
+                 "objects_lost", "repair_gib"});
+  ech::bench::print_row({"replicas", "MTTF", "failures", "avail",
+                         "lost", "repair"}, 12);
+
+  for (std::uint32_t r : {1u, 2u, 3u}) {
+    for (double mttf : {600.0, 300.0, 120.0}) {
+      ElasticClusterConfig config;
+      config.server_count = 12;
+      config.replicas = r;
+      if (r == 1) config.primary_count = 3;
+      auto cluster = std::move(ElasticCluster::create(config)).value();
+      for (std::uint64_t oid = 0; oid < kObjects; ++oid) {
+        (void)cluster->write(ObjectId{oid}, 0);
+      }
+      FailureInjectorConfig fic;
+      fic.mttf_seconds = mttf;
+      fic.mttr_seconds = 60.0;
+      fic.repair_bandwidth = 100.0 * 1024 * 1024;
+      fic.seed = 0xFA11;
+      FailureInjector injector(*cluster, fic);
+      const AvailabilityReport report = injector.run(horizon, kObjects);
+
+      ech::bench::print_row(
+          {std::to_string(r), ech::fmt_double(mttf, 0) + "s",
+           std::to_string(report.failures_injected),
+           ech::fmt_double(100.0 * report.availability(), 2) + "%",
+           std::to_string(report.objects_lost),
+           ech::fmt_bytes(report.repair_bytes)},
+          12);
+      csv.row_numeric({static_cast<double>(r), mttf,
+                       static_cast<double>(report.failures_injected),
+                       report.availability(),
+                       static_cast<double>(report.objects_lost),
+                       static_cast<double>(report.repair_bytes) /
+                           (1024.0 * 1024 * 1024)});
+    }
+  }
+  std::printf(
+      "\ntakeaway: 2-way replication with prompt repair rides out churn\n"
+      "(the paper's configuration); r=1 loses data on every primary fault,\n"
+      "and availability degrades as MTTF approaches MTTR.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: the selective re-integration rate limit (Section III-E: "limit
+// the rate of data migration").  Re-runs the Figure 7 scenario with a sweep
+// of limits and reports the trade-off: tighter limits protect foreground
+// throughput during phase 3 but stretch the time until the equal-work
+// layout is fully recovered.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/csv.h"
+#include "core/elastic_cluster.h"
+#include "sim/cluster_sim.h"
+#include "workload/three_phase.h"
+
+namespace {
+
+using namespace ech;
+
+struct RunResult {
+  double min_phase3_mbps{1e18};
+  double mean_phase3_mbps{0.0};
+  double layout_recovered_s{-1.0};
+  double total_migrated_mib{0.0};
+};
+
+RunResult run_with_limit(double limit_mbps, double scale) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  config.reintegration = ReintegrationMode::kSelective;
+  auto system = std::move(ElasticCluster::create(config)).value();
+
+  SimConfig sim_config;
+  sim_config.tick_seconds = 0.5;
+  sim_config.disk_bw_mbps = 60.0;
+  sim_config.boot_seconds = 15.0;
+  sim_config.migration_share = 0.5;
+  sim_config.migration_limit_mbps = limit_mbps;
+  ClusterSim sim(*system, sim_config);
+
+  ThreePhaseParams params;
+  params.scale = scale;
+  const auto samples =
+      sim.run(make_three_phase_workload(params, true), 3600.0);
+
+  RunResult out;
+  double grow_time = -1.0;
+  std::vector<double> phase3;
+  for (const auto& s : samples) {
+    out.total_migrated_mib += s.migration_mbps * sim_config.tick_seconds;
+    if (grow_time < 0.0 && s.serving == 10 && s.time_s > 60.0) {
+      grow_time = s.time_s;
+    }
+    if (s.phase == "phase3-mixed") phase3.push_back(s.client_mbps);
+    if (grow_time >= 0.0 && out.layout_recovered_s < 0.0 &&
+        s.pending_maintenance == 0) {
+      out.layout_recovered_s = s.time_s - grow_time;
+    }
+  }
+  // The phase's final tick only carries leftover bytes; drop the tail so
+  // the minimum reflects steady contention, not boundary effects.
+  if (phase3.size() > 3) phase3.resize(phase3.size() - 3);
+  double sum = 0.0;
+  for (double v : phase3) {
+    out.min_phase3_mbps = std::min(out.min_phase3_mbps, v);
+    sum += v;
+  }
+  if (phase3.empty()) {
+    out.min_phase3_mbps = 0.0;
+  } else {
+    out.mean_phase3_mbps = sum / static_cast<double>(phase3.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = ech::bench::parse_options(argc, argv);
+  const double scale = opts.quick ? 0.25 : 0.5;
+  ech::bench::banner("Ablation — selective re-integration rate limit",
+                     "Xie & Chen, IPDPS'17, Sec. III-E (migration rate)");
+  std::printf("Figure 7 scenario at workload scale %.2f.\n\n", scale);
+
+  ech::CsvWriter csv(opts.csv_path,
+                     {"limit_mbps", "min_phase3_mbps", "mean_phase3_mbps",
+                      "recovery_s", "migrated_mib"});
+  ech::bench::print_row(
+      {"limit", "min-fg-bw", "mean-fg-bw", "recovery", "migrated"});
+  for (double limit : {10.0, 20.0, 40.0, 80.0, 160.0, 0.0}) {
+    const RunResult r = run_with_limit(limit, scale);
+    const std::string name =
+        limit == 0.0 ? "unlimited" : ech::fmt_double(limit, 0) + " MB/s";
+    ech::bench::print_row(
+        {name, ech::fmt_double(r.min_phase3_mbps, 1) + " MB/s",
+         ech::fmt_double(r.mean_phase3_mbps, 1) + " MB/s",
+         ech::fmt_double(r.layout_recovered_s, 0) + " s",
+         ech::fmt_double(r.total_migrated_mib, 0) + " MiB"});
+    csv.row_numeric({limit, r.min_phase3_mbps, r.mean_phase3_mbps,
+                     r.layout_recovered_s, r.total_migrated_mib});
+  }
+  std::printf(
+      "\ntakeaway: the limit trades foreground throughput floor against\n"
+      "layout-recovery latency; total migrated bytes stay ~constant\n"
+      "(selective moves only the dirty data regardless of pacing).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: the virtual-node budget B (Section III-C: "a much larger B
+// will be chosen for better load balance").  Sweeps B and reports how
+// faithfully the realised placement tracks the equal-work fractions, plus
+// the ring-construction cost that larger budgets buy it with.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cluster/layout.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "core/elastic_cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace ech;
+  const auto opts = ech::bench::parse_options(argc, argv);
+  ech::bench::banner("Ablation — virtual-node budget B vs layout fidelity",
+                     "Xie & Chen, IPDPS'17, Sec. III-C (choice of B)");
+
+  constexpr std::uint32_t kServers = 20;
+  const std::uint64_t objects = opts.quick ? 10'000 : 40'000;
+
+  CsvWriter csv(opts.csv_path, {"budget", "vnodes", "max_abs_error",
+                                "rms_error", "build_ms"});
+  ech::bench::print_row({"B", "vnodes", "max|err|", "rms-err", "build(ms)"});
+
+  for (std::uint32_t budget : {200u, 1'000u, 5'000u, 20'000u, 100'000u}) {
+    ElasticClusterConfig config;
+    config.server_count = kServers;
+    config.replicas = 2;
+    config.vnode_budget = budget;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto cluster = std::move(ElasticCluster::create(config)).value();
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    for (std::uint64_t oid = 0; oid < objects; ++oid) {
+      (void)cluster->write(ObjectId{oid}, 0);
+    }
+    const auto counts = cluster->object_store().objects_per_server();
+    const auto want = EqualWorkLayout::expected_fractions({kServers, budget});
+    const double total = static_cast<double>(objects) * 2;
+
+    double max_err = 0.0, sq = 0.0;
+    for (std::uint32_t i = 0; i < kServers; ++i) {
+      const double got = static_cast<double>(counts[i]) / total;
+      const double err = std::fabs(got - want[i]);
+      max_err = std::max(max_err, err);
+      sq += err * err;
+    }
+    const double rms = std::sqrt(sq / kServers);
+    ech::bench::print_row({std::to_string(budget),
+                           std::to_string(cluster->ring().vnode_count()),
+                           ech::fmt_double(max_err, 4),
+                           ech::fmt_double(rms, 4),
+                           ech::fmt_double(build_ms, 2)});
+    csv.row_numeric({static_cast<double>(budget),
+                     static_cast<double>(cluster->ring().vnode_count()),
+                     max_err, rms, build_ms});
+  }
+  std::printf(
+      "\ntakeaway: fidelity improves roughly with sqrt(B); past ~20k the\n"
+      "residual error is placement-policy skew (one replica forced onto a\n"
+      "primary), not ring quantisation.\n");
+  return 0;
+}

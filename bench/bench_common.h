@@ -1,0 +1,51 @@
+// Shared helpers for the figure/table benches: flag parsing, banner and
+// aligned series printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/log.h"
+
+namespace ech::bench {
+
+/// Minimal flag parser: supports `--csv <path>` (CSV dump of the series)
+/// and `--quick` (reduced volumes where a bench offers it).
+struct Options {
+  std::string csv_path;
+  bool quick{false};
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      opts.csv_path = argv[++i];
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--csv <path>] [--quick]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  // Keep figure output clean.
+  Logger::instance().set_level(LogLevel::kError);
+  return opts;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("=====================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace ech::bench

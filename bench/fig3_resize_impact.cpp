@@ -1,0 +1,102 @@
+// Figure 3: "Performance impact of resizing" — the motivating experiment.
+// The 3-phase Filebench workload runs on the *original* consistent-hashing
+// store twice: once without resizing and once shutting 4 servers down after
+// phase 1 and re-adding them after phase 2.  Re-adding triggers Sheepdog's
+// blind rebalance, which eats IO bandwidth exactly when phase 3 needs it —
+// the "resize delayed" throughput trough after phase 2 ends.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/csv.h"
+#include "core/original_ch_cluster.h"
+#include "sim/cluster_sim.h"
+#include "workload/three_phase.h"
+
+namespace {
+
+using namespace ech;
+
+std::vector<TickSample> run_case(bool resizing, double scale) {
+  OriginalChConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto system = std::move(OriginalChCluster::create(config)).value();
+
+  SimConfig sim_config;
+  sim_config.tick_seconds = 0.5;
+  sim_config.disk_bw_mbps = 60.0;
+  sim_config.boot_seconds = 15.0;
+  sim_config.migration_share = 0.5;
+  ClusterSim sim(*system, sim_config);
+
+  ThreePhaseParams params;
+  params.scale = scale;
+  const auto phases = make_three_phase_workload(params, resizing);
+  return sim.run(phases, 1800.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = ech::bench::parse_options(argc, argv);
+  const double scale = opts.quick ? 0.25 : 1.0;
+  ech::bench::banner("Figure 3 — resizing performance impact (original CH)",
+                     "Xie & Chen, IPDPS'17, Fig. 3");
+  std::printf(
+      "3-phase workload (scale %.2f): 14 GiB seq write | 20 MB/s light "
+      "phase | 80/20 read/write.\nResizing case: 10 -> 6 after phase 1, "
+      "6 -> 10 after phase 2.\n\n",
+      scale);
+
+  const auto resized = run_case(true, scale);
+  const auto steady = run_case(false, scale);
+
+  ech::CsvWriter csv(opts.csv_path,
+                     {"time_s", "with_resizing_mbps", "no_resizing_mbps",
+                      "migration_mbps", "serving"});
+  ech::bench::print_row(
+      {"time(s)", "resizing", "no-resize", "migration", "servers", "phase"});
+  const std::size_t rows = std::max(resized.size(), steady.size());
+  for (std::size_t i = 0; i < rows; i += 10) {  // every 5 s
+    const auto& r = i < resized.size() ? resized[i] : resized.back();
+    const double no_resize =
+        i < steady.size() ? steady[i].client_mbps : 0.0;
+    ech::bench::print_row({ech::fmt_double(r.time_s, 0),
+                           ech::fmt_double(r.client_mbps, 1),
+                           ech::fmt_double(no_resize, 1),
+                           ech::fmt_double(r.migration_mbps, 1),
+                           std::to_string(r.serving),
+                           r.phase.empty() ? "-" : r.phase});
+    csv.row_numeric({r.time_s, r.client_mbps, no_resize, r.migration_mbps,
+                     static_cast<double>(r.serving)});
+  }
+
+  // Shape metrics: how long after phase 2 does the resizing case stay
+  // below 80% of the steady case's phase-3 throughput?
+  double phase3_start = 0.0;
+  for (const auto& s : resized) {
+    if (s.phase == "phase3-mixed") {
+      phase3_start = s.time_s;
+      break;
+    }
+  }
+  double plateau = 0.0;
+  for (const auto& s : steady) {
+    if (s.phase == "phase3-mixed") plateau = std::max(plateau, s.client_mbps);
+  }
+  double depressed_s = 0.0, total_migrated = 0.0;
+  for (const auto& s : resized) {
+    total_migrated += s.migration_mbps * 0.5;
+    if (s.time_s >= phase3_start && s.phase == "phase3-mixed" &&
+        s.client_mbps < 0.8 * plateau) {
+      depressed_s += 0.5;
+    }
+  }
+  std::printf(
+      "\nphase 3 starts at %.0f s; throughput below 80%% of steady peak for "
+      "%.0f s\nmigration traffic total: %.0f MiB (blind rebalance of "
+      "everything mapped to the re-added servers)\n",
+      phase3_start, depressed_s, total_migrated);
+  return 0;
+}

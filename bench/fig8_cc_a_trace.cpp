@@ -1,0 +1,19 @@
+// Figure 8: CC-a trace — servers over time for ideal / original CH /
+// primary+full / primary+selective on a synthesized trace matching
+// Table I's CC-a statistics (the real Cloudera customer trace is
+// proprietary; see DESIGN.md for the substitution notes).
+#include "bench_common.h"
+#include "trace_figure.h"
+
+int main(int argc, char** argv) {
+  const auto opts = ech::bench::parse_options(argc, argv);
+  ech::bench::banner("Figure 8 — CC-a trace policy analysis",
+                     "Xie & Chen, IPDPS'17, Fig. 8 / Table I (CC-a)");
+  ech::TraceSpec spec = ech::cc_a_spec();
+  if (opts.quick) spec.length_seconds = 3 * 24 * 3600;
+  ech::bench::TraceFigureConfig fig;
+  fig.cluster_servers = 50;   // the figure's y-range peaks near 45
+  fig.peak_utilization = 0.9;
+  ech::bench::run_trace_figure(spec, fig, opts);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 9: CC-b trace — same analysis as Figure 8 on the larger,
+// smoother 300-machine telecom trace (Table I, CC-b).
+#include "bench_common.h"
+#include "trace_figure.h"
+
+int main(int argc, char** argv) {
+  const auto opts = ech::bench::parse_options(argc, argv);
+  ech::bench::banner("Figure 9 — CC-b trace policy analysis",
+                     "Xie & Chen, IPDPS'17, Fig. 9 / Table I (CC-b)");
+  ech::TraceSpec spec = ech::cc_b_spec();
+  if (opts.quick) spec.length_seconds = 3 * 24 * 3600;
+  ech::bench::TraceFigureConfig fig;
+  fig.cluster_servers = 170;  // the figure's y-range peaks near 160
+  fig.peak_utilization = 0.9;
+  
+  ech::bench::run_trace_figure(spec, fig, opts);
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Microbenchmarks (google-benchmark): the hot paths a storage daemon runs
+// per request — ring lookups, Algorithm 1 placement, dirty-table ops and
+// the hash primitives.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster_view.h"
+#include "cluster/layout.h"
+#include "common/sha1.h"
+#include "core/dirty_table.h"
+#include "core/elastic_cluster.h"
+#include "core/placement.h"
+#include "core/reconcile.h"
+
+namespace {
+
+using namespace ech;
+
+HashRing make_ring(std::uint32_t n, std::uint32_t budget) {
+  HashRing ring;
+  const WeightVector w = EqualWorkLayout::weights({n, budget});
+  for (std::uint32_t rank = 1; rank <= n; ++rank) {
+    (void)ring.add_server(ServerId{rank}, w[rank - 1]);
+  }
+  return ring;
+}
+
+void BM_RingSuccessor(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const HashRing ring = make_ring(n, 10'000);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.successor(object_position(ObjectId{oid++})));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingSuccessor)->Arg(10)->Arg(100)->Arg(300);
+
+void BM_OriginalPlacement(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const HashRing ring = make_ring(n, 10'000);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OriginalPlacement::place(ObjectId{oid++}, ring, 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OriginalPlacement)->Arg(10)->Arg(100)->Arg(300);
+
+void BM_PrimaryPlacement(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto active = static_cast<std::uint32_t>(state.range(1));
+  const std::uint32_t p = EqualWorkLayout::primary_count(n);
+  const ExpansionChain chain = ExpansionChain::identity(n, p);
+  const HashRing ring = make_ring(n, 10'000);
+  const MembershipTable membership = MembershipTable::prefix_active(n, active);
+  const ClusterView view(chain, ring, membership);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrimaryPlacement::place(ObjectId{oid++}, view, 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrimaryPlacement)
+    ->Args({10, 10})
+    ->Args({10, 4})
+    ->Args({100, 100})
+    ->Args({100, 30})
+    ->Args({300, 300});
+
+void BM_RingAddServer(benchmark::State& state) {
+  const auto budget = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    HashRing ring = make_ring(99, budget);
+    (void)ring.add_server(ServerId{100}, std::max(1u, budget / 100));
+    benchmark::DoNotOptimize(ring.vnode_count());
+  }
+}
+BENCHMARK(BM_RingAddServer)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_DirtyTableInsert(benchmark::State& state) {
+  kv::ShardedStore store(8);
+  DirtyTable table(store);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    table.insert(ObjectId{oid}, Version{1 + static_cast<std::uint32_t>(oid % 16)});
+    ++oid;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirtyTableInsert);
+
+void BM_DirtyTableScan(benchmark::State& state) {
+  kv::ShardedStore store(8);
+  DirtyTable table(store);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    table.insert(ObjectId{i}, Version{1 + static_cast<std::uint32_t>(i % 8)});
+  }
+  for (auto _ : state) {
+    table.restart();
+    std::size_t count = 0;
+    while (table.fetch_next().has_value()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_DirtyTableScan);
+
+void BM_KvSetGet(benchmark::State& state) {
+  kv::Store store;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(i % 1000);
+    store.set(key, "value");
+    benchmark::DoNotOptimize(store.get(key));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_KvSetGet);
+
+void BM_KvHashOps(benchmark::State& state) {
+  kv::Store store;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string field = std::to_string(i % 256);
+    benchmark::DoNotOptimize(store.hset("epoch:1", field, "on"));
+    benchmark::DoNotOptimize(store.hget("epoch:1", field));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_KvHashOps);
+
+void BM_ElasticWrite(benchmark::State& state) {
+  // Full facade write path: placement + r replica puts + dirty tracking.
+  const auto active = static_cast<std::uint32_t>(state.range(0));
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+  (void)cluster->request_resize(active);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster->write(ObjectId{oid++}, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElasticWrite)->Arg(10)->Arg(6);
+
+void BM_ReconcileNoop(benchmark::State& state) {
+  // Re-integration's common case: the object is already in place.
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+  for (std::uint64_t oid = 0; oid < 1000; ++oid) {
+    (void)cluster->write(ObjectId{oid}, 0);
+  }
+  std::uint64_t oid = 0;
+  const ClusterView view = cluster->current_view();
+  for (auto _ : state) {
+    const ObjectId target{oid++ % 1000};
+    const auto placed = PrimaryPlacement::place(target, view, 2);
+    benchmark::DoNotOptimize(reconcile_object(
+        cluster->mutable_object_store(), target, placed.value().servers,
+        false, [&view](ServerId s) { return view.is_active(s); }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReconcileNoop);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv1a64(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Sha1(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash64(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Shared driver for Figures 8 and 9: synthesize a Cloudera-like trace,
+// replay it under every scheme, and print a ~250-minute window of the
+// server-count series the paper plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/layout.h"
+#include "common/csv.h"
+#include "policy/elasticity_sim.h"
+#include "workload/trace_synth.h"
+
+namespace ech::bench {
+
+struct TraceFigureConfig {
+  std::uint32_t cluster_servers{50};
+  /// Peak of the ideal envelope as a fraction of cluster_servers; sets
+  /// per-server bandwidth from the trace's peak rate.
+  double peak_utilization{0.9};
+  /// Stored bytes per server expressed as seconds of that server's own
+  /// bandwidth (what one extraction must re-replicate).  0 disables the
+  /// auto rule in favour of data_per_server.
+  double data_seconds_per_server{600.0};
+  double data_per_server{0.0};
+  double selective_limit{80.0 * 1024 * 1024};
+  std::size_t window_start_steps{0};
+  std::size_t window_steps{250};
+};
+
+inline void run_trace_figure(const TraceSpec& spec,
+                             const TraceFigureConfig& fig,
+                             const Options& opts) {
+  std::printf("synthesizing %s (%u machines, %.1f days, %.0f TB)...\n",
+              spec.name.c_str(), spec.machines,
+              spec.length_seconds / 86400.0, spec.bytes_processed / 1e12);
+  const LoadSeries full = synthesize_trace(spec);
+
+  PolicyConfig config;
+  config.server_count = fig.cluster_servers;
+  config.replicas = 2;
+  config.per_server_bw = full.peak_bytes_per_second() /
+                         (fig.peak_utilization *
+                          static_cast<double>(fig.cluster_servers));
+  config.data_per_server =
+      fig.data_per_server > 0.0
+          ? fig.data_per_server
+          : config.per_server_bw * fig.data_seconds_per_server;
+  config.migration_share = 0.5;
+  config.selective_limit = fig.selective_limit;
+  const ElasticitySimulator sim(config);
+
+  // Find an eventful window: the busiest contiguous stretch.
+  std::size_t start = fig.window_start_steps;
+  if (start == 0) {
+    double best = -1.0;
+    for (std::size_t i = 0; i + fig.window_steps < full.steps.size();
+         i += fig.window_steps / 4) {
+      double sum = 0.0;
+      for (std::size_t k = i; k < i + fig.window_steps; ++k) {
+        sum += full.steps[k].bytes_per_second;
+      }
+      if (sum > best) {
+        best = sum;
+        start = i;
+      }
+    }
+  }
+  const LoadSeries window = full.window(start, fig.window_steps);
+
+  const SchemeResult ideal = sim.simulate(window, ResizeScheme::kIdeal);
+  const SchemeResult orig = sim.simulate(window, ResizeScheme::kOriginalCH);
+  const SchemeResult pfull =
+      sim.simulate(window, ResizeScheme::kPrimaryFull);
+  const SchemeResult psel =
+      sim.simulate(window, ResizeScheme::kPrimarySelective);
+
+  std::printf(
+      "\ncluster: %u servers, per-server bw %.1f MB/s, window = steps "
+      "%zu..%zu (%.0f minutes)\n\n",
+      fig.cluster_servers, config.per_server_bw / 1e6, start,
+      start + fig.window_steps, fig.window_steps * window.step_seconds / 60);
+
+  CsvWriter csv(opts.csv_path, {"time_min", "ideal", "original_ch",
+                                "primary_full", "primary_selective"});
+  print_row({"t(min)", "ideal", "original-CH", "primary+full",
+             "primary+sel"});
+  for (std::size_t i = 0; i < window.steps.size(); ++i) {
+    const double t_min = static_cast<double>(i) * window.step_seconds / 60.0;
+    if (i % 10 == 0) {
+      print_row({fmt_double(t_min, 0), std::to_string(ideal.servers[i]),
+                 std::to_string(orig.servers[i]),
+                 std::to_string(pfull.servers[i]),
+                 std::to_string(psel.servers[i])});
+    }
+    csv.row_numeric({t_min, static_cast<double>(ideal.servers[i]),
+                     static_cast<double>(orig.servers[i]),
+                     static_cast<double>(pfull.servers[i]),
+                     static_cast<double>(psel.servers[i])});
+  }
+
+  const auto rel = [&](const SchemeResult& r) {
+    return r.machine_hours / ideal.machine_hours;
+  };
+  std::printf("\nmachine-hours in window (relative to ideal):\n");
+  std::printf("  ideal               %8.1f h  (1.00x)\n", ideal.machine_hours);
+  std::printf("  original CH         %8.1f h  (%.2fx)\n", orig.machine_hours,
+              rel(orig));
+  std::printf("  primary+full        %8.1f h  (%.2fx)\n", pfull.machine_hours,
+              rel(pfull));
+  std::printf("  primary+selective   %8.1f h  (%.2fx)\n", psel.machine_hours,
+              rel(psel));
+  std::printf(
+      "\npaper shape check: primary+selective hugs the ideal except at the\n"
+      "equal-work floor p=%u; original CH lags every down-size.\n",
+      EqualWorkLayout::primary_count(fig.cluster_servers));
+}
+
+}  // namespace ech::bench

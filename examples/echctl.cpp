@@ -1,0 +1,200 @@
+// echctl — interactive/scriptable control shell for an elastic
+// consistent-hashing cluster, in the spirit of Sheepdog's `dog` and
+// `redis-cli` tools.
+//
+//   ./echctl                          # interactive REPL (10 servers, r=2)
+//   ./echctl -n 20 -r 3               # custom cluster
+//   echo "write 1\nresize 6\nstatus" | ./echctl
+//
+// Commands:
+//   status                      cluster overview
+//   write <oid> [count]         write object(s)
+//   read <oid>                  locate an object's active replicas
+//   placement <oid>             where the object *should* live now
+//   resize <servers>            power-proportional resize (instant)
+//   maintain [mib]              pump re-integration with a budget
+//   fail <server> / recover <server> / repair [mib]
+//   dirty                       dirty-table summary
+//   layout                      per-server object counts
+//   kv <redis command...>       raw access to the dirty-table KV store
+//   help / quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/log.h"
+#include "core/elastic_cluster.h"
+#include "kvstore/command.h"
+
+namespace {
+
+using namespace ech;
+
+void print_status(const ElasticCluster& c) {
+  std::printf("servers: %u (%u primaries, %u active, %u failed)\n",
+              c.server_count(), c.primary_count(), c.active_count(),
+              c.failed_count());
+  std::printf("version: %u%s\n", c.current_version().value,
+              c.history().current().is_full_power() ? " (full power)" : "");
+  std::printf("objects: %llu replicas, %s stored\n",
+              static_cast<unsigned long long>(
+                  c.object_store().total_replicas()),
+              fmt_bytes(c.object_store().total_bytes()).c_str());
+  std::printf("dirty:   %zu entries; pending re-integration %s; pending "
+              "repair %s\n",
+              c.dirty_table().size(),
+              fmt_bytes(c.pending_maintenance_bytes()).c_str(),
+              fmt_bytes(c.pending_repair_bytes()).c_str());
+}
+
+void print_layout(const ElasticCluster& c) {
+  const auto counts = c.object_store().objects_per_server();
+  for (std::uint32_t rank = 1; rank <= c.server_count(); ++rank) {
+    const ServerId id{rank};
+    const char* role = c.chain().is_primary(id) ? "primary  " : "secondary";
+    const char* state = c.is_failed(id) ? "FAILED"
+                        : c.current_view().is_active(id) ? "on" : "off";
+    std::printf("  server %2u  %s  %-6s  %6llu objects  %s\n", rank, role,
+                state, static_cast<unsigned long long>(counts[rank - 1]),
+                fmt_bytes(c.object_store()
+                              .server(id)
+                              .bytes_stored())
+                    .c_str());
+  }
+}
+
+bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
+  std::istringstream ss(line);
+  std::string cmd;
+  if (!(ss >> cmd)) return true;
+
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    std::printf(
+        "status | write <oid> [count] | read <oid> | placement <oid> |\n"
+        "resize <n> | maintain [mib] | fail <id> | recover <id> |\n"
+        "repair [mib] | dirty | layout | kv <command...> | quit\n");
+  } else if (cmd == "status") {
+    print_status(c);
+  } else if (cmd == "layout") {
+    print_layout(c);
+  } else if (cmd == "write") {
+    std::uint64_t oid = 0, count = 1;
+    ss >> oid;
+    ss >> count;
+    if (count == 0) count = 1;
+    std::uint64_t done = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Status s = c.write(ObjectId{oid + i}, 0);
+      if (!s.is_ok()) {
+        std::printf("write %llu failed: %s\n",
+                    static_cast<unsigned long long>(oid + i),
+                    s.to_string().c_str());
+        break;
+      }
+      ++done;
+    }
+    std::printf("wrote %llu object(s)\n",
+                static_cast<unsigned long long>(done));
+  } else if (cmd == "read" || cmd == "placement") {
+    std::uint64_t oid = 0;
+    ss >> oid;
+    if (cmd == "read") {
+      const auto r = c.read(ObjectId{oid});
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().to_string().c_str());
+      } else {
+        std::printf("object %llu readable from:",
+                    static_cast<unsigned long long>(oid));
+        for (ServerId s : r.value()) std::printf(" %u", s.value);
+        std::printf("\n");
+      }
+    } else {
+      const auto p = c.placement_of(ObjectId{oid});
+      if (!p.ok()) {
+        std::printf("%s\n", p.status().to_string().c_str());
+      } else {
+        std::printf("object %llu belongs on:",
+                    static_cast<unsigned long long>(oid));
+        for (ServerId s : p.value().servers) {
+          std::printf(" %u%s", s.value,
+                      c.chain().is_primary(s) ? "[P]" : "");
+        }
+        std::printf("\n");
+      }
+    }
+  } else if (cmd == "resize") {
+    std::uint32_t n = 0;
+    ss >> n;
+    const Status s = c.request_resize(n);
+    std::printf("%s -> %u active (version %u)\n",
+                s.is_ok() ? "resized" : s.to_string().c_str(),
+                c.active_count(), c.current_version().value);
+  } else if (cmd == "maintain" || cmd == "repair") {
+    std::uint64_t mib = 256;
+    ss >> mib;
+    const Bytes budget = static_cast<Bytes>(mib) * kMiB;
+    const Bytes moved =
+        cmd == "maintain" ? c.maintenance_step(budget) : c.repair_step(budget);
+    std::printf("%s moved %s\n", cmd.c_str(), fmt_bytes(moved).c_str());
+  } else if (cmd == "fail" || cmd == "recover") {
+    std::uint32_t id = 0;
+    ss >> id;
+    const Status s = cmd == "fail" ? c.fail_server(ServerId{id})
+                                   : c.recover_server(ServerId{id});
+    std::printf("%s\n", s.is_ok() ? "ok" : s.to_string().c_str());
+  } else if (cmd == "dirty") {
+    std::printf("dirty entries: %zu", c.dirty_table().size());
+    if (const auto lo = c.dirty_table().min_version()) {
+      std::printf(" (versions %u..%u)", lo->value,
+                  c.dirty_table().max_version()->value);
+    }
+    std::printf("; kv memory %s\n",
+                fmt_bytes(static_cast<long long>(
+                              c.dirty_table().memory_usage_bytes()))
+                    .c_str());
+  } else if (cmd == "kv") {
+    std::string rest;
+    std::getline(ss, rest);
+    std::printf("%s\n",
+                kv::to_string(kv::execute_command_line(kv, rest)).c_str());
+  } else {
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kError);
+  ElasticClusterConfig config;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0) {
+      config.server_count = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "-r") == 0) {
+      config.replicas = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+    }
+  }
+  auto cluster = ElasticCluster::create(config);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 cluster.status().to_string().c_str());
+    return 1;
+  }
+  kv::Store scratch_kv;  // raw KV playground for the `kv` command
+
+  std::printf("echctl — %u servers, %u replicas (type 'help')\n",
+              config.server_count, config.replicas);
+  std::string line;
+  while (true) {
+    std::printf("ech> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!handle(*cluster.value(), scratch_kv, line)) break;
+  }
+  return 0;
+}

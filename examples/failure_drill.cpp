@@ -1,0 +1,88 @@
+// Failure drill: a narrated incident-response scenario.
+//
+// A loaded elastic cluster running at low power loses a server to a real
+// fault (not a planned power-off), keeps serving from surviving replicas,
+// re-replicates under a bandwidth budget, takes the repaired node back and
+// rebalances — with availability probes throughout.
+//
+//   ./failure_drill
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/log.h"
+#include "core/elastic_cluster.h"
+
+namespace {
+
+using namespace ech;
+
+void probe(const ElasticCluster& c, std::uint64_t objects, const char* when) {
+  std::uint64_t readable = 0;
+  for (std::uint64_t oid = 0; oid < objects; ++oid) {
+    if (c.read(ObjectId{oid}).ok()) ++readable;
+  }
+  std::printf("  [probe] %-38s %llu / %llu objects readable\n", when,
+              static_cast<unsigned long long>(readable),
+              static_cast<unsigned long long>(objects));
+}
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kError);
+  constexpr std::uint64_t kObjects = 2000;
+
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+  auto& c = *cluster;
+
+  std::printf("== setup: load %llu objects (%s), power down to 7 ==\n",
+              static_cast<unsigned long long>(kObjects),
+              fmt_bytes(static_cast<Bytes>(kObjects) * 2 *
+                        kDefaultObjectSize)
+                  .c_str());
+  for (std::uint64_t oid = 0; oid < kObjects; ++oid) {
+    (void)c.write(ObjectId{oid}, 0);
+  }
+  (void)c.request_resize(7);
+  probe(c, kObjects, "after planned power-down (no fault)");
+
+  std::printf("\n== incident: server 4 dies (data destroyed) ==\n");
+  (void)c.fail_server(ServerId{4});
+  std::printf("  version %u, %u/%u active, repair backlog %s\n",
+              c.current_version().value, c.active_count(), c.server_count(),
+              fmt_bytes(c.pending_repair_bytes()).c_str());
+  probe(c, kObjects, "immediately after the fault");
+
+  std::printf("\n== response: re-replicate at 256 MiB per round ==\n");
+  int rounds = 0;
+  Bytes total = 0;
+  while (Bytes moved = c.repair_step(256 * kMiB)) {
+    total += moved;
+    ++rounds;
+  }
+  std::printf("  re-replicated %s in %d rounds\n", fmt_bytes(total).c_str(),
+              rounds);
+  probe(c, kObjects, "after re-replication");
+
+  std::printf("\n== recovery: node repaired, rejoins empty ==\n");
+  (void)c.recover_server(ServerId{4});
+  total = 0;
+  while (Bytes moved = c.repair_step(256 * kMiB)) total += moved;
+  std::printf("  rebalance sweep moved %s back onto server 4 (%llu "
+              "objects there now)\n",
+              fmt_bytes(total).c_str(),
+              static_cast<unsigned long long>(
+                  c.object_store().server(ServerId{4}).object_count()));
+
+  std::printf("\n== back to business: full power + drain dirty state ==\n");
+  (void)c.request_resize(10);
+  while (c.maintenance_step(256 * kMiB) > 0) {
+  }
+  probe(c, kObjects, "steady state restored");
+  std::printf("  dirty table: %zu entries, version %u\n",
+              c.dirty_table().size(), c.current_version().value);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Power-proportional storage day: a diurnal load drives a simple
+// utilization-based resize controller on top of ElasticCluster, via the
+// cluster simulator.  Prints an hourly report and the machine-hours saved
+// against an always-on cluster — the end-to-end story of the paper.
+//
+//   ./power_proportional_storage
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+#include "core/elastic_cluster.h"
+#include "sim/cluster_sim.h"
+
+int main() {
+  using namespace ech;
+  Logger::instance().set_level(LogLevel::kError);
+
+  constexpr std::uint32_t kServers = 10;
+  constexpr double kDiskBw = 60.0;  // MiB/s per server
+
+  ElasticClusterConfig config;
+  config.server_count = kServers;
+  config.replicas = 2;
+  config.reintegration = ReintegrationMode::kSelective;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+
+  SimConfig sim_config;
+  sim_config.tick_seconds = 2.0;
+  sim_config.disk_bw_mbps = kDiskBw;
+  sim_config.boot_seconds = 30.0;
+  sim_config.migration_limit_mbps = 40.0;
+  ClusterSim sim(*cluster, sim_config);
+  (void)sim.preload(1000);  // ~4 GiB of existing data
+
+  // A compressed "day": 24 simulated hours of diurnal demand, 1 hour = 60 s
+  // of simulation so the example finishes quickly.
+  std::printf("hour   demand(MB/s)   target   active   dirty-entries\n");
+  double saved_vs_always_on = 0.0;
+  for (int hour = 0; hour < 24; ++hour) {
+    // Demand: quiet at night, two daytime peaks.
+    const double x = (hour - 13.0) / 24.0 * 2.0 * M_PI;
+    const double demand_mbps =
+        220.0 * std::max(0.1, 0.55 - 0.45 * std::cos(x) +
+                                  0.25 * std::sin(2.5 * x));
+    // Controller: servers needed for the demand at 70% utilisation,
+    // clamped to the elastic floor.
+    const double repl = 2.0;  // write-heavy mix amplifies device load
+    const auto target = static_cast<std::uint32_t>(
+        std::ceil(demand_mbps * repl / (0.7 * kDiskBw)));
+    sim.schedule_resize(hour * 60.0, std::max(target, cluster->min_active()));
+
+    WorkloadPhase phase;
+    phase.name = "hour-" + std::to_string(hour);
+    phase.write_bytes =
+        static_cast<Bytes>(demand_mbps * 0.4 * 60.0 * 1024 * 1024);
+    phase.read_bytes =
+        static_cast<Bytes>(demand_mbps * 0.6 * 60.0 * 1024 * 1024);
+    phase.rate_limit_mbps = demand_mbps;
+    phase.overwrite_fraction = 0.3;
+    const auto samples = sim.run({phase}, 60.0);
+    const auto& last = samples.empty() ? TickSample{} : samples.back();
+    std::printf("%4d   %12.0f   %6u   %6u   %13zu\n", hour, demand_mbps,
+                std::max(target, cluster->min_active()), last.serving,
+                cluster->dirty_table().size());
+    saved_vs_always_on +=
+        60.0 * (kServers - sim.meter().average_servers());
+  }
+
+  // Return to full power and drain re-integration before the report.
+  (void)cluster->request_resize(kServers);
+  while (cluster->maintenance_step(64 * kDefaultObjectSize) > 0) {
+  }
+
+  const double avg = sim.meter().average_servers();
+  std::printf(
+      "\naverage powered servers: %.2f / %u  (%.0f%% machine-hours saved "
+      "vs always-on)\n",
+      avg, kServers, 100.0 * (1.0 - avg / kServers));
+  std::printf("data integrity: ");
+  std::size_t ok = 0;
+  for (std::uint64_t oid = 0; oid < sim.objects_written(); ++oid) {
+    if (cluster->read(ObjectId{oid}).ok()) ++ok;
+  }
+  std::printf("%zu / %llu objects readable, dirty table %zu\n", ok,
+              static_cast<unsigned long long>(sim.objects_written()),
+              cluster->dirty_table().size());
+  return 0;
+}

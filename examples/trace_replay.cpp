@@ -1,0 +1,103 @@
+// Trace replay: run the elasticity policy analysis on a load trace.
+//
+//   ./trace_replay                      # synthesized CC-a (Table I stats)
+//   ./trace_replay cc-b                 # synthesized CC-b
+//   ./trace_replay <trace.csv> [n]      # your own trace (CSV: t_seconds,
+//                                       # bytes_per_second,write_fraction)
+//   ./trace_replay --export out.csv     # dump the CC-a synthesis to CSV
+//
+// Prints machine-hours, relative-to-ideal ratios, migration volume and
+// resize counts for every scheme, plus a coarse server-count sparkline.
+#include <cstdio>
+#include <string>
+
+#include "common/log.h"
+#include "policy/elasticity_sim.h"
+#include "workload/trace_io.h"
+#include "workload/trace_synth.h"
+
+namespace {
+
+using namespace ech;
+
+void sparkline(const char* label, const std::vector<std::uint32_t>& series,
+               std::uint32_t n) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::printf("%-18s |", label);
+  const std::size_t buckets = 60;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * series.size() / buckets;
+    const std::size_t hi = std::max(lo + 1, (b + 1) * series.size() / buckets);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += series[i];
+    const double avg = sum / static_cast<double>(hi - lo);
+    const auto level = static_cast<std::size_t>(7.99 * avg / n);
+    std::printf("%s", kLevels[std::min<std::size_t>(level, 7)]);
+  }
+  std::printf("|\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kError);
+  LoadSeries load;
+  std::uint32_t cluster_servers = 50;
+
+  const std::string arg = argc > 1 ? argv[1] : "cc-a";
+  if (arg == "--export") {
+    const std::string path = argc > 2 ? argv[2] : "trace.csv";
+    const Status s = save_trace_csv(synthesize_trace(cc_a_spec()), path);
+    std::printf("%s\n", s.is_ok() ? ("wrote " + path).c_str()
+                                  : s.to_string().c_str());
+    return s.is_ok() ? 0 : 1;
+  } else if (arg == "cc-a") {
+    load = synthesize_trace(cc_a_spec());
+  } else if (arg == "cc-b") {
+    load = synthesize_trace(cc_b_spec());
+    cluster_servers = 170;
+  } else {
+    auto loaded = load_trace_csv(arg);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", arg.c_str(),
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    load = std::move(loaded).value();
+    if (argc > 2) cluster_servers = static_cast<std::uint32_t>(atoi(argv[2]));
+  }
+
+  std::printf("trace: %s — %.1f days, %.1f TB processed, peak %.2f GB/s\n\n",
+              load.name.c_str(), load.duration_seconds() / 86400.0,
+              load.total_bytes() / 1e12, load.peak_bytes_per_second() / 1e9);
+
+  PolicyConfig config;
+  config.server_count = cluster_servers;
+  config.replicas = 2;
+  config.per_server_bw = load.peak_bytes_per_second() /
+                         (0.9 * static_cast<double>(cluster_servers));
+  config.data_per_server = config.per_server_bw * 600.0;
+  config.selective_limit = 80.0 * 1024 * 1024;
+  const ElasticitySimulator sim(config);
+
+  const SchemeResult ideal = sim.simulate(load, ResizeScheme::kIdeal);
+  std::printf("%-20s %12s %9s %12s %8s\n", "scheme", "machine-h", "vs-ideal",
+              "migrated-TB", "resizes");
+  std::vector<std::pair<ResizeScheme, SchemeResult>> results;
+  for (ResizeScheme scheme :
+       {ResizeScheme::kIdeal, ResizeScheme::kOriginalCH,
+        ResizeScheme::kPrimaryFull, ResizeScheme::kPrimarySelective,
+        ResizeScheme::kGreenCHT}) {
+    const SchemeResult r = sim.simulate(load, scheme);
+    std::printf("%-20s %12.0f %8.2fx %12.2f %8u\n", r.scheme.c_str(),
+                r.machine_hours, r.machine_hours / ideal.machine_hours,
+                r.total_migration_bytes / 1e12, r.resize_events);
+    results.emplace_back(scheme, r);
+  }
+
+  std::printf("\nactive servers over the trace (darker = more powered):\n");
+  for (const auto& [scheme, r] : results) {
+    sparkline(r.scheme.c_str(), r.servers, cluster_servers);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "cluster/capacity_planner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ech {
+
+CapacityPlanner::CapacityPlanner(std::vector<Bytes> tiers)
+    : tiers_(std::move(tiers)) {
+  assert(!tiers_.empty());
+  assert(std::is_sorted(tiers_.rbegin(), tiers_.rend()));
+}
+
+CapacityPlanner CapacityPlanner::paper_default() {
+  return CapacityPlanner({
+      2000 * kGiB,  // "2TB"
+      1500 * kGiB,  // "1.5TB"
+      1000 * kGiB,  // "1TB"
+      750 * kGiB,
+      500 * kGiB,
+      320 * kGiB,
+  });
+}
+
+Expected<CapacityPlan> CapacityPlanner::plan(const LayoutParams& params,
+                                             Bytes total_data,
+                                             double headroom) const {
+  if (params.server_count == 0) {
+    return Status{StatusCode::kInvalidArgument, "empty cluster"};
+  }
+  if (total_data < 0 || headroom < 1.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "total_data must be >= 0 and headroom >= 1.0"};
+  }
+  const std::vector<double> fractions =
+      EqualWorkLayout::expected_fractions(params);
+
+  CapacityPlan out;
+  out.capacity_by_rank.reserve(fractions.size());
+  out.expected_utilization.reserve(fractions.size());
+
+  const Bytes largest = tiers_.front();
+  for (double f : fractions) {
+    const auto need = static_cast<Bytes>(
+        static_cast<double>(total_data) * f * headroom);
+    // Smallest tier that still covers the need; the largest tier caps
+    // what we can provision, so very hot ranks may exceed headroom.
+    Bytes chosen = largest;
+    for (auto it = tiers_.rbegin(); it != tiers_.rend(); ++it) {
+      if (*it >= need) {
+        chosen = *it;
+        break;
+      }
+    }
+    out.capacity_by_rank.push_back(chosen);
+    const double stored = static_cast<double>(total_data) * f;
+    out.expected_utilization.push_back(
+        chosen > 0 ? stored / static_cast<double>(chosen) : 0.0);
+  }
+
+  double umin = 1e300, umax = 0.0;
+  for (double u : out.expected_utilization) {
+    umin = std::min(umin, u);
+    umax = std::max(umax, u);
+  }
+  out.utilization_spread = (umin > 0.0) ? umax / umin : 0.0;
+  return out;
+}
+
+}  // namespace ech

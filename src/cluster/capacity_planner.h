@@ -1,0 +1,51 @@
+// Node capacity configuration (Section III-D).
+//
+// The equal-work layout stores very different volumes per server, so uniform
+// disk capacities would be badly utilised.  The paper's remedy: provision
+// each server's capacity proportional to its layout weight — but since a
+// datacenter stocks only a handful of drive sizes, quantise to a small tier
+// menu (e.g. 2 TB, 1.5 TB, 1 TB, 750 GB, 500 GB, 320 GB) with neighbouring
+// ranks sharing a tier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "cluster/layout.h"
+
+namespace ech {
+
+struct CapacityPlan {
+  /// Capacity assigned to each rank (index 0 = rank 1).
+  std::vector<Bytes> capacity_by_rank;
+  /// Expected utilisation of each rank when the cluster stores
+  /// `total_data` bytes, given the layout fractions.
+  std::vector<double> expected_utilization;
+  /// max/min utilisation ratio; 1.0 is a perfectly matched plan.
+  double utilization_spread{1.0};
+};
+
+class CapacityPlanner {
+ public:
+  /// `tiers` must be sorted descending and non-empty.
+  explicit CapacityPlanner(std::vector<Bytes> tiers);
+
+  /// Default menu from the paper: 2TB, 1.5TB, 1TB, 750GB, 500GB, 320GB.
+  static CapacityPlanner paper_default();
+
+  /// Plan capacities for an equal-work cluster expected to store
+  /// `total_data` bytes.  Each rank gets the smallest tier whose capacity
+  /// covers that rank's expected share scaled by `headroom` (>= 1.0).
+  [[nodiscard]] Expected<CapacityPlan> plan(const LayoutParams& params,
+                                            Bytes total_data,
+                                            double headroom = 1.25) const;
+
+  [[nodiscard]] const std::vector<Bytes>& tiers() const { return tiers_; }
+
+ private:
+  std::vector<Bytes> tiers_;  // descending
+};
+
+}  // namespace ech

@@ -1,0 +1,2 @@
+// ClusterView is header-only; this TU anchors the library target.
+#include "cluster/cluster_view.h"

@@ -1,0 +1,62 @@
+// A consistent snapshot of the cluster as placement sees it:
+// expansion chain (who is primary) + hash ring (weighted positions)
+// + membership table (who is powered on) at one version.
+//
+// Views are cheap, non-owning aggregates; the owner (ElasticCluster or a
+// test) guarantees the referenced pieces outlive the view.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/expansion_chain.h"
+#include "cluster/membership.h"
+#include "common/types.h"
+#include "hashring/hash_ring.h"
+
+namespace ech {
+
+class ClusterView {
+ public:
+  ClusterView(const ExpansionChain& chain, const HashRing& ring,
+              const MembershipTable& membership)
+      : chain_(&chain), ring_(&ring), membership_(&membership) {}
+
+  [[nodiscard]] const ExpansionChain& chain() const { return *chain_; }
+  [[nodiscard]] const HashRing& ring() const { return *ring_; }
+  [[nodiscard]] const MembershipTable& membership() const {
+    return *membership_;
+  }
+
+  [[nodiscard]] bool is_primary(ServerId id) const {
+    return chain_->is_primary(id);
+  }
+
+  [[nodiscard]] bool is_active(ServerId id) const {
+    const auto rank = chain_->rank_of(id);
+    return rank.has_value() && membership_->is_active(*rank);
+  }
+
+  [[nodiscard]] bool is_active_secondary(ServerId id) const {
+    return is_active(id) && !is_primary(id);
+  }
+
+  [[nodiscard]] std::uint32_t server_count() const { return chain_->size(); }
+  [[nodiscard]] std::uint32_t active_count() const {
+    return membership_->active_count();
+  }
+
+  [[nodiscard]] std::uint32_t active_secondary_count() const {
+    std::uint32_t count = 0;
+    for (Rank r = chain_->primary_count() + 1; r <= chain_->size(); ++r) {
+      if (membership_->is_active(r)) ++count;
+    }
+    return count;
+  }
+
+ private:
+  const ExpansionChain* chain_;
+  const HashRing* ring_;
+  const MembershipTable* membership_;
+};
+
+}  // namespace ech

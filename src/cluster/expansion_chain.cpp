@@ -1,0 +1,62 @@
+#include "cluster/expansion_chain.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ech {
+
+Expected<ExpansionChain> ExpansionChain::create(std::vector<ServerId> ids,
+                                                std::uint32_t primary_count) {
+  if (ids.empty()) {
+    return Status{StatusCode::kInvalidArgument, "chain must be non-empty"};
+  }
+  if (primary_count == 0 || primary_count > ids.size()) {
+    return Status{StatusCode::kInvalidArgument,
+                  "primary count must be in [1, n]"};
+  }
+  std::unordered_set<ServerId> uniq(ids.begin(), ids.end());
+  if (uniq.size() != ids.size()) {
+    return Status{StatusCode::kInvalidArgument, "duplicate server id in chain"};
+  }
+  ExpansionChain chain;
+  chain.by_rank_ = std::move(ids);
+  chain.primary_count_ = primary_count;
+  std::uint32_t max_id = 0;
+  for (ServerId id : chain.by_rank_) max_id = std::max(max_id, id.value);
+  chain.rank_by_id_.assign(max_id + 1, 0);
+  for (std::uint32_t r = 0; r < chain.by_rank_.size(); ++r) {
+    chain.rank_by_id_[chain.by_rank_[r].value] = r + 1;
+  }
+  return chain;
+}
+
+ExpansionChain ExpansionChain::identity(std::uint32_t n,
+                                        std::uint32_t primary_count) {
+  std::vector<ServerId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 1; i <= n; ++i) ids.emplace_back(i);
+  auto result = create(std::move(ids), primary_count);
+  return std::move(result).value();
+}
+
+std::optional<Rank> ExpansionChain::rank_of(ServerId id) const {
+  if (id.value >= rank_by_id_.size()) return std::nullopt;
+  const std::uint32_t r = rank_by_id_[id.value];
+  if (r == 0) return std::nullopt;
+  return r;
+}
+
+bool ExpansionChain::is_primary(ServerId id) const {
+  const auto r = rank_of(id);
+  return r.has_value() && is_primary(*r);
+}
+
+std::vector<ServerId> ExpansionChain::primaries() const {
+  return {by_rank_.begin(), by_rank_.begin() + primary_count_};
+}
+
+std::vector<ServerId> ExpansionChain::secondaries() const {
+  return {by_rank_.begin() + primary_count_, by_rank_.end()};
+}
+
+}  // namespace ech

@@ -1,0 +1,61 @@
+// The expansion chain: a fixed power-on/off order over the cluster's servers.
+//
+// Elastic consistent hashing abandons consistent hashing's symmetry: servers
+// are *ranked* 1..n.  Ranks 1..p are primaries (always active, hold exactly
+// one replica of everything), ranks p+1..n are secondaries.  Sizing down
+// powers servers off from rank n downward; sizing up powers them on from the
+// lowest inactive rank upward (Section III-B; "expansion-chain" follows
+// Rabbit [3]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ech {
+
+class ExpansionChain {
+ public:
+  ExpansionChain() = default;
+
+  /// Build a chain over `n` servers with `p` primaries, where the server at
+  /// rank k is `ids[k-1]`.  `p` must satisfy 1 <= p <= n.
+  static Expected<ExpansionChain> create(std::vector<ServerId> ids,
+                                         std::uint32_t primary_count);
+
+  /// Convenience: servers named 1..n in rank order.
+  static ExpansionChain identity(std::uint32_t n, std::uint32_t primary_count);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(by_rank_.size());
+  }
+  [[nodiscard]] std::uint32_t primary_count() const { return primary_count_; }
+
+  [[nodiscard]] ServerId server_at(Rank rank) const {
+    return by_rank_[rank - 1];
+  }
+  [[nodiscard]] std::optional<Rank> rank_of(ServerId id) const;
+
+  [[nodiscard]] bool is_primary(Rank rank) const {
+    return rank >= 1 && rank <= primary_count_;
+  }
+  [[nodiscard]] bool is_primary(ServerId id) const;
+
+  /// All servers in rank order (rank 1 first).
+  [[nodiscard]] const std::vector<ServerId>& servers() const {
+    return by_rank_;
+  }
+
+  [[nodiscard]] std::vector<ServerId> primaries() const;
+  [[nodiscard]] std::vector<ServerId> secondaries() const;
+
+ private:
+  std::vector<ServerId> by_rank_;           // index = rank - 1
+  std::vector<std::uint32_t> rank_by_id_;   // sparse: id.value -> rank (0 = absent)
+  std::uint32_t primary_count_{0};
+};
+
+}  // namespace ech

@@ -1,0 +1,50 @@
+#include "cluster/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ech {
+
+std::uint32_t EqualWorkLayout::primary_count(std::uint32_t n) {
+  if (n == 0) return 0;
+  const double e2 = std::exp(2.0);  // e^2 ~ 7.389
+  const auto p = static_cast<std::uint32_t>(
+      std::ceil(static_cast<double>(n) / e2));
+  return std::max(1u, std::min(p, n));
+}
+
+WeightVector EqualWorkLayout::weights(const LayoutParams& params) {
+  const std::uint32_t n = params.server_count;
+  WeightVector w(n, 1);
+  if (n == 0) return w;
+  const std::uint32_t p = primary_count(n);
+  for (std::uint32_t rank = 1; rank <= n; ++rank) {
+    const std::uint32_t weight =
+        (rank <= p) ? params.budget / p : params.budget / rank;
+    w[rank - 1] = std::max(1u, weight);
+  }
+  return w;
+}
+
+std::vector<double> EqualWorkLayout::expected_fractions(
+    const LayoutParams& params) {
+  const WeightVector w = weights(params);
+  double total = 0.0;
+  for (auto v : w) total += static_cast<double>(v);
+  std::vector<double> out(w.size(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    out[i] = static_cast<double>(w[i]) / total;
+  }
+  return out;
+}
+
+WeightVector UniformLayout::weights(const LayoutParams& params) {
+  const std::uint32_t n = params.server_count;
+  WeightVector w(n, 1);
+  if (n == 0) return w;
+  const std::uint32_t each = std::max(1u, params.budget / n);
+  std::fill(w.begin(), w.end(), each);
+  return w;
+}
+
+}  // namespace ech

@@ -1,0 +1,53 @@
+// Data layouts: how many virtual nodes each server contributes (§III-C).
+//
+// * Uniform layout — the original consistent hashing: every server gets the
+//   same weight, data spreads evenly, and the cluster cannot shrink below
+//   n/r servers without losing data availability.
+// * Equal-work layout — Rabbit's power-proportional layout expressed as ring
+//   weights:  p = ceil(n / e^2) primaries each weighted B/p, and the
+//   secondary at rank i weighted B/i.  Higher ranked (earlier) servers store
+//   more data, so any active prefix {1..k} of the expansion chain serves an
+//   equal share of read work per server and the system can run on as few as
+//   p servers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ech {
+
+/// Weight (virtual-node count) per rank, index 0 = rank 1.
+using WeightVector = std::vector<std::uint32_t>;
+
+struct LayoutParams {
+  std::uint32_t server_count{0};
+  /// The paper's B: total virtual-node budget scale.  "An integer that is
+  /// large enough for data distribution fairness"; benches use 10'000+.
+  std::uint32_t budget{10'000};
+};
+
+class EqualWorkLayout {
+ public:
+  /// p = ceil(n / e^2): the number of primaries (minimum power state).
+  /// The paper's 10-server example yields p = 2.
+  [[nodiscard]] static std::uint32_t primary_count(std::uint32_t n);
+
+  /// Weights for all ranks 1..n.  Primaries get B/p; secondary rank i gets
+  /// B/i (both at least 1 so no server vanishes from the ring).
+  [[nodiscard]] static WeightVector weights(const LayoutParams& params);
+
+  /// Expected fraction of all data stored on rank `rank` under this layout
+  /// (weights normalised); used by layout tests and Figure 5.
+  [[nodiscard]] static std::vector<double> expected_fractions(
+      const LayoutParams& params);
+};
+
+class UniformLayout {
+ public:
+  /// Every server gets budget/n virtual nodes (at least 1).
+  [[nodiscard]] static WeightVector weights(const LayoutParams& params);
+};
+
+}  // namespace ech

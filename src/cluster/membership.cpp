@@ -1,0 +1,52 @@
+#include "cluster/membership.h"
+
+#include <cassert>
+
+namespace ech {
+
+MembershipTable MembershipTable::full_power(std::uint32_t n) {
+  MembershipTable t;
+  t.states_.assign(n, ServerState::kOn);
+  return t;
+}
+
+MembershipTable MembershipTable::prefix_active(std::uint32_t n,
+                                               std::uint32_t active) {
+  assert(active <= n);
+  MembershipTable t;
+  t.states_.assign(n, ServerState::kOff);
+  for (std::uint32_t i = 0; i < active; ++i) t.states_[i] = ServerState::kOn;
+  return t;
+}
+
+void MembershipTable::set_state(Rank rank, ServerState state) {
+  assert(rank >= 1 && rank <= states_.size());
+  states_[rank - 1] = state;
+}
+
+std::uint32_t MembershipTable::active_count() const {
+  std::uint32_t n = 0;
+  for (auto s : states_) n += (s == ServerState::kOn) ? 1u : 0u;
+  return n;
+}
+
+std::vector<std::uint32_t> MembershipTable::active_ranks() const {
+  std::vector<Rank> out;
+  out.reserve(states_.size());
+  for (std::uint32_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == ServerState::kOn) out.push_back(i + 1);
+  }
+  return out;
+}
+
+Version VersionHistory::append(MembershipTable table) {
+  tables_.push_back(std::move(table));
+  return current_version();
+}
+
+const MembershipTable& VersionHistory::table(Version v) const {
+  assert(contains(v));
+  return tables_[v.value - 1];
+}
+
+}  // namespace ech

@@ -1,0 +1,95 @@
+// Cluster membership versioning (Section III-E.1).
+//
+// Every resize event creates a new *version* (Sheepdog/Ceph call this an
+// epoch) with a membership table recording which server is on/off.  The
+// version history is append-only; given an (OID, version) pair from the
+// dirty table, the re-integration engine looks up the historical table to
+// recompute where replicas were placed at write time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ech {
+
+enum class ServerState : std::uint8_t { kOff = 0, kOn = 1 };
+
+/// State of each server (indexed by expansion-chain rank) at one version.
+class MembershipTable {
+ public:
+  MembershipTable() = default;
+
+  /// All-on table over `n` servers.
+  static MembershipTable full_power(std::uint32_t n);
+
+  /// Table with the first `active` ranks on and the rest off — the only
+  /// membership shape the expansion chain ever produces.
+  static MembershipTable prefix_active(std::uint32_t n, std::uint32_t active);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(states_.size());
+  }
+
+  [[nodiscard]] bool is_active(Rank rank) const {
+    return rank >= 1 && rank <= states_.size() &&
+           states_[rank - 1] == ServerState::kOn;
+  }
+
+  void set_state(Rank rank, ServerState state);
+
+  [[nodiscard]] std::uint32_t active_count() const;
+
+  /// True iff every server is on.  Dirty-table entries are only retired when
+  /// data has been re-integrated into a full-power version (Section III-E.2).
+  [[nodiscard]] bool is_full_power() const {
+    return active_count() == states_.size();
+  }
+
+  [[nodiscard]] std::vector<Rank> active_ranks() const;
+
+  friend bool operator==(const MembershipTable&,
+                         const MembershipTable&) = default;
+
+ private:
+  std::vector<ServerState> states_;
+};
+
+/// Append-only sequence of membership tables; version v is the v-th entry.
+/// Versions start at 1 (Version{0} is reserved as "unknown").
+class VersionHistory {
+ public:
+  VersionHistory() = default;
+
+  /// Record a new version; returns its number.
+  Version append(MembershipTable table);
+
+  [[nodiscard]] Version current_version() const {
+    return Version{static_cast<std::uint32_t>(tables_.size())};
+  }
+
+  [[nodiscard]] bool contains(Version v) const {
+    return v.value >= 1 && v.value <= tables_.size();
+  }
+
+  /// Table for a version; asserts the version exists.
+  [[nodiscard]] const MembershipTable& table(Version v) const;
+
+  [[nodiscard]] const MembershipTable& current() const {
+    return table(current_version());
+  }
+
+  [[nodiscard]] std::size_t version_count() const { return tables_.size(); }
+
+  /// Number of active servers in version `v` (the paper's num_ser(V)).
+  [[nodiscard]] std::uint32_t num_servers(Version v) const {
+    return table(v).active_count();
+  }
+
+ private:
+  std::vector<MembershipTable> tables_;
+};
+
+}  // namespace ech

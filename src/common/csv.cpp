@@ -1,0 +1,63 @@
+#include "common/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ech {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header) {
+  if (path.empty()) return;
+  out_.open(path);
+  if (!out_.is_open()) return;
+  columns_ = header.size();
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& fields) {
+  if (!out_.is_open()) return;
+  std::vector<std::string> s;
+  s.reserve(fields.size());
+  for (double v : fields) s.push_back(fmt_double(v, 6));
+  row(s);
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_bytes(long long bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (std::fabs(v) >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace ech

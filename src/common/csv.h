@@ -1,0 +1,43 @@
+// CSV emission for figure/table benches.
+//
+// Every bench prints a human-readable table to stdout and can additionally
+// dump the same series as CSV (for replotting the paper's figures).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ech {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  An empty path
+  /// produces a disabled writer (all calls become no-ops), which lets
+  /// benches make CSV output optional without branching at call sites.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  CsvWriter() = default;  // disabled
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  /// Append one row; fields are quoted only when needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for all-numeric rows.
+  void row_numeric(const std::vector<double>& fields);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ofstream out_;
+  std::size_t columns_{0};
+};
+
+/// Format a double with fixed decimals (benches align columns with this).
+[[nodiscard]] std::string fmt_double(double v, int decimals = 2);
+
+/// Format a byte count human-readably (e.g. "4.0 MiB", "69.0 TB-decimal
+/// rendering is *not* used; we stick to binary units everywhere").
+[[nodiscard]] std::string fmt_bytes(long long bytes);
+
+}  // namespace ech

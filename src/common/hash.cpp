@@ -1,0 +1,17 @@
+#include "common/hash.h"
+
+namespace ech {
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) noexcept {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = kOffset;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace ech

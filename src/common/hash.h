@@ -1,0 +1,56 @@
+// Hash primitives used by the consistent-hash ring.
+//
+// Sheepdog derives ring positions with a cheap deterministic hash of the
+// node id / object id.  We provide FNV-1a (the hash Sheepdog itself uses for
+// object placement), a strong 64-bit mixer (SplitMix64 finalizer) for
+// deriving virtual-node positions, and SHA-1 (see sha1.h) for tests that
+// want a cryptographic reference distribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace ech {
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t len) noexcept;
+
+/// 64-bit FNV-1a over a string.
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s) noexcept {
+  return fnv1a64(s.data(), s.size());
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit avalanche mixer.
+/// Used to turn (server id, vnode index) pairs into ring positions.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Position on the hash ring.  The ring is the full 2^64 space and wraps.
+using RingPosition = std::uint64_t;
+
+/// Ring position of a data object.  Deterministic: the whole point of
+/// consistent hashing is that any client can compute placement locally.
+[[nodiscard]] inline RingPosition object_position(ObjectId oid) noexcept {
+  return mix64(oid.value);
+}
+
+/// Ring position of virtual node `vnode` of server `sid`.
+[[nodiscard]] inline RingPosition vnode_position(ServerId sid,
+                                                 std::uint32_t vnode) noexcept {
+  return mix64(hash_combine(mix64(sid.value), vnode));
+}
+
+}  // namespace ech

@@ -1,0 +1,27 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace ech {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s %s] %s\n", tag, component.c_str(), message.c_str());
+}
+
+}  // namespace ech

@@ -1,0 +1,69 @@
+// Tiny leveled logger.
+//
+// Single global sink (stderr by default), compile-time cheap when the level
+// is filtered out, thread-safe line emission.  Benches lower the level to
+// Warn so figure output stays clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ech {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kWarn};
+  std::mutex mutex_;
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LineBuilder() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace ech
+
+#define ECH_LOG(level, component)                            \
+  if (!::ech::Logger::instance().enabled(level)) {           \
+  } else                                                     \
+    ::ech::log_detail::LineBuilder(level, component)
+
+#define ECH_LOG_DEBUG(component) ECH_LOG(::ech::LogLevel::kDebug, component)
+#define ECH_LOG_INFO(component) ECH_LOG(::ech::LogLevel::kInfo, component)
+#define ECH_LOG_WARN(component) ECH_LOG(::ech::LogLevel::kWarn, component)
+#define ECH_LOG_ERROR(component) ECH_LOG(::ech::LogLevel::kError, component)

@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace ech {
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform_real(-1.0, 1.0);
+    v = uniform_real(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::exponential(double lambda) {
+  // Avoid log(0); next_double() is in [0,1).
+  return -std::log(1.0 - next_double()) / lambda;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  return xm / std::pow(1.0 - next_double(), 1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = next_double();
+  std::uint64_t n = 0;
+  while (prod > limit) {
+    ++n;
+    prod *= next_double();
+  }
+  return n;
+}
+
+}  // namespace ech

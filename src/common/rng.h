@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for workloads and traces.
+//
+// Every stochastic component (workload generators, trace synthesizers,
+// failure injectors) takes an explicit Rng so that experiments are exactly
+// reproducible from a seed printed in the bench output.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace ech {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+/// Small, fast, and good enough statistically for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      s = mix64(x);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range
+    // Lemire's unbiased bounded generation (rejection on the low word).
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * span;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < span) {
+      const std::uint64_t threshold = (0 - span) % span;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * span;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Pareto (power-law) with scale xm and shape alpha.
+  double pareto(double xm, double alpha);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  bool have_spare_normal_{false};
+  double spare_normal_{0.0};
+};
+
+}  // namespace ech

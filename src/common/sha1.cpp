@@ -1,0 +1,127 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace ech {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t(block[i * 4]) << 24) |
+           (std::uint32_t(block[i * 4 + 1]) << 16) |
+           (std::uint32_t(block[i * 4 + 2]) << 8) |
+           std::uint32_t(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bit_count_ += std::uint64_t(len) * 8;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Sha1::Digest Sha1::finalize() {
+  const std::uint64_t bits = bit_count_;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (buffer_len_ != 56) update(&zero, 1);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) len_be[i] = std::uint8_t(bits >> (56 - 8 * i));
+  // Appending the length must not re-count it; update() already bumped
+  // bit_count_, which is fine because `bits` was latched above.
+  update(len_be, 8);
+
+  Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = std::uint8_t(state_[i] >> 24);
+    out[i * 4 + 1] = std::uint8_t(state_[i] >> 16);
+    out[i * 4 + 2] = std::uint8_t(state_[i] >> 8);
+    out[i * 4 + 3] = std::uint8_t(state_[i]);
+  }
+  return out;
+}
+
+Sha1::Digest Sha1::digest(std::string_view s) {
+  Sha1 h;
+  h.update(s);
+  return h.finalize();
+}
+
+std::uint64_t Sha1::hash64(std::string_view s) {
+  const Digest d = digest(s);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[std::size_t(i)];
+  return v;
+}
+
+std::string Sha1::to_hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(d.size() * 2);
+  for (std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace ech

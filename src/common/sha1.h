@@ -1,0 +1,51 @@
+// Minimal SHA-1 implementation (FIPS 180-1).
+//
+// Consistent hashing deployments (e.g. GlusterFS's Davies-Meyer, Chord's
+// SHA-1 ring) traditionally place nodes with a cryptographic hash.  We ship
+// SHA-1 both as an alternative ring-position source and as a reference
+// "ideally uniform" distribution for statistical tests of the ring.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ech {
+
+class Sha1 {
+ public:
+  using Digest = std::array<std::uint8_t, 20>;
+
+  Sha1();
+
+  /// Feed more bytes into the hash.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finish and return the 160-bit digest.  The object must not be reused
+  /// after finalization without calling reset().
+  [[nodiscard]] Digest finalize();
+
+  void reset();
+
+  /// Convenience: one-shot digest of a buffer.
+  [[nodiscard]] static Digest digest(std::string_view s);
+
+  /// First 8 bytes of the digest as a big-endian 64-bit ring position.
+  [[nodiscard]] static std::uint64_t hash64(std::string_view s);
+
+  /// Lower-case hex rendering of a digest.
+  [[nodiscard]] static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t bit_count_{0};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_{0};
+};
+
+}  // namespace ech

@@ -1,0 +1,40 @@
+#include "common/stats.h"
+
+namespace ech {
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+double chi_squared_uniform(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  if (expected == 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace ech

@@ -1,0 +1,54 @@
+// Streaming statistics helpers used by layout-fairness tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ech {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Coefficient of variation; the paper's load-balance quality metric.
+  [[nodiscard]] double cv() const noexcept {
+    return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+  }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{1e300};
+  double max_{-1e300};
+};
+
+/// Exact percentile over a captured sample (nearest-rank).
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Chi-squared uniformity statistic for `counts` against a uniform
+/// expectation; used to sanity-check ring balance.
+[[nodiscard]] double chi_squared_uniform(const std::vector<std::uint64_t>& counts);
+
+/// Jain's fairness index in (0, 1]; 1.0 means perfectly even allocation.
+[[nodiscard]] double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace ech

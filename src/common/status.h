@@ -1,0 +1,105 @@
+// Lightweight status / expected types.
+//
+// Library boundaries report expected failures (object not found, server
+// inactive, version unknown) through Status/Expected rather than exceptions,
+// matching how a storage daemon would surface errors to callers.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ech {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnavailable,     // e.g. not enough active servers for the replication level
+  kOutOfRange,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = ech::to_string(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  explicit operator bool() const noexcept { return is_ok(); }
+
+ private:
+  StatusCode code_{StatusCode::kOk};
+  std::string message_;
+};
+
+/// Value-or-status result.  `value()` asserts the call succeeded; prefer
+/// checking `ok()` first on fallible paths.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}         // NOLINT(google-explicit-constructor)
+  Expected(Status status) : data_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] const T& value_or(const T& fallback) const& {
+    return ok() ? std::get<T>(data_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ech

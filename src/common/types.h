@@ -1,0 +1,107 @@
+// Core vocabulary types shared by every ECH subsystem.
+//
+// The paper talks about data objects (identified by an OID), storage servers
+// (identified by a rank in the expansion chain), cluster membership versions
+// (epochs) and byte volumes.  We give each of those a distinct strong type so
+// that a server id cannot be silently passed where an object id is expected.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace ech {
+
+/// Universal identifier of a data object (the paper's "OID").
+/// Sheepdog uses 64-bit object ids; we do the same.
+struct ObjectId {
+  std::uint64_t value{0};
+
+  constexpr ObjectId() = default;
+  constexpr explicit ObjectId(std::uint64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(ObjectId, ObjectId) = default;
+};
+
+/// Identifier of a physical storage server.  In elastic consistent hashing
+/// servers are *ranked*: rank 1..p are primaries, p+1..n secondaries, and
+/// servers are powered down strictly from rank n downward (the
+/// "expansion chain" of Rabbit/SpringFS).  We keep the id distinct from the
+/// rank: ids are stable names, ranks are positions in the expansion chain.
+struct ServerId {
+  std::uint32_t value{0};
+
+  constexpr ServerId() = default;
+  constexpr explicit ServerId(std::uint32_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(ServerId, ServerId) = default;
+};
+
+/// Cluster membership version ("epoch" in Sheepdog/Ceph terminology).
+/// Monotonically increasing; every resize event creates a new version.
+struct Version {
+  std::uint32_t value{0};
+
+  constexpr Version() = default;
+  constexpr explicit Version(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr Version next() const { return Version{value + 1}; }
+
+  friend constexpr auto operator<=>(Version, Version) = default;
+};
+
+/// Byte volume.  Signed 64-bit so that deltas are representable.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kTiB = 1024 * kGiB;
+
+/// Sheepdog's fixed object size used throughout the paper's evaluation.
+inline constexpr Bytes kDefaultObjectSize = 4 * kMiB;
+
+/// Simulated time.  Integer microseconds keep event ordering exact.
+using SimDuration = std::chrono::microseconds;
+using SimTime = SimDuration;  // time since simulation start
+
+inline constexpr SimDuration sim_seconds(double s) {
+  return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+}
+inline constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+inline constexpr SimDuration sim_minutes(double m) { return sim_seconds(m * 60.0); }
+
+/// Replica index within an object's replica set (0-based internally; the
+/// paper's Algorithm 1 numbers replicas 1..r).
+using ReplicaIndex = std::uint32_t;
+
+/// 1-based position in the expansion chain (see cluster/expansion_chain.h).
+using Rank = std::uint32_t;
+
+}  // namespace ech
+
+namespace std {
+template <>
+struct hash<ech::ObjectId> {
+  size_t operator()(ech::ObjectId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+template <>
+struct hash<ech::ServerId> {
+  size_t operator()(ech::ServerId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<ech::Version> {
+  size_t operator()(ech::Version v) const noexcept {
+    return std::hash<std::uint32_t>{}(v.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,110 @@
+// Thread-safe facade over ElasticCluster.
+//
+// The core facade follows a single-owner threading model (one thread — or
+// the simulator — drives it).  A real storage daemon has a request path,
+// a re-integration thread and a membership/controller thread running
+// concurrently; ConcurrentElasticCluster provides that with a
+// reader/writer lock: lookups run shared, anything that can move replicas
+// or change membership runs exclusive.
+//
+// This is intentionally coarse-grained — the paper's system serialises
+// membership changes through epochs anyway, and placement is cheap enough
+// that a shared lock around it is not the bottleneck (see micro_placement).
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+
+#include "core/elastic_cluster.h"
+
+namespace ech {
+
+class ConcurrentElasticCluster {
+ public:
+  static Expected<std::unique_ptr<ConcurrentElasticCluster>> create(
+      const ElasticClusterConfig& config) {
+    auto inner = ElasticCluster::create(config);
+    if (!inner.ok()) return inner.status();
+    return std::unique_ptr<ConcurrentElasticCluster>(
+        new ConcurrentElasticCluster(std::move(inner).value()));
+  }
+
+  // -- request path ---------------------------------------------------------
+  Status write(ObjectId oid, Bytes size) {
+    std::unique_lock lock(mutex_);
+    return inner_->write(oid, size);
+  }
+  [[nodiscard]] Expected<std::vector<ServerId>> read(ObjectId oid) const {
+    std::shared_lock lock(mutex_);
+    return inner_->read(oid);
+  }
+  std::uint64_t remove_object(ObjectId oid) {
+    std::unique_lock lock(mutex_);
+    return inner_->remove_object(oid);
+  }
+  [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const {
+    std::shared_lock lock(mutex_);
+    return inner_->placement_of(oid);
+  }
+
+  // -- control plane ---------------------------------------------------------
+  Status request_resize(std::uint32_t target) {
+    std::unique_lock lock(mutex_);
+    return inner_->request_resize(target);
+  }
+  Bytes maintenance_step(Bytes byte_budget) {
+    std::unique_lock lock(mutex_);
+    return inner_->maintenance_step(byte_budget);
+  }
+  Status fail_server(ServerId id) {
+    std::unique_lock lock(mutex_);
+    return inner_->fail_server(id);
+  }
+  Status recover_server(ServerId id) {
+    std::unique_lock lock(mutex_);
+    return inner_->recover_server(id);
+  }
+  Bytes repair_step(Bytes byte_budget) {
+    std::unique_lock lock(mutex_);
+    return inner_->repair_step(byte_budget);
+  }
+
+  // -- introspection -----------------------------------------------------------
+  [[nodiscard]] std::uint32_t active_count() const {
+    std::shared_lock lock(mutex_);
+    return inner_->active_count();
+  }
+  [[nodiscard]] std::uint32_t server_count() const {
+    std::shared_lock lock(mutex_);
+    return inner_->server_count();
+  }
+  [[nodiscard]] std::uint32_t min_active() const {
+    std::shared_lock lock(mutex_);
+    return inner_->min_active();
+  }
+  [[nodiscard]] Version current_version() const {
+    std::shared_lock lock(mutex_);
+    return inner_->current_version();
+  }
+  [[nodiscard]] std::size_t dirty_entries() const {
+    std::shared_lock lock(mutex_);
+    return inner_->dirty_table().size();
+  }
+  [[nodiscard]] Bytes pending_maintenance_bytes() const {
+    std::shared_lock lock(mutex_);
+    return inner_->pending_maintenance_bytes();
+  }
+
+  /// Escape hatch for single-threaded phases (setup, final verification).
+  /// The caller must guarantee no concurrent access while using it.
+  [[nodiscard]] ElasticCluster& unsynchronized() { return *inner_; }
+
+ private:
+  explicit ConcurrentElasticCluster(std::unique_ptr<ElasticCluster> inner)
+      : inner_(std::move(inner)) {}
+
+  mutable std::shared_mutex mutex_;
+  std::unique_ptr<ElasticCluster> inner_;
+};
+
+}  // namespace ech

@@ -1,0 +1,155 @@
+#include "core/dirty_table.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace ech {
+namespace {
+
+std::string encode_oid(ObjectId oid) { return std::to_string(oid.value); }
+
+ObjectId decode_oid(const std::string& s) {
+  return ObjectId{std::strtoull(s.c_str(), nullptr, 10)};
+}
+
+}  // namespace
+
+DirtyTable::DirtyTable(kv::ShardedStore& store, bool dedupe)
+    : store_(&store), dedupe_(dedupe) {}
+
+std::string DirtyTable::key_for(Version v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "dirty:v%010u", v.value);
+  return buf;
+}
+
+std::string DirtyTable::seen_key_for(Version v, ObjectId oid) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "dseen:v%010u:%llu", v.value,
+                static_cast<unsigned long long>(oid.value));
+  return buf;
+}
+
+bool DirtyTable::insert(ObjectId oid, Version version) {
+  assert(version.value >= 1);
+  if (dedupe_) {
+    const std::string seen = seen_key_for(version, oid);
+    auto& shard = store_->shard_for(seen);
+    if (shard.exists(seen)) return false;  // duplicate suppressed
+    shard.set(seen, "1");
+  }
+  auto pushed = store_->shard_for(key_for(version))
+                    .rpush(key_for(version), encode_oid(oid));
+  (void)pushed;  // list key always holds a list; cannot be WRONGTYPE here
+  if (lo_version_ == 0 || version.value < lo_version_) {
+    lo_version_ = version.value;
+  }
+  if (version.value > hi_version_) hi_version_ = version.value;
+  return true;
+}
+
+std::size_t DirtyTable::list_len(Version v) const {
+  const std::string key = key_for(v);
+  const auto len = store_->shard_for(key).llen(key);
+  return len.ok() ? len.value() : 0;
+}
+
+std::size_t DirtyTable::size() const {
+  std::size_t total = 0;
+  for (std::uint32_t v = lo_version_; v != 0 && v <= hi_version_; ++v) {
+    total += list_len(Version{v});
+  }
+  return total;
+}
+
+std::size_t DirtyTable::size_at(Version v) const { return list_len(v); }
+
+void DirtyTable::restart() {
+  cursor_version_ = lo_version_;
+  cursor_index_ = 0;
+}
+
+std::optional<DirtyEntry> DirtyTable::fetch_next() {
+  if (lo_version_ == 0) return std::nullopt;
+  if (cursor_version_ == 0) cursor_version_ = lo_version_;
+  while (cursor_version_ <= hi_version_) {
+    const Version v{cursor_version_};
+    const std::string key = key_for(v);
+    const auto item = store_->shard_for(key).lindex(
+        key, static_cast<std::int64_t>(cursor_index_));
+    if (item.ok() && item.value().has_value()) {
+      ++cursor_index_;
+      return DirtyEntry{decode_oid(*item.value()), v};
+    }
+    ++cursor_version_;
+    cursor_index_ = 0;
+  }
+  return std::nullopt;
+}
+
+void DirtyTable::remove(const DirtyEntry& entry) {
+  const std::string key = key_for(entry.version);
+  auto& shard = store_->shard_for(key);
+  const auto removed = shard.lrem(key, 1, encode_oid(entry.oid));
+  if (!removed.ok() || removed.value() == 0) return;
+  if (dedupe_) {
+    const std::string seen = seen_key_for(entry.version, entry.oid);
+    store_->shard_for(seen).del(seen);
+  }
+  // Keep the scan cursor pointing at the same logical successor: if we
+  // removed an entry at or before the cursor inside the cursor's version
+  // list, everything after shifted left by one.
+  if (entry.version.value == cursor_version_ && cursor_index_ > 0) {
+    --cursor_index_;
+  }
+  // Tighten the version bounds if this emptied the lowest list.
+  while (lo_version_ != 0 && lo_version_ <= hi_version_ &&
+         list_len(Version{lo_version_}) == 0) {
+    ++lo_version_;
+  }
+  if (lo_version_ > hi_version_) {
+    lo_version_ = hi_version_ = 0;
+  }
+}
+
+void DirtyTable::clear() {
+  for (std::uint32_t v = lo_version_; v != 0 && v <= hi_version_; ++v) {
+    const std::string key = key_for(Version{v});
+    if (dedupe_) {
+      const auto entries = store_->shard_for(key).lrange(key, 0, -1);
+      if (entries.ok()) {
+        for (const std::string& e : entries.value()) {
+          const std::string seen =
+              seen_key_for(Version{v}, decode_oid(e));
+          store_->shard_for(seen).del(seen);
+        }
+      }
+    }
+    store_->shard_for(key).del(key);
+  }
+  lo_version_ = hi_version_ = 0;
+  cursor_version_ = 0;
+  cursor_index_ = 0;
+}
+
+std::vector<ObjectId> DirtyTable::entries_at(Version v) const {
+  std::vector<ObjectId> out;
+  const std::string key = key_for(v);
+  const auto items = store_->shard_for(key).lrange(key, 0, -1);
+  if (!items.ok()) return out;
+  out.reserve(items.value().size());
+  for (const auto& s : items.value()) out.push_back(decode_oid(s));
+  return out;
+}
+
+std::optional<Version> DirtyTable::min_version() const {
+  if (lo_version_ == 0) return std::nullopt;
+  return Version{lo_version_};
+}
+
+std::optional<Version> DirtyTable::max_version() const {
+  if (hi_version_ == 0) return std::nullopt;
+  return Version{hi_version_};
+}
+
+}  // namespace ech

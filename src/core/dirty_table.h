@@ -1,0 +1,108 @@
+// The dirty table (Section III-E.2): tracking offloaded writes.
+//
+// Any object written while the cluster is below full power is "dirty" —
+// some replica may have been offloaded from an inactive server.  The table
+// records (OID, version) pairs, FIFO per version, consumed in version-
+// ascending order.  It lives in the Redis-like distributed key-value store
+// exactly as the paper implements it:
+//   * insert         -> RPUSH dirty:v<version> <oid>
+//   * scan (keep)    -> LRANGE / LINDEX when the current version is not yet
+//                       full power (entries must survive for later resizes)
+//   * retire         -> LPOP once re-integrated into a full-power version
+//
+// One list per version spreads the table across KV shards, which is how the
+// paper balances "the storage usage and the lookup load".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kvstore/sharded_store.h"
+
+namespace ech {
+
+struct DirtyEntry {
+  ObjectId oid{};
+  Version version{};
+
+  friend constexpr bool operator==(const DirtyEntry&,
+                                   const DirtyEntry&) = default;
+};
+
+class DirtyTable {
+ public:
+  /// The table does not own the store (it is the cluster's shared KV
+  /// substrate); the store must outlive the table.
+  ///
+  /// `dedupe` extends the paper: suppress duplicate (OID, version) entries
+  /// via a per-entry marker key, bounding the table by the dirty *working
+  /// set* instead of the write count (the paper's Section VI overhead
+  /// concern; `bench/ablation_dirty_table` quantifies the trade).
+  explicit DirtyTable(kv::ShardedStore& store, bool dedupe = false);
+
+  /// Record a dirty write of `oid` in `version`.  Returns false when the
+  /// entry was suppressed as a duplicate (dedupe mode only).
+  bool insert(ObjectId oid, Version version);
+
+  /// Total entries across every version list.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Entries recorded under one version.
+  [[nodiscard]] std::size_t size_at(Version v) const;
+
+  // -- cursor scan (the paper's fetch_dirty_entry / restart_dirty_entry) --
+
+  /// Restart the scan from the oldest entry (called when the cluster moves
+  /// to a new version, Algorithm 2 line 2-3).
+  void restart();
+
+  /// Next entry in (version ascending, FIFO) order, or nullopt when the
+  /// scan is exhausted.  Does not remove the entry.
+  [[nodiscard]] std::optional<DirtyEntry> fetch_next();
+
+  /// Retire `entry` (re-integrated into a full-power version).  Keeps the
+  /// cursor consistent when the removed entry precedes it.
+  void remove(const DirtyEntry& entry);
+
+  /// Drop everything (all data re-integrated at full power).
+  void clear();
+
+  /// All OIDs recorded under version `v`, FIFO order (planning/tests).
+  [[nodiscard]] std::vector<ObjectId> entries_at(Version v) const;
+
+  /// Version bounds currently present (nullopt when empty).
+  [[nodiscard]] std::optional<Version> min_version() const;
+  [[nodiscard]] std::optional<Version> max_version() const;
+
+  /// Resident bytes in the KV store — the management overhead the paper
+  /// flags as future work (Section VI).
+  [[nodiscard]] std::size_t memory_usage_bytes() const {
+    return store_->total_memory_bytes();
+  }
+
+  /// Key of the version list (exposed for tests).
+  [[nodiscard]] static std::string key_for(Version v);
+
+  /// Marker key used by dedupe mode (exposed for tests).
+  [[nodiscard]] static std::string seen_key_for(Version v, ObjectId oid);
+
+ private:
+  [[nodiscard]] std::size_t list_len(Version v) const;
+
+  kv::ShardedStore* store_;
+  bool dedupe_{false};
+  // Version range that may hold entries; maintained locally so scans do not
+  // enumerate the whole keyspace.
+  std::uint32_t lo_version_{0};  // 0 = empty
+  std::uint32_t hi_version_{0};
+  // Scan cursor: current version + index into its list.
+  std::uint32_t cursor_version_{0};
+  std::size_t cursor_index_{0};
+};
+
+}  // namespace ech

@@ -1,0 +1,388 @@
+#include "core/elastic_cluster.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "core/reconcile.h"
+
+namespace ech {
+
+ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
+                               std::uint32_t primary_count)
+    : config_(config),
+      chain_(ExpansionChain::identity(config.server_count, primary_count)),
+      store_(config.capacity_by_rank.empty()
+                 ? ObjectStoreCluster(config.server_count,
+                                      config.server_capacity)
+                 : ObjectStoreCluster(config.capacity_by_rank)),
+      kv_(config.kv_shards),
+      dirty_(kv_, config.dirty_dedupe),
+      reintegrator_(dirty_, history_, chain_, ring_, store_,
+                    config.replicas),
+      prefix_target_(config.server_count) {
+  for (std::uint32_t rank = 1; rank <= config.server_count; ++rank) {
+    std::uint32_t w;
+    if (config.layout == LayoutKind::kUniform) {
+      w = std::max(1u, config.vnode_budget / config.server_count);
+    } else if (rank <= primary_count) {
+      // Equal-work: primaries split B evenly, secondary rank i gets B/i.
+      w = std::max(1u, config.vnode_budget / primary_count);
+    } else {
+      w = std::max(1u, config.vnode_budget / rank);
+    }
+    const Status s = ring_.add_server(ServerId{rank}, w);
+    (void)s;  // ids 1..n are unique by construction
+  }
+  history_.append(MembershipTable::full_power(config.server_count));
+}
+
+Expected<std::unique_ptr<ElasticCluster>> ElasticCluster::create(
+    const ElasticClusterConfig& config) {
+  if (config.server_count == 0) {
+    return Status{StatusCode::kInvalidArgument, "server_count must be >= 1"};
+  }
+  if (config.replicas == 0 || config.replicas > config.server_count) {
+    return Status{StatusCode::kInvalidArgument,
+                  "replicas must be in [1, server_count]"};
+  }
+  if (config.vnode_budget == 0) {
+    return Status{StatusCode::kInvalidArgument, "vnode_budget must be >= 1"};
+  }
+  if (config.object_size <= 0) {
+    return Status{StatusCode::kInvalidArgument, "object_size must be > 0"};
+  }
+  if (config.kv_shards == 0) {
+    return Status{StatusCode::kInvalidArgument, "kv_shards must be >= 1"};
+  }
+  if (!config.capacity_by_rank.empty() &&
+      config.capacity_by_rank.size() != config.server_count) {
+    return Status{StatusCode::kInvalidArgument,
+                  "capacity_by_rank must have server_count entries"};
+  }
+  std::uint32_t p = config.primary_count.value_or(
+      EqualWorkLayout::primary_count(config.server_count));
+  if (p == 0 || p > config.server_count) {
+    return Status{StatusCode::kInvalidArgument,
+                  "primary_count must be in [1, server_count]"};
+  }
+  return std::unique_ptr<ElasticCluster>(new ElasticCluster(config, p));
+}
+
+std::string ElasticCluster::name() const {
+  return config_.reintegration == ReintegrationMode::kSelective
+             ? "primary+selective"
+             : "primary+full";
+}
+
+std::uint32_t ElasticCluster::min_active() const {
+  return std::max(chain_.primary_count(), config_.replicas);
+}
+
+std::uint32_t ElasticCluster::active_count() const {
+  return history_.current().active_count();
+}
+
+Status ElasticCluster::write(ObjectId oid, Bytes size) {
+  return write_object(oid, size);
+}
+
+Status ElasticCluster::write_object(ObjectId oid, Bytes size) {
+  const ClusterView view = current_view();
+  const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+  if (!placed.ok()) return placed.status();
+
+  const Version curr = history_.current_version();
+  const bool full_power = history_.current().is_full_power();
+  const ObjectHeader header{curr, /*dirty=*/!full_power};
+  const auto io = store_.put_replicas(oid, placed.value().servers, header,
+                                      size > 0 ? size : config_.object_size);
+  if (!io.ok()) return io.status();
+
+  // Overwrites leave older replicas stale on other servers; they are
+  // reconciled by re-integration (selective) or the sweep (full).
+  if (!full_power) {
+    (void)dirty_.insert(oid, curr);
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
+  const std::vector<ServerId> holders = store_.locate(oid);
+  if (holders.empty()) {
+    return Status{StatusCode::kNotFound,
+                  "object " + std::to_string(oid.value) + " not stored"};
+  }
+  const ClusterView view = current_view();
+  Version newest{0};
+  for (ServerId s : holders) {
+    const auto obj = store_.server(s).get(oid);
+    if (obj.has_value() && view.is_active(s) &&
+        obj->header.version > newest) {
+      newest = obj->header.version;
+    }
+  }
+  std::vector<ServerId> out;
+  for (ServerId s : holders) {
+    const auto obj = store_.server(s).get(oid);
+    if (obj.has_value() && view.is_active(s) &&
+        obj->header.version == newest) {
+      out.push_back(s);
+    }
+  }
+  if (out.empty()) {
+    return Status{StatusCode::kUnavailable,
+                  "no active replica of object " + std::to_string(oid.value)};
+  }
+  return out;
+}
+
+MembershipTable ElasticCluster::build_membership(
+    std::uint32_t active_target) const {
+  MembershipTable table =
+      MembershipTable::prefix_active(config_.server_count, active_target);
+  for (ServerId failed : failed_) {
+    if (const auto rank = chain_.rank_of(failed); rank.has_value()) {
+      table.set_state(*rank, ServerState::kOff);
+    }
+  }
+  return table;
+}
+
+Status ElasticCluster::request_resize(std::uint32_t target) {
+  const std::uint32_t clamped =
+      std::clamp(target, min_active(), config_.server_count);
+  const std::uint32_t current = active_count();
+  const MembershipTable next = build_membership(clamped);
+  if (next == history_.current()) return Status::ok();
+  const std::uint32_t old_prefix = prefix_target_;
+  prefix_target_ = clamped;
+
+  const bool growing = next.active_count() > current;
+  history_.append(next);
+
+  if (growing && config_.reintegration == ReintegrationMode::kFull) {
+    // Sheepdog-style blind rejoin: returning servers are treated as empty,
+    // so whatever they held is discarded and must be re-migrated.
+    for (std::uint32_t rank = old_prefix + 1; rank <= clamped; ++rank) {
+      const ServerId id = chain_.server_at(rank);
+      if (!failed_.contains(id)) store_.server(id).clear();
+    }
+    rebuild_full_plan();
+  }
+  ECH_LOG_INFO("elastic") << name() << " resized " << current << " -> "
+                          << clamped << " (version "
+                          << history_.current_version().value << ")";
+  return Status::ok();
+}
+
+void ElasticCluster::rebuild_full_plan() {
+  full_plan_.clear();
+  full_cursor_ = 0;
+  full_plan_version_ = history_.current_version();
+  // Sweep order: server by server, the way Sheepdog recovery walks its
+  // object directory.  Dedup via sort+unique.
+  for (std::uint32_t rank = 1; rank <= config_.server_count; ++rank) {
+    for (const StoredObject& obj :
+         store_.server(chain_.server_at(rank)).list()) {
+      full_plan_.push_back(obj.oid);
+    }
+  }
+  std::sort(full_plan_.begin(), full_plan_.end());
+  full_plan_.erase(std::unique(full_plan_.begin(), full_plan_.end()),
+                   full_plan_.end());
+}
+
+Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
+  if (byte_budget <= 0) return 0;
+  if (config_.reintegration == ReintegrationMode::kSelective) {
+    const ReintegrationStats stats = reintegrator_.step(byte_budget);
+    return stats.bytes_migrated;
+  }
+  // kFull: reconcile every object against current placement.  The sweep
+  // work-list is queued by request_resize on grow only — sizing down must
+  // stay clean-up free (the headline elasticity property), so no plan is
+  // rebuilt here.
+  const ClusterView view = current_view();
+  const bool full_power = history_.current().is_full_power();
+  Bytes spent = 0;
+  while (full_cursor_ < full_plan_.size() && spent < byte_budget) {
+    const ObjectId oid = full_plan_[full_cursor_++];
+    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    if (!placed.ok()) continue;
+    const ReconcileResult r = reconcile_object(
+        store_, oid, placed.value().servers, /*dirty_flag=*/!full_power,
+        [&view](ServerId s) { return view.is_active(s); });
+    spent += r.bytes_moved;
+  }
+  if (full_cursor_ >= full_plan_.size() && full_power) {
+    // Sweep complete at full power: nothing is dirty any more.
+    dirty_.clear();
+  }
+  return spent;
+}
+
+Bytes ElasticCluster::pending_maintenance_bytes() const {
+  if (config_.reintegration == ReintegrationMode::kSelective) {
+    const Bytes bytes = reintegrator_.pending_bytes();
+    // At full power, dirty-table entries must still be scanned and retired
+    // even when every replica already sits in place; report one nominal
+    // byte so callers grant the (free) retirement pass a budget.
+    if (bytes == 0 && !dirty_.empty() &&
+        history_.current().is_full_power()) {
+      return 1;
+    }
+    return bytes;
+  }
+  // kFull estimate: bytes that reconciliation would still move for the
+  // un-swept tail of the plan.
+  const ClusterView view = current_view();
+  Bytes pending = 0;
+  for (std::size_t i = full_cursor_; i < full_plan_.size(); ++i) {
+    const ObjectId oid = full_plan_[i];
+    const std::vector<ServerId> holders = store_.locate(oid);
+    if (holders.empty()) continue;
+    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    if (!placed.ok()) continue;
+    Version newest{0};
+    Bytes size = kDefaultObjectSize;
+    for (ServerId s : holders) {
+      const auto obj = store_.server(s).get(oid);
+      if (obj.has_value() && obj->header.version > newest) {
+        newest = obj->header.version;
+        size = obj->size;
+      }
+    }
+    for (ServerId t : placed.value().servers) {
+      const auto obj = store_.server(t).get(oid);
+      const bool fresh = obj.has_value() && obj->header.version == newest;
+      if (!fresh) pending += size;
+    }
+  }
+  return pending;
+}
+
+Expected<Placement> ElasticCluster::placement_of(ObjectId oid) const {
+  return PrimaryPlacement::place(oid, current_view(), config_.replicas);
+}
+
+Status ElasticCluster::import_version(const MembershipTable& table) {
+  if (table.size() != config_.server_count) {
+    return {StatusCode::kInvalidArgument,
+            "membership size does not match the cluster"};
+  }
+  // Must be a prefix of the expansion chain: active ranks 1..k, rest off.
+  const std::uint32_t k = table.active_count();
+  for (Rank rank = 1; rank <= config_.server_count; ++rank) {
+    if (table.is_active(rank) != (rank <= k)) {
+      return {StatusCode::kInvalidArgument,
+              "membership is not an expansion-chain prefix"};
+    }
+  }
+  history_.append(table);
+  prefix_target_ = k;
+  return Status::ok();
+}
+
+Status ElasticCluster::fail_server(ServerId id) {
+  const auto rank = chain_.rank_of(id);
+  if (!rank.has_value()) {
+    return {StatusCode::kNotFound,
+            "server " + std::to_string(id.value) + " not in cluster"};
+  }
+  if (failed_.contains(id)) {
+    return {StatusCode::kFailedPrecondition,
+            "server " + std::to_string(id.value) + " already failed"};
+  }
+  // Everything the victim held is lost and must be re-replicated from
+  // surviving copies; queue those objects for repair *before* wiping.
+  for (const StoredObject& obj : store_.server(id).list()) {
+    repair_queue_.push_back(obj.oid);
+  }
+  store_.server(id).clear();
+  failed_.insert(id);
+  history_.append(build_membership(prefix_target_));
+  ECH_LOG_WARN("elastic") << "server " << id.value << " failed; "
+                          << repair_queue_.size() - repair_cursor_
+                          << " objects queued for repair (version "
+                          << history_.current_version().value << ")";
+  return Status::ok();
+}
+
+Status ElasticCluster::recover_server(ServerId id) {
+  if (!failed_.contains(id)) {
+    return {StatusCode::kFailedPrecondition,
+            "server " + std::to_string(id.value) + " is not failed"};
+  }
+  failed_.erase(id);
+  history_.append(build_membership(prefix_target_));
+  // Sheepdog-style recovery on rejoin: sweep every object so replicas
+  // displaced by the failure migrate back to their equal-work home.  The
+  // sweep is idempotent — objects already in place cost nothing.
+  for (std::uint32_t rank = 1; rank <= config_.server_count; ++rank) {
+    for (const StoredObject& obj :
+         store_.server(chain_.server_at(rank)).list()) {
+      repair_queue_.push_back(obj.oid);
+    }
+  }
+  ECH_LOG_INFO("elastic") << "server " << id.value << " recovered (version "
+                          << history_.current_version().value << ")";
+  return Status::ok();
+}
+
+Bytes ElasticCluster::repair_step(Bytes byte_budget) {
+  if (byte_budget <= 0) return 0;
+  const ClusterView view = current_view();
+  const bool full_power = history_.current().is_full_power();
+  Bytes spent = 0;
+  while (repair_cursor_ < repair_queue_.size() && spent < byte_budget) {
+    const ObjectId oid = repair_queue_[repair_cursor_++];
+    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    if (!placed.ok()) continue;  // e.g. object deleted, or too few actives
+    const auto obj_dirty = [&]() {
+      // Keep the stored dirty state: repair is orthogonal to elasticity
+      // tracking (an object stays dirty until re-integrated at full power).
+      for (ServerId s : store_.locate(oid)) {
+        const auto obj = store_.server(s).get(oid);
+        if (obj.has_value()) return obj->header.dirty && !full_power;
+      }
+      return !full_power;
+    }();
+    const ReconcileResult r = reconcile_object(
+        store_, oid, placed.value().servers, obj_dirty,
+        [&view](ServerId s) { return view.is_active(s); });
+    spent += r.bytes_moved;
+  }
+  if (repair_cursor_ >= repair_queue_.size()) {
+    repair_queue_.clear();
+    repair_cursor_ = 0;
+  }
+  return spent;
+}
+
+Bytes ElasticCluster::pending_repair_bytes() const {
+  const ClusterView view = current_view();
+  Bytes pending = 0;
+  for (std::size_t i = repair_cursor_; i < repair_queue_.size(); ++i) {
+    const ObjectId oid = repair_queue_[i];
+    const std::vector<ServerId> holders = store_.locate(oid);
+    if (holders.empty()) continue;
+    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    if (!placed.ok()) continue;
+    Version newest{0};
+    Bytes size = kDefaultObjectSize;
+    for (ServerId s : holders) {
+      const auto obj = store_.server(s).get(oid);
+      if (obj.has_value() && obj->header.version > newest) {
+        newest = obj->header.version;
+        size = obj->size;
+      }
+    }
+    for (ServerId t : placed.value().servers) {
+      const auto obj = store_.server(t).get(oid);
+      if (!obj.has_value() || obj->header.version != newest) pending += size;
+    }
+  }
+  return pending;
+}
+
+}  // namespace ech

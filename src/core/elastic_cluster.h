@@ -1,0 +1,189 @@
+// ElasticCluster: the paper's system, assembled.
+//
+// Primary-server placement (Algorithm 1) over an equal-work weighted ring,
+// membership versioning, write-availability offloading with dirty tracking,
+// and pluggable re-integration:
+//   * kSelective — Algorithm 2 via the dirty table ("primary+selective"),
+//   * kFull      — Sheepdog-style blind sweep: re-joined servers are treated
+//                  as empty and every object is reconciled against current
+//                  placement ("primary+full").
+//
+// Resizing is *instant* in both modes (the headline property): powering off
+// secondaries needs no clean-up because every object keeps a replica on an
+// always-on primary, and powering on needs no completed migration before
+// the servers serve fresh writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster_view.h"
+#include "cluster/expansion_chain.h"
+#include "cluster/layout.h"
+#include "cluster/membership.h"
+#include "core/dirty_table.h"
+#include "core/placement.h"
+#include "core/reintegrator.h"
+#include "core/storage_system.h"
+#include "hashring/hash_ring.h"
+#include "kvstore/sharded_store.h"
+#include "store/object_store.h"
+
+namespace ech {
+
+enum class ReintegrationMode : std::uint8_t { kSelective, kFull };
+
+/// Ring-weight layout (Section III-C): the equal-work layout is the
+/// paper's choice; uniform weights keep primary placement but spread data
+/// evenly, sacrificing read-performance proportionality at small active
+/// sets (bench/ablation_performance_proportionality quantifies this).
+enum class LayoutKind : std::uint8_t { kEqualWork, kUniform };
+
+struct ElasticClusterConfig {
+  std::uint32_t server_count{10};
+  std::uint32_t replicas{2};
+  /// The paper's B — virtual-node budget for the equal-work weights.
+  std::uint32_t vnode_budget{10'000};
+  LayoutKind layout{LayoutKind::kEqualWork};
+  /// Override p; defaults to the equal-work ceil(n / e^2).
+  std::optional<std::uint32_t> primary_count{};
+  ReintegrationMode reintegration{ReintegrationMode::kSelective};
+  Bytes object_size{kDefaultObjectSize};
+  /// Per-server capacity (0 = unlimited).
+  Bytes server_capacity{0};
+  /// Heterogeneous per-rank capacities (Section III-D's tiered drive
+  /// menu; e.g. a CapacityPlanner plan).  When non-empty it must have
+  /// server_count entries and overrides server_capacity.
+  std::vector<Bytes> capacity_by_rank{};
+  /// Shards of the distributed KV store backing the dirty table.
+  std::size_t kv_shards{8};
+  /// Suppress duplicate dirty entries (extension; see DirtyTable).
+  bool dirty_dedupe{false};
+};
+
+class ElasticCluster final : public StorageSystem {
+ public:
+  /// Validates the configuration (replicas <= server_count etc.).
+  static Expected<std::unique_ptr<ElasticCluster>> create(
+      const ElasticClusterConfig& config);
+
+  // -- StorageSystem ------------------------------------------------------
+  Status write(ObjectId oid, Bytes size) override;
+  [[nodiscard]] Expected<std::vector<ServerId>> read(
+      ObjectId oid) const override;
+  std::uint64_t remove_object(ObjectId oid) override {
+    return store_.erase_object(oid);
+  }
+  Status request_resize(std::uint32_t target) override;
+  [[nodiscard]] std::uint32_t active_count() const override;
+  [[nodiscard]] std::uint32_t server_count() const override {
+    return config_.server_count;
+  }
+  [[nodiscard]] std::uint32_t min_active() const override;
+  Bytes maintenance_step(Bytes byte_budget) override;
+  [[nodiscard]] Bytes pending_maintenance_bytes() const override;
+  [[nodiscard]] const ObjectStoreCluster& object_store() const override {
+    return store_;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  // -- failure handling ------------------------------------------------------
+  // Elasticity powers servers off *intact*; failures destroy data.  These
+  // model the fail-over role consistent hashing plays in Sheepdog/Ceph:
+  // a failed server's replicas are gone and must be re-replicated from
+  // survivors; a repaired server rejoins empty and the repair sweep moves
+  // data back to its equal-work home.
+
+  /// Unplanned failure: the server's replicas are lost, it leaves the
+  /// membership (new version), and every object it held is queued for
+  /// repair.  Fails with kNotFound for unknown ids and kFailedPrecondition
+  /// if the server already failed.
+  Status fail_server(ServerId id);
+
+  /// A repaired server rejoins (empty).  It becomes active again only if
+  /// its rank falls within the current resize target.  Queues a
+  /// reconciliation sweep so displaced replicas migrate back.
+  Status recover_server(ServerId id);
+
+  /// Pump the repair queue with a byte budget; returns bytes moved.
+  /// Repair re-replicates lost data and must typically be prioritised over
+  /// elasticity re-integration by the caller.
+  Bytes repair_step(Bytes byte_budget);
+
+  [[nodiscard]] Bytes pending_repair_bytes() const;
+  [[nodiscard]] std::uint32_t failed_count() const {
+    return static_cast<std::uint32_t>(failed_.size());
+  }
+  [[nodiscard]] bool is_failed(ServerId id) const {
+    return failed_.contains(id);
+  }
+
+  // -- ECH-specific API ----------------------------------------------------
+  /// Write with an explicit size override (bulk loaders).
+  Status write_object(ObjectId oid, Bytes size);
+
+  /// Current placement of an object under the live membership.
+  [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const;
+
+  [[nodiscard]] Version current_version() const {
+    return history_.current_version();
+  }
+  [[nodiscard]] const VersionHistory& history() const { return history_; }
+  [[nodiscard]] const ExpansionChain& chain() const { return chain_; }
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] const DirtyTable& dirty_table() const { return dirty_; }
+  [[nodiscard]] DirtyTable& dirty_table() { return dirty_; }
+  [[nodiscard]] ObjectStoreCluster& mutable_object_store() { return store_; }
+  [[nodiscard]] std::uint32_t primary_count() const {
+    return chain_.primary_count();
+  }
+  [[nodiscard]] const ElasticClusterConfig& config() const { return config_; }
+
+  /// View over the current membership (placement snapshot).
+  [[nodiscard]] ClusterView current_view() const {
+    return ClusterView(chain_, ring_, history_.current());
+  }
+
+  /// Snapshot-restore hook: append a historical membership version.  Only
+  /// prefix-shaped tables (the expansion chain's power states) of the
+  /// right size are accepted; the resize target follows the last import.
+  Status import_version(const MembershipTable& table);
+
+ private:
+  explicit ElasticCluster(const ElasticClusterConfig& config,
+                          std::uint32_t primary_count);
+
+  /// Rebuild the kFull sweep work list after a version change.
+  void rebuild_full_plan();
+
+  /// Membership for `active_target` prefix ranks minus failed servers.
+  [[nodiscard]] MembershipTable build_membership(
+      std::uint32_t active_target) const;
+
+  ElasticClusterConfig config_;
+  ExpansionChain chain_;
+  HashRing ring_;
+  VersionHistory history_;
+  ObjectStoreCluster store_;
+  kv::ShardedStore kv_;
+  DirtyTable dirty_;
+  Reintegrator reintegrator_;
+
+  // kFull mode: pending object sweep (oids left to reconcile).
+  std::vector<ObjectId> full_plan_;
+  std::size_t full_cursor_{0};
+  Version full_plan_version_{0};
+
+  // Failure handling: failed servers, the requested prefix size (so a
+  // recovery knows whether the rank should power back on), and the repair
+  // work queue.
+  std::unordered_set<ServerId> failed_;
+  std::uint32_t prefix_target_;
+  std::vector<ObjectId> repair_queue_;
+  std::size_t repair_cursor_{0};
+};
+
+}  // namespace ech

@@ -1,0 +1,94 @@
+#include "core/epoch_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ech {
+namespace {
+
+constexpr const char* kCountKey = "epoch:count";
+
+}  // namespace
+
+std::string EpochStore::key_for(Version v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "epoch:%010u", v.value);
+  return buf;
+}
+
+std::uint32_t EpochStore::stored_epochs() const {
+  const auto count = store_->shard_for(kCountKey).get(kCountKey);
+  if (!count.ok() || !count.value().has_value()) return 0;
+  return static_cast<std::uint32_t>(
+      std::strtoul(count.value()->c_str(), nullptr, 10));
+}
+
+Status EpochStore::append(Version v, const MembershipTable& table) {
+  const std::uint32_t stored = stored_epochs();
+  if (v.value <= stored) {
+    return {StatusCode::kAlreadyExists,
+            "epoch " + std::to_string(v.value) + " already stored"};
+  }
+  if (v.value != stored + 1) {
+    return {StatusCode::kInvalidArgument,
+            "epoch " + std::to_string(v.value) + " is not the successor of " +
+                std::to_string(stored)};
+  }
+  const std::string key = key_for(v);
+  auto& shard = store_->shard_for(key);
+  for (Rank rank = 1; rank <= table.size(); ++rank) {
+    const auto set = shard.hset(key, std::to_string(rank),
+                                table.is_active(rank) ? "on" : "off");
+    if (!set.ok()) return set.status();
+  }
+  store_->shard_for(kCountKey).set(kCountKey, std::to_string(v.value));
+  return Status::ok();
+}
+
+Status EpochStore::save(const VersionHistory& history) {
+  const std::uint32_t stored = stored_epochs();
+  for (std::uint32_t v = stored + 1; v <= history.version_count(); ++v) {
+    if (Status s = append(Version{v}, history.table(Version{v}));
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+Expected<VersionHistory> EpochStore::load(std::uint32_t server_count) const {
+  VersionHistory history;
+  const std::uint32_t stored = stored_epochs();
+  for (std::uint32_t v = 1; v <= stored; ++v) {
+    const std::string key = key_for(Version{v});
+    const auto fields = store_->shard_for(key).hgetall(key);
+    if (!fields.ok()) return fields.status();
+    if (fields.value().size() != server_count) {
+      return Status{StatusCode::kInvalidArgument,
+                    "epoch " + std::to_string(v) + " has " +
+                        std::to_string(fields.value().size()) +
+                        " ranks, expected " + std::to_string(server_count)};
+    }
+    MembershipTable table = MembershipTable::prefix_active(server_count, 0);
+    for (const auto& [field, state] : fields.value()) {
+      const auto rank =
+          static_cast<Rank>(std::strtoul(field.c_str(), nullptr, 10));
+      if (rank < 1 || rank > server_count) {
+        return Status{StatusCode::kInvalidArgument,
+                      "epoch " + std::to_string(v) + " has bad rank field '" +
+                          field + "'"};
+      }
+      if (state != "on" && state != "off") {
+        return Status{StatusCode::kInvalidArgument,
+                      "epoch " + std::to_string(v) + " has bad state '" +
+                          state + "'"};
+      }
+      table.set_state(rank, state == "on" ? ServerState::kOn
+                                          : ServerState::kOff);
+    }
+    history.append(std::move(table));
+  }
+  return history;
+}
+
+}  // namespace ech

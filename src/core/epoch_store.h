@@ -1,0 +1,46 @@
+// Epoch (membership-version) persistence in the distributed KV store.
+//
+// Sheepdog and Ceph keep their epoch/OSD-map logs as replicated cluster
+// metadata; the paper's system depends on the same ability ("with versions
+// of a cluster maintained, it is able to identify where data replicas are
+// written in a historical version", Section III-E.1).  EpochStore writes
+// each membership table as a HASH ("epoch:<v>", field per rank -> on/off)
+// plus a counter key, spreading epochs across the KV shards like the
+// dirty table.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/membership.h"
+#include "common/status.h"
+#include "kvstore/sharded_store.h"
+
+namespace ech {
+
+class EpochStore {
+ public:
+  /// The store must outlive the EpochStore.
+  explicit EpochStore(kv::ShardedStore& store) : store_(&store) {}
+
+  /// Append one epoch (fails with kAlreadyExists when `v` was saved, and
+  /// kInvalidArgument when v is not the successor of the stored count).
+  Status append(Version v, const MembershipTable& table);
+
+  /// Persist a whole history (idempotent for the already-stored prefix).
+  Status save(const VersionHistory& history);
+
+  /// Reconstruct the full history; `server_count` validates table sizes.
+  [[nodiscard]] Expected<VersionHistory> load(
+      std::uint32_t server_count) const;
+
+  /// Number of epochs currently stored.
+  [[nodiscard]] std::uint32_t stored_epochs() const;
+
+  /// KV key of one epoch (exposed for tests).
+  [[nodiscard]] static std::string key_for(Version v);
+
+ private:
+  kv::ShardedStore* store_;
+};
+
+}  // namespace ech

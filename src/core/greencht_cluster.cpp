@@ -1,0 +1,144 @@
+#include "core/greencht_cluster.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ech {
+
+GreenChtCluster::GreenChtCluster(const GreenChtConfig& config)
+    : config_(config),
+      store_(config.server_count, config.server_capacity),
+      active_tiers_(config.tiers),
+      pending_sync_(config.tiers),
+      sync_cursor_(config.tiers, 0) {
+  for (std::uint32_t id = 1; id <= config.server_count; ++id) {
+    (void)ring_.add_server(ServerId{id}, config.vnodes_per_server);
+  }
+}
+
+Expected<std::unique_ptr<GreenChtCluster>> GreenChtCluster::create(
+    const GreenChtConfig& config) {
+  if (config.tiers == 0 || config.server_count == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "need at least one tier and one server"};
+  }
+  if (config.server_count % config.tiers != 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "server_count must be divisible by tiers"};
+  }
+  if (config.vnodes_per_server == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "vnodes_per_server must be >= 1"};
+  }
+  return std::unique_ptr<GreenChtCluster>(new GreenChtCluster(config));
+}
+
+Expected<Placement> GreenChtCluster::place(ObjectId oid) const {
+  Placement out;
+  out.servers.reserve(config_.tiers);
+  RingPosition pos = object_position(oid);
+  for (std::uint32_t tier = 1; tier <= config_.tiers; ++tier) {
+    const auto hit = ring_.next_server_at(
+        pos, [this, tier](ServerId s) { return tier_of(s) == tier; });
+    if (!hit.has_value()) {
+      return Status{StatusCode::kInternal,
+                    "tier " + std::to_string(tier) + " empty"};
+    }
+    out.servers.push_back(hit->server);
+    pos = hit->position + 1;
+  }
+  return out;
+}
+
+Status GreenChtCluster::write(ObjectId oid, Bytes size) {
+  const auto placed = place(oid);
+  if (!placed.ok()) return placed.status();
+  const ObjectHeader header{Version{1}, false};
+  const Bytes obj_size = size > 0 ? size : config_.object_size;
+  for (std::uint32_t tier = 1; tier <= config_.tiers; ++tier) {
+    const ServerId target = placed.value().servers[tier - 1];
+    if (tier <= active_tiers_) {
+      if (Status s = store_.server(target).put(oid, header, obj_size);
+          !s.is_ok()) {
+        return s;
+      }
+    } else {
+      // The tier sleeps: remember to re-sync its replica on wake-up.
+      pending_sync_[tier - 1].push_back(oid);
+    }
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<ServerId>> GreenChtCluster::read(ObjectId oid) const {
+  const std::vector<ServerId> holders = store_.locate(oid);
+  std::vector<ServerId> out;
+  for (ServerId s : holders) {
+    if (tier_of(s) <= active_tiers_) out.push_back(s);
+  }
+  if (out.empty()) {
+    return Status{holders.empty() ? StatusCode::kNotFound
+                                  : StatusCode::kUnavailable,
+                  "no awake replica of object " + std::to_string(oid.value)};
+  }
+  return out;
+}
+
+Status GreenChtCluster::request_resize(std::uint32_t target) {
+  // Tier granularity: round the request UP to whole tiers, at least one.
+  const std::uint32_t tiers_wanted = std::clamp<std::uint32_t>(
+      (target + tier_size() - 1) / tier_size(), 1, config_.tiers);
+  if (tiers_wanted == active_tiers_) return Status::ok();
+  ECH_LOG_INFO("greencht") << "tiers " << active_tiers_ << " -> "
+                           << tiers_wanted;
+  active_tiers_ = tiers_wanted;
+  return Status::ok();
+}
+
+Bytes GreenChtCluster::maintenance_step(Bytes byte_budget) {
+  Bytes spent = 0;
+  for (std::uint32_t tier = 1;
+       tier <= active_tiers_ && spent < byte_budget; ++tier) {
+    auto& queue = pending_sync_[tier - 1];
+    auto& cursor = sync_cursor_[tier - 1];
+    while (cursor < queue.size() && spent < byte_budget) {
+      const ObjectId oid = queue[cursor++];
+      const auto placed = place(oid);
+      if (!placed.ok()) continue;
+      const ServerId target = placed.value().servers[tier - 1];
+      if (store_.server(target).contains(oid)) continue;  // synced already
+      // Copy from any awake holder.
+      const auto holders = store_.locate(oid);
+      for (ServerId src : holders) {
+        if (tier_of(src) <= active_tiers_) {
+          const auto obj = store_.server(src).get(oid);
+          if (obj.has_value() &&
+              store_.server(target).put(oid, obj->header, obj->size)
+                  .is_ok()) {
+            spent += obj->size;
+          }
+          break;
+        }
+      }
+    }
+    if (cursor >= queue.size()) {
+      queue.clear();
+      cursor = 0;
+    }
+  }
+  return spent;
+}
+
+Bytes GreenChtCluster::pending_maintenance_bytes() const {
+  Bytes pending = 0;
+  for (std::uint32_t tier = 1; tier <= active_tiers_; ++tier) {
+    const auto& queue = pending_sync_[tier - 1];
+    for (std::size_t i = sync_cursor_[tier - 1]; i < queue.size(); ++i) {
+      pending += config_.object_size;  // upper bound; dups resolve to 0 cost
+    }
+  }
+  return pending;
+}
+
+}  // namespace ech

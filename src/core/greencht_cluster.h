@@ -1,0 +1,98 @@
+// GreenCHT-style tiered replication baseline (related work [17]: Zhao et
+// al., MSST'15), at the object level.
+//
+// GreenCHT partitions the n servers into r *tiers* of n/r servers and pins
+// replica k of every object to tier k (each tier holds one complete copy).
+// Power management is per-tier: tiers power down from the last to the
+// first, tier 1 never sleeps, so any prefix of tiers serves all data with
+// no clean-up — but the resizing granularity is a whole tier, against
+// ECH's single server (the comparison Section VI of the paper draws).
+//
+// Writes while tiers sleep reach only the awake tiers; the sleeping tiers'
+// replicas are re-synced when they power back up (tracked per tier, like a
+// coarse dirty list).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/storage_system.h"
+#include "hashring/hash_ring.h"
+#include "store/object_store.h"
+
+namespace ech {
+
+struct GreenChtConfig {
+  std::uint32_t server_count{12};
+  /// Number of tiers == replication level (each tier = one full copy).
+  std::uint32_t tiers{2};
+  std::uint32_t vnodes_per_server{1'000};
+  Bytes object_size{kDefaultObjectSize};
+  Bytes server_capacity{0};
+};
+
+class GreenChtCluster final : public StorageSystem {
+ public:
+  /// server_count must be divisible by tiers (equal tier sizes).
+  static Expected<std::unique_ptr<GreenChtCluster>> create(
+      const GreenChtConfig& config);
+
+  // -- StorageSystem ------------------------------------------------------
+  Status write(ObjectId oid, Bytes size) override;
+  [[nodiscard]] Expected<std::vector<ServerId>> read(
+      ObjectId oid) const override;
+  std::uint64_t remove_object(ObjectId oid) override {
+    return store_.erase_object(oid);
+  }
+  Status request_resize(std::uint32_t target) override;
+  [[nodiscard]] std::uint32_t active_count() const override {
+    return active_tiers_ * tier_size();
+  }
+  [[nodiscard]] std::uint32_t server_count() const override {
+    return config_.server_count;
+  }
+  [[nodiscard]] std::uint32_t min_active() const override {
+    return tier_size();
+  }
+  Bytes maintenance_step(Bytes byte_budget) override;
+  [[nodiscard]] Bytes pending_maintenance_bytes() const override;
+  [[nodiscard]] const ObjectStoreCluster& object_store() const override {
+    return store_;
+  }
+  [[nodiscard]] std::string name() const override { return "GreenCHT"; }
+
+  // -- introspection -------------------------------------------------------
+  [[nodiscard]] std::uint32_t tier_count() const { return config_.tiers; }
+  [[nodiscard]] std::uint32_t tier_size() const {
+    return config_.server_count / config_.tiers;
+  }
+  [[nodiscard]] std::uint32_t active_tier_count() const {
+    return active_tiers_;
+  }
+  /// Tier of a server (1-based); servers 1..n/r are tier 1 and so on.
+  [[nodiscard]] std::uint32_t tier_of(ServerId id) const {
+    return (id.value - 1) / tier_size() + 1;
+  }
+  /// Pending re-sync entries for a sleeping/woken tier (1-based index).
+  [[nodiscard]] std::size_t pending_sync_count(std::uint32_t tier) const {
+    return pending_sync_[tier - 1].size();
+  }
+
+ private:
+  explicit GreenChtCluster(const GreenChtConfig& config);
+
+  /// Placement: replica k = next ring server within tier k.
+  [[nodiscard]] Expected<Placement> place(ObjectId oid) const;
+
+  GreenChtConfig config_;
+  HashRing ring_;  // all servers, uniform weights; filtered walks per tier
+  ObjectStoreCluster store_;
+  std::uint32_t active_tiers_;
+  /// Objects written while each tier slept (re-synced on wake).
+  std::vector<std::vector<ObjectId>> pending_sync_;
+  std::vector<std::size_t> sync_cursor_;
+};
+
+}  // namespace ech

@@ -1,0 +1,147 @@
+#include "core/original_ch_cluster.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ech {
+
+OriginalChCluster::OriginalChCluster(const OriginalChConfig& config)
+    : config_(config),
+      store_(config.server_count, config.server_capacity),
+      active_(config.server_count),
+      target_(config.server_count) {
+  for (std::uint32_t id = 1; id <= config.server_count; ++id) {
+    (void)ring_.add_server(ServerId{id}, config.vnodes_per_server);
+  }
+}
+
+Expected<std::unique_ptr<OriginalChCluster>> OriginalChCluster::create(
+    const OriginalChConfig& config) {
+  if (config.server_count == 0) {
+    return Status{StatusCode::kInvalidArgument, "server_count must be >= 1"};
+  }
+  if (config.replicas == 0 || config.replicas > config.server_count) {
+    return Status{StatusCode::kInvalidArgument,
+                  "replicas must be in [1, server_count]"};
+  }
+  if (config.vnodes_per_server == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "vnodes_per_server must be >= 1"};
+  }
+  return std::unique_ptr<OriginalChCluster>(new OriginalChCluster(config));
+}
+
+TargetPlacementFn OriginalChCluster::target_fn() const {
+  return [this](ObjectId oid, Bytes) -> std::vector<ServerId> {
+    const auto placed =
+        OriginalPlacement::place(oid, ring_, config_.replicas);
+    return placed.ok() ? placed.value().servers : std::vector<ServerId>{};
+  };
+}
+
+Status OriginalChCluster::write(ObjectId oid, Bytes size) {
+  const auto placed = OriginalPlacement::place(oid, ring_, config_.replicas);
+  if (!placed.ok()) return placed.status();
+  const ObjectHeader header{Version{epoch_}, false};
+  const auto io = store_.put_replicas(oid, placed.value().servers, header,
+                                      size > 0 ? size : config_.object_size);
+  return io.status();
+}
+
+Expected<std::vector<ServerId>> OriginalChCluster::read(ObjectId oid) const {
+  const std::vector<ServerId> holders = store_.locate(oid);
+  if (holders.empty()) {
+    return Status{StatusCode::kNotFound,
+                  "object " + std::to_string(oid.value) + " not stored"};
+  }
+  Version newest{0};
+  for (ServerId s : holders) {
+    if (!ring_.contains(s)) continue;  // extracted server: unreachable
+    const auto obj = store_.server(s).get(oid);
+    if (obj.has_value() && obj->header.version > newest) {
+      newest = obj->header.version;
+    }
+  }
+  std::vector<ServerId> out;
+  for (ServerId s : holders) {
+    if (!ring_.contains(s)) continue;
+    const auto obj = store_.server(s).get(oid);
+    if (obj.has_value() && obj->header.version == newest) out.push_back(s);
+  }
+  if (out.empty()) {
+    return Status{StatusCode::kUnavailable,
+                  "no reachable replica of object " +
+                      std::to_string(oid.value)};
+  }
+  return out;
+}
+
+Status OriginalChCluster::request_resize(std::uint32_t target) {
+  target_ = std::clamp(target, min_active(), config_.server_count);
+  // Growth is applied immediately (servers join empty and recovery starts);
+  // shrink is paced by maintenance_step, one extraction per drained plan.
+  if (target_ > active_) add_back();
+  return Status::ok();
+}
+
+void OriginalChCluster::extract_one() {
+  const ServerId victim{active_};  // extraction order: highest id first
+  ++epoch_;
+  (void)ring_.remove_server(victim);
+  // Plan re-replication of the victim's (now unreachable) replicas from
+  // surviving copies BEFORE its contents are discarded.
+  plan_ = RecoveryEngine::plan_failover(store_, {victim}, target_fn());
+  cursor_ = 0;
+  store_.server(victim).clear();  // powered off; rejoins empty later
+  --active_;
+  ECH_LOG_INFO("original-ch") << "extracted server " << victim.value << ", "
+                              << plan_.tasks.size()
+                              << " re-replication tasks queued";
+}
+
+void OriginalChCluster::add_back() {
+  ++epoch_;
+  for (std::uint32_t id = active_ + 1; id <= target_; ++id) {
+    (void)ring_.add_server(ServerId{id}, config_.vnodes_per_server);
+  }
+  active_ = target_;
+  // Full rebalance: every object whose placement now includes the empty
+  // newcomers gets migrated/copied onto them.
+  plan_ = RecoveryEngine::plan(store_, target_fn());
+  cursor_ = 0;
+  ECH_LOG_INFO("original-ch") << "re-added up to server " << target_ << ", "
+                              << plan_.tasks.size() << " rebalance tasks";
+}
+
+Bytes OriginalChCluster::maintenance_step(Bytes byte_budget) {
+  Bytes spent = 0;
+  while (spent < byte_budget) {
+    if (recovery_in_progress()) {
+      spent += RecoveryEngine::execute(store_, plan_, &cursor_,
+                                       byte_budget - spent);
+      if (recovery_in_progress()) break;  // budget exhausted mid-plan
+    }
+    // Plan drained: the next extraction may proceed.
+    if (active_ > target_) {
+      extract_one();
+      continue;
+    }
+    break;
+  }
+  return spent;
+}
+
+Bytes OriginalChCluster::pending_maintenance_bytes() const {
+  Bytes pending = 0;
+  for (std::size_t i = cursor_; i < plan_.tasks.size(); ++i) {
+    pending += plan_.tasks[i].size;
+  }
+  // Future extractions queue roughly (bytes on victim) of work each.
+  for (std::uint32_t id = target_ + 1; id <= active_; ++id) {
+    pending += store_.server(ServerId{id}).bytes_stored();
+  }
+  return pending;
+}
+
+}  // namespace ech

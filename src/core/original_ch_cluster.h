@@ -1,0 +1,101 @@
+// OriginalChCluster: plain consistent hashing with Sheepdog-style recovery —
+// the paper's baseline ("original CH").
+//
+// Uniform virtual-node weights, no primaries, no dirty tracking.  Membership
+// changes mutate the ring itself:
+//   * Extracting a server removes it from the ring and *loses* its replicas;
+//     the lost copies are re-replicated from survivors.  Extraction is
+//     therefore serialised — one server at a time, and the next extraction
+//     waits for the previous recovery to drain (Section II-C's observation:
+//     "we had to remove one server at a time and allow Sheepdog to finish
+//     its re-replication").
+//   * Re-adding servers happens immediately, but they join *empty* and the
+//     full rebalance migrates every object mapped onto them — the blind
+//     over-migration Figure 3 measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/placement.h"
+#include "core/storage_system.h"
+#include "hashring/hash_ring.h"
+#include "store/object_store.h"
+#include "store/recovery.h"
+
+namespace ech {
+
+struct OriginalChConfig {
+  std::uint32_t server_count{10};
+  std::uint32_t replicas{2};
+  /// Virtual nodes per server (uniform layout).
+  std::uint32_t vnodes_per_server{1'000};
+  Bytes object_size{kDefaultObjectSize};
+  Bytes server_capacity{0};
+};
+
+class OriginalChCluster final : public StorageSystem {
+ public:
+  static Expected<std::unique_ptr<OriginalChCluster>> create(
+      const OriginalChConfig& config);
+
+  // -- StorageSystem ------------------------------------------------------
+  Status write(ObjectId oid, Bytes size) override;
+  [[nodiscard]] Expected<std::vector<ServerId>> read(
+      ObjectId oid) const override;
+  std::uint64_t remove_object(ObjectId oid) override {
+    return store_.erase_object(oid);
+  }
+  Status request_resize(std::uint32_t target) override;
+  [[nodiscard]] std::uint32_t active_count() const override {
+    return active_;
+  }
+  [[nodiscard]] std::uint32_t server_count() const override {
+    return config_.server_count;
+  }
+  [[nodiscard]] std::uint32_t min_active() const override {
+    return config_.replicas;
+  }
+  Bytes maintenance_step(Bytes byte_budget) override;
+  [[nodiscard]] Bytes pending_maintenance_bytes() const override;
+  [[nodiscard]] const ObjectStoreCluster& object_store() const override {
+    return store_;
+  }
+  [[nodiscard]] std::string name() const override { return "original CH"; }
+
+  // -- introspection -------------------------------------------------------
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] std::uint32_t target() const { return target_; }
+  [[nodiscard]] bool recovery_in_progress() const {
+    return cursor_ < plan_.tasks.size();
+  }
+  [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const {
+    return OriginalPlacement::place(oid, ring_, config_.replicas);
+  }
+
+ private:
+  explicit OriginalChCluster(const OriginalChConfig& config);
+
+  /// Placement callback against the current ring.
+  [[nodiscard]] TargetPlacementFn target_fn() const;
+
+  /// Extract the highest-id active server: leave ring, lose replicas,
+  /// queue the re-replication plan.
+  void extract_one();
+
+  /// Re-add every server up to `target_`: join empty, queue rebalance.
+  void add_back();
+
+  OriginalChConfig config_;
+  HashRing ring_;
+  ObjectStoreCluster store_;
+  std::uint32_t active_{0};
+  std::uint32_t target_{0};
+  std::uint32_t epoch_{1};  // bumps per membership change; stamps headers
+
+  RecoveryEngine::Plan plan_;
+  std::size_t cursor_{0};
+};
+
+}  // namespace ech

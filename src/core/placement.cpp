@@ -1,0 +1,112 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+namespace ech {
+
+Expected<Placement> OriginalPlacement::place(ObjectId oid,
+                                             const HashRing& ring,
+                                             std::uint32_t replicas) {
+  if (replicas == 0) {
+    return Status{StatusCode::kInvalidArgument, "replicas must be >= 1"};
+  }
+  if (ring.server_count() < replicas) {
+    return Status{StatusCode::kUnavailable,
+                  "ring has fewer servers than the replication level"};
+  }
+  Placement out;
+  out.servers = ring.successors(object_position(oid), replicas);
+  if (out.servers.size() < replicas) {
+    return Status{StatusCode::kInternal, "ring walk found too few servers"};
+  }
+  return out;
+}
+
+Expected<Placement> PrimaryPlacement::place(ObjectId oid,
+                                            const ClusterView& view,
+                                            std::uint32_t replicas) {
+  if (replicas == 0) {
+    return Status{StatusCode::kInvalidArgument, "replicas must be >= 1"};
+  }
+  if (view.active_count() < replicas) {
+    return Status{StatusCode::kUnavailable,
+                  "fewer active servers than the replication level"};
+  }
+  const HashRing& ring = view.ring();
+
+  // Special case (Section III-B): with fewer than r-1 active secondaries,
+  // primaries temporarily stand in as secondaries.  The placement then only
+  // guarantees *at least* one replica on a primary.
+  const bool relax = view.active_secondary_count() + 1 < replicas;
+
+  Placement out;
+  out.servers.reserve(replicas);
+  out.primaries_as_secondaries = relax;
+
+  const auto chosen = [&out](ServerId s) { return out.contains(s); };
+  const auto any_active = [&](ServerId s) {
+    return view.is_active(s) && !chosen(s);
+  };
+  const auto secondary_slot = [&](ServerId s) {
+    if (!view.is_active(s) || chosen(s)) return false;
+    return relax || !view.is_primary(s);
+  };
+  const auto primary_slot = [&](ServerId s) {
+    return view.is_active(s) && !chosen(s) && view.is_primary(s);
+  };
+  const auto has_primary = [&] {
+    return std::any_of(out.servers.begin(), out.servers.end(),
+                       [&](ServerId s) { return view.is_primary(s); });
+  };
+
+  if (replicas == 1) {
+    // A single copy must live on a primary, or it would vanish at minimum
+    // power.  Degenerate form of Algorithm 1's last-replica rule.
+    const auto s = ring.next_server(object_position(oid), primary_slot);
+    if (!s.has_value()) {
+      return Status{StatusCode::kUnavailable, "no active primary"};
+    }
+    out.servers.push_back(*s);
+    return out;
+  }
+
+  // Replica 1: next active server clockwise from hash(oid).  Later walks
+  // continue clockwise from the virtual node the previous replica used.
+  RingPosition walk_pos = object_position(oid);
+  {
+    const auto hit = ring.next_server_at(walk_pos, any_active);
+    if (!hit.has_value()) {
+      return Status{StatusCode::kUnavailable, "no active server on ring"};
+    }
+    out.servers.push_back(hit->server);
+    walk_pos = hit->position + 1;
+  }
+
+  // Replicas 2..r.
+  for (std::uint32_t i = 2; i <= replicas; ++i) {
+    std::optional<HashRing::WalkHit> hit;
+    const bool last = (i == replicas);
+    if (has_primary()) {
+      hit = ring.next_server_at(walk_pos, secondary_slot);
+      if (!hit.has_value() && !relax) {
+        // No distinct active secondary remains; fall back to the relaxed
+        // rule rather than failing a write the cluster could serve.
+        hit = ring.next_server_at(walk_pos, any_active);
+        out.primaries_as_secondaries = true;
+      }
+    } else if (last) {
+      hit = ring.next_server_at(walk_pos, primary_slot);
+    } else {
+      hit = ring.next_server_at(walk_pos, any_active);
+    }
+    if (!hit.has_value()) {
+      return Status{StatusCode::kUnavailable,
+                    "could not satisfy replica " + std::to_string(i)};
+    }
+    out.servers.push_back(hit->server);
+    walk_pos = hit->position + 1;
+  }
+  return out;
+}
+
+}  // namespace ech

@@ -1,0 +1,106 @@
+#include "core/reconcile.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ech {
+
+ReconcileResult reconcile_object(
+    ObjectStoreCluster& store, ObjectId oid,
+    const std::vector<ServerId>& target, bool dirty_flag,
+    const std::function<bool(ServerId)>& is_active) {
+  ReconcileResult out;
+  const std::vector<ServerId> holders = store.locate(oid);
+  if (holders.empty()) {
+    out.unavailable = true;
+    return out;
+  }
+
+  // Newest write version among all holders = authoritative content.
+  Version newest{0};
+  Bytes size = kDefaultObjectSize;
+  for (ServerId s : holders) {
+    const auto obj = store.server(s).get(oid);
+    if (obj.has_value() && obj->header.version > newest) {
+      newest = obj->header.version;
+      size = obj->size;
+    }
+  }
+
+  std::vector<ServerId> fresh_active;   // usable sources
+  std::vector<ServerId> stale_active;   // to overwrite or delete
+  for (ServerId s : holders) {
+    if (!is_active(s)) continue;  // powered off: leave untouched
+    const auto obj = store.server(s).get(oid);
+    if (obj.has_value() && obj->header.version == newest) {
+      fresh_active.push_back(s);
+    } else {
+      stale_active.push_back(s);
+    }
+  }
+  if (fresh_active.empty()) {
+    out.unavailable = true;
+    return out;
+  }
+
+  const ObjectHeader new_header{newest, dirty_flag};
+  const std::unordered_set<ServerId> target_set(target.begin(), target.end());
+  const std::unordered_set<ServerId> fresh_set(fresh_active.begin(),
+                                               fresh_active.end());
+
+  std::vector<ServerId> missing;  // targets without a fresh replica
+  for (ServerId t : target) {
+    if (!fresh_set.contains(t)) missing.push_back(t);
+  }
+  std::vector<ServerId> surplus;  // fresh replicas parked off-target
+  for (ServerId s : fresh_active) {
+    if (!target_set.contains(s)) surplus.push_back(s);
+  }
+  std::sort(missing.begin(), missing.end());
+  std::sort(surplus.begin(), surplus.end());
+
+  // Fill targets: moves first (offloaded replica returns home), then copies.
+  std::size_t next_surplus = 0;
+  for (ServerId dst : missing) {
+    if (next_surplus < surplus.size()) {
+      const ServerId src = surplus[next_surplus++];
+      // put-then-erase so a failed put (capacity) leaves the source intact.
+      if (store.server(dst).put(oid, new_header, size).is_ok()) {
+        store.server(src).erase(oid);
+        out.bytes_moved += size;
+        out.changed = true;
+      }
+    } else {
+      if (store.server(dst).put(oid, new_header, size).is_ok()) {
+        out.bytes_moved += size;
+        out.changed = true;
+      }
+    }
+  }
+  // Surplus fresh replicas that were not consumed by moves are dropped.
+  for (; next_surplus < surplus.size(); ++next_surplus) {
+    store.server(surplus[next_surplus]).erase(oid);
+    out.changed = true;
+  }
+  // Stale active replicas off-target are dropped; on-target ones were
+  // overwritten by the puts above (put replaces header + size).
+  for (ServerId s : stale_active) {
+    if (!target_set.contains(s)) {
+      store.server(s).erase(oid);
+      out.changed = true;
+    }
+  }
+  // Refresh headers of fresh replicas already sitting on target.
+  for (ServerId s : fresh_active) {
+    if (target_set.contains(s)) {
+      const auto obj = store.server(s).get(oid);
+      if (obj.has_value() && obj->header != new_header) {
+        (void)store.server(s).set_header(oid, new_header);
+        out.changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ech

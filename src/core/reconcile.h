@@ -1,0 +1,41 @@
+// Replica reconciliation: drive one object's replica set to a target
+// placement, touching only active servers.
+//
+// Shared by the selective re-integrator (per dirty entry) and the
+// full-re-integration sweep (every object).  Rules:
+//   * The authoritative content is the newest stored header version among
+//     the object's holders; replicas with older versions are stale.
+//   * Targets lacking a fresh replica are filled by *moving* a fresh surplus
+//     replica when one exists (offloaded copy returning home) or *copying*
+//     from any fresh holder otherwise; both cost the object's size in
+//     migration bytes.
+//   * Stale or surplus replicas on active servers outside the target set
+//     are deleted (no transfer cost).  Inactive servers are never touched —
+//     powered-off disks keep whatever they held.
+//   * Headers of fresh in-place replicas are refreshed (dirty flag only;
+//     the version field always records the last *write*, so re-integration
+//     never advances it).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "store/object_store.h"
+
+namespace ech {
+
+struct ReconcileResult {
+  Bytes bytes_moved{0};
+  /// True when any replica was created, moved, deleted or re-flagged.
+  bool changed{false};
+  /// True when no active fresh replica existed (nothing could be done).
+  bool unavailable{false};
+};
+
+ReconcileResult reconcile_object(
+    ObjectStoreCluster& store, ObjectId oid,
+    const std::vector<ServerId>& target, bool dirty_flag,
+    const std::function<bool(ServerId)>& is_active);
+
+}  // namespace ech

@@ -1,0 +1,149 @@
+#include "core/reintegrator.h"
+
+#include <unordered_set>
+
+#include "cluster/cluster_view.h"
+#include "common/log.h"
+#include "core/reconcile.h"
+
+namespace ech {
+
+Reintegrator::Reintegrator(DirtyTable& table, const VersionHistory& history,
+                           const ExpansionChain& chain, const HashRing& ring,
+                           ObjectStoreCluster& cluster, std::uint32_t replicas)
+    : table_(&table),
+      history_(&history),
+      chain_(&chain),
+      ring_(&ring),
+      cluster_(&cluster),
+      replicas_(replicas) {}
+
+ReintegrationStats Reintegrator::step(Bytes byte_budget) {
+  ReintegrationStats stats;
+  if (history_->version_count() == 0) {
+    stats.drained = true;
+    return stats;
+  }
+  const Version curr = history_->current_version();
+  if (curr != last_seen_version_) {
+    // Algorithm 2 lines 2-4: new version -> restart from the oldest entry.
+    table_->restart();
+    last_seen_version_ = curr;
+  }
+  const bool full_power = history_->current().is_full_power();
+  const std::uint32_t curr_servers = history_->num_servers(curr);
+
+  while (stats.bytes_migrated < byte_budget) {
+    const auto entry = table_->fetch_next();
+    if (!entry.has_value()) {
+      stats.drained = true;
+      break;
+    }
+    // Algorithm 2 line 6: only act when the current version has more
+    // active servers than the version the data was written in.
+    if (curr_servers <= history_->num_servers(entry->version)) {
+      ++stats.entries_deferred;
+      continue;
+    }
+    stats.bytes_migrated += reintegrate(*entry, stats);
+    if (full_power) {
+      // Algorithm 2 lines 11-13: at full power the entry is fully
+      // re-integrated and can be retired.
+      table_->remove(*entry);
+      ++stats.entries_retired;
+    }
+  }
+  return stats;
+}
+
+Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
+                                ReintegrationStats& stats) {
+  const std::vector<ServerId> holders = cluster_->locate(entry.oid);
+  if (holders.empty()) {
+    // Object deleted since the entry was written.
+    ++stats.entries_skipped_stale;
+    return 0;
+  }
+  // Stale-entry check (Section III-E.2): a later write re-dirtied the
+  // object and owns a newer entry; this one carries outdated locations.
+  Version newest{0};
+  for (ServerId s : holders) {
+    const auto obj = cluster_->server(s).get(entry.oid);
+    if (obj.has_value() && obj->header.version > newest) {
+      newest = obj->header.version;
+    }
+  }
+  if (newest > entry.version) {
+    ++stats.entries_skipped_stale;
+    return 0;
+  }
+
+  const ClusterView view(*chain_, *ring_, history_->current());
+  const auto placed = PrimaryPlacement::place(entry.oid, view, replicas_);
+  if (!placed.ok()) {
+    ECH_LOG_WARN("reintegrator")
+        << "placement failed for oid " << entry.oid.value << ": "
+        << placed.status().to_string();
+    return 0;
+  }
+  const bool full_power = history_->current().is_full_power();
+  const ReconcileResult r = reconcile_object(
+      *cluster_, entry.oid, placed.value().servers,
+      /*dirty_flag=*/!full_power,
+      [&view](ServerId s) { return view.is_active(s); });
+  if (r.changed) ++stats.objects_reintegrated;
+  return r.bytes_moved;
+}
+
+Bytes Reintegrator::pending_bytes() const {
+  // Planning estimate: walk every (version, oid) entry, dedupe objects, and
+  // sum the bytes that reconciliation under the current version would move.
+  if (history_->version_count() == 0) return 0;
+  const auto lo = table_->min_version();
+  const auto hi = table_->max_version();
+  if (!lo.has_value() || !hi.has_value()) return 0;
+
+  const Version curr = history_->current_version();
+  const std::uint32_t curr_servers = history_->num_servers(curr);
+  const ClusterView view(*chain_, *ring_, history_->current());
+
+  std::unordered_set<ObjectId> seen;
+  Bytes pending = 0;
+  for (std::uint32_t v = lo->value; v <= hi->value; ++v) {
+    const Version ver{v};
+    if (table_->size_at(ver) == 0) continue;
+    const bool actionable = curr_servers > history_->num_servers(ver);
+    for (ObjectId oid : table_->entries_at(ver)) {
+      if (!seen.insert(oid).second) continue;
+      if (!actionable) continue;
+      const std::vector<ServerId> holders = cluster_->locate(oid);
+      if (holders.empty()) continue;
+      const auto placed = PrimaryPlacement::place(oid, view, replicas_);
+      if (!placed.ok()) continue;
+
+      Version newest{0};
+      Bytes size = kDefaultObjectSize;
+      std::unordered_set<ServerId> fresh_active;
+      for (ServerId s : holders) {
+        const auto obj = cluster_->server(s).get(oid);
+        if (obj.has_value() && obj->header.version > newest) {
+          newest = obj->header.version;
+          size = obj->size;
+        }
+      }
+      for (ServerId s : holders) {
+        const auto obj = cluster_->server(s).get(oid);
+        if (obj.has_value() && obj->header.version == newest &&
+            view.is_active(s)) {
+          fresh_active.insert(s);
+        }
+      }
+      for (ServerId t : placed.value().servers) {
+        if (!fresh_active.contains(t)) pending += size;
+      }
+    }
+  }
+  return pending;
+}
+
+}  // namespace ech

@@ -1,0 +1,86 @@
+// Selective data re-integration (Section III-E.3, Algorithm 2).
+//
+// The engine pumps the dirty table in (version asc, FIFO) order and migrates
+// only objects whose replicas were offloaded — the key difference from
+// Sheepdog-style recovery, which blindly rebalances everything.  Rules,
+// straight from Algorithm 2:
+//
+//   * When the cluster moves to a new version, the scan restarts from the
+//     oldest entry (progress is forgotten; later versions may re-dirty data).
+//   * An entry is acted on only when the current version has *more* active
+//     servers than the entry's version.
+//   * from = where replicas actually sit; to = placement under the current
+//     version.  Replicas move, header version bumps to the current version.
+//   * Entries are removed only when the current version is full power; the
+//     object's dirty bit clears at the same time.
+//
+// Stale-entry handling (Section III-E.2): if the object's stored header
+// carries a newer version than the entry, the entry is obsolete (a later
+// write re-dirtied the object and owns a newer entry) and is skipped.
+//
+// Migration is *rate-limited*: each step() call gets a byte budget, which
+// the simulation layer derives from a configurable fraction of cluster
+// bandwidth — the paper's second fix for the re-integration IO storm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/expansion_chain.h"
+#include "cluster/membership.h"
+#include "common/types.h"
+#include "core/dirty_table.h"
+#include "core/placement.h"
+#include "hashring/hash_ring.h"
+#include "store/object_store.h"
+
+namespace ech {
+
+struct ReintegrationStats {
+  Bytes bytes_migrated{0};
+  std::uint64_t objects_reintegrated{0};
+  std::uint64_t entries_retired{0};
+  std::uint64_t entries_skipped_stale{0};
+  std::uint64_t entries_deferred{0};  // current version not larger
+  /// True when the scan reached the end of the dirty table this step.
+  bool drained{false};
+
+  ReintegrationStats& operator+=(const ReintegrationStats& o) {
+    bytes_migrated += o.bytes_migrated;
+    objects_reintegrated += o.objects_reintegrated;
+    entries_retired += o.entries_retired;
+    entries_skipped_stale += o.entries_skipped_stale;
+    entries_deferred += o.entries_deferred;
+    return *this;
+  }
+};
+
+class Reintegrator {
+ public:
+  /// All references are non-owning; the ElasticCluster facade wires them.
+  Reintegrator(DirtyTable& table, const VersionHistory& history,
+               const ExpansionChain& chain, const HashRing& ring,
+               ObjectStoreCluster& cluster, std::uint32_t replicas);
+
+  /// Run Algorithm 2 until `byte_budget` is spent or the table is drained
+  /// for the current version.  Safe to call repeatedly; resumes the scan.
+  ReintegrationStats step(Bytes byte_budget);
+
+  /// Bytes that would move if the scan ran to completion right now
+  /// (planning estimate; does not mutate anything).
+  [[nodiscard]] Bytes pending_bytes() const;
+
+ private:
+  /// Re-integrate one entry.  Returns bytes moved (0 = nothing to do).
+  Bytes reintegrate(const DirtyEntry& entry, ReintegrationStats& stats);
+
+  DirtyTable* table_;
+  const VersionHistory* history_;
+  const ExpansionChain* chain_;
+  const HashRing* ring_;
+  ObjectStoreCluster* cluster_;
+  std::uint32_t replicas_;
+  Version last_seen_version_{0};  // Algorithm 2's Last_Ver
+};
+
+}  // namespace ech

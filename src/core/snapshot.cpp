@@ -1,0 +1,196 @@
+#include "core/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ech {
+namespace {
+
+constexpr const char* kMagic = "ECHSNAP";
+constexpr int kFormatVersion = 1;
+
+Status malformed(const std::string& what, std::size_t line) {
+  return {StatusCode::kInvalidArgument,
+          "snapshot: " + what + " at line " + std::to_string(line)};
+}
+
+}  // namespace
+
+Status save_snapshot(const ElasticCluster& cluster, const std::string& path) {
+  if (cluster.failed_count() > 0) {
+    return {StatusCode::kFailedPrecondition,
+            "cannot snapshot a cluster with failed servers; repair or "
+            "recover them first"};
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return {StatusCode::kInternal, "cannot open " + path + " for writing"};
+  }
+  const ElasticClusterConfig& config = cluster.config();
+  out << kMagic << ' ' << kFormatVersion << '\n';
+  out << "config " << config.server_count << ' ' << config.replicas << ' '
+      << config.vnode_budget << ' ' << cluster.primary_count() << ' '
+      << (config.reintegration == ReintegrationMode::kSelective ? "sel"
+                                                                : "full")
+      << ' ' << config.object_size << ' ' << config.server_capacity << ' '
+      << config.kv_shards << ' ' << (config.dirty_dedupe ? 1 : 0) << ' '
+      << (config.layout == LayoutKind::kUniform ? "uniform" : "equal-work")
+      << '\n';
+
+  // Membership history (version 1 is always full power by construction).
+  const VersionHistory& history = cluster.history();
+  out << "versions " << history.version_count() << '\n';
+  for (std::uint32_t v = 1; v <= history.version_count(); ++v) {
+    out << "v " << history.table(Version{v}).active_count() << '\n';
+  }
+
+  // Object directory: every replica with its header.
+  out << "objects " << cluster.object_store().total_replicas() << '\n';
+  for (std::uint32_t id = 1; id <= cluster.server_count(); ++id) {
+    for (const StoredObject& obj :
+         cluster.object_store().server(ServerId{id}).list()) {
+      out << "o " << id << ' ' << obj.oid.value << ' '
+          << obj.header.version.value << ' ' << (obj.header.dirty ? 1 : 0)
+          << ' ' << obj.size << '\n';
+    }
+  }
+
+  // Dirty table, version-ascending and FIFO within a version.
+  const DirtyTable& dirty = cluster.dirty_table();
+  out << "dirty " << dirty.size() << '\n';
+  if (const auto lo = dirty.min_version()) {
+    for (std::uint32_t v = lo->value; v <= dirty.max_version()->value; ++v) {
+      for (ObjectId oid : dirty.entries_at(Version{v})) {
+        out << "d " << v << ' ' << oid.value << '\n';
+      }
+    }
+  }
+  out << "end\n";
+  return out.good() ? Status::ok()
+                    : Status{StatusCode::kInternal, "write error on " + path};
+}
+
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status{StatusCode::kNotFound, "cannot open " + path};
+  }
+  std::size_t line_no = 0;
+  std::string line;
+  const auto next_line = [&](std::istringstream* ss) {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    ss->clear();
+    ss->str(line);
+    return true;
+  };
+
+  std::istringstream ss;
+  if (!next_line(&ss)) return malformed("missing header", line_no);
+  std::string magic;
+  int format = 0;
+  ss >> magic >> format;
+  if (magic != kMagic || format != kFormatVersion) {
+    return malformed("bad magic or format version", line_no);
+  }
+
+  if (!next_line(&ss)) return malformed("missing config", line_no);
+  std::string tag, mode, layout;
+  ElasticClusterConfig config;
+  std::uint32_t primary_count = 0;
+  int dedupe = 0;
+  ss >> tag >> config.server_count >> config.replicas >>
+      config.vnode_budget >> primary_count >> mode >> config.object_size >>
+      config.server_capacity >> config.kv_shards >> dedupe >> layout;
+  if (tag != "config" || ss.fail()) return malformed("bad config", line_no);
+  config.primary_count = primary_count;
+  config.reintegration = (mode == "sel") ? ReintegrationMode::kSelective
+                                         : ReintegrationMode::kFull;
+  config.dirty_dedupe = dedupe != 0;
+  config.layout = (layout == "uniform") ? LayoutKind::kUniform
+                                        : LayoutKind::kEqualWork;
+
+  auto created = ElasticCluster::create(config);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<ElasticCluster> cluster = std::move(created).value();
+
+  // Membership history.
+  if (!next_line(&ss)) return malformed("missing versions", line_no);
+  std::size_t version_count = 0;
+  ss >> tag >> version_count;
+  if (tag != "versions" || ss.fail() || version_count == 0) {
+    return malformed("bad versions header", line_no);
+  }
+  for (std::size_t v = 1; v <= version_count; ++v) {
+    if (!next_line(&ss)) return malformed("missing version row", line_no);
+    std::uint32_t active = 0;
+    ss >> tag >> active;
+    if (tag != "v" || ss.fail() || active > config.server_count) {
+      return malformed("bad version row", line_no);
+    }
+    if (v == 1) {
+      if (active != config.server_count) {
+        return malformed("version 1 must be full power", line_no);
+      }
+      continue;  // created clusters already start at full power
+    }
+    const Status s = cluster->import_version(
+        MembershipTable::prefix_active(config.server_count, active));
+    if (!s.is_ok()) return s;
+  }
+
+  // Object directory.
+  if (!next_line(&ss)) return malformed("missing objects", line_no);
+  std::size_t replica_count = 0;
+  ss >> tag >> replica_count;
+  if (tag != "objects" || ss.fail()) {
+    return malformed("bad objects header", line_no);
+  }
+  for (std::size_t i = 0; i < replica_count; ++i) {
+    if (!next_line(&ss)) return malformed("missing object row", line_no);
+    std::uint32_t server = 0, version = 0;
+    std::uint64_t oid = 0;
+    int dirty_bit = 0;
+    Bytes size = 0;
+    ss >> tag >> server >> oid >> version >> dirty_bit >> size;
+    if (tag != "o" || ss.fail() || server == 0 ||
+        server > config.server_count) {
+      return malformed("bad object row", line_no);
+    }
+    const Status s = cluster->mutable_object_store()
+                         .server(ServerId{server})
+                         .put(ObjectId{oid},
+                              ObjectHeader{Version{version}, dirty_bit != 0},
+                              size);
+    if (!s.is_ok()) return s;
+  }
+
+  // Dirty table.
+  if (!next_line(&ss)) return malformed("missing dirty", line_no);
+  std::size_t dirty_count = 0;
+  ss >> tag >> dirty_count;
+  if (tag != "dirty" || ss.fail()) {
+    return malformed("bad dirty header", line_no);
+  }
+  for (std::size_t i = 0; i < dirty_count; ++i) {
+    if (!next_line(&ss)) return malformed("missing dirty row", line_no);
+    std::uint32_t version = 0;
+    std::uint64_t oid = 0;
+    ss >> tag >> version >> oid;
+    if (tag != "d" || ss.fail() || version == 0) {
+      return malformed("bad dirty row", line_no);
+    }
+    (void)cluster->dirty_table().insert(ObjectId{oid}, Version{version});
+  }
+
+  if (!next_line(&ss)) return malformed("missing end marker", line_no);
+  std::string end_tag;
+  ss >> end_tag;
+  if (end_tag != "end") return malformed("bad end marker", line_no);
+  return cluster;
+}
+
+}  // namespace ech

@@ -1,0 +1,34 @@
+// Cluster snapshot persistence.
+//
+// Sheepdog persists its epoch log and object directory so a cluster can
+// restart where it left off; this module provides the equivalent for
+// ElasticCluster: a line-based text snapshot of the configuration, the
+// full membership-version history, every stored replica (with its header)
+// and the dirty table.  Restoring yields a cluster that resumes selective
+// re-integration exactly where the saved one stood (Algorithm 2 restarts
+// its scan on the next version change by design, so no cursor state needs
+// saving).
+//
+// Limitations (documented, validated on load): snapshots capture quiesced
+// clusters without outstanding *failures* — failed servers must be
+// repaired or recovered first (elastic power-off state is fully captured).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/elastic_cluster.h"
+
+namespace ech {
+
+/// Serialize `cluster` to `path`.  Fails with kFailedPrecondition when the
+/// cluster has failed servers and kInternal on IO errors.
+Status save_snapshot(const ElasticCluster& cluster, const std::string& path);
+
+/// Rebuild a cluster from a snapshot.  Fails with kNotFound (missing
+/// file), kInvalidArgument (malformed/unsupported snapshot) or whatever
+/// the embedded configuration fails validation with.
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
+    const std::string& path);
+
+}  // namespace ech

@@ -1,0 +1,2 @@
+// Interface-only translation unit; anchors the vtable.
+#include "core/storage_system.h"

@@ -1,0 +1,61 @@
+// Common interface over the storage systems the evaluation compares:
+// ElasticCluster (primary placement + equal-work layout, with selective or
+// full re-integration) and OriginalChCluster (plain consistent hashing with
+// Sheepdog-style recovery).  The simulation layer (sim/cluster_sim.h) drives
+// any implementation through this interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/object_store.h"
+
+namespace ech {
+
+class StorageSystem {
+ public:
+  virtual ~StorageSystem() = default;
+
+  /// Write (create or overwrite) an object.  Placement follows the
+  /// system's policy at the current membership.
+  virtual Status write(ObjectId oid, Bytes size) = 0;
+
+  /// Active servers currently holding the newest content of `oid`
+  /// (read candidates).  kNotFound / kUnavailable on failure.
+  [[nodiscard]] virtual Expected<std::vector<ServerId>> read(
+      ObjectId oid) const = 0;
+
+  /// Remove every replica of an object; returns replicas erased (0 when
+  /// the object was unknown).  Stale bookkeeping (dirty entries, queued
+  /// migrations) for the object becomes a no-op.
+  virtual std::uint64_t remove_object(ObjectId oid) = 0;
+
+  /// Request the active set be resized to `target` servers.  Systems are
+  /// free to satisfy the request asynchronously (original CH must clean up
+  /// before extracting servers); `active_count()` reports actual progress.
+  virtual Status request_resize(std::uint32_t target) = 0;
+
+  [[nodiscard]] virtual std::uint32_t active_count() const = 0;
+  [[nodiscard]] virtual std::uint32_t server_count() const = 0;
+
+  /// Smallest active set this system can serve from (ECH: max(p, r)).
+  [[nodiscard]] virtual std::uint32_t min_active() const = 0;
+
+  /// Pump background maintenance (re-replication, migration,
+  /// re-integration) with a byte budget; returns bytes actually consumed.
+  /// The simulation calls this once per tick with the bandwidth share it
+  /// grants to background IO.
+  virtual Bytes maintenance_step(Bytes byte_budget) = 0;
+
+  /// Estimated bytes of outstanding maintenance work.
+  [[nodiscard]] virtual Bytes pending_maintenance_bytes() const = 0;
+
+  [[nodiscard]] virtual const ObjectStoreCluster& object_store() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ech

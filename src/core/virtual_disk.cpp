@@ -1,0 +1,128 @@
+#include "core/virtual_disk.h"
+
+#include <cassert>
+
+namespace ech {
+
+VirtualDisk::VirtualDisk(StorageSystem& backend, std::uint32_t vdi_id,
+                         std::string name, Bytes size, Bytes object_size)
+    : backend_(&backend),
+      vdi_id_(vdi_id),
+      name_(std::move(name)),
+      size_(size),
+      object_size_(object_size) {
+  assert(size_ > 0 && object_size_ > 0);
+  assert(vdi_id_ < (1u << kVdiIdBits));
+}
+
+ObjectId VirtualDisk::object_id(std::uint64_t index) const {
+  assert(index <= kMaxIndex);
+  return ObjectId{(static_cast<std::uint64_t>(vdi_id_) << kIndexBits) |
+                  index};
+}
+
+Status VirtualDisk::check_range(Bytes offset, Bytes length) const {
+  if (length <= 0 || offset < 0) {
+    return {StatusCode::kInvalidArgument, "offset/length must be positive"};
+  }
+  if (offset + length > size_) {
+    return {StatusCode::kOutOfRange,
+            "io past end of disk '" + name_ + "'"};
+  }
+  return Status::ok();
+}
+
+Expected<VdiIoSummary> VirtualDisk::write(Bytes offset, Bytes length) {
+  if (Status s = check_range(offset, length); !s.is_ok()) return s;
+  VdiIoSummary io;
+  io.bytes_requested = length;
+  const auto first = static_cast<std::uint64_t>(offset / object_size_);
+  const auto last =
+      static_cast<std::uint64_t>((offset + length - 1) / object_size_);
+  for (std::uint64_t index = first; index <= last; ++index) {
+    const Bytes obj_start = static_cast<Bytes>(index) * object_size_;
+    const bool full_cover =
+        offset <= obj_start && offset + length >= obj_start + object_size_;
+    const bool existed = allocated_.contains(index);
+    if (existed && !full_cover) ++io.read_modify_writes;
+    if (!existed) ++io.objects_allocated;
+    if (Status s = backend_->write(object_id(index), object_size_);
+        !s.is_ok()) {
+      return s;
+    }
+    allocated_.insert(index);
+    ++io.objects_touched;
+  }
+  return io;
+}
+
+Expected<VdiIoSummary> VirtualDisk::read(Bytes offset, Bytes length) const {
+  if (Status s = check_range(offset, length); !s.is_ok()) return s;
+  VdiIoSummary io;
+  io.bytes_requested = length;
+  const auto first = static_cast<std::uint64_t>(offset / object_size_);
+  const auto last =
+      static_cast<std::uint64_t>((offset + length - 1) / object_size_);
+  for (std::uint64_t index = first; index <= last; ++index) {
+    if (!allocated_.contains(index)) {
+      ++io.sparse_reads;  // zero-fill, no cluster IO
+      continue;
+    }
+    const auto replicas = backend_->read(object_id(index));
+    if (!replicas.ok()) return replicas.status();
+    ++io.objects_touched;
+  }
+  return io;
+}
+
+std::uint64_t VirtualDisk::purge() {
+  std::uint64_t removed = 0;
+  for (std::uint64_t index : allocated_) {
+    removed += backend_->remove_object(object_id(index)) > 0 ? 1 : 0;
+  }
+  allocated_.clear();
+  return removed;
+}
+
+Expected<VirtualDisk*> VdiManager::create(const std::string& name,
+                                          Bytes size, Bytes object_size) {
+  if (name.empty() || size <= 0 || object_size <= 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "vdi needs a name and positive sizes"};
+  }
+  if (disks_.contains(name)) {
+    return Status{StatusCode::kAlreadyExists, "vdi '" + name + "' exists"};
+  }
+  if (next_vdi_id_ >= (1u << VirtualDisk::kVdiIdBits)) {
+    return Status{StatusCode::kOutOfRange, "vdi id space exhausted"};
+  }
+  auto disk = std::make_unique<VirtualDisk>(*backend_, next_vdi_id_++, name,
+                                            size, object_size);
+  VirtualDisk* raw = disk.get();
+  disks_.emplace(name, std::move(disk));
+  return raw;
+}
+
+VirtualDisk* VdiManager::find(const std::string& name) {
+  const auto it = disks_.find(name);
+  return it == disks_.end() ? nullptr : it->second.get();
+}
+
+Status VdiManager::remove(const std::string& name) {
+  const auto it = disks_.find(name);
+  if (it == disks_.end()) {
+    return {StatusCode::kNotFound, "vdi '" + name + "' not found"};
+  }
+  it->second->purge();
+  disks_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::string> VdiManager::names() const {
+  std::vector<std::string> out;
+  out.reserve(disks_.size());
+  for (const auto& [name, disk] : disks_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ech

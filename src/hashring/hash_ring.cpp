@@ -1,0 +1,155 @@
+#include "hashring/hash_ring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ech {
+namespace {
+
+bool vnode_less(const VirtualNode& a, const VirtualNode& b) {
+  if (a.position != b.position) return a.position < b.position;
+  return a.server < b.server;  // deterministic tie-break on collisions
+}
+
+}  // namespace
+
+Status HashRing::add_server(ServerId server, std::uint32_t weight) {
+  if (weight == 0) {
+    return {StatusCode::kInvalidArgument, "weight must be positive"};
+  }
+  if (weights_.contains(server)) {
+    return {StatusCode::kAlreadyExists,
+            "server " + std::to_string(server.value) + " already on ring"};
+  }
+  insert_vnodes(server, weight);
+  weights_.emplace(server, weight);
+  return Status::ok();
+}
+
+Status HashRing::remove_server(ServerId server) {
+  const auto it = weights_.find(server);
+  if (it == weights_.end()) {
+    return {StatusCode::kNotFound,
+            "server " + std::to_string(server.value) + " not on ring"};
+  }
+  std::erase_if(vnodes_,
+                [server](const VirtualNode& v) { return v.server == server; });
+  weights_.erase(it);
+  return Status::ok();
+}
+
+Status HashRing::set_weight(ServerId server, std::uint32_t weight) {
+  if (weight == 0) {
+    return {StatusCode::kInvalidArgument, "weight must be positive"};
+  }
+  const auto it = weights_.find(server);
+  if (it == weights_.end()) {
+    return {StatusCode::kNotFound,
+            "server " + std::to_string(server.value) + " not on ring"};
+  }
+  if (it->second == weight) return Status::ok();
+  std::erase_if(vnodes_,
+                [server](const VirtualNode& v) { return v.server == server; });
+  insert_vnodes(server, weight);
+  it->second = weight;
+  return Status::ok();
+}
+
+std::uint32_t HashRing::weight_of(ServerId server) const {
+  const auto it = weights_.find(server);
+  return it == weights_.end() ? 0 : it->second;
+}
+
+void HashRing::insert_vnodes(ServerId server, std::uint32_t weight) {
+  vnodes_.reserve(vnodes_.size() + weight);
+  for (std::uint32_t i = 0; i < weight; ++i) {
+    vnodes_.push_back(VirtualNode{vnode_position(server, i), server});
+  }
+  std::sort(vnodes_.begin(), vnodes_.end(), vnode_less);
+}
+
+std::size_t HashRing::successor_index(RingPosition pos) const {
+  const VirtualNode probe{pos, ServerId{0}};
+  auto it = std::lower_bound(
+      vnodes_.begin(), vnodes_.end(), probe,
+      [](const VirtualNode& a, const VirtualNode& b) {
+        return a.position < b.position;
+      });
+  if (it == vnodes_.end()) it = vnodes_.begin();  // wrap around
+  return static_cast<std::size_t>(it - vnodes_.begin());
+}
+
+std::optional<ServerId> HashRing::successor(RingPosition pos) const {
+  if (vnodes_.empty()) return std::nullopt;
+  return vnodes_[successor_index(pos)].server;
+}
+
+std::optional<ServerId> HashRing::next_server(
+    RingPosition pos, const std::function<bool(ServerId)>& accept) const {
+  const auto hit = next_server_at(pos, accept);
+  if (!hit.has_value()) return std::nullopt;
+  return hit->server;
+}
+
+std::optional<HashRing::WalkHit> HashRing::next_server_at(
+    RingPosition pos, const std::function<bool(ServerId)>& accept) const {
+  if (vnodes_.empty()) return std::nullopt;
+  std::unordered_set<ServerId> seen;
+  std::size_t idx = successor_index(pos);
+  for (std::size_t steps = 0; steps < vnodes_.size(); ++steps) {
+    const VirtualNode& v = vnodes_[idx];
+    if (seen.insert(v.server).second) {
+      if (!accept || accept(v.server)) {
+        return WalkHit{v.server, v.position};
+      }
+      if (seen.size() == weights_.size()) break;  // every server rejected
+    }
+    idx = (idx + 1) % vnodes_.size();
+  }
+  return std::nullopt;
+}
+
+std::vector<ServerId> HashRing::successors(
+    RingPosition pos, std::size_t count,
+    const std::function<bool(ServerId)>& accept) const {
+  std::vector<ServerId> out;
+  if (vnodes_.empty() || count == 0) return out;
+  out.reserve(count);
+  std::unordered_set<ServerId> seen;
+  std::size_t idx = successor_index(pos);
+  for (std::size_t steps = 0; steps < vnodes_.size() && out.size() < count;
+       ++steps) {
+    const ServerId s = vnodes_[idx].server;
+    if (seen.insert(s).second && (!accept || accept(s))) {
+      out.push_back(s);
+    }
+    idx = (idx + 1) % vnodes_.size();
+  }
+  return out;
+}
+
+std::unordered_map<ServerId, double> HashRing::ownership() const {
+  std::unordered_map<ServerId, double> out;
+  if (vnodes_.empty()) return out;
+  constexpr double kRingSpan = 18446744073709551616.0;  // 2^64
+  for (std::size_t i = 0; i < vnodes_.size(); ++i) {
+    const std::size_t prev = (i + vnodes_.size() - 1) % vnodes_.size();
+    // Arc length from predecessor to this vnode, wrapping; unsigned
+    // subtraction handles the wrap for i == 0 naturally.
+    const std::uint64_t arc = vnodes_[i].position - vnodes_[prev].position;
+    const double frac = (vnodes_.size() == 1)
+                            ? 1.0
+                            : static_cast<double>(arc) / kRingSpan;
+    out[vnodes_[i].server] += frac;
+  }
+  return out;
+}
+
+std::vector<ServerId> HashRing::servers() const {
+  std::vector<ServerId> out;
+  out.reserve(weights_.size());
+  for (const auto& [id, w] : weights_) out.push_back(id);
+  return out;
+}
+
+}  // namespace ech

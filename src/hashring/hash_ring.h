@@ -1,0 +1,108 @@
+// Weighted consistent-hash ring (Section II-A of the paper).
+//
+// The ring is the 2^64 hash space.  Each physical server contributes
+// `weight` virtual nodes whose positions derive deterministically from
+// (server id, vnode index); a data object hashes to a position and walks
+// clockwise to successive virtual nodes.  Weights are how the equal-work
+// layout (Section III-C) is expressed: primaries get B/p virtual nodes and
+// the secondary with rank i gets B/i.
+//
+// The ring supports *filtered* walks — "next server along the ring that
+// satisfies a predicate, excluding servers already chosen" — which is the
+// primitive the paper's Algorithm 1 (primary-server placement) needs for its
+// skip-primary / skip-secondary / skip-inactive rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ech {
+
+/// One virtual node on the ring.
+struct VirtualNode {
+  RingPosition position{0};
+  ServerId server{};
+
+  friend constexpr bool operator==(const VirtualNode&,
+                                   const VirtualNode&) = default;
+};
+
+class HashRing {
+ public:
+  HashRing() = default;
+
+  /// Add `server` with `weight` virtual nodes.  Weight zero is rejected
+  /// (a server with no virtual nodes is invisible to placement; remove it
+  /// instead).  Fails with kAlreadyExists if the server is on the ring.
+  Status add_server(ServerId server, std::uint32_t weight);
+
+  /// Remove a server and all its virtual nodes.
+  Status remove_server(ServerId server);
+
+  /// Replace a server's weight (removes + re-adds its virtual nodes).
+  Status set_weight(ServerId server, std::uint32_t weight);
+
+  [[nodiscard]] bool contains(ServerId server) const {
+    return weights_.contains(server);
+  }
+  [[nodiscard]] std::uint32_t weight_of(ServerId server) const;
+  [[nodiscard]] std::size_t server_count() const { return weights_.size(); }
+  [[nodiscard]] std::size_t vnode_count() const { return vnodes_.size(); }
+  [[nodiscard]] bool empty() const { return vnodes_.empty(); }
+
+  /// The physical server owning the first virtual node at or after `pos`
+  /// (clockwise successor, wrapping).  nullopt on an empty ring.
+  [[nodiscard]] std::optional<ServerId> successor(RingPosition pos) const;
+
+  /// First server clockwise from `pos` for which `accept` returns true.
+  /// Visits each *physical* server at most once per lap; returns nullopt if
+  /// no server qualifies.
+  [[nodiscard]] std::optional<ServerId> next_server(
+      RingPosition pos, const std::function<bool(ServerId)>& accept) const;
+
+  /// A filtered walk hit: the accepted server plus the ring position of the
+  /// virtual node where it was found, so multi-replica walks can *continue*
+  /// clockwise from there (Algorithm 1 keeps walking the ring).
+  struct WalkHit {
+    ServerId server{};
+    RingPosition position{0};
+  };
+
+  /// Like next_server, but also reports where the walk stopped.
+  [[nodiscard]] std::optional<WalkHit> next_server_at(
+      RingPosition pos, const std::function<bool(ServerId)>& accept) const;
+
+  /// Up to `count` *distinct* physical servers clockwise from `pos` (the
+  /// original consistent-hashing replica rule).  Optionally filtered.
+  [[nodiscard]] std::vector<ServerId> successors(
+      RingPosition pos, std::size_t count,
+      const std::function<bool(ServerId)>& accept = nullptr) const;
+
+  /// Fraction of the ring owned by each server (sums to 1 on a non-empty
+  /// ring).  Ownership of a virtual node is the arc from its predecessor.
+  [[nodiscard]] std::unordered_map<ServerId, double> ownership() const;
+
+  /// Read-only view of the sorted virtual node array (for tests/tools).
+  [[nodiscard]] std::span<const VirtualNode> vnodes() const { return vnodes_; }
+
+  /// All servers currently on the ring (unordered).
+  [[nodiscard]] std::vector<ServerId> servers() const;
+
+ private:
+  void insert_vnodes(ServerId server, std::uint32_t weight);
+  /// Index of the first vnode at or after pos (mod size).
+  [[nodiscard]] std::size_t successor_index(RingPosition pos) const;
+
+  std::vector<VirtualNode> vnodes_;  // sorted by (position, server)
+  std::unordered_map<ServerId, std::uint32_t> weights_;
+};
+
+}  // namespace ech

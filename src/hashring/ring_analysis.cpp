@@ -1,0 +1,64 @@
+#include "hashring/ring_analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace ech {
+
+DisruptionReport measure_disruption(const PlacementFn& before,
+                                    const PlacementFn& after,
+                                    std::uint64_t keys,
+                                    std::uint32_t replicas) {
+  DisruptionReport report;
+  report.keys = keys;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const ObjectId oid{k};
+    const std::vector<ServerId> a = before(oid);
+    const std::vector<ServerId> b = after(oid);
+    const std::unordered_set<ServerId> a_set(a.begin(), a.end());
+    std::uint64_t moves = 0;
+    for (ServerId s : b) {
+      if (!a_set.contains(s)) ++moves;
+    }
+    if (moves > 0 || a.size() != b.size()) ++report.keys_affected;
+    report.replica_moves += moves;
+  }
+  if (keys > 0) {
+    report.affected_fraction =
+        static_cast<double>(report.keys_affected) /
+        static_cast<double>(keys);
+    report.moved_replica_fraction =
+        static_cast<double>(report.replica_moves) /
+        static_cast<double>(keys * replicas);
+  }
+  return report;
+}
+
+BalanceReport measure_balance(const HashRing& ring,
+                              std::uint32_t server_count,
+                              std::uint64_t keys) {
+  BalanceReport report;
+  report.counts.assign(server_count, 0);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const auto s = ring.successor(object_position(ObjectId{k}));
+    if (s.has_value() && s->value >= 1 && s->value <= server_count) {
+      ++report.counts[s->value - 1];
+    }
+  }
+  RunningStats stats;
+  std::vector<double> xs;
+  xs.reserve(report.counts.size());
+  for (std::uint64_t c : report.counts) {
+    stats.add(static_cast<double>(c));
+    xs.push_back(static_cast<double>(c));
+  }
+  report.cv = stats.cv();
+  report.jain = jain_fairness(xs);
+  report.min = static_cast<std::uint64_t>(stats.min());
+  report.max = static_cast<std::uint64_t>(stats.max());
+  return report;
+}
+
+}  // namespace ech

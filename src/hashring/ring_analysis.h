@@ -1,0 +1,50 @@
+// Analysis helpers quantifying the two properties consistent hashing is
+// chosen for (Section II-A): minimal disruption under membership change
+// and statistical balance under weights.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "hashring/hash_ring.h"
+
+namespace ech {
+
+/// Placement oracle: replica set of an object under some configuration.
+using PlacementFn = std::function<std::vector<ServerId>(ObjectId)>;
+
+/// How much placement changed between two configurations over the key
+/// space [0, keys).
+struct DisruptionReport {
+  std::uint64_t keys{0};
+  /// Keys whose replica set changed at all.
+  std::uint64_t keys_affected{0};
+  /// Total replica slots that point somewhere new (migration units).
+  std::uint64_t replica_moves{0};
+  /// keys_affected / keys.
+  double affected_fraction{0.0};
+  /// replica_moves / (keys * r): the fraction of all replicas that move.
+  double moved_replica_fraction{0.0};
+};
+
+[[nodiscard]] DisruptionReport measure_disruption(const PlacementFn& before,
+                                                  const PlacementFn& after,
+                                                  std::uint64_t keys,
+                                                  std::uint32_t replicas);
+
+/// Key-count balance of single-successor lookups over [0, keys).
+struct BalanceReport {
+  std::vector<std::uint64_t> counts;  // per server, indexed by id-1 order
+  double cv{0.0};                     // coefficient of variation
+  double jain{1.0};                   // Jain fairness index
+  std::uint64_t min{0};
+  std::uint64_t max{0};
+};
+
+[[nodiscard]] BalanceReport measure_balance(const HashRing& ring,
+                                            std::uint32_t server_count,
+                                            std::uint64_t keys);
+
+}  // namespace ech

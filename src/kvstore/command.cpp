@@ -1,0 +1,250 @@
+#include "kvstore/command.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace ech::kv {
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool parse_int(const std::string& s, std::int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+Reply wrong_arity(const std::string& cmd) {
+  return Reply::error("wrong number of arguments for '" + cmd + "'");
+}
+
+template <typename T>
+Reply from_status(const Expected<T>& e) {
+  return Reply::error(e.status().to_string());
+}
+
+Reply optional_bulk(const std::optional<std::string>& v) {
+  return v.has_value() ? Reply::bulk(*v) : Reply::nil();
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize_command(const std::string& line) {
+  std::vector<std::string> out;
+  std::string token;
+  bool in_quotes = false;
+  bool have_token = false;
+  for (char c : line) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      have_token = true;  // "" is a valid empty token
+      continue;
+    }
+    if (!in_quotes && std::isspace(static_cast<unsigned char>(c))) {
+      if (have_token) {
+        out.push_back(token);
+        token.clear();
+        have_token = false;
+      }
+      continue;
+    }
+    token.push_back(c);
+    have_token = true;
+  }
+  if (have_token) out.push_back(token);
+  return out;
+}
+
+Reply execute_command(Store& store, const std::vector<std::string>& argv) {
+  if (argv.empty()) return Reply::error("empty command");
+  const std::string cmd = upper(argv[0]);
+  const std::size_t n = argv.size();
+
+  // ---- server / introspection ------------------------------------------
+  if (cmd == "PING") return n == 1 ? Reply::bulk("PONG") : wrong_arity(cmd);
+  if (cmd == "DBSIZE") {
+    if (n != 1) return wrong_arity(cmd);
+    return Reply::integer_reply(static_cast<std::int64_t>(store.key_count()));
+  }
+  if (cmd == "FLUSHALL") {
+    if (n != 1) return wrong_arity(cmd);
+    store.flush_all();
+    return Reply::ok();
+  }
+  if (cmd == "KEYS") {
+    if (n != 1 && !(n == 2 && argv[1] == "*")) return wrong_arity(cmd);
+    auto keys = store.keys();
+    std::sort(keys.begin(), keys.end());
+    return Reply::array_reply(std::move(keys));
+  }
+
+  // ---- strings -----------------------------------------------------------
+  if (cmd == "SET") {
+    if (n != 3) return wrong_arity(cmd);
+    store.set(argv[1], argv[2]);
+    return Reply::ok();
+  }
+  if (cmd == "GET") {
+    if (n != 2) return wrong_arity(cmd);
+    const auto v = store.get(argv[1]);
+    return v.ok() ? optional_bulk(v.value()) : from_status(v);
+  }
+  if (cmd == "DEL") {
+    if (n != 2) return wrong_arity(cmd);
+    return Reply::integer_reply(store.del(argv[1]) ? 1 : 0);
+  }
+  if (cmd == "EXISTS") {
+    if (n != 2) return wrong_arity(cmd);
+    return Reply::integer_reply(store.exists(argv[1]) ? 1 : 0);
+  }
+  if (cmd == "INCR" || cmd == "DECR") {
+    if (n != 2) return wrong_arity(cmd);
+    const auto v =
+        cmd == "INCR" ? store.incr(argv[1]) : store.decr(argv[1]);
+    return v.ok() ? Reply::integer_reply(v.value()) : from_status(v);
+  }
+  if (cmd == "INCRBY") {
+    if (n != 3) return wrong_arity(cmd);
+    std::int64_t delta = 0;
+    if (!parse_int(argv[2], &delta)) {
+      return Reply::error("value is not an integer or out of range");
+    }
+    const auto v = store.incrby(argv[1], delta);
+    return v.ok() ? Reply::integer_reply(v.value()) : from_status(v);
+  }
+
+  // ---- lists ---------------------------------------------------------------
+  if (cmd == "RPUSH" || cmd == "LPUSH") {
+    if (n < 3) return wrong_arity(cmd);
+    Expected<std::size_t> len = std::size_t{0};
+    for (std::size_t i = 2; i < n; ++i) {
+      len = cmd == "RPUSH" ? store.rpush(argv[1], argv[i])
+                           : store.lpush(argv[1], argv[i]);
+      if (!len.ok()) return from_status(len);
+    }
+    return Reply::integer_reply(static_cast<std::int64_t>(len.value()));
+  }
+  if (cmd == "LPOP" || cmd == "RPOP") {
+    if (n != 2) return wrong_arity(cmd);
+    const auto v =
+        cmd == "LPOP" ? store.lpop(argv[1]) : store.rpop(argv[1]);
+    return v.ok() ? optional_bulk(v.value()) : from_status(v);
+  }
+  if (cmd == "LLEN") {
+    if (n != 2) return wrong_arity(cmd);
+    const auto v = store.llen(argv[1]);
+    return v.ok()
+               ? Reply::integer_reply(static_cast<std::int64_t>(v.value()))
+               : from_status(v);
+  }
+  if (cmd == "LRANGE") {
+    if (n != 4) return wrong_arity(cmd);
+    std::int64_t start = 0, stop = 0;
+    if (!parse_int(argv[2], &start) || !parse_int(argv[3], &stop)) {
+      return Reply::error("value is not an integer or out of range");
+    }
+    const auto v = store.lrange(argv[1], start, stop);
+    return v.ok() ? Reply::array_reply(v.value()) : from_status(v);
+  }
+  if (cmd == "LINDEX") {
+    if (n != 3) return wrong_arity(cmd);
+    std::int64_t index = 0;
+    if (!parse_int(argv[2], &index)) {
+      return Reply::error("value is not an integer or out of range");
+    }
+    const auto v = store.lindex(argv[1], index);
+    return v.ok() ? optional_bulk(v.value()) : from_status(v);
+  }
+  if (cmd == "LREM") {
+    if (n != 4) return wrong_arity(cmd);
+    std::int64_t count = 0;
+    if (!parse_int(argv[2], &count)) {
+      return Reply::error("value is not an integer or out of range");
+    }
+    const auto v = store.lrem(argv[1], count, argv[3]);
+    return v.ok()
+               ? Reply::integer_reply(static_cast<std::int64_t>(v.value()))
+               : from_status(v);
+  }
+
+  // ---- hashes ---------------------------------------------------------------
+  if (cmd == "HSET") {
+    if (n != 4) return wrong_arity(cmd);
+    const auto v = store.hset(argv[1], argv[2], argv[3]);
+    return v.ok() ? Reply::integer_reply(v.value() ? 1 : 0) : from_status(v);
+  }
+  if (cmd == "HGET") {
+    if (n != 3) return wrong_arity(cmd);
+    const auto v = store.hget(argv[1], argv[2]);
+    return v.ok() ? optional_bulk(v.value()) : from_status(v);
+  }
+  if (cmd == "HDEL") {
+    if (n != 3) return wrong_arity(cmd);
+    const auto v = store.hdel(argv[1], argv[2]);
+    return v.ok() ? Reply::integer_reply(v.value() ? 1 : 0) : from_status(v);
+  }
+  if (cmd == "HLEN") {
+    if (n != 2) return wrong_arity(cmd);
+    const auto v = store.hlen(argv[1]);
+    return v.ok()
+               ? Reply::integer_reply(static_cast<std::int64_t>(v.value()))
+               : from_status(v);
+  }
+  if (cmd == "HEXISTS") {
+    if (n != 3) return wrong_arity(cmd);
+    const auto v = store.hexists(argv[1], argv[2]);
+    return v.ok() ? Reply::integer_reply(v.value() ? 1 : 0) : from_status(v);
+  }
+  if (cmd == "HGETALL") {
+    if (n != 2) return wrong_arity(cmd);
+    const auto v = store.hgetall(argv[1]);
+    if (!v.ok()) return from_status(v);
+    std::vector<std::string> flat;
+    flat.reserve(v.value().size() * 2);
+    for (const auto& [field, value] : v.value()) {
+      flat.push_back(field);
+      flat.push_back(value);
+    }
+    return Reply::array_reply(std::move(flat));
+  }
+
+  return Reply::error("unknown command '" + argv[0] + "'");
+}
+
+Reply execute_command_line(Store& store, const std::string& line) {
+  const auto argv = tokenize_command(line);
+  if (argv.empty()) return Reply::error("empty command");
+  return execute_command(store, argv);
+}
+
+std::string to_string(const Reply& reply) {
+  switch (reply.kind) {
+    case Reply::Kind::kOk: return "OK";
+    case Reply::Kind::kError: return "(error) " + reply.text;
+    case Reply::Kind::kInteger:
+      return "(integer) " + std::to_string(reply.integer);
+    case Reply::Kind::kBulk: return "\"" + reply.text + "\"";
+    case Reply::Kind::kNil: return "(nil)";
+    case Reply::Kind::kArray: {
+      if (reply.array.empty()) return "(empty array)";
+      std::string out;
+      for (std::size_t i = 0; i < reply.array.size(); ++i) {
+        out += std::to_string(i + 1) + ") \"" + reply.array[i] + "\"";
+        if (i + 1 < reply.array.size()) out += "\n";
+      }
+      return out;
+    }
+  }
+  return "(unknown reply)";
+}
+
+}  // namespace ech::kv

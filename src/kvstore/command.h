@@ -1,0 +1,50 @@
+// Textual command interface to the Store — the shim a Redis client (or the
+// echctl REPL) speaks.  Commands are case-insensitive; replies mirror the
+// RESP reply families (status, error, integer, bulk string, nil, array).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kvstore/store.h"
+
+namespace ech::kv {
+
+struct Reply {
+  enum class Kind { kOk, kError, kInteger, kBulk, kNil, kArray };
+
+  Kind kind{Kind::kNil};
+  std::string text;                  // kError / kBulk payload
+  std::int64_t integer{0};           // kInteger payload
+  std::vector<std::string> array;    // kArray payload
+
+  static Reply ok() { return {Kind::kOk, "", 0, {}}; }
+  static Reply error(std::string message) {
+    return {Kind::kError, std::move(message), 0, {}};
+  }
+  static Reply integer_reply(std::int64_t v) { return {Kind::kInteger, "", v, {}}; }
+  static Reply bulk(std::string s) { return {Kind::kBulk, std::move(s), 0, {}}; }
+  static Reply nil() { return {Kind::kNil, "", 0, {}}; }
+  static Reply array_reply(std::vector<std::string> items) {
+    return {Kind::kArray, "", 0, std::move(items)};
+  }
+};
+
+/// Human-readable rendering (redis-cli style): "OK", "(nil)",
+/// "(integer) 3", "(error) ...", quoted bulk strings, numbered arrays.
+[[nodiscard]] std::string to_string(const Reply& reply);
+
+/// Execute one parsed command.  Unknown commands and arity mismatches come
+/// back as kError replies (never exceptions).
+Reply execute_command(Store& store, const std::vector<std::string>& argv);
+
+/// Tokenise a whitespace-separated line (double quotes group words) and
+/// execute it.
+Reply execute_command_line(Store& store, const std::string& line);
+
+/// Split a command line into tokens (exposed for tests).
+[[nodiscard]] std::vector<std::string> tokenize_command(
+    const std::string& line);
+
+}  // namespace ech::kv

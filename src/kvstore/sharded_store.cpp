@@ -1,0 +1,39 @@
+#include "kvstore/sharded_store.h"
+
+#include <cassert>
+
+namespace ech::kv {
+
+ShardedStore::ShardedStore(std::size_t shard_count) {
+  assert(shard_count >= 1);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Store>());
+  }
+}
+
+Store& ShardedStore::shard_for(const std::string& key) {
+  return *shards_[shard_index(key)];
+}
+
+const Store& ShardedStore::shard_for(const std::string& key) const {
+  return *shards_[shard_index(key)];
+}
+
+std::size_t ShardedStore::total_keys() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->key_count();
+  return total;
+}
+
+std::size_t ShardedStore::total_memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->memory_usage_bytes();
+  return total;
+}
+
+void ShardedStore::flush_all() {
+  for (auto& s : shards_) s->flush_all();
+}
+
+}  // namespace ech::kv

@@ -1,0 +1,47 @@
+// Distributed dirty-table substrate: the paper keeps the dirty table "in a
+// distributed key-value store across the storage servers to balance the
+// storage usage and the lookup load" (Section III-E.2).  ShardedStore models
+// that: N independent Store shards, keys routed by hash.  The LIST the dirty
+// table uses lives on one shard per list key; multiple list keys (one per
+// cluster version, as DirtyTable does) spread across shards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "kvstore/store.h"
+
+namespace ech::kv {
+
+class ShardedStore {
+ public:
+  /// Creates `shard_count` independent shards (>= 1).
+  explicit ShardedStore(std::size_t shard_count);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard that owns `key` (stable: FNV-1a mod N).
+  [[nodiscard]] Store& shard_for(const std::string& key);
+  [[nodiscard]] const Store& shard_for(const std::string& key) const;
+
+  [[nodiscard]] std::size_t shard_index(const std::string& key) const {
+    return fnv1a64(key) % shards_.size();
+  }
+
+  /// Direct shard access for rebalancing tools and tests.
+  [[nodiscard]] Store& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] const Store& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Aggregate statistics across shards.
+  [[nodiscard]] std::size_t total_keys() const;
+  [[nodiscard]] std::size_t total_memory_bytes() const;
+  void flush_all();
+
+ private:
+  std::vector<std::unique_ptr<Store>> shards_;
+};
+
+}  // namespace ech::kv

@@ -1,0 +1,274 @@
+#include "kvstore/store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace ech::kv {
+
+void Store::set(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  data_[key] = std::move(value);
+}
+
+Expected<std::optional<std::string>> Store::get(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::optional<std::string>{};
+  const auto* s = std::get_if<std::string>(&it->second);
+  if (s == nullptr) return wrong_type(key);
+  return std::optional<std::string>{*s};
+}
+
+bool Store::del(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  return data_.erase(key) > 0;
+}
+
+bool Store::exists(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return data_.contains(key);
+}
+
+Expected<std::int64_t> Store::incrby(const std::string& key,
+                                     std::int64_t delta) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = data_.try_emplace(key, std::string("0"));
+  auto* s = std::get_if<std::string>(&it->second);
+  if (s == nullptr) return wrong_type(key);
+  errno = 0;
+  char* end = nullptr;
+  const long long current = std::strtoll(s->c_str(), &end, 10);
+  if (s->empty() || end != s->c_str() + s->size() || errno == ERANGE) {
+    return Status{StatusCode::kInvalidArgument,
+                  "value at '" + key + "' is not an integer"};
+  }
+  const std::int64_t next = static_cast<std::int64_t>(current) + delta;
+  *s = std::to_string(next);
+  return next;
+}
+
+Expected<bool> Store::hset(const std::string& key, const std::string& field,
+                           std::string value) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = data_.try_emplace(key, HashValue{});
+  auto* hash = std::get_if<HashValue>(&it->second);
+  if (hash == nullptr) return wrong_type(key);
+  const auto [fit, field_new] = hash->insert_or_assign(field, std::move(value));
+  (void)fit;
+  return field_new;
+}
+
+Expected<std::optional<std::string>> Store::hget(
+    const std::string& key, const std::string& field) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::optional<std::string>{};
+  const auto* hash = std::get_if<HashValue>(&it->second);
+  if (hash == nullptr) return wrong_type(key);
+  const auto fit = hash->find(field);
+  if (fit == hash->end()) return std::optional<std::string>{};
+  return std::optional<std::string>{fit->second};
+}
+
+Expected<bool> Store::hdel(const std::string& key, const std::string& field) {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  auto* hash = std::get_if<HashValue>(&it->second);
+  if (hash == nullptr) return wrong_type(key);
+  const bool removed = hash->erase(field) > 0;
+  if (hash->empty()) data_.erase(it);  // Redis deletes empty hashes
+  return removed;
+}
+
+Expected<std::size_t> Store::hlen(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::size_t{0};
+  const auto* hash = std::get_if<HashValue>(&it->second);
+  if (hash == nullptr) return wrong_type(key);
+  return hash->size();
+}
+
+Expected<bool> Store::hexists(const std::string& key,
+                              const std::string& field) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  const auto* hash = std::get_if<HashValue>(&it->second);
+  if (hash == nullptr) return wrong_type(key);
+  return hash->contains(field);
+}
+
+Expected<std::vector<std::pair<std::string, std::string>>> Store::hgetall(
+    const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return out;
+  const auto* hash = std::get_if<HashValue>(&it->second);
+  if (hash == nullptr) return wrong_type(key);
+  out.assign(hash->begin(), hash->end());
+  return out;
+}
+
+Expected<std::size_t> Store::rpush(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = data_.try_emplace(key, ListValue{});
+  auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+  list->push_back(std::move(value));
+  return list->size();
+}
+
+Expected<std::size_t> Store::lpush(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = data_.try_emplace(key, ListValue{});
+  auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+  list->push_front(std::move(value));
+  return list->size();
+}
+
+Expected<std::optional<std::string>> Store::lpop(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::optional<std::string>{};
+  auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+  if (list->empty()) return std::optional<std::string>{};
+  std::string out = std::move(list->front());
+  list->pop_front();
+  if (list->empty()) data_.erase(it);  // Redis deletes empty lists
+  return std::optional<std::string>{std::move(out)};
+}
+
+Expected<std::optional<std::string>> Store::rpop(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::optional<std::string>{};
+  auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+  if (list->empty()) return std::optional<std::string>{};
+  std::string out = std::move(list->back());
+  list->pop_back();
+  if (list->empty()) data_.erase(it);
+  return std::optional<std::string>{std::move(out)};
+}
+
+Expected<std::size_t> Store::llen(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::size_t{0};
+  const auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+  return list->size();
+}
+
+Expected<std::vector<std::string>> Store::lrange(const std::string& key,
+                                                 std::int64_t start,
+                                                 std::int64_t stop) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::vector<std::string>{};
+  const auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+
+  const auto n = static_cast<std::int64_t>(list->size());
+  if (start < 0) start = std::max<std::int64_t>(0, n + start);
+  if (stop < 0) stop = n + stop;
+  stop = std::min(stop, n - 1);
+  std::vector<std::string> out;
+  if (start > stop || start >= n) return out;
+  out.reserve(static_cast<std::size_t>(stop - start + 1));
+  for (std::int64_t i = start; i <= stop; ++i) {
+    out.push_back((*list)[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Expected<std::optional<std::string>> Store::lindex(const std::string& key,
+                                                   std::int64_t index) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::optional<std::string>{};
+  const auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+  const auto n = static_cast<std::int64_t>(list->size());
+  if (index < 0) index += n;
+  if (index < 0 || index >= n) return std::optional<std::string>{};
+  return std::optional<std::string>{(*list)[static_cast<std::size_t>(index)]};
+}
+
+Expected<std::size_t> Store::lrem(const std::string& key, std::int64_t count,
+                                  const std::string& value) {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::size_t{0};
+  auto* list = std::get_if<ListValue>(&it->second);
+  if (list == nullptr) return wrong_type(key);
+
+  std::size_t removed = 0;
+  const std::size_t limit =
+      count == 0 ? list->size() : static_cast<std::size_t>(std::abs(count));
+  if (count >= 0) {
+    for (auto li = list->begin(); li != list->end() && removed < limit;) {
+      if (*li == value) {
+        li = list->erase(li);
+        ++removed;
+      } else {
+        ++li;
+      }
+    }
+  } else {
+    for (auto li = list->rbegin(); li != list->rend() && removed < limit;) {
+      if (*li == value) {
+        li = decltype(li){list->erase(std::next(li).base())};
+        ++removed;
+      } else {
+        ++li;
+      }
+    }
+  }
+  if (list->empty()) data_.erase(it);
+  return removed;
+}
+
+std::size_t Store::key_count() const {
+  std::lock_guard lock(mutex_);
+  return data_.size();
+}
+
+std::vector<std::string> Store::keys() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [k, v] : data_) out.push_back(k);
+  return out;
+}
+
+void Store::flush_all() {
+  std::lock_guard lock(mutex_);
+  data_.clear();
+}
+
+std::size_t Store::memory_usage_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [k, v] : data_) {
+    total += k.size();
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      total += s->size();
+    } else if (const auto* list = std::get_if<ListValue>(&v)) {
+      for (const auto& e : *list) total += e.size();
+    } else {
+      for (const auto& [f, val] : std::get<HashValue>(v)) {
+        total += f.size() + val.size();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace ech::kv

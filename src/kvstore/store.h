@@ -1,0 +1,146 @@
+// In-memory Redis-like key-value store (the paper's dirty-table substrate).
+//
+// The paper manages the dirty table as a Redis LIST: entries are appended
+// with RPUSH, scanned with LRANGE when the cluster is not yet at full power,
+// and retired with LPOP once re-integrated into a full-power version
+// (Section IV).  We implement the Redis command subset a storage daemon
+// leans on — STRING (GET/SET/DEL/EXISTS/INCR/DECR), LIST (RPUSH/LPUSH/
+// LPOP/RPOP/LRANGE/LLEN/LREM/LINDEX) and HASH (HSET/HGET/HDEL/HLEN/
+// HGETALL/HEXISTS) — with Redis semantics: type errors are reported,
+// deleting the last element removes the key, LRANGE accepts negative
+// indices, and INCR on a non-integer fails.
+//
+// The store is thread-safe (a real dirty table is shared between the write
+// path and the re-integration engine).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ech::kv {
+
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // ---- STRING commands -------------------------------------------------
+
+  /// SET key value — overwrites any existing value (including lists,
+  /// matching Redis).
+  void set(const std::string& key, std::string value);
+
+  /// GET key — nullopt if absent; WRONGTYPE if the key holds a list.
+  [[nodiscard]] Expected<std::optional<std::string>> get(
+      const std::string& key) const;
+
+  /// DEL key — returns true if the key existed.
+  bool del(const std::string& key);
+
+  [[nodiscard]] bool exists(const std::string& key) const;
+
+  /// INCRBY key delta — creates the key at 0 first; the stored string must
+  /// parse as a 64-bit integer.  Returns the new value.
+  Expected<std::int64_t> incrby(const std::string& key, std::int64_t delta);
+
+  /// INCR key (INCRBY 1).
+  Expected<std::int64_t> incr(const std::string& key) {
+    return incrby(key, 1);
+  }
+
+  /// DECR key (INCRBY -1).
+  Expected<std::int64_t> decr(const std::string& key) {
+    return incrby(key, -1);
+  }
+
+  // ---- HASH commands -----------------------------------------------------
+
+  /// HSET key field value — returns true when the field is new.
+  Expected<bool> hset(const std::string& key, const std::string& field,
+                      std::string value);
+
+  /// HGET key field — nullopt when the key or field is absent.
+  [[nodiscard]] Expected<std::optional<std::string>> hget(
+      const std::string& key, const std::string& field) const;
+
+  /// HDEL key field — returns true when the field existed.  Removing the
+  /// last field deletes the key.
+  Expected<bool> hdel(const std::string& key, const std::string& field);
+
+  /// HLEN key — 0 when absent.
+  [[nodiscard]] Expected<std::size_t> hlen(const std::string& key) const;
+
+  /// HEXISTS key field.
+  [[nodiscard]] Expected<bool> hexists(const std::string& key,
+                                       const std::string& field) const;
+
+  /// HGETALL key — (field, value) pairs in field order; empty when absent.
+  [[nodiscard]] Expected<std::vector<std::pair<std::string, std::string>>>
+  hgetall(const std::string& key) const;
+
+  // ---- LIST commands ----------------------------------------------------
+
+  /// RPUSH key value — appends; creates the list; returns new length.
+  Expected<std::size_t> rpush(const std::string& key, std::string value);
+
+  /// LPUSH key value — prepends; returns new length.
+  Expected<std::size_t> lpush(const std::string& key, std::string value);
+
+  /// LPOP key — pops the head; nullopt when the key is absent.
+  Expected<std::optional<std::string>> lpop(const std::string& key);
+
+  /// RPOP key — pops the tail.
+  Expected<std::optional<std::string>> rpop(const std::string& key);
+
+  /// LLEN key — 0 when absent (Redis semantics).
+  [[nodiscard]] Expected<std::size_t> llen(const std::string& key) const;
+
+  /// LRANGE key start stop — inclusive, negative indices count from the
+  /// tail (-1 = last element); out-of-range is clamped, empty when crossed.
+  [[nodiscard]] Expected<std::vector<std::string>> lrange(
+      const std::string& key, std::int64_t start, std::int64_t stop) const;
+
+  /// LINDEX key i — nullopt when out of range or key absent.
+  [[nodiscard]] Expected<std::optional<std::string>> lindex(
+      const std::string& key, std::int64_t index) const;
+
+  /// LREM key count value — removes up to |count| occurrences (count > 0
+  /// from head, < 0 from tail, 0 = all); returns removed count.
+  Expected<std::size_t> lrem(const std::string& key, std::int64_t count,
+                             const std::string& value);
+
+  // ---- introspection ----------------------------------------------------
+
+  [[nodiscard]] std::size_t key_count() const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+  void flush_all();
+
+  /// Approximate resident bytes (keys + values); used by the dirty-table
+  /// overhead ablation (the paper's future-work concern, §VI last ¶).
+  [[nodiscard]] std::size_t memory_usage_bytes() const;
+
+ private:
+  using ListValue = std::deque<std::string>;
+  using HashValue = std::map<std::string, std::string>;
+  using Value = std::variant<std::string, ListValue, HashValue>;
+
+  static Status wrong_type(const std::string& key) {
+    return {StatusCode::kFailedPrecondition,
+            "WRONGTYPE operation against key '" + key + "'"};
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Value> data_;
+};
+
+}  // namespace ech::kv

@@ -1,0 +1,203 @@
+#include "policy/elasticity_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/layout.h"
+
+namespace ech {
+
+const char* to_string(ResizeScheme s) noexcept {
+  switch (s) {
+    case ResizeScheme::kIdeal: return "ideal";
+    case ResizeScheme::kOriginalCH: return "original CH";
+    case ResizeScheme::kPrimaryFull: return "primary+full";
+    case ResizeScheme::kPrimarySelective: return "primary+selective";
+    case ResizeScheme::kGreenCHT: return "GreenCHT";
+  }
+  return "?";
+}
+
+ElasticitySimulator::ElasticitySimulator(const PolicyConfig& config)
+    : config_(config) {}
+
+double ElasticitySimulator::weight_share(std::uint32_t n,
+                                         std::uint32_t from_rank,
+                                         std::uint32_t to_rank) {
+  if (n == 0 || from_rank >= to_rank) return 0.0;
+  const LayoutParams params{n, 100'000};
+  const std::vector<double> f = EqualWorkLayout::expected_fractions(params);
+  double share = 0.0;
+  for (std::uint32_t rank = from_rank + 1; rank <= std::min(to_rank, n);
+       ++rank) {
+    share += f[rank - 1];
+  }
+  return share;
+}
+
+SchemeResult ElasticitySimulator::simulate(const LoadSeries& load,
+                                           ResizeScheme scheme) const {
+  const std::uint32_t n = config_.server_count;
+  const double dt = load.step_seconds;
+  const double total_data = config_.data_per_server * static_cast<double>(n);
+  const std::uint32_t p = EqualWorkLayout::primary_count(n);
+
+  const std::uint32_t floor = [&] {
+    switch (scheme) {
+      case ResizeScheme::kIdeal: return config_.min_servers;
+      case ResizeScheme::kOriginalCH: return config_.replicas;
+      case ResizeScheme::kPrimaryFull:
+      case ResizeScheme::kPrimarySelective:
+        return std::max(p, config_.replicas);
+      case ResizeScheme::kGreenCHT: return std::max(p, config_.replicas);
+    }
+    return config_.min_servers;
+  }();
+
+  const std::vector<std::uint32_t> ideal =
+      ideal_server_series(load, config_.per_server_bw, config_.min_servers, n);
+
+  SchemeResult out;
+  out.scheme = to_string(scheme);
+  out.servers.reserve(load.steps.size());
+
+  std::uint32_t active = n;
+  double backlog = 0.0;           // outstanding migration bytes
+  double cleanup_progress = 0.0;  // original CH serialized extraction
+  double dirty = 0.0;             // offloaded bytes awaiting re-integration
+  std::uint32_t prev_recorded = n;
+
+  for (std::size_t i = 0; i < load.steps.size(); ++i) {
+    const std::uint32_t demand = std::max(ideal[i], floor);
+
+    // --- migration bandwidth available this step --------------------------
+    double mig_bw = config_.migration_share * config_.per_server_bw *
+                    static_cast<double>(active);
+    if (scheme == ResizeScheme::kPrimarySelective &&
+        config_.selective_limit > 0.0) {
+      mig_bw = std::min(mig_bw, config_.selective_limit);
+    }
+
+    switch (scheme) {
+      case ResizeScheme::kIdeal:
+        active = demand;
+        break;
+
+      case ResizeScheme::kGreenCHT: {
+        // Quantise to power-of-two tiers: n, n/2, n/4, ... >= floor.
+        // Tier replication means no offloading and no re-integration.
+        std::uint32_t tier = n;
+        while (tier / 2 >= std::max(demand, floor) && tier / 2 >= 1) {
+          tier /= 2;
+        }
+        active = std::max(tier, floor);
+        break;
+      }
+
+      case ResizeScheme::kOriginalCH: {
+        if (demand > active) {
+          // Rejoin: servers come back empty; their uniform share of the
+          // data must be migrated onto them.
+          backlog += total_data * static_cast<double>(demand - active) /
+                     static_cast<double>(n);
+          active = demand;
+          cleanup_progress = 0.0;
+        } else if (demand < active) {
+          // Extraction is serialised behind any outstanding migration and
+          // each extracted server's data must be re-replicated first.
+          if (backlog > 0.0) {
+            ++out.blocked_steps;
+          } else {
+            cleanup_progress += mig_bw * dt;
+            const double per_server = config_.data_per_server;
+            while (active > demand && cleanup_progress >= per_server) {
+              cleanup_progress -= per_server;
+              --active;
+              out.total_migration_bytes += per_server;
+            }
+          }
+        }
+        break;
+      }
+
+      case ResizeScheme::kPrimaryFull:
+      case ResizeScheme::kPrimarySelective: {
+        if (demand > active) {
+          const std::uint32_t target = std::min(demand, n);
+          if (scheme == ResizeScheme::kPrimaryFull) {
+            // Blind sweep: everything mapped onto the returning ranks.
+            backlog += total_data * weight_share(n, active, target);
+            if (target == n) dirty = 0.0;
+          } else {
+            // Selective: only the offloaded (dirty) bytes whose home is a
+            // returning rank, proportional to returning weight among the
+            // inactive weight.
+            const double inactive_share = weight_share(n, active, n);
+            const double returning_share = weight_share(n, active, target);
+            const double portion =
+                inactive_share > 0.0 ? returning_share / inactive_share : 1.0;
+            backlog += dirty * portion;
+            dirty *= (1.0 - portion);
+          }
+          active = target;
+        } else if (demand < active) {
+          // Instant shrink: no clean-up work — the headline property.
+          active = demand;
+        }
+        break;
+      }
+    }
+
+    // --- dirty accumulation while below full power ------------------------
+    if (active < n && (scheme == ResizeScheme::kPrimaryFull ||
+                       scheme == ResizeScheme::kPrimarySelective ||
+                       scheme == ResizeScheme::kOriginalCH)) {
+      const double write_rate =
+          load.steps[i].bytes_per_second * load.steps[i].write_fraction;
+      const double offload_share =
+          weight_share(n, active, n) * static_cast<double>(config_.replicas);
+      dirty += write_rate * std::min(1.0, offload_share) * dt;
+      // The dirty working set cannot exceed the data homed on the
+      // powered-down ranks: re-writing the same objects re-dirties, it
+      // does not grow the set.
+      dirty = std::min(dirty, total_data * weight_share(n, active, n));
+    }
+
+    // --- drain migration backlog ------------------------------------------
+    const double drained = std::min(backlog, mig_bw * dt);
+    backlog -= drained;
+    out.total_migration_bytes += drained;
+
+    // Re-integration IO competes with serving bandwidth, so while it runs
+    // the cluster effectively needs extra machines to hold its SLA
+    // (Section V-B: "extra IOs ... increases the number of servers
+    // needed").  Integrated over the drain this charges ~backlog/bw
+    // machine-seconds regardless of the rate limit.
+    const double overhead_frac =
+        drained > 0.0 ? drained / dt / config_.per_server_bw : 0.0;
+    const std::uint32_t recorded = std::min(
+        n, active + static_cast<std::uint32_t>(std::ceil(overhead_frac)));
+
+    if (recorded != prev_recorded) ++out.resize_events;
+    prev_recorded = recorded;
+
+    out.servers.push_back(recorded);
+    // Hours integrate the *fractional* overhead so a rate-limited drain is
+    // not penalised by rounding; the series shows whole servers.
+    out.machine_hours +=
+        std::min(static_cast<double>(n),
+                 static_cast<double>(active) + overhead_frac) *
+        dt / 3600.0;
+  }
+  return out;
+}
+
+double ElasticitySimulator::relative_to_ideal(const LoadSeries& load,
+                                              const SchemeResult& result) const {
+  const SchemeResult ideal = simulate(load, ResizeScheme::kIdeal);
+  return ideal.machine_hours > 0.0
+             ? result.machine_hours / ideal.machine_hours
+             : 0.0;
+}
+
+}  // namespace ech

@@ -1,0 +1,100 @@
+// Trace-driven elasticity policy analysis (Section V-B).
+//
+// Replays a load series against an analytic model of each scheme and meters
+// machine-hours, reproducing Figures 8/9 and Table II.  The methodology
+// follows the paper: "The ideal number of servers for each time period is
+// proportional to the data size processed.  However ... scaling down in the
+// original consistent hashing store may require delay time for migrating
+// data.  Scaling up in both ... may also require processing extra IOs for
+// data reintegration."
+//
+// Per-step model:
+//   * ideal        — active set tracks the load exactly (floor 1 server).
+//   * original CH  — sizing down re-replicates each extracted server's data
+//                    first, one server at a time; rejoining servers come
+//                    back empty, so sizing up queues a full uniform-share
+//                    migration.  The cluster cannot shed servers while
+//                    migration work is outstanding.
+//   * primary+full — equal-work floor p = ceil(n/e^2); sizing down is
+//                    instant; sizing up queues migration of *all* data
+//                    mapped onto the returning ranks (blind sweep).
+//   * primary+selective — as above, but sizing up queues only the dirty
+//                    bytes accumulated while those ranks were off, and the
+//                    drain is rate-limited.
+//   * GreenCHT     — tiered power-down baseline (related work): the active
+//                    set is quantised to power-of-two tiers, no per-server
+//                    resizing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/load_series.h"
+
+namespace ech {
+
+enum class ResizeScheme : std::uint8_t {
+  kIdeal,
+  kOriginalCH,
+  kPrimaryFull,
+  kPrimarySelective,
+  kGreenCHT,
+};
+
+[[nodiscard]] const char* to_string(ResizeScheme s) noexcept;
+
+struct PolicyConfig {
+  /// Cluster size the trace runs on.
+  std::uint32_t server_count{50};
+  std::uint32_t replicas{2};
+  /// Serving bandwidth per active server (bytes/s).
+  double per_server_bw{60.0 * 1024 * 1024};
+  /// Average bytes stored per server under the uniform layout; drives the
+  /// original-CH clean-up and rejoin costs.
+  double data_per_server{200.0 * 1024 * 1024 * 1024};
+  /// Fraction of aggregate bandwidth migration may consume.
+  double migration_share{0.5};
+  /// Absolute migration cap for primary+selective (bytes/s; 0 = none).
+  double selective_limit{80.0 * 1024 * 1024};
+  /// Floor of the ideal envelope (at least one server stays on).
+  std::uint32_t min_servers{1};
+};
+
+struct SchemeResult {
+  std::string scheme;
+  /// Active servers at each trace step.
+  std::vector<std::uint32_t> servers;
+  double machine_hours{0.0};
+  double total_migration_bytes{0.0};
+  std::uint32_t resize_events{0};
+  /// Steps where a shrink request was blocked by outstanding migration.
+  std::uint32_t blocked_steps{0};
+};
+
+class ElasticitySimulator {
+ public:
+  explicit ElasticitySimulator(const PolicyConfig& config);
+
+  /// Replay `load` under `scheme`.
+  [[nodiscard]] SchemeResult simulate(const LoadSeries& load,
+                                      ResizeScheme scheme) const;
+
+  /// Machine-hour ratio of `result` over the ideal replay of `load`
+  /// (Table II's "relative machine hour usage relative to the ideal case").
+  [[nodiscard]] double relative_to_ideal(const LoadSeries& load,
+                                         const SchemeResult& result) const;
+
+  [[nodiscard]] const PolicyConfig& config() const { return config_; }
+
+  /// Equal-work weight share of ranks (from, to] of a n-server cluster —
+  /// the fraction of all data stored on those ranks.
+  [[nodiscard]] static double weight_share(std::uint32_t n,
+                                           std::uint32_t from_rank,
+                                           std::uint32_t to_rank);
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace ech

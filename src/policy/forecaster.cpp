@@ -1,0 +1,115 @@
+#include "policy/forecaster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ech {
+
+// ---- EWMA -------------------------------------------------------------
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha) {
+  assert(alpha_ > 0.0 && alpha_ <= 1.0);
+}
+
+void EwmaForecaster::observe(double bytes_per_second) {
+  if (!primed_) {
+    level_ = bytes_per_second;
+    primed_ = true;
+  } else {
+    level_ = alpha_ * bytes_per_second + (1.0 - alpha_) * level_;
+  }
+}
+
+double EwmaForecaster::predict(std::size_t) const {
+  return std::max(0.0, level_);
+}
+
+// ---- sliding max --------------------------------------------------------
+
+SlidingMaxForecaster::SlidingMaxForecaster(std::size_t window)
+    : window_(std::max<std::size_t>(1, window)) {}
+
+void SlidingMaxForecaster::observe(double bytes_per_second) {
+  samples_.push_back(bytes_per_second);
+  if (samples_.size() > window_) samples_.pop_front();
+}
+
+double SlidingMaxForecaster::predict(std::size_t) const {
+  double peak = 0.0;
+  for (double s : samples_) peak = std::max(peak, s);
+  return peak;
+}
+
+// ---- linear trend --------------------------------------------------------
+
+LinearTrendForecaster::LinearTrendForecaster(std::size_t window)
+    : window_(std::max<std::size_t>(2, window)) {}
+
+void LinearTrendForecaster::observe(double bytes_per_second) {
+  samples_.push_back(bytes_per_second);
+  if (samples_.size() > window_) samples_.pop_front();
+}
+
+double LinearTrendForecaster::predict(std::size_t horizon) const {
+  const std::size_t n = samples_.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return std::max(0.0, samples_.front());
+  // Least squares over x = 0..n-1.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x = static_cast<double>(i);
+    sx += x;
+    sy += samples_[i];
+    sxx += x * x;
+    sxy += x * samples_[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return std::max(0.0, sy / dn);
+  const double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+  const double x_pred =
+      static_cast<double>(n - 1) + static_cast<double>(horizon);
+  return std::max(0.0, intercept + slope * x_pred);
+}
+
+// ---- diurnal --------------------------------------------------------------
+
+DiurnalForecaster::DiurnalForecaster(std::size_t period, double blend)
+    : period_(std::max<std::size_t>(1, period)),
+      blend_(std::clamp(blend, 0.0, 1.0)),
+      profile_(period_, 0.0),
+      counts_(period_, 0) {}
+
+void DiurnalForecaster::observe(double bytes_per_second) {
+  last_ = bytes_per_second;
+  auto& count = counts_[cursor_];
+  auto& mean = profile_[cursor_];
+  ++count;
+  mean += (bytes_per_second - mean) / static_cast<double>(count);
+  cursor_ = (cursor_ + 1) % period_;
+}
+
+double DiurnalForecaster::predict(std::size_t horizon) const {
+  const std::size_t slot = (cursor_ + horizon + period_ - 1) % period_;
+  if (counts_[slot] == 0) return std::max(0.0, last_);
+  return std::max(0.0, blend_ * profile_[slot] + (1.0 - blend_) * last_);
+}
+
+// ---- factory ---------------------------------------------------------------
+
+std::unique_ptr<Forecaster> make_forecaster(const std::string& name,
+                                            std::size_t steps_per_day) {
+  if (name == "reactive") return std::make_unique<LastValueForecaster>();
+  if (name == "ewma") return std::make_unique<EwmaForecaster>();
+  if (name == "sliding-max") return std::make_unique<SlidingMaxForecaster>();
+  if (name == "linear-trend") {
+    return std::make_unique<LinearTrendForecaster>();
+  }
+  if (name == "diurnal") {
+    return std::make_unique<DiurnalForecaster>(steps_per_day);
+  }
+  return nullptr;
+}
+
+}  // namespace ech

@@ -1,0 +1,117 @@
+// Workload forecasting — the paper's future work ("a resizing policy based
+// on workload profiling and prediction", Section VII) and the bridge to the
+// related systems it cites (AutoScale's conservative spare capacity, AGILE's
+// medium-term prediction to hide boot latency).
+//
+// A Forecaster consumes the observed load one step at a time and predicts
+// the load `horizon` steps ahead.  Implementations, from naive to shaped:
+//   * LastValueForecaster  — purely reactive (predicts the present).
+//   * EwmaForecaster       — exponentially weighted moving average.
+//   * SlidingMaxForecaster — max over a trailing window (AutoScale-style
+//                            conservative provisioning).
+//   * LinearTrendForecaster— least-squares trend over a trailing window
+//                            extrapolated to the horizon (AGILE-style).
+//   * DiurnalForecaster    — per-time-of-day profile from previous days
+//                            blended with the recent level.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ech {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Record one observed load sample (bytes/second).
+  virtual void observe(double bytes_per_second) = 0;
+
+  /// Predicted load `horizon` steps after the last observation.
+  /// Implementations must return a non-negative value and cope with being
+  /// called before any observation (predict 0).
+  [[nodiscard]] virtual double predict(std::size_t horizon) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class LastValueForecaster final : public Forecaster {
+ public:
+  void observe(double bytes_per_second) override { last_ = bytes_per_second; }
+  [[nodiscard]] double predict(std::size_t) const override { return last_; }
+  [[nodiscard]] std::string name() const override { return "reactive"; }
+
+ private:
+  double last_{0.0};
+};
+
+class EwmaForecaster final : public Forecaster {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest sample.
+  explicit EwmaForecaster(double alpha = 0.3);
+
+  void observe(double bytes_per_second) override;
+  [[nodiscard]] double predict(std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+
+ private:
+  double alpha_;
+  double level_{0.0};
+  bool primed_{false};
+};
+
+class SlidingMaxForecaster final : public Forecaster {
+ public:
+  explicit SlidingMaxForecaster(std::size_t window = 15);
+
+  void observe(double bytes_per_second) override;
+  [[nodiscard]] double predict(std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override { return "sliding-max"; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+};
+
+class LinearTrendForecaster final : public Forecaster {
+ public:
+  explicit LinearTrendForecaster(std::size_t window = 20);
+
+  void observe(double bytes_per_second) override;
+  [[nodiscard]] double predict(std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override { return "linear-trend"; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+};
+
+class DiurnalForecaster final : public Forecaster {
+ public:
+  /// `period` = steps per day; `blend` in [0,1] = weight of the profile
+  /// (the rest comes from the most recent sample).
+  DiurnalForecaster(std::size_t period, double blend = 0.6);
+
+  void observe(double bytes_per_second) override;
+  [[nodiscard]] double predict(std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override { return "diurnal"; }
+
+ private:
+  std::size_t period_;
+  double blend_;
+  std::size_t cursor_{0};  // position within the day
+  double last_{0.0};
+  std::vector<double> profile_;      // running mean per slot
+  std::vector<std::size_t> counts_;  // samples per slot
+};
+
+/// Factory by name ("reactive", "ewma", "sliding-max", "linear-trend",
+/// "diurnal"); returns nullptr for unknown names.  `steps_per_day` feeds
+/// the diurnal profile.
+[[nodiscard]] std::unique_ptr<Forecaster> make_forecaster(
+    const std::string& name, std::size_t steps_per_day = 1440);
+
+}  // namespace ech

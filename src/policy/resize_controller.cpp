@@ -1,0 +1,93 @@
+#include "policy/resize_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ech {
+
+ResizeController::ResizeController(const ControllerConfig& config,
+                                   std::unique_ptr<Forecaster> forecaster)
+    : config_(config),
+      forecaster_(std::move(forecaster)),
+      target_(config.server_count) {
+  assert(forecaster_ != nullptr);
+  assert(config_.target_utilization > 0.0);
+}
+
+std::uint32_t ResizeController::servers_for(double bytes_per_second) const {
+  const double capacity_needed =
+      bytes_per_second / config_.target_utilization;
+  const auto n = static_cast<std::uint32_t>(
+      std::ceil(capacity_needed / config_.per_server_bw));
+  return std::clamp(n, config_.min_servers, config_.server_count);
+}
+
+std::uint32_t ResizeController::step(double bytes_per_second) {
+  forecaster_->observe(bytes_per_second);
+  const double predicted = forecaster_->predict(config_.boot_lead);
+  // Provision for whichever is higher: what we see or what we expect once
+  // freshly booted servers would come online.
+  const std::uint32_t want =
+      std::max(servers_for(bytes_per_second), servers_for(predicted));
+
+  if (want > target_) {
+    target_ = want;
+    below_count_ = 0;
+  } else if (want < target_) {
+    if (++below_count_ >= config_.shrink_hold) {
+      target_ = want;
+      below_count_ = 0;
+    }
+  } else {
+    below_count_ = 0;
+  }
+  return target_;
+}
+
+ControllerResult ResizeController::evaluate(
+    const ControllerConfig& config, const std::string& forecaster_name,
+    const LoadSeries& load) {
+  const std::size_t steps_per_day = std::max<std::size_t>(
+      1, static_cast<std::size_t>(86400.0 / load.step_seconds));
+  auto forecaster = make_forecaster(forecaster_name, steps_per_day);
+  assert(forecaster != nullptr);
+  ResizeController controller(config, std::move(forecaster));
+
+  ControllerResult out;
+  out.forecaster = forecaster_name;
+  out.servers.reserve(load.steps.size());
+
+  const double dt_hours = load.step_seconds / 3600.0;
+  std::uint32_t active = config.server_count;
+  std::uint32_t prev = active;
+  for (const LoadStep& s : load.steps) {
+    // The target decided after observing this step applies from the next
+    // step (decision latency of one control interval).
+    const std::uint32_t next_target = controller.step(s.bytes_per_second);
+
+    const double capacity =
+        static_cast<double>(active) * config.per_server_bw;
+    if (s.bytes_per_second > capacity) ++out.violation_steps;
+
+    out.servers.push_back(active);
+    out.machine_hours += static_cast<double>(active) * dt_hours;
+    out.ideal_machine_hours +=
+        static_cast<double>(ideal_servers(s.bytes_per_second,
+                                          config.per_server_bw,
+                                          config.min_servers,
+                                          config.server_count)) *
+        dt_hours;
+    if (active != prev) ++out.resize_events;
+    prev = active;
+    active = next_target;
+  }
+  out.violation_fraction =
+      load.steps.empty()
+          ? 0.0
+          : static_cast<double>(out.violation_steps) /
+                static_cast<double>(load.steps.size());
+  return out;
+}
+
+}  // namespace ech

@@ -1,0 +1,80 @@
+// Predictive resize controller — completes the loop the paper leaves as
+// future work: turning a load forecast into power-up/power-down decisions
+// for an elastic consistent-hashing cluster.
+//
+// Behaviour:
+//   * Scale UP from the forecast `boot_lead` steps ahead (servers take time
+//     to boot; AGILE's motivation), plus multiplicative headroom.
+//   * Scale DOWN only after `shrink_hold` consecutive steps of lower
+//     demand (hysteresis — resizing has a cost, so don't chase noise).
+//   * Respect the elastic floor (the equal-work p, or any configured
+//     minimum) and the cluster size.
+//
+// evaluate() replays a whole LoadSeries and scores the policy: machine
+// hours burned vs SLO violations (steps where provided capacity < offered
+// load) — the axes the elasticity literature trades against each other.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/forecaster.h"
+#include "workload/load_series.h"
+
+namespace ech {
+
+struct ControllerConfig {
+  std::uint32_t server_count{50};
+  std::uint32_t min_servers{1};
+  /// Serving bandwidth per active server (bytes/s).
+  double per_server_bw{60.0 * 1024 * 1024};
+  /// Target utilisation of provisioned servers (demand / capacity).
+  double target_utilization{0.75};
+  /// Steps of boot latency the forecast must cover.
+  std::size_t boot_lead{1};
+  /// Consecutive low-demand steps before shrinking (hysteresis).
+  std::size_t shrink_hold{5};
+};
+
+struct ControllerResult {
+  std::string forecaster;
+  std::vector<std::uint32_t> servers;
+  double machine_hours{0.0};
+  /// Steps where offered load exceeded provided capacity.
+  std::uint32_t violation_steps{0};
+  double violation_fraction{0.0};
+  std::uint32_t resize_events{0};
+  /// Machine-hours of the load-tracking ideal envelope (for ratios).
+  double ideal_machine_hours{0.0};
+};
+
+class ResizeController {
+ public:
+  /// Takes ownership of the forecaster.
+  ResizeController(const ControllerConfig& config,
+                   std::unique_ptr<Forecaster> forecaster);
+
+  /// Feed one observed load step; returns the server target to apply
+  /// *next* step.
+  std::uint32_t step(double bytes_per_second);
+
+  /// Replay a whole series (fresh controller state) and score it.
+  [[nodiscard]] static ControllerResult evaluate(
+      const ControllerConfig& config, const std::string& forecaster_name,
+      const LoadSeries& load);
+
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] std::uint32_t current_target() const { return target_; }
+
+ private:
+  [[nodiscard]] std::uint32_t servers_for(double bytes_per_second) const;
+
+  ControllerConfig config_;
+  std::unique_ptr<Forecaster> forecaster_;
+  std::uint32_t target_;
+  std::size_t below_count_{0};
+};
+
+}  // namespace ech

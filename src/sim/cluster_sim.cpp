@@ -1,0 +1,218 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace ech {
+namespace {
+
+constexpr double kMiBf = 1024.0 * 1024.0;
+
+}  // namespace
+
+ClusterSim::ClusterSim(StorageSystem& system, const SimConfig& config)
+    : system_(&system), config_(config), requested_(system.active_count()) {}
+
+Status ClusterSim::preload(std::uint64_t object_count) {
+  for (std::uint64_t i = 0; i < object_count; ++i) {
+    const Status s =
+        system_->write(ObjectId{next_oid_++}, config_.object_size);
+    if (!s.is_ok()) return s;
+  }
+  // Preload is "before time zero": whatever maintenance it queued (none for
+  // a full-power cluster) is not charged to the simulation.
+  return Status::ok();
+}
+
+void ClusterSim::schedule_resize(double at_seconds, std::uint32_t target) {
+  schedule_.push_back(ScheduledResize{at_seconds, target});
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const ScheduledResize& a, const ScheduledResize& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+}
+
+void ClusterSim::apply_due_resizes(double now) {
+  while (next_resize_ < schedule_.size() &&
+         schedule_[next_resize_].at_seconds <= now) {
+    const std::uint32_t target = schedule_[next_resize_].target;
+    ++next_resize_;
+    if (target > requested_) {
+      // Power on immediately; serve after boot.
+      boots_.push_back(PendingBoot{now + config_.boot_seconds, target});
+    } else {
+      (void)system_->request_resize(target);
+    }
+    requested_ = target;
+  }
+  // Booted servers join membership.
+  for (auto it = boots_.begin(); it != boots_.end();) {
+    if (it->ready_at <= now) {
+      // A later shrink request may have overridden the grow target.
+      const std::uint32_t effective = std::min(it->target, requested_);
+      if (effective > system_->active_count()) {
+        (void)system_->request_resize(effective);
+      }
+      it = boots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClusterSim::issue_writes(Bytes bytes, double overwrite_fraction,
+                              PhaseProgress& progress) {
+  progress.write_carry += static_cast<double>(bytes);
+  const auto object_size = static_cast<double>(config_.object_size);
+  while (progress.write_carry >= object_size) {
+    progress.write_carry -= object_size;
+    ObjectId oid{0};
+    // The overwrite decision keys off the issued-write counter (which
+    // always advances), not next_oid_ (which stalls on overwrites).
+    const std::uint64_t tag = mix64(++writes_issued_ ^ 0xA5A5A5A5ULL);
+    const bool overwrite =
+        next_oid_ > 0 &&
+        (static_cast<double>(tag % 1000) / 1000.0) < overwrite_fraction;
+    if (overwrite) {
+      oid = ObjectId{mix64(tag) % next_oid_};
+    } else {
+      oid = ObjectId{next_oid_++};
+    }
+    const Status s = system_->write(oid, config_.object_size);
+    if (!s.is_ok()) {
+      ECH_LOG_WARN("sim") << "write failed: " << s.to_string();
+    }
+  }
+}
+
+TickSample ClusterSim::tick(double now,
+                            const std::vector<WorkloadPhase>& phases,
+                            PhaseProgress& progress) {
+  apply_due_resizes(now);
+  const double dt = config_.tick_seconds;
+  const std::uint32_t serving = system_->active_count();
+  const std::uint32_t powered = std::max(serving, requested_);
+  const double capacity = static_cast<double>(serving) * config_.disk_bw_mbps;
+
+  // ---- foreground offered demand --------------------------------------
+  double read_rate = 0.0, write_rate = 0.0;  // client MB/s
+  const WorkloadPhase* phase = nullptr;
+  if (progress.index < phases.size()) {
+    phase = &phases[progress.index];
+    const double rem_read = std::max<double>(
+        0.0, static_cast<double>(phase->read_bytes - progress.read_done));
+    const double rem_write = std::max<double>(
+        0.0, static_cast<double>(phase->write_bytes - progress.write_done));
+    const double total_rem = rem_read + rem_write;
+    if (total_rem > 0.0) {
+      double offered = (phase->rate_limit_mbps > 0.0)
+                           ? phase->rate_limit_mbps
+                           : 1e12;  // "as fast as the cluster allows"
+      offered = std::min(offered, total_rem / kMiBf / dt);
+      read_rate = offered * (rem_read / total_rem);
+      write_rate = offered * (rem_write / total_rem);
+    }
+  }
+  const double repl = static_cast<double>(config_.replicas);
+  const double fg_device_demand = read_rate + repl * write_rate;
+
+  // ---- bandwidth allocation --------------------------------------------
+  const Bytes pending = system_->pending_maintenance_bytes();
+  const double pending_rate =
+      static_cast<double>(pending) / kMiBf / dt;  // MB/s to finish this tick
+  double mig_cap = config_.migration_share * capacity;
+  if (config_.migration_limit_mbps > 0.0) {
+    mig_cap = std::min(mig_cap, config_.migration_limit_mbps);
+  }
+  double mig_rate = std::min(mig_cap, pending_rate);
+
+  const double fg_capacity = std::max(0.0, capacity - mig_rate);
+  const double scale = (fg_device_demand > 0.0)
+                           ? std::min(1.0, fg_capacity / fg_device_demand)
+                           : 0.0;
+  const double read_done_rate = read_rate * scale;
+  const double write_done_rate = write_rate * scale;
+  const double fg_device_used = read_done_rate + repl * write_done_rate;
+
+  // Work-conserving: leftover capacity goes to maintenance, still under the
+  // absolute rate limit when one is configured.
+  double leftover = std::max(0.0, capacity - mig_rate - fg_device_used);
+  double mig_total = mig_rate + std::min(leftover, pending_rate - mig_rate);
+  if (config_.migration_limit_mbps > 0.0) {
+    mig_total = std::min(mig_total, config_.migration_limit_mbps);
+  }
+  mig_total = std::max(mig_total, 0.0);
+
+  const auto mig_budget = static_cast<Bytes>(mig_total * kMiBf * dt);
+  const Bytes mig_spent = system_->maintenance_step(mig_budget);
+
+  // ---- apply foreground progress ----------------------------------------
+  const auto read_bytes = static_cast<Bytes>(read_done_rate * kMiBf * dt);
+  const auto write_bytes = static_cast<Bytes>(write_done_rate * kMiBf * dt);
+  if (phase != nullptr) {
+    progress.read_done += read_bytes;
+    progress.write_done += write_bytes;
+    issue_writes(write_bytes, phase->overwrite_fraction, progress);
+    if (progress.read_done >= phase->read_bytes &&
+        progress.write_done >= phase->write_bytes) {
+      if (phase->resize_to_at_end > 0) {
+        schedule_resize(now + dt, phase->resize_to_at_end);
+      }
+      ECH_LOG_INFO("sim") << "phase '" << phase->name << "' done at "
+                          << now + dt << "s";
+      progress.index += 1;
+      progress.read_done = 0;
+      progress.write_done = 0;
+    }
+  }
+
+  meter_.add(dt, static_cast<double>(powered));
+
+  TickSample sample;
+  sample.time_s = now;
+  sample.client_mbps = read_done_rate + write_done_rate;
+  sample.migration_mbps = static_cast<double>(mig_spent) / kMiBf / dt;
+  sample.serving = serving;
+  sample.powered = powered;
+  sample.requested = requested_;
+  sample.pending_maintenance = system_->pending_maintenance_bytes();
+  sample.phase = phase != nullptr ? phase->name : "";
+  return sample;
+}
+
+std::vector<TickSample> ClusterSim::run(
+    const std::vector<WorkloadPhase>& phases, double max_seconds) {
+  std::vector<TickSample> samples;
+  PhaseProgress progress;
+  const double end = now_ + max_seconds;
+  while (now_ < end) {
+    samples.push_back(tick(now_, phases, progress));
+    now_ += config_.tick_seconds;
+    const bool phases_done = progress.index >= phases.size();
+    const bool resizes_done =
+        next_resize_ >= schedule_.size() && boots_.empty() &&
+        system_->active_count() == requested_;
+    const bool maintenance_done = system_->pending_maintenance_bytes() == 0;
+    if (phases_done && resizes_done && maintenance_done) break;
+  }
+  return samples;
+}
+
+std::vector<TickSample> ClusterSim::run_idle(double max_seconds) {
+  // Unlike run(), idle runs cover the full requested horizon — Figure 2
+  // style experiments need the time axis intact even when nothing is left
+  // to do.
+  std::vector<TickSample> samples;
+  PhaseProgress progress;
+  const std::vector<WorkloadPhase> no_phases;
+  const double end = now_ + max_seconds;
+  for (; now_ < end; now_ += config_.tick_seconds) {
+    samples.push_back(tick(now_, no_phases, progress));
+  }
+  return samples;
+}
+
+}  // namespace ech

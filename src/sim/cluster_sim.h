@@ -1,0 +1,140 @@
+// Tick-driven cluster simulation: the testbed substitute.
+//
+// The paper's Figures 2/3/7 come from a 10-node hardware testbed.  We model
+// it with a fluid bandwidth simulation: each tick, the powered-and-serving
+// servers provide aggregate device bandwidth, which foreground IO (the
+// workload phases) and background maintenance (recovery / re-integration)
+// share.  Writes cost r× device bandwidth (replication); reads cost 1×.
+//
+// Allocation per tick (work-conserving):
+//   1. maintenance claims at most `migration_share` of capacity, further
+//      capped by `migration_limit_mbps` when set (the selective
+//      re-integration rate limit);
+//   2. the foreground gets the remainder, capped by the phase's offered
+//      demand/rate limit;
+//   3. leftover foreground capacity is handed back to maintenance.
+//
+// Resizes come from a schedule.  Sizing up powers servers immediately but
+// they only *serve* (and join membership) after `boot_seconds`.  Sizing
+// down delegates pacing to the StorageSystem: ECH drops instantly, original
+// CH extracts one server per drained recovery plan, so its powered count
+// (and machine-hours) lag the request — exactly Figure 2's observation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/storage_system.h"
+#include "sim/machine_hours.h"
+
+namespace ech {
+
+/// One foreground workload phase (Filebench-style).
+struct WorkloadPhase {
+  std::string name;
+  Bytes read_bytes{0};
+  Bytes write_bytes{0};
+  /// Client-side rate cap in MB/s across reads+writes; 0 = unlimited.
+  double rate_limit_mbps{0.0};
+  /// Fraction of writes that overwrite existing objects (vs new objects).
+  double overwrite_fraction{0.0};
+  /// Active-server target to request when this phase *ends* (0 = none).
+  std::uint32_t resize_to_at_end{0};
+};
+
+struct SimConfig {
+  double tick_seconds{0.5};
+  /// Device (disk) bandwidth per serving server, MB/s.
+  double disk_bw_mbps{60.0};
+  /// Max fraction of aggregate bandwidth maintenance may claim.
+  double migration_share{0.5};
+  /// Absolute maintenance cap in MB/s (0 = only the share applies).
+  double migration_limit_mbps{0.0};
+  /// Server power-on to serving latency.
+  double boot_seconds{30.0};
+  std::uint32_t replicas{2};
+  Bytes object_size{kDefaultObjectSize};
+};
+
+struct TickSample {
+  double time_s{0.0};
+  double client_mbps{0.0};      // achieved foreground throughput
+  double migration_mbps{0.0};   // maintenance traffic
+  std::uint32_t serving{0};     // servers in membership and serving
+  std::uint32_t powered{0};     // serving + booting + awaiting extraction
+  std::uint32_t requested{0};   // resize target in force
+  Bytes pending_maintenance{0};
+  std::string phase;            // foreground phase name ("" when idle)
+};
+
+struct ScheduledResize {
+  double at_seconds{0.0};
+  std::uint32_t target{0};
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(StorageSystem& system, const SimConfig& config);
+
+  /// Preload `object_count` objects (full-power write, no dirty tracking
+  /// side effects beyond the system's own) before time starts.
+  Status preload(std::uint64_t object_count);
+
+  /// Request `target` active servers at simulated time `at_seconds`.
+  void schedule_resize(double at_seconds, std::uint32_t target);
+
+  /// Run `phases` sequentially (plus any scheduled resizes), then keep
+  /// simulating until maintenance drains or `max_seconds` more simulated
+  /// time elapses.  Consecutive run()/run_idle() calls continue from where
+  /// the previous one stopped (the clock is monotonic across calls).
+  std::vector<TickSample> run(const std::vector<WorkloadPhase>& phases,
+                              double max_seconds);
+
+  /// Run with no foreground workload for `max_seconds` of simulated time,
+  /// never stopping early (Figure 2 style: the time axis stays intact).
+  std::vector<TickSample> run_idle(double max_seconds);
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] const MachineHourMeter& meter() const { return meter_; }
+  [[nodiscard]] std::uint64_t objects_written() const { return next_oid_; }
+
+ private:
+  struct PhaseProgress {
+    std::size_t index{0};
+    Bytes read_done{0};
+    Bytes write_done{0};
+    double write_carry{0.0};  // fractional object accumulation
+  };
+
+  void apply_due_resizes(double now);
+  /// Advance one tick; returns the sample.
+  TickSample tick(double now, const std::vector<WorkloadPhase>& phases,
+                  PhaseProgress& progress);
+  /// Issue object writes for `bytes` of achieved client write traffic.
+  void issue_writes(Bytes bytes, double overwrite_fraction,
+                    PhaseProgress& progress);
+
+  StorageSystem* system_;
+  SimConfig config_;
+  std::vector<ScheduledResize> schedule_;
+  std::size_t next_resize_{0};
+
+  // Boot tracking: servers requested up at `ready_at` join membership then.
+  struct PendingBoot {
+    double ready_at{0.0};
+    std::uint32_t target{0};
+  };
+  std::vector<PendingBoot> boots_;
+  std::uint32_t requested_{0};
+
+  MachineHourMeter meter_;
+  double now_{0.0};
+  std::uint64_t next_oid_{0};
+  std::uint64_t writes_issued_{0};
+};
+
+}  // namespace ech

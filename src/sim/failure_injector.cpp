@@ -1,0 +1,69 @@
+#include "sim/failure_injector.h"
+
+#include "common/log.h"
+
+namespace ech {
+
+FailureInjector::FailureInjector(ElasticCluster& cluster,
+                                 const FailureInjectorConfig& config)
+    : cluster_(&cluster), config_(config), rng_(config.seed) {
+  next_failure_.resize(cluster.server_count());
+  recover_at_.assign(cluster.server_count(), 0.0);
+  for (std::uint32_t id = 1; id <= cluster.server_count(); ++id) {
+    arm_failure_clock(ServerId{id}, 0.0);
+  }
+}
+
+void FailureInjector::arm_failure_clock(ServerId id, double now) {
+  next_failure_[id.value - 1] =
+      now + rng_.exponential(1.0 / config_.mttf_seconds);
+}
+
+AvailabilityReport FailureInjector::run(double duration_seconds,
+                                        std::uint64_t object_count) {
+  AvailabilityReport report;
+  const double dt = config_.tick_seconds;
+  for (double now = 0.0; now < duration_seconds; now += dt) {
+    // 1. Recoveries due.
+    for (std::uint32_t id = 1; id <= cluster_->server_count(); ++id) {
+      if (recover_at_[id - 1] > 0.0 && recover_at_[id - 1] <= now) {
+        if (cluster_->recover_server(ServerId{id}).is_ok()) {
+          ++report.recoveries;
+        }
+        recover_at_[id - 1] = 0.0;
+        arm_failure_clock(ServerId{id}, now);
+      }
+    }
+    // 2. Failures due (skip servers already failed).
+    for (std::uint32_t id = 1; id <= cluster_->server_count(); ++id) {
+      if (recover_at_[id - 1] == 0.0 && next_failure_[id - 1] <= now) {
+        if (cluster_->fail_server(ServerId{id}).is_ok()) {
+          ++report.failures_injected;
+          recover_at_[id - 1] = now + config_.mttr_seconds;
+        } else {
+          arm_failure_clock(ServerId{id}, now);
+        }
+      }
+    }
+    // 3. Repair bandwidth.
+    report.repair_bytes += cluster_->repair_step(
+        static_cast<Bytes>(config_.repair_bandwidth * dt));
+    // 4. Availability probes.
+    if (object_count > 0) {
+      for (std::uint32_t p = 0; p < config_.probes_per_tick; ++p) {
+        const ObjectId oid{rng_.uniform(0, object_count - 1)};
+        ++report.probes;
+        if (!cluster_->read(oid).ok()) ++report.failed_probes;
+      }
+    }
+  }
+  // Final durability sweep.
+  for (std::uint64_t oid = 0; oid < object_count; ++oid) {
+    if (cluster_->object_store().locate(ObjectId{oid}).empty()) {
+      ++report.objects_lost;
+    }
+  }
+  return report;
+}
+
+}  // namespace ech

@@ -1,0 +1,74 @@
+// Failure injection harness: drives random server failures and recoveries
+// against an ElasticCluster and scores availability and durability.
+//
+// Elastic storage papers assume fail-over is consistent hashing's strong
+// suit (Section II-A: "makes fail-over handling easy"); this harness
+// quantifies it for the *elastic* variant, where failures interact with
+// power states: a powered-off server that fails loses data silently until
+// its rank is needed again, and repair traffic competes with the same
+// bandwidth budget as re-integration.
+//
+// Model: per-server exponential time-to-failure (MTTF); a failed server is
+// repaired (rejoins empty) after a fixed MTTR; repair bandwidth is pumped
+// every tick.  Probes sample written objects and count read failures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/elastic_cluster.h"
+
+namespace ech {
+
+struct FailureInjectorConfig {
+  /// Mean time to failure per server (exponential), seconds.
+  double mttf_seconds{3600.0};
+  /// Time from failure to repaired rejoin, seconds.
+  double mttr_seconds{120.0};
+  /// Repair bandwidth pumped per simulated second (bytes/s).
+  double repair_bandwidth{200.0 * 1024 * 1024};
+  double tick_seconds{1.0};
+  /// Read probes per tick (sampled uniformly over written objects).
+  std::uint32_t probes_per_tick{20};
+  std::uint64_t seed{1};
+};
+
+struct AvailabilityReport {
+  std::uint64_t probes{0};
+  std::uint64_t failed_probes{0};
+  std::uint64_t failures_injected{0};
+  std::uint64_t recoveries{0};
+  /// Objects with no replica anywhere at the end (durability loss).
+  std::uint64_t objects_lost{0};
+  Bytes repair_bytes{0};
+
+  [[nodiscard]] double availability() const {
+    return probes == 0 ? 1.0
+                       : 1.0 - static_cast<double>(failed_probes) /
+                                   static_cast<double>(probes);
+  }
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(ElasticCluster& cluster,
+                  const FailureInjectorConfig& config);
+
+  /// Run the churn scenario for `duration_seconds` against objects
+  /// [0, object_count) (which must already be written).
+  AvailabilityReport run(double duration_seconds,
+                         std::uint64_t object_count);
+
+ private:
+  void arm_failure_clock(ServerId id, double now);
+
+  ElasticCluster* cluster_;
+  FailureInjectorConfig config_;
+  Rng rng_;
+  std::vector<double> next_failure_;   // per server (index = id-1)
+  std::vector<double> recover_at_;     // 0 = not failed
+};
+
+}  // namespace ech

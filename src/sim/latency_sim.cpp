@@ -1,0 +1,92 @@
+#include "sim/latency_sim.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace ech {
+
+LatencySimulator::LatencySimulator(const ElasticCluster& cluster,
+                                   const LatencySimConfig& config)
+    : cluster_(&cluster), config_(config) {}
+
+LatencyReport LatencySimulator::run(std::uint64_t object_count) {
+  LatencyReport report;
+  if (object_count == 0 || config_.arrival_rate <= 0.0 ||
+      config_.service_rate <= 0.0) {
+    return report;
+  }
+  Rng rng(config_.seed);
+  const ClusterView view = cluster_->current_view();
+  const std::uint32_t n = cluster_->server_count();
+
+  std::vector<double> server_free(n, 0.0);
+  std::vector<double> server_busy(n, 0.0);
+  std::vector<double> sojourn_ms;
+  sojourn_ms.reserve(static_cast<std::size_t>(
+      config_.arrival_rate * config_.duration_s * 1.1));
+
+  double now = 0.0;
+  double offered_device_work = 0.0;
+  while (true) {
+    now += rng.exponential(config_.arrival_rate);
+    if (now >= config_.duration_s) break;
+    const ObjectId oid{rng.uniform(0, object_count - 1)};
+    const bool is_read = rng.bernoulli(config_.read_fraction);
+
+    // Active holders of the object.
+    std::vector<std::uint32_t> targets;
+    for (ServerId s : cluster_->object_store().locate(oid)) {
+      if (view.is_active(s)) targets.push_back(s.value - 1);
+    }
+    if (targets.empty()) continue;  // unreachable object: dropped request
+
+    double depart = 0.0;
+    if (is_read) {
+      // Served by the replica that can start earliest.
+      std::uint32_t best = targets.front();
+      for (std::uint32_t t : targets) {
+        if (server_free[t] < server_free[best]) best = t;
+      }
+      const double service = rng.exponential(config_.service_rate);
+      const double start = std::max(now, server_free[best]);
+      depart = start + service;
+      server_free[best] = depart;
+      server_busy[best] += service;
+      offered_device_work += 1.0 / config_.service_rate;
+    } else {
+      // Fork-join: the write completes when every replica has written.
+      for (std::uint32_t t : targets) {
+        const double service = rng.exponential(config_.service_rate);
+        const double start = std::max(now, server_free[t]);
+        server_free[t] = start + service;
+        server_busy[t] += service;
+        depart = std::max(depart, server_free[t]);
+        offered_device_work += 1.0 / config_.service_rate;
+      }
+    }
+    sojourn_ms.push_back((depart - now) * 1000.0);
+  }
+
+  report.requests = sojourn_ms.size();
+  if (sojourn_ms.empty()) return report;
+  double sum = 0.0;
+  for (double v : sojourn_ms) sum += v;
+  report.mean_ms = sum / static_cast<double>(sojourn_ms.size());
+  report.p50_ms = percentile(sojourn_ms, 0.50);
+  report.p95_ms = percentile(sojourn_ms, 0.95);
+  report.p99_ms = percentile(sojourn_ms, 0.99);
+
+  // offered_device_work is in server-seconds of service; capacity is the
+  // aggregate server-seconds the active set provides over the run.
+  const double capacity =
+      static_cast<double>(view.active_count()) * config_.duration_s;
+  report.offered_utilization =
+      capacity > 0.0 ? offered_device_work / capacity : 0.0;
+  double peak = 0.0;
+  for (double b : server_busy) peak = std::max(peak, b);
+  report.peak_server_utilization = peak / config_.duration_s;
+  return report;
+}
+
+}  // namespace ech

@@ -1,0 +1,67 @@
+// Request-level latency simulation.
+//
+// The fluid simulator (cluster_sim.h) answers throughput questions; this
+// one answers latency questions: what do clients *feel* at a given active
+// set and offered load?  Section II-B argues performance "should also be
+// proportional to the number of active nodes" — the latency knee is where
+// that proportionality breaks.
+//
+// Model: open-loop Poisson arrivals of object requests.  Each read is
+// served by one replica holder (the one that can start earliest); each
+// write must complete on all r replica holders (fork-join).  Every server
+// is a FIFO queue with exponential service times.  Because queues are
+// FIFO and arrivals are generated in time order, departure times can be
+// computed in one sweep:
+//     start  = max(arrival, server_free)
+//     depart = start + service
+// which is an exact simulation of M/M/1-style queues without an event heap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/elastic_cluster.h"
+
+namespace ech {
+
+struct LatencySimConfig {
+  /// Requests offered per second (open loop).
+  double arrival_rate{100.0};
+  /// Mean object services per second per server (4 MB at 60 MB/s ~ 15/s).
+  double service_rate{15.0};
+  /// Fraction of requests that are reads (writes fork-join to r servers).
+  double read_fraction{0.9};
+  double duration_s{60.0};
+  std::uint64_t seed{1};
+};
+
+struct LatencyReport {
+  std::uint64_t requests{0};
+  double mean_ms{0.0};
+  double p50_ms{0.0};
+  double p95_ms{0.0};
+  double p99_ms{0.0};
+  /// Offered device load over aggregate service capacity of active servers.
+  double offered_utilization{0.0};
+  /// Busiest single server's utilization (the layout's balance quality).
+  double peak_server_utilization{0.0};
+};
+
+class LatencySimulator {
+ public:
+  /// The cluster must already hold the objects; the simulator reads its
+  /// replica locations and membership but never mutates it.
+  LatencySimulator(const ElasticCluster& cluster,
+                   const LatencySimConfig& config);
+
+  /// Simulate requests over objects [0, object_count).
+  [[nodiscard]] LatencyReport run(std::uint64_t object_count);
+
+ private:
+  const ElasticCluster* cluster_;
+  LatencySimConfig config_;
+};
+
+}  // namespace ech

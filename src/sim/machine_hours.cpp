@@ -1,0 +1,2 @@
+// Header-only; anchors the library target.
+#include "sim/machine_hours.h"

@@ -1,0 +1,53 @@
+// Machine-hour metering — the paper's power-consumption proxy.
+//
+// A storage server consumes (roughly) full power whenever it is powered,
+// whether serving, booting or draining, so elasticity studies compare
+// integrated machine-hours against the ideal (load-proportional) envelope
+// (Table II reports usage relative to ideal).
+#pragma once
+
+#include <cstdint>
+
+namespace ech {
+
+class MachineHourMeter {
+ public:
+  /// Account `powered_servers` machines powered for `dt_seconds`.
+  void add(double dt_seconds, double powered_servers) noexcept {
+    machine_seconds_ += dt_seconds * powered_servers;
+    elapsed_seconds_ += dt_seconds;
+  }
+
+  [[nodiscard]] double machine_seconds() const noexcept {
+    return machine_seconds_;
+  }
+  [[nodiscard]] double machine_hours() const noexcept {
+    return machine_seconds_ / 3600.0;
+  }
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return elapsed_seconds_;
+  }
+
+  /// Average powered servers over the metered interval.
+  [[nodiscard]] double average_servers() const noexcept {
+    return elapsed_seconds_ > 0.0 ? machine_seconds_ / elapsed_seconds_ : 0.0;
+  }
+
+  /// This meter's usage relative to a baseline meter (Table II's metric).
+  [[nodiscard]] double relative_to(const MachineHourMeter& ideal) const {
+    return ideal.machine_seconds() > 0.0
+               ? machine_seconds_ / ideal.machine_seconds()
+               : 0.0;
+  }
+
+  void reset() noexcept {
+    machine_seconds_ = 0.0;
+    elapsed_seconds_ = 0.0;
+  }
+
+ private:
+  double machine_seconds_{0.0};
+  double elapsed_seconds_{0.0};
+};
+
+}  // namespace ech

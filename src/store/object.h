@@ -1,0 +1,32 @@
+// Object metadata kept by every storage server.
+//
+// Mirrors Sheepdog's object header: each stored replica carries the cluster
+// version it was last written in, plus the dirty bit the paper adds
+// (Section III-E.2) so re-integration can distinguish stale replicas from
+// the newest write without consulting the dirty table.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ech {
+
+struct ObjectHeader {
+  /// Cluster membership version of the last write.
+  Version version{};
+  /// True while the object has not been re-integrated into a full-power
+  /// layout (some replica may sit on an offload target).
+  bool dirty{false};
+
+  friend constexpr bool operator==(const ObjectHeader&,
+                                   const ObjectHeader&) = default;
+};
+
+struct StoredObject {
+  ObjectId oid{};
+  ObjectHeader header{};
+  Bytes size{kDefaultObjectSize};
+};
+
+}  // namespace ech

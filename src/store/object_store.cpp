@@ -1,0 +1,109 @@
+#include "store/object_store.h"
+
+#include <cassert>
+
+namespace ech {
+
+ObjectStoreCluster::ObjectStoreCluster(std::uint32_t server_count,
+                                       Bytes capacity) {
+  servers_.reserve(server_count);
+  for (std::uint32_t i = 1; i <= server_count; ++i) {
+    servers_.emplace_back(ServerId{i}, capacity);
+  }
+}
+
+ObjectStoreCluster::ObjectStoreCluster(const std::vector<Bytes>& capacities) {
+  servers_.reserve(capacities.size());
+  for (std::uint32_t i = 0; i < capacities.size(); ++i) {
+    servers_.emplace_back(ServerId{i + 1}, capacities[i]);
+  }
+}
+
+StorageServer& ObjectStoreCluster::server(ServerId id) {
+  assert(id.value >= 1 && id.value <= servers_.size());
+  return servers_[id.value - 1];
+}
+
+const StorageServer& ObjectStoreCluster::server(ServerId id) const {
+  assert(id.value >= 1 && id.value <= servers_.size());
+  return servers_[id.value - 1];
+}
+
+Expected<IoAccounting> ObjectStoreCluster::put_replicas(
+    ObjectId oid, std::span<const ServerId> locations,
+    const ObjectHeader& header, Bytes size) {
+  IoAccounting io;
+  for (ServerId sid : locations) {
+    if (Status s = server(sid).put(oid, header, size); !s.is_ok()) {
+      return s;
+    }
+    io.bytes_written += size;
+    ++io.replicas_touched;
+  }
+  return io;
+}
+
+Expected<IoAccounting> ObjectStoreCluster::move_replica(
+    ObjectId oid, ServerId from, ServerId to, const ObjectHeader& new_header) {
+  IoAccounting io;
+  const auto existing = server(from).get(oid);
+  if (!existing.has_value()) return io;  // nothing to move
+  if (from == to) {
+    // Same server: just refresh the header (re-integration into place).
+    if (Status s = server(to).set_header(oid, new_header); !s.is_ok()) return s;
+    return io;
+  }
+  if (Status s = server(to).put(oid, new_header, existing->size); !s.is_ok()) {
+    return s;
+  }
+  server(from).erase(oid);
+  io.bytes_migrated += existing->size;
+  io.replicas_touched += 1;
+  return io;
+}
+
+std::uint64_t ObjectStoreCluster::erase_object(ObjectId oid) {
+  std::uint64_t removed = 0;
+  for (auto& s : servers_) removed += s.erase(oid) ? 1 : 0;
+  return removed;
+}
+
+std::vector<ServerId> ObjectStoreCluster::locate(ObjectId oid) const {
+  std::vector<ServerId> out;
+  for (const auto& s : servers_) {
+    if (s.contains(oid)) out.push_back(s.id());
+  }
+  return out;
+}
+
+Bytes ObjectStoreCluster::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& s : servers_) total += s.bytes_stored();
+  return total;
+}
+
+std::uint64_t ObjectStoreCluster::total_replicas() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s.object_count();
+  return total;
+}
+
+std::vector<std::uint64_t> ObjectStoreCluster::objects_per_server() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s.object_count());
+  return out;
+}
+
+std::vector<Bytes> ObjectStoreCluster::bytes_per_server() const {
+  std::vector<Bytes> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s.bytes_stored());
+  return out;
+}
+
+void ObjectStoreCluster::clear() {
+  for (auto& s : servers_) s.clear();
+}
+
+}  // namespace ech

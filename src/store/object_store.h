@@ -1,0 +1,84 @@
+// The object-store cluster: a Sheepdog-like aggregate of storage servers.
+//
+// This layer is deliberately mechanical — it stores/erases/moves replicas at
+// the locations a placement policy hands it and keeps byte/object accounting
+// per server.  Placement decisions (original CH vs primary-server) live in
+// core/placement.h; recovery/migration planning lives in store/recovery.h
+// and core/reintegrator.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/storage_server.h"
+
+namespace ech {
+
+/// Byte totals of one bulk operation, so callers can charge simulated IO.
+struct IoAccounting {
+  Bytes bytes_written{0};
+  Bytes bytes_read{0};
+  Bytes bytes_migrated{0};
+  std::uint64_t replicas_touched{0};
+
+  IoAccounting& operator+=(const IoAccounting& o) {
+    bytes_written += o.bytes_written;
+    bytes_read += o.bytes_read;
+    bytes_migrated += o.bytes_migrated;
+    replicas_touched += o.replicas_touched;
+    return *this;
+  }
+};
+
+class ObjectStoreCluster {
+ public:
+  /// Servers are created with ids 1..n.  `capacity` 0 = unlimited.
+  explicit ObjectStoreCluster(std::uint32_t server_count, Bytes capacity = 0);
+
+  /// Heterogeneous capacities (index 0 = server id 1), for §III-D plans.
+  explicit ObjectStoreCluster(const std::vector<Bytes>& capacities);
+
+  [[nodiscard]] std::uint32_t server_count() const {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+
+  [[nodiscard]] StorageServer& server(ServerId id);
+  [[nodiscard]] const StorageServer& server(ServerId id) const;
+
+  /// Write one replica of `oid` to each server in `locations`.
+  Expected<IoAccounting> put_replicas(ObjectId oid,
+                                      std::span<const ServerId> locations,
+                                      const ObjectHeader& header,
+                                      Bytes size = kDefaultObjectSize);
+
+  /// Move one replica from `from` to `to` (erase + put), updating the
+  /// header on the destination.  No-op (and no bytes) if `from` lacks the
+  /// replica; put failures propagate.
+  Expected<IoAccounting> move_replica(ObjectId oid, ServerId from, ServerId to,
+                                      const ObjectHeader& new_header);
+
+  /// Erase every replica of `oid` cluster-wide; returns replicas removed.
+  std::uint64_t erase_object(ObjectId oid);
+
+  /// Servers currently holding a replica of `oid` (ascending id order).
+  [[nodiscard]] std::vector<ServerId> locate(ObjectId oid) const;
+
+  /// Total bytes stored across all servers.
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] std::uint64_t total_replicas() const;
+
+  /// Per-server object counts indexed by rank-order id (for Figure 5).
+  [[nodiscard]] std::vector<std::uint64_t> objects_per_server() const;
+  [[nodiscard]] std::vector<Bytes> bytes_per_server() const;
+
+  void clear();
+
+ private:
+  std::vector<StorageServer> servers_;  // index = id - 1
+};
+
+}  // namespace ech

@@ -1,0 +1,151 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ech {
+namespace {
+
+struct ObjectInventory {
+  std::vector<ServerId> holders;
+  Bytes size{kDefaultObjectSize};
+};
+
+/// Aggregate replica locations per object across the cluster.
+std::unordered_map<ObjectId, ObjectInventory> inventory(
+    const ObjectStoreCluster& cluster) {
+  std::unordered_map<ObjectId, ObjectInventory> inv;
+  for (std::uint32_t id = 1; id <= cluster.server_count(); ++id) {
+    for (const StoredObject& obj : cluster.server(ServerId{id}).list()) {
+      auto& entry = inv[obj.oid];
+      entry.holders.push_back(ServerId{id});
+      entry.size = obj.size;
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+RecoveryEngine::Plan RecoveryEngine::plan(const ObjectStoreCluster& cluster,
+                                          const TargetPlacementFn& target) {
+  Plan out;
+  for (const auto& [oid, inv] : inventory(cluster)) {
+    const std::vector<ServerId> want = target(oid, inv.size);
+    const std::unordered_set<ServerId> want_set(want.begin(), want.end());
+    const std::unordered_set<ServerId> have_set(inv.holders.begin(),
+                                                inv.holders.end());
+
+    std::vector<ServerId> missing;   // targets with no replica yet
+    for (ServerId s : want) {
+      if (!have_set.contains(s)) missing.push_back(s);
+    }
+    std::vector<ServerId> surplus;   // holders not in the target set
+    for (ServerId s : inv.holders) {
+      if (!want_set.contains(s)) surplus.push_back(s);
+    }
+    std::sort(missing.begin(), missing.end());
+    std::sort(surplus.begin(), surplus.end());
+
+    // Pair surplus replicas with missing targets: moves.
+    std::size_t i = 0;
+    for (; i < missing.size() && i < surplus.size(); ++i) {
+      out.tasks.push_back(MigrationTask{oid, surplus[i], missing[i], inv.size,
+                                        MigrationKind::kMove});
+      out.total_bytes += inv.size;
+    }
+    // Remaining missing targets need re-replication from any holder that
+    // stays in place (or any holder at all if none stays).
+    if (i < missing.size()) {
+      ServerId source = inv.holders.front();
+      for (ServerId s : inv.holders) {
+        if (want_set.contains(s)) {
+          source = s;
+          break;
+        }
+      }
+      for (; i < missing.size(); ++i) {
+        out.tasks.push_back(MigrationTask{oid, source, missing[i], inv.size,
+                                          MigrationKind::kCopy});
+        out.total_bytes += inv.size;
+      }
+    }
+    // Remaining surplus replicas are dropped (no transfer cost).
+    for (; i < surplus.size(); ++i) {
+      out.drops.push_back(MigrationTask{oid, surplus[i], ServerId{}, inv.size,
+                                        MigrationKind::kMove});
+    }
+  }
+  // Deterministic order keeps budgeted execution reproducible.
+  const auto by_oid = [](const MigrationTask& a, const MigrationTask& b) {
+    if (a.oid != b.oid) return a.oid < b.oid;
+    return a.to < b.to;
+  };
+  std::sort(out.tasks.begin(), out.tasks.end(), by_oid);
+  std::sort(out.drops.begin(), out.drops.end(), by_oid);
+  return out;
+}
+
+RecoveryEngine::Plan RecoveryEngine::plan_failover(
+    const ObjectStoreCluster& cluster, const std::vector<ServerId>& failed,
+    const TargetPlacementFn& target) {
+  Plan out;
+  const std::unordered_set<ServerId> failed_set(failed.begin(), failed.end());
+  for (const auto& [oid, inv] : inventory(cluster)) {
+    std::vector<ServerId> survivors;
+    bool lost_any = false;
+    for (ServerId s : inv.holders) {
+      if (failed_set.contains(s)) {
+        lost_any = true;
+      } else {
+        survivors.push_back(s);
+      }
+    }
+    if (!lost_any || survivors.empty()) continue;  // unaffected or all lost
+    const std::unordered_set<ServerId> survivor_set(survivors.begin(),
+                                                    survivors.end());
+    for (ServerId dst : target(oid, inv.size)) {
+      if (failed_set.contains(dst) || survivor_set.contains(dst)) continue;
+      out.tasks.push_back(MigrationTask{oid, survivors.front(), dst, inv.size,
+                                        MigrationKind::kCopy});
+      out.total_bytes += inv.size;
+    }
+  }
+  std::sort(out.tasks.begin(), out.tasks.end(),
+            [](const MigrationTask& a, const MigrationTask& b) {
+              if (a.oid != b.oid) return a.oid < b.oid;
+              return a.to < b.to;
+            });
+  return out;
+}
+
+Bytes RecoveryEngine::execute(ObjectStoreCluster& cluster, const Plan& plan,
+                              std::size_t* cursor, Bytes byte_budget) {
+  Bytes spent = 0;
+  // Drops are metadata-only; apply them all up front the first time.
+  if (*cursor == 0) {
+    for (const MigrationTask& d : plan.drops) {
+      cluster.server(d.from).erase(d.oid);
+    }
+  }
+  while (*cursor < plan.tasks.size() && spent < byte_budget) {
+    const MigrationTask& t = plan.tasks[*cursor];
+    const auto src = cluster.server(t.from).get(t.oid);
+    if (src.has_value()) {
+      // Preserve the source header: migration never advances the content
+      // version, or readers would wrongly treat sibling replicas as stale.
+      if (t.kind == MigrationKind::kMove) {
+        auto io = cluster.move_replica(t.oid, t.from, t.to, src->header);
+        if (io.ok()) spent += io.value().bytes_migrated;
+      } else if (cluster.server(t.to).put(t.oid, src->header, src->size)
+                     .is_ok()) {
+        spent += src->size;
+      }
+    }
+    ++(*cursor);
+  }
+  return spent;
+}
+
+}  // namespace ech

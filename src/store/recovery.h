@@ -1,0 +1,76 @@
+// Recovery / rebalance planning (Sheepdog's behaviour on membership change).
+//
+// Sheepdog reacts to any ring change by recomputing every object's placement
+// and moving/re-replicating whatever no longer matches — the paper's
+// "over-migration" (Section II-C): it cannot tell offloaded data from data
+// that never moved, so sizing up triggers a full sweep.  RecoveryEngine
+// produces that plan against an arbitrary target placement function; the
+// baselines ("original CH" and "primary+full") execute it with a byte budget
+// per simulation tick so recovery competes with foreground IO.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "store/object_store.h"
+
+namespace ech {
+
+enum class MigrationKind : std::uint8_t {
+  kMove,  // replica leaves `from` and lands on `to`
+  kCopy,  // re-replication: `from` keeps its replica, `to` gains one
+};
+
+struct MigrationTask {
+  ObjectId oid{};
+  ServerId from{};
+  ServerId to{};
+  Bytes size{0};
+  MigrationKind kind{MigrationKind::kMove};
+};
+
+/// Computes the desired replica set for an object under the *current*
+/// cluster state.  Returned ids must be distinct.
+using TargetPlacementFn =
+    std::function<std::vector<ServerId>(ObjectId, Bytes size)>;
+
+class RecoveryEngine {
+ public:
+  /// Full-cluster sweep: one task per replica that must move or be
+  /// re-created so every object matches `target`.  Objects already in
+  /// place generate no work.  Surplus replicas (current location not in the
+  /// target set and all targets satisfied) become moves feeding the first
+  /// unsatisfied target, else they are dropped via `drops`.
+  struct Plan {
+    std::vector<MigrationTask> tasks;
+    /// Replicas to delete outright (target set smaller than current).
+    std::vector<MigrationTask> drops;  // `to` unused
+    Bytes total_bytes{0};
+
+    [[nodiscard]] bool empty() const { return tasks.empty() && drops.empty(); }
+  };
+
+  [[nodiscard]] static Plan plan(const ObjectStoreCluster& cluster,
+                                 const TargetPlacementFn& target);
+
+  /// Re-replication plan for the loss of `failed` servers: for every object
+  /// that had a replica there, copy from a surviving holder to the target
+  /// placement (used to model original CH's mandatory clean-up before a
+  /// server can be extracted).
+  [[nodiscard]] static Plan plan_failover(const ObjectStoreCluster& cluster,
+                                          const std::vector<ServerId>& failed,
+                                          const TargetPlacementFn& target);
+
+  /// Execute tasks from `plan` starting at `*cursor`, spending at most
+  /// `byte_budget` bytes of migration traffic.  Advances `*cursor`; returns
+  /// bytes spent.  Executes drops attached before the cursor for free
+  /// (deletes cost no transfer).  Migrated replicas keep their source
+  /// header — migration is not a write, so the content version must not
+  /// advance (readers pick the newest version among replicas).
+  static Bytes execute(ObjectStoreCluster& cluster, const Plan& plan,
+                       std::size_t* cursor, Bytes byte_budget);
+};
+
+}  // namespace ech

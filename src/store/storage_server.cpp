@@ -1,0 +1,62 @@
+#include "store/storage_server.h"
+
+namespace ech {
+
+Status StorageServer::put(ObjectId oid, const ObjectHeader& header,
+                          Bytes size) {
+  if (size < 0) {
+    return {StatusCode::kInvalidArgument, "negative object size"};
+  }
+  const auto it = objects_.find(oid);
+  const Bytes delta = size - (it != objects_.end() ? it->second.size : 0);
+  if (capacity_ > 0 && bytes_stored_ + delta > capacity_) {
+    return {StatusCode::kOutOfRange,
+            "server " + std::to_string(id_.value) + " full"};
+  }
+  if (it != objects_.end()) {
+    it->second = Entry{header, size};
+  } else {
+    objects_.emplace(oid, Entry{header, size});
+  }
+  bytes_stored_ += delta;
+  return Status::ok();
+}
+
+bool StorageServer::erase(ObjectId oid) {
+  const auto it = objects_.find(oid);
+  if (it == objects_.end()) return false;
+  bytes_stored_ -= it->second.size;
+  objects_.erase(it);
+  return true;
+}
+
+std::optional<StoredObject> StorageServer::get(ObjectId oid) const {
+  const auto it = objects_.find(oid);
+  if (it == objects_.end()) return std::nullopt;
+  return StoredObject{oid, it->second.header, it->second.size};
+}
+
+Status StorageServer::set_header(ObjectId oid, const ObjectHeader& header) {
+  const auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return {StatusCode::kNotFound, "object not on server"};
+  }
+  it->second.header = header;
+  return Status::ok();
+}
+
+std::vector<StoredObject> StorageServer::list() const {
+  std::vector<StoredObject> out;
+  out.reserve(objects_.size());
+  for (const auto& [oid, entry] : objects_) {
+    out.push_back(StoredObject{oid, entry.header, entry.size});
+  }
+  return out;
+}
+
+void StorageServer::clear() {
+  objects_.clear();
+  bytes_stored_ = 0;
+}
+
+}  // namespace ech

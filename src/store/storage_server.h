@@ -1,0 +1,70 @@
+// One storage server's object directory.
+//
+// The simulation never materialises object payloads — experiments measure
+// *which* replicas exist where and how many bytes move, so each server keeps
+// an OID -> header/size map plus byte accounting against its capacity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "store/object.h"
+
+namespace ech {
+
+class StorageServer {
+ public:
+  StorageServer() = default;
+  StorageServer(ServerId id, Bytes capacity) : id_(id), capacity_(capacity) {}
+
+  [[nodiscard]] ServerId id() const { return id_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes bytes_stored() const { return bytes_stored_; }
+  [[nodiscard]] double utilization() const {
+    return capacity_ > 0
+               ? static_cast<double>(bytes_stored_) /
+                     static_cast<double>(capacity_)
+               : 0.0;
+  }
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+  /// Store (or overwrite) a replica.  Overwrites update the header and do
+  /// not double-count bytes.  Fails with kOutOfRange when the write would
+  /// exceed capacity (capacity 0 = unlimited, used by most simulations).
+  Status put(ObjectId oid, const ObjectHeader& header,
+             Bytes size = kDefaultObjectSize);
+
+  /// Remove a replica; false if it was not present.
+  bool erase(ObjectId oid);
+
+  [[nodiscard]] bool contains(ObjectId oid) const {
+    return objects_.contains(oid);
+  }
+
+  [[nodiscard]] std::optional<StoredObject> get(ObjectId oid) const;
+
+  /// Update just the header of a stored replica (e.g. clearing the dirty
+  /// bit after re-integration).
+  Status set_header(ObjectId oid, const ObjectHeader& header);
+
+  /// All replicas on this server (unordered).  Used by recovery scans.
+  [[nodiscard]] std::vector<StoredObject> list() const;
+
+  void clear();
+
+ private:
+  ServerId id_{};
+  Bytes capacity_{0};  // 0 = unlimited
+  Bytes bytes_stored_{0};
+  struct Entry {
+    ObjectHeader header;
+    Bytes size;
+  };
+  std::unordered_map<ObjectId, Entry> objects_;
+};
+
+}  // namespace ech

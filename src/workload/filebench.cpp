@@ -1,0 +1,82 @@
+#include "workload/filebench.h"
+
+#include <algorithm>
+
+namespace ech {
+
+Expected<FileSet> FileSet::create(VirtualDisk& disk, std::uint32_t count,
+                                  Bytes file_size) {
+  if (count == 0 || file_size <= 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "need at least one file of positive size"};
+  }
+  const Bytes total = static_cast<Bytes>(count) * file_size;
+  if (total > disk.size()) {
+    return Status{StatusCode::kOutOfRange,
+                  "file set does not fit on disk '" + disk.name() + "'"};
+  }
+  std::vector<FilebenchFile> files;
+  files.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    files.push_back(
+        FilebenchFile{static_cast<Bytes>(i) * file_size, file_size});
+  }
+  return FileSet(disk, std::move(files));
+}
+
+Expected<FilebenchResult> FilebenchPersonality::sequential_write_all(
+    Bytes io_size) {
+  if (io_size <= 0) {
+    return Status{StatusCode::kInvalidArgument, "io_size must be positive"};
+  }
+  FilebenchResult result;
+  for (std::uint32_t f = 0; f < files_->file_count(); ++f) {
+    const FilebenchFile& file = files_->file(f);
+    Bytes done = 0;
+    while (done < file.size) {
+      const Bytes len = std::min(io_size, file.size - done);
+      const auto io = files_->disk().write(file.offset + done, len);
+      if (!io.ok()) return io.status();
+      result += io.value();
+      result.bytes_written += len;
+      ++result.ops;
+      done += len;
+    }
+  }
+  return result;
+}
+
+Expected<FilebenchResult> FilebenchPersonality::random_mix(
+    std::uint64_t ops, Bytes io_size, double write_fraction, Rng& rng) {
+  if (io_size <= 0) {
+    return Status{StatusCode::kInvalidArgument, "io_size must be positive"};
+  }
+  FilebenchResult result;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    const std::uint32_t f =
+        static_cast<std::uint32_t>(rng.uniform(0, files_->file_count() - 1));
+    const FilebenchFile& file = files_->file(f);
+    const Bytes len = std::min(io_size, file.size);
+    const Bytes max_off = file.size - len;
+    const Bytes off =
+        max_off > 0
+            ? static_cast<Bytes>(
+                  rng.uniform(0, static_cast<std::uint64_t>(max_off)))
+            : 0;
+    if (rng.bernoulli(write_fraction)) {
+      const auto io = files_->disk().write(file.offset + off, len);
+      if (!io.ok()) return io.status();
+      result += io.value();
+      result.bytes_written += len;
+    } else {
+      const auto io = files_->disk().read(file.offset + off, len);
+      if (!io.ok()) return io.status();
+      result += io.value();
+      result.bytes_read += len;
+    }
+    ++result.ops;
+  }
+  return result;
+}
+
+}  // namespace ech

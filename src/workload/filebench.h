@@ -1,0 +1,89 @@
+// Filebench-style file-level workload over a virtual disk.
+//
+// The paper generates its 3-phase benchmark with Filebench against a KVM
+// virtual disk backed by the modified Sheepdog (Section V-A).  The fluid
+// simulator models that workload as byte rates; this module models it at
+// the *file and object* level: a file set carved out of a VirtualDisk,
+// personalities issuing sequential writes and random reads/writes, and
+// per-phase accounting of exactly which objects were touched, allocated or
+// read-modify-written.  Used by integration tests to validate that the
+// paper's phase volumes translate into the expected object traffic and
+// dirty-table growth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/virtual_disk.h"
+
+namespace ech {
+
+struct FilebenchFile {
+  Bytes offset{0};
+  Bytes size{0};
+};
+
+/// A set of equally sized files laid out contiguously on one disk.
+class FileSet {
+ public:
+  /// Carve `count` files of `file_size` bytes from the start of `disk`.
+  /// Fails with kOutOfRange when the disk is too small.
+  static Expected<FileSet> create(VirtualDisk& disk, std::uint32_t count,
+                                  Bytes file_size);
+
+  [[nodiscard]] std::uint32_t file_count() const {
+    return static_cast<std::uint32_t>(files_.size());
+  }
+  [[nodiscard]] const FilebenchFile& file(std::uint32_t index) const {
+    return files_[index];
+  }
+  [[nodiscard]] VirtualDisk& disk() { return *disk_; }
+
+ private:
+  FileSet(VirtualDisk& disk, std::vector<FilebenchFile> files)
+      : disk_(&disk), files_(std::move(files)) {}
+
+  VirtualDisk* disk_;
+  std::vector<FilebenchFile> files_;
+};
+
+/// Accounting of one personality run.
+struct FilebenchResult {
+  std::uint64_t ops{0};
+  Bytes bytes_written{0};
+  Bytes bytes_read{0};
+  std::uint64_t objects_touched{0};
+  std::uint64_t objects_allocated{0};
+  std::uint64_t read_modify_writes{0};
+  std::uint64_t sparse_reads{0};
+
+  FilebenchResult& operator+=(const VdiIoSummary& io) {
+    objects_touched += io.objects_touched;
+    objects_allocated += io.objects_allocated;
+    read_modify_writes += io.read_modify_writes;
+    sparse_reads += io.sparse_reads;
+    return *this;
+  }
+};
+
+/// The Filebench personalities the 3-phase benchmark uses.
+class FilebenchPersonality {
+ public:
+  explicit FilebenchPersonality(FileSet& files) : files_(&files) {}
+
+  /// Phase 1's shape: write every file start-to-end in `io_size` chunks.
+  Expected<FilebenchResult> sequential_write_all(Bytes io_size);
+
+  /// Phase 2/3's shape: `ops` random operations, each an `io_size` access
+  /// at a random offset of a random file; `write_fraction` of them write.
+  Expected<FilebenchResult> random_mix(std::uint64_t ops, Bytes io_size,
+                                       double write_fraction, Rng& rng);
+
+ private:
+  FileSet* files_;
+};
+
+}  // namespace ech

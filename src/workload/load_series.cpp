@@ -1,0 +1,69 @@
+#include "workload/load_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ech {
+
+double LoadSeries::total_bytes() const {
+  double total = 0.0;
+  for (const LoadStep& s : steps) total += s.bytes_per_second * step_seconds;
+  return total;
+}
+
+double LoadSeries::total_write_bytes() const {
+  double total = 0.0;
+  for (const LoadStep& s : steps) {
+    total += s.bytes_per_second * s.write_fraction * step_seconds;
+  }
+  return total;
+}
+
+double LoadSeries::peak_bytes_per_second() const {
+  double peak = 0.0;
+  for (const LoadStep& s : steps) peak = std::max(peak, s.bytes_per_second);
+  return peak;
+}
+
+double LoadSeries::mean_bytes_per_second() const {
+  if (steps.empty()) return 0.0;
+  double total = 0.0;
+  for (const LoadStep& s : steps) total += s.bytes_per_second;
+  return total / static_cast<double>(steps.size());
+}
+
+LoadSeries LoadSeries::window(std::size_t from, std::size_t count) const {
+  LoadSeries out;
+  out.name = name + "-window";
+  out.step_seconds = step_seconds;
+  if (from >= steps.size()) return out;
+  const std::size_t end = std::min(steps.size(), from + count);
+  out.steps.assign(steps.begin() + static_cast<std::ptrdiff_t>(from),
+                   steps.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+std::uint32_t ideal_servers(double bytes_per_second,
+                            double per_server_bytes_per_second,
+                            std::uint32_t min_servers,
+                            std::uint32_t max_servers) {
+  if (per_server_bytes_per_second <= 0.0) return max_servers;
+  const double needed = bytes_per_second / per_server_bytes_per_second;
+  const auto n = static_cast<std::uint32_t>(std::ceil(needed));
+  return std::clamp(n, min_servers, max_servers);
+}
+
+std::vector<std::uint32_t> ideal_server_series(
+    const LoadSeries& load, double per_server_bytes_per_second,
+    std::uint32_t min_servers, std::uint32_t max_servers) {
+  std::vector<std::uint32_t> out;
+  out.reserve(load.steps.size());
+  for (const LoadStep& s : load.steps) {
+    out.push_back(ideal_servers(s.bytes_per_second,
+                                per_server_bytes_per_second, min_servers,
+                                max_servers));
+  }
+  return out;
+}
+
+}  // namespace ech

@@ -1,0 +1,54 @@
+// A time series of storage-cluster load: the unit the trace analysis
+// (Section V-B) works in.  Each step carries the aggregate IO rate offered
+// to the cluster plus the write fraction (writes are what get offloaded and
+// later re-integrated).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ech {
+
+struct LoadStep {
+  /// Aggregate offered IO in bytes/second over this step.
+  double bytes_per_second{0.0};
+  /// Fraction of that IO that is writes, in [0, 1].
+  double write_fraction{0.0};
+};
+
+struct LoadSeries {
+  std::string name;
+  double step_seconds{60.0};
+  std::vector<LoadStep> steps;
+
+  [[nodiscard]] double duration_seconds() const {
+    return step_seconds * static_cast<double>(steps.size());
+  }
+
+  /// Total bytes processed over the whole series (Table I's column).
+  [[nodiscard]] double total_bytes() const;
+  [[nodiscard]] double total_write_bytes() const;
+  [[nodiscard]] double peak_bytes_per_second() const;
+  [[nodiscard]] double mean_bytes_per_second() const;
+
+  /// Contiguous sub-series [from, from+count) for figure windows.
+  [[nodiscard]] LoadSeries window(std::size_t from, std::size_t count) const;
+};
+
+/// Servers needed to serve `bytes_per_second` given per-server bandwidth:
+/// the "ideal number of servers ... proportional to the data size
+/// processed".  Clamped to [min_servers, max_servers].
+[[nodiscard]] std::uint32_t ideal_servers(double bytes_per_second,
+                                          double per_server_bytes_per_second,
+                                          std::uint32_t min_servers,
+                                          std::uint32_t max_servers);
+
+/// Ideal-server series for a whole load series.
+[[nodiscard]] std::vector<std::uint32_t> ideal_server_series(
+    const LoadSeries& load, double per_server_bytes_per_second,
+    std::uint32_t min_servers, std::uint32_t max_servers);
+
+}  // namespace ech

@@ -1,0 +1,48 @@
+#include "workload/three_phase.h"
+
+#include <cmath>
+
+namespace ech {
+namespace {
+
+Bytes scaled(Bytes v, double scale) {
+  return static_cast<Bytes>(std::llround(static_cast<double>(v) * scale));
+}
+
+}  // namespace
+
+std::vector<WorkloadPhase> make_three_phase_workload(
+    const ThreePhaseParams& params, bool resizing) {
+  std::vector<WorkloadPhase> phases;
+
+  WorkloadPhase p1;
+  p1.name = "phase1-seq-write";
+  p1.write_bytes = scaled(params.phase1_write, params.scale);
+  p1.rate_limit_mbps = 0.0;
+  p1.overwrite_fraction = 0.0;
+  p1.resize_to_at_end = resizing ? params.low_power_servers : 0;
+  phases.push_back(p1);
+
+  WorkloadPhase p2;
+  p2.name = "phase2-light";
+  p2.read_bytes = scaled(params.phase2_read, params.scale);
+  p2.write_bytes = scaled(params.phase2_write, params.scale);
+  p2.rate_limit_mbps = params.phase2_rate_mbps;
+  p2.overwrite_fraction = params.overwrite_fraction;
+  p2.resize_to_at_end = resizing ? params.full_power_servers : 0;
+  phases.push_back(p2);
+
+  WorkloadPhase p3;
+  p3.name = "phase3-mixed";
+  const Bytes total3 = scaled(params.phase3_total, params.scale);
+  p3.write_bytes = static_cast<Bytes>(
+      static_cast<double>(total3) * params.phase3_write_ratio);
+  p3.read_bytes = total3 - p3.write_bytes;
+  p3.rate_limit_mbps = 0.0;
+  p3.overwrite_fraction = params.overwrite_fraction;
+  phases.push_back(p3);
+
+  return phases;
+}
+
+}  // namespace ech

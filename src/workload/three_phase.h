@@ -1,0 +1,45 @@
+// The 3-phase Filebench-style workload (Section V-A).
+//
+// Phase 1: sequentially write 2 GB to each of 7 files (14 GB total) at full
+//          speed; 4 of the 10 servers are turned down when it ends.
+// Phase 2: rate-limited to ~20 MB/s; 4.2 GB read + 8.4 GB written.  The
+//          servers stay down; every write in this phase is offloaded/dirty.
+// Phase 3: like phase 1 but with a 20% write ratio; the 4 servers come back
+//          at its start, so re-integration competes with the foreground.
+//
+// `scale` shrinks the data volumes (not the rates) for quicker runs while
+// preserving the shape; 1.0 reproduces the paper's volumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/cluster_sim.h"
+
+namespace ech {
+
+struct ThreePhaseParams {
+  Bytes phase1_write{14 * kGiB};
+  Bytes phase2_read{static_cast<Bytes>(4.2 * static_cast<double>(kGiB))};
+  Bytes phase2_write{static_cast<Bytes>(8.4 * static_cast<double>(kGiB))};
+  double phase2_rate_mbps{20.0};
+  /// Phase 3 volume matches phase 1; write ratio 20%.
+  Bytes phase3_total{14 * kGiB};
+  double phase3_write_ratio{0.2};
+  /// Active set while the middle phase runs (paper: 10 -> 6).
+  std::uint32_t low_power_servers{6};
+  std::uint32_t full_power_servers{10};
+  /// Fraction of phase-2/3 writes that overwrite existing objects.
+  double overwrite_fraction{0.3};
+  double scale{1.0};
+};
+
+/// Phases ready to feed ClusterSim::run().  Phase 1 ends by shrinking to
+/// `low_power_servers`; phase 2 ends by growing back to
+/// `full_power_servers`; `resizing=false` leaves the cluster at full power
+/// throughout (the paper's "no resizing" control).
+[[nodiscard]] std::vector<WorkloadPhase> make_three_phase_workload(
+    const ThreePhaseParams& params, bool resizing);
+
+}  // namespace ech

@@ -1,0 +1,80 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ech {
+
+Status save_trace_csv(const LoadSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return {StatusCode::kInternal, "cannot open " + path + " for writing"};
+  }
+  out << "t_seconds,bytes_per_second,write_fraction\n";
+  double t = 0.0;
+  for (const LoadStep& s : series.steps) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.1f,%.3f,%.4f\n", t, s.bytes_per_second,
+                  s.write_fraction);
+    out << buf;
+    t += series.step_seconds;
+  }
+  return out.good() ? Status::ok()
+                    : Status{StatusCode::kInternal, "write error on " + path};
+}
+
+Expected<LoadSeries> load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status{StatusCode::kNotFound, "cannot open " + path};
+  }
+  LoadSeries series;
+  series.name = path;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status{StatusCode::kInvalidArgument, "empty trace file"};
+  }
+  double prev_t = 0.0;
+  bool have_step = false;
+  std::size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string t_s, bps_s, wf_s;
+    if (!std::getline(ss, t_s, ',') || !std::getline(ss, bps_s, ',') ||
+        !std::getline(ss, wf_s)) {
+      return Status{StatusCode::kInvalidArgument,
+                    "expected 3 fields at row " + std::to_string(row)};
+    }
+    char* end = nullptr;
+    const double t = std::strtod(t_s.c_str(), &end);
+    if (end == t_s.c_str()) {
+      return Status{StatusCode::kInvalidArgument,
+                    "bad time at row " + std::to_string(row)};
+    }
+    const double bps = std::strtod(bps_s.c_str(), nullptr);
+    const double wf = std::strtod(wf_s.c_str(), nullptr);
+    if (bps < 0.0 || wf < 0.0 || wf > 1.0) {
+      return Status{StatusCode::kInvalidArgument,
+                    "bad values at row " + std::to_string(row)};
+    }
+    if (!series.steps.empty() && !have_step) {
+      series.step_seconds = t - prev_t;
+      have_step = true;
+      if (series.step_seconds <= 0.0) {
+        return Status{StatusCode::kInvalidArgument,
+                      "non-increasing timestamps"};
+      }
+    }
+    prev_t = t;
+    series.steps.push_back(LoadStep{bps, wf});
+  }
+  if (series.steps.empty()) {
+    return Status{StatusCode::kInvalidArgument, "trace has no rows"};
+  }
+  return series;
+}
+
+}  // namespace ech

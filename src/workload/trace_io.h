@@ -1,0 +1,22 @@
+// Trace persistence: CSV load/store so synthesised traces (or real ones, if
+// the user has them) can be replayed byte-identically across runs/tools.
+// Format: header `t_seconds,bytes_per_second,write_fraction`, one row per
+// step; steps must be evenly spaced.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/load_series.h"
+
+namespace ech {
+
+/// Write `series` to `path`.  Fails with kInternal on IO errors.
+Status save_trace_csv(const LoadSeries& series, const std::string& path);
+
+/// Read a trace written by save_trace_csv (or hand-authored in the same
+/// format).  Fails with kInvalidArgument on malformed rows and kNotFound
+/// when the file cannot be opened.
+Expected<LoadSeries> load_trace_csv(const std::string& path);
+
+}  // namespace ech

@@ -1,0 +1,107 @@
+#include "workload/trace_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ech {
+
+TraceSpec cc_a_spec() {
+  TraceSpec spec;
+  spec.name = "CC-a";
+  spec.machines = 100;  // "< 100 machines"
+  spec.length_seconds = 30.0 * 24 * 3600;  // 1 month
+  spec.bytes_processed = 69.0 * 1e12;      // 69 TB
+  // E-commerce analytics: many short interactive jobs -> frequent resizes.
+  spec.baseline_level = 24.0;
+  spec.jobs_per_hour = 14.0;
+  spec.job_size_alpha = 1.35;
+  spec.job_size_cap = 120.0;
+  spec.job_duration_mean_s = 8.0 * 60;
+  spec.diurnal_amplitude = 0.55;
+  spec.noise_sigma = 0.25;
+  spec.write_fraction = 0.35;
+  spec.seed = 0xCCA;
+  return spec;
+}
+
+TraceSpec cc_b_spec() {
+  TraceSpec spec;
+  spec.name = "CC-b";
+  spec.machines = 300;
+  spec.length_seconds = 9.0 * 24 * 3600;  // 9 days
+  spec.bytes_processed = 473.0 * 1e12;    // 473 TB
+  // Telecom batch pipelines: fewer, longer, larger jobs.
+  spec.baseline_level = 16.0;
+  spec.jobs_per_hour = 5.0;
+  spec.job_size_alpha = 1.5;
+  spec.job_size_cap = 250.0;
+  spec.job_duration_mean_s = 25.0 * 60;
+  spec.diurnal_amplitude = 0.45;
+  spec.noise_sigma = 0.2;
+  spec.write_fraction = 0.4;
+  spec.seed = 0xCCB;
+  return spec;
+}
+
+LoadSeries synthesize_trace(const TraceSpec& spec) {
+  Rng rng(spec.seed);
+  const auto step_count = static_cast<std::size_t>(
+      std::max(1.0, spec.length_seconds / spec.step_seconds));
+
+  LoadSeries out;
+  out.name = spec.name;
+  out.step_seconds = spec.step_seconds;
+  out.steps.resize(step_count);
+
+  // 1. Baseline: diurnal cycle over a unit mean.
+  std::vector<double> rate(step_count, 0.0);
+  const double phase = rng.uniform_real(0.0, 2.0 * M_PI);
+  for (std::size_t i = 0; i < step_count; ++i) {
+    const double t = static_cast<double>(i) * spec.step_seconds;
+    const double day = 2.0 * M_PI * t / 86400.0;
+    rate[i] = spec.baseline_level *
+              (1.0 + spec.diurnal_amplitude * std::sin(day + phase));
+  }
+
+  // 2. Batch jobs: Poisson arrivals, Pareto sizes, exponential durations.
+  //    A job adds its size spread uniformly over its duration.  Job sizes
+  //    are expressed in "baseline-step units" and normalised away later;
+  //    only the *shape* matters here.
+  const double lambda_per_step = spec.jobs_per_hour * spec.step_seconds / 3600.0;
+  for (std::size_t i = 0; i < step_count; ++i) {
+    const std::uint64_t arrivals = rng.poisson(lambda_per_step);
+    for (std::uint64_t j = 0; j < arrivals; ++j) {
+      const double size =
+          std::min(rng.pareto(4.0, spec.job_size_alpha), spec.job_size_cap);
+      const double duration =
+          std::max(spec.step_seconds,
+                   rng.exponential(1.0 / spec.job_duration_mean_s));
+      const auto span = static_cast<std::size_t>(
+          std::ceil(duration / spec.step_seconds));
+      const double per_step = size / static_cast<double>(span);
+      for (std::size_t k = i; k < std::min(step_count, i + span); ++k) {
+        rate[k] += per_step;
+      }
+    }
+  }
+
+  // 3. Multiplicative noise.
+  for (std::size_t i = 0; i < step_count; ++i) {
+    rate[i] *= std::exp(rng.normal(0.0, spec.noise_sigma));
+  }
+
+  // 4. Normalise so the series processes exactly spec.bytes_processed.
+  double total_units = 0.0;
+  for (double r : rate) total_units += r * spec.step_seconds;
+  const double scale =
+      total_units > 0.0 ? spec.bytes_processed / total_units : 0.0;
+
+  for (std::size_t i = 0; i < step_count; ++i) {
+    out.steps[i].bytes_per_second = rate[i] * scale;
+    out.steps[i].write_fraction = std::clamp(
+        spec.write_fraction + rng.normal(0.0, 0.08), 0.05, 0.95);
+  }
+  return out;
+}
+
+}  // namespace ech

@@ -1,0 +1,90 @@
+#include "cluster/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(CapacityPlanner, PaperDefaultTiers) {
+  const auto planner = CapacityPlanner::paper_default();
+  ASSERT_EQ(planner.tiers().size(), 6u);
+  EXPECT_EQ(planner.tiers().front(), 2000 * kGiB);
+  EXPECT_EQ(planner.tiers().back(), 320 * kGiB);
+}
+
+TEST(CapacityPlanner, PlanCoversEveryRank) {
+  const auto planner = CapacityPlanner::paper_default();
+  const auto plan = planner.plan({10, 100000}, 5 * kTiB);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().capacity_by_rank.size(), 10u);
+  EXPECT_EQ(plan.value().expected_utilization.size(), 10u);
+}
+
+TEST(CapacityPlanner, HigherRanksGetBiggerDisks) {
+  const auto planner = CapacityPlanner::paper_default();
+  const auto plan = planner.plan({20, 100000}, 20 * kTiB);
+  ASSERT_TRUE(plan.ok());
+  const auto& caps = plan.value().capacity_by_rank;
+  // Rank 1 (primary, heavy) must not get a smaller disk than rank 20.
+  EXPECT_GE(caps.front(), caps.back());
+}
+
+TEST(CapacityPlanner, TinyDataUsesSmallestTier) {
+  const auto planner = CapacityPlanner::paper_default();
+  const auto plan = planner.plan({10, 100000}, 1 * kGiB);
+  ASSERT_TRUE(plan.ok());
+  for (Bytes c : plan.value().capacity_by_rank) {
+    EXPECT_EQ(c, 320 * kGiB);
+  }
+}
+
+TEST(CapacityPlanner, UtilizationBelowOneWithHeadroom) {
+  const auto planner = CapacityPlanner::paper_default();
+  const auto plan = planner.plan({10, 100000}, 6 * kTiB, 1.25);
+  ASSERT_TRUE(plan.ok());
+  for (double u : plan.value().expected_utilization) {
+    EXPECT_LE(u, 1.0);
+    EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(CapacityPlanner, SpreadBetterThanUniformProvisioning) {
+  // With tiered capacities, utilisation spread must beat what identical
+  // disks would give (where spread equals the weight ratio rank1/rankN).
+  const LayoutParams params{20, 100000};
+  const auto planner = CapacityPlanner::paper_default();
+  const auto plan = planner.plan(params, 15 * kTiB);
+  ASSERT_TRUE(plan.ok());
+  const auto fractions = EqualWorkLayout::expected_fractions(params);
+  const double uniform_spread = fractions.front() / fractions.back();
+  EXPECT_LT(plan.value().utilization_spread, uniform_spread);
+  EXPECT_GE(plan.value().utilization_spread, 1.0);
+}
+
+TEST(CapacityPlanner, RejectsBadArguments) {
+  const auto planner = CapacityPlanner::paper_default();
+  EXPECT_FALSE(planner.plan({0, 1000}, kTiB).ok());
+  EXPECT_FALSE(planner.plan({10, 1000}, -1).ok());
+  EXPECT_FALSE(planner.plan({10, 1000}, kTiB, 0.5).ok());
+}
+
+TEST(CapacityPlanner, CustomTierMenu) {
+  const CapacityPlanner planner({1000 * kGiB, 100 * kGiB});
+  const auto plan = planner.plan({4, 1000}, 800 * kGiB);
+  ASSERT_TRUE(plan.ok());
+  for (Bytes c : plan.value().capacity_by_rank) {
+    EXPECT_TRUE(c == 1000 * kGiB || c == 100 * kGiB);
+  }
+}
+
+TEST(CapacityPlanner, OversizedDemandCapsAtLargestTier) {
+  const CapacityPlanner planner({500 * kGiB});
+  const auto plan = planner.plan({2, 1000}, 100 * kTiB);
+  ASSERT_TRUE(plan.ok());
+  for (Bytes c : plan.value().capacity_by_rank) EXPECT_EQ(c, 500 * kGiB);
+  // Utilisation may exceed 1.0 — the planner surfaces the shortfall.
+  EXPECT_GT(plan.value().expected_utilization.front(), 1.0);
+}
+
+}  // namespace
+}  // namespace ech

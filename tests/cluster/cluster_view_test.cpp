@@ -1,0 +1,90 @@
+#include "cluster/cluster_view.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/layout.h"
+
+namespace ech {
+namespace {
+
+struct ViewFixture {
+  ViewFixture(std::uint32_t n, std::uint32_t p, std::uint32_t active)
+      : chain(ExpansionChain::identity(n, p)),
+        membership(MembershipTable::prefix_active(n, active)) {
+    for (std::uint32_t id = 1; id <= n; ++id) {
+      EXPECT_TRUE(ring.add_server(ServerId{id}, 16).is_ok());
+    }
+  }
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable membership;
+};
+
+TEST(ClusterView, ForwardsComponents) {
+  ViewFixture f(10, 2, 10);
+  const ClusterView view(f.chain, f.ring, f.membership);
+  EXPECT_EQ(&view.chain(), &f.chain);
+  EXPECT_EQ(&view.ring(), &f.ring);
+  EXPECT_EQ(&view.membership(), &f.membership);
+  EXPECT_EQ(view.server_count(), 10u);
+  EXPECT_EQ(view.active_count(), 10u);
+}
+
+TEST(ClusterView, PrimaryAndActivePredicates) {
+  ViewFixture f(10, 3, 6);
+  const ClusterView view(f.chain, f.ring, f.membership);
+  EXPECT_TRUE(view.is_primary(ServerId{1}));
+  EXPECT_TRUE(view.is_primary(ServerId{3}));
+  EXPECT_FALSE(view.is_primary(ServerId{4}));
+  EXPECT_TRUE(view.is_active(ServerId{6}));
+  EXPECT_FALSE(view.is_active(ServerId{7}));
+  EXPECT_FALSE(view.is_active(ServerId{99}));  // unknown id
+}
+
+TEST(ClusterView, ActiveSecondaryLogic) {
+  ViewFixture f(10, 3, 6);
+  const ClusterView view(f.chain, f.ring, f.membership);
+  EXPECT_FALSE(view.is_active_secondary(ServerId{2}));  // primary
+  EXPECT_TRUE(view.is_active_secondary(ServerId{5}));
+  EXPECT_FALSE(view.is_active_secondary(ServerId{8}));  // inactive
+  EXPECT_EQ(view.active_secondary_count(), 3u);  // ranks 4, 5, 6
+}
+
+TEST(ClusterView, MinimumPowerView) {
+  ViewFixture f(10, 2, 2);
+  const ClusterView view(f.chain, f.ring, f.membership);
+  EXPECT_EQ(view.active_count(), 2u);
+  EXPECT_EQ(view.active_secondary_count(), 0u);
+  EXPECT_TRUE(view.is_active(ServerId{1}));
+  EXPECT_TRUE(view.is_active(ServerId{2}));
+  EXPECT_FALSE(view.is_active(ServerId{3}));
+}
+
+TEST(ClusterView, ReflectsMembershipMutation) {
+  ViewFixture f(6, 2, 6);
+  const ClusterView view(f.chain, f.ring, f.membership);
+  EXPECT_TRUE(view.is_active(ServerId{5}));
+  f.membership.set_state(5, ServerState::kOff);
+  // Views are non-owning: the mutation is visible immediately.
+  EXPECT_FALSE(view.is_active(ServerId{5}));
+  EXPECT_EQ(view.active_count(), 5u);
+}
+
+TEST(ClusterView, NonIdentityChainMapping) {
+  auto chain =
+      ExpansionChain::create({ServerId{42}, ServerId{7}, ServerId{13}}, 1);
+  ASSERT_TRUE(chain.ok());
+  HashRing ring;
+  for (ServerId id : chain.value().servers()) {
+    ASSERT_TRUE(ring.add_server(id, 8).is_ok());
+  }
+  const auto membership = MembershipTable::prefix_active(3, 2);
+  const ClusterView view(chain.value(), ring, membership);
+  EXPECT_TRUE(view.is_primary(ServerId{42}));   // rank 1
+  EXPECT_TRUE(view.is_active(ServerId{7}));     // rank 2
+  EXPECT_FALSE(view.is_active(ServerId{13}));   // rank 3, off
+  EXPECT_EQ(view.active_secondary_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ech

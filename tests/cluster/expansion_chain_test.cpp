@@ -1,0 +1,86 @@
+#include "cluster/expansion_chain.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(ExpansionChain, IdentityChain) {
+  const ExpansionChain chain = ExpansionChain::identity(10, 2);
+  EXPECT_EQ(chain.size(), 10u);
+  EXPECT_EQ(chain.primary_count(), 2u);
+  for (Rank r = 1; r <= 10; ++r) {
+    EXPECT_EQ(chain.server_at(r), ServerId{r});
+    EXPECT_EQ(chain.rank_of(ServerId{r}), r);
+  }
+}
+
+TEST(ExpansionChain, PrimaryByRank) {
+  const ExpansionChain chain = ExpansionChain::identity(10, 3);
+  EXPECT_TRUE(chain.is_primary(Rank{1}));
+  EXPECT_TRUE(chain.is_primary(Rank{3}));
+  EXPECT_FALSE(chain.is_primary(Rank{4}));
+  EXPECT_FALSE(chain.is_primary(Rank{10}));
+}
+
+TEST(ExpansionChain, PrimaryByServerId) {
+  const ExpansionChain chain = ExpansionChain::identity(5, 2);
+  EXPECT_TRUE(chain.is_primary(ServerId{1}));
+  EXPECT_TRUE(chain.is_primary(ServerId{2}));
+  EXPECT_FALSE(chain.is_primary(ServerId{3}));
+  EXPECT_FALSE(chain.is_primary(ServerId{99}));  // unknown id
+}
+
+TEST(ExpansionChain, CustomOrdering) {
+  auto result = ExpansionChain::create(
+      {ServerId{7}, ServerId{3}, ServerId{9}, ServerId{1}}, 1);
+  ASSERT_TRUE(result.ok());
+  const ExpansionChain& chain = result.value();
+  EXPECT_EQ(chain.server_at(1), ServerId{7});
+  EXPECT_EQ(chain.rank_of(ServerId{9}), Rank{3});
+  EXPECT_TRUE(chain.is_primary(ServerId{7}));
+  EXPECT_FALSE(chain.is_primary(ServerId{3}));
+}
+
+TEST(ExpansionChain, RankOfUnknownIsNull) {
+  const ExpansionChain chain = ExpansionChain::identity(4, 1);
+  EXPECT_FALSE(chain.rank_of(ServerId{5}).has_value());
+  EXPECT_FALSE(chain.rank_of(ServerId{0}).has_value());
+}
+
+TEST(ExpansionChain, EmptyRejected) {
+  EXPECT_FALSE(ExpansionChain::create({}, 1).ok());
+}
+
+TEST(ExpansionChain, PrimaryCountBounds) {
+  EXPECT_FALSE(ExpansionChain::create({ServerId{1}}, 0).ok());
+  EXPECT_FALSE(ExpansionChain::create({ServerId{1}}, 2).ok());
+  EXPECT_TRUE(ExpansionChain::create({ServerId{1}}, 1).ok());
+}
+
+TEST(ExpansionChain, DuplicateIdsRejected) {
+  const auto result =
+      ExpansionChain::create({ServerId{1}, ServerId{1}}, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExpansionChain, PrimariesAndSecondariesPartition) {
+  const ExpansionChain chain = ExpansionChain::identity(10, 3);
+  const auto prim = chain.primaries();
+  const auto sec = chain.secondaries();
+  EXPECT_EQ(prim.size(), 3u);
+  EXPECT_EQ(sec.size(), 7u);
+  EXPECT_EQ(prim.front(), ServerId{1});
+  EXPECT_EQ(sec.front(), ServerId{4});
+  EXPECT_EQ(sec.back(), ServerId{10});
+}
+
+TEST(ExpansionChain, AllPrimaries) {
+  const ExpansionChain chain = ExpansionChain::identity(4, 4);
+  EXPECT_TRUE(chain.secondaries().empty());
+  for (Rank r = 1; r <= 4; ++r) EXPECT_TRUE(chain.is_primary(r));
+}
+
+}  // namespace
+}  // namespace ech

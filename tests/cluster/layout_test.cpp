@@ -1,0 +1,117 @@
+#include "cluster/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace ech {
+namespace {
+
+TEST(EqualWorkLayout, PaperExamplePrimaryCount) {
+  // Section III-C: 10-server cluster -> 2 primaries (p = ceil(n / e^2)).
+  EXPECT_EQ(EqualWorkLayout::primary_count(10), 2u);
+}
+
+TEST(EqualWorkLayout, PrimaryCountEdgeCases) {
+  EXPECT_EQ(EqualWorkLayout::primary_count(0), 0u);
+  EXPECT_EQ(EqualWorkLayout::primary_count(1), 1u);
+  EXPECT_EQ(EqualWorkLayout::primary_count(2), 1u);
+  EXPECT_EQ(EqualWorkLayout::primary_count(7), 1u);   // 7/e^2 < 1
+  EXPECT_EQ(EqualWorkLayout::primary_count(8), 2u);   // 8/e^2 = 1.08
+}
+
+TEST(EqualWorkLayout, PrimaryCountScales) {
+  const double e2 = std::exp(2.0);
+  for (std::uint32_t n : {20u, 50u, 100u, 300u, 1000u}) {
+    const std::uint32_t p = EqualWorkLayout::primary_count(n);
+    EXPECT_EQ(p, static_cast<std::uint32_t>(std::ceil(n / e2))) << n;
+    EXPECT_GE(p, 1u);
+    EXPECT_LE(p, n);
+  }
+}
+
+TEST(EqualWorkLayout, PaperExampleWeights) {
+  // Section III-C: B = 1000, 10 servers, 2 primaries: each primary gets
+  // 1000/2 = 500 vnodes; server 6 gets 1000/6 = 166 (integer division).
+  const WeightVector w = EqualWorkLayout::weights({10, 1000});
+  EXPECT_EQ(w[0], 500u);
+  EXPECT_EQ(w[1], 500u);
+  EXPECT_EQ(w[2], 1000u / 3);
+  EXPECT_EQ(w[5], 1000u / 6);
+  EXPECT_EQ(w[9], 100u);
+}
+
+TEST(EqualWorkLayout, WeightsMonotoneOverSecondaries) {
+  const WeightVector w = EqualWorkLayout::weights({50, 100000});
+  const std::uint32_t p = EqualWorkLayout::primary_count(50);
+  for (std::uint32_t i = p; i + 1 < 50; ++i) {
+    EXPECT_GE(w[i], w[i + 1]) << "rank " << i + 1;
+  }
+}
+
+TEST(EqualWorkLayout, HigherRankedStoreMore) {
+  // "higher ranked servers always store more data comparing to lower
+  // ranked servers" (rank 1 is highest).
+  const WeightVector w = EqualWorkLayout::weights({30, 100000});
+  EXPECT_GT(w.front(), w.back());
+}
+
+TEST(EqualWorkLayout, EveryWeightAtLeastOne) {
+  const WeightVector w = EqualWorkLayout::weights({300, 100});
+  for (auto v : w) EXPECT_GE(v, 1u);
+}
+
+TEST(EqualWorkLayout, FractionsSumToOne) {
+  const auto f = EqualWorkLayout::expected_fractions({25, 100000});
+  const double total = std::accumulate(f.begin(), f.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(EqualWorkLayout, PrimariesShareEqually) {
+  const auto f = EqualWorkLayout::expected_fractions({40, 100000});
+  const std::uint32_t p = EqualWorkLayout::primary_count(40);
+  for (std::uint32_t i = 1; i < p; ++i) {
+    EXPECT_NEAR(f[i], f[0], 1e-9);
+  }
+}
+
+TEST(EqualWorkLayout, SecondaryFractionDecaysLikeOneOverRank) {
+  const auto f = EqualWorkLayout::expected_fractions({100, 1000000});
+  // f(i) / f(2i) should be ~2 for secondary ranks.
+  EXPECT_NEAR(f[29] / f[59], 2.0, 0.05);
+}
+
+TEST(EqualWorkLayout, EmptyCluster) {
+  EXPECT_TRUE(EqualWorkLayout::weights({0, 1000}).empty());
+}
+
+TEST(UniformLayout, AllEqual) {
+  const WeightVector w = UniformLayout::weights({10, 1000});
+  for (auto v : w) EXPECT_EQ(v, 100u);
+}
+
+TEST(UniformLayout, AtLeastOneEach) {
+  const WeightVector w = UniformLayout::weights({100, 10});
+  for (auto v : w) EXPECT_EQ(v, 1u);
+}
+
+class LayoutSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LayoutSweep, EqualWorkTotalsNearBudget) {
+  const std::uint32_t n = GetParam();
+  const std::uint32_t B = 100000;
+  const WeightVector w = EqualWorkLayout::weights({n, B});
+  const std::uint64_t total =
+      std::accumulate(w.begin(), w.end(), std::uint64_t{0});
+  // Total vnodes = B (primaries) + B * sum(1/i for secondaries); it must be
+  // at least B and grow sub-linearly with n.
+  EXPECT_GE(total, static_cast<std::uint64_t>(B) * 95 / 100);
+  EXPECT_LE(total, static_cast<std::uint64_t>(B) * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, LayoutSweep,
+                         ::testing::Values(2u, 10u, 50u, 100u, 300u));
+
+}  // namespace
+}  // namespace ech

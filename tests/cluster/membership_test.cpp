@@ -1,0 +1,106 @@
+#include "cluster/membership.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(MembershipTable, FullPower) {
+  const auto t = MembershipTable::full_power(8);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.active_count(), 8u);
+  EXPECT_TRUE(t.is_full_power());
+  for (Rank r = 1; r <= 8; ++r) EXPECT_TRUE(t.is_active(r));
+}
+
+TEST(MembershipTable, PrefixActive) {
+  const auto t = MembershipTable::prefix_active(10, 6);
+  EXPECT_EQ(t.active_count(), 6u);
+  EXPECT_FALSE(t.is_full_power());
+  for (Rank r = 1; r <= 6; ++r) EXPECT_TRUE(t.is_active(r));
+  for (Rank r = 7; r <= 10; ++r) EXPECT_FALSE(t.is_active(r));
+}
+
+TEST(MembershipTable, PrefixZeroActive) {
+  const auto t = MembershipTable::prefix_active(5, 0);
+  EXPECT_EQ(t.active_count(), 0u);
+  EXPECT_FALSE(t.is_full_power());
+}
+
+TEST(MembershipTable, PrefixAllActiveIsFullPower) {
+  EXPECT_TRUE(MembershipTable::prefix_active(5, 5).is_full_power());
+}
+
+TEST(MembershipTable, SetState) {
+  auto t = MembershipTable::full_power(4);
+  t.set_state(3, ServerState::kOff);
+  EXPECT_FALSE(t.is_active(3));
+  EXPECT_EQ(t.active_count(), 3u);
+  t.set_state(3, ServerState::kOn);
+  EXPECT_TRUE(t.is_full_power());
+}
+
+TEST(MembershipTable, OutOfRangeRanksInactive) {
+  const auto t = MembershipTable::full_power(4);
+  EXPECT_FALSE(t.is_active(0));
+  EXPECT_FALSE(t.is_active(5));
+}
+
+TEST(MembershipTable, ActiveRanks) {
+  auto t = MembershipTable::prefix_active(5, 3);
+  const auto ranks = t.active_ranks();
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks[0], 1u);
+  EXPECT_EQ(ranks[2], 3u);
+}
+
+TEST(MembershipTable, Equality) {
+  EXPECT_EQ(MembershipTable::prefix_active(5, 3),
+            MembershipTable::prefix_active(5, 3));
+  EXPECT_NE(MembershipTable::prefix_active(5, 3),
+            MembershipTable::prefix_active(5, 4));
+}
+
+TEST(VersionHistory, AppendAssignsSequentialVersions) {
+  VersionHistory h;
+  EXPECT_EQ(h.current_version(), Version{0});
+  EXPECT_EQ(h.append(MembershipTable::full_power(4)), Version{1});
+  EXPECT_EQ(h.append(MembershipTable::prefix_active(4, 2)), Version{2});
+  EXPECT_EQ(h.current_version(), Version{2});
+  EXPECT_EQ(h.version_count(), 2u);
+}
+
+TEST(VersionHistory, LookupHistoricalTables) {
+  VersionHistory h;
+  h.append(MembershipTable::full_power(4));
+  h.append(MembershipTable::prefix_active(4, 2));
+  h.append(MembershipTable::full_power(4));
+  EXPECT_EQ(h.table(Version{1}).active_count(), 4u);
+  EXPECT_EQ(h.table(Version{2}).active_count(), 2u);
+  EXPECT_EQ(h.table(Version{3}).active_count(), 4u);
+  EXPECT_EQ(h.num_servers(Version{2}), 2u);
+}
+
+TEST(VersionHistory, ContainsBounds) {
+  VersionHistory h;
+  h.append(MembershipTable::full_power(2));
+  EXPECT_FALSE(h.contains(Version{0}));
+  EXPECT_TRUE(h.contains(Version{1}));
+  EXPECT_FALSE(h.contains(Version{2}));
+}
+
+TEST(VersionHistory, CurrentMatchesLastAppend) {
+  VersionHistory h;
+  h.append(MembershipTable::prefix_active(6, 5));
+  EXPECT_EQ(h.current().active_count(), 5u);
+}
+
+TEST(VersionOrdering, NextAndComparisons) {
+  const Version v1{1};
+  EXPECT_EQ(v1.next(), Version{2});
+  EXPECT_LT(v1, Version{2});
+  EXPECT_GT(Version{3}, Version{2});
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,89 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ech {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/ech_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    ASSERT_TRUE(w.enabled());
+    w.row({"1", "2"});
+    w.row({"x", "y"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\nx,y\n");
+}
+
+TEST_F(CsvTest, QuotesFieldsWithCommas) {
+  {
+    CsvWriter w(path_, {"k"});
+    w.row({"hello, world"});
+  }
+  EXPECT_EQ(read_file(path_), "k\n\"hello, world\"\n");
+}
+
+TEST_F(CsvTest, EscapesEmbeddedQuotes) {
+  {
+    CsvWriter w(path_, {"k"});
+    w.row({"say \"hi\""});
+  }
+  EXPECT_EQ(read_file(path_), "k\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, NumericRows) {
+  {
+    CsvWriter w(path_, {"v"});
+    w.row_numeric({1.5});
+  }
+  EXPECT_EQ(read_file(path_), "v\n1.500000\n");
+}
+
+TEST(CsvWriterDisabled, EmptyPathIsNoop) {
+  CsvWriter w("", {"a"});
+  EXPECT_FALSE(w.enabled());
+  w.row({"ignored"});  // must not crash
+}
+
+TEST(CsvWriterDisabled, DefaultConstructedIsDisabled) {
+  CsvWriter w;
+  EXPECT_FALSE(w.enabled());
+  w.row_numeric({1.0});
+}
+
+TEST(FmtDouble, RespectsDecimals) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_double(-1.0, 1), "-1.0");
+}
+
+TEST(FmtBytes, BinaryUnits) {
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(fmt_bytes(4 * 1024 * 1024), "4.0 MiB");
+  EXPECT_EQ(fmt_bytes(3LL * 1024 * 1024 * 1024), "3.0 GiB");
+  EXPECT_EQ(fmt_bytes(69LL * 1024 * 1024 * 1024 * 1024), "69.0 TiB");
+}
+
+TEST(FmtBytes, Zero) { EXPECT_EQ(fmt_bytes(0), "0.0 B"); }
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,87 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ech {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Reference values for 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, MatchesByteRangeOverload) {
+  const std::string s = "hello world";
+  EXPECT_EQ(fnv1a64(s), fnv1a64(s.data(), s.size()));
+}
+
+TEST(Fnv1a64, DistinctInputsDistinctHashes) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(fnv1a64("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Mix64, AvalanchesSequentialInputs) {
+  // Adjacent integers must land far apart: the top byte of consecutive
+  // mixes should differ almost always.
+  int same_top_byte = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if ((mix64(i) >> 56) == (mix64(i + 1) >> 56)) ++same_top_byte;
+  }
+  EXPECT_LT(same_top_byte, 30);  // ~1/256 expected by chance
+}
+
+TEST(Mix64, DeterministicAndConstexpr) {
+  static_assert(mix64(0) == mix64(0));
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Mix64, ZeroInputDoesNotMapToZero) { EXPECT_NE(mix64(0), 0u); }
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, DiffersFromInputs) {
+  const std::uint64_t h = hash_combine(0xdead, 0xbeef);
+  EXPECT_NE(h, 0xdeadu);
+  EXPECT_NE(h, 0xbeefu);
+}
+
+TEST(ObjectPosition, UniformAcrossQuadrants) {
+  // Object positions should spread over the full 2^64 ring.
+  std::vector<int> quadrant(4, 0);
+  constexpr int kObjects = 40000;
+  for (std::uint64_t i = 0; i < kObjects; ++i) {
+    const RingPosition pos = object_position(ObjectId{i});
+    ++quadrant[pos >> 62];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_NEAR(quadrant[q], kObjects / 4, kObjects / 20) << "quadrant " << q;
+  }
+}
+
+TEST(VnodePosition, DistinctPerVnodeIndex) {
+  std::set<RingPosition> seen;
+  for (std::uint32_t v = 0; v < 500; ++v) {
+    seen.insert(vnode_position(ServerId{7}, v));
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(VnodePosition, DistinctAcrossServers) {
+  EXPECT_NE(vnode_position(ServerId{1}, 0), vnode_position(ServerId{2}, 0));
+  EXPECT_NE(vnode_position(ServerId{1}, 1), vnode_position(ServerId{2}, 1));
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,73 @@
+#include "common/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ech {
+namespace {
+
+std::string hex(std::string_view s) { return Sha1::to_hex(Sha1::digest(s)); }
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Fips180TwoBlockMessage) {
+  EXPECT_EQ(hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-into-second-block path.
+  EXPECT_EQ(hex(std::string(64, 'a')),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha1::to_hex(h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Sha1 h;
+  h.update("The quick brown fox ");
+  h.update("jumps over ");
+  h.update("the lazy dog");
+  EXPECT_EQ(Sha1::to_hex(h.finalize()),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 h;
+  h.update("garbage");
+  (void)h.finalize();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(Sha1::to_hex(h.finalize()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Hash64TakesLeadingBytes) {
+  // First 8 bytes of SHA1("abc") = a9993e3647068168.
+  EXPECT_EQ(Sha1::hash64("abc"), 0xa9993e364706816aULL);
+}
+
+TEST(Sha1, Hash64Differs) {
+  EXPECT_NE(Sha1::hash64("abc"), Sha1::hash64("abd"));
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ech {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s{StatusCode::kNotFound, "object 42"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "object 42");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: object 42");
+}
+
+TEST(Status, ToStringWithoutMessage) {
+  const Status s{StatusCode::kUnavailable, ""};
+  EXPECT_EQ(s.to_string(), "UNAVAILABLE");
+}
+
+TEST(StatusCodeNames, AllDistinct) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_STREQ(to_string(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(to_string(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(to_string(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(to_string(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(to_string(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(to_string(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_TRUE(e.status().is_ok());
+}
+
+TEST(Expected, HoldsStatus) {
+  const Expected<int> e = Status{StatusCode::kInternal, "boom"};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInternal);
+}
+
+TEST(Expected, ValueOrFallback) {
+  const Expected<std::string> good = std::string("yes");
+  const Expected<std::string> bad = Status{StatusCode::kNotFound, ""};
+  const std::string fallback = "no";
+  EXPECT_EQ(good.value_or(fallback), "yes");
+  EXPECT_EQ(bad.value_or(fallback), "no");
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> e = std::string("payload");
+  const std::string s = std::move(e).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Expected, MutableValueReference) {
+  Expected<int> e = 1;
+  e.value() = 7;
+  EXPECT_EQ(e.value(), 7);
+}
+
+}  // namespace
+}  // namespace ech

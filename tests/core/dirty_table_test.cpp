@@ -1,0 +1,221 @@
+#include "core/dirty_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+class DirtyTableTest : public ::testing::Test {
+ protected:
+  kv::ShardedStore store_{4};
+  DirtyTable table_{store_};
+};
+
+TEST_F(DirtyTableTest, StartsEmpty) {
+  EXPECT_TRUE(table_.empty());
+  EXPECT_EQ(table_.size(), 0u);
+  EXPECT_FALSE(table_.fetch_next().has_value());
+  EXPECT_FALSE(table_.min_version().has_value());
+  EXPECT_FALSE(table_.max_version().has_value());
+}
+
+TEST_F(DirtyTableTest, InsertAndSize) {
+  table_.insert(ObjectId{100}, Version{3});
+  table_.insert(ObjectId{200}, Version{3});
+  table_.insert(ObjectId{300}, Version{4});
+  EXPECT_EQ(table_.size(), 3u);
+  EXPECT_EQ(table_.size_at(Version{3}), 2u);
+  EXPECT_EQ(table_.size_at(Version{4}), 1u);
+  EXPECT_EQ(table_.min_version(), Version{3});
+  EXPECT_EQ(table_.max_version(), Version{4});
+}
+
+TEST_F(DirtyTableTest, FetchOrderVersionThenFifo) {
+  // Paper: fetch in version-ascending order, FIFO within a version.
+  table_.insert(ObjectId{9}, Version{10});
+  table_.insert(ObjectId{100}, Version{8});
+  table_.insert(ObjectId{200}, Version{8});
+  table_.insert(ObjectId{10}, Version{9});
+
+  table_.restart();
+  const auto e1 = table_.fetch_next();
+  const auto e2 = table_.fetch_next();
+  const auto e3 = table_.fetch_next();
+  const auto e4 = table_.fetch_next();
+  ASSERT_TRUE(e1 && e2 && e3 && e4);
+  EXPECT_EQ(*e1, (DirtyEntry{ObjectId{100}, Version{8}}));
+  EXPECT_EQ(*e2, (DirtyEntry{ObjectId{200}, Version{8}}));
+  EXPECT_EQ(*e3, (DirtyEntry{ObjectId{10}, Version{9}}));
+  EXPECT_EQ(*e4, (DirtyEntry{ObjectId{9}, Version{10}}));
+  EXPECT_FALSE(table_.fetch_next().has_value());
+}
+
+TEST_F(DirtyTableTest, FetchDoesNotRemove) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.restart();
+  ASSERT_TRUE(table_.fetch_next().has_value());
+  EXPECT_EQ(table_.size(), 1u);
+  // Restart re-yields the same entry.
+  table_.restart();
+  const auto again = table_.fetch_next();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->oid, ObjectId{1});
+}
+
+TEST_F(DirtyTableTest, RemoveRetiresEntry) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{2});
+  table_.remove(DirtyEntry{ObjectId{1}, Version{2}});
+  EXPECT_EQ(table_.size(), 1u);
+  table_.restart();
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{2});
+}
+
+TEST_F(DirtyTableTest, RemoveJustFetchedKeepsCursorConsistent) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{2});
+  table_.insert(ObjectId{3}, Version{2});
+  table_.restart();
+  const auto e1 = table_.fetch_next();
+  table_.remove(*e1);
+  // Next fetch must yield object 2, not skip to 3.
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{2});
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{3});
+}
+
+TEST_F(DirtyTableTest, RemoveLastEntryEmptiesTable) {
+  table_.insert(ObjectId{1}, Version{5});
+  table_.remove(DirtyEntry{ObjectId{1}, Version{5}});
+  EXPECT_TRUE(table_.empty());
+  EXPECT_FALSE(table_.min_version().has_value());
+}
+
+TEST_F(DirtyTableTest, RemoveTightensMinVersion) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{5});
+  table_.remove(DirtyEntry{ObjectId{1}, Version{2}});
+  EXPECT_EQ(table_.min_version(), Version{5});
+}
+
+TEST_F(DirtyTableTest, RemoveNonexistentIsNoop) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.remove(DirtyEntry{ObjectId{99}, Version{2}});
+  table_.remove(DirtyEntry{ObjectId{1}, Version{7}});
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_F(DirtyTableTest, DuplicateInsertsKeptFifo) {
+  // The same object written twice in one version appears twice; the
+  // re-integrator handles duplicates idempotently.
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{1}, Version{2});
+  EXPECT_EQ(table_.size(), 2u);
+  table_.remove(DirtyEntry{ObjectId{1}, Version{2}});
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_F(DirtyTableTest, ClearDropsEverything) {
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    table_.insert(ObjectId{i}, Version{static_cast<std::uint32_t>(1 + i % 3)});
+  }
+  table_.clear();
+  EXPECT_TRUE(table_.empty());
+  EXPECT_FALSE(table_.fetch_next().has_value());
+  EXPECT_EQ(store_.total_keys(), 0u);
+}
+
+TEST_F(DirtyTableTest, EntriesAtListsVersionFifo) {
+  table_.insert(ObjectId{5}, Version{1});
+  table_.insert(ObjectId{3}, Version{1});
+  const auto entries = table_.entries_at(Version{1});
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], ObjectId{5});
+  EXPECT_EQ(entries[1], ObjectId{3});
+  EXPECT_TRUE(table_.entries_at(Version{9}).empty());
+}
+
+TEST_F(DirtyTableTest, RestartAfterPartialScan) {
+  for (std::uint64_t i = 0; i < 5; ++i) table_.insert(ObjectId{i}, Version{1});
+  table_.restart();
+  (void)table_.fetch_next();
+  (void)table_.fetch_next();
+  table_.restart();
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{0});
+}
+
+TEST_F(DirtyTableTest, VersionListsSpreadAcrossShards) {
+  // Different version lists should not all land on one KV shard.
+  for (std::uint32_t v = 1; v <= 64; ++v) {
+    table_.insert(ObjectId{v}, Version{v});
+  }
+  std::size_t shards_used = 0;
+  for (std::size_t i = 0; i < store_.shard_count(); ++i) {
+    if (store_.shard(i).key_count() > 0) ++shards_used;
+  }
+  EXPECT_GT(shards_used, 1u);
+}
+
+TEST_F(DirtyTableTest, MemoryUsageGrowsWithEntries) {
+  const std::size_t before = table_.memory_usage_bytes();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    table_.insert(ObjectId{1000000 + i}, Version{1});
+  }
+  EXPECT_GT(table_.memory_usage_bytes(), before);
+}
+
+TEST_F(DirtyTableTest, KeyNamingStable) {
+  EXPECT_EQ(DirtyTable::key_for(Version{7}), "dirty:v0000000007");
+}
+
+class DirtyTableDedupeTest : public ::testing::Test {
+ protected:
+  kv::ShardedStore store_{4};
+  DirtyTable table_{store_, /*dedupe=*/true};
+};
+
+TEST_F(DirtyTableDedupeTest, DuplicateInsertSuppressed) {
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_FALSE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_F(DirtyTableDedupeTest, SameOidDifferentVersionsBothKept) {
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{3}));
+  EXPECT_EQ(table_.size(), 2u);
+}
+
+TEST_F(DirtyTableDedupeTest, RemoveAllowsReinsert) {
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  table_.remove(DirtyEntry{ObjectId{1}, Version{2}});
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_EQ(table_.size(), 1u);
+}
+
+TEST_F(DirtyTableDedupeTest, ClearDropsMarkersToo) {
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  table_.clear();
+  EXPECT_EQ(store_.total_keys(), 0u);  // list AND marker keys gone
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+}
+
+TEST_F(DirtyTableDedupeTest, BoundedByWorkingSet) {
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t oid = 0; oid < 50; ++oid) {
+      (void)table_.insert(ObjectId{oid}, Version{7});
+    }
+  }
+  EXPECT_EQ(table_.size(), 50u);  // not 500
+}
+
+TEST_F(DirtyTableTest, FetchAcrossManyVersionsSkipsEmpties) {
+  table_.insert(ObjectId{1}, Version{1});
+  table_.insert(ObjectId{2}, Version{20});
+  table_.restart();
+  EXPECT_EQ(table_.fetch_next()->version, Version{1});
+  EXPECT_EQ(table_.fetch_next()->version, Version{20});
+  EXPECT_FALSE(table_.fetch_next().has_value());
+}
+
+}  // namespace
+}  // namespace ech

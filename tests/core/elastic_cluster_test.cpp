@@ -1,0 +1,319 @@
+#include "core/elastic_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ech {
+namespace {
+
+std::unique_ptr<ElasticCluster> make_cluster(
+    ReintegrationMode mode = ReintegrationMode::kSelective,
+    std::uint32_t n = 10, std::uint32_t r = 2) {
+  ElasticClusterConfig config;
+  config.server_count = n;
+  config.replicas = r;
+  config.reintegration = mode;
+  auto result = ElasticCluster::create(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(ElasticCluster, CreateValidatesConfig) {
+  ElasticClusterConfig bad;
+  bad.server_count = 0;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+  bad = {};
+  bad.replicas = 0;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+  bad = {};
+  bad.replicas = 11;
+  bad.server_count = 10;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+  bad = {};
+  bad.vnode_budget = 0;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+  bad = {};
+  bad.object_size = 0;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+  bad = {};
+  bad.kv_shards = 0;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+  bad = {};
+  bad.primary_count = 99;
+  EXPECT_FALSE(ElasticCluster::create(bad).ok());
+}
+
+TEST(ElasticCluster, DefaultsMatchPaperExample) {
+  const auto c = make_cluster();
+  EXPECT_EQ(c->server_count(), 10u);
+  EXPECT_EQ(c->primary_count(), 2u);  // ceil(10/e^2)
+  EXPECT_EQ(c->active_count(), 10u);
+  EXPECT_EQ(c->current_version(), Version{1});
+  EXPECT_EQ(c->name(), "primary+selective");
+}
+
+TEST(ElasticCluster, ExplicitPrimaryCountHonored) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.primary_count = 4;
+  auto c = ElasticCluster::create(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->primary_count(), 4u);
+}
+
+TEST(ElasticCluster, WriteStoresReplicas) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->write(ObjectId{1}, 0).is_ok());
+  const auto holders = c->object_store().locate(ObjectId{1});
+  EXPECT_EQ(holders.size(), 2u);
+}
+
+TEST(ElasticCluster, WritePlacesOnePrimaryReplica) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+    int prim = 0;
+    for (ServerId s : c->object_store().locate(ObjectId{i})) {
+      if (c->chain().is_primary(s)) ++prim;
+    }
+    EXPECT_EQ(prim, 1) << i;
+  }
+}
+
+TEST(ElasticCluster, ReadFindsActiveReplicas) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->write(ObjectId{5}, 0).is_ok());
+  const auto readers = c->read(ObjectId{5});
+  ASSERT_TRUE(readers.ok());
+  EXPECT_FALSE(readers.value().empty());
+}
+
+TEST(ElasticCluster, ReadMissingObject) {
+  auto c = make_cluster();
+  const auto readers = c->read(ObjectId{404});
+  ASSERT_FALSE(readers.ok());
+  EXPECT_EQ(readers.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ElasticCluster, ResizeDownIsInstant) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(2).is_ok());
+  EXPECT_EQ(c->active_count(), 2u);  // no cleanup needed — the headline
+  EXPECT_EQ(c->current_version(), Version{2});
+}
+
+TEST(ElasticCluster, DataAvailableAtMinimumPower) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(c->min_active()).is_ok());
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto readers = c->read(ObjectId{i});
+    ASSERT_TRUE(readers.ok()) << "object " << i << " unavailable at min power";
+  }
+}
+
+TEST(ElasticCluster, ResizeClampsToMinActive) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->request_resize(0).is_ok());
+  EXPECT_EQ(c->active_count(), c->min_active());
+}
+
+TEST(ElasticCluster, ResizeClampsToServerCount) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->request_resize(99).is_ok());
+  EXPECT_EQ(c->active_count(), 10u);
+}
+
+TEST(ElasticCluster, NoopResizeKeepsVersion) {
+  auto c = make_cluster();
+  const Version before = c->current_version();
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  EXPECT_EQ(c->current_version(), before);
+}
+
+TEST(ElasticCluster, LowPowerWritesAreDirty) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  EXPECT_EQ(c->dirty_table().size(), 50u);
+  for (ServerId s : c->object_store().locate(ObjectId{0})) {
+    EXPECT_TRUE(c->object_store().server(s).get(ObjectId{0})->header.dirty);
+  }
+}
+
+TEST(ElasticCluster, FullPowerWritesAreClean) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  EXPECT_EQ(c->dirty_table().size(), 0u);
+}
+
+TEST(ElasticCluster, SelectiveReintegrationRestoresLayout) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  for (std::uint64_t i = 100; i < 150; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  int safety = 1000;
+  while (c->maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  EXPECT_EQ(c->dirty_table().size(), 0u);
+  EXPECT_EQ(c->pending_maintenance_bytes(), 0);
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    const auto want = c->placement_of(ObjectId{i});
+    ASSERT_TRUE(want.ok());
+    auto sorted = want.value().servers;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(c->object_store().locate(ObjectId{i}), sorted) << i;
+  }
+}
+
+TEST(ElasticCluster, SelectiveMovesLessThanFull) {
+  // The paper's core claim: selective re-integration migrates strictly
+  // less data than the blind full sweep in the same scenario.
+  const auto run = [](ReintegrationMode mode) {
+    auto c = make_cluster(mode);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      EXPECT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+    }
+    EXPECT_TRUE(c->request_resize(6).is_ok());
+    for (std::uint64_t i = 300; i < 350; ++i) {
+      EXPECT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+    }
+    EXPECT_TRUE(c->request_resize(10).is_ok());
+    Bytes total = 0;
+    int safety = 2000;
+    while (--safety > 0) {
+      const Bytes moved = c->maintenance_step(32 * kDefaultObjectSize);
+      total += moved;
+      if (moved == 0) break;
+    }
+    return total;
+  };
+  const Bytes selective = run(ReintegrationMode::kSelective);
+  const Bytes full = run(ReintegrationMode::kFull);
+  EXPECT_LT(selective, full);
+  EXPECT_GT(selective, 0);
+}
+
+TEST(ElasticCluster, FullModeRestoresLayoutToo) {
+  auto c = make_cluster(ReintegrationMode::kFull);
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  for (std::uint64_t i = 80; i < 120; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  int safety = 2000;
+  while (c->maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    const auto want = c->placement_of(ObjectId{i});
+    ASSERT_TRUE(want.ok());
+    auto sorted = want.value().servers;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(c->object_store().locate(ObjectId{i}), sorted) << i;
+  }
+  EXPECT_EQ(c->dirty_table().size(), 0u);
+}
+
+TEST(ElasticCluster, OverwriteBumpsVersionAndWins) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->write(ObjectId{1}, 0).is_ok());
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  ASSERT_TRUE(c->write(ObjectId{1}, 0).is_ok());  // overwrite at low power
+  const auto readers = c->read(ObjectId{1});
+  ASSERT_TRUE(readers.ok());
+  for (ServerId s : readers.value()) {
+    EXPECT_EQ(c->object_store().server(s).get(ObjectId{1})->header.version,
+              Version{2});
+  }
+}
+
+TEST(ElasticCluster, MinActiveAccountsForReplicas) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 3;
+  config.primary_count = 1;
+  auto c = ElasticCluster::create(config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value()->min_active(), 3u);  // r > p
+}
+
+TEST(ElasticCluster, MaintenanceZeroBudgetDoesNothing) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  ASSERT_TRUE(c->write(ObjectId{1}, 0).is_ok());
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  EXPECT_EQ(c->maintenance_step(0), 0);
+  EXPECT_GT(c->pending_maintenance_bytes(), -1);  // still answers
+}
+
+TEST(ElasticCluster, UniformLayoutKeepsPlacementInvariants) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  config.layout = LayoutKind::kUniform;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+    int prim = 0;
+    for (ServerId s : c.object_store().locate(ObjectId{oid})) {
+      if (c.chain().is_primary(s)) ++prim;
+    }
+    EXPECT_EQ(prim, 1) << oid;  // Algorithm 1 holds regardless of layout
+  }
+}
+
+TEST(ElasticCluster, UniformLayoutSpreadsEvenly) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  config.vnode_budget = 20000;
+  config.layout = LayoutKind::kUniform;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+  for (std::uint64_t oid = 0; oid < 5000; ++oid) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+  }
+  const auto counts = c.object_store().objects_per_server();
+  // Secondaries (ranks 3..10) should be near-even under uniform weights —
+  // unlike the equal-work layout, where rank 3 holds ~3x rank 10.
+  const auto lo = *std::min_element(counts.begin() + 2, counts.end());
+  const auto hi = *std::max_element(counts.begin() + 2, counts.end());
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 1.5);
+}
+
+TEST(ElasticCluster, WritesFailBelowReplicationLevel) {
+  ElasticClusterConfig config;
+  config.server_count = 4;
+  config.replicas = 3;
+  config.primary_count = 1;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+  ASSERT_TRUE(c.request_resize(3).is_ok());
+  EXPECT_EQ(c.active_count(), 3u);
+  EXPECT_TRUE(c.write(ObjectId{1}, 0).is_ok());  // exactly r active: OK
+}
+
+}  // namespace
+}  // namespace ech

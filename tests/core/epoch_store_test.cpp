@@ -1,0 +1,112 @@
+#include "core/epoch_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+class EpochStoreTest : public ::testing::Test {
+ protected:
+  kv::ShardedStore kv_{4};
+  EpochStore epochs_{kv_};
+};
+
+TEST_F(EpochStoreTest, StartsEmpty) {
+  EXPECT_EQ(epochs_.stored_epochs(), 0u);
+  const auto history = epochs_.load(10);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history.value().version_count(), 0u);
+}
+
+TEST_F(EpochStoreTest, AppendAndLoadRoundTrip) {
+  ASSERT_TRUE(epochs_.append(Version{1}, MembershipTable::full_power(5)).is_ok());
+  ASSERT_TRUE(
+      epochs_.append(Version{2}, MembershipTable::prefix_active(5, 3)).is_ok());
+  EXPECT_EQ(epochs_.stored_epochs(), 2u);
+
+  const auto loaded = epochs_.load(5);
+  ASSERT_TRUE(loaded.ok());
+  const VersionHistory& history = loaded.value();
+  ASSERT_EQ(history.version_count(), 2u);
+  EXPECT_TRUE(history.table(Version{1}).is_full_power());
+  EXPECT_EQ(history.table(Version{2}).active_count(), 3u);
+  EXPECT_TRUE(history.table(Version{2}).is_active(3));
+  EXPECT_FALSE(history.table(Version{2}).is_active(4));
+}
+
+TEST_F(EpochStoreTest, NonPrefixTablesSurvive) {
+  // Failure-shaped memberships (holes) round-trip too.
+  auto holes = MembershipTable::full_power(6);
+  holes.set_state(2, ServerState::kOff);
+  holes.set_state(5, ServerState::kOff);
+  ASSERT_TRUE(epochs_.append(Version{1}, holes).is_ok());
+  const auto loaded = epochs_.load(6);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().table(Version{1}), holes);
+}
+
+TEST_F(EpochStoreTest, AppendValidatesSequence) {
+  ASSERT_TRUE(epochs_.append(Version{1}, MembershipTable::full_power(4)).is_ok());
+  EXPECT_EQ(
+      epochs_.append(Version{1}, MembershipTable::full_power(4)).code(),
+      StatusCode::kAlreadyExists);
+  EXPECT_EQ(
+      epochs_.append(Version{3}, MembershipTable::full_power(4)).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(EpochStoreTest, SaveWholeHistoryIdempotent) {
+  VersionHistory history;
+  history.append(MembershipTable::full_power(8));
+  history.append(MembershipTable::prefix_active(8, 5));
+  history.append(MembershipTable::prefix_active(8, 8));
+  ASSERT_TRUE(epochs_.save(history).is_ok());
+  EXPECT_EQ(epochs_.stored_epochs(), 3u);
+  // Saving again only appends the (empty) suffix.
+  ASSERT_TRUE(epochs_.save(history).is_ok());
+  EXPECT_EQ(epochs_.stored_epochs(), 3u);
+  // Extending the history appends just the new epoch.
+  history.append(MembershipTable::prefix_active(8, 2));
+  ASSERT_TRUE(epochs_.save(history).is_ok());
+  EXPECT_EQ(epochs_.stored_epochs(), 4u);
+}
+
+TEST_F(EpochStoreTest, LoadValidatesServerCount) {
+  ASSERT_TRUE(epochs_.append(Version{1}, MembershipTable::full_power(5)).is_ok());
+  const auto wrong = epochs_.load(7);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EpochStoreTest, EpochsSpreadAcrossShards) {
+  for (std::uint32_t v = 1; v <= 32; ++v) {
+    ASSERT_TRUE(
+        epochs_.append(Version{v}, MembershipTable::full_power(4)).is_ok());
+  }
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < kv_.shard_count(); ++i) {
+    if (kv_.shard(i).key_count() > 0) ++used;
+  }
+  EXPECT_GT(used, 1u);
+}
+
+TEST_F(EpochStoreTest, MirrorsLiveClusterHistory) {
+  // Typical deployment pattern: persist each new version as it appears.
+  VersionHistory live;
+  live.append(MembershipTable::full_power(10));
+  ASSERT_TRUE(epochs_.save(live).is_ok());
+  live.append(MembershipTable::prefix_active(10, 6));
+  ASSERT_TRUE(epochs_.save(live).is_ok());
+  live.append(MembershipTable::prefix_active(10, 10));
+  ASSERT_TRUE(epochs_.save(live).is_ok());
+
+  const auto restored = epochs_.load(10);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().version_count(), live.version_count());
+  for (std::uint32_t v = 1; v <= live.version_count(); ++v) {
+    EXPECT_EQ(restored.value().table(Version{v}), live.table(Version{v}));
+  }
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,194 @@
+// Failure injection: unplanned failures destroy data (unlike elastic
+// power-off, which keeps disks intact) and must be repaired from surviving
+// replicas — the fail-over role the paper credits consistent hashing for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/elastic_cluster.h"
+
+namespace ech {
+namespace {
+
+std::unique_ptr<ElasticCluster> make_cluster(std::uint32_t n = 10,
+                                             std::uint32_t r = 2) {
+  ElasticClusterConfig config;
+  config.server_count = n;
+  config.replicas = r;
+  return std::move(ElasticCluster::create(config)).value();
+}
+
+void drain_repair(ElasticCluster& c) {
+  int safety = 10000;
+  while (c.repair_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+}
+
+TEST(Failure, UnknownServerRejected) {
+  auto c = make_cluster();
+  EXPECT_EQ(c->fail_server(ServerId{99}).code(), StatusCode::kNotFound);
+}
+
+TEST(Failure, DoubleFailureRejected) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->fail_server(ServerId{5}).is_ok());
+  EXPECT_EQ(c->fail_server(ServerId{5}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Failure, RecoverNonFailedRejected) {
+  auto c = make_cluster();
+  EXPECT_EQ(c->recover_server(ServerId{5}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Failure, FailureBumpsVersionAndMembership) {
+  auto c = make_cluster();
+  const Version before = c->current_version();
+  ASSERT_TRUE(c->fail_server(ServerId{5}).is_ok());
+  EXPECT_EQ(c->current_version(), before.next());
+  EXPECT_EQ(c->active_count(), 9u);
+  EXPECT_EQ(c->failed_count(), 1u);
+  EXPECT_TRUE(c->is_failed(ServerId{5}));
+}
+
+TEST(Failure, DataRemainsReadableAfterSecondaryFailure) {
+  auto c = make_cluster();
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{7}).is_ok());
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    EXPECT_TRUE(c->read(ObjectId{oid}).ok()) << oid;
+  }
+}
+
+TEST(Failure, DataRemainsReadableAfterPrimaryFailure) {
+  auto c = make_cluster();  // primaries {1, 2}
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{1}).is_ok());
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    EXPECT_TRUE(c->read(ObjectId{oid}).ok()) << oid;
+  }
+}
+
+TEST(Failure, RepairRestoresReplicationLevel) {
+  auto c = make_cluster();
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{6}).is_ok());
+  EXPECT_GT(c->pending_repair_bytes(), 0);
+  drain_repair(*c);
+  EXPECT_EQ(c->pending_repair_bytes(), 0);
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    const auto holders = c->object_store().locate(ObjectId{oid});
+    EXPECT_EQ(holders.size(), 2u) << oid;
+    for (ServerId s : holders) {
+      EXPECT_NE(s, ServerId{6}) << oid;
+    }
+  }
+}
+
+TEST(Failure, RepairIsBudgeted) {
+  auto c = make_cluster();
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{5}).is_ok());
+  const Bytes first = c->repair_step(4 * kDefaultObjectSize);
+  EXPECT_GT(first, 0);
+  EXPECT_LE(first, 5 * kDefaultObjectSize);
+  EXPECT_GT(c->pending_repair_bytes(), 0);  // more work remains
+}
+
+TEST(Failure, PlacementSkipsFailedServer) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->fail_server(ServerId{4}).is_ok());
+  for (std::uint64_t oid = 0; oid < 500; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+    for (ServerId s : c->object_store().locate(ObjectId{oid})) {
+      EXPECT_NE(s, ServerId{4}) << oid;
+    }
+  }
+}
+
+TEST(Failure, RecoveryReturnsServerAndRebalances) {
+  auto c = make_cluster();
+  for (std::uint64_t oid = 0; oid < 400; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{3}).is_ok());
+  drain_repair(*c);
+  ASSERT_TRUE(c->recover_server(ServerId{3}).is_ok());
+  EXPECT_EQ(c->active_count(), 10u);
+  EXPECT_FALSE(c->is_failed(ServerId{3}));
+  drain_repair(*c);
+  // After the rejoin sweep every object matches current placement, which
+  // again includes rank 3.
+  for (std::uint64_t oid = 0; oid < 400; ++oid) {
+    auto want = c->placement_of(ObjectId{oid}).value().servers;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(c->object_store().locate(ObjectId{oid}), want) << oid;
+  }
+  EXPECT_GT(c->object_store().server(ServerId{3}).object_count(), 0u);
+}
+
+TEST(Failure, ResizeRespectsFailedServers) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->fail_server(ServerId{9}).is_ok());
+  ASSERT_TRUE(c->request_resize(10).is_ok());  // no-op: 9 stays failed
+  EXPECT_EQ(c->active_count(), 9u);
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  EXPECT_EQ(c->active_count(), 6u);  // prefix 6, rank 9 off anyway
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  EXPECT_EQ(c->active_count(), 9u);  // everything except the failed rank
+}
+
+TEST(Failure, FailureDuringLowPowerRepairsOntoActives) {
+  auto c = make_cluster();
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  ASSERT_TRUE(c->fail_server(ServerId{3}).is_ok());
+  drain_repair(*c);
+  // Every object still has an active fresh replica set of size r among
+  // the remaining active servers.
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    const auto readers = c->read(ObjectId{oid});
+    ASSERT_TRUE(readers.ok()) << oid;
+  }
+}
+
+TEST(Failure, DoubleFaultWithTwoReplicasLosesOnlyOverlap) {
+  // r = 2: objects with both replicas on the two failed servers are lost;
+  // everything else must survive.  (With failures spaced apart and repair
+  // in between, nothing would be lost — this is the worst case.)
+  auto c = make_cluster();
+  for (std::uint64_t oid = 0; oid < 500; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  std::size_t both_on_failed = 0;
+  for (std::uint64_t oid = 0; oid < 500; ++oid) {
+    const auto holders = c->object_store().locate(ObjectId{oid});
+    std::size_t on_failed = 0;
+    for (ServerId s : holders) {
+      if (s == ServerId{5} || s == ServerId{6}) ++on_failed;
+    }
+    if (on_failed == holders.size()) ++both_on_failed;
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{5}).is_ok());
+  ASSERT_TRUE(c->fail_server(ServerId{6}).is_ok());
+  std::size_t lost = 0;
+  for (std::uint64_t oid = 0; oid < 500; ++oid) {
+    if (!c->read(ObjectId{oid}).ok()) ++lost;
+  }
+  EXPECT_EQ(lost, both_on_failed);
+}
+
+}  // namespace
+}  // namespace ech

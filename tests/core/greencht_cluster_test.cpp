@@ -1,0 +1,138 @@
+#include "core/greencht_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+std::unique_ptr<GreenChtCluster> make_cluster(std::uint32_t n = 12,
+                                              std::uint32_t tiers = 2) {
+  GreenChtConfig config;
+  config.server_count = n;
+  config.tiers = tiers;
+  return std::move(GreenChtCluster::create(config)).value();
+}
+
+TEST(GreenCht, CreateValidatesConfig) {
+  GreenChtConfig bad;
+  bad.server_count = 10;
+  bad.tiers = 3;  // not divisible
+  EXPECT_FALSE(GreenChtCluster::create(bad).ok());
+  bad = {};
+  bad.tiers = 0;
+  EXPECT_FALSE(GreenChtCluster::create(bad).ok());
+  bad = {};
+  bad.vnodes_per_server = 0;
+  EXPECT_FALSE(GreenChtCluster::create(bad).ok());
+}
+
+TEST(GreenCht, TierGeometry) {
+  auto c = make_cluster(12, 3);
+  EXPECT_EQ(c->tier_size(), 4u);
+  EXPECT_EQ(c->tier_of(ServerId{1}), 1u);
+  EXPECT_EQ(c->tier_of(ServerId{4}), 1u);
+  EXPECT_EQ(c->tier_of(ServerId{5}), 2u);
+  EXPECT_EQ(c->tier_of(ServerId{12}), 3u);
+  EXPECT_EQ(c->min_active(), 4u);
+}
+
+TEST(GreenCht, EveryTierHoldsOneReplica) {
+  auto c = make_cluster(12, 3);
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+    const auto holders = c->object_store().locate(ObjectId{oid});
+    ASSERT_EQ(holders.size(), 3u);
+    std::set<std::uint32_t> tiers;
+    for (ServerId s : holders) tiers.insert(c->tier_of(s));
+    EXPECT_EQ(tiers.size(), 3u) << "replicas not spread across tiers";
+  }
+}
+
+TEST(GreenCht, ResizeRoundsUpToTiers) {
+  auto c = make_cluster(12, 3);  // tier size 4
+  ASSERT_TRUE(c->request_resize(5).is_ok());
+  EXPECT_EQ(c->active_count(), 8u);  // 2 tiers
+  EXPECT_EQ(c->active_tier_count(), 2u);
+  ASSERT_TRUE(c->request_resize(4).is_ok());
+  EXPECT_EQ(c->active_count(), 4u);  // 1 tier
+  ASSERT_TRUE(c->request_resize(1).is_ok());
+  EXPECT_EQ(c->active_count(), 4u);  // floor: tier 1 never sleeps
+}
+
+TEST(GreenCht, ReadableAtOneTier) {
+  auto c = make_cluster(12, 2);
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(c->min_active()).is_ok());
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    const auto readers = c->read(ObjectId{oid});
+    ASSERT_TRUE(readers.ok()) << oid;
+    for (ServerId s : readers.value()) {
+      EXPECT_EQ(c->tier_of(s), 1u);
+    }
+  }
+}
+
+TEST(GreenCht, SleepingTierWritesQueueForSync) {
+  auto c = make_cluster(12, 2);
+  ASSERT_TRUE(c->request_resize(6).is_ok());  // tier 2 asleep
+  for (std::uint64_t oid = 0; oid < 50; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  EXPECT_EQ(c->pending_sync_count(2), 50u);
+  // Replicas exist only in tier 1 for now.
+  for (ServerId s : c->object_store().locate(ObjectId{0})) {
+    EXPECT_EQ(c->tier_of(s), 1u);
+  }
+}
+
+TEST(GreenCht, WakeUpSyncsPendingWrites) {
+  auto c = make_cluster(12, 2);
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  for (std::uint64_t oid = 0; oid < 50; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(12).is_ok());
+  EXPECT_GT(c->pending_maintenance_bytes(), 0);
+  int safety = 1000;
+  while (c->maintenance_step(32 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  (void)c->maintenance_step(kDefaultObjectSize);  // clear drained queues
+  EXPECT_EQ(c->pending_maintenance_bytes(), 0);
+  for (std::uint64_t oid = 0; oid < 50; ++oid) {
+    EXPECT_EQ(c->object_store().locate(ObjectId{oid}).size(), 2u) << oid;
+  }
+}
+
+TEST(GreenCht, ResizeIsInstantNoCleanup) {
+  auto c = make_cluster(12, 2);
+  for (std::uint64_t oid = 0; oid < 100; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  EXPECT_EQ(c->active_count(), 6u);
+  EXPECT_EQ(c->pending_maintenance_bytes(), 0);  // shrink queues nothing
+}
+
+TEST(GreenCht, RemoveObjectErasesEverywhere) {
+  auto c = make_cluster(12, 2);
+  ASSERT_TRUE(c->write(ObjectId{7}, 0).is_ok());
+  EXPECT_EQ(c->remove_object(ObjectId{7}), 2u);
+  EXPECT_EQ(c->read(ObjectId{7}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(GreenCht, PlacementDeterministic) {
+  auto a = make_cluster();
+  auto b = make_cluster();
+  for (std::uint64_t oid = 0; oid < 100; ++oid) {
+    ASSERT_TRUE(a->write(ObjectId{oid}, 0).is_ok());
+    ASSERT_TRUE(b->write(ObjectId{oid}, 0).is_ok());
+    EXPECT_EQ(a->object_store().locate(ObjectId{oid}),
+              b->object_store().locate(ObjectId{oid}));
+  }
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,202 @@
+#include "core/original_ch_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+std::unique_ptr<OriginalChCluster> make_cluster(std::uint32_t n = 10,
+                                                std::uint32_t r = 2) {
+  OriginalChConfig config;
+  config.server_count = n;
+  config.replicas = r;
+  auto result = OriginalChCluster::create(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(OriginalChCluster, CreateValidatesConfig) {
+  OriginalChConfig bad;
+  bad.server_count = 0;
+  EXPECT_FALSE(OriginalChCluster::create(bad).ok());
+  bad = {};
+  bad.replicas = 0;
+  EXPECT_FALSE(OriginalChCluster::create(bad).ok());
+  bad = {};
+  bad.replicas = 20;
+  bad.server_count = 10;
+  EXPECT_FALSE(OriginalChCluster::create(bad).ok());
+  bad = {};
+  bad.vnodes_per_server = 0;
+  EXPECT_FALSE(OriginalChCluster::create(bad).ok());
+}
+
+TEST(OriginalChCluster, WritesPlaceRReplicas) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+    EXPECT_EQ(c->object_store().locate(ObjectId{i}).size(), 2u);
+  }
+}
+
+TEST(OriginalChCluster, ReadFindsReplicas) {
+  auto c = make_cluster();
+  ASSERT_TRUE(c->write(ObjectId{1}, 0).is_ok());
+  const auto readers = c->read(ObjectId{1});
+  ASSERT_TRUE(readers.ok());
+  EXPECT_EQ(readers.value().size(), 2u);
+}
+
+TEST(OriginalChCluster, ReadMissing) {
+  auto c = make_cluster();
+  EXPECT_EQ(c->read(ObjectId{9}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(OriginalChCluster, ShrinkIsNotInstant) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  // No maintenance pumped yet: nothing extracted.
+  EXPECT_EQ(c->active_count(), 10u);
+  EXPECT_EQ(c->target(), 6u);
+}
+
+TEST(OriginalChCluster, ExtractionSerializedOnePerDrain) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(8).is_ok());
+  // A tiny budget extracts the first server but cannot finish its
+  // re-replication, so the second extraction must wait.
+  (void)c->maintenance_step(kDefaultObjectSize);
+  EXPECT_EQ(c->active_count(), 9u);
+  EXPECT_TRUE(c->recovery_in_progress());
+  // Draining completes re-replication and allows the next extraction.
+  int safety = 1000;
+  while (c->active_count() > 8 && --safety > 0) {
+    (void)c->maintenance_step(50 * kDefaultObjectSize);
+  }
+  EXPECT_EQ(c->active_count(), 8u);
+}
+
+TEST(OriginalChCluster, ShrinkRestoresReplicationLevel) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(7).is_ok());
+  int safety = 2000;
+  while ((c->active_count() > 7 || c->recovery_in_progress()) &&
+         --safety > 0) {
+    (void)c->maintenance_step(100 * kDefaultObjectSize);
+  }
+  ASSERT_GT(safety, 0);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const auto holders = c->object_store().locate(ObjectId{i});
+    EXPECT_EQ(holders.size(), 2u) << "object " << i << " under-replicated";
+    for (ServerId s : holders) {
+      EXPECT_LE(s.value, 7u) << "replica on extracted server";
+    }
+  }
+}
+
+TEST(OriginalChCluster, GrowIsImmediateButMigrates) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(7).is_ok());
+  int safety = 2000;
+  while ((c->active_count() > 7 || c->recovery_in_progress()) &&
+         --safety > 0) {
+    (void)c->maintenance_step(100 * kDefaultObjectSize);
+  }
+  ASSERT_EQ(c->active_count(), 7u);
+
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  EXPECT_EQ(c->active_count(), 10u);  // joins immediately...
+  EXPECT_GT(c->pending_maintenance_bytes(), 0);  // ...but migration queued
+
+  safety = 2000;
+  while (c->recovery_in_progress() && --safety > 0) {
+    (void)c->maintenance_step(100 * kDefaultObjectSize);
+  }
+  ASSERT_GT(safety, 0);
+  // After the rebalance every object matches ring placement again.
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const auto want = c->placement_of(ObjectId{i});
+    ASSERT_TRUE(want.ok());
+    auto sorted = want.value().servers;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(c->object_store().locate(ObjectId{i}), sorted) << i;
+  }
+}
+
+TEST(OriginalChCluster, RejoinedServersStartEmptyAndGetRefilled) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(9).is_ok());
+  int safety = 1000;
+  while ((c->active_count() > 9 || c->recovery_in_progress()) &&
+         --safety > 0) {
+    (void)c->maintenance_step(100 * kDefaultObjectSize);
+  }
+  ASSERT_EQ(c->object_store().server(ServerId{10}).object_count(), 0u);
+
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  EXPECT_EQ(c->object_store().server(ServerId{10}).object_count(), 0u);
+  safety = 1000;
+  while (c->recovery_in_progress() && --safety > 0) {
+    (void)c->maintenance_step(100 * kDefaultObjectSize);
+  }
+  // The newcomer received its share of data via migration.
+  EXPECT_GT(c->object_store().server(ServerId{10}).object_count(), 0u);
+}
+
+TEST(OriginalChCluster, ResizeClampedToReplicas) {
+  auto c = make_cluster(10, 2);
+  ASSERT_TRUE(c->request_resize(0).is_ok());
+  EXPECT_EQ(c->target(), 2u);
+}
+
+TEST(OriginalChCluster, PendingBytesEstimatesQueue) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  EXPECT_EQ(c->pending_maintenance_bytes(), 0);
+  ASSERT_TRUE(c->request_resize(8).is_ok());
+  EXPECT_GT(c->pending_maintenance_bytes(), 0);
+}
+
+TEST(OriginalChCluster, WritesKeepWorkingDuringShrink) {
+  auto c = make_cluster();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(8).is_ok());
+  (void)c->maintenance_step(2 * kDefaultObjectSize);
+  // Mid-recovery writes must still succeed on the shrunken ring.
+  ASSERT_TRUE(c->write(ObjectId{1000}, 0).is_ok());
+  const auto holders = c->object_store().locate(ObjectId{1000});
+  EXPECT_EQ(holders.size(), 2u);
+  for (ServerId s : holders) {
+    EXPECT_LE(s.value, 9u);  // server 10 already extracted
+  }
+}
+
+TEST(OriginalChCluster, NameIsOriginalCH) {
+  EXPECT_EQ(make_cluster()->name(), "original CH");
+}
+
+TEST(OriginalChCluster, MinActiveIsReplicas) {
+  EXPECT_EQ(make_cluster(10, 3)->min_active(), 3u);
+}
+
+}  // namespace
+}  // namespace ech

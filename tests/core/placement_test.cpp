@@ -1,0 +1,272 @@
+// Algorithm 1 invariants (Section III-B).
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cluster/layout.h"
+
+namespace ech {
+namespace {
+
+struct TestCluster {
+  TestCluster(std::uint32_t n, std::uint32_t p, std::uint32_t active,
+              std::uint32_t budget = 10000)
+      : chain(ExpansionChain::identity(n, p)),
+        membership(MembershipTable::prefix_active(n, active)) {
+    const WeightVector w = EqualWorkLayout::weights({n, budget});
+    for (std::uint32_t rank = 1; rank <= n; ++rank) {
+      std::uint32_t weight = w[rank - 1];
+      if (rank <= p) weight = std::max(1u, budget / p);
+      EXPECT_TRUE(ring.add_server(ServerId{rank}, weight).is_ok());
+    }
+  }
+
+  [[nodiscard]] ClusterView view() const {
+    return ClusterView(chain, ring, membership);
+  }
+
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable membership;
+};
+
+int primary_replicas(const Placement& placement, const ExpansionChain& chain) {
+  int count = 0;
+  for (ServerId s : placement.servers) {
+    if (chain.is_primary(s)) ++count;
+  }
+  return count;
+}
+
+TEST(PrimaryPlacement, ExactlyOnePrimaryAtFullPower) {
+  const TestCluster tc(10, 2, 10);
+  for (std::uint64_t oid = 0; oid < 2000; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    ASSERT_TRUE(placed.ok()) << oid;
+    EXPECT_EQ(primary_replicas(placed.value(), tc.chain), 1) << oid;
+  }
+}
+
+TEST(PrimaryPlacement, ReplicasAreDistinct) {
+  const TestCluster tc(10, 2, 10);
+  for (std::uint64_t oid = 0; oid < 1000; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 3);
+    ASSERT_TRUE(placed.ok());
+    const auto& servers = placed.value().servers;
+    const std::set<ServerId> uniq(servers.begin(), servers.end());
+    EXPECT_EQ(uniq.size(), servers.size());
+  }
+}
+
+TEST(PrimaryPlacement, AllReplicasOnActiveServers) {
+  const TestCluster tc(10, 2, 6);  // servers 7-10 powered off
+  for (std::uint64_t oid = 0; oid < 1000; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    ASSERT_TRUE(placed.ok());
+    for (ServerId s : placed.value().servers) {
+      EXPECT_LE(s.value, 6u) << "oid " << oid << " placed on inactive server";
+    }
+  }
+}
+
+TEST(PrimaryPlacement, OffloadingStillOnePrimary) {
+  const TestCluster tc(10, 2, 6);
+  for (std::uint64_t oid = 0; oid < 1000; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_EQ(primary_replicas(placed.value(), tc.chain), 1);
+  }
+}
+
+TEST(PrimaryPlacement, MinimumPowerUsesOnlyPrimariesPlusRequired) {
+  // Active = p = 2, r = 2: one replica on each primary (special case:
+  // primaries stand in as secondaries).
+  const TestCluster tc(10, 2, 2);
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_TRUE(placed.value().primaries_as_secondaries);
+    const std::set<ServerId> got(placed.value().servers.begin(),
+                                 placed.value().servers.end());
+    EXPECT_EQ(got, (std::set<ServerId>{ServerId{1}, ServerId{2}}));
+  }
+}
+
+TEST(PrimaryPlacement, AtLeastOnePrimaryInRelaxedMode) {
+  // 3 active (2 primaries + 1 secondary), r = 3: fewer than r-1 active
+  // secondaries, so the strict "exactly one" rule relaxes to "at least one".
+  const TestCluster tc(10, 2, 3);
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 3);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_GE(primary_replicas(placed.value(), tc.chain), 1);
+    EXPECT_TRUE(placed.value().primaries_as_secondaries);
+  }
+}
+
+TEST(PrimaryPlacement, SingleReplicaGoesToPrimary) {
+  const TestCluster tc(10, 2, 10);
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 1);
+    ASSERT_TRUE(placed.ok());
+    ASSERT_EQ(placed.value().servers.size(), 1u);
+    EXPECT_TRUE(tc.chain.is_primary(placed.value().servers[0]));
+  }
+}
+
+TEST(PrimaryPlacement, FailsWithTooFewActive) {
+  const TestCluster tc(10, 2, 2);
+  const auto placed = PrimaryPlacement::place(ObjectId{1}, tc.view(), 3);
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(PrimaryPlacement, ZeroReplicasRejected) {
+  const TestCluster tc(10, 2, 10);
+  const auto placed = PrimaryPlacement::place(ObjectId{1}, tc.view(), 0);
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PrimaryPlacement, DeterministicAcrossCalls) {
+  const TestCluster tc(10, 2, 8);
+  for (std::uint64_t oid = 0; oid < 100; ++oid) {
+    const auto a = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    const auto b = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().servers, b.value().servers);
+  }
+}
+
+TEST(PrimaryPlacement, PlacementStableWhenUnrelatedServerLeaves) {
+  // ECH keeps inactive servers on the ring; an object placed entirely on
+  // ranks 1..6 must keep its placement when rank 10 powers off.
+  const TestCluster full(10, 2, 10);
+  const TestCluster less(10, 2, 9);
+  int stable = 0, total = 0;
+  for (std::uint64_t oid = 0; oid < 1000; ++oid) {
+    const auto before = PrimaryPlacement::place(ObjectId{oid}, full.view(), 2);
+    ASSERT_TRUE(before.ok());
+    bool touches_10 = false;
+    for (ServerId s : before.value().servers) {
+      if (s == ServerId{10}) touches_10 = true;
+    }
+    if (touches_10) continue;
+    ++total;
+    const auto after = PrimaryPlacement::place(ObjectId{oid}, less.view(), 2);
+    ASSERT_TRUE(after.ok());
+    if (before.value().servers == after.value().servers) ++stable;
+  }
+  EXPECT_EQ(stable, total);
+}
+
+TEST(PrimaryPlacement, EqualWorkSkewsLoadTowardLowRanks) {
+  const TestCluster tc(10, 2, 10, 20000);
+  std::vector<int> counts(10, 0);
+  for (std::uint64_t oid = 0; oid < 20000; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2);
+    ASSERT_TRUE(placed.ok());
+    for (ServerId s : placed.value().servers) ++counts[s.value - 1];
+  }
+  // Secondary rank 3 must hold clearly more than rank 10 (weight 1/3 vs
+  // 1/10 of B).
+  EXPECT_GT(counts[2], counts[9] * 2);
+}
+
+// --- parameter sweep: invariants hold across (n, r, active) ----------------
+
+using SweepParam = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+class PlacementSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PlacementSweep, CoreInvariants) {
+  const auto [n, r, active] = GetParam();
+  const std::uint32_t p = EqualWorkLayout::primary_count(n);
+  const TestCluster tc(n, p, active);
+  if (active < r) {
+    EXPECT_FALSE(PrimaryPlacement::place(ObjectId{1}, tc.view(), r).ok());
+    return;
+  }
+  const std::uint32_t active_secondaries = active - std::min(active, p);
+  for (std::uint64_t oid = 0; oid < 300; ++oid) {
+    const auto placed = PrimaryPlacement::place(ObjectId{oid}, tc.view(), r);
+    ASSERT_TRUE(placed.ok()) << "n=" << n << " r=" << r << " a=" << active;
+    const auto& servers = placed.value().servers;
+    ASSERT_EQ(servers.size(), r);
+    const std::set<ServerId> uniq(servers.begin(), servers.end());
+    EXPECT_EQ(uniq.size(), r);
+    int prim = 0;
+    for (ServerId s : servers) {
+      const auto rank = tc.chain.rank_of(s);
+      ASSERT_TRUE(rank.has_value());
+      EXPECT_LE(*rank, active);  // never an inactive server
+      if (tc.chain.is_primary(s)) ++prim;
+    }
+    EXPECT_GE(prim, 1);
+    if (active_secondaries + 1 >= r) {
+      EXPECT_EQ(prim, 1);  // strict rule applies
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Clusters, PlacementSweep,
+    ::testing::Values(SweepParam{10, 2, 10}, SweepParam{10, 2, 6},
+                      SweepParam{10, 2, 3}, SweepParam{10, 2, 2},
+                      SweepParam{10, 3, 10}, SweepParam{10, 3, 5},
+                      SweepParam{20, 2, 20}, SweepParam{20, 2, 8},
+                      SweepParam{50, 2, 50}, SweepParam{50, 3, 12},
+                      SweepParam{100, 2, 100}, SweepParam{100, 2, 30},
+                      SweepParam{10, 1, 10}, SweepParam{10, 4, 10},
+                      SweepParam{10, 2, 1}));
+
+// --- original consistent hashing --------------------------------------------
+
+TEST(OriginalPlacement, PicksDistinctSuccessors) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 500).is_ok());
+  }
+  for (std::uint64_t oid = 0; oid < 500; ++oid) {
+    const auto placed = OriginalPlacement::place(ObjectId{oid}, ring, 3);
+    ASSERT_TRUE(placed.ok());
+    const std::set<ServerId> uniq(placed.value().servers.begin(),
+                                  placed.value().servers.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(OriginalPlacement, MatchesRingSuccessors) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 200).is_ok());
+  }
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    const auto placed = OriginalPlacement::place(ObjectId{oid}, ring, 2);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_EQ(placed.value().servers,
+              ring.successors(object_position(ObjectId{oid}), 2));
+  }
+}
+
+TEST(OriginalPlacement, FailsOnTinyRing) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 10).is_ok());
+  const auto placed = OriginalPlacement::place(ObjectId{1}, ring, 2);
+  ASSERT_FALSE(placed.ok());
+  EXPECT_EQ(placed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(OriginalPlacement, ZeroReplicasRejected) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 10).is_ok());
+  EXPECT_EQ(OriginalPlacement::place(ObjectId{1}, ring, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ech

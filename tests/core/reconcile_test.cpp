@@ -1,0 +1,144 @@
+#include "core/reconcile.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ech {
+namespace {
+
+const auto kAllActive = [](ServerId) { return true; };
+
+TEST(Reconcile, NoopWhenInPlace) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{2}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {Version{1}, false}).ok());
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  false, kAllActive);
+  EXPECT_EQ(r.bytes_moved, 0);
+  EXPECT_FALSE(r.changed);
+  EXPECT_FALSE(r.unavailable);
+}
+
+TEST(Reconcile, MovesOffloadedReplicaHome) {
+  ObjectStoreCluster c(4);
+  // Replica parked on server 3 (offload target); home is server 4.
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{3}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {Version{2}, true}).ok());
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{4}},
+                                  false, kAllActive);
+  EXPECT_EQ(r.bytes_moved, kDefaultObjectSize);
+  EXPECT_TRUE(r.changed);
+  EXPECT_FALSE(c.server(ServerId{3}).contains(ObjectId{1}));
+  EXPECT_TRUE(c.server(ServerId{4}).contains(ObjectId{1}));
+}
+
+TEST(Reconcile, CopiesWhenNoSurplus) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {Version{1}, false}).ok());
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  false, kAllActive);
+  EXPECT_EQ(r.bytes_moved, kDefaultObjectSize);
+  EXPECT_TRUE(c.server(ServerId{1}).contains(ObjectId{1}));  // source kept
+  EXPECT_TRUE(c.server(ServerId{2}).contains(ObjectId{1}));
+}
+
+TEST(Reconcile, OverwritesStaleReplicaOnTarget) {
+  ObjectStoreCluster c(3);
+  // Stale version 1 on server 2; fresh version 3 on server 1.
+  ASSERT_TRUE(c.server(ServerId{2}).put(ObjectId{1}, {Version{1}, true}).is_ok());
+  ASSERT_TRUE(c.server(ServerId{1}).put(ObjectId{1}, {Version{3}, true}).is_ok());
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  false, kAllActive);
+  EXPECT_EQ(r.bytes_moved, kDefaultObjectSize);  // stale target re-copied
+  const auto obj = c.server(ServerId{2}).get(ObjectId{1});
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->header.version, Version{3});
+}
+
+TEST(Reconcile, DeletesStaleOffTargetReplica) {
+  ObjectStoreCluster c(4);
+  ASSERT_TRUE(c.server(ServerId{4}).put(ObjectId{1}, {Version{1}, true}).is_ok());
+  ASSERT_TRUE(c.server(ServerId{1}).put(ObjectId{1}, {Version{2}, true}).is_ok());
+  ASSERT_TRUE(c.server(ServerId{2}).put(ObjectId{1}, {Version{2}, true}).is_ok());
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  false, kAllActive);
+  EXPECT_TRUE(r.changed);
+  EXPECT_EQ(r.bytes_moved, 0);
+  EXPECT_FALSE(c.server(ServerId{4}).contains(ObjectId{1}));
+}
+
+TEST(Reconcile, DropsSurplusFreshReplicas) {
+  ObjectStoreCluster c(4);
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(
+        c.server(ServerId{id}).put(ObjectId{1}, {Version{1}, false}).is_ok());
+  }
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  false, kAllActive);
+  EXPECT_TRUE(r.changed);
+  EXPECT_FALSE(c.server(ServerId{3}).contains(ObjectId{1}));
+  EXPECT_EQ(c.locate(ObjectId{1}).size(), 2u);
+}
+
+TEST(Reconcile, NeverTouchesInactiveServers) {
+  ObjectStoreCluster c(4);
+  // Stale replica on inactive server 4 must survive (its disk is off).
+  ASSERT_TRUE(c.server(ServerId{4}).put(ObjectId{1}, {Version{1}, true}).is_ok());
+  ASSERT_TRUE(c.server(ServerId{1}).put(ObjectId{1}, {Version{2}, true}).is_ok());
+  const auto active = [](ServerId s) { return s.value <= 3; };
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  true, active);
+  EXPECT_EQ(r.bytes_moved, kDefaultObjectSize);  // copy to server 2
+  EXPECT_TRUE(c.server(ServerId{4}).contains(ObjectId{1}));  // untouched
+}
+
+TEST(Reconcile, UnavailableWhenNoFreshActiveReplica) {
+  ObjectStoreCluster c(4);
+  ASSERT_TRUE(c.server(ServerId{4}).put(ObjectId{1}, {Version{2}, true}).is_ok());
+  const auto active = [](ServerId s) { return s.value <= 3; };
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}}, false, active);
+  EXPECT_TRUE(r.unavailable);
+  EXPECT_EQ(r.bytes_moved, 0);
+}
+
+TEST(Reconcile, UnavailableWhenObjectMissing) {
+  ObjectStoreCluster c(2);
+  const auto r =
+      reconcile_object(c, ObjectId{9}, {ServerId{1}}, false, kAllActive);
+  EXPECT_TRUE(r.unavailable);
+}
+
+TEST(Reconcile, ClearsDirtyFlagInPlace) {
+  ObjectStoreCluster c(2);
+  ASSERT_TRUE(c.server(ServerId{1}).put(ObjectId{1}, {Version{2}, true}).is_ok());
+  const auto r =
+      reconcile_object(c, ObjectId{1}, {ServerId{1}}, false, kAllActive);
+  EXPECT_TRUE(r.changed);
+  EXPECT_FALSE(c.server(ServerId{1}).get(ObjectId{1})->header.dirty);
+}
+
+TEST(Reconcile, PreservesWriteVersion) {
+  // Re-integration must not advance the header's write version.
+  ObjectStoreCluster c(3);
+  ASSERT_TRUE(c.server(ServerId{3}).put(ObjectId{1}, {Version{4}, true}).is_ok());
+  const auto r =
+      reconcile_object(c, ObjectId{1}, {ServerId{1}}, false, kAllActive);
+  EXPECT_EQ(r.bytes_moved, kDefaultObjectSize);
+  EXPECT_EQ(c.server(ServerId{1}).get(ObjectId{1})->header.version, Version{4});
+}
+
+TEST(Reconcile, PropagatesObjectSize) {
+  ObjectStoreCluster c(3);
+  ASSERT_TRUE(
+      c.server(ServerId{1}).put(ObjectId{1}, {Version{1}, false}, 8 * kMiB)
+          .is_ok());
+  const auto r = reconcile_object(c, ObjectId{1}, {ServerId{1}, ServerId{2}},
+                                  false, kAllActive);
+  EXPECT_EQ(r.bytes_moved, 8 * kMiB);
+  EXPECT_EQ(c.server(ServerId{2}).get(ObjectId{1})->size, 8 * kMiB);
+}
+
+}  // namespace
+}  // namespace ech

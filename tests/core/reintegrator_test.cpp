@@ -1,0 +1,233 @@
+// Algorithm 2 (selective data re-integration) behaviour.
+#include "core/reintegrator.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_view.h"
+#include "cluster/layout.h"
+#include "core/placement.h"
+
+namespace ech {
+namespace {
+
+class ReintegratorTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 10;
+  static constexpr std::uint32_t kP = 2;
+  static constexpr std::uint32_t kR = 2;
+
+  ReintegratorTest()
+      : chain_(ExpansionChain::identity(kN, kP)),
+        store_(kN),
+        kv_(4),
+        table_(kv_),
+        reintegrator_(table_, history_, chain_, ring_, store_, kR) {
+    const WeightVector w = EqualWorkLayout::weights({kN, 10000});
+    for (std::uint32_t rank = 1; rank <= kN; ++rank) {
+      std::uint32_t weight = w[rank - 1];
+      if (rank <= kP) weight = 10000 / kP;
+      EXPECT_TRUE(ring_.add_server(ServerId{rank}, weight).is_ok());
+    }
+    history_.append(MembershipTable::full_power(kN));  // version 1
+  }
+
+  /// Write an object under the current membership, tracking dirtiness the
+  /// way ElasticCluster does.
+  void write(ObjectId oid) {
+    const ClusterView view(chain_, ring_, history_.current());
+    const auto placed = PrimaryPlacement::place(oid, view, kR);
+    ASSERT_TRUE(placed.ok());
+    const bool full = history_.current().is_full_power();
+    ASSERT_TRUE(store_
+                    .put_replicas(oid, placed.value().servers,
+                                  {history_.current_version(), !full})
+                    .ok());
+    if (!full) table_.insert(oid, history_.current_version());
+  }
+
+  void resize(std::uint32_t active) {
+    history_.append(MembershipTable::prefix_active(kN, active));
+  }
+
+  [[nodiscard]] std::vector<ServerId> placement_now(ObjectId oid) const {
+    const ClusterView view(chain_, ring_, history_.current());
+    return PrimaryPlacement::place(oid, view, kR).value().servers;
+  }
+
+  ExpansionChain chain_;
+  HashRing ring_;
+  VersionHistory history_;
+  ObjectStoreCluster store_;
+  kv::ShardedStore kv_;
+  DirtyTable table_;
+  Reintegrator reintegrator_;
+};
+
+TEST_F(ReintegratorTest, NothingToDoAtFullPower) {
+  for (std::uint64_t i = 0; i < 50; ++i) write(ObjectId{i});
+  const auto stats = reintegrator_.step(kGiB);
+  EXPECT_EQ(stats.bytes_migrated, 0);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(reintegrator_.pending_bytes(), 0);
+}
+
+TEST_F(ReintegratorTest, DirtyWritesReintegratedAtFullPower) {
+  resize(6);  // version 2
+  for (std::uint64_t i = 0; i < 100; ++i) write(ObjectId{i});
+  EXPECT_EQ(table_.size(), 100u);
+
+  resize(10);  // version 3, full power
+  const auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(table_.size(), 0u);  // all retired at full power
+
+  // Every object must now sit exactly at its full-power placement with a
+  // clean header.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto want = placement_now(ObjectId{i});
+    const auto have = store_.locate(ObjectId{i});
+    EXPECT_EQ(have, [&] {
+      auto sorted = want;
+      std::sort(sorted.begin(), sorted.end());
+      return sorted;
+    }()) << "oid " << i;
+    for (ServerId s : have) {
+      EXPECT_FALSE(store_.server(s).get(ObjectId{i})->header.dirty);
+    }
+  }
+}
+
+TEST_F(ReintegratorTest, OnlyDirtyDataMoves) {
+  // 200 clean objects at full power, then 50 dirty at low power: the
+  // selective pass must move at most the dirty objects' replicas.
+  for (std::uint64_t i = 0; i < 200; ++i) write(ObjectId{i});
+  resize(6);
+  for (std::uint64_t i = 200; i < 250; ++i) write(ObjectId{i});
+  resize(10);
+  const auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_LE(stats.bytes_migrated,
+            static_cast<Bytes>(50) * kR * kDefaultObjectSize);
+  EXPECT_GT(stats.bytes_migrated, 0);
+}
+
+TEST_F(ReintegratorTest, BudgetLimitsProgress) {
+  resize(6);
+  for (std::uint64_t i = 0; i < 100; ++i) write(ObjectId{i});
+  resize(10);
+  const Bytes budget = 10 * kDefaultObjectSize;
+  const auto stats = reintegrator_.step(budget);
+  EXPECT_FALSE(stats.drained);
+  // One object may exceed the budget boundary by at most one replica set.
+  EXPECT_LE(stats.bytes_migrated, budget + kR * kDefaultObjectSize);
+  EXPECT_GT(table_.size(), 0u);
+}
+
+TEST_F(ReintegratorTest, RepeatedStepsDrain) {
+  resize(6);
+  for (std::uint64_t i = 0; i < 60; ++i) write(ObjectId{i});
+  resize(10);
+  int safety = 1000;
+  while (!reintegrator_.step(5 * kDefaultObjectSize).drained && --safety > 0) {
+  }
+  EXPECT_GT(safety, 0);
+  EXPECT_EQ(table_.size(), 0u);
+  EXPECT_EQ(reintegrator_.pending_bytes(), 0);
+}
+
+TEST_F(ReintegratorTest, NotFullPowerKeepsEntries) {
+  // 5 active -> 8 active: entries re-integrate but stay in the table
+  // (Figure 6, version 10: "entries ... are not removed").
+  resize(5);  // version 2
+  for (std::uint64_t i = 0; i < 40; ++i) write(ObjectId{i});
+  resize(8);  // version 3, still not full power
+  const auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.entries_retired, 0u);
+  EXPECT_EQ(table_.size(), 40u);
+}
+
+TEST_F(ReintegratorTest, DeferredWhenCurrentNotLarger) {
+  resize(6);  // version 2
+  for (std::uint64_t i = 0; i < 20; ++i) write(ObjectId{i});
+  resize(4);  // version 3: FEWER servers than the entries' version
+  const auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.bytes_migrated, 0);
+  EXPECT_EQ(stats.entries_deferred, 20u);
+  EXPECT_EQ(table_.size(), 20u);
+}
+
+TEST_F(ReintegratorTest, StaleEntriesSkipped) {
+  resize(6);  // version 2
+  write(ObjectId{7});
+  resize(5);  // version 3
+  write(ObjectId{7});  // re-dirtied with a newer version
+  resize(10);          // version 4, full power
+  const auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_GE(stats.entries_skipped_stale, 1u);
+  EXPECT_EQ(table_.size(), 0u);
+  // Object ends at current placement.
+  auto want = placement_now(ObjectId{7});
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(store_.locate(ObjectId{7}), want);
+}
+
+TEST_F(ReintegratorTest, DeletedObjectEntrySkipped) {
+  resize(6);
+  write(ObjectId{3});
+  store_.erase_object(ObjectId{3});
+  resize(10);
+  const auto stats = reintegrator_.step(kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.entries_skipped_stale, 1u);
+  EXPECT_EQ(table_.size(), 0u);
+}
+
+TEST_F(ReintegratorTest, PendingBytesMatchesActualWork) {
+  resize(6);
+  for (std::uint64_t i = 0; i < 30; ++i) write(ObjectId{i});
+  resize(10);
+  const Bytes predicted = reintegrator_.pending_bytes();
+  Bytes actual = 0;
+  int safety = 1000;
+  while (--safety > 0) {
+    const auto stats = reintegrator_.step(8 * kDefaultObjectSize);
+    actual += stats.bytes_migrated;
+    if (stats.drained) break;
+  }
+  EXPECT_EQ(predicted, actual);
+}
+
+TEST_F(ReintegratorTest, VersionChangeRestartsScan) {
+  resize(6);  // v2
+  for (std::uint64_t i = 0; i < 30; ++i) write(ObjectId{i});
+  resize(8);  // v3
+  // Partially process at v3.
+  (void)reintegrator_.step(5 * kDefaultObjectSize);
+  resize(10);  // v4: scan must restart and cover everything.
+  int safety = 1000;
+  while (!reintegrator_.step(20 * kDefaultObjectSize).drained &&
+         --safety > 0) {
+  }
+  EXPECT_EQ(table_.size(), 0u);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    auto want = placement_now(ObjectId{i});
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(store_.locate(ObjectId{i}), want) << i;
+  }
+}
+
+TEST_F(ReintegratorTest, IdempotentAfterDrain) {
+  resize(6);
+  for (std::uint64_t i = 0; i < 20; ++i) write(ObjectId{i});
+  resize(10);
+  (void)reintegrator_.step(100 * kGiB);
+  const auto again = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(again.drained);
+  EXPECT_EQ(again.bytes_migrated, 0);
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,164 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+namespace ech {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static std::unique_ptr<ElasticCluster> make_cluster() {
+    ElasticClusterConfig config;
+    config.server_count = 10;
+    config.replicas = 2;
+    return std::move(ElasticCluster::create(config)).value();
+  }
+
+  std::string path_ = ::testing::TempDir() + "/ech_snapshot_test.snap";
+};
+
+TEST_F(SnapshotTest, RoundTripEmptyCluster) {
+  auto original = make_cluster();
+  ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+  auto loaded = load_snapshot(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->server_count(), 10u);
+  EXPECT_EQ(loaded.value()->current_version(), Version{1});
+  EXPECT_EQ(loaded.value()->object_store().total_replicas(), 0u);
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesObjectsAndDirtyState) {
+  auto original = make_cluster();
+  for (std::uint64_t oid = 0; oid < 100; ++oid) {
+    ASSERT_TRUE(original->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(original->request_resize(6).is_ok());
+  for (std::uint64_t oid = 100; oid < 140; ++oid) {
+    ASSERT_TRUE(original->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+
+  auto loaded_or = load_snapshot(path_);
+  ASSERT_TRUE(loaded_or.ok());
+  auto& loaded = *loaded_or.value();
+
+  EXPECT_EQ(loaded.current_version(), original->current_version());
+  EXPECT_EQ(loaded.active_count(), 6u);
+  EXPECT_EQ(loaded.dirty_table().size(), 40u);
+  EXPECT_EQ(loaded.object_store().total_replicas(),
+            original->object_store().total_replicas());
+  for (std::uint64_t oid = 0; oid < 140; ++oid) {
+    EXPECT_EQ(loaded.object_store().locate(ObjectId{oid}),
+              original->object_store().locate(ObjectId{oid}))
+        << oid;
+  }
+  // Headers (version + dirty bit) survive.
+  const auto holders = loaded.object_store().locate(ObjectId{120});
+  ASSERT_FALSE(holders.empty());
+  EXPECT_TRUE(
+      loaded.object_store().server(holders[0]).get(ObjectId{120})->header.dirty);
+}
+
+TEST_F(SnapshotTest, RestoredClusterResumesReintegration) {
+  auto original = make_cluster();
+  for (std::uint64_t oid = 0; oid < 80; ++oid) {
+    ASSERT_TRUE(original->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(original->request_resize(6).is_ok());
+  for (std::uint64_t oid = 80; oid < 120; ++oid) {
+    ASSERT_TRUE(original->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+
+  auto loaded = std::move(load_snapshot(path_)).value();
+  ASSERT_TRUE(loaded->request_resize(10).is_ok());
+  int safety = 5000;
+  while (loaded->maintenance_step(64 * kDefaultObjectSize) > 0 &&
+         --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  EXPECT_EQ(loaded->dirty_table().size(), 0u);
+  for (std::uint64_t oid = 0; oid < 120; ++oid) {
+    auto want = loaded->placement_of(ObjectId{oid}).value().servers;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(loaded->object_store().locate(ObjectId{oid}), want) << oid;
+  }
+}
+
+TEST_F(SnapshotTest, ConfigSurvivesRoundTrip) {
+  ElasticClusterConfig config;
+  config.server_count = 12;
+  config.replicas = 3;
+  config.primary_count = 4;
+  config.reintegration = ReintegrationMode::kFull;
+  config.dirty_dedupe = true;
+  auto original = std::move(ElasticCluster::create(config)).value();
+  ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+  auto loaded = std::move(load_snapshot(path_)).value();
+  EXPECT_EQ(loaded->server_count(), 12u);
+  EXPECT_EQ(loaded->primary_count(), 4u);
+  EXPECT_EQ(loaded->config().replicas, 3u);
+  EXPECT_EQ(loaded->config().reintegration, ReintegrationMode::kFull);
+  EXPECT_TRUE(loaded->config().dirty_dedupe);
+  EXPECT_EQ(loaded->name(), "primary+full");
+}
+
+TEST_F(SnapshotTest, FailedClusterRefusesToSnapshot) {
+  auto original = make_cluster();
+  ASSERT_TRUE(original->fail_server(ServerId{5}).is_ok());
+  const Status s = save_snapshot(*original, path_);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotTest, MissingFileFails) {
+  const auto loaded = load_snapshot("/nonexistent/snap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, GarbageFileFails) {
+  {
+    std::ofstream out(path_);
+    out << "not a snapshot\n";
+  }
+  const auto loaded = load_snapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, TruncatedFileFails) {
+  auto original = make_cluster();
+  ASSERT_TRUE(original->write(ObjectId{1}, 0).is_ok());
+  ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+  // Chop the end marker (and likely some rows) off.
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path_);
+    out << contents.substr(0, contents.size() / 2);
+  }
+  EXPECT_FALSE(load_snapshot(path_).ok());
+}
+
+TEST_F(SnapshotTest, ImportVersionValidatesShape) {
+  auto c = make_cluster();
+  EXPECT_FALSE(c->import_version(MembershipTable::full_power(5)).is_ok());
+  auto holes = MembershipTable::full_power(10);
+  holes.set_state(3, ServerState::kOff);
+  EXPECT_FALSE(c->import_version(holes).is_ok());
+  EXPECT_TRUE(
+      c->import_version(MembershipTable::prefix_active(10, 7)).is_ok());
+  EXPECT_EQ(c->active_count(), 7u);
+}
+
+}  // namespace
+}  // namespace ech

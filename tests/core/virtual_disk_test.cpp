@@ -1,0 +1,166 @@
+#include "core/virtual_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/elastic_cluster.h"
+
+namespace ech {
+namespace {
+
+std::unique_ptr<ElasticCluster> make_backend() {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  return std::move(ElasticCluster::create(config)).value();
+}
+
+TEST(VirtualDisk, ObjectIdEmbedsVdiAndIndex) {
+  auto backend = make_backend();
+  const VirtualDisk disk(*backend, 7, "test", 100 * kMiB);
+  const ObjectId oid = disk.object_id(3);
+  EXPECT_EQ(oid.value >> VirtualDisk::kIndexBits, 7u);
+  EXPECT_EQ(oid.value & VirtualDisk::kMaxIndex, 3u);
+}
+
+TEST(VirtualDisk, ObjectCountRoundsUp) {
+  auto backend = make_backend();
+  const VirtualDisk disk(*backend, 1, "d", 10 * kMiB, 4 * kMiB);
+  EXPECT_EQ(disk.object_count(), 3u);
+}
+
+TEST(VirtualDisk, AlignedWriteAllocatesObjects) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 100 * kMiB, 4 * kMiB);
+  const auto io = disk.write(0, 8 * kMiB);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().objects_touched, 2u);
+  EXPECT_EQ(io.value().objects_allocated, 2u);
+  EXPECT_EQ(io.value().read_modify_writes, 0u);
+  EXPECT_EQ(disk.allocated_bytes(), 8 * kMiB);
+  // The replicas actually exist in the cluster.
+  EXPECT_EQ(backend->object_store().locate(disk.object_id(0)).size(), 2u);
+}
+
+TEST(VirtualDisk, UnalignedOverwriteIsReadModifyWrite) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 100 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(disk.write(0, 4 * kMiB).ok());
+  const auto io = disk.write(kMiB, 2 * kMiB);  // partial, object exists
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().objects_touched, 1u);
+  EXPECT_EQ(io.value().objects_allocated, 0u);
+  EXPECT_EQ(io.value().read_modify_writes, 1u);
+}
+
+TEST(VirtualDisk, PartialFirstWriteIsNotRmw) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 100 * kMiB, 4 * kMiB);
+  const auto io = disk.write(kMiB, kMiB);  // unallocated: zero-fill write
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().read_modify_writes, 0u);
+  EXPECT_EQ(io.value().objects_allocated, 1u);
+}
+
+TEST(VirtualDisk, SpanningWriteCountsEdgeRmws) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 100 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(disk.write(0, 16 * kMiB).ok());  // objects 0..3
+  // Overwrite 2 MiB..14 MiB: objects 0 and 3 are partial, 1 and 2 full.
+  const auto io = disk.write(2 * kMiB, 12 * kMiB);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().objects_touched, 4u);
+  EXPECT_EQ(io.value().read_modify_writes, 2u);
+}
+
+TEST(VirtualDisk, ReadsSparseAndAllocated) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 100 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(disk.write(0, 4 * kMiB).ok());
+  const auto io = disk.read(0, 12 * kMiB);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().objects_touched, 1u);
+  EXPECT_EQ(io.value().sparse_reads, 2u);
+}
+
+TEST(VirtualDisk, RangeValidation) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 10 * kMiB, 4 * kMiB);
+  EXPECT_EQ(disk.write(8 * kMiB, 4 * kMiB).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.write(0, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.read(-1, 4).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(disk.write(6 * kMiB, 4 * kMiB).ok());  // exactly to the end
+}
+
+TEST(VirtualDisk, PurgeRemovesBackendObjects) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 100 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(disk.write(0, 20 * kMiB).ok());
+  EXPECT_GT(backend->object_store().total_replicas(), 0u);
+  EXPECT_EQ(disk.purge(), 5u);
+  EXPECT_EQ(backend->object_store().total_replicas(), 0u);
+  EXPECT_EQ(disk.allocated_bytes(), 0);
+}
+
+TEST(VirtualDisk, SurvivesClusterResize) {
+  auto backend = make_backend();
+  VirtualDisk disk(*backend, 1, "d", 200 * kMiB, 4 * kMiB);
+  ASSERT_TRUE(disk.write(0, 200 * kMiB).ok());
+  ASSERT_TRUE(backend->request_resize(backend->min_active()).is_ok());
+  const auto io = disk.read(0, 200 * kMiB);
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().objects_touched, 50u);  // all readable at min power
+}
+
+TEST(VdiManager, CreateFindRemove) {
+  auto backend = make_backend();
+  VdiManager mgr(*backend);
+  auto created = mgr.create("vm-disk", 100 * kMiB);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->name(), "vm-disk");
+  EXPECT_EQ(mgr.find("vm-disk"), created.value());
+  EXPECT_EQ(mgr.disk_count(), 1u);
+  ASSERT_TRUE(mgr.remove("vm-disk").is_ok());
+  EXPECT_EQ(mgr.find("vm-disk"), nullptr);
+}
+
+TEST(VdiManager, DuplicateNameRejected) {
+  auto backend = make_backend();
+  VdiManager mgr(*backend);
+  ASSERT_TRUE(mgr.create("a", kMiB).ok());
+  EXPECT_EQ(mgr.create("a", kMiB).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(VdiManager, InvalidArgsRejected) {
+  auto backend = make_backend();
+  VdiManager mgr(*backend);
+  EXPECT_FALSE(mgr.create("", kMiB).ok());
+  EXPECT_FALSE(mgr.create("x", 0).ok());
+  EXPECT_FALSE(mgr.create("x", kMiB, 0).ok());
+}
+
+TEST(VdiManager, DistinctVdiIdsIsolateObjectSpaces) {
+  auto backend = make_backend();
+  VdiManager mgr(*backend);
+  auto* a = mgr.create("a", 100 * kMiB).value();
+  auto* b = mgr.create("b", 100 * kMiB).value();
+  ASSERT_TRUE(a->write(0, 4 * kMiB).ok());
+  ASSERT_TRUE(b->write(0, 4 * kMiB).ok());
+  const ObjectId a0 = a->object_id(0);
+  const ObjectId b0 = b->object_id(0);
+  EXPECT_NE(a0, b0);
+  // Removing disk a must not disturb disk b's objects.
+  ASSERT_TRUE(mgr.remove("a").is_ok());
+  EXPECT_TRUE(backend->object_store().locate(a0).empty());
+  EXPECT_EQ(backend->object_store().locate(b0).size(), 2u);
+}
+
+TEST(VdiManager, RemoveUnknownFails) {
+  auto backend = make_backend();
+  VdiManager mgr(*backend);
+  EXPECT_EQ(mgr.remove("ghost").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ech

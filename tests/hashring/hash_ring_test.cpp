@@ -1,0 +1,292 @@
+#include "hashring/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace ech {
+namespace {
+
+TEST(HashRing, EmptyRing) {
+  const HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.server_count(), 0u);
+  EXPECT_EQ(ring.vnode_count(), 0u);
+  EXPECT_FALSE(ring.successor(0).has_value());
+  EXPECT_FALSE(ring.next_server(0, nullptr).has_value());
+  EXPECT_TRUE(ring.successors(0, 3).empty());
+}
+
+TEST(HashRing, AddServerCreatesWeightVnodes) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 16).is_ok());
+  EXPECT_EQ(ring.server_count(), 1u);
+  EXPECT_EQ(ring.vnode_count(), 16u);
+  EXPECT_EQ(ring.weight_of(ServerId{1}), 16u);
+  EXPECT_TRUE(ring.contains(ServerId{1}));
+}
+
+TEST(HashRing, AddDuplicateFails) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 4).is_ok());
+  const Status s = ring.add_server(ServerId{1}, 4);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ring.vnode_count(), 4u);
+}
+
+TEST(HashRing, ZeroWeightRejected) {
+  HashRing ring;
+  EXPECT_EQ(ring.add_server(ServerId{1}, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HashRing, RemoveServer) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 8).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{2}, 8).is_ok());
+  ASSERT_TRUE(ring.remove_server(ServerId{1}).is_ok());
+  EXPECT_FALSE(ring.contains(ServerId{1}));
+  EXPECT_EQ(ring.vnode_count(), 8u);
+  // All lookups now resolve to server 2.
+  for (RingPosition pos : {0ull, 1ull << 40, ~0ull}) {
+    EXPECT_EQ(ring.successor(pos), ServerId{2});
+  }
+}
+
+TEST(HashRing, RemoveAbsentFails) {
+  HashRing ring;
+  EXPECT_EQ(ring.remove_server(ServerId{9}).code(), StatusCode::kNotFound);
+}
+
+TEST(HashRing, SetWeightChangesVnodeCount) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 4).is_ok());
+  ASSERT_TRUE(ring.set_weight(ServerId{1}, 10).is_ok());
+  EXPECT_EQ(ring.vnode_count(), 10u);
+  EXPECT_EQ(ring.weight_of(ServerId{1}), 10u);
+}
+
+TEST(HashRing, SetWeightSameIsNoop) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 4).is_ok());
+  const auto before = std::vector<VirtualNode>(ring.vnodes().begin(),
+                                               ring.vnodes().end());
+  ASSERT_TRUE(ring.set_weight(ServerId{1}, 4).is_ok());
+  const auto after = std::vector<VirtualNode>(ring.vnodes().begin(),
+                                              ring.vnodes().end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(HashRing, SetWeightOnAbsentFails) {
+  HashRing ring;
+  EXPECT_EQ(ring.set_weight(ServerId{1}, 4).code(), StatusCode::kNotFound);
+}
+
+TEST(HashRing, SetWeightZeroRejected) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 4).is_ok());
+  EXPECT_EQ(ring.set_weight(ServerId{1}, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HashRing, VnodesSortedByPosition) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 50).is_ok());
+  }
+  const auto vnodes = ring.vnodes();
+  EXPECT_TRUE(std::is_sorted(
+      vnodes.begin(), vnodes.end(),
+      [](const VirtualNode& a, const VirtualNode& b) {
+        return a.position < b.position;
+      }));
+}
+
+TEST(HashRing, SuccessorWrapsAround) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 1).is_ok());
+  const RingPosition pos = ring.vnodes()[0].position;
+  // Just past the only vnode must wrap to it again.
+  EXPECT_EQ(ring.successor(pos + 1), ServerId{1});
+  EXPECT_EQ(ring.successor(pos), ServerId{1});  // exact hit
+}
+
+TEST(HashRing, SuccessorDeterministic) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 100).is_ok());
+  }
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const RingPosition pos = mix64(k);
+    EXPECT_EQ(ring.successor(pos), ring.successor(pos));
+  }
+}
+
+TEST(HashRing, NextServerHonorsFilter) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 20).is_ok());
+  }
+  const auto only_three = [](ServerId s) { return s == ServerId{3}; };
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_EQ(ring.next_server(mix64(k), only_three), ServerId{3});
+  }
+}
+
+TEST(HashRing, NextServerAllRejectedIsNull) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 8).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{2}, 8).is_ok());
+  const auto reject_all = [](ServerId) { return false; };
+  EXPECT_FALSE(ring.next_server(0, reject_all).has_value());
+}
+
+TEST(HashRing, NextServerNullFilterMatchesSuccessor) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 32).is_ok());
+  }
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(ring.next_server(mix64(k), nullptr), ring.successor(mix64(k)));
+  }
+}
+
+TEST(HashRing, SuccessorsDistinctServers) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 40).is_ok());
+  }
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const auto got = ring.successors(mix64(k), 3);
+    ASSERT_EQ(got.size(), 3u);
+    const std::set<ServerId> uniq(got.begin(), got.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(HashRing, SuccessorsMoreThanServersReturnsAll) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 8).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{2}, 8).is_ok());
+  const auto got = ring.successors(0, 5);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(HashRing, SuccessorsWithFilter) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 16).is_ok());
+  }
+  const auto even = [](ServerId s) { return s.value % 2 == 0; };
+  const auto got = ring.successors(0, 3, even);
+  ASSERT_EQ(got.size(), 3u);
+  for (ServerId s : got) EXPECT_EQ(s.value % 2, 0u);
+}
+
+TEST(HashRing, SuccessorsZeroCount) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 8).is_ok());
+  EXPECT_TRUE(ring.successors(0, 0).empty());
+}
+
+TEST(HashRing, OwnershipSumsToOne) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 100).is_ok());
+  }
+  double total = 0.0;
+  for (const auto& [id, frac] : ring.ownership()) total += frac;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HashRing, OwnershipSingleServerIsOne) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 1).is_ok());
+  const auto own = ring.ownership();
+  ASSERT_EQ(own.size(), 1u);
+  EXPECT_NEAR(own.at(ServerId{1}), 1.0, 1e-9);
+}
+
+TEST(HashRing, ServersListsAll) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 2).is_ok());
+  }
+  auto servers = ring.servers();
+  std::sort(servers.begin(), servers.end());
+  ASSERT_EQ(servers.size(), 5u);
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(servers[id - 1], ServerId{id});
+  }
+}
+
+// The consistent-hashing contract: adding one server only diverts keys to
+// the newcomer — it never reshuffles keys between pre-existing servers.
+TEST(HashRing, MinimalDisruptionOnAdd) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 9; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 100).is_ok());
+  }
+  constexpr int kKeys = 5000;
+  std::vector<ServerId> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    before[k] = *ring.successor(object_position(ObjectId{std::uint64_t(k)}));
+  }
+  ASSERT_TRUE(ring.add_server(ServerId{10}, 100).is_ok());
+  int moved = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const ServerId now =
+        *ring.successor(object_position(ObjectId{std::uint64_t(k)}));
+    if (now != before[k]) {
+      EXPECT_EQ(now, ServerId{10});  // keys may only move TO the new server
+      ++moved;
+    }
+  }
+  // Expect roughly 1/10 of keys to move (weight share of the newcomer).
+  EXPECT_NEAR(moved, kKeys / 10, kKeys / 20);
+}
+
+TEST(HashRing, RemovalOnlyMovesVictimKeys) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 100).is_ok());
+  }
+  constexpr int kKeys = 5000;
+  std::vector<ServerId> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    before[k] = *ring.successor(object_position(ObjectId{std::uint64_t(k)}));
+  }
+  ASSERT_TRUE(ring.remove_server(ServerId{10}).is_ok());
+  for (int k = 0; k < kKeys; ++k) {
+    const ServerId now =
+        *ring.successor(object_position(ObjectId{std::uint64_t(k)}));
+    if (before[k] != ServerId{10}) {
+      EXPECT_EQ(now, before[k]);  // untouched keys stay put
+    } else {
+      EXPECT_NE(now, ServerId{10});
+    }
+  }
+}
+
+TEST(HashRing, AddThenRemoveRestoresMapping) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 64).is_ok());
+  }
+  constexpr int kKeys = 1000;
+  std::vector<ServerId> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    before[k] = *ring.successor(object_position(ObjectId{std::uint64_t(k)}));
+  }
+  ASSERT_TRUE(ring.add_server(ServerId{6}, 64).is_ok());
+  ASSERT_TRUE(ring.remove_server(ServerId{6}).is_ok());
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(*ring.successor(object_position(ObjectId{std::uint64_t(k)})),
+              before[k]);
+  }
+}
+
+}  // namespace
+}  // namespace ech

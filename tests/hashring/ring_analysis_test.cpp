@@ -1,0 +1,102 @@
+#include "hashring/ring_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/placement.h"
+
+namespace ech {
+namespace {
+
+PlacementFn ring_placement(const HashRing& ring, std::uint32_t r) {
+  return [&ring, r](ObjectId oid) {
+    const auto placed = OriginalPlacement::place(oid, ring, r);
+    return placed.ok() ? placed.value().servers : std::vector<ServerId>{};
+  };
+}
+
+TEST(Disruption, IdenticalConfigurationsAreZero) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 200).is_ok());
+  }
+  const auto fn = ring_placement(ring, 2);
+  const auto r = measure_disruption(fn, fn, 2000, 2);
+  EXPECT_EQ(r.keys_affected, 0u);
+  EXPECT_EQ(r.replica_moves, 0u);
+  EXPECT_DOUBLE_EQ(r.affected_fraction, 0.0);
+}
+
+TEST(Disruption, RemovalMovesRoughlyWeightShare) {
+  HashRing full, minus_one;
+  constexpr std::uint32_t kServers = 10;
+  for (std::uint32_t id = 1; id <= kServers; ++id) {
+    ASSERT_TRUE(full.add_server(ServerId{id}, 500).is_ok());
+    if (id < kServers) {
+      ASSERT_TRUE(minus_one.add_server(ServerId{id}, 500).is_ok());
+    }
+  }
+  const auto r = measure_disruption(ring_placement(full, 2),
+                                    ring_placement(minus_one, 2), 10000, 2);
+  // Each of the 2 replica walks crosses the victim with probability ~1/10;
+  // moved replicas ~10%, affected keys a bit under 2/10.
+  EXPECT_NEAR(r.moved_replica_fraction, 0.10, 0.03);
+  EXPECT_GT(r.affected_fraction, r.moved_replica_fraction);
+  EXPECT_LT(r.affected_fraction, 0.30);
+}
+
+TEST(Disruption, TotalReplacementIsOneHundredPercent) {
+  HashRing a, b;
+  for (std::uint32_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(a.add_server(ServerId{id}, 100).is_ok());
+    ASSERT_TRUE(b.add_server(ServerId{id + 100}, 100).is_ok());
+  }
+  const auto r = measure_disruption(ring_placement(a, 2),
+                                    ring_placement(b, 2), 1000, 2);
+  EXPECT_DOUBLE_EQ(r.affected_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.moved_replica_fraction, 1.0);
+}
+
+TEST(Disruption, CountsChangedSetSizeAsAffected) {
+  // Shrinking below the replication level changes set sizes; those keys
+  // must count as affected even with zero forward moves.
+  HashRing two, one;
+  ASSERT_TRUE(two.add_server(ServerId{1}, 50).is_ok());
+  ASSERT_TRUE(two.add_server(ServerId{2}, 50).is_ok());
+  ASSERT_TRUE(one.add_server(ServerId{1}, 50).is_ok());
+  const auto r = measure_disruption(ring_placement(two, 2),
+                                    ring_placement(one, 2), 500, 2);
+  EXPECT_DOUBLE_EQ(r.affected_fraction, 1.0);  // sets shrink everywhere
+}
+
+TEST(Balance, UniformRingBalances) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 2000).is_ok());
+  }
+  const auto r = measure_balance(ring, 10, 20000);
+  EXPECT_LT(r.cv, 0.1);
+  EXPECT_GT(r.jain, 0.98);
+  EXPECT_GT(r.min, 0u);
+  std::uint64_t total = 0;
+  for (auto c : r.counts) total += c;
+  EXPECT_EQ(total, 20000u);
+}
+
+TEST(Balance, SkewedWeightsSkewCounts) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 3000).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{2}, 1000).is_ok());
+  const auto r = measure_balance(ring, 2, 20000);
+  EXPECT_GT(r.counts[0], 2 * r.counts[1]);
+  EXPECT_LT(r.jain, 0.95);
+}
+
+TEST(Balance, EmptyKeySpace) {
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 10).is_ok());
+  const auto r = measure_balance(ring, 1, 0);
+  EXPECT_EQ(r.max, 0u);
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,132 @@
+// Statistical/property tests of ring balance: weights must translate into
+// proportional key ownership, which is the mechanism the equal-work layout
+// relies on (Section III-C: "a much larger B will be chosen for better load
+// balance").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/stats.h"
+#include "hashring/hash_ring.h"
+
+namespace ech {
+namespace {
+
+std::vector<std::uint64_t> key_counts(const HashRing& ring,
+                                      std::uint32_t servers, int keys) {
+  std::vector<std::uint64_t> counts(servers, 0);
+  for (int k = 0; k < keys; ++k) {
+    const ServerId s =
+        *ring.successor(object_position(ObjectId{std::uint64_t(k)}));
+    ++counts[s.value - 1];
+  }
+  return counts;
+}
+
+// ---- uniform weights: balance improves with vnode count -------------------
+
+class UniformBalanceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(UniformBalanceTest, KeySpreadTracksVnodeCount) {
+  const std::uint32_t vnodes = GetParam();
+  constexpr std::uint32_t kServers = 10;
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= kServers; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, vnodes).is_ok());
+  }
+  const auto counts = key_counts(ring, kServers, 20000);
+  RunningStats stats;
+  for (auto c : counts) stats.add(static_cast<double>(c));
+  // CV shrinks roughly like 1/sqrt(vnodes); grant generous slack.
+  const double cv_bound = 2.5 / std::sqrt(static_cast<double>(vnodes));
+  EXPECT_LT(stats.cv(), cv_bound) << "vnodes=" << vnodes;
+}
+
+INSTANTIATE_TEST_SUITE_P(VnodeSweep, UniformBalanceTest,
+                         ::testing::Values(16u, 64u, 256u, 1024u));
+
+// ---- weighted ownership ----------------------------------------------------
+
+class WeightRatioTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(WeightRatioTest, OwnershipProportionalToWeights) {
+  const auto [w1, w2] = GetParam();
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, w1).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{2}, w2).is_ok());
+  const auto own = ring.ownership();
+  const double expected1 =
+      static_cast<double>(w1) / static_cast<double>(w1 + w2);
+  EXPECT_NEAR(own.at(ServerId{1}), expected1, 0.08)
+      << "weights " << w1 << ":" << w2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, WeightRatioTest,
+    ::testing::Values(std::make_pair(500u, 500u), std::make_pair(1000u, 500u),
+                      std::make_pair(1500u, 500u), std::make_pair(2000u, 500u),
+                      std::make_pair(3000u, 1000u)));
+
+TEST(WeightedKeys, KeyCountsFollowWeights) {
+  // Three servers weighted 3:2:1 must attract keys ~3:2:1.
+  HashRing ring;
+  ASSERT_TRUE(ring.add_server(ServerId{1}, 1500).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{2}, 1000).is_ok());
+  ASSERT_TRUE(ring.add_server(ServerId{3}, 500).is_ok());
+  const auto counts = key_counts(ring, 3, 60000);
+  const double total = 60000.0;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / total, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / total, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / total, 1.0 / 6.0, 0.04);
+}
+
+TEST(WeightedKeys, ChiSquaredRejectsGrossImbalance) {
+  // With equal weights and many vnodes, chi^2 over 10 bins for 20k keys
+  // should stay in a plausible band (df=9; far below a catastrophic skew).
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 2000).is_ok());
+  }
+  const auto counts = key_counts(ring, 10, 20000);
+  EXPECT_LT(chi_squared_uniform(counts), 200.0);
+}
+
+TEST(WeightedKeys, JainFairnessHighForUniform) {
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 1000).is_ok());
+  }
+  const auto counts = key_counts(ring, 10, 20000);
+  std::vector<double> xs(counts.begin(), counts.end());
+  EXPECT_GT(jain_fairness(xs), 0.98);
+}
+
+// ---- scale sweep: ring operations stay correct at larger n ----------------
+
+class RingScaleTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingScaleTest, EveryKeyFindsDistinctReplicas) {
+  const std::uint32_t n = GetParam();
+  HashRing ring;
+  for (std::uint32_t id = 1; id <= n; ++id) {
+    ASSERT_TRUE(ring.add_server(ServerId{id}, 100).is_ok());
+  }
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const auto replicas = ring.successors(object_position(ObjectId{k}), 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_NE(replicas[1], replicas[2]);
+    EXPECT_NE(replicas[0], replicas[2]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, RingScaleTest,
+                         ::testing::Values(3u, 10u, 50u, 100u, 300u));
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,103 @@
+// Section III-D end-to-end: tiered per-rank capacities from the
+// CapacityPlanner keep the equal-work layout from overflowing hot ranks,
+// where same-size disks provisioned for the *average* share fail.
+#include <gtest/gtest.h>
+
+#include "cluster/capacity_planner.h"
+#include "core/elastic_cluster.h"
+
+namespace ech {
+namespace {
+
+constexpr std::uint32_t kServers = 10;
+constexpr std::uint64_t kObjects = 4000;  // ~31 GiB total with r=2
+constexpr Bytes kTotalData = static_cast<Bytes>(kObjects) * 2 *
+                             kDefaultObjectSize;
+
+ElasticClusterConfig base_config() {
+  ElasticClusterConfig config;
+  config.server_count = kServers;
+  config.replicas = 2;
+  config.vnode_budget = 20'000;
+  return config;
+}
+
+TEST(CapacityIntegration, PlannerCapacitiesAbsorbEqualWorkSkew) {
+  // Provision each rank per the planner (tiny tier menu scaled to the
+  // experiment) and bulk-load: no write may fail for capacity.
+  const CapacityPlanner planner({16 * kGiB, 8 * kGiB, 4 * kGiB, 2 * kGiB});
+  const auto plan =
+      planner.plan({kServers, 20'000}, kTotalData, /*headroom=*/1.3);
+  ASSERT_TRUE(plan.ok());
+
+  ElasticClusterConfig config = base_config();
+  config.capacity_by_rank = plan.value().capacity_by_rank;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  for (std::uint64_t oid = 0; oid < kObjects; ++oid) {
+    ASSERT_TRUE(cluster.value()->write(ObjectId{oid}, 0).is_ok()) << oid;
+  }
+  // Hot ranks fit within their (bigger) disks.
+  for (std::uint32_t rank = 1; rank <= kServers; ++rank) {
+    EXPECT_LE(cluster.value()
+                  ->object_store()
+                  .server(ServerId{rank})
+                  .utilization(),
+              1.0);
+  }
+}
+
+TEST(CapacityIntegration, UniformAverageSizedDisksOverflowHotRanks) {
+  // Same data, but every server gets the average share (with the same 30%
+  // headroom): the equal-work skew must blow through rank 1's disk.
+  ElasticClusterConfig config = base_config();
+  config.server_capacity = static_cast<Bytes>(
+      1.3 * static_cast<double>(kTotalData) / kServers);
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  bool overflowed = false;
+  for (std::uint64_t oid = 0; oid < kObjects; ++oid) {
+    if (!cluster.value()->write(ObjectId{oid}, 0).is_ok()) {
+      overflowed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(overflowed)
+      << "uniform average-sized disks unexpectedly absorbed the skew";
+}
+
+TEST(CapacityIntegration, ConfigValidatesCapacityVectorSize) {
+  ElasticClusterConfig config = base_config();
+  config.capacity_by_rank = {kGiB, kGiB};  // wrong length
+  EXPECT_FALSE(ElasticCluster::create(config).ok());
+}
+
+TEST(CapacityIntegration, HeterogeneousCapacitiesSurviveResizeCycle) {
+  const CapacityPlanner planner({16 * kGiB, 8 * kGiB, 4 * kGiB, 2 * kGiB});
+  const auto plan = planner.plan({kServers, 20'000}, kTotalData, 1.5);
+  ASSERT_TRUE(plan.ok());
+  ElasticClusterConfig config = base_config();
+  config.capacity_by_rank = plan.value().capacity_by_rank;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+  for (std::uint64_t oid = 0; oid < kObjects / 2; ++oid) {
+    ASSERT_TRUE(cluster->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(cluster->request_resize(6).is_ok());
+  for (std::uint64_t oid = kObjects / 2; oid < kObjects * 3 / 4; ++oid) {
+    ASSERT_TRUE(cluster->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(cluster->request_resize(10).is_ok());
+  int safety = 20000;
+  while (cluster->maintenance_step(64 * kDefaultObjectSize) > 0 &&
+         --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  EXPECT_EQ(cluster->dirty_table().size(), 0u);
+  for (std::uint32_t rank = 1; rank <= kServers; ++rank) {
+    EXPECT_LE(
+        cluster->object_store().server(ServerId{rank}).utilization(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,117 @@
+// Closed-loop integration: the predictive resize controller drives a live
+// ElasticCluster through the simulator — controller decides, cluster
+// resizes, workload writes, re-integration catches up.  This stitches the
+// paper's system (core/) to its stated future work (policy/) end-to-end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/elastic_cluster.h"
+#include "policy/resize_controller.h"
+#include "sim/cluster_sim.h"
+
+namespace ech {
+namespace {
+
+TEST(ControllerLoop, DiurnalLoadDrivenBySlidingMaxController) {
+  ElasticClusterConfig cc;
+  cc.server_count = 10;
+  cc.replicas = 2;
+  auto cluster = std::move(ElasticCluster::create(cc)).value();
+
+  SimConfig sim_config;
+  sim_config.tick_seconds = 1.0;
+  sim_config.disk_bw_mbps = 60.0;
+  sim_config.boot_seconds = 10.0;
+  sim_config.migration_limit_mbps = 40.0;
+  ClusterSim sim(*cluster, sim_config);
+  ASSERT_TRUE(sim.preload(300).is_ok());
+
+  ControllerConfig ctrl_config;
+  ctrl_config.server_count = 10;
+  ctrl_config.min_servers = cluster->min_active();
+  ctrl_config.per_server_bw = 60.0 * 1024 * 1024 / 2.0;  // r=2 write amp
+  ctrl_config.target_utilization = 0.7;
+  ctrl_config.boot_lead = 1;
+  ctrl_config.shrink_hold = 2;
+  ResizeController controller(ctrl_config, make_forecaster("sliding-max"));
+
+  // 20 "epochs" of 30 s each with a day-shaped demand curve.
+  double total_active_seconds = 0.0;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const double x = epoch / 20.0 * 2.0 * M_PI;
+    const double demand_mbps = 150.0 * std::max(0.1, 0.6 - 0.5 * std::cos(x));
+    const std::uint32_t target = controller.step(
+        demand_mbps * 1024 * 1024);
+    sim.schedule_resize(sim.now(), target);
+
+    WorkloadPhase phase;
+    phase.name = "epoch";
+    phase.write_bytes =
+        static_cast<Bytes>(demand_mbps * 0.5 * 30.0 * 1024 * 1024);
+    phase.read_bytes = phase.write_bytes;
+    phase.rate_limit_mbps = demand_mbps;
+    const auto samples = sim.run({phase}, 30.0);
+    for (const auto& s : samples) total_active_seconds += s.powered;
+  }
+
+  // Settle and verify integrity.
+  ASSERT_TRUE(cluster->request_resize(10).is_ok());
+  int safety = 50000;
+  while (cluster->maintenance_step(64 * kDefaultObjectSize) > 0 &&
+         --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  EXPECT_EQ(cluster->dirty_table().size(), 0u);
+  for (std::uint64_t oid = 0; oid < sim.objects_written(); ++oid) {
+    ASSERT_TRUE(cluster->read(ObjectId{oid}).ok()) << oid;
+  }
+  // The controller must have saved real machine-time vs always-on.
+  const double always_on = 10.0 * 20 * 30.0;
+  EXPECT_LT(total_active_seconds, 0.95 * always_on);
+  // ...while never dropping below the elastic floor.
+  EXPECT_GE(cluster->min_active(), 2u);
+}
+
+TEST(ControllerLoop, ReactiveControllerAlsoConverges) {
+  ElasticClusterConfig cc;
+  cc.server_count = 10;
+  cc.replicas = 2;
+  auto cluster = std::move(ElasticCluster::create(cc)).value();
+  SimConfig sim_config;
+  sim_config.tick_seconds = 1.0;
+  ClusterSim sim(*cluster, sim_config);
+
+  ControllerConfig ctrl_config;
+  ctrl_config.server_count = 10;
+  ctrl_config.min_servers = cluster->min_active();
+  ctrl_config.per_server_bw = 30.0 * 1024 * 1024;
+  ResizeController controller(ctrl_config, make_forecaster("reactive"));
+
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    const double demand_mbps = (epoch % 2 == 0) ? 200.0 : 20.0;
+    sim.schedule_resize(sim.now(),
+                        controller.step(demand_mbps * 1024 * 1024));
+    WorkloadPhase phase;
+    phase.name = "burst";
+    phase.write_bytes =
+        static_cast<Bytes>(demand_mbps * 20.0 * 1024 * 1024);
+    phase.rate_limit_mbps = demand_mbps;
+    (void)sim.run({phase}, 20.0);
+  }
+  ASSERT_TRUE(cluster->request_resize(10).is_ok());
+  int safety = 50000;
+  while (cluster->maintenance_step(64 * kDefaultObjectSize) > 0 &&
+         --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  for (std::uint64_t oid = 0; oid < sim.objects_written(); ++oid) {
+    auto want = cluster->placement_of(ObjectId{oid}).value().servers;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(cluster->object_store().locate(ObjectId{oid}), want) << oid;
+  }
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,139 @@
+// Property-based sweeps over the whole placement + layout stack:
+// randomised cluster shapes, many objects, paper invariants asserted.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cluster/layout.h"
+#include "common/rng.h"
+#include "core/elastic_cluster.h"
+
+namespace ech {
+namespace {
+
+using PropertyParam = std::tuple<std::uint32_t /*n*/, std::uint32_t /*r*/,
+                                 std::uint64_t /*seed*/>;
+
+class EchPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(EchPropertyTest, RandomResizeWriteSequencesPreserveInvariants) {
+  const auto [n, r, seed] = GetParam();
+  ElasticClusterConfig config;
+  config.server_count = n;
+  config.replicas = r;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+  Rng rng(seed);
+
+  std::uint64_t next_oid = 0;
+  for (int step = 0; step < 40; ++step) {
+    const int action = static_cast<int>(rng.uniform(0, 2));
+    switch (action) {
+      case 0: {  // resize to a random legal size
+        const auto target = static_cast<std::uint32_t>(
+            rng.uniform(c.min_active(), n));
+        ASSERT_TRUE(c.request_resize(target).is_ok());
+        EXPECT_EQ(c.active_count(), target);
+        break;
+      }
+      case 1: {  // burst of writes
+        for (int w = 0; w < 10; ++w) {
+          const ObjectId oid{next_oid++};
+          ASSERT_TRUE(c.write(oid, 0).is_ok());
+          // Invariant A: at least one replica on a primary.
+          int prim = 0;
+          const auto holders = c.object_store().locate(oid);
+          for (ServerId s : holders) {
+            if (c.chain().is_primary(s)) ++prim;
+          }
+          EXPECT_GE(prim, 1);
+        }
+        break;
+      }
+      default: {  // partial maintenance
+        (void)c.maintenance_step(
+            static_cast<Bytes>(rng.uniform(1, 32)) * kDefaultObjectSize);
+        break;
+      }
+    }
+    // Invariant B: every written object stays readable at every point.
+    if (next_oid > 0) {
+      const ObjectId probe{rng.uniform(0, next_oid - 1)};
+      EXPECT_TRUE(c.read(probe).ok())
+          << "object " << probe.value << " unreadable at step " << step
+          << " (active=" << c.active_count() << ")";
+    }
+  }
+
+  // Final: full power + drain -> exact layout, empty dirty table.
+  ASSERT_TRUE(c.request_resize(n).is_ok());
+  int safety = 20000;
+  while (c.maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  EXPECT_EQ(c.dirty_table().size(), 0u);
+  for (std::uint64_t oid = 0; oid < next_oid; ++oid) {
+    const auto want = c.placement_of(ObjectId{oid});
+    ASSERT_TRUE(want.ok());
+    auto sorted = want.value().servers;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(c.object_store().locate(ObjectId{oid}), sorted) << oid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomisedClusters, EchPropertyTest,
+    ::testing::Values(PropertyParam{10, 2, 1}, PropertyParam{10, 2, 2},
+                      PropertyParam{10, 3, 3}, PropertyParam{16, 2, 4},
+                      PropertyParam{16, 3, 5}, PropertyParam{24, 2, 6},
+                      PropertyParam{24, 4, 7}, PropertyParam{32, 2, 8}));
+
+// Layout property: realised data distribution under ECH matches the
+// equal-work expectation within sampling error.
+class LayoutRealisationTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(LayoutRealisationTest, StoredBytesMatchExpectedFractions) {
+  const std::uint32_t n = GetParam();
+  ElasticClusterConfig config;
+  config.server_count = n;
+  config.replicas = 2;
+  config.vnode_budget = 50000;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+
+  constexpr std::uint64_t kObjects = 8000;
+  for (std::uint64_t oid = 0; oid < kObjects; ++oid) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+  }
+  const auto counts = c.object_store().objects_per_server();
+  const auto fractions =
+      EqualWorkLayout::expected_fractions({n, config.vnode_budget});
+  const double total = static_cast<double>(kObjects) * 2;
+
+  // Replica-1 placement follows ring weights; the primary-constrained
+  // replica skews things, so allow a loose band — the *shape* (monotone
+  // decay across secondary ranks) is what matters.
+  const std::uint32_t p = EqualWorkLayout::primary_count(n);
+  for (std::uint32_t rank = p + 1; rank + 3 <= n; rank += 3) {
+    const double got_hi = static_cast<double>(counts[rank - 1]) / total;
+    const double got_lo = static_cast<double>(counts[rank + 2]) / total;
+    const double want_hi = fractions[rank - 1];
+    const double want_lo = fractions[rank + 2];
+    if (want_hi > want_lo * 1.25) {
+      EXPECT_GT(got_hi, got_lo * 0.9)
+          << "rank " << rank << " vs " << rank + 3;
+    }
+  }
+  // Highest-ranked secondary beats the lowest clearly.
+  EXPECT_GT(counts[p], counts[n - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LayoutRealisationTest,
+                         ::testing::Values(10u, 20u, 40u));
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,180 @@
+// Scenario tests mirroring the paper's figures:
+//   Figure 2 — resizing agility (ECH instant, original CH serialized).
+//   Figure 5 — equal-work layout distortion at low power and recovery.
+//   Figure 6 — the three-version dirty-table walkthrough.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/elastic_cluster.h"
+#include "core/original_ch_cluster.h"
+#include "sim/cluster_sim.h"
+
+namespace ech {
+namespace {
+
+TEST(Figure2Scenario, EchFollowsAggressiveResizeSchedule) {
+  // Remove 2 servers every 30 s, then add 2 back every 30 s — the schedule
+  // Sheepdog could not follow.  ECH must track it exactly (modulo boot).
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto system = std::move(ElasticCluster::create(config)).value();
+  SimConfig sim_config;
+  sim_config.tick_seconds = 1.0;
+  sim_config.boot_seconds = 10.0;
+  ClusterSim sim(*system, sim_config);
+  ASSERT_TRUE(sim.preload(500).is_ok());
+
+  for (int i = 1; i <= 4; ++i) {
+    sim.schedule_resize(30.0 * i, 10 - 2 * i);
+  }
+  for (int i = 1; i <= 4; ++i) {
+    sim.schedule_resize(120.0 + 30.0 * i, 2 + 2 * i);
+  }
+  const auto samples = sim.run_idle(330.0);
+
+  for (const auto& s : samples) {
+    if (s.time_s > 31 && s.time_s < 59) {
+      EXPECT_EQ(s.serving, 8u);
+    }
+    if (s.time_s > 121 && s.time_s < 149) {
+      EXPECT_EQ(s.serving, 2u);
+    }
+    // Size-up lags only by boot time (10 s).
+    if (s.time_s > 165 && s.time_s < 179) {
+      EXPECT_EQ(s.serving, 4u);
+    }
+    if (s.time_s > 285) {
+      EXPECT_EQ(s.serving, 10u);
+    }
+  }
+}
+
+TEST(Figure2Scenario, OriginalChCannotFollowSchedule) {
+  OriginalChConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto system = std::move(OriginalChCluster::create(config)).value();
+  SimConfig sim_config;
+  sim_config.tick_seconds = 1.0;
+  sim_config.disk_bw_mbps = 60.0;
+  ClusterSim sim(*system, sim_config);
+  ASSERT_TRUE(sim.preload(2000).is_ok());  // ~8 GiB: meaningful cleanup
+
+  for (int i = 1; i <= 4; ++i) {
+    sim.schedule_resize(30.0 * i, 10 - 2 * i);
+  }
+  const auto samples = sim.run_idle(150.0);
+
+  // At t=125 the request is 2, but original CH is still re-replicating.
+  std::uint32_t serving_at_125 = 0;
+  for (const auto& s : samples) {
+    if (s.time_s >= 124.0 && s.time_s <= 126.0) serving_at_125 = s.serving;
+  }
+  EXPECT_GT(serving_at_125, 2u) << "original CH followed instantly?";
+}
+
+TEST(Figure5Scenario, LayoutDistortsAtLowPowerAndRecovers) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  config.vnode_budget = 20000;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+
+  // Version 1: full power, 2000 objects.
+  for (std::uint64_t oid = 0; oid < 2000; ++oid) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+  }
+  const auto v1 = c.object_store().objects_per_server();
+
+  // Version 2: 8 active; write 1000 more (the paper's "50,000 objects"
+  // scaled down).  Servers 9 and 10 must gain nothing.
+  ASSERT_TRUE(c.request_resize(8).is_ok());
+  for (std::uint64_t oid = 2000; oid < 3000; ++oid) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+  }
+  const auto v2 = c.object_store().objects_per_server();
+  EXPECT_EQ(v2[8], v1[8]);
+  EXPECT_EQ(v2[9], v1[9]);
+  std::uint64_t gained_active = 0;
+  for (int i = 0; i < 8; ++i) gained_active += v2[i] - v1[i];
+  EXPECT_EQ(gained_active, 2000u);  // 1000 objects x 2 replicas offloaded
+
+  // Version 3: back to 10; re-integration restores the equal-work shape —
+  // servers 9 and 10 receive exactly the shaded re-integration amount.
+  ASSERT_TRUE(c.request_resize(10).is_ok());
+  int safety = 10000;
+  while (c.maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  const auto v3 = c.object_store().objects_per_server();
+  EXPECT_GT(v3[8], v1[8]);  // gained their share of the new 1000 objects
+  EXPECT_GT(v3[9], v1[9]);
+  const std::uint64_t total3 = std::accumulate(v3.begin(), v3.end(), 0ull);
+  EXPECT_EQ(total3, 6000u);  // 3000 objects x 2 replicas, nothing lost
+}
+
+TEST(Figure6Scenario, ThreeVersionDirtyTableWalkthrough) {
+  // Version 9 (5 active) -> version 10 (9 active) -> version 11 (full).
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+
+  ASSERT_TRUE(c.request_resize(5).is_ok());  // version 2 (paper's v9)
+  const Version v_low = c.current_version();
+  for (std::uint64_t oid : {10ull, 103ull, 10010ull, 20400ull}) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+  }
+  EXPECT_EQ(c.dirty_table().size(), 4u);
+  EXPECT_EQ(c.dirty_table().size_at(v_low), 4u);
+
+  // Resize to 9 active (paper's v10): re-integration runs but entries stay.
+  ASSERT_TRUE(c.request_resize(9).is_ok());
+  int safety = 1000;
+  while (c.maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  EXPECT_EQ(c.dirty_table().size(), 4u) << "entries retired before full power";
+
+  // Dirty bit still set on replicas.
+  for (ServerId s : c.object_store().locate(ObjectId{10010})) {
+    EXPECT_TRUE(c.object_store().server(s).get(ObjectId{10010})->header.dirty);
+  }
+
+  // Full power (paper's v11): everything re-integrates, table drains,
+  // dirty bits clear.
+  ASSERT_TRUE(c.request_resize(10).is_ok());
+  safety = 1000;
+  while (c.maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  EXPECT_EQ(c.dirty_table().size(), 0u);
+  for (std::uint64_t oid : {10ull, 103ull, 10010ull, 20400ull}) {
+    for (ServerId s : c.object_store().locate(ObjectId{oid})) {
+      EXPECT_FALSE(c.object_store().server(s).get(ObjectId{oid})->header.dirty);
+    }
+  }
+}
+
+TEST(WriteOffloading, LowPowerWritesLandOnlyOnActives) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 3;
+  auto cluster = ElasticCluster::create(config);
+  ASSERT_TRUE(cluster.ok());
+  auto& c = *cluster.value();
+  ASSERT_TRUE(c.request_resize(5).is_ok());
+  for (std::uint64_t oid = 0; oid < 200; ++oid) {
+    ASSERT_TRUE(c.write(ObjectId{oid}, 0).is_ok());
+    for (ServerId s : c.object_store().locate(ObjectId{oid})) {
+      EXPECT_LE(s.value, 5u) << "write landed on powered-off server";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,138 @@
+// Soak test: a long random schedule mixing every operational event the
+// system supports — writes, overwrites, deletes, resizes, partial
+// maintenance, failures, repairs, recoveries and snapshots — asserting the
+// global invariants after every phase and exact convergence at the end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/snapshot.h"
+
+namespace ech {
+namespace {
+
+class SoakTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/ech_soak.snap";
+};
+
+TEST_P(SoakTest, EverythingEverywhereConverges) {
+  ElasticClusterConfig config;
+  config.server_count = 12;
+  config.replicas = 2;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+  auto& c = *cluster;
+  Rng rng(GetParam());
+
+  std::uint64_t next_oid = 0;
+  std::vector<ServerId> failed;
+
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.uniform(0, 9)) {
+      case 0:
+      case 1:
+      case 2: {  // writes (most common event)
+        for (int w = 0; w < 6; ++w) {
+          const bool overwrite = next_oid > 0 && rng.bernoulli(0.3);
+          const ObjectId oid{overwrite ? rng.uniform(0, next_oid - 1)
+                                       : next_oid++};
+          const Status s = c.write(oid, 0);
+          // Writes may fail only when actives < replicas, which the clamp
+          // prevents unless failures intervened.
+          if (!s.is_ok()) {
+            EXPECT_LT(c.active_count(), config.replicas);
+          }
+        }
+        break;
+      }
+      case 3: {  // resize
+        ASSERT_TRUE(c.request_resize(static_cast<std::uint32_t>(rng.uniform(
+                                         c.min_active(), 12)))
+                        .is_ok());
+        break;
+      }
+      case 4:
+      case 5: {  // partial maintenance + repair
+        (void)c.maintenance_step(
+            static_cast<Bytes>(rng.uniform(1, 24)) * kDefaultObjectSize);
+        (void)c.repair_step(
+            static_cast<Bytes>(rng.uniform(1, 24)) * kDefaultObjectSize);
+        break;
+      }
+      case 6: {  // failure (keep at most one outstanding)
+        if (failed.empty()) {
+          const ServerId victim{
+              static_cast<std::uint32_t>(rng.uniform(1, 12))};
+          if (c.fail_server(victim).is_ok()) failed.push_back(victim);
+        }
+        break;
+      }
+      case 7: {  // recovery
+        if (!failed.empty()) {
+          ASSERT_TRUE(c.recover_server(failed.back()).is_ok());
+          failed.pop_back();
+        }
+        break;
+      }
+      case 8: {  // delete
+        if (next_oid > 0) {
+          (void)c.remove_object(ObjectId{rng.uniform(0, next_oid - 1)});
+        }
+        break;
+      }
+      default: {  // snapshot round trip mid-flight (quiesced failures only)
+        if (failed.empty()) {
+          ASSERT_TRUE(save_snapshot(c, path_).is_ok());
+          auto reloaded = load_snapshot(path_);
+          ASSERT_TRUE(reloaded.ok());
+          EXPECT_EQ(reloaded.value()->current_version(), c.current_version());
+        }
+        break;
+      }
+    }
+    // Standing invariant: every object with a surviving replica stays
+    // readable whenever no failure is outstanding (with one failure and
+    // r=2, overlap losses are legal).
+    if (failed.empty() && next_oid > 0) {
+      const ObjectId probe{rng.uniform(0, next_oid - 1)};
+      const auto holders = c.object_store().locate(probe);
+      if (!holders.empty()) {
+        EXPECT_TRUE(c.read(probe).ok()) << "step " << step;
+      }
+    }
+  }
+
+  // Heal everything and drain to the fixed point.
+  for (ServerId id : failed) {
+    ASSERT_TRUE(c.recover_server(id).is_ok());
+  }
+  ASSERT_TRUE(c.request_resize(12).is_ok());
+  int safety = 50000;
+  while ((c.repair_step(128 * kDefaultObjectSize) > 0 ||
+          c.maintenance_step(128 * kDefaultObjectSize) > 0) &&
+         --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  EXPECT_EQ(c.dirty_table().size(), 0u);
+  for (std::uint64_t oid = 0; oid < next_oid; ++oid) {
+    const auto holders = c.object_store().locate(ObjectId{oid});
+    if (holders.empty()) continue;  // deleted or lost to overlapping faults
+    auto want = c.placement_of(ObjectId{oid}).value().servers;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(holders, want) << oid;
+    for (ServerId s : holders) {
+      EXPECT_FALSE(c.object_store().server(s).get(ObjectId{oid})->header.dirty)
+          << oid;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
+                         ::testing::Values(1001u, 1002u, 1003u, 1004u,
+                                           1005u, 1006u));
+
+}  // namespace
+}  // namespace ech

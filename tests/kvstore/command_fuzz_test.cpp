@@ -1,0 +1,89 @@
+// Fuzz the command surface: arbitrary token streams must never crash or
+// corrupt the store, and random *valid* command sequences must keep the
+// store's aggregate invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kvstore/command.h"
+
+namespace ech::kv {
+namespace {
+
+std::string random_token(Rng& rng) {
+  static const char* kPool[] = {"SET",  "GET",    "DEL",   "RPUSH", "LPOP",
+                                "HSET", "HGET",   "LREM",  "INCR",  "KEYS",
+                                "key",  "field",  "value", "-1",    "0",
+                                "7",    "\"q s\"", "",      "*",     "zzz"};
+  return kPool[rng.uniform(0, std::size(kPool) - 1)];
+}
+
+TEST(CommandFuzz, ArbitraryTokenStreamsNeverCrash) {
+  Store store;
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    std::string line;
+    const int tokens = static_cast<int>(rng.uniform(0, 5));
+    for (int t = 0; t < tokens; ++t) {
+      line += random_token(rng);
+      line += ' ';
+    }
+    const Reply reply = execute_command_line(store, line);
+    // Whatever happened, the reply renders and the store stays queryable.
+    (void)to_string(reply);
+    (void)store.key_count();
+  }
+}
+
+TEST(CommandFuzz, ValidSequencesKeepCountsConsistent)
+{
+  Store store;
+  Rng rng(78);
+  std::int64_t expected_list_len = 0;
+  for (int i = 0; i < 2000; ++i) {
+    switch (rng.uniform(0, 2)) {
+      case 0: {
+        const Reply r = execute_command_line(store, "RPUSH fuzz x");
+        ASSERT_EQ(r.kind, Reply::Kind::kInteger);
+        ++expected_list_len;
+        EXPECT_EQ(r.integer, expected_list_len);
+        break;
+      }
+      case 1: {
+        const Reply r = execute_command_line(store, "LPOP fuzz");
+        if (expected_list_len > 0) {
+          EXPECT_EQ(r.kind, Reply::Kind::kBulk);
+          --expected_list_len;
+        } else {
+          EXPECT_EQ(r.kind, Reply::Kind::kNil);
+        }
+        break;
+      }
+      default: {
+        const Reply r = execute_command_line(store, "LLEN fuzz");
+        ASSERT_EQ(r.kind, Reply::Kind::kInteger);
+        EXPECT_EQ(r.integer, expected_list_len);
+        break;
+      }
+    }
+  }
+}
+
+TEST(CommandFuzz, MixedTypeChurnNeverCorruptsOtherKeys) {
+  Store store;
+  store.set("anchor", "constant");
+  Rng rng(79);
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "k";
+    key += std::to_string(rng.uniform(0, 4));
+    switch (rng.uniform(0, 3)) {
+      case 0: (void)execute_command_line(store, "SET " + key + " v"); break;
+      case 1: (void)execute_command_line(store, "RPUSH " + key + " v"); break;
+      case 2: (void)execute_command_line(store, "HSET " + key + " f v"); break;
+      default: (void)execute_command_line(store, "DEL " + key); break;
+    }
+  }
+  EXPECT_EQ(*store.get("anchor").value(), "constant");
+}
+
+}  // namespace
+}  // namespace ech::kv

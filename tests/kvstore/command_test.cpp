@@ -1,0 +1,172 @@
+#include "kvstore/command.h"
+
+#include <gtest/gtest.h>
+
+namespace ech::kv {
+namespace {
+
+class CommandTest : public ::testing::Test {
+ protected:
+  Reply run(const std::string& line) {
+    return execute_command_line(store_, line);
+  }
+  Store store_;
+};
+
+TEST_F(CommandTest, Ping) {
+  const Reply r = run("PING");
+  EXPECT_EQ(r.kind, Reply::Kind::kBulk);
+  EXPECT_EQ(r.text, "PONG");
+}
+
+TEST_F(CommandTest, SetGetRoundTrip) {
+  EXPECT_EQ(run("SET k v").kind, Reply::Kind::kOk);
+  const Reply r = run("GET k");
+  EXPECT_EQ(r.kind, Reply::Kind::kBulk);
+  EXPECT_EQ(r.text, "v");
+}
+
+TEST_F(CommandTest, GetMissingIsNil) {
+  EXPECT_EQ(run("GET nope").kind, Reply::Kind::kNil);
+}
+
+TEST_F(CommandTest, CaseInsensitiveCommands) {
+  EXPECT_EQ(run("set k v").kind, Reply::Kind::kOk);
+  EXPECT_EQ(run("gEt k").text, "v");
+}
+
+TEST_F(CommandTest, DelReportsExistence) {
+  run("SET k v");
+  EXPECT_EQ(run("DEL k").integer, 1);
+  EXPECT_EQ(run("DEL k").integer, 0);
+}
+
+TEST_F(CommandTest, ExistsReply) {
+  run("SET k v");
+  EXPECT_EQ(run("EXISTS k").integer, 1);
+  EXPECT_EQ(run("EXISTS nope").integer, 0);
+}
+
+TEST_F(CommandTest, IncrDecrChain) {
+  EXPECT_EQ(run("INCR counter").integer, 1);
+  EXPECT_EQ(run("INCR counter").integer, 2);
+  EXPECT_EQ(run("DECR counter").integer, 1);
+  EXPECT_EQ(run("INCRBY counter 10").integer, 11);
+  EXPECT_EQ(run("INCRBY counter -5").integer, 6);
+}
+
+TEST_F(CommandTest, IncrNonIntegerFails) {
+  run("SET k hello");
+  EXPECT_EQ(run("INCR k").kind, Reply::Kind::kError);
+}
+
+TEST_F(CommandTest, IncrByBadDeltaFails) {
+  EXPECT_EQ(run("INCRBY k notanumber").kind, Reply::Kind::kError);
+}
+
+TEST_F(CommandTest, ListLifecycle) {
+  EXPECT_EQ(run("RPUSH l a b c").integer, 3);
+  EXPECT_EQ(run("LLEN l").integer, 3);
+  const Reply range = run("LRANGE l 0 -1");
+  ASSERT_EQ(range.kind, Reply::Kind::kArray);
+  ASSERT_EQ(range.array.size(), 3u);
+  EXPECT_EQ(range.array[0], "a");
+  EXPECT_EQ(run("LPOP l").text, "a");
+  EXPECT_EQ(run("RPOP l").text, "c");
+  EXPECT_EQ(run("LINDEX l 0").text, "b");
+  EXPECT_EQ(run("LREM l 0 b").integer, 1);
+  EXPECT_EQ(run("LLEN l").integer, 0);
+}
+
+TEST_F(CommandTest, LpushPrepends) {
+  run("LPUSH l a");
+  run("LPUSH l b");
+  EXPECT_EQ(run("LINDEX l 0").text, "b");
+}
+
+TEST_F(CommandTest, HashLifecycle) {
+  EXPECT_EQ(run("HSET h f1 v1").integer, 1);
+  EXPECT_EQ(run("HSET h f1 v2").integer, 0);  // overwrite: not new
+  EXPECT_EQ(run("HGET h f1").text, "v2");
+  EXPECT_EQ(run("HEXISTS h f1").integer, 1);
+  EXPECT_EQ(run("HLEN h").integer, 1);
+  run("HSET h f2 x");
+  const Reply all = run("HGETALL h");
+  ASSERT_EQ(all.array.size(), 4u);  // field,value pairs flattened
+  EXPECT_EQ(run("HDEL h f1").integer, 1);
+  EXPECT_EQ(run("HDEL h f1").integer, 0);
+}
+
+TEST_F(CommandTest, HashDeleteLastFieldRemovesKey) {
+  run("HSET h f v");
+  run("HDEL h f");
+  EXPECT_EQ(run("EXISTS h").integer, 0);
+}
+
+TEST_F(CommandTest, WrongTypeSurfacesAsError) {
+  run("SET k v");
+  EXPECT_EQ(run("RPUSH k x").kind, Reply::Kind::kError);
+  EXPECT_EQ(run("HSET k f v").kind, Reply::Kind::kError);
+  run("RPUSH l x");
+  EXPECT_EQ(run("GET l").kind, Reply::Kind::kError);
+}
+
+TEST_F(CommandTest, ArityErrors) {
+  EXPECT_EQ(run("SET k").kind, Reply::Kind::kError);
+  EXPECT_EQ(run("GET").kind, Reply::Kind::kError);
+  EXPECT_EQ(run("LRANGE l 0").kind, Reply::Kind::kError);
+}
+
+TEST_F(CommandTest, UnknownCommand) {
+  const Reply r = run("EXPLODE now");
+  EXPECT_EQ(r.kind, Reply::Kind::kError);
+  EXPECT_NE(r.text.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CommandTest, EmptyLineIsError) {
+  EXPECT_EQ(run("   ").kind, Reply::Kind::kError);
+}
+
+TEST_F(CommandTest, KeysAndDbsizeAndFlush) {
+  run("SET a 1");
+  run("SET b 2");
+  EXPECT_EQ(run("DBSIZE").integer, 2);
+  const Reply keys = run("KEYS");
+  ASSERT_EQ(keys.array.size(), 2u);
+  EXPECT_EQ(keys.array[0], "a");  // sorted
+  EXPECT_EQ(run("FLUSHALL").kind, Reply::Kind::kOk);
+  EXPECT_EQ(run("DBSIZE").integer, 0);
+}
+
+TEST(Tokenize, SplitsOnWhitespace) {
+  const auto t = tokenize_command("  SET   key   value ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "SET");
+  EXPECT_EQ(t[2], "value");
+}
+
+TEST(Tokenize, QuotesGroupWords) {
+  const auto t = tokenize_command("SET key \"hello world\"");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[2], "hello world");
+}
+
+TEST(Tokenize, EmptyQuotedToken) {
+  const auto t = tokenize_command("SET key \"\"");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[2], "");
+}
+
+TEST(ReplyToString, Renderings) {
+  EXPECT_EQ(to_string(Reply::ok()), "OK");
+  EXPECT_EQ(to_string(Reply::nil()), "(nil)");
+  EXPECT_EQ(to_string(Reply::integer_reply(7)), "(integer) 7");
+  EXPECT_EQ(to_string(Reply::bulk("x")), "\"x\"");
+  EXPECT_EQ(to_string(Reply::error("boom")), "(error) boom");
+  EXPECT_EQ(to_string(Reply::array_reply({})), "(empty array)");
+  EXPECT_EQ(to_string(Reply::array_reply({"a", "b"})),
+            "1) \"a\"\n2) \"b\"");
+}
+
+}  // namespace
+}  // namespace ech::kv

@@ -1,0 +1,119 @@
+// Direct API tests for the HASH type and counters (the command-layer tests
+// cover the textual surface; these cover edge semantics).
+#include <gtest/gtest.h>
+
+#include "kvstore/store.h"
+
+namespace ech::kv {
+namespace {
+
+TEST(KvHash, HsetCreatesAndReportsNewness) {
+  Store s;
+  EXPECT_TRUE(s.hset("h", "f", "v1").value());
+  EXPECT_FALSE(s.hset("h", "f", "v2").value());
+  EXPECT_EQ(*s.hget("h", "f").value(), "v2");
+}
+
+TEST(KvHash, HgetMissingKeyAndField) {
+  Store s;
+  EXPECT_FALSE(s.hget("h", "f").value().has_value());
+  ASSERT_TRUE(s.hset("h", "f", "v").ok());
+  EXPECT_FALSE(s.hget("h", "other").value().has_value());
+}
+
+TEST(KvHash, HdelRemovesFieldThenKey) {
+  Store s;
+  ASSERT_TRUE(s.hset("h", "a", "1").ok());
+  ASSERT_TRUE(s.hset("h", "b", "2").ok());
+  EXPECT_TRUE(s.hdel("h", "a").value());
+  EXPECT_FALSE(s.hdel("h", "a").value());
+  EXPECT_TRUE(s.exists("h"));
+  EXPECT_TRUE(s.hdel("h", "b").value());
+  EXPECT_FALSE(s.exists("h"));
+}
+
+TEST(KvHash, HdelMissingKeyIsFalse) {
+  Store s;
+  EXPECT_FALSE(s.hdel("none", "f").value());
+}
+
+TEST(KvHash, HlenAndHexists) {
+  Store s;
+  EXPECT_EQ(s.hlen("h").value(), 0u);
+  ASSERT_TRUE(s.hset("h", "a", "1").ok());
+  ASSERT_TRUE(s.hset("h", "b", "2").ok());
+  EXPECT_EQ(s.hlen("h").value(), 2u);
+  EXPECT_TRUE(s.hexists("h", "a").value());
+  EXPECT_FALSE(s.hexists("h", "z").value());
+  EXPECT_FALSE(s.hexists("none", "a").value());
+}
+
+TEST(KvHash, HgetallSortedByField) {
+  Store s;
+  ASSERT_TRUE(s.hset("h", "zeta", "1").ok());
+  ASSERT_TRUE(s.hset("h", "alpha", "2").ok());
+  const auto all = s.hgetall("h").value();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "alpha");
+  EXPECT_EQ(all[1].first, "zeta");
+}
+
+TEST(KvHash, WrongTypeInteractions) {
+  Store s;
+  s.set("str", "v");
+  EXPECT_FALSE(s.hset("str", "f", "v").ok());
+  EXPECT_FALSE(s.hget("str", "f").ok());
+  EXPECT_FALSE(s.hlen("str").ok());
+  ASSERT_TRUE(s.hset("h", "f", "v").ok());
+  EXPECT_FALSE(s.get("h").ok());
+  EXPECT_FALSE(s.rpush("h", "x").ok());
+}
+
+TEST(KvHash, SetOverwritesHash) {
+  Store s;
+  ASSERT_TRUE(s.hset("k", "f", "v").ok());
+  s.set("k", "now-a-string");
+  EXPECT_EQ(*s.get("k").value(), "now-a-string");
+}
+
+TEST(KvHash, MemoryUsageCountsFieldsAndValues) {
+  Store s;
+  ASSERT_TRUE(s.hset("h", "ff", "vvv").ok());  // 1 + 2 + 3
+  EXPECT_EQ(s.memory_usage_bytes(), 6u);
+}
+
+TEST(KvCounters, IncrFromScratch) {
+  Store s;
+  EXPECT_EQ(s.incr("c").value(), 1);
+  EXPECT_EQ(s.incr("c").value(), 2);
+  EXPECT_EQ(*s.get("c").value(), "2");
+}
+
+TEST(KvCounters, IncrbyNegativeAndDecr) {
+  Store s;
+  EXPECT_EQ(s.incrby("c", -5).value(), -5);
+  EXPECT_EQ(s.decr("c").value(), -6);
+}
+
+TEST(KvCounters, IncrExistingNumericString) {
+  Store s;
+  s.set("c", "41");
+  EXPECT_EQ(s.incr("c").value(), 42);
+}
+
+TEST(KvCounters, IncrRejectsNonInteger) {
+  Store s;
+  s.set("c", "12abc");
+  EXPECT_FALSE(s.incr("c").ok());
+  s.set("c", "");
+  EXPECT_FALSE(s.incr("c").ok());
+}
+
+TEST(KvCounters, IncrOnListIsWrongType) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "x").ok());
+  EXPECT_EQ(s.incr("l").status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ech::kv

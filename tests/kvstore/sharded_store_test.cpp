@@ -1,0 +1,92 @@
+#include "kvstore/sharded_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ech::kv {
+namespace {
+
+TEST(ShardedStore, CreatesRequestedShards) {
+  const ShardedStore s(8);
+  EXPECT_EQ(s.shard_count(), 8u);
+}
+
+TEST(ShardedStore, RoutingIsStable) {
+  ShardedStore s(8);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(s.shard_index(key), s.shard_index(key));
+  }
+}
+
+TEST(ShardedStore, SameKeySameShardAcrossInstances) {
+  ShardedStore a(8), b(8);
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    EXPECT_EQ(a.shard_index(key), b.shard_index(key));
+  }
+}
+
+TEST(ShardedStore, SingleShardTakesEverything) {
+  ShardedStore s(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(s.shard_index("key" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(ShardedStore, DataLandsOnRoutedShard) {
+  ShardedStore s(4);
+  s.shard_for("alpha").set("alpha", "1");
+  const std::size_t idx = s.shard_index("alpha");
+  EXPECT_TRUE(s.shard(idx).exists("alpha"));
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i != idx) EXPECT_FALSE(s.shard(i).exists("alpha"));
+  }
+}
+
+TEST(ShardedStore, KeysSpreadAcrossShards) {
+  ShardedStore s(8);
+  for (int i = 0; i < 800; ++i) {
+    const std::string key = "dirty:v" + std::to_string(i);
+    s.shard_for(key).set(key, "x");
+  }
+  // Every shard should own a reasonable share (no catastrophic skew).
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GT(s.shard(i).key_count(), 50u) << "shard " << i;
+    EXPECT_LT(s.shard(i).key_count(), 200u) << "shard " << i;
+  }
+  EXPECT_EQ(s.total_keys(), 800u);
+}
+
+TEST(ShardedStore, TotalMemoryAggregates) {
+  ShardedStore s(2);
+  s.shard_for("a").set("a", "xx");
+  s.shard_for("b").set("b", "yy");
+  EXPECT_EQ(s.total_memory_bytes(), 6u);
+}
+
+TEST(ShardedStore, FlushAllClearsEveryShard) {
+  ShardedStore s(4);
+  for (int i = 0; i < 40; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    s.shard_for(key).set(key, "v");
+  }
+  s.flush_all();
+  EXPECT_EQ(s.total_keys(), 0u);
+}
+
+TEST(ShardedStore, ListOperationsThroughRouting) {
+  ShardedStore s(4);
+  const std::string key = "dirty:v42";
+  ASSERT_TRUE(s.shard_for(key).rpush(key, "100").ok());
+  ASSERT_TRUE(s.shard_for(key).rpush(key, "200").ok());
+  EXPECT_EQ(s.shard_for(key).llen(key).value(), 2u);
+  EXPECT_EQ(*s.shard_for(key).lpop(key).value(), "100");
+}
+
+}  // namespace
+}  // namespace ech::kv

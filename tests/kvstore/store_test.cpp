@@ -1,0 +1,269 @@
+#include "kvstore/store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ech::kv {
+namespace {
+
+TEST(KvString, SetGet) {
+  Store s;
+  s.set("k", "v");
+  const auto got = s.get("k");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got.value().has_value());
+  EXPECT_EQ(*got.value(), "v");
+}
+
+TEST(KvString, GetAbsentIsNullopt) {
+  Store s;
+  const auto got = s.get("missing");
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got.value().has_value());
+}
+
+TEST(KvString, SetOverwrites) {
+  Store s;
+  s.set("k", "v1");
+  s.set("k", "v2");
+  EXPECT_EQ(*s.get("k").value(), "v2");
+}
+
+TEST(KvString, SetOverwritesListKey) {
+  // Redis SET replaces values of any type.
+  Store s;
+  ASSERT_TRUE(s.rpush("k", "item").ok());
+  s.set("k", "now-a-string");
+  EXPECT_EQ(*s.get("k").value(), "now-a-string");
+}
+
+TEST(KvString, DelRemovesAndReportsExistence) {
+  Store s;
+  s.set("k", "v");
+  EXPECT_TRUE(s.del("k"));
+  EXPECT_FALSE(s.del("k"));
+  EXPECT_FALSE(s.exists("k"));
+}
+
+TEST(KvString, GetOnListIsWrongType) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "x").ok());
+  const auto got = s.get("l");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KvList, RpushGrowsTail) {
+  Store s;
+  EXPECT_EQ(s.rpush("l", "a").value(), 1u);
+  EXPECT_EQ(s.rpush("l", "b").value(), 2u);
+  const auto all = s.lrange("l", 0, -1).value();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a");
+  EXPECT_EQ(all[1], "b");
+}
+
+TEST(KvList, LpushGrowsHead) {
+  Store s;
+  ASSERT_TRUE(s.lpush("l", "a").ok());
+  ASSERT_TRUE(s.lpush("l", "b").ok());
+  const auto all = s.lrange("l", 0, -1).value();
+  EXPECT_EQ(all[0], "b");
+  EXPECT_EQ(all[1], "a");
+}
+
+TEST(KvList, LpopFifoWithRpush) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "first").ok());
+  ASSERT_TRUE(s.rpush("l", "second").ok());
+  EXPECT_EQ(*s.lpop("l").value(), "first");
+  EXPECT_EQ(*s.lpop("l").value(), "second");
+  EXPECT_FALSE(s.lpop("l").value().has_value());
+}
+
+TEST(KvList, RpopTakesTail) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "a").ok());
+  ASSERT_TRUE(s.rpush("l", "b").ok());
+  EXPECT_EQ(*s.rpop("l").value(), "b");
+}
+
+TEST(KvList, PopLastElementDeletesKey) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "only").ok());
+  ASSERT_TRUE(s.lpop("l").ok());
+  EXPECT_FALSE(s.exists("l"));
+  EXPECT_EQ(s.key_count(), 0u);
+}
+
+TEST(KvList, LlenAbsentIsZero) {
+  Store s;
+  EXPECT_EQ(s.llen("missing").value(), 0u);
+}
+
+TEST(KvList, LlenCounts) {
+  Store s;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(s.rpush("l", "x").ok());
+  EXPECT_EQ(s.llen("l").value(), 5u);
+}
+
+TEST(KvList, LrangeInclusiveBounds) {
+  Store s;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.rpush("l", std::to_string(i)).ok());
+  }
+  const auto mid = s.lrange("l", 1, 3).value();
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0], "1");
+  EXPECT_EQ(mid[2], "3");
+}
+
+TEST(KvList, LrangeNegativeIndices) {
+  Store s;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.rpush("l", std::to_string(i)).ok());
+  }
+  const auto tail = s.lrange("l", -2, -1).value();
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], "3");
+  EXPECT_EQ(tail[1], "4");
+}
+
+TEST(KvList, LrangeOutOfRangeClamped) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "a").ok());
+  EXPECT_EQ(s.lrange("l", 0, 100).value().size(), 1u);
+  EXPECT_TRUE(s.lrange("l", 5, 10).value().empty());
+  EXPECT_TRUE(s.lrange("l", 2, 1).value().empty());
+}
+
+TEST(KvList, LrangeAbsentKeyIsEmpty) {
+  Store s;
+  EXPECT_TRUE(s.lrange("missing", 0, -1).value().empty());
+}
+
+TEST(KvList, Lindex) {
+  Store s;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.rpush("l", std::to_string(i)).ok());
+  }
+  EXPECT_EQ(*s.lindex("l", 0).value(), "0");
+  EXPECT_EQ(*s.lindex("l", 2).value(), "2");
+  EXPECT_EQ(*s.lindex("l", -1).value(), "2");
+  EXPECT_FALSE(s.lindex("l", 3).value().has_value());
+  EXPECT_FALSE(s.lindex("l", -4).value().has_value());
+}
+
+TEST(KvList, LremFromHead) {
+  Store s;
+  for (const char* v : {"a", "b", "a", "c", "a"}) {
+    ASSERT_TRUE(s.rpush("l", v).ok());
+  }
+  EXPECT_EQ(s.lrem("l", 2, "a").value(), 2u);
+  const auto rest = s.lrange("l", 0, -1).value();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], "b");
+  EXPECT_EQ(rest[1], "c");
+  EXPECT_EQ(rest[2], "a");
+}
+
+TEST(KvList, LremFromTail) {
+  Store s;
+  for (const char* v : {"a", "b", "a", "c", "a"}) {
+    ASSERT_TRUE(s.rpush("l", v).ok());
+  }
+  EXPECT_EQ(s.lrem("l", -1, "a").value(), 1u);
+  const auto rest = s.lrange("l", 0, -1).value();
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest[0], "a");
+  EXPECT_EQ(rest[3], "c");
+}
+
+TEST(KvList, LremAllOccurrences) {
+  Store s;
+  for (const char* v : {"a", "b", "a"}) ASSERT_TRUE(s.rpush("l", v).ok());
+  EXPECT_EQ(s.lrem("l", 0, "a").value(), 2u);
+  EXPECT_EQ(s.llen("l").value(), 1u);
+}
+
+TEST(KvList, LremEmptiesAndDeletesKey) {
+  Store s;
+  ASSERT_TRUE(s.rpush("l", "a").ok());
+  EXPECT_EQ(s.lrem("l", 0, "a").value(), 1u);
+  EXPECT_FALSE(s.exists("l"));
+}
+
+TEST(KvList, LremAbsentKeyIsZero) {
+  Store s;
+  EXPECT_EQ(s.lrem("missing", 0, "a").value(), 0u);
+}
+
+TEST(KvList, ListOpsOnStringAreWrongType) {
+  Store s;
+  s.set("k", "v");
+  EXPECT_FALSE(s.rpush("k", "x").ok());
+  EXPECT_FALSE(s.lpush("k", "x").ok());
+  EXPECT_FALSE(s.lpop("k").ok());
+  EXPECT_FALSE(s.rpop("k").ok());
+  EXPECT_FALSE(s.llen("k").ok());
+  EXPECT_FALSE(s.lrange("k", 0, -1).ok());
+  EXPECT_FALSE(s.lindex("k", 0).ok());
+  EXPECT_FALSE(s.lrem("k", 0, "x").ok());
+}
+
+TEST(KvIntrospection, KeysAndFlush) {
+  Store s;
+  s.set("a", "1");
+  ASSERT_TRUE(s.rpush("b", "2").ok());
+  EXPECT_EQ(s.key_count(), 2u);
+  EXPECT_EQ(s.keys().size(), 2u);
+  s.flush_all();
+  EXPECT_EQ(s.key_count(), 0u);
+}
+
+TEST(KvIntrospection, MemoryUsageTracksContent) {
+  Store s;
+  EXPECT_EQ(s.memory_usage_bytes(), 0u);
+  s.set("key", "value");  // 3 + 5 bytes
+  EXPECT_EQ(s.memory_usage_bytes(), 8u);
+  ASSERT_TRUE(s.rpush("list", "abcd").ok());  // +4 +4
+  EXPECT_EQ(s.memory_usage_bytes(), 16u);
+}
+
+TEST(KvConcurrency, ParallelPushersProduceAllEntries) {
+  Store s;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(s.rpush("shared", std::to_string(t * 10000 + i)).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(s.llen("shared").value(), kThreads * kPerThread);
+}
+
+TEST(KvConcurrency, MixedReadersAndWriters) {
+  Store s;
+  std::thread writer([&s] {
+    for (int i = 0; i < 1000; ++i) s.set("hot", std::to_string(i));
+  });
+  std::thread reader([&s] {
+    for (int i = 0; i < 1000; ++i) {
+      const auto got = s.get("hot");
+      ASSERT_TRUE(got.ok());
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(*s.get("hot").value(), "999");
+}
+
+}  // namespace
+}  // namespace ech::kv

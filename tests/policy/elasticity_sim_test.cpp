@@ -1,0 +1,201 @@
+#include "policy/elasticity_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/layout.h"
+#include "workload/trace_synth.h"
+
+namespace ech {
+namespace {
+
+PolicyConfig small_config() {
+  PolicyConfig config;
+  config.server_count = 20;
+  config.replicas = 2;
+  config.per_server_bw = 60.0 * 1024 * 1024;
+  config.data_per_server = 100.0 * 1024 * 1024 * 1024;
+  config.migration_share = 0.5;
+  config.selective_limit = 40.0 * 1024 * 1024;
+  return config;
+}
+
+LoadSeries bursty_load(std::uint32_t n, double per_server_bw,
+                       std::size_t steps = 600) {
+  // Alternating high/low blocks force frequent resizes.
+  LoadSeries load;
+  load.name = "synthetic";
+  load.step_seconds = 60.0;
+  load.steps.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const bool high = (i / 30) % 2 == 0;
+    const double servers_wanted = high ? 0.8 * n : 0.15 * n;
+    load.steps.push_back(LoadStep{servers_wanted * per_server_bw, 0.4});
+  }
+  return load;
+}
+
+TEST(ElasticitySim, IdealTracksLoadExactly) {
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries load = bursty_load(20, config.per_server_bw);
+  const SchemeResult r = sim.simulate(load, ResizeScheme::kIdeal);
+  const auto ideal =
+      ideal_server_series(load, config.per_server_bw, 1, 20);
+  ASSERT_EQ(r.servers.size(), ideal.size());
+  for (std::size_t i = 0; i < ideal.size(); ++i) {
+    EXPECT_EQ(r.servers[i], ideal[i]) << i;
+  }
+  EXPECT_EQ(r.blocked_steps, 0u);
+}
+
+TEST(ElasticitySim, SchemesNeverBeatIdeal) {
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries load = bursty_load(20, config.per_server_bw);
+  const SchemeResult ideal = sim.simulate(load, ResizeScheme::kIdeal);
+  for (ResizeScheme s :
+       {ResizeScheme::kOriginalCH, ResizeScheme::kPrimaryFull,
+        ResizeScheme::kPrimarySelective, ResizeScheme::kGreenCHT}) {
+    const SchemeResult r = sim.simulate(load, s);
+    EXPECT_GE(r.machine_hours, ideal.machine_hours) << to_string(s);
+  }
+}
+
+TEST(ElasticitySim, PaperOrderingHolds) {
+  // Table II's ordering: ideal < primary+selective < primary+full <
+  // original CH.
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries load = bursty_load(20, config.per_server_bw);
+  const double ideal =
+      sim.simulate(load, ResizeScheme::kIdeal).machine_hours;
+  const double selective =
+      sim.simulate(load, ResizeScheme::kPrimarySelective).machine_hours;
+  const double full =
+      sim.simulate(load, ResizeScheme::kPrimaryFull).machine_hours;
+  const double orig =
+      sim.simulate(load, ResizeScheme::kOriginalCH).machine_hours;
+  EXPECT_LT(ideal, selective);
+  EXPECT_LE(selective, full);
+  EXPECT_LT(full, orig);
+}
+
+TEST(ElasticitySim, EchFlooredAtPrimaryCount) {
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  LoadSeries idle;
+  idle.step_seconds = 60.0;
+  idle.steps.assign(100, LoadStep{0.0, 0.0});
+  const std::uint32_t p = EqualWorkLayout::primary_count(20);
+  for (ResizeScheme s :
+       {ResizeScheme::kPrimaryFull, ResizeScheme::kPrimarySelective}) {
+    const SchemeResult r = sim.simulate(idle, s);
+    for (std::uint32_t a : r.servers) EXPECT_GE(a, p) << to_string(s);
+    EXPECT_EQ(r.servers.back(), std::max(p, config.replicas));
+  }
+}
+
+TEST(ElasticitySim, OriginalChLagsOnShrink) {
+  PolicyConfig config = small_config();
+  config.data_per_server = 50.0 * 1024 * 1024 * 1024;  // heavy cleanup
+  const ElasticitySimulator sim(config);
+  LoadSeries load;
+  load.step_seconds = 60.0;
+  // High for 10 min, then idle.
+  for (int i = 0; i < 10; ++i) {
+    load.steps.push_back(LoadStep{15 * config.per_server_bw, 0.3});
+  }
+  for (int i = 0; i < 30; ++i) load.steps.push_back(LoadStep{0.0, 0.0});
+  const SchemeResult orig = sim.simulate(load, ResizeScheme::kOriginalCH);
+  const SchemeResult ech =
+      sim.simulate(load, ResizeScheme::kPrimarySelective);
+  // A few steps after the load drop, ECH is already at its floor while
+  // original CH still drains cleanup work.
+  const std::size_t probe = 15;
+  EXPECT_GT(orig.servers[probe], ech.servers[probe]);
+}
+
+TEST(ElasticitySim, GreenChtQuantizesToTiers) {
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries load = bursty_load(20, config.per_server_bw);
+  const SchemeResult r = sim.simulate(load, ResizeScheme::kGreenCHT);
+  for (std::uint32_t a : r.servers) {
+    // Tiers of a 20-server cluster: 20, 10, 5 (floored at p/replicas).
+    EXPECT_TRUE(a == 20 || a == 10 || a == 5 ||
+                a == std::max(EqualWorkLayout::primary_count(20),
+                              config.replicas))
+        << a;
+  }
+}
+
+TEST(ElasticitySim, RelativeToIdealAboveOne) {
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries load = bursty_load(20, config.per_server_bw);
+  for (ResizeScheme s :
+       {ResizeScheme::kOriginalCH, ResizeScheme::kPrimaryFull,
+        ResizeScheme::kPrimarySelective}) {
+    const SchemeResult r = sim.simulate(load, s);
+    EXPECT_GE(sim.relative_to_ideal(load, r), 1.0) << to_string(s);
+  }
+}
+
+TEST(ElasticitySim, MigrationBytesSelectiveSmallest) {
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries load = bursty_load(20, config.per_server_bw);
+  const double sel =
+      sim.simulate(load, ResizeScheme::kPrimarySelective)
+          .total_migration_bytes;
+  const double full =
+      sim.simulate(load, ResizeScheme::kPrimaryFull).total_migration_bytes;
+  const double orig =
+      sim.simulate(load, ResizeScheme::kOriginalCH).total_migration_bytes;
+  EXPECT_LT(sel, full);
+  EXPECT_LT(full, orig + 1.0);
+}
+
+TEST(ElasticitySim, WeightShareSaneBounds) {
+  EXPECT_NEAR(ElasticitySimulator::weight_share(20, 0, 20), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ElasticitySimulator::weight_share(20, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(ElasticitySimulator::weight_share(20, 10, 5), 0.0);
+  const double top = ElasticitySimulator::weight_share(20, 0, 10);
+  const double bottom = ElasticitySimulator::weight_share(20, 10, 20);
+  EXPECT_GT(top, bottom);  // early ranks hold more data
+  EXPECT_NEAR(top + bottom, 1.0, 1e-9);
+}
+
+TEST(ElasticitySim, ResizeEventsCountedCcStyle) {
+  // CC-a-like (bursty) load must produce more resize events than a flat one.
+  const PolicyConfig config = small_config();
+  const ElasticitySimulator sim(config);
+  const LoadSeries bursty = bursty_load(20, config.per_server_bw);
+  LoadSeries flat;
+  flat.step_seconds = 60.0;
+  flat.steps.assign(bursty.steps.size(),
+                    LoadStep{10 * config.per_server_bw, 0.4});
+  const auto r_bursty = sim.simulate(bursty, ResizeScheme::kPrimarySelective);
+  const auto r_flat = sim.simulate(flat, ResizeScheme::kPrimarySelective);
+  EXPECT_GT(r_bursty.resize_events, r_flat.resize_events);
+}
+
+TEST(ElasticitySim, FullTraceRunsEndToEnd) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 24 * 3600;  // one day for test speed
+  const LoadSeries load = synthesize_trace(spec);
+  PolicyConfig config = small_config();
+  config.server_count = 50;
+  config.per_server_bw = load.peak_bytes_per_second() / 45.0;
+  const ElasticitySimulator sim(config);
+  for (ResizeScheme s :
+       {ResizeScheme::kIdeal, ResizeScheme::kOriginalCH,
+        ResizeScheme::kPrimaryFull, ResizeScheme::kPrimarySelective}) {
+    const SchemeResult r = sim.simulate(load, s);
+    EXPECT_EQ(r.servers.size(), load.steps.size());
+    EXPECT_GT(r.machine_hours, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ech

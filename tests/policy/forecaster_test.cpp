@@ -1,0 +1,118 @@
+#include "policy/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ech {
+namespace {
+
+TEST(LastValueForecaster, PredictsPresent) {
+  LastValueForecaster f;
+  EXPECT_DOUBLE_EQ(f.predict(5), 0.0);  // unprimed
+  f.observe(100.0);
+  f.observe(250.0);
+  EXPECT_DOUBLE_EQ(f.predict(0), 250.0);
+  EXPECT_DOUBLE_EQ(f.predict(10), 250.0);
+}
+
+TEST(EwmaForecaster, FirstObservationPrimes) {
+  EwmaForecaster f(0.3);
+  f.observe(100.0);
+  EXPECT_DOUBLE_EQ(f.predict(1), 100.0);
+}
+
+TEST(EwmaForecaster, SmoothsTowardNewSamples) {
+  EwmaForecaster f(0.5);
+  f.observe(100.0);
+  f.observe(200.0);
+  EXPECT_DOUBLE_EQ(f.predict(1), 150.0);
+  f.observe(200.0);
+  EXPECT_DOUBLE_EQ(f.predict(1), 175.0);
+}
+
+TEST(EwmaForecaster, ConvergesToConstantSignal) {
+  EwmaForecaster f(0.3);
+  for (int i = 0; i < 100; ++i) f.observe(42.0);
+  EXPECT_NEAR(f.predict(1), 42.0, 1e-9);
+}
+
+TEST(SlidingMaxForecaster, TracksWindowPeak) {
+  SlidingMaxForecaster f(3);
+  f.observe(10.0);
+  f.observe(50.0);
+  f.observe(20.0);
+  EXPECT_DOUBLE_EQ(f.predict(1), 50.0);
+  // Peak ages out of the window.
+  f.observe(20.0);
+  f.observe(20.0);
+  EXPECT_DOUBLE_EQ(f.predict(1), 20.0);
+}
+
+TEST(SlidingMaxForecaster, NeverBelowCurrent) {
+  SlidingMaxForecaster f(10);
+  for (double v : {5.0, 30.0, 8.0}) f.observe(v);
+  EXPECT_GE(f.predict(1), 30.0);
+}
+
+TEST(LinearTrendForecaster, ExtrapolatesRamp) {
+  LinearTrendForecaster f(10);
+  for (int i = 0; i < 10; ++i) f.observe(100.0 + 10.0 * i);  // slope 10
+  // Last sample 190; 3 steps ahead ~ 220.
+  EXPECT_NEAR(f.predict(3), 220.0, 1.0);
+}
+
+TEST(LinearTrendForecaster, FlatSignalStaysFlat) {
+  LinearTrendForecaster f(10);
+  for (int i = 0; i < 10; ++i) f.observe(77.0);
+  EXPECT_NEAR(f.predict(5), 77.0, 1e-6);
+}
+
+TEST(LinearTrendForecaster, NeverNegative) {
+  LinearTrendForecaster f(5);
+  for (double v : {100.0, 50.0, 10.0, 1.0, 0.5}) f.observe(v);
+  EXPECT_GE(f.predict(20), 0.0);
+}
+
+TEST(LinearTrendForecaster, SingleSampleIsLevel) {
+  LinearTrendForecaster f(5);
+  f.observe(33.0);
+  EXPECT_DOUBLE_EQ(f.predict(4), 33.0);
+}
+
+TEST(DiurnalForecaster, LearnsDailyProfile) {
+  constexpr std::size_t kPeriod = 24;
+  DiurnalForecaster f(kPeriod, 1.0);  // profile only
+  // Two identical "days": load = slot index.
+  for (int day = 0; day < 2; ++day) {
+    for (std::size_t h = 0; h < kPeriod; ++h) {
+      f.observe(static_cast<double>(h));
+    }
+  }
+  // Cursor sits at slot 0; one step ahead is slot 0's profile (0.0),
+  // six steps ahead is slot 5's profile.
+  EXPECT_NEAR(f.predict(1), 0.0, 1e-9);
+  EXPECT_NEAR(f.predict(6), 5.0, 1e-9);
+}
+
+TEST(DiurnalForecaster, UnseenSlotFallsBackToLast) {
+  DiurnalForecaster f(24, 0.7);
+  f.observe(100.0);  // only slot 0 seen
+  EXPECT_DOUBLE_EQ(f.predict(5), 100.0);
+}
+
+TEST(MakeForecaster, KnownNames) {
+  for (const char* name :
+       {"reactive", "ewma", "sliding-max", "linear-trend", "diurnal"}) {
+    const auto f = make_forecaster(name);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->name(), name);
+  }
+}
+
+TEST(MakeForecaster, UnknownNameIsNull) {
+  EXPECT_EQ(make_forecaster("oracle"), nullptr);
+}
+
+}  // namespace
+}  // namespace ech

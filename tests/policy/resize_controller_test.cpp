@@ -1,0 +1,143 @@
+#include "policy/resize_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace_synth.h"
+
+namespace ech {
+namespace {
+
+ControllerConfig test_config() {
+  ControllerConfig config;
+  config.server_count = 20;
+  config.min_servers = 2;
+  config.per_server_bw = 100.0;  // arbitrary units
+  config.target_utilization = 0.8;
+  config.boot_lead = 2;
+  config.shrink_hold = 3;
+  return config;
+}
+
+ResizeController make(const ControllerConfig& config,
+                      const std::string& name = "reactive") {
+  return ResizeController(config, make_forecaster(name));
+}
+
+TEST(ResizeController, ScalesUpImmediately) {
+  auto c = make(test_config());
+  EXPECT_EQ(c.current_target(), 20u);
+  (void)c.step(100.0);
+  // Demand 100 at 80% target utilisation -> 2 servers; shrink holds.
+  (void)c.step(100.0);
+  (void)c.step(100.0);
+  EXPECT_EQ(c.step(100.0), 2u);
+  // A burst raises the target in a single step.
+  EXPECT_EQ(c.step(1500.0), 19u);  // 1500/0.8/100 = 18.75 -> 19
+}
+
+TEST(ResizeController, ShrinkWaitsForHold) {
+  auto c = make(test_config());
+  // Stabilise high.
+  for (int i = 0; i < 5; ++i) (void)c.step(1500.0);
+  EXPECT_EQ(c.current_target(), 19u);
+  // Demand drops; the target must hold for shrink_hold-1 steps.
+  EXPECT_EQ(c.step(100.0), 19u);
+  EXPECT_EQ(c.step(100.0), 19u);
+  EXPECT_EQ(c.step(100.0), 2u);  // third low step: shrink fires
+}
+
+TEST(ResizeController, NoiseDoesNotShrink) {
+  auto c = make(test_config());
+  for (int i = 0; i < 5; ++i) (void)c.step(1500.0);
+  // Alternating low/high never accumulates shrink_hold low steps.
+  for (int i = 0; i < 10; ++i) {
+    (void)c.step(100.0);
+    (void)c.step(1500.0);
+  }
+  EXPECT_EQ(c.current_target(), 19u);
+}
+
+TEST(ResizeController, RespectsFloorAndCeiling) {
+  auto c = make(test_config());
+  for (int i = 0; i < 10; ++i) (void)c.step(0.0);
+  EXPECT_EQ(c.current_target(), 2u);  // min_servers
+  (void)c.step(1e9);
+  EXPECT_EQ(c.current_target(), 20u);  // server_count
+}
+
+TEST(ResizeController, SlidingMaxProvisionsForRecentPeak) {
+  auto reactive = make(test_config(), "reactive");
+  auto conservative = make(test_config(), "sliding-max");
+  // A spike followed by a lull: sliding-max keeps capacity, reactive sheds.
+  for (int i = 0; i < 2; ++i) {
+    (void)reactive.step(1500.0);
+    (void)conservative.step(1500.0);
+  }
+  std::uint32_t reactive_target = 0, conservative_target = 0;
+  for (int i = 0; i < 6; ++i) {
+    reactive_target = reactive.step(100.0);
+    conservative_target = conservative.step(100.0);
+  }
+  EXPECT_LT(reactive_target, conservative_target);
+}
+
+TEST(ResizeController, TrendForecastLeadsRamp) {
+  ControllerConfig config = test_config();
+  config.shrink_hold = 1;  // track demand exactly; isolate the forecasts
+  auto reactive = make(config, "reactive");
+  auto trend = make(config, "linear-trend");
+  std::uint32_t r_target = 0, t_target = 0;
+  for (int i = 0; i < 8; ++i) {
+    const double demand = 200.0 + 150.0 * i;  // steep ramp
+    r_target = reactive.step(demand);
+    t_target = trend.step(demand);
+  }
+  // The trend forecaster provisions ahead of the ramp.
+  EXPECT_GT(t_target, r_target);
+}
+
+TEST(ControllerEvaluate, ScoresWholeTrace) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 24 * 3600;
+  const LoadSeries load = synthesize_trace(spec);
+  ControllerConfig config = test_config();
+  config.per_server_bw = load.peak_bytes_per_second() / (0.9 * 20);
+  const ControllerResult r =
+      ResizeController::evaluate(config, "ewma", load);
+  EXPECT_EQ(r.servers.size(), load.steps.size());
+  EXPECT_GT(r.machine_hours, 0.0);
+  EXPECT_GT(r.ideal_machine_hours, 0.0);
+  EXPECT_GE(r.machine_hours, r.ideal_machine_hours * 0.99);
+  EXPECT_LE(r.violation_fraction, 1.0);
+}
+
+TEST(ControllerEvaluate, ConservativeCutsViolations) {
+  // Sliding-max must produce no more SLO violations than purely reactive
+  // control (it only ever provisions more).
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 2 * 24 * 3600;
+  const LoadSeries load = synthesize_trace(spec);
+  ControllerConfig config = test_config();
+  config.per_server_bw = load.peak_bytes_per_second() / (0.9 * 20);
+  const auto reactive = ResizeController::evaluate(config, "reactive", load);
+  const auto cons = ResizeController::evaluate(config, "sliding-max", load);
+  EXPECT_LE(cons.violation_steps, reactive.violation_steps);
+  EXPECT_GE(cons.machine_hours, reactive.machine_hours);
+}
+
+TEST(ControllerEvaluate, EveryForecasterRuns) {
+  TraceSpec spec = cc_b_spec();
+  spec.length_seconds = 12 * 3600;
+  const LoadSeries load = synthesize_trace(spec);
+  ControllerConfig config = test_config();
+  config.per_server_bw = load.peak_bytes_per_second() / (0.9 * 20);
+  for (const char* name :
+       {"reactive", "ewma", "sliding-max", "linear-trend", "diurnal"}) {
+    const auto r = ResizeController::evaluate(config, name, load);
+    EXPECT_EQ(r.forecaster, name);
+    EXPECT_EQ(r.servers.size(), load.steps.size()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ech

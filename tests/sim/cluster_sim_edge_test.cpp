@@ -1,0 +1,110 @@
+// Edge cases of the cluster simulator: schedule overrides during boot,
+// overwrite-heavy phases, multi-call time continuity, preload failures.
+#include <gtest/gtest.h>
+
+#include "core/elastic_cluster.h"
+#include "sim/cluster_sim.h"
+
+namespace ech {
+namespace {
+
+std::unique_ptr<ElasticCluster> make_ech() {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  return std::move(ElasticCluster::create(config)).value();
+}
+
+SimConfig one_second_ticks() {
+  SimConfig config;
+  config.tick_seconds = 1.0;
+  config.boot_seconds = 8.0;
+  return config;
+}
+
+TEST(ClusterSimEdge, ShrinkDuringBootOverridesGrow) {
+  auto system = make_ech();
+  ASSERT_TRUE(system->request_resize(4).is_ok());
+  ClusterSim sim(*system, one_second_ticks());
+  sim.schedule_resize(1.0, 10);  // grow: boots at t=9
+  sim.schedule_resize(4.0, 6);   // shrink request lands mid-boot
+  const auto samples = sim.run_idle(20.0);
+  // The boot completion must respect the later, smaller target.
+  for (const auto& s : samples) {
+    if (s.time_s > 10.0) {
+      EXPECT_EQ(s.serving, 6u) << s.time_s;
+    }
+  }
+  EXPECT_EQ(system->active_count(), 6u);
+}
+
+TEST(ClusterSimEdge, ClockContinuesAcrossRuns) {
+  auto system = make_ech();
+  ClusterSim sim(*system, one_second_ticks());
+  const auto first = sim.run_idle(5.0);
+  const auto second = sim.run_idle(5.0);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  EXPECT_DOUBLE_EQ(first.front().time_s, 0.0);
+  EXPECT_DOUBLE_EQ(second.front().time_s, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(ClusterSimEdge, ScheduledResizeInSecondRunFires) {
+  auto system = make_ech();
+  ClusterSim sim(*system, one_second_ticks());
+  (void)sim.run_idle(3.0);
+  sim.schedule_resize(5.0, 6);  // absolute time, inside the next run
+  const auto samples = sim.run_idle(5.0);
+  EXPECT_EQ(samples.back().serving, 6u);
+}
+
+TEST(ClusterSimEdge, OverwriteHeavyPhaseReusesObjects) {
+  auto system = make_ech();
+  ClusterSim sim(*system, one_second_ticks());
+  ASSERT_TRUE(sim.preload(100).is_ok());
+  WorkloadPhase phase;
+  phase.name = "overwrite";
+  phase.write_bytes = 400 * kMiB;  // 100 objects worth
+  phase.overwrite_fraction = 1.0;  // every write overwrites
+  (void)sim.run({phase}, 60.0);
+  // No new objects were allocated: only the preloaded ids exist.
+  EXPECT_EQ(sim.objects_written(), 100u);
+  EXPECT_EQ(system->object_store().total_replicas(), 200u);
+}
+
+TEST(ClusterSimEdge, MixedOverwriteFractionRoughlyHolds) {
+  auto system = make_ech();
+  ClusterSim sim(*system, one_second_ticks());
+  ASSERT_TRUE(sim.preload(100).is_ok());
+  WorkloadPhase phase;
+  phase.name = "mixed";
+  phase.write_bytes = 800 * kMiB;  // 200 object writes
+  phase.overwrite_fraction = 0.5;
+  (void)sim.run({phase}, 120.0);
+  const std::uint64_t new_objects = sim.objects_written() - 100;
+  EXPECT_NEAR(static_cast<double>(new_objects), 100.0, 25.0);
+}
+
+TEST(ClusterSimEdge, PreloadFailsWhenClusterCannotPlace) {
+  ElasticClusterConfig config;
+  config.server_count = 4;
+  config.replicas = 2;
+  config.server_capacity = 8 * kMiB;  // two objects per server max
+  auto system = std::move(ElasticCluster::create(config)).value();
+  ClusterSim sim(*system, one_second_ticks());
+  const Status s = sim.preload(100);  // 100 objects cannot fit
+  EXPECT_FALSE(s.is_ok());
+}
+
+TEST(ClusterSimEdge, ZeroLengthPhaseCompletesImmediately) {
+  auto system = make_ech();
+  ClusterSim sim(*system, one_second_ticks());
+  WorkloadPhase empty;
+  empty.name = "noop";
+  const auto samples = sim.run({empty}, 30.0);
+  EXPECT_LE(samples.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ech

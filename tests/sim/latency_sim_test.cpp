@@ -1,0 +1,122 @@
+#include "sim/latency_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+std::unique_ptr<ElasticCluster> loaded(std::uint32_t n, std::uint64_t objects,
+                                       LayoutKind layout =
+                                           LayoutKind::kEqualWork) {
+  ElasticClusterConfig config;
+  config.server_count = n;
+  config.replicas = 2;
+  config.layout = layout;
+  auto cluster = std::move(ElasticCluster::create(config)).value();
+  for (std::uint64_t oid = 0; oid < objects; ++oid) {
+    EXPECT_TRUE(cluster->write(ObjectId{oid}, 0).is_ok());
+  }
+  return cluster;
+}
+
+LatencySimConfig base_config() {
+  LatencySimConfig config;
+  config.arrival_rate = 30.0;
+  config.service_rate = 15.0;
+  config.read_fraction = 1.0;
+  config.duration_s = 60.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(LatencySim, LightLoadLatencyNearServiceTime) {
+  auto cluster = loaded(10, 2000);
+  LatencySimConfig config = base_config();
+  config.arrival_rate = 5.0;  // ~3% utilization
+  LatencySimulator sim(*cluster, config);
+  const auto report = sim.run(2000);
+  ASSERT_GT(report.requests, 100u);
+  // Mean service time is 1/15 s ~ 66.7 ms; queueing adds little.
+  EXPECT_NEAR(report.mean_ms, 66.7, 15.0);
+  EXPECT_LT(report.offered_utilization, 0.1);
+}
+
+TEST(LatencySim, HeavyLoadInflatesTail) {
+  auto cluster = loaded(10, 2000);
+  LatencySimConfig light = base_config();
+  light.arrival_rate = 10.0;
+  LatencySimConfig heavy = base_config();
+  heavy.arrival_rate = 120.0;  // ~80% utilization
+  const auto l = LatencySimulator(*cluster, light).run(2000);
+  const auto h = LatencySimulator(*cluster, heavy).run(2000);
+  EXPECT_GT(h.p99_ms, 2.0 * l.p99_ms);
+  EXPECT_GT(h.mean_ms, l.mean_ms);
+}
+
+TEST(LatencySim, WritesSlowerThanReads) {
+  auto cluster = loaded(10, 2000);
+  LatencySimConfig reads = base_config();
+  LatencySimConfig writes = base_config();
+  writes.read_fraction = 0.0;
+  const auto r = LatencySimulator(*cluster, reads).run(2000);
+  const auto w = LatencySimulator(*cluster, writes).run(2000);
+  // Fork-join over 2 replicas: mean of max of two exponentials = 1.5x one.
+  EXPECT_GT(w.mean_ms, r.mean_ms * 1.2);
+}
+
+TEST(LatencySim, DeterministicPerSeed) {
+  auto cluster = loaded(10, 1000);
+  const LatencySimConfig config = base_config();
+  const auto a = LatencySimulator(*cluster, config).run(1000);
+  const auto b = LatencySimulator(*cluster, config).run(1000);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+}
+
+TEST(LatencySim, UtilizationMatchesOfferedLoad) {
+  auto cluster = loaded(10, 2000);
+  LatencySimConfig config = base_config();
+  config.arrival_rate = 75.0;  // 75 reads/s over 150/s capacity = 0.5
+  const auto report = LatencySimulator(*cluster, config).run(2000);
+  EXPECT_NEAR(report.offered_utilization, 0.5, 0.05);
+}
+
+TEST(LatencySim, ShrunkClusterSaturatesSooner) {
+  auto cluster = loaded(10, 2000);
+  LatencySimConfig config = base_config();
+  config.arrival_rate = 60.0;
+  const auto full = LatencySimulator(*cluster, config).run(2000);
+  ASSERT_TRUE(cluster->request_resize(4).is_ok());
+  const auto small = LatencySimulator(*cluster, config).run(2000);
+  EXPECT_GT(small.mean_ms, full.mean_ms);
+  EXPECT_GT(small.offered_utilization, full.offered_utilization);
+}
+
+TEST(LatencySim, EqualWorkBeatsUniformAtLowPower) {
+  // At 5 of 10 active, the equal-work layout spreads read load across the
+  // active prefix far better than the uniform layout (whose replicas
+  // concentrate on whichever actives hold them) -> lower tail latency.
+  auto ew = loaded(10, 4000, LayoutKind::kEqualWork);
+  auto un = loaded(10, 4000, LayoutKind::kUniform);
+  ASSERT_TRUE(ew->request_resize(5).is_ok());
+  ASSERT_TRUE(un->request_resize(5).is_ok());
+  LatencySimConfig config = base_config();
+  config.arrival_rate = 45.0;  // ~60% of the 5-server capacity
+  const auto r_ew = LatencySimulator(*ew, config).run(4000);
+  const auto r_un = LatencySimulator(*un, config).run(4000);
+  EXPECT_LT(r_ew.peak_server_utilization, r_un.peak_server_utilization + 0.05);
+  EXPECT_LT(r_ew.p99_ms, r_un.p99_ms * 1.5);
+}
+
+TEST(LatencySim, EmptyInputsGiveEmptyReport) {
+  auto cluster = loaded(10, 10);
+  LatencySimConfig config = base_config();
+  const auto none = LatencySimulator(*cluster, config).run(0);
+  EXPECT_EQ(none.requests, 0u);
+  config.arrival_rate = 0.0;
+  const auto idle = LatencySimulator(*cluster, config).run(10);
+  EXPECT_EQ(idle.requests, 0u);
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,53 @@
+#include "sim/machine_hours.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(MachineHourMeter, StartsAtZero) {
+  const MachineHourMeter m;
+  EXPECT_DOUBLE_EQ(m.machine_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(m.machine_hours(), 0.0);
+  EXPECT_DOUBLE_EQ(m.average_servers(), 0.0);
+}
+
+TEST(MachineHourMeter, AccumulatesServerSeconds) {
+  MachineHourMeter m;
+  m.add(10.0, 5.0);
+  m.add(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.machine_seconds(), 80.0);
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(m.average_servers(), 4.0);
+}
+
+TEST(MachineHourMeter, HoursConversion) {
+  MachineHourMeter m;
+  m.add(3600.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.machine_hours(), 2.0);
+}
+
+TEST(MachineHourMeter, RelativeToIdeal) {
+  MachineHourMeter ideal, actual;
+  ideal.add(100.0, 10.0);
+  actual.add(100.0, 13.0);
+  EXPECT_NEAR(actual.relative_to(ideal), 1.3, 1e-12);
+}
+
+TEST(MachineHourMeter, RelativeToZeroIdealIsZero) {
+  const MachineHourMeter ideal;
+  MachineHourMeter actual;
+  actual.add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(actual.relative_to(ideal), 0.0);
+}
+
+TEST(MachineHourMeter, ResetClears) {
+  MachineHourMeter m;
+  m.add(10.0, 10.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.machine_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ech

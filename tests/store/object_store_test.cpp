@@ -1,0 +1,146 @@
+#include "store/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ech {
+namespace {
+
+TEST(ObjectStoreCluster, CreatesServersWithIds) {
+  ObjectStoreCluster c(5);
+  EXPECT_EQ(c.server_count(), 5u);
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(c.server(ServerId{id}).id(), ServerId{id});
+  }
+}
+
+TEST(ObjectStoreCluster, HeterogeneousCapacities) {
+  const ObjectStoreCluster c(std::vector<Bytes>{2 * kGiB, 1 * kGiB});
+  EXPECT_EQ(c.server_count(), 2u);
+  EXPECT_EQ(c.server(ServerId{1}).capacity(), 2 * kGiB);
+  EXPECT_EQ(c.server(ServerId{2}).capacity(), 1 * kGiB);
+}
+
+TEST(ObjectStoreCluster, PutReplicasOnAll) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{3}};
+  const auto io = c.put_replicas(ObjectId{7}, locs, {Version{1}, false});
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().bytes_written, 2 * kDefaultObjectSize);
+  EXPECT_EQ(io.value().replicas_touched, 2u);
+  EXPECT_TRUE(c.server(ServerId{1}).contains(ObjectId{7}));
+  EXPECT_TRUE(c.server(ServerId{3}).contains(ObjectId{7}));
+  EXPECT_FALSE(c.server(ServerId{2}).contains(ObjectId{7}));
+}
+
+TEST(ObjectStoreCluster, LocateFindsHolders) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> locs{ServerId{2}, ServerId{4}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{9}, locs, {}).ok());
+  const auto holders = c.locate(ObjectId{9});
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0], ServerId{2});
+  EXPECT_EQ(holders[1], ServerId{4});
+}
+
+TEST(ObjectStoreCluster, LocateMissingIsEmpty) {
+  ObjectStoreCluster c(2);
+  EXPECT_TRUE(c.locate(ObjectId{1}).empty());
+}
+
+TEST(ObjectStoreCluster, MoveReplicaTransfersBytes) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {Version{1}, true}).ok());
+  const auto io =
+      c.move_replica(ObjectId{1}, ServerId{1}, ServerId{2}, {Version{2}, false});
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().bytes_migrated, kDefaultObjectSize);
+  EXPECT_FALSE(c.server(ServerId{1}).contains(ObjectId{1}));
+  const auto moved = c.server(ServerId{2}).get(ObjectId{1});
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->header.version, Version{2});
+  EXPECT_FALSE(moved->header.dirty);
+}
+
+TEST(ObjectStoreCluster, MoveMissingReplicaIsNoop) {
+  ObjectStoreCluster c(3);
+  const auto io = c.move_replica(ObjectId{1}, ServerId{1}, ServerId{2}, {});
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().bytes_migrated, 0);
+}
+
+TEST(ObjectStoreCluster, MoveToSelfRefreshesHeader) {
+  ObjectStoreCluster c(2);
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {Version{1}, true}).ok());
+  const auto io =
+      c.move_replica(ObjectId{1}, ServerId{1}, ServerId{1}, {Version{1}, false});
+  ASSERT_TRUE(io.ok());
+  EXPECT_EQ(io.value().bytes_migrated, 0);
+  EXPECT_FALSE(c.server(ServerId{1}).get(ObjectId{1})->header.dirty);
+}
+
+TEST(ObjectStoreCluster, EraseObjectRemovesAllReplicas) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 3> locs{ServerId{1}, ServerId{2}, ServerId{3}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{5}, locs, {}).ok());
+  EXPECT_EQ(c.erase_object(ObjectId{5}), 3u);
+  EXPECT_TRUE(c.locate(ObjectId{5}).empty());
+  EXPECT_EQ(c.erase_object(ObjectId{5}), 0u);
+}
+
+TEST(ObjectStoreCluster, TotalsAggregate) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 2> l1{ServerId{1}, ServerId{2}};
+  const std::array<ServerId, 1> l2{ServerId{3}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, l1, {}).ok());
+  ASSERT_TRUE(c.put_replicas(ObjectId{2}, l2, {}, 2 * kDefaultObjectSize).ok());
+  EXPECT_EQ(c.total_replicas(), 3u);
+  EXPECT_EQ(c.total_bytes(), 4 * kDefaultObjectSize);
+}
+
+TEST(ObjectStoreCluster, PerServerDistributions) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 1> l1{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, l1, {}).ok());
+  ASSERT_TRUE(c.put_replicas(ObjectId{2}, l1, {}).ok());
+  const auto counts = c.objects_per_server();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  const auto bytes = c.bytes_per_server();
+  EXPECT_EQ(bytes[0], 2 * kDefaultObjectSize);
+}
+
+TEST(ObjectStoreCluster, PutFailurePropagates) {
+  ObjectStoreCluster c(std::vector<Bytes>{kMiB});  // tiny capacity
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  const auto io = c.put_replicas(ObjectId{1}, locs, {}, 4 * kMiB);
+  ASSERT_FALSE(io.ok());
+  EXPECT_EQ(io.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ObjectStoreCluster, MoveFailsWhenDestinationFull) {
+  std::vector<Bytes> caps{0, kMiB};  // server 2 tiny
+  ObjectStoreCluster c(caps);
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}, 4 * kMiB).ok());
+  const auto io = c.move_replica(ObjectId{1}, ServerId{1}, ServerId{2}, {});
+  ASSERT_FALSE(io.ok());
+  // Source must still hold the replica after a failed move.
+  EXPECT_TRUE(c.server(ServerId{1}).contains(ObjectId{1}));
+}
+
+TEST(ObjectStoreCluster, ClearEmptiesEverything) {
+  ObjectStoreCluster c(2);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{2}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  c.clear();
+  EXPECT_EQ(c.total_replicas(), 0u);
+  EXPECT_EQ(c.total_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace ech

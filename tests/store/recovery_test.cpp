@@ -1,0 +1,185 @@
+#include "store/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_map>
+
+namespace ech {
+namespace {
+
+// Fixed placement: every object belongs on the servers the map dictates.
+TargetPlacementFn fixed_target(
+    std::unordered_map<ObjectId, std::vector<ServerId>> map) {
+  return [map = std::move(map)](ObjectId oid, Bytes) {
+    const auto it = map.find(oid);
+    return it == map.end() ? std::vector<ServerId>{} : it->second;
+  };
+}
+
+TEST(RecoveryPlan, NoWorkWhenInPlace) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{2}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  const auto plan = RecoveryEngine::plan(
+      c, fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.total_bytes, 0);
+}
+
+TEST(RecoveryPlan, MovesMisplacedReplica) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{2}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  const auto plan = RecoveryEngine::plan(
+      c, fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{3}}}}));
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_EQ(plan.tasks[0].from, ServerId{2});
+  EXPECT_EQ(plan.tasks[0].to, ServerId{3});
+  EXPECT_EQ(plan.tasks[0].kind, MigrationKind::kMove);
+  EXPECT_EQ(plan.total_bytes, kDefaultObjectSize);
+}
+
+TEST(RecoveryPlan, CopiesWhenUnderReplicated) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  const auto plan = RecoveryEngine::plan(
+      c, fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_EQ(plan.tasks[0].kind, MigrationKind::kCopy);
+  EXPECT_EQ(plan.tasks[0].from, ServerId{1});
+  EXPECT_EQ(plan.tasks[0].to, ServerId{2});
+}
+
+TEST(RecoveryPlan, DropsSurplusReplicas) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 3> locs{ServerId{1}, ServerId{2}, ServerId{3}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  const auto plan = RecoveryEngine::plan(
+      c, fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  EXPECT_TRUE(plan.tasks.empty());
+  ASSERT_EQ(plan.drops.size(), 1u);
+  EXPECT_EQ(plan.drops[0].from, ServerId{3});
+}
+
+TEST(RecoveryPlan, DeterministicOrdering) {
+  ObjectStoreCluster c(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::array<ServerId, 1> locs{ServerId{1}};
+    ASSERT_TRUE(c.put_replicas(ObjectId{i}, locs, {}).ok());
+  }
+  std::unordered_map<ObjectId, std::vector<ServerId>> map;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    map[ObjectId{i}] = {ServerId{2}};
+  }
+  const auto plan = RecoveryEngine::plan(c, fixed_target(map));
+  ASSERT_EQ(plan.tasks.size(), 10u);
+  for (std::size_t i = 1; i < plan.tasks.size(); ++i) {
+    EXPECT_LT(plan.tasks[i - 1].oid, plan.tasks[i].oid);
+  }
+}
+
+TEST(RecoveryExecute, AppliesMovesWithinBudget) {
+  ObjectStoreCluster c(3);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const std::array<ServerId, 1> locs{ServerId{1}};
+    ASSERT_TRUE(c.put_replicas(ObjectId{i}, locs, {}).ok());
+  }
+  std::unordered_map<ObjectId, std::vector<ServerId>> map;
+  for (std::uint64_t i = 0; i < 4; ++i) map[ObjectId{i}] = {ServerId{2}};
+  const auto plan = RecoveryEngine::plan(c, fixed_target(map));
+  ASSERT_EQ(plan.tasks.size(), 4u);
+
+  std::size_t cursor = 0;
+  // Budget for two objects only.
+  const Bytes spent =
+      RecoveryEngine::execute(c, plan, &cursor, 2 * kDefaultObjectSize);
+  EXPECT_EQ(spent, 2 * kDefaultObjectSize);
+  EXPECT_EQ(cursor, 2u);
+  // Finish the rest.
+  const Bytes rest =
+      RecoveryEngine::execute(c, plan, &cursor, 100 * kDefaultObjectSize);
+  EXPECT_EQ(rest, 2 * kDefaultObjectSize);
+  EXPECT_EQ(cursor, 4u);
+  EXPECT_EQ(c.server(ServerId{2}).object_count(), 4u);
+  EXPECT_EQ(c.server(ServerId{1}).object_count(), 0u);
+}
+
+TEST(RecoveryExecute, DropsAreFree) {
+  ObjectStoreCluster c(3);
+  const std::array<ServerId, 3> locs{ServerId{1}, ServerId{2}, ServerId{3}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  const auto plan = RecoveryEngine::plan(
+      c, fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  std::size_t cursor = 0;
+  const Bytes spent = RecoveryEngine::execute(c, plan, &cursor, kMiB);
+  EXPECT_EQ(spent, 0);
+  EXPECT_FALSE(c.server(ServerId{3}).contains(ObjectId{1}));
+}
+
+TEST(RecoveryExecute, PreservesSourceHeader) {
+  // Migration is not a write: the moved replica must keep its content
+  // version, or readers would treat sibling replicas as stale.
+  ObjectStoreCluster c(2);
+  const std::array<ServerId, 1> locs{ServerId{1}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {Version{3}, true}).ok());
+  const auto plan = RecoveryEngine::plan(
+      c, fixed_target({{ObjectId{1}, {ServerId{2}}}}));
+  std::size_t cursor = 0;
+  RecoveryEngine::execute(c, plan, &cursor, kGiB);
+  const auto obj = c.server(ServerId{2}).get(ObjectId{1});
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->header.version, Version{3});
+  EXPECT_TRUE(obj->header.dirty);
+}
+
+TEST(RecoveryFailover, ReplicatesLostCopies) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{4}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  // Server 4 fails; target placement now wants servers 1 and 2.
+  const auto plan = RecoveryEngine::plan_failover(
+      c, {ServerId{4}},
+      fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_EQ(plan.tasks[0].kind, MigrationKind::kCopy);
+  EXPECT_EQ(plan.tasks[0].from, ServerId{1});
+  EXPECT_EQ(plan.tasks[0].to, ServerId{2});
+}
+
+TEST(RecoveryFailover, SkipsUnaffectedObjects) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> safe{ServerId{1}, ServerId{2}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, safe, {}).ok());
+  const auto plan = RecoveryEngine::plan_failover(
+      c, {ServerId{4}},
+      fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  EXPECT_TRUE(plan.tasks.empty());
+}
+
+TEST(RecoveryFailover, AllReplicasLostIsSkipped) {
+  // Both copies on failed servers: nothing can be recovered (data loss),
+  // the plan must not fabricate a source.
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> locs{ServerId{3}, ServerId{4}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  const auto plan = RecoveryEngine::plan_failover(
+      c, {ServerId{3}, ServerId{4}},
+      fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{2}}}}));
+  EXPECT_TRUE(plan.tasks.empty());
+}
+
+TEST(RecoveryFailover, NeverTargetsFailedServers) {
+  ObjectStoreCluster c(4);
+  const std::array<ServerId, 2> locs{ServerId{1}, ServerId{4}};
+  ASSERT_TRUE(c.put_replicas(ObjectId{1}, locs, {}).ok());
+  // Target still names the failed server; the plan must skip it.
+  const auto plan = RecoveryEngine::plan_failover(
+      c, {ServerId{4}},
+      fixed_target({{ObjectId{1}, {ServerId{1}, ServerId{4}}}}));
+  EXPECT_TRUE(plan.tasks.empty());
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,108 @@
+#include "store/storage_server.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(StorageServer, StartsEmpty) {
+  const StorageServer s(ServerId{1}, 0);
+  EXPECT_EQ(s.object_count(), 0u);
+  EXPECT_EQ(s.bytes_stored(), 0);
+  EXPECT_FALSE(s.contains(ObjectId{1}));
+}
+
+TEST(StorageServer, PutAndGet) {
+  StorageServer s(ServerId{1}, 0);
+  const ObjectHeader h{Version{3}, true};
+  ASSERT_TRUE(s.put(ObjectId{42}, h, 8 * kMiB).is_ok());
+  EXPECT_TRUE(s.contains(ObjectId{42}));
+  const auto got = s.get(ObjectId{42});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header.version, Version{3});
+  EXPECT_TRUE(got->header.dirty);
+  EXPECT_EQ(got->size, 8 * kMiB);
+  EXPECT_EQ(s.bytes_stored(), 8 * kMiB);
+}
+
+TEST(StorageServer, OverwriteDoesNotDoubleCount) {
+  StorageServer s(ServerId{1}, 0);
+  ASSERT_TRUE(s.put(ObjectId{1}, {Version{1}, false}, 4 * kMiB).is_ok());
+  ASSERT_TRUE(s.put(ObjectId{1}, {Version{2}, true}, 4 * kMiB).is_ok());
+  EXPECT_EQ(s.object_count(), 1u);
+  EXPECT_EQ(s.bytes_stored(), 4 * kMiB);
+  EXPECT_EQ(s.get(ObjectId{1})->header.version, Version{2});
+}
+
+TEST(StorageServer, OverwriteWithDifferentSizeAdjustsBytes) {
+  StorageServer s(ServerId{1}, 0);
+  ASSERT_TRUE(s.put(ObjectId{1}, {Version{1}, false}, 4 * kMiB).is_ok());
+  ASSERT_TRUE(s.put(ObjectId{1}, {Version{2}, false}, 2 * kMiB).is_ok());
+  EXPECT_EQ(s.bytes_stored(), 2 * kMiB);
+}
+
+TEST(StorageServer, CapacityEnforced) {
+  StorageServer s(ServerId{1}, 10 * kMiB);
+  ASSERT_TRUE(s.put(ObjectId{1}, {}, 8 * kMiB).is_ok());
+  const Status full = s.put(ObjectId{2}, {}, 4 * kMiB);
+  EXPECT_EQ(full.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.object_count(), 1u);
+}
+
+TEST(StorageServer, ZeroCapacityIsUnlimited) {
+  StorageServer s(ServerId{1}, 0);
+  ASSERT_TRUE(s.put(ObjectId{1}, {}, 100 * kTiB).is_ok());
+}
+
+TEST(StorageServer, NegativeSizeRejected) {
+  StorageServer s(ServerId{1}, 0);
+  EXPECT_EQ(s.put(ObjectId{1}, {}, -1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StorageServer, EraseFreesBytes) {
+  StorageServer s(ServerId{1}, 0);
+  ASSERT_TRUE(s.put(ObjectId{1}, {}, 4 * kMiB).is_ok());
+  EXPECT_TRUE(s.erase(ObjectId{1}));
+  EXPECT_EQ(s.bytes_stored(), 0);
+  EXPECT_FALSE(s.erase(ObjectId{1}));
+}
+
+TEST(StorageServer, SetHeaderUpdatesInPlace) {
+  StorageServer s(ServerId{1}, 0);
+  ASSERT_TRUE(s.put(ObjectId{1}, {Version{1}, true}, 4 * kMiB).is_ok());
+  ASSERT_TRUE(s.set_header(ObjectId{1}, {Version{1}, false}).is_ok());
+  EXPECT_FALSE(s.get(ObjectId{1})->header.dirty);
+  EXPECT_EQ(s.bytes_stored(), 4 * kMiB);
+}
+
+TEST(StorageServer, SetHeaderMissingObject) {
+  StorageServer s(ServerId{1}, 0);
+  EXPECT_EQ(s.set_header(ObjectId{1}, {}).code(), StatusCode::kNotFound);
+}
+
+TEST(StorageServer, ListReturnsAll) {
+  StorageServer s(ServerId{1}, 0);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.put(ObjectId{i}, {Version{1}, false}, kMiB).is_ok());
+  }
+  EXPECT_EQ(s.list().size(), 5u);
+}
+
+TEST(StorageServer, UtilizationFraction) {
+  StorageServer s(ServerId{1}, 100 * kMiB);
+  ASSERT_TRUE(s.put(ObjectId{1}, {}, 25 * kMiB).is_ok());
+  EXPECT_NEAR(s.utilization(), 0.25, 1e-9);
+}
+
+TEST(StorageServer, ClearResetsEverything) {
+  StorageServer s(ServerId{1}, 0);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.put(ObjectId{i}, {}, kMiB).is_ok());
+  }
+  s.clear();
+  EXPECT_EQ(s.object_count(), 0u);
+  EXPECT_EQ(s.bytes_stored(), 0);
+}
+
+}  // namespace
+}  // namespace ech

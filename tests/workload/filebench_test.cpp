@@ -1,0 +1,132 @@
+#include "workload/filebench.h"
+
+#include <gtest/gtest.h>
+
+#include "core/elastic_cluster.h"
+
+namespace ech {
+namespace {
+
+struct Harness {
+  Harness() {
+    ElasticClusterConfig config;
+    config.server_count = 10;
+    config.replicas = 2;
+    cluster = std::move(ElasticCluster::create(config)).value();
+    manager = std::make_unique<VdiManager>(*cluster);
+    disk = manager->create("bench-disk", 2 * kGiB).value();
+  }
+  std::unique_ptr<ElasticCluster> cluster;
+  std::unique_ptr<VdiManager> manager;
+  VirtualDisk* disk{nullptr};
+};
+
+TEST(FileSet, CarvesContiguousFiles) {
+  Harness h;
+  auto files = FileSet::create(*h.disk, 7, 64 * kMiB);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files.value().file_count(), 7u);
+  EXPECT_EQ(files.value().file(0).offset, 0);
+  EXPECT_EQ(files.value().file(1).offset, 64 * kMiB);
+  EXPECT_EQ(files.value().file(6).offset, 6 * 64 * kMiB);
+}
+
+TEST(FileSet, RejectsOversizedSet) {
+  Harness h;
+  EXPECT_EQ(FileSet::create(*h.disk, 10, kGiB).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(FileSet::create(*h.disk, 0, kMiB).ok());
+  EXPECT_FALSE(FileSet::create(*h.disk, 1, 0).ok());
+}
+
+TEST(Filebench, SequentialWriteAllocatesWholeFiles) {
+  Harness h;
+  auto files = FileSet::create(*h.disk, 4, 64 * kMiB);
+  ASSERT_TRUE(files.ok());
+  FilebenchPersonality bench(files.value());
+  const auto result = bench.sequential_write_all(8 * kMiB);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().bytes_written, 4 * 64 * kMiB);
+  EXPECT_EQ(result.value().ops, 4u * 8u);  // 8 chunks per file
+  // 256 MiB at 4 MiB objects = 64 fresh objects, no RMW (aligned).
+  EXPECT_EQ(result.value().objects_allocated, 64u);
+  EXPECT_EQ(result.value().read_modify_writes, 0u);
+  // The cluster actually stores the replicas.
+  EXPECT_EQ(h.cluster->object_store().total_replicas(), 64u * 2);
+}
+
+TEST(Filebench, RandomMixSplitsReadsAndWrites) {
+  Harness h;
+  auto files = FileSet::create(*h.disk, 4, 64 * kMiB);
+  ASSERT_TRUE(files.ok());
+  FilebenchPersonality bench(files.value());
+  ASSERT_TRUE(bench.sequential_write_all(8 * kMiB).ok());
+
+  Rng rng(5);
+  const auto result = bench.random_mix(1000, kMiB, 0.2, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().ops, 1000u);
+  const double write_ratio =
+      static_cast<double>(result.value().bytes_written) /
+      static_cast<double>(result.value().bytes_written +
+                          result.value().bytes_read);
+  EXPECT_NEAR(write_ratio, 0.2, 0.05);
+  // Unaligned 1 MiB writes into allocated objects are read-modify-writes.
+  EXPECT_GT(result.value().read_modify_writes, 0u);
+  EXPECT_EQ(result.value().sparse_reads, 0u);  // everything preallocated
+}
+
+TEST(Filebench, RandomReadsOnEmptyFilesAreSparse) {
+  Harness h;
+  auto files = FileSet::create(*h.disk, 2, 64 * kMiB);
+  ASSERT_TRUE(files.ok());
+  FilebenchPersonality bench(files.value());
+  Rng rng(9);
+  const auto result = bench.random_mix(100, kMiB, 0.0, rng);
+  ASSERT_TRUE(result.ok());
+  // Every read stripe is sparse (a 1 MiB read may span two stripes).
+  EXPECT_GE(result.value().sparse_reads, result.value().ops);
+  EXPECT_EQ(result.value().objects_touched, 0u);
+  EXPECT_EQ(result.value().bytes_written, 0);
+}
+
+TEST(Filebench, PaperPhase1ShapeScaledDown) {
+  // Section V-A phase 1 at 1/32 scale: 7 files x 64 MiB sequential write.
+  Harness h;
+  auto files = FileSet::create(*h.disk, 7, 64 * kMiB);
+  ASSERT_TRUE(files.ok());
+  FilebenchPersonality bench(files.value());
+  const auto p1 = bench.sequential_write_all(kMiB);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1.value().bytes_written, 7 * 64 * kMiB);
+  // Every stored replica respects the one-primary invariant.
+  for (std::uint64_t index = 0; index < 7 * 16; ++index) {
+    const auto holders =
+        h.cluster->object_store().locate(h.disk->object_id(index));
+    ASSERT_EQ(holders.size(), 2u) << index;
+    int prim = 0;
+    for (ServerId s : holders) {
+      if (h.cluster->chain().is_primary(s)) ++prim;
+    }
+    EXPECT_EQ(prim, 1) << index;
+  }
+}
+
+TEST(Filebench, LowPowerPhase2WritesPopulateDirtyTable) {
+  Harness h;
+  auto files = FileSet::create(*h.disk, 7, 64 * kMiB);
+  ASSERT_TRUE(files.ok());
+  FilebenchPersonality bench(files.value());
+  ASSERT_TRUE(bench.sequential_write_all(4 * kMiB).ok());
+  ASSERT_TRUE(h.cluster->request_resize(6).is_ok());
+
+  Rng rng(11);
+  const auto p2 = bench.random_mix(500, 4 * kMiB, 0.66, rng);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_GT(h.cluster->dirty_table().size(), 0u);
+  // Dirty entries are bounded by the write ops issued.
+  EXPECT_LE(h.cluster->dirty_table().size(), 500u * 2);
+}
+
+}  // namespace
+}  // namespace ech

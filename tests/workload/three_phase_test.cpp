@@ -1,0 +1,67 @@
+#include "workload/three_phase.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(ThreePhase, DefaultMatchesPaperVolumes) {
+  const auto phases = make_three_phase_workload({}, true);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].write_bytes, 14 * kGiB);
+  EXPECT_EQ(phases[0].read_bytes, 0);
+  EXPECT_DOUBLE_EQ(phases[0].rate_limit_mbps, 0.0);
+
+  EXPECT_NEAR(static_cast<double>(phases[1].read_bytes),
+              4.2 * static_cast<double>(kGiB), 1e6);
+  EXPECT_NEAR(static_cast<double>(phases[1].write_bytes),
+              8.4 * static_cast<double>(kGiB), 1e6);
+  EXPECT_DOUBLE_EQ(phases[1].rate_limit_mbps, 20.0);
+
+  // Phase 3: 14 GiB total, 20% writes.
+  EXPECT_EQ(phases[2].read_bytes + phases[2].write_bytes, 14 * kGiB);
+  EXPECT_NEAR(static_cast<double>(phases[2].write_bytes),
+              0.2 * 14 * static_cast<double>(kGiB), 1e6);
+}
+
+TEST(ThreePhase, ResizingTogglesTargets) {
+  const auto with = make_three_phase_workload({}, true);
+  EXPECT_EQ(with[0].resize_to_at_end, 6u);
+  EXPECT_EQ(with[1].resize_to_at_end, 10u);
+  EXPECT_EQ(with[2].resize_to_at_end, 0u);
+
+  const auto without = make_three_phase_workload({}, false);
+  EXPECT_EQ(without[0].resize_to_at_end, 0u);
+  EXPECT_EQ(without[1].resize_to_at_end, 0u);
+}
+
+TEST(ThreePhase, ScaleShrinksVolumesNotRates) {
+  ThreePhaseParams params;
+  params.scale = 0.5;
+  const auto phases = make_three_phase_workload(params, true);
+  EXPECT_EQ(phases[0].write_bytes, 7 * kGiB);
+  EXPECT_DOUBLE_EQ(phases[1].rate_limit_mbps, 20.0);
+}
+
+TEST(ThreePhase, CustomLowPowerTarget) {
+  ThreePhaseParams params;
+  params.low_power_servers = 4;
+  const auto phases = make_three_phase_workload(params, true);
+  EXPECT_EQ(phases[0].resize_to_at_end, 4u);
+}
+
+TEST(ThreePhase, Phase1HasNoOverwrites) {
+  const auto phases = make_three_phase_workload({}, true);
+  EXPECT_DOUBLE_EQ(phases[0].overwrite_fraction, 0.0);
+  EXPECT_GT(phases[1].overwrite_fraction, 0.0);
+}
+
+TEST(ThreePhase, PhaseNamesStable) {
+  const auto phases = make_three_phase_workload({}, true);
+  EXPECT_EQ(phases[0].name, "phase1-seq-write");
+  EXPECT_EQ(phases[1].name, "phase2-light");
+  EXPECT_EQ(phases[2].name, "phase3-mixed");
+}
+
+}  // namespace
+}  // namespace ech

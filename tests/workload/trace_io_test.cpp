@@ -1,0 +1,112 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/trace_synth.h"
+
+namespace ech {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/ech_trace_test.csv";
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesSeries) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 6 * 3600;
+  const LoadSeries original = synthesize_trace(spec);
+  ASSERT_TRUE(save_trace_csv(original, path_).is_ok());
+
+  const auto loaded = load_trace_csv(path_);
+  ASSERT_TRUE(loaded.ok());
+  const LoadSeries& got = loaded.value();
+  ASSERT_EQ(got.steps.size(), original.steps.size());
+  EXPECT_DOUBLE_EQ(got.step_seconds, original.step_seconds);
+  for (std::size_t i = 0; i < got.steps.size(); ++i) {
+    EXPECT_NEAR(got.steps[i].bytes_per_second,
+                original.steps[i].bytes_per_second,
+                original.steps[i].bytes_per_second * 1e-3 + 1e-3);
+    EXPECT_NEAR(got.steps[i].write_fraction, original.steps[i].write_fraction,
+                1e-4);
+  }
+}
+
+TEST_F(TraceIoTest, MissingFileFails) {
+  const auto loaded = load_trace_csv("/nonexistent/path.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TraceIoTest, EmptyFileFails) {
+  { std::ofstream out(path_); }
+  EXPECT_FALSE(load_trace_csv(path_).ok());
+}
+
+TEST_F(TraceIoTest, HeaderOnlyFails) {
+  {
+    std::ofstream out(path_);
+    out << "t_seconds,bytes_per_second,write_fraction\n";
+  }
+  const auto loaded = load_trace_csv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceIoTest, MalformedRowFails) {
+  {
+    std::ofstream out(path_);
+    out << "t_seconds,bytes_per_second,write_fraction\n";
+    out << "not-a-number,100,0.5\n";
+  }
+  EXPECT_FALSE(load_trace_csv(path_).ok());
+}
+
+TEST_F(TraceIoTest, MissingFieldsFail) {
+  {
+    std::ofstream out(path_);
+    out << "t_seconds,bytes_per_second,write_fraction\n";
+    out << "0.0,100\n";
+  }
+  EXPECT_FALSE(load_trace_csv(path_).ok());
+}
+
+TEST_F(TraceIoTest, OutOfRangeWriteFractionFails) {
+  {
+    std::ofstream out(path_);
+    out << "t_seconds,bytes_per_second,write_fraction\n";
+    out << "0.0,100,1.5\n";
+  }
+  EXPECT_FALSE(load_trace_csv(path_).ok());
+}
+
+TEST_F(TraceIoTest, StepSecondsInferredFromTimestamps) {
+  {
+    std::ofstream out(path_);
+    out << "t_seconds,bytes_per_second,write_fraction\n";
+    out << "0.0,100,0.5\n";
+    out << "30.0,200,0.5\n";
+    out << "60.0,300,0.5\n";
+  }
+  const auto loaded = load_trace_csv(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().step_seconds, 30.0);
+  EXPECT_EQ(loaded.value().steps.size(), 3u);
+}
+
+TEST_F(TraceIoTest, NonIncreasingTimestampsFail) {
+  {
+    std::ofstream out(path_);
+    out << "t_seconds,bytes_per_second,write_fraction\n";
+    out << "10.0,100,0.5\n";
+    out << "10.0,200,0.5\n";
+  }
+  EXPECT_FALSE(load_trace_csv(path_).ok());
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,131 @@
+#include "workload/trace_synth.h"
+
+#include <gtest/gtest.h>
+
+namespace ech {
+namespace {
+
+TEST(TraceSpec, TableOneCcA) {
+  const TraceSpec spec = cc_a_spec();
+  EXPECT_EQ(spec.name, "CC-a");
+  EXPECT_LE(spec.machines, 100u);  // "< 100 machines"
+  EXPECT_DOUBLE_EQ(spec.length_seconds, 30.0 * 24 * 3600);  // 1 month
+  EXPECT_DOUBLE_EQ(spec.bytes_processed, 69.0 * 1e12);      // 69 TB
+}
+
+TEST(TraceSpec, TableOneCcB) {
+  const TraceSpec spec = cc_b_spec();
+  EXPECT_EQ(spec.machines, 300u);
+  EXPECT_DOUBLE_EQ(spec.length_seconds, 9.0 * 24 * 3600);  // 9 days
+  EXPECT_DOUBLE_EQ(spec.bytes_processed, 473.0 * 1e12);    // 473 TB
+}
+
+TEST(TraceSpec, CcAResizesMoreFrequently) {
+  // Section V-B: "CC-a trace has significantly higher resizing frequency";
+  // we encode that as more frequent, shorter jobs.
+  EXPECT_GT(cc_a_spec().jobs_per_hour, cc_b_spec().jobs_per_hour);
+  EXPECT_LT(cc_a_spec().job_duration_mean_s, cc_b_spec().job_duration_mean_s);
+}
+
+TEST(Synthesize, TotalBytesExact) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 2 * 24 * 3600;  // shorten for test speed
+  spec.bytes_processed = 5e12;
+  const LoadSeries series = synthesize_trace(spec);
+  EXPECT_NEAR(series.total_bytes(), 5e12, 5e12 * 1e-9);
+}
+
+TEST(Synthesize, DurationMatchesSpec) {
+  TraceSpec spec = cc_b_spec();
+  spec.length_seconds = 6 * 3600;
+  const LoadSeries series = synthesize_trace(spec);
+  EXPECT_NEAR(series.duration_seconds(), 6 * 3600, spec.step_seconds);
+}
+
+TEST(Synthesize, Deterministic) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 12 * 3600;
+  const LoadSeries a = synthesize_trace(spec);
+  const LoadSeries b = synthesize_trace(spec);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.steps[i].bytes_per_second, b.steps[i].bytes_per_second);
+  }
+}
+
+TEST(Synthesize, SeedChangesSeries) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 12 * 3600;
+  const LoadSeries a = synthesize_trace(spec);
+  spec.seed += 1;
+  const LoadSeries b = synthesize_trace(spec);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].bytes_per_second != b.steps[i].bytes_per_second) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthesize, BurstyPeakWellAboveMean) {
+  // MapReduce traces are bursty but not idle-dominated: peak/mean should
+  // sit in the low single digits (calibrated so Figure 8's ideal envelope
+  // swings between ~20% and ~90% of the cluster).
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 3 * 24 * 3600;
+  const LoadSeries series = synthesize_trace(spec);
+  const double ratio =
+      series.peak_bytes_per_second() / series.mean_bytes_per_second();
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Synthesize, WriteFractionsInRange) {
+  TraceSpec spec = cc_b_spec();
+  spec.length_seconds = 24 * 3600;
+  const LoadSeries series = synthesize_trace(spec);
+  for (const LoadStep& s : series.steps) {
+    EXPECT_GE(s.write_fraction, 0.05);
+    EXPECT_LE(s.write_fraction, 0.95);
+    EXPECT_GE(s.bytes_per_second, 0.0);
+  }
+}
+
+TEST(LoadSeriesOps, WindowExtractsSubrange) {
+  TraceSpec spec = cc_a_spec();
+  spec.length_seconds = 24 * 3600;
+  const LoadSeries series = synthesize_trace(spec);
+  const LoadSeries win = series.window(10, 50);
+  ASSERT_EQ(win.steps.size(), 50u);
+  EXPECT_DOUBLE_EQ(win.steps[0].bytes_per_second,
+                   series.steps[10].bytes_per_second);
+}
+
+TEST(LoadSeriesOps, WindowPastEndClamps) {
+  LoadSeries s;
+  s.steps.resize(10);
+  EXPECT_EQ(s.window(8, 50).steps.size(), 2u);
+  EXPECT_TRUE(s.window(20, 5).steps.empty());
+}
+
+TEST(IdealServers, ProportionalToLoad) {
+  EXPECT_EQ(ideal_servers(0.0, 100.0, 1, 50), 1u);
+  EXPECT_EQ(ideal_servers(100.0, 100.0, 1, 50), 1u);
+  EXPECT_EQ(ideal_servers(101.0, 100.0, 1, 50), 2u);
+  EXPECT_EQ(ideal_servers(1e9, 100.0, 1, 50), 50u);  // clamped
+}
+
+TEST(IdealServers, SeriesMatchesScalar) {
+  LoadSeries s;
+  s.step_seconds = 60;
+  s.steps = {{150.0, 0.3}, {999.0, 0.3}};
+  const auto servers = ideal_server_series(s, 100.0, 1, 5);
+  ASSERT_EQ(servers.size(), 2u);
+  EXPECT_EQ(servers[0], 2u);
+  EXPECT_EQ(servers[1], 5u);
+}
+
+}  // namespace
+}  // namespace ech
