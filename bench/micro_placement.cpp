@@ -1,14 +1,25 @@
 // Microbenchmarks (google-benchmark): the hot paths a storage daemon runs
-// per request — ring lookups, Algorithm 1 placement, dirty-table ops and
-// the hash primitives.
+// per request — ring lookups, Algorithm 1 placement (predicate walk vs the
+// flat epoch-pinned PlacementIndex, single- and multi-threaded), dirty-table
+// ops and the hash primitives.
+//
+// Machine-readable results for the perf trajectory:
+//   ./micro_placement --benchmark_filter='Placement|Concurrent' \
+//       --benchmark_out=BENCH_micro_placement.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
 
 #include "cluster/cluster_view.h"
 #include "cluster/layout.h"
 #include "common/sha1.h"
+#include "core/concurrent_cluster.h"
 #include "core/dirty_table.h"
 #include "core/elastic_cluster.h"
 #include "core/placement.h"
+#include "core/placement_index.h"
 #include "core/reconcile.h"
 
 namespace {
@@ -23,6 +34,26 @@ HashRing make_ring(std::uint32_t n, std::uint32_t budget) {
   }
   return ring;
 }
+
+/// One membership snapshot shared by the placement benchmarks: n servers,
+/// `active` powered on, equal-work primary count.
+struct Snapshot {
+  Snapshot(std::uint32_t n, std::uint32_t active)
+      : chain(ExpansionChain::identity(n, EqualWorkLayout::primary_count(n))),
+        ring(make_ring(n, 10'000)),
+        membership(MembershipTable::prefix_active(n, active)),
+        index(PlacementIndex::build(ClusterView(chain, ring, membership),
+                                    Version{1})) {}
+
+  [[nodiscard]] ClusterView view() const {
+    return ClusterView(chain, ring, membership);
+  }
+
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable membership;
+  std::shared_ptr<const PlacementIndex> index;
+};
 
 void BM_RingSuccessor(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -66,6 +97,104 @@ BENCHMARK(BM_PrimaryPlacement)
     ->Args({100, 100})
     ->Args({100, 30})
     ->Args({300, 300});
+
+void BM_PlacementIndex(benchmark::State& state) {
+  // Same Algorithm 1 lookups as BM_PrimaryPlacement, served by the flat
+  // epoch-pinned index instead of the predicate walk.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto active = static_cast<std::uint32_t>(state.range(1));
+  const Snapshot snap(n, active);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.index->place(ObjectId{oid++}, 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementIndex)
+    ->Args({10, 10})
+    ->Args({10, 4})
+    ->Args({100, 100})
+    ->Args({100, 30})
+    ->Args({300, 300});
+
+void BM_PlacementIndexBatch(benchmark::State& state) {
+  // place_many over a reintegration-sweep-sized batch.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Snapshot snap(n, n);
+  std::vector<ObjectId> oids;
+  oids.reserve(1024);
+  for (std::uint64_t i = 0; i < 1024; ++i) oids.emplace_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.index->place_many(oids, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PlacementIndexBatch)->Arg(100)->Arg(300);
+
+void BM_PlacementIndexBuild(benchmark::State& state) {
+  // Epoch-publication cost: one flatten per membership version.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Snapshot snap(n, n);
+  const ClusterView view = snap.view();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlacementIndex::build(view, Version{1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementIndexBuild)->Arg(10)->Arg(100)->Arg(300);
+
+// -- multithreaded read path -------------------------------------------------
+// The shared_mutex baseline vs the lock-free pinned-index path, same n=300
+// cluster.  Near-linear items/s scaling with threads is the acceptance bar
+// for the RCU design (run on a multi-core box; a 1-core CI container can
+// only show the flat-lookup speedup).
+
+void BM_ConcurrentPlacementSharedMutex(benchmark::State& state) {
+  // Baseline deployment shape before the index existed: every lookup takes
+  // the reader side of one global shared_mutex around the predicate walk.
+  static Snapshot* snap = nullptr;
+  static std::shared_mutex* mutex = nullptr;
+  if (state.thread_index() == 0 && snap == nullptr) {
+    snap = new Snapshot(300, 300);
+    mutex = new std::shared_mutex;
+  }
+  std::uint64_t oid = static_cast<std::uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    std::shared_lock lock(*mutex);
+    benchmark::DoNotOptimize(
+        PrimaryPlacement::place(ObjectId{oid++}, snap->view(), 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentPlacementSharedMutex)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_ConcurrentPlacementLockFree(benchmark::State& state) {
+  // The new path: pin the epoch snapshot once per lookup (one atomic
+  // shared_ptr load) and scan the flat index — no lock word touched.
+  static ConcurrentElasticCluster* cluster = nullptr;
+  if (state.thread_index() == 0 && cluster == nullptr) {
+    ElasticClusterConfig config;
+    config.server_count = 300;
+    config.replicas = 3;
+    cluster = ConcurrentElasticCluster::create(config).value().release();
+  }
+  std::uint64_t oid = static_cast<std::uint64_t>(state.thread_index()) << 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster->placement_of(ObjectId{oid++}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentPlacementLockFree)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 void BM_RingAddServer(benchmark::State& state) {
   const auto budget = static_cast<std::uint32_t>(state.range(0));

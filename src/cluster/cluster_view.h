@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "cluster/expansion_chain.h"
 #include "cluster/membership.h"
@@ -29,6 +30,10 @@ class ClusterView {
 
   [[nodiscard]] bool is_primary(ServerId id) const {
     return chain_->is_primary(id);
+  }
+
+  [[nodiscard]] std::optional<Rank> rank_of(ServerId id) const {
+    return chain_->rank_of(id);
   }
 
   [[nodiscard]] bool is_active(ServerId id) const {

@@ -3,15 +3,27 @@
 // The core facade follows a single-owner threading model (one thread — or
 // the simulator — drives it).  A real storage daemon has a request path,
 // a re-integration thread and a membership/controller thread running
-// concurrently; ConcurrentElasticCluster provides that with a
-// reader/writer lock: lookups run shared, anything that can move replicas
-// or change membership runs exclusive.
+// concurrently; ConcurrentElasticCluster provides that with a two-tier
+// scheme:
 //
-// This is intentionally coarse-grained — the paper's system serialises
-// membership changes through epochs anyway, and placement is cheap enough
-// that a shared lock around it is not the bottleneck (see micro_placement).
+//   * The *placement* path is lock-free.  Every membership change builds an
+//     immutable PlacementIndex (core/placement_index.h) which is published
+//     RCU-style through an atomically swapped shared_ptr.  placement_of()/
+//     place_many() and the membership introspection calls pin a snapshot
+//     with one atomic load — no shared_mutex, no reader-reader cache-line
+//     contention, and an in-flight lookup keeps its epoch alive even while
+//     a resize publishes the next one.
+//   * The *object store* (replica directories) is still guarded by the
+//     reader/writer lock: read() takes it shared; anything that can move
+//     replicas or change membership takes it exclusive and republishes the
+//     index before unlocking.
+//
+// The paper's system serialises membership changes through epochs anyway,
+// so writers staying coarse-grained is faithful; the per-request lookup is
+// the path that must scale with cores (see bench/micro_placement).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 
@@ -42,15 +54,30 @@ class ConcurrentElasticCluster {
     std::unique_lock lock(mutex_);
     return inner_->remove_object(oid);
   }
+  /// Lock-free: pins the current epoch's index and runs Algorithm 1 on it.
   [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const {
-    std::shared_lock lock(mutex_);
-    return inner_->placement_of(oid);
+    return pinned_index()->place(oid, replicas_);
+  }
+  /// Lock-free batch lookup; every oid is placed against ONE pinned epoch
+  /// (a resize in between cannot split the batch across versions).
+  [[nodiscard]] std::vector<Expected<Placement>> place_many(
+      std::span<const ObjectId> oids) const {
+    return pinned_index()->place_many(oids, replicas_);
+  }
+
+  /// Pin the current placement snapshot (one atomic load).  The snapshot
+  /// stays valid — and placement-stable — for as long as the caller holds
+  /// it, regardless of concurrent resizes.
+  [[nodiscard]] std::shared_ptr<const PlacementIndex> pinned_index() const {
+    return index_.load(std::memory_order_acquire);
   }
 
   // -- control plane ---------------------------------------------------------
   Status request_resize(std::uint32_t target) {
     std::unique_lock lock(mutex_);
-    return inner_->request_resize(target);
+    const Status s = inner_->request_resize(target);
+    republish();
+    return s;
   }
   Bytes maintenance_step(Bytes byte_budget) {
     std::unique_lock lock(mutex_);
@@ -58,11 +85,15 @@ class ConcurrentElasticCluster {
   }
   Status fail_server(ServerId id) {
     std::unique_lock lock(mutex_);
-    return inner_->fail_server(id);
+    const Status s = inner_->fail_server(id);
+    republish();
+    return s;
   }
   Status recover_server(ServerId id) {
     std::unique_lock lock(mutex_);
-    return inner_->recover_server(id);
+    const Status s = inner_->recover_server(id);
+    republish();
+    return s;
   }
   Bytes repair_step(Bytes byte_budget) {
     std::unique_lock lock(mutex_);
@@ -70,9 +101,9 @@ class ConcurrentElasticCluster {
   }
 
   // -- introspection -----------------------------------------------------------
+  // Membership-shaped queries answer from the pinned snapshot, lock-free.
   [[nodiscard]] std::uint32_t active_count() const {
-    std::shared_lock lock(mutex_);
-    return inner_->active_count();
+    return pinned_index()->active_count();
   }
   [[nodiscard]] std::uint32_t server_count() const {
     std::shared_lock lock(mutex_);
@@ -83,8 +114,7 @@ class ConcurrentElasticCluster {
     return inner_->min_active();
   }
   [[nodiscard]] Version current_version() const {
-    std::shared_lock lock(mutex_);
-    return inner_->current_version();
+    return pinned_index()->version();
   }
   [[nodiscard]] std::size_t dirty_entries() const {
     std::shared_lock lock(mutex_);
@@ -96,15 +126,33 @@ class ConcurrentElasticCluster {
   }
 
   /// Escape hatch for single-threaded phases (setup, final verification).
-  /// The caller must guarantee no concurrent access while using it.
+  /// The caller must guarantee no concurrent access while using it, and
+  /// call refresh_index() afterwards if membership was changed through it.
   [[nodiscard]] ElasticCluster& unsynchronized() { return *inner_; }
+
+  /// Republish the inner cluster's index (after an unsynchronized() phase
+  /// that changed membership).
+  void refresh_index() {
+    std::unique_lock lock(mutex_);
+    republish();
+  }
 
  private:
   explicit ConcurrentElasticCluster(std::unique_ptr<ElasticCluster> inner)
-      : inner_(std::move(inner)) {}
+      : inner_(std::move(inner)), replicas_(inner_->config().replicas) {
+    index_.store(inner_->placement_index(), std::memory_order_release);
+  }
+
+  /// Callers hold mutex_ exclusively; readers pick the new epoch up on
+  /// their next pin while in-flight lookups finish on the old one.
+  void republish() {
+    index_.store(inner_->placement_index(), std::memory_order_release);
+  }
 
   mutable std::shared_mutex mutex_;
   std::unique_ptr<ElasticCluster> inner_;
+  std::atomic<std::shared_ptr<const PlacementIndex>> index_;
+  std::uint32_t replicas_;
 };
 
 }  // namespace ech

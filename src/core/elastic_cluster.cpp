@@ -34,6 +34,11 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
     (void)s;  // ids 1..n are unique by construction
   }
   history_.append(MembershipTable::full_power(config.server_count));
+  publish_index();
+}
+
+void ElasticCluster::publish_index() {
+  index_ = PlacementIndex::build(current_view(), history_.current_version());
 }
 
 Expected<std::unique_ptr<ElasticCluster>> ElasticCluster::create(
@@ -87,8 +92,7 @@ Status ElasticCluster::write(ObjectId oid, Bytes size) {
 }
 
 Status ElasticCluster::write_object(ObjectId oid, Bytes size) {
-  const ClusterView view = current_view();
-  const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+  const auto placed = index_->place(oid, config_.replicas);
   if (!placed.ok()) return placed.status();
 
   const Version curr = history_.current_version();
@@ -112,11 +116,11 @@ Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
     return Status{StatusCode::kNotFound,
                   "object " + std::to_string(oid.value) + " not stored"};
   }
-  const ClusterView view = current_view();
+  const PlacementIndex& index = *index_;
   Version newest{0};
   for (ServerId s : holders) {
     const auto obj = store_.server(s).get(oid);
-    if (obj.has_value() && view.is_active(s) &&
+    if (obj.has_value() && index.is_active(s) &&
         obj->header.version > newest) {
       newest = obj->header.version;
     }
@@ -124,7 +128,7 @@ Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
   std::vector<ServerId> out;
   for (ServerId s : holders) {
     const auto obj = store_.server(s).get(oid);
-    if (obj.has_value() && view.is_active(s) &&
+    if (obj.has_value() && index.is_active(s) &&
         obj->header.version == newest) {
       out.push_back(s);
     }
@@ -159,6 +163,7 @@ Status ElasticCluster::request_resize(std::uint32_t target) {
 
   const bool growing = next.active_count() > current;
   history_.append(next);
+  publish_index();
 
   if (growing && config_.reintegration == ReintegrationMode::kFull) {
     // Sheepdog-style blind rejoin: returning servers are treated as empty,
@@ -202,16 +207,16 @@ Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
   // work-list is queued by request_resize on grow only — sizing down must
   // stay clean-up free (the headline elasticity property), so no plan is
   // rebuilt here.
-  const ClusterView view = current_view();
+  const PlacementIndex& index = *index_;
   const bool full_power = history_.current().is_full_power();
   Bytes spent = 0;
   while (full_cursor_ < full_plan_.size() && spent < byte_budget) {
     const ObjectId oid = full_plan_[full_cursor_++];
-    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    const auto placed = index.place(oid, config_.replicas);
     if (!placed.ok()) continue;
     const ReconcileResult r = reconcile_object(
         store_, oid, placed.value().servers, /*dirty_flag=*/!full_power,
-        [&view](ServerId s) { return view.is_active(s); });
+        [&index](ServerId s) { return index.is_active(s); });
     spent += r.bytes_moved;
   }
   if (full_cursor_ >= full_plan_.size() && full_power) {
@@ -234,14 +239,17 @@ Bytes ElasticCluster::pending_maintenance_bytes() const {
     return bytes;
   }
   // kFull estimate: bytes that reconciliation would still move for the
-  // un-swept tail of the plan.
-  const ClusterView view = current_view();
+  // un-swept tail of the plan (batch placement over the tail).
+  const PlacementIndex& index = *index_;
   Bytes pending = 0;
-  for (std::size_t i = full_cursor_; i < full_plan_.size(); ++i) {
-    const ObjectId oid = full_plan_[i];
+  const std::span<const ObjectId> tail{full_plan_.data() + full_cursor_,
+                                       full_plan_.size() - full_cursor_};
+  const auto placements = index.place_many(tail, config_.replicas);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const ObjectId oid = tail[i];
     const std::vector<ServerId> holders = store_.locate(oid);
     if (holders.empty()) continue;
-    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    const auto& placed = placements[i];
     if (!placed.ok()) continue;
     Version newest{0};
     Bytes size = kDefaultObjectSize;
@@ -262,7 +270,12 @@ Bytes ElasticCluster::pending_maintenance_bytes() const {
 }
 
 Expected<Placement> ElasticCluster::placement_of(ObjectId oid) const {
-  return PrimaryPlacement::place(oid, current_view(), config_.replicas);
+  return index_->place(oid, config_.replicas);
+}
+
+std::vector<Expected<Placement>> ElasticCluster::place_many(
+    std::span<const ObjectId> oids) const {
+  return index_->place_many(oids, config_.replicas);
 }
 
 Status ElasticCluster::import_version(const MembershipTable& table) {
@@ -279,6 +292,7 @@ Status ElasticCluster::import_version(const MembershipTable& table) {
     }
   }
   history_.append(table);
+  publish_index();
   prefix_target_ = k;
   return Status::ok();
 }
@@ -301,6 +315,7 @@ Status ElasticCluster::fail_server(ServerId id) {
   store_.server(id).clear();
   failed_.insert(id);
   history_.append(build_membership(prefix_target_));
+  publish_index();
   ECH_LOG_WARN("elastic") << "server " << id.value << " failed; "
                           << repair_queue_.size() - repair_cursor_
                           << " objects queued for repair (version "
@@ -315,6 +330,7 @@ Status ElasticCluster::recover_server(ServerId id) {
   }
   failed_.erase(id);
   history_.append(build_membership(prefix_target_));
+  publish_index();
   // Sheepdog-style recovery on rejoin: sweep every object so replicas
   // displaced by the failure migrate back to their equal-work home.  The
   // sweep is idempotent — objects already in place cost nothing.
@@ -331,12 +347,12 @@ Status ElasticCluster::recover_server(ServerId id) {
 
 Bytes ElasticCluster::repair_step(Bytes byte_budget) {
   if (byte_budget <= 0) return 0;
-  const ClusterView view = current_view();
+  const PlacementIndex& index = *index_;
   const bool full_power = history_.current().is_full_power();
   Bytes spent = 0;
   while (repair_cursor_ < repair_queue_.size() && spent < byte_budget) {
     const ObjectId oid = repair_queue_[repair_cursor_++];
-    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    const auto placed = index.place(oid, config_.replicas);
     if (!placed.ok()) continue;  // e.g. object deleted, or too few actives
     const auto obj_dirty = [&]() {
       // Keep the stored dirty state: repair is orthogonal to elasticity
@@ -349,7 +365,7 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
     }();
     const ReconcileResult r = reconcile_object(
         store_, oid, placed.value().servers, obj_dirty,
-        [&view](ServerId s) { return view.is_active(s); });
+        [&index](ServerId s) { return index.is_active(s); });
     spent += r.bytes_moved;
   }
   if (repair_cursor_ >= repair_queue_.size()) {
@@ -360,13 +376,16 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
 }
 
 Bytes ElasticCluster::pending_repair_bytes() const {
-  const ClusterView view = current_view();
+  const PlacementIndex& index = *index_;
   Bytes pending = 0;
-  for (std::size_t i = repair_cursor_; i < repair_queue_.size(); ++i) {
-    const ObjectId oid = repair_queue_[i];
+  const std::span<const ObjectId> tail{repair_queue_.data() + repair_cursor_,
+                                       repair_queue_.size() - repair_cursor_};
+  const auto placements = index.place_many(tail, config_.replicas);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const ObjectId oid = tail[i];
     const std::vector<ServerId> holders = store_.locate(oid);
     if (holders.empty()) continue;
-    const auto placed = PrimaryPlacement::place(oid, view, config_.replicas);
+    const auto& placed = placements[i];
     if (!placed.ok()) continue;
     Version newest{0};
     Bytes size = kDefaultObjectSize;

@@ -26,6 +26,7 @@
 #include "cluster/membership.h"
 #include "core/dirty_table.h"
 #include "core/placement.h"
+#include "core/placement_index.h"
 #include "core/reintegrator.h"
 #include "core/storage_system.h"
 #include "hashring/hash_ring.h"
@@ -125,8 +126,21 @@ class ElasticCluster final : public StorageSystem {
   /// Write with an explicit size override (bulk loaders).
   Status write_object(ObjectId oid, Bytes size);
 
-  /// Current placement of an object under the live membership.
+  /// Current placement of an object under the live membership.  Served by
+  /// the epoch-pinned PlacementIndex (flat scan), not the predicate walk.
   [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const;
+
+  /// Batch placement under the live membership (reintegration sweeps,
+  /// trace replay): one result per oid, in order.
+  [[nodiscard]] std::vector<Expected<Placement>> place_many(
+      std::span<const ObjectId> oids) const;
+
+  /// The immutable placement index for the current membership version.
+  /// Rebuilt whenever a version is appended; callers may hold the returned
+  /// snapshot across later resizes (it stays valid for its own epoch).
+  [[nodiscard]] std::shared_ptr<const PlacementIndex> placement_index() const {
+    return index_;
+  }
 
   [[nodiscard]] Version current_version() const {
     return history_.current_version();
@@ -159,6 +173,10 @@ class ElasticCluster final : public StorageSystem {
   /// Rebuild the kFull sweep work list after a version change.
   void rebuild_full_plan();
 
+  /// Flatten the current view into a fresh PlacementIndex.  Must run after
+  /// every history_ append — the index *is* the published epoch.
+  void publish_index();
+
   /// Membership for `active_target` prefix ranks minus failed servers.
   [[nodiscard]] MembershipTable build_membership(
       std::uint32_t active_target) const;
@@ -167,6 +185,7 @@ class ElasticCluster final : public StorageSystem {
   ExpansionChain chain_;
   HashRing ring_;
   VersionHistory history_;
+  std::shared_ptr<const PlacementIndex> index_;  // current epoch, immutable
   ObjectStoreCluster store_;
   kv::ShardedStore kv_;
   DirtyTable dirty_;

@@ -1,0 +1,246 @@
+#include "core/placement_index.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace ech {
+namespace {
+
+/// True when `s` already holds a replica.  Replica sets are tiny (== r), so
+/// a linear scan beats any set structure and allocates nothing.
+bool taken(const std::vector<ServerId>& chosen, ServerId s) {
+  for (const ServerId c : chosen) {
+    if (c == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::shared_ptr<const PlacementIndex> PlacementIndex::build(
+    const ClusterView& view, Version version) {
+  std::shared_ptr<PlacementIndex> idx(new PlacementIndex());
+  idx->version_ = version;
+
+  const ExpansionChain& chain = view.chain();
+  const MembershipTable& membership = view.membership();
+
+  // Per-server packed flags, keyed by id.  Servers on the ring but not in
+  // the chain get rank 0 and no bits — exactly how ClusterView treats them
+  // (never active, never primary).
+  std::unordered_map<std::uint32_t, PackedVnode> flags;
+  flags.reserve(chain.size());
+  const std::vector<ServerId>& by_rank = chain.servers();
+  for (std::size_t i = 0; i < by_rank.size(); ++i) {
+    const Rank rank = static_cast<Rank>(i + 1);
+    PackedVnode f = (static_cast<PackedVnode>(rank) & kRankMask) << kRankShift;
+    if (membership.is_active(rank)) f |= kActiveBit;
+    if (chain.is_primary(rank)) f |= kPrimaryBit;
+    flags.emplace(by_rank[i].value, f);
+  }
+
+  const HashRing& ring = view.ring();
+  const auto span = ring.vnodes();
+  idx->positions_.reserve(span.size());
+  idx->meta_.reserve(span.size());
+  for (const VirtualNode& v : span) {
+    idx->positions_.push_back(v.position);
+    const auto it = flags.find(v.server.value);
+    const PackedVnode f = it == flags.end() ? PackedVnode{0} : it->second;
+    idx->meta_.push_back(static_cast<PackedVnode>(v.server.value) | f);
+  }
+
+  idx->by_id_.reserve(ring.server_count());
+  for (const ServerId s : ring.servers()) {
+    const auto it = flags.find(s.value);
+    idx->by_id_.emplace_back(s.value,
+                             it == flags.end() ? PackedVnode{0} : it->second);
+  }
+  std::sort(idx->by_id_.begin(), idx->by_id_.end());
+
+  // Radix bucket table over the sorted positions: 2^bits >= vnode count, so
+  // buckets average at most one vnode each.
+  const std::size_t n = idx->positions_.size();
+  std::uint32_t bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  const std::size_t buckets = std::size_t{1} << bits;
+  idx->bucket_shift_ = 64 - bits;
+  idx->bucket_.resize(buckets);
+  std::size_t slot = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const RingPosition lo = static_cast<RingPosition>(b) << idx->bucket_shift_;
+    while (slot < n && idx->positions_[slot] < lo) ++slot;
+    idx->bucket_[b] = static_cast<std::uint32_t>(slot);
+  }
+
+  idx->server_count_ = static_cast<std::uint32_t>(ring.server_count());
+  idx->active_count_ = membership.active_count();
+  std::uint32_t active_secondaries = 0;
+  for (Rank r = chain.primary_count() + 1; r <= chain.size(); ++r) {
+    if (membership.is_active(r)) ++active_secondaries;
+  }
+  idx->active_secondary_count_ = active_secondaries;
+  return idx;
+}
+
+std::size_t PlacementIndex::successor_slot(RingPosition pos) const {
+  const std::size_t n = positions_.size();
+  if (n == 0) return 0;
+  std::size_t slot = bucket_[pos >> bucket_shift_];
+  while (slot < n && positions_[slot] < pos) ++slot;
+  return slot == n ? 0 : slot;  // wrap around
+}
+
+std::size_t PlacementIndex::slot_after(std::size_t hit) const {
+  const std::size_t n = positions_.size();
+  const RingPosition p = positions_[hit];
+  std::size_t slot = hit + 1;
+  // Skip hash collisions at the same position, like successor(p + 1) would.
+  while (slot < n && positions_[slot] == p) ++slot;
+  return slot == n ? 0 : slot;
+}
+
+std::size_t PlacementIndex::scan(std::size_t start, PackedVnode mask,
+                                 PackedVnode want,
+                                 const std::vector<ServerId>& chosen) const {
+  const std::size_t n = positions_.size();
+  if (n == 0) return npos;
+  std::size_t idx = start;
+  for (std::size_t steps = 0; steps < n; ++steps) {
+    const PackedVnode m = meta_[idx];
+    if ((m & mask) == want && !taken(chosen, ServerId{server_of(m)})) {
+      return idx;
+    }
+    ++idx;
+    if (idx == n) idx = 0;
+  }
+  return npos;
+}
+
+const PlacementIndex::PackedVnode* PlacementIndex::find_server(
+    ServerId id) const {
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id.value,
+      [](const auto& entry, std::uint32_t v) { return entry.first < v; });
+  if (it == by_id_.end() || it->first != id.value) return nullptr;
+  return &it->second;
+}
+
+Expected<Placement> PlacementIndex::place(ObjectId oid,
+                                          std::uint32_t replicas) const {
+  // Mirrors PrimaryPlacement::place (core/placement.cpp) rule for rule —
+  // statuses included — so the two paths are interchangeable.
+  if (replicas == 0) {
+    return Status{StatusCode::kInvalidArgument, "replicas must be >= 1"};
+  }
+  if (active_count_ < replicas) {
+    return Status{StatusCode::kUnavailable,
+                  "fewer active servers than the replication level"};
+  }
+  constexpr PackedVnode kActive = kActiveBit;
+  constexpr PackedVnode kActivePrimary = kActiveBit | kPrimaryBit;
+
+  // Special case (Section III-B): with fewer than r-1 active secondaries,
+  // primaries temporarily stand in as secondaries.
+  const bool relax = active_secondary_count_ + 1 < replicas;
+  // Secondary-slot test: active and — unless relaxed — not primary.
+  const PackedVnode sec_mask = relax ? kActive : kActivePrimary;
+
+  Placement out;
+  out.servers.reserve(replicas);
+  out.primaries_as_secondaries = relax;
+
+  if (replicas == 1) {
+    // A single copy must live on a primary (degenerate last-replica rule).
+    const std::size_t hit = scan(successor_slot(object_position(oid)),
+                                 kActivePrimary, kActivePrimary, out.servers);
+    if (hit == npos) {
+      return Status{StatusCode::kUnavailable, "no active primary"};
+    }
+    out.servers.push_back(ServerId{server_of(meta_[hit])});
+    return out;
+  }
+
+  // Replica 1: next active server clockwise from hash(oid).  Later walks
+  // continue clockwise from the virtual node the previous replica used —
+  // tracked as a slot, so only this first lookup pays a position search.
+  std::size_t walk_slot = successor_slot(object_position(oid));
+  bool have_primary = false;
+  {
+    const std::size_t hit = scan(walk_slot, kActive, kActive, out.servers);
+    if (hit == npos) {
+      return Status{StatusCode::kUnavailable, "no active server on ring"};
+    }
+    out.servers.push_back(ServerId{server_of(meta_[hit])});
+    have_primary = (meta_[hit] & kPrimaryBit) != 0;
+    walk_slot = slot_after(hit);
+  }
+
+  // Replicas 2..r.
+  for (std::uint32_t i = 2; i <= replicas; ++i) {
+    std::size_t hit = npos;
+    const bool last = (i == replicas);
+    if (have_primary) {
+      hit = scan(walk_slot, sec_mask, kActive, out.servers);
+      if (hit == npos && !relax) {
+        // No distinct active secondary remains; fall back to the relaxed
+        // rule rather than failing a write the cluster could serve.
+        hit = scan(walk_slot, kActive, kActive, out.servers);
+        out.primaries_as_secondaries = true;
+      }
+    } else if (last) {
+      hit = scan(walk_slot, kActivePrimary, kActivePrimary, out.servers);
+    } else {
+      hit = scan(walk_slot, kActive, kActive, out.servers);
+    }
+    if (hit == npos) {
+      return Status{StatusCode::kUnavailable,
+                    "could not satisfy replica " + std::to_string(i)};
+    }
+    out.servers.push_back(ServerId{server_of(meta_[hit])});
+    have_primary = have_primary || (meta_[hit] & kPrimaryBit) != 0;
+    walk_slot = slot_after(hit);
+  }
+  return out;
+}
+
+Expected<Placement> PlacementIndex::place_original(
+    ObjectId oid, std::uint32_t replicas) const {
+  // Mirrors OriginalPlacement::place: first `replicas` distinct servers
+  // clockwise from hash(oid), membership ignored.
+  if (replicas == 0) {
+    return Status{StatusCode::kInvalidArgument, "replicas must be >= 1"};
+  }
+  if (server_count_ < replicas) {
+    return Status{StatusCode::kUnavailable,
+                  "ring has fewer servers than the replication level"};
+  }
+  Placement out;
+  out.servers.reserve(replicas);
+  const std::size_t n = positions_.size();
+  std::size_t idx = successor_slot(object_position(oid));
+  for (std::size_t steps = 0; steps < n && out.servers.size() < replicas;
+       ++steps) {
+    const ServerId s{server_of(meta_[idx])};
+    if (!taken(out.servers, s)) out.servers.push_back(s);
+    ++idx;
+    if (idx == n) idx = 0;
+  }
+  if (out.servers.size() < replicas) {
+    return Status{StatusCode::kInternal, "ring walk found too few servers"};
+  }
+  return out;
+}
+
+std::vector<Expected<Placement>> PlacementIndex::place_many(
+    std::span<const ObjectId> oids, std::uint32_t replicas) const {
+  std::vector<Expected<Placement>> out;
+  out.reserve(oids.size());
+  for (const ObjectId oid : oids) {
+    out.push_back(place(oid, replicas));
+  }
+  return out;
+}
+
+}  // namespace ech

@@ -25,10 +25,13 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
     return stats;
   }
   const Version curr = history_->current_version();
-  if (curr != last_seen_version_) {
-    // Algorithm 2 lines 2-4: new version -> restart from the oldest entry.
+  if (curr != last_seen_version_ || index_ == nullptr) {
+    // Algorithm 2 lines 2-4: new version -> restart from the oldest entry,
+    // and pin a fresh placement index for the new epoch.
     table_->restart();
     last_seen_version_ = curr;
+    index_ = PlacementIndex::build(
+        ClusterView(*chain_, *ring_, history_->current()), curr);
   }
   const bool full_power = history_->current().is_full_power();
   const std::uint32_t curr_servers = history_->num_servers(curr);
@@ -78,8 +81,8 @@ Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
     return 0;
   }
 
-  const ClusterView view(*chain_, *ring_, history_->current());
-  const auto placed = PrimaryPlacement::place(entry.oid, view, replicas_);
+  const PlacementIndex& index = *index_;
+  const auto placed = index.place(entry.oid, replicas_);
   if (!placed.ok()) {
     ECH_LOG_WARN("reintegrator")
         << "placement failed for oid " << entry.oid.value << ": "
@@ -90,7 +93,7 @@ Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
   const ReconcileResult r = reconcile_object(
       *cluster_, entry.oid, placed.value().servers,
       /*dirty_flag=*/!full_power,
-      [&view](ServerId s) { return view.is_active(s); });
+      [&index](ServerId s) { return index.is_active(s); });
   if (r.changed) ++stats.objects_reintegrated;
   return r.bytes_moved;
 }
@@ -105,10 +108,15 @@ Bytes Reintegrator::pending_bytes() const {
 
   const Version curr = history_->current_version();
   const std::uint32_t curr_servers = history_->num_servers(curr);
-  const ClusterView view(*chain_, *ring_, history_->current());
+  // A const estimate must not touch the scan-pinned index_ (it may belong
+  // to an older epoch mid-step); pin a fresh snapshot for this pass.
+  const auto index = PlacementIndex::build(
+      ClusterView(*chain_, *ring_, history_->current()), curr);
 
+  // Collect the actionable, deduped oids first, then place them in one
+  // batch against the pinned snapshot.
   std::unordered_set<ObjectId> seen;
-  Bytes pending = 0;
+  std::vector<ObjectId> actionable_oids;
   for (std::uint32_t v = lo->value; v <= hi->value; ++v) {
     const Version ver{v};
     if (table_->size_at(ver) == 0) continue;
@@ -116,31 +124,38 @@ Bytes Reintegrator::pending_bytes() const {
     for (ObjectId oid : table_->entries_at(ver)) {
       if (!seen.insert(oid).second) continue;
       if (!actionable) continue;
-      const std::vector<ServerId> holders = cluster_->locate(oid);
-      if (holders.empty()) continue;
-      const auto placed = PrimaryPlacement::place(oid, view, replicas_);
-      if (!placed.ok()) continue;
+      actionable_oids.push_back(oid);
+    }
+  }
+  const auto placements = index->place_many(actionable_oids, replicas_);
 
-      Version newest{0};
-      Bytes size = kDefaultObjectSize;
-      std::unordered_set<ServerId> fresh_active;
-      for (ServerId s : holders) {
-        const auto obj = cluster_->server(s).get(oid);
-        if (obj.has_value() && obj->header.version > newest) {
-          newest = obj->header.version;
-          size = obj->size;
-        }
+  Bytes pending = 0;
+  for (std::size_t i = 0; i < actionable_oids.size(); ++i) {
+    const ObjectId oid = actionable_oids[i];
+    const std::vector<ServerId> holders = cluster_->locate(oid);
+    if (holders.empty()) continue;
+    const auto& placed = placements[i];
+    if (!placed.ok()) continue;
+
+    Version newest{0};
+    Bytes size = kDefaultObjectSize;
+    std::unordered_set<ServerId> fresh_active;
+    for (ServerId s : holders) {
+      const auto obj = cluster_->server(s).get(oid);
+      if (obj.has_value() && obj->header.version > newest) {
+        newest = obj->header.version;
+        size = obj->size;
       }
-      for (ServerId s : holders) {
-        const auto obj = cluster_->server(s).get(oid);
-        if (obj.has_value() && obj->header.version == newest &&
-            view.is_active(s)) {
-          fresh_active.insert(s);
-        }
+    }
+    for (ServerId s : holders) {
+      const auto obj = cluster_->server(s).get(oid);
+      if (obj.has_value() && obj->header.version == newest &&
+          index->is_active(s)) {
+        fresh_active.insert(s);
       }
-      for (ServerId t : placed.value().servers) {
-        if (!fresh_active.contains(t)) pending += size;
-      }
+    }
+    for (ServerId t : placed.value().servers) {
+      if (!fresh_active.contains(t)) pending += size;
     }
   }
   return pending;

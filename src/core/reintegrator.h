@@ -31,6 +31,7 @@
 #include "common/types.h"
 #include "core/dirty_table.h"
 #include "core/placement.h"
+#include "core/placement_index.h"
 #include "hashring/hash_ring.h"
 #include "store/object_store.h"
 
@@ -81,6 +82,10 @@ class Reintegrator {
   ObjectStoreCluster* cluster_;
   std::uint32_t replicas_;
   Version last_seen_version_{0};  // Algorithm 2's Last_Ver
+  // Epoch-pinned placement index for last_seen_version_; Algorithm 2
+  // restarts the scan on every version change, which is exactly when this
+  // is rebuilt, so every entry in one scan places against one snapshot.
+  std::shared_ptr<const PlacementIndex> index_;
 };
 
 }  // namespace ech

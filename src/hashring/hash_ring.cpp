@@ -1,7 +1,6 @@
 #include "hashring/hash_ring.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace ech {
 namespace {
@@ -21,7 +20,7 @@ Status HashRing::add_server(ServerId server, std::uint32_t weight) {
     return {StatusCode::kAlreadyExists,
             "server " + std::to_string(server.value) + " already on ring"};
   }
-  insert_vnodes(server, weight);
+  insert_vnodes(server, 0, weight);
   weights_.emplace(server, weight);
   return Status::ok();
 }
@@ -35,6 +34,11 @@ Status HashRing::remove_server(ServerId server) {
   std::erase_if(vnodes_,
                 [server](const VirtualNode& v) { return v.server == server; });
   weights_.erase(it);
+  // Large drops (a high-weight server leaving) can strand most of the
+  // reserved capacity; give it back once the slack dominates the payload.
+  if (vnodes_.capacity() > 2 * vnodes_.size() + 64) {
+    vnodes_.shrink_to_fit();
+  }
   return Status::ok();
 }
 
@@ -47,10 +51,16 @@ Status HashRing::set_weight(ServerId server, std::uint32_t weight) {
     return {StatusCode::kNotFound,
             "server " + std::to_string(server.value) + " not on ring"};
   }
-  if (it->second == weight) return Status::ok();
-  std::erase_if(vnodes_,
-                [server](const VirtualNode& v) { return v.server == server; });
-  insert_vnodes(server, weight);
+  const std::uint32_t old = it->second;
+  if (old == weight) return Status::ok();
+  // vnode_position(server, i) is a pure function of (server, i): indices
+  // below min(old, new) sit at unchanged positions, so only the differing
+  // tail moves.
+  if (weight > old) {
+    insert_vnodes(server, old, weight);
+  } else {
+    erase_vnodes(server, weight, old);
+  }
   it->second = weight;
   return Status::ok();
 }
@@ -60,12 +70,47 @@ std::uint32_t HashRing::weight_of(ServerId server) const {
   return it == weights_.end() ? 0 : it->second;
 }
 
-void HashRing::insert_vnodes(ServerId server, std::uint32_t weight) {
-  vnodes_.reserve(vnodes_.size() + weight);
-  for (std::uint32_t i = 0; i < weight; ++i) {
+void HashRing::insert_vnodes(ServerId server, std::uint32_t from,
+                             std::uint32_t to) {
+  const std::size_t old_size = vnodes_.size();
+  vnodes_.reserve(old_size + (to - from));
+  for (std::uint32_t i = from; i < to; ++i) {
     vnodes_.push_back(VirtualNode{vnode_position(server, i), server});
   }
-  std::sort(vnodes_.begin(), vnodes_.end(), vnode_less);
+  // Sort just the fresh tail, then merge: O(V + w log w) instead of the
+  // O(V log V) full re-sort on every membership/weight change.
+  std::sort(vnodes_.begin() + static_cast<std::ptrdiff_t>(old_size),
+            vnodes_.end(), vnode_less);
+  std::inplace_merge(vnodes_.begin(),
+                     vnodes_.begin() + static_cast<std::ptrdiff_t>(old_size),
+                     vnodes_.end(), vnode_less);
+}
+
+void HashRing::erase_vnodes(ServerId server, std::uint32_t from,
+                            std::uint32_t to) {
+  std::vector<RingPosition> drop;
+  drop.reserve(to - from);
+  for (std::uint32_t i = from; i < to; ++i) {
+    drop.push_back(vnode_position(server, i));
+  }
+  std::sort(drop.begin(), drop.end());
+  // Positions can collide across a server's own indices (astronomically
+  // unlikely, but cheap to be exact about): each drop entry removes at
+  // most one vnode.
+  std::vector<bool> used(drop.size(), false);
+  std::erase_if(vnodes_, [&](const VirtualNode& v) {
+    if (v.server != server) return false;
+    const auto [lo, hi] =
+        std::equal_range(drop.begin(), drop.end(), v.position);
+    for (auto it = lo; it != hi; ++it) {
+      const auto k = static_cast<std::size_t>(it - drop.begin());
+      if (!used[k]) {
+        used[k] = true;
+        return true;
+      }
+    }
+    return false;
+  });
 }
 
 std::size_t HashRing::successor_index(RingPosition pos) const {
@@ -82,50 +127,6 @@ std::size_t HashRing::successor_index(RingPosition pos) const {
 std::optional<ServerId> HashRing::successor(RingPosition pos) const {
   if (vnodes_.empty()) return std::nullopt;
   return vnodes_[successor_index(pos)].server;
-}
-
-std::optional<ServerId> HashRing::next_server(
-    RingPosition pos, const std::function<bool(ServerId)>& accept) const {
-  const auto hit = next_server_at(pos, accept);
-  if (!hit.has_value()) return std::nullopt;
-  return hit->server;
-}
-
-std::optional<HashRing::WalkHit> HashRing::next_server_at(
-    RingPosition pos, const std::function<bool(ServerId)>& accept) const {
-  if (vnodes_.empty()) return std::nullopt;
-  std::unordered_set<ServerId> seen;
-  std::size_t idx = successor_index(pos);
-  for (std::size_t steps = 0; steps < vnodes_.size(); ++steps) {
-    const VirtualNode& v = vnodes_[idx];
-    if (seen.insert(v.server).second) {
-      if (!accept || accept(v.server)) {
-        return WalkHit{v.server, v.position};
-      }
-      if (seen.size() == weights_.size()) break;  // every server rejected
-    }
-    idx = (idx + 1) % vnodes_.size();
-  }
-  return std::nullopt;
-}
-
-std::vector<ServerId> HashRing::successors(
-    RingPosition pos, std::size_t count,
-    const std::function<bool(ServerId)>& accept) const {
-  std::vector<ServerId> out;
-  if (vnodes_.empty() || count == 0) return out;
-  out.reserve(count);
-  std::unordered_set<ServerId> seen;
-  std::size_t idx = successor_index(pos);
-  for (std::size_t steps = 0; steps < vnodes_.size() && out.size() < count;
-       ++steps) {
-    const ServerId s = vnodes_[idx].server;
-    if (seen.insert(s).second && (!accept || accept(s))) {
-      out.push_back(s);
-    }
-    idx = (idx + 1) % vnodes_.size();
-  }
-  return out;
 }
 
 std::unordered_map<ServerId, double> HashRing::ownership() const {

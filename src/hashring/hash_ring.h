@@ -10,13 +10,18 @@
 // The ring supports *filtered* walks — "next server along the ring that
 // satisfies a predicate, excluding servers already chosen" — which is the
 // primitive the paper's Algorithm 1 (primary-server placement) needs for its
-// skip-primary / skip-secondary / skip-inactive rules.
+// skip-primary / skip-secondary / skip-inactive rules.  The walks are
+// templated on the predicate so a caller's lambda is inlined into the scan
+// (no std::function dispatch per visited vnode); pass nullptr to accept
+// every server.  For the per-request hot path prefer core/placement_index.h,
+// which flattens a whole membership snapshot into branch-on-bitmask scans.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -47,7 +52,10 @@ class HashRing {
   /// Remove a server and all its virtual nodes.
   Status remove_server(ServerId server);
 
-  /// Replace a server's weight (removes + re-adds its virtual nodes).
+  /// Replace a server's weight.  Virtual-node positions depend only on
+  /// (server, vnode index), so growing merges just the new vnodes in and
+  /// shrinking erases just the dropped tail — O(V + Δw log Δw), never a
+  /// full rebuild.
   Status set_weight(ServerId server, std::uint32_t weight);
 
   [[nodiscard]] bool contains(ServerId server) const {
@@ -62,12 +70,6 @@ class HashRing {
   /// (clockwise successor, wrapping).  nullopt on an empty ring.
   [[nodiscard]] std::optional<ServerId> successor(RingPosition pos) const;
 
-  /// First server clockwise from `pos` for which `accept` returns true.
-  /// Visits each *physical* server at most once per lap; returns nullopt if
-  /// no server qualifies.
-  [[nodiscard]] std::optional<ServerId> next_server(
-      RingPosition pos, const std::function<bool(ServerId)>& accept) const;
-
   /// A filtered walk hit: the accepted server plus the ring position of the
   /// virtual node where it was found, so multi-replica walks can *continue*
   /// clockwise from there (Algorithm 1 keeps walking the ring).
@@ -77,27 +79,121 @@ class HashRing {
   };
 
   /// Like next_server, but also reports where the walk stopped.
-  [[nodiscard]] std::optional<WalkHit> next_server_at(
-      RingPosition pos, const std::function<bool(ServerId)>& accept) const;
+  template <class Accept>
+  [[nodiscard]] std::optional<WalkHit> next_server_at(RingPosition pos,
+                                                      Accept&& accept) const {
+    if (vnodes_.empty()) return std::nullopt;
+    VisitedServers seen;
+    std::size_t idx = successor_index(pos);
+    for (std::size_t steps = 0; steps < vnodes_.size(); ++steps) {
+      const VirtualNode& v = vnodes_[idx];
+      if (seen.insert(v.server)) {
+        if (accept_server(accept, v.server)) {
+          return WalkHit{v.server, v.position};
+        }
+        if (seen.size() == weights_.size()) break;  // every server rejected
+      }
+      ++idx;
+      if (idx == vnodes_.size()) idx = 0;
+    }
+    return std::nullopt;
+  }
+
+  /// First server clockwise from `pos` for which `accept` returns true.
+  /// Visits each *physical* server at most once per lap; returns nullopt if
+  /// no server qualifies.
+  template <class Accept>
+  [[nodiscard]] std::optional<ServerId> next_server(RingPosition pos,
+                                                    Accept&& accept) const {
+    const auto hit = next_server_at(pos, accept);
+    if (!hit.has_value()) return std::nullopt;
+    return hit->server;
+  }
 
   /// Up to `count` *distinct* physical servers clockwise from `pos` (the
   /// original consistent-hashing replica rule).  Optionally filtered.
+  template <class Accept = std::nullptr_t>
   [[nodiscard]] std::vector<ServerId> successors(
-      RingPosition pos, std::size_t count,
-      const std::function<bool(ServerId)>& accept = nullptr) const;
+      RingPosition pos, std::size_t count, Accept&& accept = nullptr) const {
+    std::vector<ServerId> out;
+    if (vnodes_.empty() || count == 0) return out;
+    out.reserve(count);
+    VisitedServers seen;
+    std::size_t idx = successor_index(pos);
+    for (std::size_t steps = 0; steps < vnodes_.size() && out.size() < count;
+         ++steps) {
+      const ServerId s = vnodes_[idx].server;
+      if (seen.insert(s) && accept_server(accept, s)) {
+        out.push_back(s);
+      }
+      ++idx;
+      if (idx == vnodes_.size()) idx = 0;
+    }
+    return out;
+  }
 
   /// Fraction of the ring owned by each server (sums to 1 on a non-empty
   /// ring).  Ownership of a virtual node is the arc from its predecessor.
   [[nodiscard]] std::unordered_map<ServerId, double> ownership() const;
 
-  /// Read-only view of the sorted virtual node array (for tests/tools).
+  /// Read-only view of the sorted virtual node array (for tests/tools and
+  /// for flattening into a PlacementIndex).
   [[nodiscard]] std::span<const VirtualNode> vnodes() const { return vnodes_; }
 
   /// All servers currently on the ring (unordered).
   [[nodiscard]] std::vector<ServerId> servers() const;
 
  private:
-  void insert_vnodes(ServerId server, std::uint32_t weight);
+  /// Walks visit each physical server at most once; server counts top out
+  /// in the hundreds, so an inline linear-scan list beats a heap-allocated
+  /// hash set on every lookup.  Overflows past the inline capacity spill to
+  /// a vector (correct, merely slower).
+  class VisitedServers {
+   public:
+    /// True if `s` was not seen before (and records it).
+    bool insert(ServerId s) {
+      const std::uint32_t v = s.value;
+      const std::size_t inlined = std::min(size_, kInline);
+      for (std::size_t i = 0; i < inlined; ++i) {
+        if (inline_[i] == v) return false;
+      }
+      for (const std::uint32_t o : overflow_) {
+        if (o == v) return false;
+      }
+      if (size_ < kInline) {
+        inline_[size_] = v;
+      } else {
+        overflow_.push_back(v);
+      }
+      ++size_;
+      return true;
+    }
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+   private:
+    static constexpr std::size_t kInline = 128;
+    std::array<std::uint32_t, kInline> inline_;  // first size_ entries valid
+    std::vector<std::uint32_t> overflow_;
+    std::size_t size_{0};
+  };
+
+  /// nullptr (or an empty std::function) accepts everything.
+  template <class Accept>
+  [[nodiscard]] static bool accept_server(const Accept& accept, ServerId s) {
+    if constexpr (std::is_same_v<std::remove_cvref_t<Accept>,
+                                 std::nullptr_t>) {
+      return true;
+    } else if constexpr (std::is_constructible_v<bool, const Accept&>) {
+      return static_cast<bool>(accept) ? accept(s) : true;
+    } else {
+      return accept(s);
+    }
+  }
+
+  /// Merge `server`'s vnodes for indices [from, to) into the sorted array.
+  void insert_vnodes(ServerId server, std::uint32_t from, std::uint32_t to);
+  /// Erase `server`'s vnodes for indices [from, to).
+  void erase_vnodes(ServerId server, std::uint32_t from, std::uint32_t to);
   /// Index of the first vnode at or after pos (mod size).
   [[nodiscard]] std::size_t successor_index(RingPosition pos) const;
 

