@@ -5,18 +5,32 @@
 //   * selective    — ECH with rate-limited selective re-integration.
 // The selective store recovers full throughput right after phase 2 ends;
 // the original store's throughput rise is delayed by migration traffic.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "common/csv.h"
 #include "core/elastic_cluster.h"
 #include "core/original_ch_cluster.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "sim/cluster_sim.h"
 #include "workload/three_phase.h"
 
 namespace {
 
 using namespace ech;
+
+constexpr double kMiBf = 1024.0 * 1024.0;
+
+/// One run's series, built by snapshotting the MetricsRegistry every tick
+/// (the ground truth) with the legacy TickSamples kept for cross-checking.
+struct RunResult {
+  std::vector<TickSample> samples;     // legacy accumulators
+  std::vector<double> metric_mbps;     // from ech_sim_client_bytes_total
+  std::vector<std::string> phases;
+  double metric_migration_bytes{0.0};  // ech_sim_migration_bytes_total
+};
 
 SimConfig sim_config(double migration_limit_mbps) {
   SimConfig config;
@@ -28,48 +42,95 @@ SimConfig sim_config(double migration_limit_mbps) {
   return config;
 }
 
-std::vector<TickSample> run_ech(bool resizing, double limit, double scale) {
+/// Drive the sim and rebuild the throughput series from registry
+/// snapshots: per-tick MB/s is the delta of the client-bytes counter.
+RunResult run_instrumented(StorageSystem& system, SimConfig config,
+                           obs::MetricsRegistry& registry,
+                           obs::ManualClock& clock, double scale,
+                           bool resizing) {
+  config.metrics = &registry;
+  config.clock = &clock;
+  ClusterSim sim(system, config);
+
+  RunResult out;
+  std::uint64_t prev_client = 0;
+  sim.set_tick_observer([&](const TickSample& sample) {
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    const auto* client = obs::find_sample(snap, "ech_sim_client_bytes_total");
+    const auto* migration =
+        obs::find_sample(snap, "ech_sim_migration_bytes_total");
+    const std::uint64_t total =
+        client != nullptr ? static_cast<std::uint64_t>(client->value) : 0;
+    out.metric_mbps.push_back(static_cast<double>(total - prev_client) /
+                              kMiBf / config.tick_seconds);
+    prev_client = total;
+    out.metric_migration_bytes =
+        migration != nullptr ? migration->value : 0.0;
+    out.phases.push_back(sample.phase);
+  });
+
+  ThreePhaseParams params;
+  params.scale = scale;
+  out.samples = sim.run(make_three_phase_workload(params, resizing), 1800.0);
+  return out;
+}
+
+RunResult run_ech(bool resizing, double limit, double scale,
+                  obs::MetricsRegistry& registry, obs::ManualClock& clock) {
   ElasticClusterConfig config;
   config.server_count = 10;
   config.replicas = 2;
   config.reintegration = ReintegrationMode::kSelective;
+  config.metrics = &registry;
+  config.clock = &clock;
   auto system = std::move(ElasticCluster::create(config)).value();
-  ClusterSim sim(*system, sim_config(limit));
-  ThreePhaseParams params;
-  params.scale = scale;
-  return sim.run(make_three_phase_workload(params, resizing), 1800.0);
+  return run_instrumented(*system, sim_config(limit), registry, clock, scale,
+                          resizing);
 }
 
-std::vector<TickSample> run_original(double scale) {
+RunResult run_original(double scale, obs::MetricsRegistry& registry,
+                       obs::ManualClock& clock) {
   OriginalChConfig config;
   config.server_count = 10;
   config.replicas = 2;
   auto system = std::move(OriginalChCluster::create(config)).value();
-  ClusterSim sim(*system, sim_config(0.0));
-  ThreePhaseParams params;
-  params.scale = scale;
-  return sim.run(make_three_phase_workload(params, true), 1800.0);
+  return run_instrumented(*system, sim_config(0.0), registry, clock, scale,
+                          true);
 }
 
-double phase3_plateau(const std::vector<TickSample>& samples) {
+double phase3_plateau(const RunResult& run) {
   double peak = 0.0;
-  for (const auto& s : samples) {
-    if (s.phase == "phase3-mixed") peak = std::max(peak, s.client_mbps);
+  for (std::size_t i = 0; i < run.metric_mbps.size(); ++i) {
+    if (run.phases[i] == "phase3-mixed") {
+      peak = std::max(peak, run.metric_mbps[i]);
+    }
   }
   return peak;
 }
 
-double recovery_time(const std::vector<TickSample>& samples, double plateau) {
+double recovery_time(const RunResult& run, double plateau) {
   // Seconds from phase-3 start until client throughput first reaches 90%
   // of the steady run's phase-3 plateau.
   double start = -1.0;
-  for (const auto& s : samples) {
-    if (start < 0.0 && s.phase == "phase3-mixed") start = s.time_s;
-    if (start >= 0.0 && s.client_mbps >= 0.9 * plateau) {
-      return s.time_s - start;
+  for (std::size_t i = 0; i < run.metric_mbps.size(); ++i) {
+    const double t = run.samples[i].time_s;
+    if (start < 0.0 && run.phases[i] == "phase3-mixed") start = t;
+    if (start >= 0.0 && run.metric_mbps[i] >= 0.9 * plateau) {
+      return t - start;
     }
   }
   return -1.0;
+}
+
+/// Max |registry-derived − legacy-accumulator| MB/s across the run: the
+/// acceptance check that the metric series reproduces the old curve.
+double series_divergence(const RunResult& run) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < run.samples.size(); ++i) {
+    worst =
+        std::max(worst, std::abs(run.metric_mbps[i] - run.samples[i].client_mbps));
+  }
+  return worst;
 }
 
 }  // namespace
@@ -84,24 +145,36 @@ int main(int argc, char** argv) {
       "selective re-integration rate limit: 40 MB/s; workload scale %.2f\n\n",
       scale);
 
-  const auto selective = run_ech(true, 40.0, scale);
-  const auto original = run_original(scale);
-  const auto steady = run_ech(false, 0.0, scale);
+  // Each run reports into a private registry (and virtual clock) so its
+  // counters are a clean per-run series.
+  obs::MetricsRegistry sel_reg, orig_reg, steady_reg;
+  obs::ManualClock sel_clock, orig_clock, steady_clock;
+  const auto selective = run_ech(true, 40.0, scale, sel_reg, sel_clock);
+  const auto original = run_original(scale, orig_reg, orig_clock);
+  const auto steady = run_ech(false, 0.0, scale, steady_reg, steady_clock);
+
+  const double divergence = std::max({series_divergence(selective),
+                                      series_divergence(original),
+                                      series_divergence(steady)});
+  std::printf(
+      "registry-vs-accumulator series check: max divergence %.4f MB/s %s\n\n",
+      divergence, divergence < 0.01 ? "(match)" : "(MISMATCH)");
 
   CsvWriter csv(opts.csv_path, {"time_s", "selective_mbps", "original_mbps",
                                 "no_resizing_mbps"});
   ech::bench::print_row(
       {"time(s)", "selective", "original", "no-resize", "phase"});
-  const std::size_t rows =
-      std::max({selective.size(), original.size(), steady.size()});
+  const std::size_t rows = std::max({selective.metric_mbps.size(),
+                                     original.metric_mbps.size(),
+                                     steady.metric_mbps.size()});
   for (std::size_t i = 0; i < rows; i += 10) {
-    const auto pick = [&](const std::vector<TickSample>& v) {
-      return i < v.size() ? v[i].client_mbps : 0.0;
+    const auto pick = [&](const RunResult& r) {
+      return i < r.metric_mbps.size() ? r.metric_mbps[i] : 0.0;
     };
     const double t = 0.5 * static_cast<double>(i);
     const std::string phase =
-        i < selective.size() && !selective[i].phase.empty()
-            ? selective[i].phase
+        i < selective.phases.size() && !selective.phases[i].empty()
+            ? selective.phases[i]
             : "-";
     ech::bench::print_row({ech::fmt_double(t, 0),
                            ech::fmt_double(pick(selective), 1),
@@ -110,10 +183,8 @@ int main(int argc, char** argv) {
     csv.row_numeric({t, pick(selective), pick(original), pick(steady)});
   }
 
-  const auto total_migration = [](const std::vector<TickSample>& v) {
-    double mib = 0.0;
-    for (const auto& s : v) mib += s.migration_mbps * 0.5;
-    return mib;
+  const auto total_migration = [](const RunResult& r) {
+    return r.metric_migration_bytes / kMiBf;  // MiB, from the counter
   };
   const double plateau = phase3_plateau(steady);
   std::printf(

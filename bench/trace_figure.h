@@ -10,6 +10,7 @@
 #include "bench_common.h"
 #include "cluster/layout.h"
 #include "common/csv.h"
+#include "obs/metrics.h"
 #include "policy/elasticity_sim.h"
 #include "workload/trace_synth.h"
 
@@ -50,7 +51,11 @@ inline void run_trace_figure(const TraceSpec& spec,
           : config.per_server_bw * fig.data_seconds_per_server;
   config.migration_share = 0.5;
   config.selective_limit = fig.selective_limit;
-  const ElasticitySimulator sim(config);
+  // Per-figure registry: each scheme's replay publishes {scheme=...}-labeled
+  // instruments, and the plotted series is read back from those gauges.
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  ElasticitySimulator sim(config);
 
   // Find an eventful window: the busiest contiguous stretch.
   std::size_t start = fig.window_start_steps;
@@ -70,12 +75,34 @@ inline void run_trace_figure(const TraceSpec& spec,
   }
   const LoadSeries window = full.window(start, fig.window_steps);
 
-  const SchemeResult ideal = sim.simulate(window, ResizeScheme::kIdeal);
-  const SchemeResult orig = sim.simulate(window, ResizeScheme::kOriginalCH);
-  const SchemeResult pfull =
-      sim.simulate(window, ResizeScheme::kPrimaryFull);
-  const SchemeResult psel =
-      sim.simulate(window, ResizeScheme::kPrimarySelective);
+  // Replay a scheme and rebuild its server series from the registry: the
+  // per-step observer reads the {scheme=...} gauge the simulator just set.
+  // The SchemeResult's own vector is kept only to cross-check the two.
+  bool series_match = true;
+  const auto replay = [&](ResizeScheme scheme) {
+    const obs::Labels labels{{"scheme", to_string(scheme)}};
+    const obs::Gauge& gauge = registry.gauge("ech_policy_servers", labels);
+    std::vector<std::uint32_t> metric_servers;
+    sim.set_step_observer([&](std::size_t, const std::string&) {
+      metric_servers.push_back(static_cast<std::uint32_t>(gauge.value()));
+    });
+    SchemeResult r = sim.simulate(window, scheme);
+    sim.set_step_observer({});
+    if (metric_servers != r.servers) series_match = false;
+    r.servers = std::move(metric_servers);
+    const auto* hours =
+        obs::find_sample(registry.snapshot(), "ech_policy_machine_hours",
+                         labels);
+    if (hours != nullptr) r.machine_hours = hours->value;
+    return r;
+  };
+
+  const SchemeResult ideal = replay(ResizeScheme::kIdeal);
+  const SchemeResult orig = replay(ResizeScheme::kOriginalCH);
+  const SchemeResult pfull = replay(ResizeScheme::kPrimaryFull);
+  const SchemeResult psel = replay(ResizeScheme::kPrimarySelective);
+  std::printf("registry-vs-accumulator series check: %s\n",
+              series_match ? "match" : "MISMATCH");
 
   std::printf(
       "\ncluster: %u servers, per-server bw %.1f MB/s, window = steps "

@@ -17,17 +17,23 @@
 //   dirty                       dirty-table summary
 //   layout                      per-server object counts
 //   kv <redis command...>       raw access to the dirty-table KV store
+//   metrics dump|json|watch     registry snapshot (Prometheus text, JSON,
+//                               or a refreshing key-metric view)
 //   help / quit
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/log.h"
 #include "core/elastic_cluster.h"
 #include "kvstore/command.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -66,6 +72,47 @@ void print_layout(const ElasticCluster& c) {
   }
 }
 
+void metrics_watch_frame(const ElasticCluster& c) {
+  // One compact frame of the headline metrics.
+  const obs::MetricsSnapshot snap = c.metrics_registry().snapshot();
+  static const char* kNames[] = {
+      "ech_active_servers",         "ech_placement_lookups_total",
+      "ech_epoch_publishes_total",  "ech_offloaded_writes_total",
+      "ech_dirty_entries",          "ech_reintegration_bytes_total",
+      "ech_repair_bytes_total",     "ech_store_bytes",
+  };
+  for (const char* name : kNames) {
+    if (const auto* s = obs::find_sample(snap, name)) {
+      std::printf("  %-34s %.0f\n", name, s->value);
+    }
+  }
+}
+
+void handle_metrics(const ElasticCluster& c, const std::string& sub) {
+  if (sub == "dump" || sub.empty()) {
+    std::fputs(obs::to_prometheus(c.metrics_registry().snapshot()).c_str(),
+               stdout);
+  } else if (sub == "json") {
+    std::fputs(obs::to_json(c.metrics_registry().snapshot(),
+                            obs::JsonContext{"echctl", ""})
+                   .c_str(),
+               stdout);
+  } else if (sub == "watch") {
+    // Interactive sessions refresh a few frames; scripted stdin would
+    // block forever, so keep it bounded instead of looping until ^C.
+    for (int frame = 0; frame < 5; ++frame) {
+      std::printf("-- metrics (frame %d/5) --\n", frame + 1);
+      metrics_watch_frame(c);
+      std::fflush(stdout);
+      if (frame + 1 < 5) {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    }
+  } else {
+    std::printf("usage: metrics [dump|json|watch]\n");
+  }
+}
+
 bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
   std::istringstream ss(line);
   std::string cmd;
@@ -76,7 +123,8 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
     std::printf(
         "status | write <oid> [count] | read <oid> | placement <oid> |\n"
         "resize <n> | maintain [mib] | fail <id> | recover <id> |\n"
-        "repair [mib] | dirty | layout | kv <command...> | quit\n");
+        "repair [mib] | dirty | layout | kv <command...> |\n"
+        "metrics [dump|json|watch] | quit\n");
   } else if (cmd == "status") {
     print_status(c);
   } else if (cmd == "layout") {
@@ -156,6 +204,10 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
                 fmt_bytes(static_cast<long long>(
                               c.dirty_table().memory_usage_bytes()))
                     .c_str());
+  } else if (cmd == "metrics") {
+    std::string sub;
+    ss >> sub;
+    handle_metrics(c, sub);
   } else if (cmd == "kv") {
     std::string rest;
     std::getline(ss, rest);
@@ -171,7 +223,12 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
 
 int main(int argc, char** argv) {
   Logger::instance().set_level(LogLevel::kError);
+  // Private registry (instead of the process default) so `metrics dump`
+  // shows exactly this cluster.  Must outlive the cluster: callback gauges
+  // deregister from it on cluster destruction.
+  static obs::MetricsRegistry registry;
   ElasticClusterConfig config;
+  config.metrics = &registry;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "-n") == 0) {
       config.server_count = static_cast<std::uint32_t>(atoi(argv[i + 1]));

@@ -1,8 +1,31 @@
 #include "common/log.h"
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace ech {
+namespace {
+
+// Monotonic seconds since the first log line; pairs with obs trace-event
+// timestamps (both are steady_clock) so log lines and spans correlate.
+double uptime_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Small dense per-process thread number (1, 2, ...) — readable in logs,
+// unlike the hashed std::thread::id.
+unsigned thread_number() {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -21,7 +44,8 @@ void Logger::write(LogLevel level, const std::string& component,
     case LogLevel::kOff: return;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  std::fprintf(stderr, "[%s %s] %s\n", tag, component.c_str(), message.c_str());
+  std::fprintf(stderr, "[%11.6f %s t%u %s] %s\n", uptime_seconds(), tag,
+               thread_number(), component.c_str(), message.c_str());
 }
 
 }  // namespace ech

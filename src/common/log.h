@@ -5,6 +5,7 @@
 // Warn so figure output stays clean.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -17,11 +18,19 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  // The level is read on every ECH_LOG site from any thread while tests
+  // and benches set it from another; relaxed atomics make that race-free
+  // (a momentarily stale level only delays filtering by one line).
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return level >= level_ && level_ != LogLevel::kOff;
+    const LogLevel current = level_.load(std::memory_order_relaxed);
+    return level >= current && current != LogLevel::kOff;
   }
 
   void write(LogLevel level, const std::string& component,
@@ -29,7 +38,7 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_{LogLevel::kWarn};
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mutex_;
 };
 

@@ -55,13 +55,17 @@ class ConcurrentElasticCluster {
     return inner_->remove_object(oid);
   }
   /// Lock-free: pins the current epoch's index and runs Algorithm 1 on it.
+  /// The lookup counter is a sharded-cell relaxed add — no contention and
+  /// no registry lock on this path.
   [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const {
+    lookups_->inc();
     return pinned_index()->place(oid, replicas_);
   }
   /// Lock-free batch lookup; every oid is placed against ONE pinned epoch
   /// (a resize in between cannot split the batch across versions).
   [[nodiscard]] std::vector<Expected<Placement>> place_many(
       std::span<const ObjectId> oids) const {
+    lookups_->add(oids.size());
     return pinned_index()->place_many(oids, replicas_);
   }
 
@@ -139,7 +143,11 @@ class ConcurrentElasticCluster {
 
  private:
   explicit ConcurrentElasticCluster(std::unique_ptr<ElasticCluster> inner)
-      : inner_(std::move(inner)), replicas_(inner_->config().replicas) {
+      : inner_(std::move(inner)),
+        replicas_(inner_->config().replicas),
+        lookups_(&inner_->metrics_registry().counter(
+            "ech_placement_lookups_total", {},
+            "Placement lookups served by the pinned index")) {
     index_.store(inner_->placement_index(), std::memory_order_release);
   }
 
@@ -153,6 +161,7 @@ class ConcurrentElasticCluster {
   std::unique_ptr<ElasticCluster> inner_;
   std::atomic<std::shared_ptr<const PlacementIndex>> index_;
   std::uint32_t replicas_;
+  obs::Counter* lookups_;  // same instrument the inner facade bumps
 };
 
 }  // namespace ech

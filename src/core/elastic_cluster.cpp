@@ -10,6 +10,9 @@ namespace ech {
 ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
                                std::uint32_t primary_count)
     : config_(config),
+      metrics_(&obs::registry_or_default(config.metrics)),
+      clock_(&obs::clock_or_default(config.clock)),
+      tracer_(config.tracer),
       chain_(ExpansionChain::identity(config.server_count, primary_count)),
       store_(config.capacity_by_rank.empty()
                  ? ObjectStoreCluster(config.server_count,
@@ -18,8 +21,46 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
       kv_(config.kv_shards),
       dirty_(kv_, config.dirty_dedupe),
       reintegrator_(dirty_, history_, chain_, ring_, store_,
-                    config.replicas),
+                    config.replicas, config.metrics, config.clock),
       prefix_target_(config.server_count) {
+  obs::MetricsRegistry& reg = *metrics_;
+  ins_.lookups = &reg.counter("ech_placement_lookups_total", {},
+                              "Placement lookups served by the pinned index");
+  ins_.epoch_publishes = &reg.counter("ech_epoch_publishes_total", {},
+                                      "PlacementIndex epoch publications");
+  ins_.rebuild_ns = &reg.histogram("ech_index_rebuild_ns", {},
+                                   "PlacementIndex rebuild duration");
+  ins_.offloaded_writes =
+      &reg.counter("ech_offloaded_writes_total", {},
+                   "Writes landed while the cluster was below full power");
+  ins_.resize_events = &reg.counter("ech_resize_events_total", {},
+                                    "Accepted membership resizes");
+  ins_.maintenance_bytes =
+      &reg.counter("ech_maintenance_bytes_total", {},
+                   "Bytes moved by maintenance (selective or full sweep)");
+  ins_.repair_bytes = &reg.counter("ech_repair_bytes_total", {},
+                                   "Bytes moved re-replicating failed data");
+  gauge_guards_.push_back(reg.gauge_callback(
+      "ech_dirty_entries", {},
+      [this] { return static_cast<double>(dirty_.size()); },
+      "Dirty-table entries awaiting re-integration"));
+  gauge_guards_.push_back(reg.gauge_callback(
+      "ech_dirty_resident_bytes", {},
+      [this] { return static_cast<double>(dirty_.memory_usage_bytes()); },
+      "Resident bytes of the KV store backing the dirty table"));
+  gauge_guards_.push_back(reg.gauge_callback(
+      "ech_store_bytes", {},
+      [this] { return static_cast<double>(store_.total_bytes()); },
+      "Bytes stored across all object servers"));
+  gauge_guards_.push_back(reg.gauge_callback(
+      "ech_store_replica_puts", {},
+      [this] { return static_cast<double>(store_.total_puts()); },
+      "Cumulative replica puts across all storage servers"));
+  gauge_guards_.push_back(reg.gauge_callback(
+      "ech_active_servers", {},
+      [this] { return static_cast<double>(active_count()); },
+      "Servers active under the current membership"));
+
   for (std::uint32_t rank = 1; rank <= config.server_count; ++rank) {
     std::uint32_t w;
     if (config.layout == LayoutKind::kUniform) {
@@ -38,7 +79,15 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
 }
 
 void ElasticCluster::publish_index() {
+  const std::uint64_t t0 = clock_->now_ns();
   index_ = PlacementIndex::build(current_view(), history_.current_version());
+  const std::uint64_t t1 = clock_->now_ns();
+  ins_.rebuild_ns->observe(t1 - t0);
+  ins_.epoch_publishes->inc();
+  if (tracer_ != nullptr) {
+    tracer_->record("publish_index", t0, t1,
+                    history_.current_version().value);
+  }
 }
 
 Expected<std::unique_ptr<ElasticCluster>> ElasticCluster::create(
@@ -106,6 +155,7 @@ Status ElasticCluster::write_object(ObjectId oid, Bytes size) {
   // reconciled by re-integration (selective) or the sweep (full).
   if (!full_power) {
     (void)dirty_.insert(oid, curr);
+    ins_.offloaded_writes->inc();
   }
   return Status::ok();
 }
@@ -164,6 +214,7 @@ Status ElasticCluster::request_resize(std::uint32_t target) {
   const bool growing = next.active_count() > current;
   history_.append(next);
   publish_index();
+  ins_.resize_events->inc();
 
   if (growing && config_.reintegration == ReintegrationMode::kFull) {
     // Sheepdog-style blind rejoin: returning servers are treated as empty,
@@ -201,6 +252,8 @@ Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
   if (byte_budget <= 0) return 0;
   if (config_.reintegration == ReintegrationMode::kSelective) {
     const ReintegrationStats stats = reintegrator_.step(byte_budget);
+    ins_.maintenance_bytes->add(
+        static_cast<std::uint64_t>(stats.bytes_migrated));
     return stats.bytes_migrated;
   }
   // kFull: reconcile every object against current placement.  The sweep
@@ -223,6 +276,7 @@ Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
     // Sweep complete at full power: nothing is dirty any more.
     dirty_.clear();
   }
+  ins_.maintenance_bytes->add(static_cast<std::uint64_t>(spent));
   return spent;
 }
 
@@ -270,11 +324,13 @@ Bytes ElasticCluster::pending_maintenance_bytes() const {
 }
 
 Expected<Placement> ElasticCluster::placement_of(ObjectId oid) const {
+  ins_.lookups->inc();
   return index_->place(oid, config_.replicas);
 }
 
 std::vector<Expected<Placement>> ElasticCluster::place_many(
     std::span<const ObjectId> oids) const {
+  ins_.lookups->add(oids.size());
   return index_->place_many(oids, config_.replicas);
 }
 
@@ -372,6 +428,7 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
     repair_queue_.clear();
     repair_cursor_ = 0;
   }
+  ins_.repair_bytes->add(static_cast<std::uint64_t>(spent));
   return spent;
 }
 

@@ -31,6 +31,9 @@
 #include "core/storage_system.h"
 #include "hashring/hash_ring.h"
 #include "kvstore/sharded_store.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/object_store.h"
 
 namespace ech {
@@ -63,6 +66,14 @@ struct ElasticClusterConfig {
   std::size_t kv_shards{8};
   /// Suppress duplicate dirty entries (extension; see DirtyTable).
   bool dirty_dedupe{false};
+  /// Observability hooks (all optional).  `metrics` defaults to the
+  /// process-wide registry — pass a private one when per-run isolation
+  /// matters (benches).  `clock` defaults to the monotonic wall clock —
+  /// the simulator passes its ManualClock so rebuild durations carry
+  /// virtual time.  `tracer` off by default.
+  obs::MetricsRegistry* metrics{nullptr};
+  const obs::Clock* clock{nullptr};
+  obs::Tracer* tracer{nullptr};
 };
 
 class ElasticCluster final : public StorageSystem {
@@ -156,6 +167,13 @@ class ElasticCluster final : public StorageSystem {
   }
   [[nodiscard]] const ElasticClusterConfig& config() const { return config_; }
 
+  /// The registry this cluster reports into (config override or the
+  /// process default).  ConcurrentElasticCluster resolves its hot-path
+  /// counter here once, at wrap time.
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() const {
+    return *metrics_;
+  }
+
   /// View over the current membership (placement snapshot).
   [[nodiscard]] ClusterView current_view() const {
     return ClusterView(chain_, ring_, history_.current());
@@ -181,7 +199,23 @@ class ElasticCluster final : public StorageSystem {
   [[nodiscard]] MembershipTable build_membership(
       std::uint32_t active_target) const;
 
+  /// Instrument pointers resolved once at construction; hot paths bump
+  /// them without ever touching the registry lock.
+  struct Instruments {
+    obs::Counter* lookups{nullptr};          // placement_of / place_many
+    obs::Counter* epoch_publishes{nullptr};  // index publications
+    obs::Histogram* rebuild_ns{nullptr};     // index rebuild durations
+    obs::Counter* offloaded_writes{nullptr}; // writes landed off-home
+    obs::Counter* resize_events{nullptr};    // accepted membership changes
+    obs::Counter* maintenance_bytes{nullptr};
+    obs::Counter* repair_bytes{nullptr};
+  };
+
   ElasticClusterConfig config_;
+  obs::MetricsRegistry* metrics_{nullptr};
+  const obs::Clock* clock_{nullptr};
+  obs::Tracer* tracer_{nullptr};
+  Instruments ins_{};
   ExpansionChain chain_;
   HashRing ring_;
   VersionHistory history_;
@@ -203,6 +237,10 @@ class ElasticCluster final : public StorageSystem {
   std::uint32_t prefix_target_;
   std::vector<ObjectId> repair_queue_;
   std::size_t repair_cursor_{0};
+
+  // Callback gauges (dirty-table length, resident bytes, active count).
+  // Declared last: the guards deregister before any member they read dies.
+  std::vector<obs::CallbackGuard> gauge_guards_;
 };
 
 }  // namespace ech

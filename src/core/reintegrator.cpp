@@ -10,13 +10,31 @@ namespace ech {
 
 Reintegrator::Reintegrator(DirtyTable& table, const VersionHistory& history,
                            const ExpansionChain& chain, const HashRing& ring,
-                           ObjectStoreCluster& cluster, std::uint32_t replicas)
+                           ObjectStoreCluster& cluster, std::uint32_t replicas,
+                           obs::MetricsRegistry* metrics,
+                           const obs::Clock* clock)
     : table_(&table),
       history_(&history),
       chain_(&chain),
       ring_(&ring),
       cluster_(&cluster),
-      replicas_(replicas) {}
+      replicas_(replicas),
+      clock_(&obs::clock_or_default(clock)) {
+  obs::MetricsRegistry& reg = obs::registry_or_default(metrics);
+  ins_.bytes = &reg.counter("ech_reintegration_bytes_total", {},
+                            "Bytes moved by selective re-integration");
+  ins_.objects = &reg.counter("ech_reintegration_objects_total", {},
+                              "Objects whose replicas were re-integrated");
+  ins_.retired = &reg.counter("ech_reintegration_entries_retired_total", {},
+                              "Dirty entries retired at full power");
+  ins_.stale = &reg.counter("ech_reintegration_entries_stale_total", {},
+                            "Dirty entries skipped as stale");
+  ins_.deferred = &reg.counter("ech_reintegration_entries_deferred_total", {},
+                               "Dirty entries deferred (version not larger)");
+  ins_.drain_ns = &reg.histogram(
+      "ech_reintegration_drain_ns", {},
+      "Latency from seeing a membership version to first draining its scan");
+}
 
 ReintegrationStats Reintegrator::step(Bytes byte_budget) {
   ReintegrationStats stats;
@@ -32,6 +50,8 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
     last_seen_version_ = curr;
     index_ = PlacementIndex::build(
         ClusterView(*chain_, *ring_, history_->current()), curr);
+    version_seen_ns_ = clock_->now_ns();
+    drain_observed_ = false;
   }
   const bool full_power = history_->current().is_full_power();
   const std::uint32_t curr_servers = history_->num_servers(curr);
@@ -40,6 +60,10 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
     const auto entry = table_->fetch_next();
     if (!entry.has_value()) {
       stats.drained = true;
+      if (!drain_observed_) {
+        ins_.drain_ns->observe(clock_->now_ns() - version_seen_ns_);
+        drain_observed_ = true;
+      }
       break;
     }
     // Algorithm 2 line 6: only act when the current version has more
@@ -56,6 +80,11 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
       ++stats.entries_retired;
     }
   }
+  ins_.bytes->add(static_cast<std::uint64_t>(stats.bytes_migrated));
+  ins_.objects->add(stats.objects_reintegrated);
+  ins_.retired->add(stats.entries_retired);
+  ins_.stale->add(stats.entries_skipped_stale);
+  ins_.deferred->add(stats.entries_deferred);
   return stats;
 }
 

@@ -33,6 +33,8 @@
 #include "core/placement.h"
 #include "core/placement_index.h"
 #include "hashring/hash_ring.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "store/object_store.h"
 
 namespace ech {
@@ -52,6 +54,9 @@ struct ReintegrationStats {
     entries_retired += o.entries_retired;
     entries_skipped_stale += o.entries_skipped_stale;
     entries_deferred += o.entries_deferred;
+    // Last-wins: the accumulated value reflects the most recent step, so a
+    // drain followed by more dirty work reads as "not drained".
+    drained = o.drained;
     return *this;
   }
 };
@@ -59,9 +64,15 @@ struct ReintegrationStats {
 class Reintegrator {
  public:
   /// All references are non-owning; the ElasticCluster facade wires them.
+  /// `metrics` / `clock` are optional observability hooks: null keeps the
+  /// process defaults (registry aggregate; monotonic wall clock).  The
+  /// clock stamps drain latency — how long after a version appears its
+  /// offloaded data finishes re-integrating.
   Reintegrator(DirtyTable& table, const VersionHistory& history,
                const ExpansionChain& chain, const HashRing& ring,
-               ObjectStoreCluster& cluster, std::uint32_t replicas);
+               ObjectStoreCluster& cluster, std::uint32_t replicas,
+               obs::MetricsRegistry* metrics = nullptr,
+               const obs::Clock* clock = nullptr);
 
   /// Run Algorithm 2 until `byte_budget` is spent or the table is drained
   /// for the current version.  Safe to call repeatedly; resumes the scan.
@@ -81,7 +92,18 @@ class Reintegrator {
   const HashRing* ring_;
   ObjectStoreCluster* cluster_;
   std::uint32_t replicas_;
+  const obs::Clock* clock_;
+  struct Instruments {
+    obs::Counter* bytes{nullptr};
+    obs::Counter* objects{nullptr};
+    obs::Counter* retired{nullptr};
+    obs::Counter* stale{nullptr};
+    obs::Counter* deferred{nullptr};
+    obs::Histogram* drain_ns{nullptr};  // version-seen -> first drain
+  } ins_{};
   Version last_seen_version_{0};  // Algorithm 2's Last_Ver
+  std::uint64_t version_seen_ns_{0};  // clock stamp when last_seen_ changed
+  bool drain_observed_{true};         // drain_ns recorded for this version
   // Epoch-pinned placement index for last_seen_version_; Algorithm 2
   // restarts the scan on every version change, which is exactly when this
   // is rebuilt, so every entry in one scan places against one snapshot.

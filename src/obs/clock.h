@@ -1,0 +1,73 @@
+// Injectable time source for the observability subsystem.
+//
+// Nothing in ech::obs reads a hidden wall clock: every duration or
+// timestamp comes through a `Clock&` the caller supplies.  Production code
+// passes `MonotonicClock::instance()`; the tick-driven simulator passes a
+// `ManualClock` it advances to simulated time, so rebuild-duration
+// histograms and trace spans recorded under the simulator carry *virtual*
+// time and figures stay reproducible run-to-run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ech::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds on a monotonic axis.  The origin is unspecified; only
+  /// differences and ordering are meaningful.
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+
+  [[nodiscard]] double now_seconds() const {
+    return static_cast<double>(now_ns()) / 1e9;
+  }
+};
+
+/// std::chrono::steady_clock, the default for live processes.
+class MonotonicClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static const MonotonicClock& instance() {
+    static const MonotonicClock clock;
+    return clock;
+  }
+};
+
+/// Externally driven clock (simulators, tests).  Thread-safe: the driver
+/// stores, instrumented threads load.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return ns_.load(std::memory_order_relaxed);
+  }
+
+  void set_ns(std::uint64_t ns) noexcept {
+    ns_.store(ns, std::memory_order_relaxed);
+  }
+  void set_seconds(double s) noexcept {
+    set_ns(static_cast<std::uint64_t>(s * 1e9));
+  }
+  void advance_ns(std::uint64_t ns) noexcept {
+    ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+/// Shorthand: `clock ? *clock : MonotonicClock::instance()`.
+[[nodiscard]] inline const Clock& clock_or_default(const Clock* clock) {
+  return clock != nullptr ? *clock : MonotonicClock::instance();
+}
+
+}  // namespace ech::obs

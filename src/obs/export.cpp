@@ -1,0 +1,236 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace ech::obs {
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Shortest exact-ish rendering: integers without a decimal point, other
+/// values with enough digits to round-trip.
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+/// {label="value",...} with escaped values; empty string when no labels.
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void append_sample_body(std::string& out, const MetricSample& s) {
+  switch (s.kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kGauge:
+      out += s.name;
+      out += label_block(s.labels);
+      out += ' ';
+      out += format_value(s.value);
+      out += '\n';
+      break;
+    case MetricKind::kHistogram: {
+      for (const auto& [le, cumulative] : s.histogram.buckets) {
+        out += s.name;
+        out += "_bucket";
+        out += label_block(s.labels, "le", format_u64(le));
+        out += ' ';
+        out += format_u64(cumulative);
+        out += '\n';
+      }
+      out += s.name;
+      out += "_bucket";
+      out += label_block(s.labels, "le", "+Inf");
+      out += ' ';
+      out += format_u64(s.histogram.count);
+      out += '\n';
+      out += s.name;
+      out += "_sum";
+      out += label_block(s.labels);
+      out += ' ';
+      out += format_u64(s.histogram.sum);
+      out += '\n';
+      out += s.name;
+      out += "_count";
+      out += label_block(s.labels);
+      out += ' ';
+      out += format_u64(s.histogram.count);
+      out += '\n';
+      break;
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  // Group label variants of one metric name under a single HELP/TYPE header,
+  // preserving order of first appearance.
+  std::vector<std::string_view> order;
+  std::map<std::string_view, std::vector<const MetricSample*>> by_name;
+  for (const MetricSample& s : snap.samples) {
+    auto [it, inserted] = by_name.try_emplace(s.name);
+    if (inserted) order.push_back(s.name);
+    it->second.push_back(&s);
+  }
+
+  std::string out;
+  for (std::string_view name : order) {
+    const auto& group = by_name[name];
+    const MetricSample& first = *group.front();
+    if (!first.help.empty()) {
+      out += "# HELP ";
+      out += name;
+      out += ' ';
+      out += first.help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += kind_name(first.kind);
+    out += '\n';
+    for (const MetricSample* s : group) append_sample_body(out, *s);
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap, const JsonContext& ctx) {
+  std::string out = "{\n  \"context\": {\n    \"name\": \"";
+  out += json_escape(ctx.name);
+  out += '"';
+  if (!ctx.timestamp.empty()) {
+    out += ",\n    \"timestamp\": \"";
+    out += json_escape(ctx.timestamp);
+    out += '"';
+  }
+  out += "\n  },\n  \"metrics\": [\n";
+  bool first_sample = true;
+  for (const MetricSample& s : snap.samples) {
+    if (!first_sample) out += ",\n";
+    first_sample = false;
+    out += "    {\"name\": \"";
+    out += json_escape(s.name);
+    out += "\", \"kind\": \"";
+    out += kind_name(s.kind);
+    out += '"';
+    if (!s.labels.empty()) {
+      out += ", \"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\": \"";
+        out += json_escape(v);
+        out += '"';
+      }
+      out += '}';
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      out += ", \"count\": ";
+      out += format_u64(s.histogram.count);
+      out += ", \"sum\": ";
+      out += format_u64(s.histogram.sum);
+      out += ", \"buckets\": [";
+      bool first_bucket = true;
+      for (const auto& [le, cumulative] : s.histogram.buckets) {
+        if (!first_bucket) out += ", ";
+        first_bucket = false;
+        out += "[";
+        out += format_u64(le);
+        out += ", ";
+        out += format_u64(cumulative);
+        out += ']';
+      }
+      out += ']';
+    } else {
+      out += ", \"value\": ";
+      out += format_value(s.value);
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace ech::obs

@@ -1,0 +1,36 @@
+// Exporters for MetricsSnapshot.
+//
+//   * to_prometheus() — text exposition format 0.0.4: `# HELP` / `# TYPE`
+//     comment lines, escaped label values, histograms as cumulative
+//     `_bucket{le="..."}` series plus `_sum` / `_count`.
+//   * to_json() — snapshot writer following the repo's `BENCH_*.json`
+//     convention: a top-level `"context"` object (name + caller-supplied
+//     timestamp — the writer never reads a clock itself) and a flat
+//     `"metrics"` array.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ech::obs {
+
+/// Prometheus text exposition of the snapshot.  Samples sharing a name
+/// (label variants) are grouped under one HELP/TYPE header.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+struct JsonContext {
+  std::string name;       // e.g. "fig7_selective_reintegration"
+  std::string timestamp;  // caller-formatted; empty to omit
+};
+
+/// JSON document: {"context": {...}, "metrics": [{name, labels, kind,
+/// value | histogram}...]}.  Deterministic: registration order, no clocks.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snap,
+                                  const JsonContext& ctx);
+
+}  // namespace ech::obs

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace ech::obs {
+
+const MetricSample* find_sample(const MetricsSnapshot& snap,
+                                std::string_view name, const Labels& labels) {
+  for (const MetricSample& s : snap.samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::key_of(const std::string& name,
+                                    const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name,
+                                                   const Labels& labels,
+                                                   const std::string& help,
+                                                   MetricKind kind) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard lock(mutex_);
+  if (auto it = by_key_.find(key); it != by_key_.end()) {
+    if (it->second->kind == kind) return *it->second;
+    // Kind mismatch: hand back a detached instrument (not in by_key_, not
+    // exported) so the caller keeps a valid reference instead of crashing.
+    auto detached = std::make_unique<Entry>();
+    detached->name = name;
+    detached->labels = labels;
+    detached->kind = kind;
+    Entry& ref = *detached;
+    switch (kind) {
+      case MetricKind::kCounter: ref.counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: ref.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram:
+        ref.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    detached_.push_back(std::move(detached));
+    return ref;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->help = help;
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry& ref = *entry;
+  by_key_.emplace(key, entry.get());
+  entries_.push_back(std::move(entry));
+  return ref;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels,
+                                  const std::string& help) {
+  return *entry_for(name, labels, help, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  return *entry_for(name, labels, help, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      const std::string& help) {
+  return *entry_for(name, labels, help, MetricKind::kHistogram).histogram;
+}
+
+CallbackGuard MetricsRegistry::gauge_callback(const std::string& name,
+                                              const Labels& labels, GaugeFn fn,
+                                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.push_back(CallbackEntry{id, name, labels, help, std::move(fn)});
+  return CallbackGuard{this, id};
+}
+
+void MetricsRegistry::remove_callback(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(callbacks_,
+                [id](const CallbackEntry& c) { return c.id == id; });
+}
+
+void CallbackGuard::release() {
+  if (registry_ != nullptr) {
+    registry_->remove_callback(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.samples.reserve(entries_.size() + callbacks_.size());
+  for (const auto& entry : entries_) {
+    MetricSample s;
+    s.name = entry->name;
+    s.labels = entry->labels;
+    s.help = entry->help;
+    s.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(entry->counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = entry->gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+          const std::uint64_t n = h.bucket_value(i);
+          if (n == 0) continue;
+          cumulative += n;
+          s.histogram.buckets.emplace_back(Histogram::bucket_upper_bound(i),
+                                           cumulative);
+        }
+        s.histogram.count = cumulative;
+        s.histogram.sum = h.sum();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  for (const CallbackEntry& cb : callbacks_) {
+    MetricSample s;
+    s.name = cb.name;
+    s.labels = cb.labels;
+    s.help = cb.help;
+    s.kind = MetricKind::kGauge;
+    s.value = cb.fn();
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size() + callbacks_.size();
+}
+
+MetricsRegistry& MetricsRegistry::default_instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry& registry_or_default(MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : MetricsRegistry::default_instance();
+}
+
+}  // namespace ech::obs

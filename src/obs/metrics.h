@@ -1,0 +1,284 @@
+// Metrics primitives: named counters, gauges and log-linear histograms in
+// a registry, built so the lock-free placement path can be instrumented
+// without adding contention.
+//
+//   * Counter — monotonic; `add()` is a relaxed fetch_add on one of a small
+//     set of cache-line-sized cells picked per thread, so concurrent
+//     `placement_of()` calls never bounce a shared line.  `value()` sums
+//     the cells (reads are rare: exporters and tests).
+//   * Gauge — a single atomic double (set/add); for values that are levels,
+//     not rates (active servers, machine-hours, dirty-table length).
+//   * Histogram — log-linear buckets (8 linear sub-buckets per power-of-two
+//     octave, the HdrHistogram scheme): ~0.1-12% relative bucket width over
+//     the full uint64 range with 496 fixed buckets.  `observe()` is two
+//     relaxed fetch_adds.
+//
+// The registry hands out stable references: instruments are created on
+// first request of a (name, labels) key and never move or disappear, so
+// hot paths resolve a pointer once at construction time and never touch
+// the registry lock again.  Callback gauges (values computed at snapshot
+// time, e.g. a dirty table's current length) are registered with an id and
+// removed via RAII `CallbackGuard` when their subject dies.
+//
+// Snapshots are point-in-time copies consumed by the exporters in
+// obs/export.h (Prometheus text exposition, BENCH-style JSON).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ech::obs {
+
+/// Label set attached to a metric, e.g. {{"scheme", "primary+selective"}}.
+/// Order is preserved and significant for identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  /// Sum across cells.  Monotonic, but not a consistent cut across
+  /// concurrent writers (fine for rates and totals).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  /// Threads are striped round-robin across cells once, at first use.
+  static std::size_t shard_index() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return idx;
+  }
+
+  std::array<Cell, kShards> cells_{};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 3;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;  // 8
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits + 1) * kSubBuckets;  // 496
+
+  void observe(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Log-linear index: values < 8 get unit-width buckets; each power-of-two
+  /// octave above splits into 8 linear sub-buckets.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const int octave = msb - static_cast<int>(kSubBits);
+    const std::uint64_t sub =
+        (value >> (msb - static_cast<int>(kSubBits))) - kSubBuckets;
+    return static_cast<std::size_t>(kSubBuckets) +
+           static_cast<std::size_t>(octave) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Largest value mapped to bucket `index` (inclusive; Prometheus `le`).
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(
+      std::size_t index) noexcept {
+    if (index < 2 * kSubBuckets) return index;
+    const std::size_t octave = index / kSubBuckets - 1;
+    const std::uint64_t sub = index % kSubBuckets;
+    return ((kSubBuckets + sub + 1) << octave) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_value(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---- snapshots ------------------------------------------------------------
+
+struct HistogramSnapshot {
+  /// (inclusive upper bound, cumulative count) for every non-empty bucket,
+  /// ascending; the final implicit bucket is +Inf with `count`.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  std::uint64_t count{0};
+  std::uint64_t sum{0};
+};
+
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind{MetricKind::kCounter};
+  std::string help;
+  double value{0.0};            // counter / gauge
+  HistogramSnapshot histogram;  // kind == kHistogram
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+};
+
+/// First sample matching (name, labels); labels {} matches a sample with
+/// any labels only if it has none.  nullptr when absent.
+[[nodiscard]] const MetricSample* find_sample(const MetricsSnapshot& snap,
+                                              std::string_view name,
+                                              const Labels& labels = {});
+
+// ---- registry -------------------------------------------------------------
+
+class MetricsRegistry;
+
+/// RAII deregistration of a callback gauge (see gauge_callback()).
+class CallbackGuard {
+ public:
+  CallbackGuard() = default;
+  CallbackGuard(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+  CallbackGuard(CallbackGuard&& o) noexcept
+      : registry_(std::exchange(o.registry_, nullptr)),
+        id_(std::exchange(o.id_, 0)) {}
+  CallbackGuard& operator=(CallbackGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      registry_ = std::exchange(o.registry_, nullptr);
+      id_ = std::exchange(o.id_, 0);
+    }
+    return *this;
+  }
+  CallbackGuard(const CallbackGuard&) = delete;
+  CallbackGuard& operator=(const CallbackGuard&) = delete;
+  ~CallbackGuard() { release(); }
+
+  void release();
+
+ private:
+  MetricsRegistry* registry_{nullptr};
+  std::uint64_t id_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by (name, labels).  The returned reference is stable for
+  /// the registry's lifetime.  Requesting an existing key as a different
+  /// kind returns a detached instrument that is never exported (a
+  /// programming error, surfaced by tests rather than a crash).
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::string& help = "");
+
+  /// Gauge whose value is computed at snapshot time (e.g. a container's
+  /// current size).  The callback must stay valid until the returned guard
+  /// is destroyed and must tolerate being called from the exporting thread.
+  using GaugeFn = std::function<double()>;
+  [[nodiscard]] CallbackGuard gauge_callback(const std::string& name,
+                                             const Labels& labels, GaugeFn fn,
+                                             const std::string& help = "");
+
+  /// Point-in-time copy of every instrument, in registration order
+  /// (instruments first, then live callbacks).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Number of registered instruments + live callbacks.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Process-wide default registry used when a component is not handed an
+  /// explicit one.  Instruments are shared by key: two clusters on the
+  /// default registry aggregate into the same counters.
+  static MetricsRegistry& default_instance();
+
+ private:
+  friend class CallbackGuard;
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct CallbackEntry {
+    std::uint64_t id;
+    std::string name;
+    Labels labels;
+    std::string help;
+    GaugeFn fn;
+  };
+
+  Entry& entry_for(const std::string& name, const Labels& labels,
+                   const std::string& help, MetricKind kind);
+  void remove_callback(std::uint64_t id);
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> detached_;  // kind-mismatch fallbacks
+  std::unordered_map<std::string, Entry*> by_key_;
+  std::vector<CallbackEntry> callbacks_;
+  std::uint64_t next_callback_id_{1};
+};
+
+/// Shorthand: `registry ? *registry : MetricsRegistry::default_instance()`.
+[[nodiscard]] MetricsRegistry& registry_or_default(MetricsRegistry* registry);
+
+}  // namespace ech::obs

@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+namespace ech::obs {
+
+std::uint64_t Tracer::next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+// Per-thread cache mapping tracer id -> that tracer's ring for this thread.
+// Keyed by the tracer's unique id, not its address, so an entry left behind
+// by a destroyed tracer can never alias a new tracer that reuses the same
+// storage.  Stale entries are inert: their id never matches again.
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  struct CacheSlot {
+    std::uint64_t tracer_id;
+    Ring* ring;
+  };
+  thread_local std::vector<CacheSlot> cache;
+  for (const CacheSlot& slot : cache) {
+    if (slot.tracer_id == id_) return *slot.ring;
+  }
+  auto ring = std::make_unique<Ring>();
+  Ring* ptr = ring.get();
+  {
+    std::lock_guard lock(rings_mutex_);
+    ring->thread_index = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(std::move(ring));
+  }
+  cache.push_back(CacheSlot{id_, ptr});
+  return *ptr;
+}
+
+void Tracer::record(std::string_view name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, std::uint64_t arg) noexcept {
+  Ring& ring = ring_for_this_thread();
+  const std::size_t head = ring.head.load(std::memory_order_relaxed);
+  const std::size_t tail = ring.tail.load(std::memory_order_acquire);
+  if (head - tail >= kRingCapacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& slot = ring.slots[head % kRingCapacity];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.arg = arg;
+  slot.thread_index = ring.thread_index;
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::flush() {
+  std::vector<TraceEvent> out;
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::size_t tail = ring->tail.load(std::memory_order_relaxed);
+    const std::size_t head = ring->head.load(std::memory_order_acquire);
+    for (; tail != head; ++tail) {
+      out.push_back(ring->slots[tail % kRingCapacity]);
+    }
+    ring->tail.store(tail, std::memory_order_release);
+  }
+  return out;
+}
+
+}  // namespace ech::obs

@@ -1,0 +1,124 @@
+// Lightweight span/event tracer.
+//
+// Each instrumented thread appends `TraceEvent`s to its own fixed-size SPSC
+// ring buffer (producer: the thread; consumer: whoever calls `flush()`), so
+// recording a span on the lock-free placement path is two atomic loads, a
+// slot write, and a release store — no lock, no allocation after the first
+// event on a thread.  When a ring is full the event is dropped and counted;
+// tracing never blocks the instrumented code.
+//
+// All timestamps come from a caller-supplied `Clock&` (see obs/clock.h):
+// the simulator passes a `ManualClock` so spans recorded under simulation
+// carry virtual time.
+//
+//   ech::obs::Tracer tracer;
+//   {
+//     ech::obs::Span span(tracer, clock, "rebuild_index");
+//     ...                      // span records [start, end) on destruction
+//   }
+//   tracer.event(clock, "epoch_publish", /*arg=*/epoch);
+//   std::vector<TraceEvent> events = tracer.flush();  // drains every ring
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace ech::obs {
+
+struct TraceEvent {
+  /// Static-storage name (string literals); the tracer stores the pointer,
+  /// not a copy.
+  std::string_view name;
+  std::uint64_t start_ns{0};
+  std::uint64_t end_ns{0};  // == start_ns for point events
+  std::uint64_t arg{0};     // caller-defined payload (epoch, bytes, ...)
+  std::uint32_t thread_index{0};
+
+  [[nodiscard]] std::uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+class Tracer {
+ public:
+  /// Events buffered per thread before drops begin.  Power of two.
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  Tracer() : id_(next_tracer_id()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// Record a completed span. Non-blocking; drops (and counts) on overflow.
+  void record(std::string_view name, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint64_t arg = 0) noexcept;
+
+  /// Record an instantaneous event stamped with `clock.now_ns()`.
+  void event(const Clock& clock, std::string_view name,
+             std::uint64_t arg = 0) noexcept {
+    const std::uint64_t now = clock.now_ns();
+    record(name, now, now, arg);
+  }
+
+  /// Drain every thread's ring.  Events from one thread stay in order;
+  /// across threads they are concatenated (sort by start_ns if needed).
+  [[nodiscard]] std::vector<TraceEvent> flush();
+
+  /// Events discarded because a ring was full, cumulative.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    std::array<TraceEvent, kRingCapacity> slots{};
+    std::atomic<std::size_t> head{0};  // next write (producer)
+    std::atomic<std::size_t> tail{0};  // next read (consumer)
+    std::uint32_t thread_index{0};
+  };
+
+  Ring& ring_for_this_thread();
+  static std::uint64_t next_tracer_id();
+
+  const std::uint64_t id_;
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex rings_mutex_;  // guards rings_ vector growth + flush
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: stamps start at construction, records on destruction.
+class Span {
+ public:
+  Span(Tracer& tracer, const Clock& clock, std::string_view name,
+       std::uint64_t arg = 0) noexcept
+      : tracer_(&tracer),
+        clock_(&clock),
+        name_(name),
+        arg_(arg),
+        start_ns_(clock.now_ns()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, start_ns_, clock_->now_ns(), arg_);
+    }
+  }
+
+  /// Attach/replace the payload before the span closes.
+  void set_arg(std::uint64_t arg) noexcept { arg_ = arg; }
+
+ private:
+  Tracer* tracer_;
+  const Clock* clock_;
+  std::string_view name_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace ech::obs

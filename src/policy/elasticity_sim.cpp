@@ -61,6 +61,25 @@ SchemeResult ElasticitySimulator::simulate(const LoadSeries& load,
   out.scheme = to_string(scheme);
   out.servers.reserve(load.steps.size());
 
+  // Per-scheme labeled instruments; resolved once per replay (get-or-create
+  // is idempotent, so repeated replays accumulate counters — benches that
+  // want a clean series pass a private registry).
+  obs::MetricsRegistry& reg = obs::registry_or_default(config_.metrics);
+  const obs::Labels labels{{"scheme", out.scheme}};
+  obs::Gauge& servers_gauge = reg.gauge(
+      "ech_policy_servers", labels, "Servers recorded at the current step");
+  obs::Gauge& hours_gauge =
+      reg.gauge("ech_policy_machine_hours", labels,
+                "Integrated machine-hours so far in the replay");
+  obs::Counter& migration_counter =
+      reg.counter("ech_policy_migration_bytes_total", labels,
+                  "Migration bytes moved during the replay");
+  obs::Counter& resize_counter = reg.counter(
+      "ech_policy_resize_events_total", labels, "Active-set changes");
+  obs::Counter& blocked_counter =
+      reg.counter("ech_policy_blocked_steps_total", labels,
+                  "Shrink steps blocked by outstanding migration");
+
   std::uint32_t active = n;
   double backlog = 0.0;           // outstanding migration bytes
   double cleanup_progress = 0.0;  // original CH serialized extraction
@@ -107,6 +126,7 @@ SchemeResult ElasticitySimulator::simulate(const LoadSeries& load,
           // each extracted server's data must be re-replicated first.
           if (backlog > 0.0) {
             ++out.blocked_steps;
+            blocked_counter.inc();
           } else {
             cleanup_progress += mig_bw * dt;
             const double per_server = config_.data_per_server;
@@ -114,6 +134,7 @@ SchemeResult ElasticitySimulator::simulate(const LoadSeries& load,
               cleanup_progress -= per_server;
               --active;
               out.total_migration_bytes += per_server;
+              migration_counter.add(static_cast<std::uint64_t>(per_server));
             }
           }
         }
@@ -178,7 +199,10 @@ SchemeResult ElasticitySimulator::simulate(const LoadSeries& load,
     const std::uint32_t recorded = std::min(
         n, active + static_cast<std::uint32_t>(std::ceil(overhead_frac)));
 
-    if (recorded != prev_recorded) ++out.resize_events;
+    if (recorded != prev_recorded) {
+      ++out.resize_events;
+      resize_counter.inc();
+    }
     prev_recorded = recorded;
 
     out.servers.push_back(recorded);
@@ -188,6 +212,11 @@ SchemeResult ElasticitySimulator::simulate(const LoadSeries& load,
         std::min(static_cast<double>(n),
                  static_cast<double>(active) + overhead_frac) *
         dt / 3600.0;
+
+    migration_counter.add(static_cast<std::uint64_t>(drained));
+    servers_gauge.set(recorded);
+    hours_gauge.set(out.machine_hours);
+    if (observer_) observer_(i, out.scheme);
   }
   return out;
 }

@@ -27,9 +27,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "workload/load_series.h"
 
 namespace ech {
@@ -59,6 +61,9 @@ struct PolicyConfig {
   double selective_limit{80.0 * 1024 * 1024};
   /// Floor of the ideal envelope (at least one server stays on).
   std::uint32_t min_servers{1};
+  /// Optional metrics sink; null = process default registry.  Replays
+  /// publish per-scheme instruments labeled {scheme=<name>}.
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 struct SchemeResult {
@@ -87,6 +92,15 @@ class ElasticitySimulator {
 
   [[nodiscard]] const PolicyConfig& config() const { return config_; }
 
+  /// Called after each trace step's metrics are published; `scheme` is the
+  /// label value the step reported under.  Benches use this to snapshot
+  /// the registry at series granularity.
+  using StepObserver =
+      std::function<void(std::size_t step, const std::string& scheme)>;
+  void set_step_observer(StepObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Equal-work weight share of ranks (from, to] of a n-server cluster —
   /// the fraction of all data stored on those ranks.
   [[nodiscard]] static double weight_share(std::uint32_t n,
@@ -95,6 +109,7 @@ class ElasticitySimulator {
 
  private:
   PolicyConfig config_;
+  StepObserver observer_;
 };
 
 }  // namespace ech

@@ -10,9 +10,17 @@ ResizeController::ResizeController(const ControllerConfig& config,
                                    std::unique_ptr<Forecaster> forecaster)
     : config_(config),
       forecaster_(std::move(forecaster)),
+      target_gauge_(&obs::registry_or_default(config.metrics)
+                         .gauge("ech_controller_target", {},
+                                "Server target the controller decided")),
+      resize_counter_(
+          &obs::registry_or_default(config.metrics)
+               .counter("ech_controller_resize_events_total", {},
+                        "Controller decisions that changed the target")),
       target_(config.server_count) {
   assert(forecaster_ != nullptr);
   assert(config_.target_utilization > 0.0);
+  target_gauge_->set(target_);
 }
 
 std::uint32_t ResizeController::servers_for(double bytes_per_second) const {
@@ -31,6 +39,7 @@ std::uint32_t ResizeController::step(double bytes_per_second) {
   const std::uint32_t want =
       std::max(servers_for(bytes_per_second), servers_for(predicted));
 
+  const std::uint32_t before = target_;
   if (want > target_) {
     target_ = want;
     below_count_ = 0;
@@ -41,6 +50,10 @@ std::uint32_t ResizeController::step(double bytes_per_second) {
     }
   } else {
     below_count_ = 0;
+  }
+  if (target_ != before) {
+    resize_counter_->inc();
+    target_gauge_->set(target_);
   }
   return target_;
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "policy/forecaster.h"
 #include "workload/load_series.h"
 
@@ -36,6 +37,8 @@ struct ControllerConfig {
   std::size_t boot_lead{1};
   /// Consecutive low-demand steps before shrinking (hysteresis).
   std::size_t shrink_hold{5};
+  /// Optional metrics sink; null = process default registry.
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 struct ControllerResult {
@@ -73,6 +76,8 @@ class ResizeController {
 
   ControllerConfig config_;
   std::unique_ptr<Forecaster> forecaster_;
+  obs::Gauge* target_gauge_;      // ech_controller_target
+  obs::Counter* resize_counter_;  // ech_controller_resize_events_total
   std::uint32_t target_;
   std::size_t below_count_{0};
 };

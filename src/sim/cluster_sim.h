@@ -22,11 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "core/storage_system.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "sim/machine_hours.h"
 
 namespace ech {
@@ -56,6 +59,12 @@ struct SimConfig {
   double boot_seconds{30.0};
   std::uint32_t replicas{2};
   Bytes object_size{kDefaultObjectSize};
+  /// Observability (optional).  `metrics` defaults to the process registry.
+  /// When `clock` is set the simulator drives it to simulated time at every
+  /// tick, so instrumented components (and trace spans) under this sim
+  /// carry *virtual* timestamps.
+  obs::MetricsRegistry* metrics{nullptr};
+  obs::ManualClock* clock{nullptr};
 };
 
 struct TickSample {
@@ -99,6 +108,18 @@ class ClusterSim {
   /// Current simulated time in seconds.
   [[nodiscard]] double now() const { return now_; }
 
+  /// Called once per tick, after the tick's metrics have been published —
+  /// the hook benches use to snapshot the registry at series granularity.
+  using TickObserver = std::function<void(const TickSample&)>;
+  void set_tick_observer(TickObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// The registry this simulation reports into.
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() const {
+    return *metrics_;
+  }
+
   [[nodiscard]] const MachineHourMeter& meter() const { return meter_; }
   [[nodiscard]] std::uint64_t objects_written() const { return next_oid_; }
 
@@ -120,6 +141,18 @@ class ClusterSim {
 
   StorageSystem* system_;
   SimConfig config_;
+  obs::MetricsRegistry* metrics_{nullptr};
+  struct Instruments {
+    obs::Counter* client_bytes{nullptr};     // achieved foreground bytes
+    obs::Counter* migration_bytes{nullptr};  // maintenance traffic
+    obs::Counter* resize_events{nullptr};    // schedule entries applied
+    obs::Gauge* serving{nullptr};
+    obs::Gauge* powered{nullptr};
+    obs::Gauge* requested{nullptr};
+    obs::Gauge* pending_bytes{nullptr};
+    obs::Gauge* machine_hours{nullptr};
+  } ins_{};
+  TickObserver observer_;
   std::vector<ScheduledResize> schedule_;
   std::size_t next_resize_{0};
 

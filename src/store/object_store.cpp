@@ -88,6 +88,18 @@ std::uint64_t ObjectStoreCluster::total_replicas() const {
   return total;
 }
 
+std::uint64_t ObjectStoreCluster::total_puts() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s.put_count();
+  return total;
+}
+
+Bytes ObjectStoreCluster::total_bytes_written() const {
+  Bytes total = 0;
+  for (const auto& s : servers_) total += s.bytes_written();
+  return total;
+}
+
 std::vector<std::uint64_t> ObjectStoreCluster::objects_per_server() const {
   std::vector<std::uint64_t> out;
   out.reserve(servers_.size());

@@ -71,6 +71,11 @@ class ObjectStoreCluster {
   [[nodiscard]] Bytes total_bytes() const;
   [[nodiscard]] std::uint64_t total_replicas() const;
 
+  /// Cumulative replica puts / bytes written across all servers
+  /// (monotonic; see StorageServer::put_count).
+  [[nodiscard]] std::uint64_t total_puts() const;
+  [[nodiscard]] Bytes total_bytes_written() const;
+
   /// Per-server object counts indexed by rank-order id (for Figure 5).
   [[nodiscard]] std::vector<std::uint64_t> objects_per_server() const;
   [[nodiscard]] std::vector<Bytes> bytes_per_server() const;

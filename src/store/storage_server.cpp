@@ -19,6 +19,8 @@ Status StorageServer::put(ObjectId oid, const ObjectHeader& header,
     objects_.emplace(oid, Entry{header, size});
   }
   bytes_stored_ += delta;
+  bytes_written_ += size;
+  ++put_count_;
   return Status::ok();
 }
 

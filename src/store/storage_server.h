@@ -32,6 +32,12 @@ class StorageServer {
   }
   [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
 
+  /// Cumulative write traffic (monotonic, unlike bytes_stored): successful
+  /// puts and the bytes they carried.  Feeds offload/recovery-traffic
+  /// observability without the caller re-deriving it from IoAccounting.
+  [[nodiscard]] std::uint64_t put_count() const { return put_count_; }
+  [[nodiscard]] Bytes bytes_written() const { return bytes_written_; }
+
   /// Store (or overwrite) a replica.  Overwrites update the header and do
   /// not double-count bytes.  Fails with kOutOfRange when the write would
   /// exceed capacity (capacity 0 = unlimited, used by most simulations).
@@ -60,6 +66,8 @@ class StorageServer {
   ServerId id_{};
   Bytes capacity_{0};  // 0 = unlimited
   Bytes bytes_stored_{0};
+  Bytes bytes_written_{0};       // cumulative; survives clear()
+  std::uint64_t put_count_{0};   // cumulative; survives clear()
   struct Entry {
     ObjectHeader header;
     Bytes size;

@@ -219,6 +219,55 @@ TEST_F(ReintegratorTest, VersionChangeRestartsScan) {
   }
 }
 
+TEST(ReintegrationStats, AccumulationCarriesDrainedLastWins) {
+  ReintegrationStats total;
+  ReintegrationStats a;
+  a.bytes_migrated = 100;
+  a.objects_reintegrated = 2;
+  a.entries_retired = 2;
+  a.entries_skipped_stale = 1;
+  a.entries_deferred = 3;
+  a.drained = true;
+  total += a;
+  EXPECT_EQ(total.bytes_migrated, 100u);
+  EXPECT_EQ(total.objects_reintegrated, 2u);
+  EXPECT_EQ(total.entries_retired, 2u);
+  EXPECT_EQ(total.entries_skipped_stale, 1u);
+  EXPECT_EQ(total.entries_deferred, 3u);
+  EXPECT_TRUE(total.drained);  // regression: += used to drop this field
+
+  ReintegrationStats b;
+  b.bytes_migrated = 50;
+  b.drained = false;
+  total += b;
+  // Numeric fields sum; drained reflects the most recent step (last-wins):
+  // a drain followed by more dirty work must read as "not drained".
+  EXPECT_EQ(total.bytes_migrated, 150u);
+  EXPECT_FALSE(total.drained);
+
+  ReintegrationStats c;
+  c.drained = true;
+  total += c;
+  EXPECT_TRUE(total.drained);
+}
+
+TEST_F(ReintegratorTest, StepsAccumulateAcrossCalls) {
+  resize(6);
+  for (std::uint64_t i = 0; i < 20; ++i) write(ObjectId{i});
+  resize(10);
+  ReintegrationStats total;
+  int safety = 1000;
+  while (--safety > 0) {
+    const auto stats = reintegrator_.step(4 * kDefaultObjectSize);
+    total += stats;
+    if (stats.drained) break;
+  }
+  EXPECT_TRUE(total.drained);  // final step's flag survives accumulation
+  EXPECT_GT(total.bytes_migrated, 0u);
+  EXPECT_GT(total.entries_retired, 0u);
+  EXPECT_EQ(table_.size(), 0u);
+}
+
 TEST_F(ReintegratorTest, IdempotentAfterDrain) {
   resize(6);
   for (std::uint64_t i = 0; i < 20; ++i) write(ObjectId{i});

@@ -21,7 +21,13 @@ class SnapshotTest : public ::testing::Test {
     return std::move(ElasticCluster::create(config)).value();
   }
 
-  std::string path_ = ::testing::TempDir() + "/ech_snapshot_test.snap";
+  // Per-test path: ctest runs every discovered test as its own process,
+  // possibly in parallel, so a fixture-wide file would race across tests.
+  std::string path_ = ::testing::TempDir() + "/ech_snapshot_test." +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      ".snap";
 };
 
 TEST_F(SnapshotTest, RoundTripEmptyCluster) {

@@ -53,7 +53,11 @@ using FuzzParam = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>;
 class SnapshotFuzzTest : public ::testing::TestWithParam<FuzzParam> {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/ech_fuzz.snap";
+  // Param-unique path: parallel ctest processes must not share the file.
+  std::string path_ = ::testing::TempDir() + "/ech_fuzz." +
+                      std::to_string(std::get<0>(GetParam())) + "_" +
+                      std::to_string(std::get<1>(GetParam())) + "_" +
+                      std::to_string(std::get<2>(GetParam())) + ".snap";
 };
 
 TEST_P(SnapshotFuzzTest, SaveLoadPreservesObservableState) {

@@ -16,7 +16,10 @@ namespace {
 class SoakTest : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/ech_soak.snap";
+  // Seed-unique path: ctest runs each seed as its own process, possibly in
+  // parallel, so a shared file would race save/load/remove across seeds.
+  std::string path_ = ::testing::TempDir() + "/ech_soak." +
+                      std::to_string(GetParam()) + ".snap";
 };
 
 TEST_P(SoakTest, EverythingEverywhereConverges) {

@@ -1,0 +1,225 @@
+// MetricsRegistry unit tests: instrument identity, histogram bucket
+// boundaries (the log-linear scheme's edge cases), callback gauges, and
+// the JSON snapshot writer.
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace ech::obs {
+namespace {
+
+TEST(Counter, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(10.0);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+// ---- histogram bucket boundaries ------------------------------------------
+
+TEST(Histogram, SmallValuesGetUnitBuckets) {
+  // Values below 2*kSubBuckets are exact: index == value == upper bound.
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v) << v;
+    EXPECT_EQ(Histogram::bucket_upper_bound(v), v) << v;
+  }
+}
+
+TEST(Histogram, UpperBoundIsInclusive) {
+  // For every reachable bucket, its upper bound maps back into it and the
+  // next integer maps into the next bucket.
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t ub = Histogram::bucket_upper_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(ub), i) << "ub=" << ub;
+    EXPECT_EQ(Histogram::bucket_index(ub + 1), i + 1) << "ub=" << ub;
+  }
+}
+
+TEST(Histogram, IndexIsMonotonicAcrossOctaveBoundaries) {
+  // Spot-check around every power of two: the index never decreases.
+  for (int shift = 3; shift < 63; ++shift) {
+    const std::uint64_t p = 1ull << shift;
+    const std::size_t below = Histogram::bucket_index(p - 1);
+    const std::size_t at = Histogram::bucket_index(p);
+    const std::size_t above = Histogram::bucket_index(p + 1);
+    EXPECT_LT(below, at) << "p=" << p;
+    EXPECT_LE(at, above) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MaxValueLandsInLastBucket) {
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(Histogram, RelativeErrorBoundedByBucketWidth) {
+  // Log-linear with 8 sub-buckets: bucket width <= value / 8, so the upper
+  // bound overestimates any member value by at most 12.5%.
+  for (std::uint64_t v : {100ull, 1000ull, 123456ull, 1ull << 40,
+                          (1ull << 50) + 12345ull}) {
+    const std::uint64_t ub =
+        Histogram::bucket_upper_bound(Histogram::bucket_index(v));
+    EXPECT_GE(ub, v);
+    EXPECT_LE(static_cast<double>(ub - v), static_cast<double>(v) / 8.0 + 1.0)
+        << v;
+  }
+}
+
+TEST(Histogram, ObserveAccumulatesCountAndSum) {
+  Histogram h;
+  h.observe(3);
+  h.observe(3);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.bucket_value(Histogram::bucket_index(3)), 2u);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableIdentity) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ech_test_total");
+  Counter& b = reg.counter("ech_test_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ech_test_total", {{"scheme", "a"}});
+  Counter& b = reg.counter("ech_test_total", {{"scheme", "b"}});
+  EXPECT_NE(&a, &b);
+  a.add(1);
+  b.add(2);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* sa = find_sample(snap, "ech_test_total", {{"scheme", "a"}});
+  const MetricSample* sb = find_sample(snap, "ech_test_total", {{"scheme", "b"}});
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_DOUBLE_EQ(sa->value, 1.0);
+  EXPECT_DOUBLE_EQ(sb->value, 2.0);
+}
+
+TEST(MetricsRegistry, KindMismatchReturnsDetachedInstrument) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ech_test_total");
+  c.add(7);
+  // Same key, wrong kind: usable (no crash) but never exported.
+  Gauge& g = reg.gauge("ech_test_total");
+  g.set(99.0);
+  EXPECT_EQ(reg.size(), 1u);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snap.samples[0].value, 7.0);
+}
+
+TEST(MetricsRegistry, CallbackGaugeComputedAtSnapshotTime) {
+  MetricsRegistry reg;
+  double level = 1.0;
+  {
+    CallbackGuard guard =
+        reg.gauge_callback("ech_test_level", {}, [&] { return level; });
+    level = 5.0;
+    const MetricsSnapshot snap = reg.snapshot();
+    const MetricSample* s = find_sample(snap, "ech_test_level");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 5.0);
+    EXPECT_EQ(s->kind, MetricKind::kGauge);
+    EXPECT_EQ(reg.size(), 1u);
+  }
+  // Guard destruction deregisters the callback.
+  EXPECT_EQ(reg.size(), 0u);
+  const MetricsSnapshot after = reg.snapshot();
+  EXPECT_EQ(find_sample(after, "ech_test_level"), nullptr);
+}
+
+TEST(MetricsRegistry, CallbackGuardMoveTransfersOwnership) {
+  MetricsRegistry reg;
+  CallbackGuard outer;
+  {
+    CallbackGuard inner =
+        reg.gauge_callback("ech_test_level", {}, [] { return 1.0; });
+    outer = std::move(inner);
+  }  // inner destroyed; registration must survive in outer
+  EXPECT_EQ(reg.size(), 1u);
+  outer.release();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistry, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("ech_b_total");
+  reg.gauge("ech_a");
+  reg.histogram("ech_c_ns");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "ech_b_total");
+  EXPECT_EQ(snap.samples[1].name, "ech_a");
+  EXPECT_EQ(snap.samples[2].name, "ech_c_ns");
+}
+
+TEST(MetricsRegistry, HistogramSnapshotIsCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("ech_test_ns");
+  h.observe(1);
+  h.observe(1);
+  h.observe(100);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = find_sample(snap, "ech_test_ns");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->histogram.buckets.size(), 2u);  // two non-empty buckets
+  EXPECT_EQ(s->histogram.buckets[0].second, 2u);
+  EXPECT_EQ(s->histogram.buckets[1].second, 3u);  // cumulative
+  EXPECT_EQ(s->histogram.count, 3u);
+  EXPECT_EQ(s->histogram.sum, 102u);
+}
+
+TEST(FindSample, EmptyLabelsOnlyMatchesUnlabeled) {
+  MetricsRegistry reg;
+  reg.counter("ech_test_total", {{"scheme", "a"}}).add(3);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(find_sample(snap, "ech_test_total"), nullptr);
+  EXPECT_NE(find_sample(snap, "ech_test_total", {{"scheme", "a"}}), nullptr);
+}
+
+// ---- JSON writer ----------------------------------------------------------
+
+TEST(JsonExport, ContainsContextAndMetrics) {
+  MetricsRegistry reg;
+  reg.counter("ech_test_total", {{"scheme", "a"}}, "help text").add(12);
+  reg.gauge("ech_test_level").set(3.5);
+  const std::string json =
+      to_json(reg.snapshot(), JsonContext{"unit_test", "2026-08-05"});
+  EXPECT_NE(json.find("\"context\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"timestamp\": \"2026-08-05\""), std::string::npos);
+  EXPECT_NE(json.find("ech_test_total"), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\""), std::string::npos);
+  EXPECT_NE(json.find("12"), std::string::npos);
+  EXPECT_NE(json.find("3.5"), std::string::npos);
+}
+
+TEST(JsonExport, EscapesStrings) {
+  MetricsRegistry reg;
+  reg.counter("ech_test_total", {{"path", "a\\b\"c\nd"}}).add(1);
+  const std::string json = to_json(reg.snapshot(), JsonContext{"t", ""});
+  EXPECT_NE(json.find("a\\\\b\\\"c\\nd"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ech::obs

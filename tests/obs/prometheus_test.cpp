@@ -1,0 +1,278 @@
+// Prometheus text-exposition tests: a golden snapshot for the exact output
+// and a miniature parser proving the format round-trips — TYPE lines
+// precede their samples, label values unescape to the originals, and
+// histogram buckets are cumulative and consistent with _count/_sum.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace ech::obs {
+namespace {
+
+// ---- a miniature exposition-format parser ---------------------------------
+
+struct ParsedSample {
+  std::string name;
+  Labels labels;
+  double value{0.0};
+};
+
+struct ParsedExposition {
+  std::map<std::string, std::string> types;  // metric name -> TYPE
+  std::vector<ParsedSample> samples;
+  std::vector<std::string> errors;
+};
+
+/// Unescape a label value (reverse of escape_label_value).
+std::optional<std::string> unescape(const std::string& in) {
+  std::string out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\') {
+      out += in[i];
+      continue;
+    }
+    if (++i == in.size()) return std::nullopt;  // dangling backslash
+    switch (in[i]) {
+      case '\\': out += '\\'; break;
+      case '"': out += '"'; break;
+      case 'n': out += '\n'; break;
+      default: return std::nullopt;  // unknown escape
+    }
+  }
+  return out;
+}
+
+/// Parse `name{k="v",...} value` or `name value`; appends to `out`.
+void parse_sample_line(const std::string& line, ParsedExposition& out) {
+  std::size_t name_end = line.find_first_of("{ ");
+  if (name_end == std::string::npos) {
+    out.errors.push_back("no value: " + line);
+    return;
+  }
+  ParsedSample s;
+  s.name = line.substr(0, name_end);
+  std::size_t pos = name_end;
+  if (line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      const std::size_t eq = line.find("=\"", pos);
+      if (eq == std::string::npos) {
+        out.errors.push_back("bad label: " + line);
+        return;
+      }
+      const std::string key = line.substr(pos, eq - pos);
+      // Scan to the closing quote, skipping escaped characters.
+      std::size_t vpos = eq + 2;
+      std::string raw;
+      while (vpos < line.size() && line[vpos] != '"') {
+        if (line[vpos] == '\\' && vpos + 1 < line.size()) {
+          raw += line[vpos];
+          raw += line[vpos + 1];
+          vpos += 2;
+        } else {
+          raw += line[vpos++];
+        }
+      }
+      if (vpos >= line.size()) {
+        out.errors.push_back("unterminated label value: " + line);
+        return;
+      }
+      const auto value = unescape(raw);
+      if (!value) {
+        out.errors.push_back("bad escape: " + raw);
+        return;
+      }
+      s.labels.emplace_back(key, *value);
+      pos = vpos + 1;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      out.errors.push_back("unterminated label block: " + line);
+      return;
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    out.errors.push_back("missing value separator: " + line);
+    return;
+  }
+  const std::string value_str = line.substr(pos + 1);
+  if (value_str == "+Inf") {
+    s.value = std::numeric_limits<double>::infinity();
+  } else {
+    try {
+      s.value = std::stod(value_str);
+    } catch (...) {
+      out.errors.push_back("bad value: " + value_str);
+      return;
+    }
+  }
+  out.samples.push_back(std::move(s));
+}
+
+ParsedExposition parse(const std::string& text) {
+  ParsedExposition out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream hs(line.substr(7));
+      std::string name, type;
+      hs >> name >> type;
+      if (out.types.count(name) != 0) {
+        out.errors.push_back("duplicate TYPE for " + name);
+      }
+      out.types[name] = type;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line[0] == '#') {
+      out.errors.push_back("unknown comment: " + line);
+      continue;
+    }
+    parse_sample_line(line, out);
+  }
+  return out;
+}
+
+/// Metric family a sample belongs to: strips _bucket/_sum/_count suffixes
+/// when the base name is a declared histogram.
+std::string family_of(const ParsedExposition& exp, const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = name.substr(0, name.size() - s.size());
+      auto it = exp.types.find(base);
+      if (it != exp.types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+// ---- tests ----------------------------------------------------------------
+
+MetricsSnapshot build_snapshot() {
+  static MetricsRegistry reg;  // static: instruments are process-stable
+  static bool initialized = false;
+  if (!initialized) {
+    initialized = true;
+    reg.counter("ech_requests_total", {}, "Requests served").add(1234);
+    reg.counter("ech_migrated_total", {{"scheme", "primary+selective"}})
+        .add(10);
+    reg.counter("ech_migrated_total", {{"scheme", "original-CH"}}).add(99);
+    reg.gauge("ech_active_servers", {}, "Powered servers").set(7);
+    reg.counter("ech_weird_total", {{"path", "a\\b\"c\nd"}}).add(5);
+    Histogram& h = reg.histogram("ech_latency_ns", {}, "Latency");
+    h.observe(3);
+    h.observe(3);
+    h.observe(900);
+    h.observe(90000);
+  }
+  return reg.snapshot();
+}
+
+TEST(Prometheus, GoldenExposition) {
+  // Pin the exact text for the scalar prefix of the exposition (histogram
+  // bucket lines depend on the bucketing scheme; checked structurally
+  // below).  If the format changes intentionally, update this string.
+  const std::string text = to_prometheus(build_snapshot());
+  const std::string golden_prefix =
+      "# HELP ech_requests_total Requests served\n"
+      "# TYPE ech_requests_total counter\n"
+      "ech_requests_total 1234\n"
+      "# TYPE ech_migrated_total counter\n"
+      "ech_migrated_total{scheme=\"primary+selective\"} 10\n"
+      "ech_migrated_total{scheme=\"original-CH\"} 99\n"
+      "# HELP ech_active_servers Powered servers\n"
+      "# TYPE ech_active_servers gauge\n"
+      "ech_active_servers 7\n"
+      "# TYPE ech_weird_total counter\n"
+      "ech_weird_total{path=\"a\\\\b\\\"c\\nd\"} 5\n"
+      "# HELP ech_latency_ns Latency\n"
+      "# TYPE ech_latency_ns histogram\n";
+  ASSERT_GE(text.size(), golden_prefix.size());
+  EXPECT_EQ(text.substr(0, golden_prefix.size()), golden_prefix);
+}
+
+TEST(Prometheus, ParsesWithoutErrors) {
+  const ParsedExposition exp = parse(to_prometheus(build_snapshot()));
+  EXPECT_TRUE(exp.errors.empty())
+      << "first error: " << (exp.errors.empty() ? "" : exp.errors.front());
+}
+
+TEST(Prometheus, TypeLinePerMetricAndEverySampleTyped) {
+  const ParsedExposition exp = parse(to_prometheus(build_snapshot()));
+  EXPECT_EQ(exp.types.at("ech_requests_total"), "counter");
+  EXPECT_EQ(exp.types.at("ech_active_servers"), "gauge");
+  EXPECT_EQ(exp.types.at("ech_latency_ns"), "histogram");
+  for (const ParsedSample& s : exp.samples) {
+    EXPECT_EQ(exp.types.count(family_of(exp, s.name)), 1u)
+        << "untyped sample " << s.name;
+  }
+}
+
+TEST(Prometheus, LabelEscapingRoundTrips) {
+  const ParsedExposition exp = parse(to_prometheus(build_snapshot()));
+  bool found = false;
+  for (const ParsedSample& s : exp.samples) {
+    if (s.name != "ech_weird_total") continue;
+    found = true;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "path");
+    EXPECT_EQ(s.labels[0].second, "a\\b\"c\nd");  // original, round-tripped
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Prometheus, HistogramBucketsCumulativeAndConsistent) {
+  const ParsedExposition exp = parse(to_prometheus(build_snapshot()));
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  double sum = -1.0, count = -1.0;
+  for (const ParsedSample& s : exp.samples) {
+    if (s.name == "ech_latency_ns_bucket") {
+      ASSERT_EQ(s.labels.back().first, "le");
+      const std::string& le = s.labels.back().second;
+      buckets.emplace_back(le == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::stod(le),
+                           s.value);
+    } else if (s.name == "ech_latency_ns_sum") {
+      sum = s.value;
+    } else if (s.name == "ech_latency_ns_count") {
+      count = s.value;
+    }
+  }
+  ASSERT_GE(buckets.size(), 2u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GT(buckets[i].first, buckets[i - 1].first);    // le ascending
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second);  // cumulative
+  }
+  EXPECT_TRUE(std::isinf(buckets.back().first));  // final bucket is +Inf
+  EXPECT_DOUBLE_EQ(buckets.back().second, count);
+  EXPECT_DOUBLE_EQ(count, 4.0);
+  EXPECT_DOUBLE_EQ(sum, 3 + 3 + 900 + 90000);
+}
+
+TEST(Prometheus, LabeledVariantsShareOneHeader) {
+  const std::string text = to_prometheus(build_snapshot());
+  // "# TYPE ech_migrated_total" must appear exactly once.
+  const std::string header = "# TYPE ech_migrated_total";
+  const std::size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ech::obs

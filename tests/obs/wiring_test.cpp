@@ -1,0 +1,197 @@
+// End-to-end wiring tests: components handed a private MetricsRegistry
+// must publish the documented ech_* instruments as they operate.
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_cluster.h"
+#include "core/elastic_cluster.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "policy/forecaster.h"
+#include "policy/resize_controller.h"
+#include "sim/cluster_sim.h"
+
+namespace ech {
+namespace {
+
+using obs::find_sample;
+
+double metric(const obs::MetricsRegistry& reg, const char* name) {
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricSample* s = find_sample(snap, name);
+  return s != nullptr ? s->value : -1.0;
+}
+
+std::unique_ptr<ElasticCluster> make_cluster(obs::MetricsRegistry* reg,
+                                             const obs::Clock* clock = nullptr,
+                                             obs::Tracer* tracer = nullptr) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  config.metrics = reg;
+  config.clock = clock;
+  config.tracer = tracer;
+  auto result = ElasticCluster::create(config);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(Wiring, PlacementLookupsAndEpochPublishes) {
+  obs::MetricsRegistry reg;
+  auto c = make_cluster(&reg);
+  const double publishes_at_boot = metric(reg, "ech_epoch_publishes_total");
+  EXPECT_GE(publishes_at_boot, 1.0);  // initial index publish
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(c->placement_of(ObjectId{i}).ok());
+  }
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_placement_lookups_total"), 5.0);
+
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  EXPECT_GT(metric(reg, "ech_epoch_publishes_total"), publishes_at_boot);
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_resize_events_total"), 1.0);
+
+  // Rebuild durations flow into the histogram on every publish.
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricSample* rebuild = find_sample(snap, "ech_index_rebuild_ns");
+  ASSERT_NE(rebuild, nullptr);
+  EXPECT_EQ(rebuild->kind, obs::MetricKind::kHistogram);
+  EXPECT_GE(rebuild->histogram.count, publishes_at_boot + 1);
+}
+
+TEST(Wiring, OffloadedWritesAndReintegrationCounters) {
+  obs::MetricsRegistry reg;
+  auto c = make_cluster(&reg);
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_offloaded_writes_total"), 20.0);
+  EXPECT_GT(metric(reg, "ech_dirty_entries"), 0.0);
+
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  while (metric(reg, "ech_dirty_entries") > 0.0) {
+    if (c->maintenance_step(64 * kMiB) == 0) break;
+  }
+  EXPECT_GT(metric(reg, "ech_reintegration_bytes_total"), 0.0);
+  EXPECT_GT(metric(reg, "ech_reintegration_entries_retired_total"), 0.0);
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_dirty_entries"), 0.0);
+}
+
+TEST(Wiring, GaugesTrackClusterState) {
+  obs::MetricsRegistry reg;
+  auto c = make_cluster(&reg);
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_active_servers"), 10.0);
+  ASSERT_TRUE(c->request_resize(4).is_ok());
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_active_servers"), 4.0);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(c->write(ObjectId{i}, 0).is_ok());
+  }
+  EXPECT_GT(metric(reg, "ech_store_bytes"), 0.0);
+}
+
+TEST(Wiring, GaugeCallbacksOutliveClusterSafely) {
+  // Destroying the cluster must deregister its callback gauges; a snapshot
+  // afterwards sees no dangling samples.
+  obs::MetricsRegistry reg;
+  {
+    auto c = make_cluster(&reg);
+    const obs::MetricsSnapshot live = reg.snapshot();
+    EXPECT_NE(find_sample(live, "ech_active_servers"), nullptr);
+  }
+  const obs::MetricsSnapshot dead = reg.snapshot();
+  EXPECT_EQ(find_sample(dead, "ech_active_servers"), nullptr);
+}
+
+TEST(Wiring, ManualClockDrivesRebuildTimestamps) {
+  obs::MetricsRegistry reg;
+  obs::ManualClock clock;
+  obs::Tracer tracer;
+  clock.set_seconds(100.0);
+  auto c = make_cluster(&reg, &clock, &tracer);
+  ASSERT_TRUE(c->request_resize(6).is_ok());
+  const auto events = tracer.flush();
+  ASSERT_FALSE(events.empty());
+  for (const obs::TraceEvent& e : events) {
+    // Virtual time: every span is stamped at exactly the simulated instant.
+    EXPECT_EQ(e.start_ns, 100'000'000'000u);
+    EXPECT_EQ(e.end_ns, 100'000'000'000u);
+  }
+}
+
+TEST(Wiring, ConcurrentClusterCountsLookups) {
+  obs::MetricsRegistry reg;
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  config.metrics = &reg;
+  auto c = ConcurrentElasticCluster::create(config);
+  ASSERT_TRUE(c.ok());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(c.value()->placement_of(ObjectId{i}).ok());
+  }
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_placement_lookups_total"), 3.0);
+}
+
+TEST(Wiring, ClusterSimPublishesSeries) {
+  obs::MetricsRegistry reg;
+  obs::ManualClock clock;
+  ElasticClusterConfig cc;
+  cc.server_count = 10;
+  cc.replicas = 2;
+  auto system = std::move(ElasticCluster::create(cc)).value();
+
+  SimConfig sc;
+  sc.tick_seconds = 1.0;
+  sc.disk_bw_mbps = 60.0;
+  sc.boot_seconds = 5.0;
+  sc.replicas = 2;
+  sc.metrics = &reg;
+  sc.clock = &clock;
+  ClusterSim sim(*system, sc);
+
+  std::size_t observed_ticks = 0;
+  sim.set_tick_observer([&](const TickSample&) { ++observed_ticks; });
+
+  WorkloadPhase phase;
+  phase.name = "write";
+  phase.write_bytes = 2 * kGiB;
+  const auto samples = sim.run({phase}, 120.0);
+
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_EQ(observed_ticks, samples.size());
+  EXPECT_GT(metric(reg, "ech_sim_client_bytes_total"), 0.0);
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_sim_serving_servers"), 10.0);
+  EXPECT_GT(metric(reg, "ech_sim_machine_hours"), 0.0);
+  // The sim drove the virtual clock to the last tick's timestamp.
+  EXPECT_EQ(clock.now_seconds(), samples.back().time_s);
+}
+
+TEST(Wiring, ResizeControllerPublishesTarget) {
+  obs::MetricsRegistry reg;
+  ControllerConfig config;
+  config.server_count = 10;
+  config.metrics = &reg;
+  ResizeController controller(config,
+                              std::make_unique<LastValueForecaster>());
+  // Drive with loads the controller must react to; count target changes.
+  double changes = 0.0;
+  std::uint32_t last = controller.current_target();
+  for (double load : {10e6, 400e6, 400e6, 10e6, 10e6, 10e6, 10e6, 10e6}) {
+    controller.step(load);
+    if (controller.current_target() != last) {
+      last = controller.current_target();
+      ++changes;
+    }
+  }
+  ASSERT_GT(changes, 0.0);  // the workload above must force a resize
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_controller_target"),
+                   static_cast<double>(last));
+  EXPECT_DOUBLE_EQ(metric(reg, "ech_controller_resize_events_total"), changes);
+}
+
+}  // namespace
+}  // namespace ech
