@@ -1,0 +1,592 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "chaos/shadow_dirty.h"
+#include "common/rng.h"
+#include "core/concurrent_cluster.h"
+#include "obs/metrics.h"
+
+namespace ech::chaos {
+namespace {
+
+/// Effectively-unbounded budget for drain pumps.
+constexpr Bytes kDrainBudget = Bytes{1} << 40;
+/// A drain is bounded: below full power (or with an unreachable source) the
+/// backlog cannot empty, so stop once a round makes no progress.
+constexpr int kMaxDrainRounds = 64;
+
+struct ChaosInstruments {
+  obs::Counter* steps{nullptr};
+  obs::Counter* violations{nullptr};
+  obs::Counter* shrink_replays{nullptr};
+  obs::Counter* ops[kOpKindCount]{};
+};
+
+ChaosInstruments make_instruments(obs::MetricsRegistry& reg) {
+  ChaosInstruments ins;
+  ins.steps = &reg.counter("ech_chaos_steps_total", {},
+                           "Chaos ops applied across campaigns");
+  ins.violations = &reg.counter("ech_chaos_violations_total", {},
+                                "Invariant violations detected");
+  ins.shrink_replays = &reg.counter(
+      "ech_chaos_shrink_replays_total", {},
+      "Schedule replays spent minimising a violating schedule");
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    ins.ops[k] =
+        &reg.counter("ech_chaos_ops_total",
+                     {{"kind", op_kind_name(static_cast<OpKind>(k))}},
+                     "Chaos ops applied, by kind");
+  }
+  return ins;
+}
+
+class Engine {
+ public:
+  static Expected<std::unique_ptr<Engine>> create(const CampaignConfig& cfg,
+                                                  bool spawn_readers);
+  ~Engine() {
+    stop_readers_.store(true, std::memory_order_relaxed);
+    for (std::thread& t : readers_) t.join();
+  }
+
+  /// Next op for the campaign.  Uses only `rng` plus current cluster/model
+  /// state; unsafe failures are substituted with repair pumps at generation
+  /// so the recorded schedule replays without them.
+  [[nodiscard]] Op generate(Rng& rng);
+
+  /// Apply one op (mirroring dirty-table traffic into the shadow) and run
+  /// the invariant checker.
+  [[nodiscard]] std::optional<Violation> apply_and_check(const Op& op);
+
+  /// Ops that bring the cluster to full power with nothing outstanding, so
+  /// the strong quiescent invariants fire on the final check.
+  [[nodiscard]] std::vector<Op> quiesce_ops() const;
+
+  [[nodiscard]] const CampaignStats& stats() const { return stats_; }
+
+ private:
+  Engine(const CampaignConfig& cfg, std::unique_ptr<ElasticCluster> plain,
+         std::unique_ptr<ConcurrentElasticCluster> conc)
+      : cfg_(cfg),
+        plain_(std::move(plain)),
+        conc_(std::move(conc)),
+        inner_(conc_ ? &conc_->unsynchronized() : plain_.get()),
+        checker_(*inner_),
+        shadow_(cfg.cluster.dirty_dedupe),
+        ins_(make_instruments(
+            obs::registry_or_default(cfg.cluster.metrics))) {
+    shadow_on_ = cfg_.shadow_dirty &&
+                 cfg_.cluster.reintegration == ReintegrationMode::kSelective;
+  }
+
+  void start_readers();
+
+  // Facade dispatch: every mutation goes through the locking facade when it
+  // exists, so reader threads stay data-race free.  The checker and the
+  // shadow mirroring read `inner_` directly — safe because mutations only
+  // happen on this (the driver's) thread and readers never write.
+  Status write(ObjectId oid, Bytes size) {
+    return conc_ ? conc_->write(oid, size) : plain_->write(oid, size);
+  }
+  std::uint64_t remove_obj(ObjectId oid) {
+    return conc_ ? conc_->remove_object(oid) : plain_->remove_object(oid);
+  }
+  Status resize(std::uint32_t target) {
+    return conc_ ? conc_->request_resize(target)
+                 : plain_->request_resize(target);
+  }
+  Bytes maintenance(Bytes budget) {
+    return conc_ ? conc_->maintenance_step(budget)
+                 : plain_->maintenance_step(budget);
+  }
+  Bytes repair(Bytes budget) {
+    return conc_ ? conc_->repair_step(budget) : plain_->repair_step(budget);
+  }
+  Status fail(ServerId id) {
+    return conc_ ? conc_->fail_server(id) : plain_->fail_server(id);
+  }
+  Status recover(ServerId id) {
+    return conc_ ? conc_->recover_server(id) : plain_->recover_server(id);
+  }
+
+  [[nodiscard]] std::optional<Violation> apply(const Op& op);
+  std::optional<Violation> do_write(ObjectId oid, Bytes bytes);
+  void do_delete(ObjectId oid);
+  std::optional<Violation> do_maintain(Bytes budget);
+  std::optional<Violation> do_repair(Bytes budget);
+  std::optional<Violation> do_drain();
+  [[nodiscard]] bool safe_to_fail(ServerId victim) const;
+  [[nodiscard]] ObjectId pick_model_oid(Rng& rng) const;
+
+  CampaignConfig cfg_;
+  std::unique_ptr<ElasticCluster> plain_;
+  std::unique_ptr<ConcurrentElasticCluster> conc_;
+  ElasticCluster* inner_;  // the cluster the checker examines
+  InvariantChecker checker_;
+  Model model_;
+  ShadowDirtyTable shadow_;
+  bool shadow_on_{false};
+  std::uint32_t shadow_seen_ver_{0};
+  CampaignStats stats_;
+  ChaosInstruments ins_;
+  std::atomic<bool> stop_readers_{false};
+  std::vector<std::thread> readers_;
+};
+
+Expected<std::unique_ptr<Engine>> Engine::create(const CampaignConfig& cfg,
+                                                 bool spawn_readers) {
+  if (cfg.oid_universe == 0) {
+    return Status{StatusCode::kInvalidArgument, "oid_universe must be >= 1"};
+  }
+  if (cfg.min_object_bytes <= 0 ||
+      cfg.max_object_bytes < cfg.min_object_bytes) {
+    return Status{StatusCode::kInvalidArgument,
+                  "need 0 < min_object_bytes <= max_object_bytes"};
+  }
+  std::unique_ptr<ElasticCluster> plain;
+  std::unique_ptr<ConcurrentElasticCluster> conc;
+  if (cfg.reader_threads > 0) {
+    auto made = ConcurrentElasticCluster::create(cfg.cluster);
+    if (!made.ok()) return made.status();
+    conc = std::move(made).value();
+  } else {
+    auto made = ElasticCluster::create(cfg.cluster);
+    if (!made.ok()) return made.status();
+    plain = std::move(made).value();
+  }
+  auto engine = std::unique_ptr<Engine>(
+      new Engine(cfg, std::move(plain), std::move(conc)));
+  if (spawn_readers) engine->start_readers();
+  return engine;
+}
+
+void Engine::start_readers() {
+  if (!conc_) return;
+  for (std::uint32_t i = 0; i < cfg_.reader_threads; ++i) {
+    readers_.emplace_back([this, i] {
+      Rng rng(cfg_.seed ^ (0x5EED5EEDULL + i * 0x9E3779B97F4A7C15ULL));
+      while (!stop_readers_.load(std::memory_order_relaxed)) {
+        const ObjectId oid{rng.uniform(1, cfg_.oid_universe)};
+        (void)conc_->read(oid);
+        (void)conc_->placement_of(oid);
+      }
+    });
+  }
+}
+
+ObjectId Engine::pick_model_oid(Rng& rng) const {
+  auto it = model_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(
+                       rng.uniform(0, model_.size() - 1)));
+  return it->first;
+}
+
+Op Engine::generate(Rng& rng) {
+  const ElasticCluster& c = *inner_;
+  const std::uint64_t roll = rng.uniform(1, 100);
+  // Budgets small enough that maintenance/repair scans stay partial — the
+  // interesting interleavings are fetches split across version changes,
+  // deletes landing mid-scan, and repairs racing re-integration.
+  const auto budget = [&] {
+    return rng.uniform(static_cast<std::uint64_t>(cfg_.min_object_bytes),
+                       static_cast<std::uint64_t>(4 * cfg_.max_object_bytes));
+  };
+  const auto fresh_write = [&]() -> Op {
+    return {OpKind::kWrite, rng.uniform(1, cfg_.oid_universe),
+            rng.uniform(static_cast<std::uint64_t>(cfg_.min_object_bytes),
+                        static_cast<std::uint64_t>(cfg_.max_object_bytes))};
+  };
+  if (roll <= 22) return fresh_write();
+  if (roll <= 30) {
+    if (model_.empty()) return fresh_write();
+    return {OpKind::kOverwrite, pick_model_oid(rng).value,
+            rng.uniform(static_cast<std::uint64_t>(cfg_.min_object_bytes),
+                        static_cast<std::uint64_t>(cfg_.max_object_bytes))};
+  }
+  if (roll <= 40) {
+    if (model_.empty()) return fresh_write();
+    return {OpKind::kDelete, pick_model_oid(rng).value, 0};
+  }
+  if (roll <= 50) {
+    return {OpKind::kResize, rng.uniform(c.min_active(), c.server_count()),
+            0};
+  }
+  if (roll <= 57) {
+    const ServerId victim{
+        static_cast<std::uint32_t>(rng.uniform(1, c.server_count()))};
+    if (safe_to_fail(victim)) return {OpKind::kFail, victim.value, 0};
+    ++stats_.fail_ops_skipped_unsafe;
+    return {OpKind::kRepair, 0, budget()};
+  }
+  if (roll <= 64) {
+    std::vector<std::uint64_t> failed;
+    for (std::uint32_t id = 1; id <= c.server_count(); ++id) {
+      if (c.is_failed(ServerId{id})) failed.push_back(id);
+    }
+    if (!failed.empty()) {
+      return {OpKind::kRecover, failed[rng.uniform(0, failed.size() - 1)], 0};
+    }
+    return {OpKind::kMaintain, 0, budget()};
+  }
+  if (roll <= 84) return {OpKind::kMaintain, 0, budget()};
+  if (roll <= 98) return {OpKind::kRepair, 0, budget()};
+  return {OpKind::kDrain, 0, 0};
+}
+
+bool Engine::safe_to_fail(ServerId victim) const {
+  const ElasticCluster& c = *inner_;
+  if (victim.value == 0 || victim.value > c.server_count()) return false;
+  if (c.is_failed(victim)) return false;
+  // Keep enough active servers for writes to stay placeable.
+  if (c.placement_index()->is_active(victim) &&
+      c.active_count() <= c.min_active()) {
+    return false;
+  }
+  // Primaries are the paper's always-on anchor: Algorithm 1 places replica
+  // 1 on a primary, so losing the last live one makes every write
+  // unplaceable.  That is outside the failure model the harness drives.
+  const auto victim_rank = c.chain().rank_of(victim);
+  if (victim_rank.has_value() && *victim_rank <= c.primary_count()) {
+    std::uint32_t live_primaries = 0;
+    for (std::uint32_t rank = 1; rank <= c.primary_count(); ++rank) {
+      if (!c.is_failed(c.chain().server_at(rank))) ++live_primaries;
+    }
+    if (live_primaries <= 1) return false;
+  }
+  // Replication must survive the loss: every acknowledged object needs a
+  // fresh replica on a surviving server (powered-off counts: data there is
+  // intact and repair can source from it after power-up).
+  const ObjectStoreCluster& store = c.object_store();
+  for (const auto& [oid, mo] : model_) {
+    bool survives = false;
+    for (ServerId s : store.locate(oid)) {
+      if (s == victim || c.is_failed(s)) continue;
+      const auto obj = store.server(s).get(oid);
+      if (obj.has_value() && obj->header.version == mo.version) {
+        survives = true;
+        break;
+      }
+    }
+    if (!survives) return false;
+  }
+  return true;
+}
+
+std::optional<Violation> Engine::apply_and_check(const Op& op) {
+  ++stats_.steps_executed;
+  ++stats_.ops_by_kind[static_cast<std::size_t>(op.kind)];
+  ins_.steps->inc();
+  ins_.ops[static_cast<std::size_t>(op.kind)]->inc();
+  std::optional<Violation> v = apply(op);
+  if (!v.has_value()) {
+    ++stats_.invariant_checks;
+    v = checker_.check(model_, shadow_on_ ? &shadow_ : nullptr);
+  }
+  if (v.has_value()) ins_.violations->inc();
+  return v;
+}
+
+std::optional<Violation> Engine::apply(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kWrite:
+    case OpKind::kOverwrite:
+      return do_write(ObjectId{op.a}, static_cast<Bytes>(op.b));
+    case OpKind::kDelete:
+      do_delete(ObjectId{op.a});
+      return std::nullopt;
+    case OpKind::kResize:
+      (void)resize(static_cast<std::uint32_t>(op.a));
+      return std::nullopt;
+    case OpKind::kFail: {
+      const ServerId victim{static_cast<std::uint32_t>(op.a)};
+      // Replay re-verifies the gate: after shrinking dropped earlier ops,
+      // a once-safe failure may have become lossy — skipping keeps every
+      // remaining violation the system's fault.
+      if (!safe_to_fail(victim)) {
+        ++stats_.fail_ops_skipped_unsafe;
+        return std::nullopt;
+      }
+      (void)fail(victim);
+      return std::nullopt;
+    }
+    case OpKind::kRecover:
+      (void)recover(ServerId{static_cast<std::uint32_t>(op.a)});
+      return std::nullopt;
+    case OpKind::kMaintain:
+      return do_maintain(static_cast<Bytes>(op.b));
+    case OpKind::kRepair:
+      return do_repair(static_cast<Bytes>(op.b));
+    case OpKind::kDrain:
+      return do_drain();
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Engine::do_write(ObjectId oid, Bytes bytes) {
+  const Status s = write(oid, bytes);
+  if (s.is_ok()) {
+    const Version v = inner_->current_version();
+    model_[oid] = ModelObject{bytes, v};
+    stats_.bytes_written += bytes;
+    // Mirror the write path's dirty insert (offloaded writes only).
+    if (shadow_on_ && !inner_->history().current().is_full_power()) {
+      (void)shadow_.insert(oid, v);
+    }
+  } else {
+    // Rejected write (capacity-full target, placement failure).  Replicas
+    // may have landed partially; scrub every side so the model, the store
+    // and the dirty table agree the object does not exist.
+    (void)remove_obj(oid);
+    model_.erase(oid);
+    if (shadow_on_) (void)shadow_.remove_entries(oid);
+  }
+  return std::nullopt;
+}
+
+void Engine::do_delete(ObjectId oid) {
+  (void)remove_obj(oid);
+  model_.erase(oid);
+  if (shadow_on_) (void)shadow_.remove_entries(oid);
+}
+
+std::optional<Violation> Engine::do_maintain(Bytes budget) {
+  if (budget <= 0) return std::nullopt;  // real step early-returns too
+  const bool selective =
+      cfg_.cluster.reintegration == ReintegrationMode::kSelective;
+  if (shadow_on_ && selective) {
+    // Mirror Algorithm 2's restart-on-new-version before the step runs.
+    const std::uint32_t ver = inner_->current_version().value;
+    if (ver != shadow_seen_ver_) {
+      shadow_.restart();
+      shadow_seen_ver_ = ver;
+    }
+  }
+  stats_.bytes_maintained += maintenance(budget);
+  if (!shadow_on_ || !selective) return std::nullopt;
+
+  const ReintegrationStats& st = inner_->last_reintegration_stats();
+  if (st.entries_failed > 0) {
+    // A failed reconcile keeps its entry, but which retries interleave with
+    // fresh entries is internal to the real scan; stop mirroring instead of
+    // guessing (campaigns that want the shadow use uncapped servers).
+    shadow_on_ = false;
+    return std::nullopt;
+  }
+  const bool full_power = inner_->history().current().is_full_power();
+  const std::uint32_t curr_servers =
+      inner_->history().num_servers(inner_->current_version());
+  std::uint64_t removed = 0;
+  for (std::uint64_t i = 0; i < st.entries_scanned; ++i) {
+    const auto entry = shadow_.fetch_next();
+    if (!entry.has_value()) {
+      return Violation{"shadow-divergence",
+                       "shadow scan exhausted after " + std::to_string(i) +
+                           " of " + std::to_string(st.entries_scanned) +
+                           " mirrored fetches"};
+    }
+    const bool deferred =
+        curr_servers <= inner_->history().num_servers(entry->version);
+    if (full_power && !deferred) {
+      if (shadow_.remove(*entry)) ++removed;
+    }
+  }
+  if (st.drained && shadow_.fetch_next().has_value()) {
+    return Violation{"shadow-divergence",
+                     "real scan drained but the shadow still has entries"};
+  }
+  if (removed != st.entries_retired) {
+    return Violation{"shadow-divergence",
+                     "mirrored " + std::to_string(removed) +
+                         " retirements vs " +
+                         std::to_string(st.entries_retired) + " real"};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Engine::do_repair(Bytes budget) {
+  if (budget <= 0) return std::nullopt;
+  stats_.bytes_repaired += repair(budget);
+  if (shadow_on_) {
+    // Repair below full power tracks the replicas it lands; mirror those
+    // inserts (dedupe suppression matches because the shadow dedupes too).
+    for (const DirtyEntry& e : inner_->last_repair_insertions()) {
+      (void)shadow_.insert(e.oid, e.version);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> Engine::do_drain() {
+  for (int round = 0; round < kMaxDrainRounds; ++round) {
+    const std::size_t backlog_before = inner_->repair_backlog();
+    const std::size_t dirty_before = inner_->dirty_table().size();
+    const Bytes moved_before = stats_.bytes_repaired + stats_.bytes_maintained;
+    if (auto v = do_repair(kDrainBudget)) return v;
+    if (auto v = do_maintain(kDrainBudget)) return v;
+    if (inner_->repair_backlog() == 0 && inner_->dirty_table().empty() &&
+        inner_->pending_maintenance_bytes() == 0) {
+      break;  // fully quiescent
+    }
+    const bool progressed =
+        stats_.bytes_repaired + stats_.bytes_maintained > moved_before ||
+        inner_->repair_backlog() != backlog_before ||
+        inner_->dirty_table().size() != dirty_before;
+    if (!progressed) break;  // below full power the backlog cannot empty
+  }
+  return std::nullopt;
+}
+
+std::vector<Op> Engine::quiesce_ops() const {
+  std::vector<Op> ops;
+  for (std::uint32_t id = 1; id <= inner_->server_count(); ++id) {
+    if (inner_->is_failed(ServerId{id})) {
+      ops.push_back({OpKind::kRecover, id, 0});
+    }
+  }
+  ops.push_back({OpKind::kResize, inner_->server_count(), 0});
+  ops.push_back({OpKind::kDrain, 0, 0});
+  return ops;
+}
+
+/// Replay `ops` on a fresh engine; true iff it trips the same invariant.
+bool reproduces(const CampaignConfig& config, const std::vector<Op>& ops,
+                const std::string& invariant) {
+  auto engine = Engine::create(config, /*spawn_readers=*/false);
+  if (!engine.ok()) return false;
+  for (const Op& op : ops) {
+    if (const auto v = engine.value()->apply_and_check(op)) {
+      return v->invariant == invariant;
+    }
+  }
+  return false;
+}
+
+/// ddmin-style greedy shrink: drop chunks (halving granularity) while the
+/// same invariant still fires, bounded by a replay budget.
+Schedule shrink_schedule(const CampaignConfig& config, std::vector<Op> ops,
+                         const std::string& invariant,
+                         obs::Counter& replays_counter,
+                         std::size_t max_replays) {
+  std::size_t replays = 0;
+  std::size_t chunk = std::max<std::size_t>(1, ops.size() / 2);
+  while (true) {
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < ops.size() && replays < max_replays;) {
+      const std::size_t len = std::min(chunk, ops.size() - start);
+      if (len == ops.size()) break;  // never try the empty schedule
+      std::vector<Op> candidate;
+      candidate.reserve(ops.size() - len);
+      candidate.insert(candidate.end(), ops.begin(),
+                       ops.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       ops.begin() + static_cast<std::ptrdiff_t>(start + len),
+                       ops.end());
+      ++replays;
+      replays_counter.inc();
+      if (reproduces(config, candidate, invariant)) {
+        ops = std::move(candidate);  // keep `start`: next chunk shifted in
+        reduced = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (replays >= max_replays) break;
+    if (chunk == 1) {
+      if (!reduced) break;
+      continue;
+    }
+    if (!reduced) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return Schedule{std::move(ops)};
+}
+
+std::string failure_summary(const CampaignResult& r) {
+  std::ostringstream out;
+  out << "invariant violation: " << r.violation->invariant << " — "
+      << r.violation->detail << "\n"
+      << "seed " << r.seed << ", step " << r.violation_step << " of "
+      << r.executed.ops.size() << " executed ops\n"
+      << "minimal schedule (" << r.minimized.ops.size()
+      << " ops; save and replay with `echctl chaos replay <file>`):\n"
+      << r.minimized.to_string();
+  return out.str();
+}
+
+CampaignResult drive(const CampaignConfig& config, const Schedule* replay) {
+  CampaignResult result;
+  result.seed = config.seed;
+  auto engine = Engine::create(config, /*spawn_readers=*/true);
+  if (!engine.ok()) {
+    result.summary = "campaign setup failed: " + engine.status().to_string();
+    return result;
+  }
+  Rng rng(config.seed);
+  std::optional<Violation> violation;
+  if (replay != nullptr) {
+    for (const Op& op : replay->ops) {
+      result.executed.ops.push_back(op);
+      violation = engine.value()->apply_and_check(op);
+      if (violation.has_value()) break;
+    }
+  } else {
+    for (std::size_t i = 0; i < config.steps && !violation.has_value(); ++i) {
+      const Op op = engine.value()->generate(rng);
+      result.executed.ops.push_back(op);
+      violation = engine.value()->apply_and_check(op);
+    }
+    if (!violation.has_value() && config.final_quiesce) {
+      for (const Op& op : engine.value()->quiesce_ops()) {
+        result.executed.ops.push_back(op);
+        violation = engine.value()->apply_and_check(op);
+        if (violation.has_value()) break;
+      }
+    }
+  }
+  result.stats = engine.value()->stats();
+  if (!violation.has_value()) {
+    result.passed = true;
+    std::ostringstream out;
+    out << "campaign seed " << config.seed << ": "
+        << result.stats.steps_executed << " ops, "
+        << result.stats.invariant_checks
+        << " invariant checks, all held";
+    result.summary = out.str();
+    return result;
+  }
+  result.violation = violation;
+  result.violation_step = result.executed.ops.size() - 1;
+  result.minimized = result.executed;
+  if (config.shrink_on_violation) {
+    obs::MetricsRegistry& reg =
+        obs::registry_or_default(config.cluster.metrics);
+    obs::Counter& replays = reg.counter(
+        "ech_chaos_shrink_replays_total", {},
+        "Schedule replays spent minimising a violating schedule");
+    result.minimized =
+        shrink_schedule(config, result.executed.ops, violation->invariant,
+                        replays, config.max_shrink_replays);
+  }
+  result.summary = failure_summary(result);
+  return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  return drive(config, nullptr);
+}
+
+CampaignResult replay_schedule(const CampaignConfig& config,
+                               const Schedule& schedule) {
+  return drive(config, &schedule);
+}
+
+}  // namespace ech::chaos

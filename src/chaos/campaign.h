@@ -1,0 +1,91 @@
+// Chaos campaign engine.
+//
+// A campaign drives one ElasticCluster (or its thread-safe facade, with
+// reader threads hammering read()/placement_of() concurrently) through a
+// seeded random interleaving of writes, overwrites, deletes, resizes,
+// server failures/recoveries, maintenance and repair pumps, and full
+// drains.  After EVERY op the InvariantChecker cross-examines the cluster
+// against the driver's model of what was acknowledged, and (optionally)
+// against a ShadowDirtyTable mirroring every dirty-table mutation.
+//
+// On a violation the executed prefix is greedily shrunk (ddmin-style chunk
+// removal, bounded replay budget) to a minimal schedule that still trips
+// the same invariant; the result carries the (seed, step) pair and the
+// serialised minimal schedule so the failure replays from a few lines of
+// text — `echctl chaos replay <file>`.
+//
+// The driver only injects failures replication can survive: a kFail op is
+// gated (at generation AND replay) on every acknowledged object keeping a
+// fresh replica off the victim, so any post-failure data loss is the
+// system's fault, never the schedule's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chaos/invariant_checker.h"
+#include "chaos/schedule.h"
+#include "core/elastic_cluster.h"
+
+namespace ech::chaos {
+
+struct CampaignConfig {
+  std::uint64_t seed{1};
+  std::size_t steps{2000};
+  ElasticClusterConfig cluster{};
+  /// Oids are drawn uniformly from [1, oid_universe]; a universe a few times
+  /// the server count keeps per-list dirty traffic dense enough to matter.
+  std::uint64_t oid_universe{192};
+  Bytes min_object_bytes{4 * kKiB};
+  Bytes max_object_bytes{64 * kKiB};
+  /// 0 = plain ElasticCluster; >0 = ConcurrentElasticCluster with this many
+  /// reader threads running read()/placement_of() for the whole campaign.
+  std::uint32_t reader_threads{0};
+  /// Mirror the dirty table into a ShadowDirtyTable and fail on divergence.
+  /// Only meaningful in kSelective mode; auto-disabled mid-campaign when a
+  /// reconcile fails (retry order is internal to the real scan).
+  bool shadow_dirty{true};
+  /// Append recover-everything + resize-to-n + drain ops at the end so the
+  /// strong quiescent invariants (exact placement, clean headers) fire.
+  bool final_quiesce{true};
+  bool shrink_on_violation{true};
+  std::size_t max_shrink_replays{200};
+};
+
+struct CampaignStats {
+  std::uint64_t steps_executed{0};
+  std::uint64_t ops_by_kind[kOpKindCount]{};
+  std::uint64_t fail_ops_skipped_unsafe{0};
+  std::uint64_t invariant_checks{0};
+  Bytes bytes_written{0};
+  Bytes bytes_maintained{0};
+  Bytes bytes_repaired{0};
+};
+
+struct CampaignResult {
+  bool passed{false};
+  std::uint64_t seed{0};
+  std::optional<Violation> violation{};
+  /// Index into `executed.ops` of the op whose post-check fired.
+  std::size_t violation_step{0};
+  /// Every op actually applied, including the final-quiesce suffix.
+  Schedule executed;
+  /// Greedy-shrunk failing schedule (empty when the campaign passed).
+  Schedule minimized;
+  CampaignStats stats{};
+  /// Human-readable verdict; on failure includes the minimal schedule and
+  /// replay instructions.
+  std::string summary;
+};
+
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+
+/// Re-apply a recorded schedule op-for-op (no generation, no shrinking).
+/// kFail ops re-verify the safety gate and are skipped when unsafe, so a
+/// shrunk schedule replays soundly even though dropped ops changed the
+/// state the gate originally saw.
+[[nodiscard]] CampaignResult replay_schedule(const CampaignConfig& config,
+                                             const Schedule& schedule);
+
+}  // namespace ech::chaos

@@ -1,0 +1,240 @@
+#include "chaos/invariant_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace ech::chaos {
+namespace {
+
+std::string oid_str(ObjectId oid) { return std::to_string(oid.value); }
+
+/// Newest stored header version among all holders (powered-off included).
+Version newest_stored(const ObjectStoreCluster& store, ObjectId oid,
+                      const std::vector<ServerId>& holders) {
+  Version newest{0};
+  for (ServerId s : holders) {
+    const auto obj = store.server(s).get(oid);
+    if (obj.has_value() && obj->header.version > newest) {
+      newest = obj->header.version;
+    }
+  }
+  return newest;
+}
+
+}  // namespace
+
+std::optional<Violation> InvariantChecker::check(
+    const Model& model, const ShadowDirtyTable* shadow) {
+  const ElasticCluster& c = *cluster_;
+  const ObjectStoreCluster& store = c.object_store();
+  const DirtyTable& dirty = c.dirty_table();
+  const std::uint32_t p = c.primary_count();
+  const bool full_power = c.history().current().is_full_power();
+  const bool failures_quiesced =
+      c.failed_count() == 0 && c.repair_backlog() == 0;
+  const auto index = c.placement_index();
+
+  // Dirty-table content snapshot (oids with at least one entry), shared by
+  // I2 and the shadow comparison.  Read-only: never touches the scan cursor.
+  std::unordered_set<ObjectId> tracked;
+  const auto lo = dirty.min_version();
+  const auto hi = dirty.max_version();
+  if (lo.has_value()) {
+    for (std::uint32_t v = lo->value; v <= hi->value; ++v) {
+      for (ObjectId oid : dirty.entries_at(Version{v})) tracked.insert(oid);
+    }
+  }
+
+  // I3: version-ordered retirement — the minimum version never regresses.
+  // (Membership versions only grow, so this holds across refills too.)
+  if (lo.has_value()) {
+    if (lo->value < last_min_version_) {
+      return Violation{
+          "I3-retirement-order",
+          "dirty min version moved backwards: " +
+              std::to_string(last_min_version_) + " -> " +
+              std::to_string(lo->value)};
+    }
+    last_min_version_ = lo->value;
+  }
+
+  // Shadow equivalence: content per version and scan cursor.
+  if (shadow != nullptr) {
+    const auto s_lo = shadow->min_version();
+    if (lo.has_value() != s_lo.has_value() ||
+        (lo.has_value() && lo->value != s_lo->value)) {
+      return Violation{"shadow-divergence",
+                       "min version mismatch (real " +
+                           std::to_string(lo.has_value() ? lo->value : 0) +
+                           ", shadow " +
+                           std::to_string(s_lo.has_value() ? s_lo->value : 0) +
+                           ")"};
+    }
+    const auto s_hi = shadow->max_version();
+    const std::uint32_t top =
+        std::max(hi.has_value() ? hi->value : 0,
+                 s_hi.has_value() ? s_hi->value : 0);
+    for (std::uint32_t v = lo.has_value() ? lo->value : 1; v <= top; ++v) {
+      const auto real = dirty.entries_at(Version{v});
+      const auto mirror = shadow->entries_at(Version{v});
+      if (real != mirror) {
+        return Violation{"shadow-divergence",
+                         "entries differ at version " + std::to_string(v) +
+                             " (real " + std::to_string(real.size()) +
+                             ", shadow " + std::to_string(mirror.size()) +
+                             " entries)"};
+      }
+    }
+    if (dirty.cursor() != shadow->cursor()) {
+      const auto [rv, ri] = dirty.cursor();
+      const auto [sv, si] = shadow->cursor();
+      return Violation{"shadow-divergence",
+                       "scan cursor mismatch: real (v" +
+                           std::to_string(rv.value) + ", i" +
+                           std::to_string(ri) + ") vs shadow (v" +
+                           std::to_string(sv.value) + ", i" +
+                           std::to_string(si) + ")"};
+    }
+  }
+
+  // The quiescence gate for the strong placement check: no failures
+  // outstanding, full power, nothing left to re-integrate.
+  const bool quiesced = failures_quiesced && full_power && dirty.empty() &&
+                        c.pending_maintenance_bytes() == 0;
+
+  for (const auto& [oid, mo] : model) {
+    const std::vector<ServerId> holders = store.locate(oid);
+
+    // I4: durability — acknowledged data never disappears or regresses.
+    if (holders.empty()) {
+      return Violation{"I4-durability",
+                       "object " + oid_str(oid) + " has no replica anywhere"};
+    }
+    const Version newest = newest_stored(store, oid, holders);
+    if (newest != mo.version) {
+      return Violation{"I4-durability",
+                       "object " + oid_str(oid) + " newest stored version " +
+                           std::to_string(newest.value) +
+                           " != acknowledged " +
+                           std::to_string(mo.version.value)};
+    }
+    for (ServerId s : holders) {
+      const auto obj = store.server(s).get(oid);
+      if (obj.has_value() && obj->header.version == newest &&
+          obj->size != mo.size) {
+        return Violation{"I4-durability",
+                         "object " + oid_str(oid) + " fresh replica on " +
+                             std::to_string(s.value) + " has size " +
+                             std::to_string(obj->size) + " != acknowledged " +
+                             std::to_string(mo.size)};
+      }
+    }
+
+    // I1 (structural): placement is well-formed — distinct active servers,
+    // exactly one primary unless primaries stand in for secondaries.
+    const auto placed = c.placement_of(oid);
+    if (!placed.ok()) {
+      return Violation{"I1-placement", "placement failed for object " +
+                                           oid_str(oid) + ": " +
+                                           placed.status().to_string()};
+    }
+    std::uint32_t primaries = 0;
+    std::unordered_set<ServerId> distinct;
+    for (ServerId s : placed.value().servers) {
+      if (!distinct.insert(s).second) {
+        return Violation{"I1-placement",
+                         "duplicate server " + std::to_string(s.value) +
+                             " in placement of object " + oid_str(oid)};
+      }
+      if (!index->is_active(s)) {
+        return Violation{"I1-placement",
+                         "inactive server " + std::to_string(s.value) +
+                             " in placement of object " + oid_str(oid)};
+      }
+      const auto rank = c.chain().rank_of(s);
+      if (rank.has_value() && *rank <= p) ++primaries;
+    }
+    if (primaries == 0 ||
+        (primaries != 1 && !placed.value().primaries_as_secondaries)) {
+      return Violation{"I1-placement",
+                       "placement of object " + oid_str(oid) + " names " +
+                           std::to_string(primaries) +
+                           " primaries (expected exactly 1)"};
+    }
+
+    // I1 (residency): with failures repaired, a fresh replica lives on a
+    // primary — the object survives any elastic resize with no clean-up.
+    if (failures_quiesced) {
+      bool on_primary = false;
+      for (ServerId s : holders) {
+        const auto rank = c.chain().rank_of(s);
+        if (!rank.has_value() || *rank > p) continue;
+        const auto obj = store.server(s).get(oid);
+        if (obj.has_value() && obj->header.version == newest) {
+          on_primary = true;
+          break;
+        }
+      }
+      if (!on_primary) {
+        return Violation{"I1-primary-residency",
+                         "object " + oid_str(oid) +
+                             " has no fresh replica on any primary"};
+      }
+    }
+
+    // I2 (tracking): a fresh active replica flagged dirty must be tracked.
+    // Selective mode only — the kFull sweep plan, not the table, is what
+    // guarantees coverage there (and its maintenance clears the table
+    // wholesale once the sweep completes).
+    const bool selective =
+        c.config().reintegration == ReintegrationMode::kSelective;
+    for (ServerId s : selective ? holders : std::vector<ServerId>{}) {
+      const auto obj = store.server(s).get(oid);
+      if (obj.has_value() && obj->header.version == newest &&
+          obj->header.dirty && index->is_active(s) &&
+          !tracked.contains(oid)) {
+        return Violation{"I2-dirty-tracking",
+                         "object " + oid_str(oid) + " is flagged dirty on " +
+                             std::to_string(s.value) +
+                             " but has no dirty-table entry"};
+      }
+    }
+
+    // I2 (quiescent completeness): once everything drained at full power,
+    // the replica set equals the placement exactly, fresh and clean.  This
+    // is the check that catches entries retired before their object really
+    // reached its placement.
+    if (quiesced) {
+      std::vector<ServerId> want = placed.value().servers;
+      std::vector<ServerId> have = holders;
+      std::sort(want.begin(), want.end());
+      std::sort(have.begin(), have.end());
+      if (want != have) {
+        std::ostringstream detail;
+        detail << "object " << oid_str(oid)
+               << " misplaced at quiescence: holders {";
+        for (ServerId s : have) detail << ' ' << s.value;
+        detail << " } vs placement {";
+        for (ServerId s : want) detail << ' ' << s.value;
+        detail << " }";
+        return Violation{"I2-quiescent-placement", detail.str()};
+      }
+      for (ServerId s : have) {
+        const auto obj = store.server(s).get(oid);
+        if (!obj.has_value() || obj->header.version != newest ||
+            obj->header.dirty) {
+          return Violation{"I2-quiescent-placement",
+                           "object " + oid_str(oid) + " replica on " +
+                               std::to_string(s.value) +
+                               " is stale or still flagged dirty at "
+                               "quiescence"};
+        }
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace ech::chaos

@@ -1,0 +1,64 @@
+// Invariant checker: cross-examines an ElasticCluster against an external
+// model of what was acknowledged, after every chaos step.
+//
+// The four paper invariants (docs/ARCHITECTURE.md, "Failure model &
+// invariants"):
+//
+//   I1  Primary residency — placement always names exactly one primary
+//       (unless the primaries-stand-in special case applies), and once
+//       failures are repaired every object keeps a fresh replica on an
+//       always-on primary: the property that makes resizing instant.
+//   I2  Dirty completeness — an object whose fresh active replica carries
+//       the dirty flag has an entry in the dirty table, and once the
+//       cluster quiesces at full power every object sits exactly at its
+//       placement (nothing silently untracked or misplaced).
+//   I3  Version-ordered retirement — the dirty table's minimum version
+//       never moves backwards: entries retire oldest-version-first.
+//   I4  Durability — every acknowledged object stays readable somewhere at
+//       its acknowledged version and size (the chaos driver only injects
+//       failures that replication should survive).
+//
+// Plus, when the engine maintains a ShadowDirtyTable: the real table must
+// agree with the shadow entry-for-entry and cursor-for-cursor.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "chaos/shadow_dirty.h"
+#include "common/types.h"
+#include "core/elastic_cluster.h"
+
+namespace ech::chaos {
+
+/// What the driver believes about one acknowledged object.
+struct ModelObject {
+  Bytes size{0};
+  Version version{0};  // membership version of the newest acknowledged write
+};
+
+using Model = std::unordered_map<ObjectId, ModelObject>;
+
+struct Violation {
+  std::string invariant;  // e.g. "I4-durability"
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const ElasticCluster& cluster)
+      : cluster_(&cluster) {}
+
+  /// Run every applicable invariant.  Stateful across calls (I3 tracks the
+  /// dirty table's minimum version); create one checker per campaign.
+  /// `shadow` may be null.
+  [[nodiscard]] std::optional<Violation> check(const Model& model,
+                                               const ShadowDirtyTable* shadow);
+
+ private:
+  const ElasticCluster* cluster_;
+  std::uint32_t last_min_version_{0};
+};
+
+}  // namespace ech::chaos

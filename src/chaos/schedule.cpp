@@ -1,0 +1,58 @@
+#include "chaos/schedule.h"
+
+#include <array>
+#include <sstream>
+
+namespace ech::chaos {
+namespace {
+
+constexpr std::array<const char*, 9> kKindNames = {
+    "write", "overwrite", "delete", "resize", "fail",
+    "recover", "maintain", "repair", "drain"};
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream out;
+  out << "# elastic-chaos schedule (" << ops.size() << " ops)\n";
+  for (const Op& op : ops) {
+    out << op_kind_name(op.kind) << ' ' << op.a << ' ' << op.b << '\n';
+  }
+  return out.str();
+}
+
+Expected<Schedule> Schedule::parse(const std::string& text) {
+  Schedule out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind.front() == '#') continue;
+    Op op;
+    bool known = false;
+    for (std::size_t k = 0; k < kKindNames.size(); ++k) {
+      if (kind == kKindNames[k]) {
+        op.kind = static_cast<OpKind>(k);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status{StatusCode::kInvalidArgument,
+                    "line " + std::to_string(lineno) + ": unknown op '" +
+                        kind + "'"};
+    }
+    fields >> op.a >> op.b;  // missing operands default to 0
+    out.ops.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace ech::chaos

@@ -1,0 +1,58 @@
+// Chaos schedules: the unit of reproduction.
+//
+// A campaign is driven by a flat list of operations — writes, overwrites,
+// deletes, resizes, server failures/recoveries, maintenance and repair
+// pumps, and full drains.  The generator synthesises one from a seed; on an
+// invariant violation the executed prefix is shrunk to a minimal schedule
+// and serialised, so a failure seen in CI replays locally from a few lines
+// of text instead of a seed plus thousands of steps.
+//
+// The text format is one op per line, `<kind> <a> <b>`, with `#` comment
+// lines ignored:
+//
+//   write 17 4096      # write oid 17, 4096 bytes
+//   resize 4 0         # request 4 active servers
+//   maintain 0 65536   # pump re-integration with a 64 KiB budget
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ech::chaos {
+
+enum class OpKind : std::uint8_t {
+  kWrite,      // a = oid, b = bytes
+  kOverwrite,  // a = oid, b = bytes (oid existed when generated)
+  kDelete,     // a = oid
+  kResize,     // a = target active count
+  kFail,       // a = server id
+  kRecover,    // a = server id
+  kMaintain,   // b = byte budget
+  kRepair,     // b = byte budget
+  kDrain,      // pump repair+maintenance to quiescence (bounded)
+};
+
+inline constexpr std::size_t kOpKindCount = 9;
+
+[[nodiscard]] const char* op_kind_name(OpKind kind);
+
+struct Op {
+  OpKind kind{OpKind::kWrite};
+  std::uint64_t a{0};
+  std::uint64_t b{0};
+
+  friend constexpr bool operator==(const Op&, const Op&) = default;
+};
+
+struct Schedule {
+  std::vector<Op> ops;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static Expected<Schedule> parse(const std::string& text);
+};
+
+}  // namespace ech::chaos

@@ -1,0 +1,115 @@
+#include "chaos/shadow_dirty.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ech::chaos {
+
+bool ShadowDirtyTable::insert(ObjectId oid, Version version) {
+  assert(version.value >= 1);
+  if (dedupe_ && !seen_.insert({version.value, oid.value}).second) {
+    return false;
+  }
+  lists_[version.value].push_back(oid);
+  if (lo_version_ == 0 || version.value < lo_version_) {
+    lo_version_ = version.value;
+  }
+  if (version.value > hi_version_) hi_version_ = version.value;
+  return true;
+}
+
+std::size_t ShadowDirtyTable::list_len(std::uint32_t v) const {
+  const auto it = lists_.find(v);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+std::optional<DirtyEntry> ShadowDirtyTable::fetch_next() {
+  if (lo_version_ == 0) return std::nullopt;
+  if (cursor_version_ == 0) cursor_version_ = lo_version_;
+  while (cursor_version_ <= hi_version_) {
+    const auto it = lists_.find(cursor_version_);
+    if (it != lists_.end() && cursor_index_ < it->second.size()) {
+      return DirtyEntry{it->second[cursor_index_++], Version{cursor_version_}};
+    }
+    ++cursor_version_;
+    cursor_index_ = 0;
+  }
+  return std::nullopt;
+}
+
+bool ShadowDirtyTable::remove(const DirtyEntry& entry) {
+  const auto it = lists_.find(entry.version.value);
+  if (it == lists_.end()) return false;
+  auto& list = it->second;
+  const auto pos = std::find(list.begin(), list.end(), entry.oid);
+  if (pos == list.end()) return false;
+  const auto removed_index =
+      static_cast<std::size_t>(std::distance(list.begin(), pos));
+  list.erase(pos);
+  if (dedupe_) seen_.erase({entry.version.value, entry.oid.value});
+  if (entry.version.value == cursor_version_ &&
+      removed_index < cursor_index_) {
+    --cursor_index_;
+  }
+  tighten_bounds();
+  return true;
+}
+
+std::size_t ShadowDirtyTable::remove_entries(ObjectId oid) {
+  if (lo_version_ == 0) return 0;
+  const std::uint32_t lo = lo_version_;
+  const std::uint32_t hi = hi_version_;
+  std::size_t removed = 0;
+  for (std::uint32_t v = lo; v <= hi; ++v) {
+    while (remove(DirtyEntry{oid, Version{v}})) ++removed;
+  }
+  return removed;
+}
+
+void ShadowDirtyTable::restart() {
+  cursor_version_ = lo_version_;
+  cursor_index_ = 0;
+}
+
+void ShadowDirtyTable::clear() {
+  lists_.clear();
+  seen_.clear();
+  lo_version_ = hi_version_ = 0;
+  cursor_version_ = 0;
+  cursor_index_ = 0;
+}
+
+void ShadowDirtyTable::tighten_bounds() {
+  while (lo_version_ != 0 && lo_version_ <= hi_version_ &&
+         list_len(lo_version_) == 0) {
+    ++lo_version_;
+  }
+  if (lo_version_ > hi_version_) {
+    lo_version_ = hi_version_ = 0;
+  }
+}
+
+std::size_t ShadowDirtyTable::size() const {
+  std::size_t total = 0;
+  for (std::uint32_t v = lo_version_; v != 0 && v <= hi_version_; ++v) {
+    total += list_len(v);
+  }
+  return total;
+}
+
+std::vector<ObjectId> ShadowDirtyTable::entries_at(Version v) const {
+  const auto it = lists_.find(v.value);
+  return it == lists_.end() ? std::vector<ObjectId>{} : it->second;
+}
+
+std::optional<Version> ShadowDirtyTable::min_version() const {
+  if (lo_version_ == 0) return std::nullopt;
+  return Version{lo_version_};
+}
+
+std::optional<Version> ShadowDirtyTable::max_version() const {
+  if (hi_version_ == 0) return std::nullopt;
+  return Version{hi_version_};
+}
+
+}  // namespace ech::chaos

@@ -1,0 +1,68 @@
+// Shadow dirty table: an independent, in-memory re-implementation of the
+// DirtyTable contract (content, bounds, scan cursor, dedupe markers).
+//
+// The chaos engine mirrors every table mutation it drives — write-path
+// inserts, repair-path inserts, scan fetches, retirements, per-object
+// purges — into this shadow, and the invariant checker then demands the
+// real table and the shadow agree entry-for-entry AND cursor-for-cursor.
+// The shadow deliberately shares no code with core/dirty_table.cpp: a
+// bookkeeping bug there (e.g. the scan cursor shifting when an entry at or
+// after it is removed) shows up as a divergence instead of silently
+// corrupting both sides the same way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/dirty_table.h"
+
+namespace ech::chaos {
+
+class ShadowDirtyTable {
+ public:
+  explicit ShadowDirtyTable(bool dedupe = false) : dedupe_(dedupe) {}
+
+  /// Mirrors DirtyTable::insert (including dedupe suppression).
+  bool insert(ObjectId oid, Version version);
+
+  /// Mirrors DirtyTable::fetch_next (version-ascending, FIFO, lazy cursor
+  /// advancement through emptied version lists).
+  [[nodiscard]] std::optional<DirtyEntry> fetch_next();
+
+  /// Mirrors DirtyTable::remove: first occurrence at the entry's version;
+  /// the cursor moves back only when the removed slot preceded it.
+  bool remove(const DirtyEntry& entry);
+
+  /// Mirrors DirtyTable::remove_entries (all versions, all occurrences).
+  std::size_t remove_entries(ObjectId oid);
+
+  void restart();
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<ObjectId> entries_at(Version v) const;
+  [[nodiscard]] std::optional<Version> min_version() const;
+  [[nodiscard]] std::optional<Version> max_version() const;
+  [[nodiscard]] std::pair<Version, std::size_t> cursor() const {
+    return {Version{cursor_version_}, cursor_index_};
+  }
+
+ private:
+  [[nodiscard]] std::size_t list_len(std::uint32_t v) const;
+  void tighten_bounds();
+
+  bool dedupe_{false};
+  std::unordered_map<std::uint32_t, std::vector<ObjectId>> lists_;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen_;
+  std::uint32_t lo_version_{0};  // 0 = empty
+  std::uint32_t hi_version_{0};
+  std::uint32_t cursor_version_{0};
+  std::size_t cursor_index_{0};
+};
+
+}  // namespace ech::chaos

@@ -103,6 +103,18 @@ class ConcurrentElasticCluster {
     std::unique_lock lock(mutex_);
     return inner_->repair_step(byte_budget);
   }
+  [[nodiscard]] Bytes pending_repair_bytes() const {
+    std::shared_lock lock(mutex_);
+    return inner_->pending_repair_bytes();
+  }
+  [[nodiscard]] std::size_t repair_backlog() const {
+    std::shared_lock lock(mutex_);
+    return inner_->repair_backlog();
+  }
+  [[nodiscard]] std::uint32_t failed_count() const {
+    std::shared_lock lock(mutex_);
+    return inner_->failed_count();
+  }
 
   // -- introspection -----------------------------------------------------------
   // Membership-shaped queries answer from the pinned snapshot, lock-free.

@@ -1,5 +1,6 @@
 #include "core/dirty_table.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -87,22 +88,55 @@ std::optional<DirtyEntry> DirtyTable::fetch_next() {
   return std::nullopt;
 }
 
-void DirtyTable::remove(const DirtyEntry& entry) {
+bool DirtyTable::remove(const DirtyEntry& entry) {
   const std::string key = key_for(entry.version);
   auto& shard = store_->shard_for(key);
+  // LREM removes the FIRST occurrence, which is not necessarily the one the
+  // scan just fetched; locate it before removal so the cursor shifts only
+  // when an entry strictly *before* it left the list.  Removing at or after
+  // the cursor leaves the not-yet-scanned suffix aligned and the cursor
+  // must stay put, or the scan re-yields an entry it already processed.
+  std::optional<std::size_t> removed_index;
+  if (entry.version.value == cursor_version_ && cursor_index_ > 0) {
+    const auto items = shard.lrange(key, 0, -1);
+    if (items.ok()) {
+      const std::string needle = encode_oid(entry.oid);
+      for (std::size_t i = 0; i < items.value().size(); ++i) {
+        if (items.value()[i] == needle) {
+          removed_index = i;
+          break;
+        }
+      }
+    }
+  }
   const auto removed = shard.lrem(key, 1, encode_oid(entry.oid));
-  if (!removed.ok() || removed.value() == 0) return;
+  if (!removed.ok() || removed.value() == 0) return false;
   if (dedupe_) {
     const std::string seen = seen_key_for(entry.version, entry.oid);
     store_->shard_for(seen).del(seen);
   }
-  // Keep the scan cursor pointing at the same logical successor: if we
-  // removed an entry at or before the cursor inside the cursor's version
-  // list, everything after shifted left by one.
-  if (entry.version.value == cursor_version_ && cursor_index_ > 0) {
+  if (removed_index.has_value() && *removed_index < cursor_index_) {
     --cursor_index_;
   }
-  // Tighten the version bounds if this emptied the lowest list.
+  tighten_bounds();
+  return true;
+}
+
+std::size_t DirtyTable::remove_entries(ObjectId oid) {
+  if (lo_version_ == 0) return 0;
+  // Route every removal through remove() so the cursor bookkeeping has a
+  // single implementation; the bounds are cached because remove() tightens
+  // them as lists empty out.
+  const std::uint32_t lo = lo_version_;
+  const std::uint32_t hi = hi_version_;
+  std::size_t removed_total = 0;
+  for (std::uint32_t v = lo; v <= hi; ++v) {
+    while (remove(DirtyEntry{oid, Version{v}})) ++removed_total;
+  }
+  return removed_total;
+}
+
+void DirtyTable::tighten_bounds() {
   while (lo_version_ != 0 && lo_version_ <= hi_version_ &&
          list_len(Version{lo_version_}) == 0) {
     ++lo_version_;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -66,11 +67,25 @@ class DirtyTable {
   [[nodiscard]] std::optional<DirtyEntry> fetch_next();
 
   /// Retire `entry` (re-integrated into a full-power version).  Keeps the
-  /// cursor consistent when the removed entry precedes it.
-  void remove(const DirtyEntry& entry);
+  /// cursor consistent when the removed entry precedes it.  Returns false
+  /// when no such entry existed.
+  bool remove(const DirtyEntry& entry);
+
+  /// Drop every entry recorded for `oid`, across all versions (the object
+  /// was deleted; its bookkeeping goes with it).  Returns entries removed.
+  /// Cursor-safe: the scan position shifts only for entries that preceded
+  /// it, exactly like remove().
+  std::size_t remove_entries(ObjectId oid);
 
   /// Drop everything (all data re-integrated at full power).
   void clear();
+
+  /// Scan cursor position: (version, index into its list).  Exposed so
+  /// harnesses can cross-examine cursor consistency under interleaved
+  /// fetch/remove traffic; (0, 0) before the first restart.
+  [[nodiscard]] std::pair<Version, std::size_t> cursor() const {
+    return {Version{cursor_version_}, cursor_index_};
+  }
 
   /// All OIDs recorded under version `v`, FIFO order (planning/tests).
   [[nodiscard]] std::vector<ObjectId> entries_at(Version v) const;
@@ -93,6 +108,9 @@ class DirtyTable {
 
  private:
   [[nodiscard]] std::size_t list_len(Version v) const;
+
+  /// Advance lo_version_ past emptied lists; reset bounds when empty.
+  void tighten_bounds();
 
   kv::ShardedStore* store_;
   bool dedupe_{false};

@@ -190,6 +190,15 @@ Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
   return out;
 }
 
+std::uint64_t ElasticCluster::remove_object(ObjectId oid) {
+  const std::uint64_t erased = store_.erase_object(oid);
+  // Dirty entries for a deleted object are garbage; purging them here keeps
+  // the table an exact record of offloaded *live* data and frees the scan
+  // from wading through tombstones.
+  dirty_.remove_entries(oid);
+  return erased;
+}
+
 MembershipTable ElasticCluster::build_membership(
     std::uint32_t active_target) const {
   MembershipTable table =
@@ -203,8 +212,17 @@ MembershipTable ElasticCluster::build_membership(
 }
 
 Status ElasticCluster::request_resize(std::uint32_t target) {
-  const std::uint32_t clamped =
+  std::uint32_t clamped =
       std::clamp(target, min_active(), config_.server_count);
+  // The clamp bounds the *prefix*, but failed ranks inside the prefix serve
+  // nothing: a resize to min_active with failures outstanding would leave
+  // fewer live servers than the replication level and make every write
+  // unplaceable.  Grow the prefix until enough non-failed servers are
+  // active (or the chain is exhausted).
+  while (clamped < config_.server_count &&
+         build_membership(clamped).active_count() < min_active()) {
+    ++clamped;
+  }
   const std::uint32_t current = active_count();
   const MembershipTable next = build_membership(clamped);
   if (next == history_.current()) return Status::ok();
@@ -218,10 +236,36 @@ Status ElasticCluster::request_resize(std::uint32_t target) {
 
   if (growing && config_.reintegration == ReintegrationMode::kFull) {
     // Sheepdog-style blind rejoin: returning servers are treated as empty,
-    // so whatever they held is discarded and must be re-migrated.
+    // so whatever they held is discarded and must be re-migrated.  One
+    // exception keeps the baseline honest: when a failure in the interim
+    // destroyed the active copies, a returning replica can be the LAST
+    // fresh one — wiping it would lose acknowledged data, so it survives
+    // the rejoin and the sweep reconciles it back into place.
+    std::unordered_set<ServerId> returning;
     for (std::uint32_t rank = old_prefix + 1; rank <= clamped; ++rank) {
       const ServerId id = chain_.server_at(rank);
-      if (!failed_.contains(id)) store_.server(id).clear();
+      if (!failed_.contains(id)) returning.insert(id);
+    }
+    for (ServerId id : returning) {
+      for (const StoredObject& obj : store_.server(id).list()) {
+        Version newest{0};
+        for (ServerId s : store_.locate(obj.oid)) {
+          const auto o = store_.server(s).get(obj.oid);
+          if (o.has_value() && o->header.version > newest) {
+            newest = o->header.version;
+          }
+        }
+        bool survives_elsewhere = false;
+        for (ServerId s : store_.locate(obj.oid)) {
+          if (returning.contains(s)) continue;
+          const auto o = store_.server(s).get(obj.oid);
+          if (o.has_value() && o->header.version == newest) {
+            survives_elsewhere = true;
+            break;
+          }
+        }
+        if (survives_elsewhere) store_.server(id).erase(obj.oid);
+      }
     }
     rebuild_full_plan();
   }
@@ -252,6 +296,7 @@ Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
   if (byte_budget <= 0) return 0;
   if (config_.reintegration == ReintegrationMode::kSelective) {
     const ReintegrationStats stats = reintegrator_.step(byte_budget);
+    last_reintegration_stats_ = stats;
     ins_.maintenance_bytes->add(
         static_cast<std::uint64_t>(stats.bytes_migrated));
     return stats.bytes_migrated;
@@ -370,6 +415,13 @@ Status ElasticCluster::fail_server(ServerId id) {
   }
   store_.server(id).clear();
   failed_.insert(id);
+  // Mirror request_resize: if the loss dropped the live count below the
+  // replication floor, power on deeper ranks to compensate so writes stay
+  // placeable while the failure is outstanding.
+  while (prefix_target_ < config_.server_count &&
+         build_membership(prefix_target_).active_count() < min_active()) {
+    ++prefix_target_;
+  }
   history_.append(build_membership(prefix_target_));
   publish_index();
   ECH_LOG_WARN("elastic") << "server " << id.value << " failed; "
@@ -402,14 +454,26 @@ Status ElasticCluster::recover_server(ServerId id) {
 }
 
 Bytes ElasticCluster::repair_step(Bytes byte_budget) {
+  last_repair_insertions_.clear();
   if (byte_budget <= 0) return 0;
   const PlacementIndex& index = *index_;
   const bool full_power = history_.current().is_full_power();
+  const Version curr = history_.current_version();
   Bytes spent = 0;
-  while (repair_cursor_ < repair_queue_.size() && spent < byte_budget) {
+  // Snapshot the queue end so re-queued objects wait for the *next* pump:
+  // retrying within the same call could spin forever on an object whose
+  // only fresh copy sits on a powered-off server.
+  const std::size_t end = repair_queue_.size();
+  while (repair_cursor_ < end && spent < byte_budget) {
     const ObjectId oid = repair_queue_[repair_cursor_++];
+    if (store_.locate(oid).empty()) continue;  // deleted since queueing
     const auto placed = index.place(oid, config_.replicas);
-    if (!placed.ok()) continue;  // e.g. object deleted, or too few actives
+    if (!placed.ok()) {
+      // Too few active servers to place right now; keep the object queued —
+      // dropping it would silently abandon its re-replication.
+      repair_queue_.push_back(oid);
+      continue;
+    }
     const auto obj_dirty = [&]() {
       // Keep the stored dirty state: repair is orthogonal to elasticity
       // tracking (an object stays dirty until re-integrated at full power).
@@ -423,11 +487,27 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
         store_, oid, placed.value().servers, obj_dirty,
         [&index](ServerId s) { return index.is_active(s); });
     spent += r.bytes_moved;
+    if (r.changed && !full_power) {
+      // Repair below full power lands replicas at an offloaded placement —
+      // that is a dirty write like any other and must be tracked, or the
+      // copies would never be re-homed (and surplus ones never dropped)
+      // once the cluster returns to full power.
+      (void)dirty_.insert(oid, curr);
+      last_repair_insertions_.push_back(DirtyEntry{oid, curr});
+    }
+    if (r.unavailable || r.incomplete) {
+      // No active fresh source, or a target rejected the put: the object is
+      // still under-replicated.  Re-queue so a later pump (after a resize or
+      // recovery) finishes the job instead of declaring repair complete.
+      repair_queue_.push_back(oid);
+    }
   }
-  if (repair_cursor_ >= repair_queue_.size()) {
-    repair_queue_.clear();
-    repair_cursor_ = 0;
-  }
+  // Compact the processed prefix so repeated pump/re-queue cycles don't
+  // grow the queue without bound.
+  repair_queue_.erase(repair_queue_.begin(),
+                      repair_queue_.begin() +
+                          static_cast<std::ptrdiff_t>(repair_cursor_));
+  repair_cursor_ = 0;
   ins_.repair_bytes->add(static_cast<std::uint64_t>(spent));
   return spent;
 }

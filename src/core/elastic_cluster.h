@@ -86,9 +86,7 @@ class ElasticCluster final : public StorageSystem {
   Status write(ObjectId oid, Bytes size) override;
   [[nodiscard]] Expected<std::vector<ServerId>> read(
       ObjectId oid) const override;
-  std::uint64_t remove_object(ObjectId oid) override {
-    return store_.erase_object(oid);
-  }
+  std::uint64_t remove_object(ObjectId oid) override;
   Status request_resize(std::uint32_t target) override;
   [[nodiscard]] std::uint32_t active_count() const override;
   [[nodiscard]] std::uint32_t server_count() const override {
@@ -113,23 +111,30 @@ class ElasticCluster final : public StorageSystem {
   /// membership (new version), and every object it held is queued for
   /// repair.  Fails with kNotFound for unknown ids and kFailedPrecondition
   /// if the server already failed.
-  Status fail_server(ServerId id);
+  Status fail_server(ServerId id) override;
 
   /// A repaired server rejoins (empty).  It becomes active again only if
   /// its rank falls within the current resize target.  Queues a
   /// reconciliation sweep so displaced replicas migrate back.
-  Status recover_server(ServerId id);
+  Status recover_server(ServerId id) override;
 
   /// Pump the repair queue with a byte budget; returns bytes moved.
   /// Repair re-replicates lost data and must typically be prioritised over
   /// elasticity re-integration by the caller.
-  Bytes repair_step(Bytes byte_budget);
+  Bytes repair_step(Bytes byte_budget) override;
 
-  [[nodiscard]] Bytes pending_repair_bytes() const;
-  [[nodiscard]] std::uint32_t failed_count() const {
+  [[nodiscard]] Bytes pending_repair_bytes() const override;
+
+  /// Objects still queued for repair (including reconciles that failed and
+  /// were re-queued).  Zero means repair fully drained — the durability
+  /// pre-condition for tolerating another failure.
+  [[nodiscard]] std::size_t repair_backlog() const override {
+    return repair_queue_.size() - repair_cursor_;
+  }
+  [[nodiscard]] std::uint32_t failed_count() const override {
     return static_cast<std::uint32_t>(failed_.size());
   }
-  [[nodiscard]] bool is_failed(ServerId id) const {
+  [[nodiscard]] bool is_failed(ServerId id) const override {
     return failed_.contains(id);
   }
 
@@ -151,6 +156,20 @@ class ElasticCluster final : public StorageSystem {
   /// snapshot across later resizes (it stays valid for its own epoch).
   [[nodiscard]] std::shared_ptr<const PlacementIndex> placement_index() const {
     return index_;
+  }
+
+  /// Stats of the most recent selective maintenance_step (zero-initialised
+  /// before the first step, and in kFull mode).  Harnesses use the scan
+  /// counters to mirror the dirty-table cursor.
+  [[nodiscard]] const ReintegrationStats& last_reintegration_stats() const {
+    return last_reintegration_stats_;
+  }
+
+  /// Dirty insertions attempted by the most recent repair_step (repair
+  /// landing replicas below full power).  Harnesses mirror these into
+  /// shadow state; cleared at the start of every repair_step.
+  [[nodiscard]] const std::vector<DirtyEntry>& last_repair_insertions() const {
+    return last_repair_insertions_;
   }
 
   [[nodiscard]] Version current_version() const {
@@ -225,6 +244,8 @@ class ElasticCluster final : public StorageSystem {
   DirtyTable dirty_;
   Reintegrator reintegrator_;
 
+  ReintegrationStats last_reintegration_stats_{};
+
   // kFull mode: pending object sweep (oids left to reconcile).
   std::vector<ObjectId> full_plan_;
   std::size_t full_cursor_{0};
@@ -237,6 +258,7 @@ class ElasticCluster final : public StorageSystem {
   std::uint32_t prefix_target_;
   std::vector<ObjectId> repair_queue_;
   std::size_t repair_cursor_{0};
+  std::vector<DirtyEntry> last_repair_insertions_;
 
   // Callback gauges (dirty-table length, resident bytes, active count).
   // Declared last: the guards deregister before any member they read dies.

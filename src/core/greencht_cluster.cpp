@@ -39,8 +39,9 @@ Expected<Placement> GreenChtCluster::place(ObjectId oid) const {
   out.servers.reserve(config_.tiers);
   RingPosition pos = object_position(oid);
   for (std::uint32_t tier = 1; tier <= config_.tiers; ++tier) {
-    const auto hit = ring_.next_server_at(
-        pos, [this, tier](ServerId s) { return tier_of(s) == tier; });
+    const auto hit = ring_.next_server_at(pos, [this, tier](ServerId s) {
+      return tier_of(s) == tier && !failed_.contains(s);
+    });
     if (!hit.has_value()) {
       return Status{StatusCode::kInternal,
                     "tier " + std::to_string(tier) + " empty"};
@@ -75,7 +76,7 @@ Expected<std::vector<ServerId>> GreenChtCluster::read(ObjectId oid) const {
   const std::vector<ServerId> holders = store_.locate(oid);
   std::vector<ServerId> out;
   for (ServerId s : holders) {
-    if (tier_of(s) <= active_tiers_) out.push_back(s);
+    if (tier_of(s) <= active_tiers_ && !failed_.contains(s)) out.push_back(s);
   }
   if (out.empty()) {
     return Status{holders.empty() ? StatusCode::kNotFound
@@ -111,7 +112,7 @@ Bytes GreenChtCluster::maintenance_step(Bytes byte_budget) {
       // Copy from any awake holder.
       const auto holders = store_.locate(oid);
       for (ServerId src : holders) {
-        if (tier_of(src) <= active_tiers_) {
+        if (tier_of(src) <= active_tiers_ && !failed_.contains(src)) {
           const auto obj = store_.server(src).get(oid);
           if (obj.has_value() &&
               store_.server(target).put(oid, obj->header, obj->size)
@@ -127,6 +128,102 @@ Bytes GreenChtCluster::maintenance_step(Bytes byte_budget) {
       cursor = 0;
     }
   }
+  return spent;
+}
+
+Status GreenChtCluster::fail_server(ServerId id) {
+  if (id.value == 0 || id.value > config_.server_count) {
+    return {StatusCode::kNotFound,
+            "server " + std::to_string(id.value) + " not in cluster"};
+  }
+  if (failed_.contains(id)) {
+    return {StatusCode::kFailedPrecondition,
+            "server " + std::to_string(id.value) + " already failed"};
+  }
+  // Queue the victim's objects for re-replication before wiping: its tier
+  // now maps them to the next sibling, which must receive a fresh copy.
+  for (const StoredObject& obj : store_.server(id).list()) {
+    repair_queue_.push_back(obj.oid);
+  }
+  store_.server(id).clear();
+  failed_.insert(id);
+  ECH_LOG_WARN("greencht") << "server " << id.value << " failed; "
+                           << repair_backlog() << " objects queued for repair";
+  return Status::ok();
+}
+
+Status GreenChtCluster::recover_server(ServerId id) {
+  if (!failed_.contains(id)) {
+    return {StatusCode::kFailedPrecondition,
+            "server " + std::to_string(id.value) + " is not failed"};
+  }
+  failed_.erase(id);
+  // The rejoined server reclaims its ring span: sweep every object so
+  // fail-over replicas migrate back to their tier home.
+  for (std::uint32_t sid = 1; sid <= config_.server_count; ++sid) {
+    for (const StoredObject& obj : store_.server(ServerId{sid}).list()) {
+      repair_queue_.push_back(obj.oid);
+    }
+  }
+  ECH_LOG_INFO("greencht") << "server " << id.value << " recovered";
+  return Status::ok();
+}
+
+Bytes GreenChtCluster::repair_step(Bytes byte_budget) {
+  if (byte_budget <= 0) return 0;
+  Bytes spent = 0;
+  // Objects re-queued during this pump wait for the next call (same
+  // end-snapshot discipline as ElasticCluster::repair_step).
+  const std::size_t end = repair_queue_.size();
+  while (repair_cursor_ < end && spent < byte_budget) {
+    const ObjectId oid = repair_queue_[repair_cursor_++];
+    if (store_.locate(oid).empty()) continue;  // deleted since queueing
+    const auto placed = place(oid);
+    if (!placed.ok()) {
+      repair_queue_.push_back(oid);
+      continue;
+    }
+    bool incomplete = false;
+    for (std::uint32_t tier = 1; tier <= config_.tiers; ++tier) {
+      const ServerId target = placed.value().servers[tier - 1];
+      if (!store_.server(target).contains(oid)) {
+        if (tier > active_tiers_) {
+          // Sleeping tier: its copy can only be restored after wake-up.
+          incomplete = true;
+          continue;
+        }
+        const auto holders = store_.locate(oid);
+        bool copied = false;
+        for (ServerId src : holders) {
+          if (src == target || failed_.contains(src) ||
+              tier_of(src) > active_tiers_) {
+            continue;
+          }
+          const auto obj = store_.server(src).get(oid);
+          if (obj.has_value() &&
+              store_.server(target).put(oid, obj->header, obj->size)
+                  .is_ok()) {
+            spent += obj->size;
+            copied = true;
+          }
+          break;
+        }
+        if (!copied) incomplete = true;
+      }
+      // Drop fail-over replicas parked elsewhere in this tier once the
+      // home holds a copy (a tier keeps exactly one replica per object).
+      if (store_.server(target).contains(oid)) {
+        for (ServerId h : store_.locate(oid)) {
+          if (h != target && tier_of(h) == tier) store_.server(h).erase(oid);
+        }
+      }
+    }
+    if (incomplete) repair_queue_.push_back(oid);
+  }
+  repair_queue_.erase(repair_queue_.begin(),
+                      repair_queue_.begin() +
+                          static_cast<std::ptrdiff_t>(repair_cursor_));
+  repair_cursor_ = 0;
   return spent;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/placement.h"
@@ -63,6 +64,27 @@ class GreenChtCluster final : public StorageSystem {
   }
   [[nodiscard]] std::string name() const override { return "GreenCHT"; }
 
+  // -- failure handling ----------------------------------------------------
+  // A failed server drops out of its tier; the tier's ring walk skips it,
+  // so its share fails over to the next server of the same tier.  Repair
+  // re-copies the lost replicas from awake sibling tiers; replicas whose
+  // tier is asleep stay queued until the tier wakes.
+  Status fail_server(ServerId id) override;
+  Status recover_server(ServerId id) override;
+  Bytes repair_step(Bytes byte_budget) override;
+  [[nodiscard]] Bytes pending_repair_bytes() const override {
+    return static_cast<Bytes>(repair_backlog()) * config_.object_size;
+  }
+  [[nodiscard]] std::size_t repair_backlog() const override {
+    return repair_queue_.size() - repair_cursor_;
+  }
+  [[nodiscard]] std::uint32_t failed_count() const override {
+    return static_cast<std::uint32_t>(failed_.size());
+  }
+  [[nodiscard]] bool is_failed(ServerId id) const override {
+    return failed_.contains(id);
+  }
+
   // -- introspection -------------------------------------------------------
   [[nodiscard]] std::uint32_t tier_count() const { return config_.tiers; }
   [[nodiscard]] std::uint32_t tier_size() const {
@@ -93,6 +115,10 @@ class GreenChtCluster final : public StorageSystem {
   /// Objects written while each tier slept (re-synced on wake).
   std::vector<std::vector<ObjectId>> pending_sync_;
   std::vector<std::size_t> sync_cursor_;
+
+  std::unordered_set<ServerId> failed_;
+  std::vector<ObjectId> repair_queue_;
+  std::size_t repair_cursor_{0};
 };
 
 }  // namespace ech

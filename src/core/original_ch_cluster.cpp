@@ -103,6 +103,7 @@ void OriginalChCluster::extract_one() {
 void OriginalChCluster::add_back() {
   ++epoch_;
   for (std::uint32_t id = active_ + 1; id <= target_; ++id) {
+    if (failed_.contains(ServerId{id})) continue;  // stays down until recovered
     (void)ring_.add_server(ServerId{id}, config_.vnodes_per_server);
   }
   active_ = target_;
@@ -130,6 +131,78 @@ Bytes OriginalChCluster::maintenance_step(Bytes byte_budget) {
     break;
   }
   return spent;
+}
+
+void OriginalChCluster::merge_into_repair(RecoveryEngine::Plan&& extra) {
+  for (const MigrationTask& d : extra.drops) {
+    store_.server(d.from).erase(d.oid);
+  }
+  for (MigrationTask& t : extra.tasks) {
+    repair_plan_.total_bytes += t.size;
+    repair_plan_.tasks.push_back(t);
+  }
+}
+
+Status OriginalChCluster::fail_server(ServerId id) {
+  if (id.value == 0 || id.value > config_.server_count) {
+    return {StatusCode::kNotFound,
+            "server " + std::to_string(id.value) + " not in cluster"};
+  }
+  if (failed_.contains(id)) {
+    return {StatusCode::kFailedPrecondition,
+            "server " + std::to_string(id.value) + " already failed"};
+  }
+  ++epoch_;
+  const bool was_on_ring = ring_.contains(id);
+  if (was_on_ring) {
+    (void)ring_.remove_server(id);
+    // Plan re-replication of the lost replicas from survivors BEFORE the
+    // victim's contents are discarded (plan_failover reads them as the
+    // inventory of what went missing).
+    merge_into_repair(RecoveryEngine::plan_failover(store_, {id}, target_fn()));
+  }
+  store_.server(id).clear();
+  failed_.insert(id);
+  ECH_LOG_WARN("original-ch") << "server " << id.value << " failed; "
+                              << repair_backlog() << " repair tasks queued";
+  return Status::ok();
+}
+
+Status OriginalChCluster::recover_server(ServerId id) {
+  if (!failed_.contains(id)) {
+    return {StatusCode::kFailedPrecondition,
+            "server " + std::to_string(id.value) + " is not failed"};
+  }
+  failed_.erase(id);
+  ++epoch_;
+  if (id.value <= active_) {
+    // The server's rank is inside the active prefix: rejoin (empty) and
+    // rebalance everything mapped onto it — the same blind sweep as growth.
+    (void)ring_.add_server(id, config_.vnodes_per_server);
+    merge_into_repair(RecoveryEngine::plan(store_, target_fn()));
+  }
+  ECH_LOG_INFO("original-ch") << "server " << id.value << " recovered";
+  return Status::ok();
+}
+
+Bytes OriginalChCluster::repair_step(Bytes byte_budget) {
+  if (byte_budget <= 0) return 0;
+  const Bytes spent =
+      RecoveryEngine::execute(store_, repair_plan_, &repair_cursor_,
+                              byte_budget);
+  if (repair_cursor_ >= repair_plan_.tasks.size()) {
+    repair_plan_ = {};
+    repair_cursor_ = 0;
+  }
+  return spent;
+}
+
+Bytes OriginalChCluster::pending_repair_bytes() const {
+  Bytes pending = 0;
+  for (std::size_t i = repair_cursor_; i < repair_plan_.tasks.size(); ++i) {
+    pending += repair_plan_.tasks[i].size;
+  }
+  return pending;
 }
 
 Bytes OriginalChCluster::pending_maintenance_bytes() const {

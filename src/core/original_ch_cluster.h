@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/placement.h"
@@ -49,7 +50,13 @@ class OriginalChCluster final : public StorageSystem {
   }
   Status request_resize(std::uint32_t target) override;
   [[nodiscard]] std::uint32_t active_count() const override {
-    return active_;
+    // Failed servers inside the active prefix are off the ring and serve
+    // nothing until recovered.
+    std::uint32_t n = active_;
+    for (ServerId s : failed_) {
+      if (s.value <= active_) --n;
+    }
+    return n;
   }
   [[nodiscard]] std::uint32_t server_count() const override {
     return config_.server_count;
@@ -63,6 +70,25 @@ class OriginalChCluster final : public StorageSystem {
     return store_;
   }
   [[nodiscard]] std::string name() const override { return "original CH"; }
+
+  // -- failure handling ----------------------------------------------------
+  // A failure is an unplanned extraction: the server leaves the ring with
+  // its replicas destroyed, and the lost copies are re-replicated from
+  // survivors through a dedicated repair plan (kept separate from the
+  // elasticity plan so the two pumps can be prioritised independently).
+  Status fail_server(ServerId id) override;
+  Status recover_server(ServerId id) override;
+  Bytes repair_step(Bytes byte_budget) override;
+  [[nodiscard]] Bytes pending_repair_bytes() const override;
+  [[nodiscard]] std::size_t repair_backlog() const override {
+    return repair_plan_.tasks.size() - repair_cursor_;
+  }
+  [[nodiscard]] std::uint32_t failed_count() const override {
+    return static_cast<std::uint32_t>(failed_.size());
+  }
+  [[nodiscard]] bool is_failed(ServerId id) const override {
+    return failed_.contains(id);
+  }
 
   // -- introspection -------------------------------------------------------
   [[nodiscard]] const HashRing& ring() const { return ring_; }
@@ -87,6 +113,11 @@ class OriginalChCluster final : public StorageSystem {
   /// Re-add every server up to `target_`: join empty, queue rebalance.
   void add_back();
 
+  /// Append a plan's tasks to the repair plan.  Drops are applied eagerly —
+  /// RecoveryEngine::execute only honours drops at cursor 0, and the repair
+  /// plan may already be mid-execution when work is merged in.
+  void merge_into_repair(RecoveryEngine::Plan&& extra);
+
   OriginalChConfig config_;
   HashRing ring_;
   ObjectStoreCluster store_;
@@ -96,6 +127,10 @@ class OriginalChCluster final : public StorageSystem {
 
   RecoveryEngine::Plan plan_;
   std::size_t cursor_{0};
+
+  std::unordered_set<ServerId> failed_;
+  RecoveryEngine::Plan repair_plan_;
+  std::size_t repair_cursor_{0};
 };
 
 }  // namespace ech

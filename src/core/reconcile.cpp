@@ -69,11 +69,15 @@ ReconcileResult reconcile_object(
         store.server(src).erase(oid);
         out.bytes_moved += size;
         out.changed = true;
+      } else {
+        out.incomplete = true;
       }
     } else {
       if (store.server(dst).put(oid, new_header, size).is_ok()) {
         out.bytes_moved += size;
         out.changed = true;
+      } else {
+        out.incomplete = true;
       }
     }
   }

@@ -31,6 +31,10 @@ struct ReconcileResult {
   bool changed{false};
   /// True when no active fresh replica existed (nothing could be done).
   bool unavailable{false};
+  /// True when some target still lacks a fresh replica after this attempt
+  /// (a put failed, e.g. the target was at capacity).  The object remains
+  /// misplaced and the caller must retry later rather than declare it done.
+  bool incomplete{false};
 };
 
 ReconcileResult reconcile_object(

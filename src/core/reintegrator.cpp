@@ -31,6 +31,9 @@ Reintegrator::Reintegrator(DirtyTable& table, const VersionHistory& history,
                             "Dirty entries skipped as stale");
   ins_.deferred = &reg.counter("ech_reintegration_entries_deferred_total", {},
                                "Dirty entries deferred (version not larger)");
+  ins_.failed = &reg.counter(
+      "ech_reintegration_entries_failed_total", {},
+      "Dirty entries whose reconcile failed and were kept for retry");
   ins_.drain_ns = &reg.histogram(
       "ech_reintegration_drain_ns", {},
       "Latency from seeing a membership version to first draining its scan");
@@ -66,13 +69,23 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
       }
       break;
     }
+    ++stats.entries_scanned;
     // Algorithm 2 line 6: only act when the current version has more
     // active servers than the version the data was written in.
     if (curr_servers <= history_->num_servers(entry->version)) {
       ++stats.entries_deferred;
       continue;
     }
-    stats.bytes_migrated += reintegrate(*entry, stats);
+    const ReintegrateOutcome out = reintegrate(*entry, stats);
+    stats.bytes_migrated += out.bytes;
+    if (out.failed) {
+      // Replicas are still misplaced (capacity-full target, placement
+      // error, no usable source): keep the (OID, version) record so a
+      // later pass retries — dropping it here would leave the object
+      // permanently untracked.
+      ++stats.entries_failed;
+      continue;
+    }
     if (full_power) {
       // Algorithm 2 lines 11-13: at full power the entry is fully
       // re-integrated and can be retired.
@@ -85,16 +98,18 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
   ins_.retired->add(stats.entries_retired);
   ins_.stale->add(stats.entries_skipped_stale);
   ins_.deferred->add(stats.entries_deferred);
+  ins_.failed->add(stats.entries_failed);
   return stats;
 }
 
-Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
-                                ReintegrationStats& stats) {
+Reintegrator::ReintegrateOutcome Reintegrator::reintegrate(
+    const DirtyEntry& entry, ReintegrationStats& stats) {
   const std::vector<ServerId> holders = cluster_->locate(entry.oid);
   if (holders.empty()) {
-    // Object deleted since the entry was written.
+    // Object deleted since the entry was written: the entry is garbage and
+    // retiring it is correct.
     ++stats.entries_skipped_stale;
-    return 0;
+    return {};
   }
   // Stale-entry check (Section III-E.2): a later write re-dirtied the
   // object and owns a newer entry; this one carries outdated locations.
@@ -107,7 +122,7 @@ Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
   }
   if (newest > entry.version) {
     ++stats.entries_skipped_stale;
-    return 0;
+    return {};
   }
 
   const PlacementIndex& index = *index_;
@@ -116,7 +131,7 @@ Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
     ECH_LOG_WARN("reintegrator")
         << "placement failed for oid " << entry.oid.value << ": "
         << placed.status().to_string();
-    return 0;
+    return {.bytes = 0, .failed = true};
   }
   const bool full_power = history_->current().is_full_power();
   const ReconcileResult r = reconcile_object(
@@ -124,7 +139,7 @@ Bytes Reintegrator::reintegrate(const DirtyEntry& entry,
       /*dirty_flag=*/!full_power,
       [&index](ServerId s) { return index.is_active(s); });
   if (r.changed) ++stats.objects_reintegrated;
-  return r.bytes_moved;
+  return {.bytes = r.bytes_moved, .failed = r.unavailable || r.incomplete};
 }
 
 Bytes Reintegrator::pending_bytes() const {

@@ -42,18 +42,26 @@ namespace ech {
 struct ReintegrationStats {
   Bytes bytes_migrated{0};
   std::uint64_t objects_reintegrated{0};
+  std::uint64_t entries_scanned{0};  // entries fetched by the scan
   std::uint64_t entries_retired{0};
   std::uint64_t entries_skipped_stale{0};
   std::uint64_t entries_deferred{0};  // current version not larger
+  /// Entries whose reconcile attempt failed (placement error, no active
+  /// fresh source, or a capacity-full target).  They are NOT retired even
+  /// at full power — the record must survive until the replicas really sit
+  /// at their placement.
+  std::uint64_t entries_failed{0};
   /// True when the scan reached the end of the dirty table this step.
   bool drained{false};
 
   ReintegrationStats& operator+=(const ReintegrationStats& o) {
     bytes_migrated += o.bytes_migrated;
     objects_reintegrated += o.objects_reintegrated;
+    entries_scanned += o.entries_scanned;
     entries_retired += o.entries_retired;
     entries_skipped_stale += o.entries_skipped_stale;
     entries_deferred += o.entries_deferred;
+    entries_failed += o.entries_failed;
     // Last-wins: the accumulated value reflects the most recent step, so a
     // drain followed by more dirty work reads as "not drained".
     drained = o.drained;
@@ -83,8 +91,17 @@ class Reintegrator {
   [[nodiscard]] Bytes pending_bytes() const;
 
  private:
-  /// Re-integrate one entry.  Returns bytes moved (0 = nothing to do).
-  Bytes reintegrate(const DirtyEntry& entry, ReintegrationStats& stats);
+  struct ReintegrateOutcome {
+    Bytes bytes{0};
+    /// The entry's object is still misplaced (reconcile could not finish);
+    /// the entry must not be retired.
+    bool failed{false};
+  };
+
+  /// Re-integrate one entry.  bytes == 0 with !failed means nothing needed
+  /// doing (already in place, or the entry is stale/garbage).
+  ReintegrateOutcome reintegrate(const DirtyEntry& entry,
+                                 ReintegrationStats& stats);
 
   DirtyTable* table_;
   const VersionHistory* history_;
@@ -99,6 +116,7 @@ class Reintegrator {
     obs::Counter* retired{nullptr};
     obs::Counter* stale{nullptr};
     obs::Counter* deferred{nullptr};
+    obs::Counter* failed{nullptr};
     obs::Histogram* drain_ns{nullptr};  // version-seen -> first drain
   } ins_{};
   Version last_seen_version_{0};  // Algorithm 2's Last_Ver

@@ -1,2 +1,19 @@
-// Interface-only translation unit; anchors the vtable.
+// Interface-only translation unit; anchors the vtable and holds the
+// reject-by-default failure API.
 #include "core/storage_system.h"
+
+namespace ech {
+
+Status StorageSystem::fail_server(ServerId) {
+  return {StatusCode::kFailedPrecondition,
+          name() + " does not model server failures"};
+}
+
+Status StorageSystem::recover_server(ServerId) {
+  return {StatusCode::kFailedPrecondition,
+          name() + " does not model server failures"};
+}
+
+Bytes StorageSystem::repair_step(Bytes) { return 0; }
+
+}  // namespace ech

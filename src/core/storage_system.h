@@ -56,6 +56,37 @@ class StorageSystem {
   [[nodiscard]] virtual const ObjectStoreCluster& object_store() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // -- failure handling ----------------------------------------------------
+  // Elasticity powers servers off *intact*; failures destroy data.  Systems
+  // that model fail-over override these; the defaults reject failure
+  // injection so drivers (chaos harness, failure ablations) can probe
+  // support uniformly instead of downcasting.
+
+  /// Unplanned failure: the server's replicas are lost and it leaves the
+  /// placement until recovered.  kNotFound for unknown ids,
+  /// kFailedPrecondition when already failed (or unsupported).
+  virtual Status fail_server(ServerId id);
+
+  /// A repaired server rejoins empty; lost replicas migrate back via
+  /// repair_step.  kFailedPrecondition when the server is not failed.
+  virtual Status recover_server(ServerId id);
+
+  /// Pump re-replication of failure-displaced data with a byte budget;
+  /// returns bytes moved.  Distinct from maintenance_step: repair restores
+  /// durability and typically outranks elasticity re-integration.
+  virtual Bytes repair_step(Bytes byte_budget);
+
+  /// Estimated bytes repair still has to move.
+  [[nodiscard]] virtual Bytes pending_repair_bytes() const { return 0; }
+
+  /// Objects (or tasks) still queued for repair.  Zero means durability has
+  /// been fully restored after past failures.
+  [[nodiscard]] virtual std::size_t repair_backlog() const { return 0; }
+
+  [[nodiscard]] virtual std::uint32_t failed_count() const { return 0; }
+
+  [[nodiscard]] virtual bool is_failed(ServerId) const { return false; }
 };
 
 }  // namespace ech

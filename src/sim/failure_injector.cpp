@@ -4,7 +4,7 @@
 
 namespace ech {
 
-FailureInjector::FailureInjector(ElasticCluster& cluster,
+FailureInjector::FailureInjector(StorageSystem& cluster,
                                  const FailureInjectorConfig& config)
     : cluster_(&cluster), config_(config), rng_(config.seed) {
   next_failure_.resize(cluster.server_count());

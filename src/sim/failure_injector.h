@@ -1,5 +1,5 @@
 // Failure injection harness: drives random server failures and recoveries
-// against an ElasticCluster and scores availability and durability.
+// against any StorageSystem and scores availability and durability.
 //
 // Elastic storage papers assume fail-over is consistent hashing's strong
 // suit (Section II-A: "makes fail-over handling easy"); this harness
@@ -18,7 +18,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
-#include "core/elastic_cluster.h"
+#include "core/storage_system.h"
 
 namespace ech {
 
@@ -53,8 +53,10 @@ struct AvailabilityReport {
 
 class FailureInjector {
  public:
-  FailureInjector(ElasticCluster& cluster,
-                  const FailureInjectorConfig& config);
+  /// The system must implement the StorageSystem failure API (the defaults
+  /// reject fail_server, which the injector surfaces as zero injected
+  /// failures — baselines without a failure model score trivially).
+  FailureInjector(StorageSystem& cluster, const FailureInjectorConfig& config);
 
   /// Run the churn scenario for `duration_seconds` against objects
   /// [0, object_count) (which must already be written).
@@ -64,7 +66,7 @@ class FailureInjector {
  private:
   void arm_failure_clock(ServerId id, double now);
 
-  ElasticCluster* cluster_;
+  StorageSystem* cluster_;
   FailureInjectorConfig config_;
   Rng rng_;
   std::vector<double> next_failure_;   // per server (index = id-1)

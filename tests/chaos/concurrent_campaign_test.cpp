@@ -1,0 +1,26 @@
+// Chaos campaigns against the thread-safe facade: reader threads hammer
+// read()/placement_of() for the whole run while the driver mutates through
+// the lock.  Runs under the `concurrency` ctest label (TSan build catches
+// races; the unsanitized build still checks the invariants).
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+
+namespace ech::chaos {
+namespace {
+
+TEST(ConcurrentCampaignTest, FixedSeedsHoldUnderConcurrentReaders) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    CampaignConfig cfg;
+    cfg.seed = seed;
+    cfg.steps = 2000;
+    cfg.cluster.vnode_budget = 2000;
+    cfg.reader_threads = 3;
+    const CampaignResult r = run_campaign(cfg);
+    EXPECT_TRUE(r.passed) << r.summary;
+    EXPECT_GE(r.stats.steps_executed, 2000u);
+  }
+}
+
+}  // namespace
+}  // namespace ech::chaos

@@ -1,0 +1,77 @@
+// Schedule text format: the replay contract.  A minimized schedule printed
+// by a failing campaign must parse back to exactly the ops that ran.
+#include "chaos/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace ech::chaos {
+namespace {
+
+TEST(ScheduleTest, OpKindNamesAreDistinct) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    for (std::size_t j = i + 1; j < kOpKindCount; ++j) {
+      EXPECT_STRNE(op_kind_name(static_cast<OpKind>(i)),
+                   op_kind_name(static_cast<OpKind>(j)));
+    }
+  }
+}
+
+TEST(ScheduleTest, RoundTripsEveryKind) {
+  Schedule s;
+  s.ops = {
+      {OpKind::kWrite, 17, 4096},  {OpKind::kOverwrite, 17, 8192},
+      {OpKind::kDelete, 17, 0},    {OpKind::kResize, 4, 0},
+      {OpKind::kFail, 9, 0},       {OpKind::kRecover, 9, 0},
+      {OpKind::kMaintain, 0, 65536}, {OpKind::kRepair, 0, 65536},
+      {OpKind::kDrain, 0, 0},
+  };
+  const auto parsed = Schedule::parse(s.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ops, s.ops);
+}
+
+TEST(ScheduleTest, ParseIgnoresCommentsAndBlankLines) {
+  const auto parsed = Schedule::parse(
+      "# header comment\n"
+      "\n"
+      "write 1 4096\n"
+      "   \n"
+      "# trailing comment\n"
+      "drain 0 0\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().ops.size(), 2u);
+  EXPECT_EQ(parsed.value().ops[0], (Op{OpKind::kWrite, 1, 4096}));
+  EXPECT_EQ(parsed.value().ops[1], (Op{OpKind::kDrain, 0, 0}));
+}
+
+TEST(ScheduleTest, ParseEmptyTextYieldsEmptySchedule) {
+  const auto parsed = Schedule::parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().ops.empty());
+}
+
+TEST(ScheduleTest, ParseRejectsUnknownOp) {
+  const auto parsed = Schedule::parse("write 1 4096\nexplode 2 0\n");
+  ASSERT_FALSE(parsed.ok());
+  // The error names the offending line so a hand-edited schedule is easy
+  // to fix.
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("explode"), std::string::npos);
+}
+
+TEST(ScheduleTest, MissingOperandsDefaultToZero) {
+  const auto parsed = Schedule::parse("drain\nresize 4\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().ops.size(), 2u);
+  EXPECT_EQ(parsed.value().ops[0], (Op{OpKind::kDrain, 0, 0}));
+  EXPECT_EQ(parsed.value().ops[1], (Op{OpKind::kResize, 4, 0}));
+}
+
+TEST(ScheduleTest, ToStringHeaderCountsOps) {
+  Schedule s;
+  s.ops = {{OpKind::kWrite, 1, 2}, {OpKind::kDrain, 0, 0}};
+  EXPECT_NE(s.to_string().find("2 ops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ech::chaos

@@ -199,6 +199,26 @@ TEST_F(DirtyTableDedupeTest, ClearDropsMarkersToo) {
   EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
 }
 
+TEST_F(DirtyTableDedupeTest, MarkerKeyDroppedOnRemove) {
+  const std::string seen = DirtyTable::seen_key_for(Version{2}, ObjectId{1});
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_TRUE(store_.shard_for(seen).exists(seen));
+  ASSERT_TRUE(table_.remove(DirtyEntry{ObjectId{1}, Version{2}}));
+  EXPECT_FALSE(store_.shard_for(seen).exists(seen));
+}
+
+TEST_F(DirtyTableDedupeTest, RemoveEntriesDropsMarkersAndAllowsReinsert) {
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{3}));
+  EXPECT_EQ(table_.remove_entries(ObjectId{1}), 2u);
+  EXPECT_FALSE(store_.shard_for(DirtyTable::seen_key_for(Version{2},
+                                                         ObjectId{1}))
+                   .exists(DirtyTable::seen_key_for(Version{2}, ObjectId{1})));
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{2}));
+  EXPECT_TRUE(table_.insert(ObjectId{1}, Version{3}));
+  EXPECT_EQ(table_.size(), 2u);
+}
+
 TEST_F(DirtyTableDedupeTest, BoundedByWorkingSet) {
   for (int round = 0; round < 10; ++round) {
     for (std::uint64_t oid = 0; oid < 50; ++oid) {
@@ -206,6 +226,90 @@ TEST_F(DirtyTableDedupeTest, BoundedByWorkingSet) {
     }
   }
   EXPECT_EQ(table_.size(), 50u);  // not 500
+}
+
+TEST_F(DirtyTableTest, CursorAccessorTracksScanPosition) {
+  EXPECT_EQ(table_.cursor(), (std::pair<Version, std::size_t>{Version{0}, 0}));
+  table_.insert(ObjectId{1}, Version{3});
+  table_.insert(ObjectId{2}, Version{3});
+  table_.restart();
+  EXPECT_EQ(table_.cursor(), (std::pair<Version, std::size_t>{Version{3}, 0}));
+  (void)table_.fetch_next();
+  EXPECT_EQ(table_.cursor(), (std::pair<Version, std::size_t>{Version{3}, 1}));
+}
+
+TEST_F(DirtyTableTest, RemoveBeforeCursorShiftsItBack) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{2});
+  table_.insert(ObjectId{3}, Version{2});
+  table_.restart();
+  (void)table_.fetch_next();  // 1
+  (void)table_.fetch_next();  // 2
+  // Entry 1 sat before the cursor; removing it must pull the cursor back so
+  // the scan still lands on 3 next.
+  ASSERT_TRUE(table_.remove(DirtyEntry{ObjectId{1}, Version{2}}));
+  EXPECT_EQ(table_.cursor(),
+            (std::pair<Version, std::size_t>{Version{2}, 1}));
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{3});
+}
+
+TEST_F(DirtyTableTest, RemoveAtCursorDoesNotSkipNextEntry) {
+  // Regression: remove() used to decrement the cursor for ANY removal in
+  // its version list; removing the entry the cursor points at then re-
+  // yielded the already-processed predecessor (and the scan skipped one).
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{2});
+  table_.insert(ObjectId{3}, Version{2});
+  table_.restart();
+  (void)table_.fetch_next();  // 1; cursor now AT entry 2
+  ASSERT_TRUE(table_.remove(DirtyEntry{ObjectId{2}, Version{2}}));
+  EXPECT_EQ(table_.cursor(),
+            (std::pair<Version, std::size_t>{Version{2}, 1}));
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{3});
+  EXPECT_FALSE(table_.fetch_next().has_value());
+}
+
+TEST_F(DirtyTableTest, RemoveAfterCursorLeavesScanUntouched) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{2});
+  table_.insert(ObjectId{3}, Version{2});
+  table_.restart();
+  (void)table_.fetch_next();  // 1
+  ASSERT_TRUE(table_.remove(DirtyEntry{ObjectId{3}, Version{2}}));
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{2});
+  EXPECT_FALSE(table_.fetch_next().has_value());
+}
+
+TEST_F(DirtyTableTest, RemoveReportsWhetherAnEntryExisted) {
+  table_.insert(ObjectId{1}, Version{2});
+  EXPECT_TRUE(table_.remove(DirtyEntry{ObjectId{1}, Version{2}}));
+  EXPECT_FALSE(table_.remove(DirtyEntry{ObjectId{1}, Version{2}}));
+  EXPECT_FALSE(table_.remove(DirtyEntry{ObjectId{9}, Version{2}}));
+}
+
+TEST_F(DirtyTableTest, RemoveTakesFirstOccurrenceOfDuplicates) {
+  table_.insert(ObjectId{1}, Version{2});
+  table_.insert(ObjectId{2}, Version{2});
+  table_.insert(ObjectId{1}, Version{2});
+  ASSERT_TRUE(table_.remove(DirtyEntry{ObjectId{1}, Version{2}}));
+  const auto entries = table_.entries_at(Version{2});
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], ObjectId{2});
+  EXPECT_EQ(entries[1], ObjectId{1});
+}
+
+TEST_F(DirtyTableTest, RemoveEntriesPurgesAllVersionsCursorSafely) {
+  table_.insert(ObjectId{7}, Version{1});
+  table_.insert(ObjectId{8}, Version{1});
+  table_.insert(ObjectId{7}, Version{1});  // duplicate
+  table_.insert(ObjectId{7}, Version{2});
+  table_.restart();
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{7});
+  EXPECT_EQ(table_.remove_entries(ObjectId{7}), 3u);
+  EXPECT_EQ(table_.size(), 1u);
+  // The scan must continue at the first not-yet-seen survivor.
+  EXPECT_EQ(table_.fetch_next()->oid, ObjectId{8});
+  EXPECT_FALSE(table_.fetch_next().has_value());
 }
 
 TEST_F(DirtyTableTest, FetchAcrossManyVersionsSkipsEmpties) {

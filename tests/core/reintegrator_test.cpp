@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/cluster_view.h"
 #include "cluster/layout.h"
 #include "core/placement.h"
@@ -217,6 +219,121 @@ TEST_F(ReintegratorTest, VersionChangeRestartsScan) {
     std::sort(want.begin(), want.end());
     EXPECT_EQ(store_.locate(ObjectId{i}), want) << i;
   }
+}
+
+class ReintegratorCapacityTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 10;
+  static constexpr std::uint32_t kP = 2;
+  static constexpr std::uint32_t kR = 2;
+  static constexpr Bytes kCap = 3 * kDefaultObjectSize;
+
+  ReintegratorCapacityTest()
+      : chain_(ExpansionChain::identity(kN, kP)),
+        store_(kN, kCap),
+        kv_(4),
+        table_(kv_),
+        reintegrator_(table_, history_, chain_, ring_, store_, kR) {
+    const WeightVector w = EqualWorkLayout::weights({kN, 10000});
+    for (std::uint32_t rank = 1; rank <= kN; ++rank) {
+      std::uint32_t weight = w[rank - 1];
+      if (rank <= kP) weight = 10000 / kP;
+      EXPECT_TRUE(ring_.add_server(ServerId{rank}, weight).is_ok());
+    }
+    history_.append(MembershipTable::full_power(kN));  // version 1
+  }
+
+  void write(ObjectId oid) {
+    const ClusterView view(chain_, ring_, history_.current());
+    const auto placed = PrimaryPlacement::place(oid, view, kR);
+    ASSERT_TRUE(placed.ok());
+    const bool full = history_.current().is_full_power();
+    ASSERT_TRUE(store_
+                    .put_replicas(oid, placed.value().servers,
+                                  {history_.current_version(), !full})
+                    .ok());
+    if (!full) table_.insert(oid, history_.current_version());
+  }
+
+  void resize(std::uint32_t active) {
+    history_.append(MembershipTable::prefix_active(kN, active));
+  }
+
+  [[nodiscard]] std::vector<ServerId> placement_now(ObjectId oid) const {
+    const ClusterView view(chain_, ring_, history_.current());
+    return PrimaryPlacement::place(oid, view, kR).value().servers;
+  }
+
+  /// Pack `s` with filler objects until another default-size put would
+  /// exceed its capacity.
+  void fill_to_capacity(ServerId s) {
+    while (store_.server(s).put(ObjectId{next_filler_}, {Version{1}, false})
+               .is_ok()) {
+      fillers_.push_back(ObjectId{next_filler_});
+      ++next_filler_;
+    }
+  }
+
+  ExpansionChain chain_;
+  HashRing ring_;
+  VersionHistory history_;
+  ObjectStoreCluster store_;
+  kv::ShardedStore kv_;
+  DirtyTable table_;
+  Reintegrator reintegrator_;
+  std::uint64_t next_filler_{1'000'000};
+  std::vector<ObjectId> fillers_;
+};
+
+TEST_F(ReintegratorCapacityTest, FailedReconcileKeepsEntryForRetry) {
+  // Regression: a dirty entry whose reconcile fails at full power (target
+  // servers at capacity) used to be retired anyway, leaving the object
+  // permanently misplaced with no tracking record.
+  resize(6);  // version 2
+  // Pick an object whose full-power placement differs from where a
+  // 6-active write lands, so re-integration has real work to do.
+  const MembershipTable full_table = MembershipTable::full_power(kN);
+  const ClusterView full_view(chain_, ring_, full_table);
+  ObjectId oid{0};
+  for (std::uint64_t cand = 1; cand <= 500 && oid.value == 0; ++cand) {
+    auto low = placement_now(ObjectId{cand});
+    auto full = PrimaryPlacement::place(ObjectId{cand}, full_view, kR)
+                    .value()
+                    .servers;
+    std::sort(low.begin(), low.end());
+    std::sort(full.begin(), full.end());
+    if (low != full) oid = ObjectId{cand};
+  }
+  ASSERT_NE(oid.value, 0u);
+  write(oid);
+  ASSERT_EQ(table_.size(), 1u);
+
+  resize(10);  // version 3, full power
+  const auto want = placement_now(oid);
+  const auto holders = store_.locate(oid);
+  for (ServerId s : want) {
+    if (std::find(holders.begin(), holders.end(), s) == holders.end()) {
+      fill_to_capacity(s);
+    }
+  }
+
+  auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_GE(stats.entries_failed, 1u);
+  EXPECT_EQ(stats.entries_retired, 0u);
+  EXPECT_EQ(table_.size(), 1u) << "entry dropped despite failed reconcile";
+
+  // Capacity freed: the kept entry lets a later pass finish the job.
+  for (ObjectId f : fillers_) store_.erase_object(f);
+  table_.restart();
+  stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.entries_failed, 0u);
+  EXPECT_EQ(stats.entries_retired, 1u);
+  EXPECT_EQ(table_.size(), 0u);
+  auto sorted_want = want;
+  std::sort(sorted_want.begin(), sorted_want.end());
+  EXPECT_EQ(store_.locate(oid), sorted_want);
 }
 
 TEST(ReintegrationStats, AccumulationCarriesDrainedLastWins) {

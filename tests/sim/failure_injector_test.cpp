@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/elastic_cluster.h"
+
 namespace ech {
 namespace {
 
