@@ -4,6 +4,8 @@
 //
 //   ./echctl                          # interactive REPL (10 servers, r=2)
 //   ./echctl -n 20 -r 3               # custom cluster
+//   ./echctl recover <dir>            # REPL on a cluster recovered from a
+//                                     # checkpoint+WAL directory
 //   echo "write 1\nresize 6\nstatus" | ./echctl
 //
 // Commands:
@@ -19,14 +21,19 @@
 //   kv <redis command...>       raw access to the dirty-table KV store
 //   metrics dump|json|watch     registry snapshot (Prometheus text, JSON,
 //                               or a refreshing key-metric view)
+//   persist <dir>               journal every mutation to <dir> (WAL +
+//                               checkpoints; `echctl recover <dir>` resumes)
+//   checkpoint                  roll the WAL into a fresh checkpoint
 //   help / quit
 //
 // Chaos mode (no REPL):
 //   echctl chaos run [--seed N] [--steps M] [--servers n] [--replicas r]
-//                    [--concurrent T] [--full] [--capacity MIB] [--no-shrink]
+//                    [--concurrent T] [--full] [--capacity MIB] [--crash]
+//                    [--no-shrink]
 //   echctl chaos replay <schedule-file> [same cluster flags]
 // Exit code 0 = all invariants held; 1 = violation (minimal schedule and
 // replay instructions are printed).
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +47,7 @@
 #include "common/csv.h"
 #include "common/log.h"
 #include "core/elastic_cluster.h"
+#include "io/env.h"
 #include "kvstore/command.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -133,7 +141,7 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
         "status | write <oid> [count] | read <oid> | placement <oid> |\n"
         "resize <n> | maintain [mib] | fail <id> | recover <id> |\n"
         "repair [mib] | dirty | layout | kv <command...> |\n"
-        "metrics [dump|json|watch] | quit\n");
+        "metrics [dump|json|watch] | persist <dir> | checkpoint | quit\n");
   } else if (cmd == "status") {
     print_status(c);
   } else if (cmd == "layout") {
@@ -217,6 +225,20 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
     std::string sub;
     ss >> sub;
     handle_metrics(c, sub);
+  } else if (cmd == "persist") {
+    std::string dir;
+    if (!(ss >> dir)) {
+      std::printf("usage: persist <dir>\n");
+    } else {
+      const Status s = c.attach_durability(io::posix_env(), dir);
+      std::printf("%s\n", s.is_ok()
+                              ? ("journaling to " + dir).c_str()
+                              : s.to_string().c_str());
+    }
+  } else if (cmd == "checkpoint") {
+    const Status s = c.checkpoint();
+    std::printf("%s\n", s.is_ok() ? "checkpoint rolled"
+                                  : s.to_string().c_str());
   } else if (cmd == "kv") {
     std::string rest;
     std::getline(ss, rest);
@@ -233,7 +255,7 @@ int chaos_usage() {
       stderr,
       "usage: echctl chaos run    [--seed N] [--steps M] [--servers n]\n"
       "                           [--replicas r] [--concurrent T] [--full]\n"
-      "                           [--capacity MIB] [--no-shrink]\n"
+      "                           [--capacity MIB] [--crash] [--no-shrink]\n"
       "       echctl chaos replay <schedule-file> [same cluster flags]\n");
   return 2;
 }
@@ -274,6 +296,8 @@ int run_chaos(int argc, char** argv) {
       // Capacity pressure makes reconciles fail; the shadow cannot mirror
       // the real scan's retry order, so run these campaigns without it.
       cfg.shadow_dirty = false;
+    } else if (std::strcmp(argv[i], "--crash") == 0) {
+      cfg.durability = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       cfg.shrink_on_violation = false;
     } else if (mode == "replay" && replay_path.empty()) {
@@ -288,11 +312,17 @@ int run_chaos(int argc, char** argv) {
     if (replay_path.empty()) return chaos_usage();
     std::ifstream in(replay_path);
     if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", replay_path.c_str());
+      std::fprintf(stderr, "cannot open schedule %s: %s\n",
+                   replay_path.c_str(), std::strerror(errno));
       return 2;
     }
     std::ostringstream text;
     text << in.rdbuf();
+    if (in.bad()) {
+      std::fprintf(stderr, "read error on schedule %s: %s\n",
+                   replay_path.c_str(), std::strerror(errno));
+      return 2;
+    }
     const auto schedule = chaos::Schedule::parse(text.str());
     if (!schedule.ok()) {
       std::fprintf(stderr, "bad schedule: %s\n",
@@ -319,31 +349,54 @@ int main(int argc, char** argv) {
   // shows exactly this cluster.  Must outlive the cluster: callback gauges
   // deregister from it on cluster destruction.
   static obs::MetricsRegistry registry;
-  ElasticClusterConfig config;
-  config.metrics = &registry;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "-n") == 0) {
-      config.server_count = static_cast<std::uint32_t>(atoi(argv[i + 1]));
-    } else if (std::strcmp(argv[i], "-r") == 0) {
-      config.replicas = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+  std::unique_ptr<ElasticCluster> cluster;
+  if (argc >= 2 && std::strcmp(argv[1], "recover") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: echctl recover <dir>\n");
+      return 2;
     }
-  }
-  auto cluster = ElasticCluster::create(config);
-  if (!cluster.ok()) {
-    std::fprintf(stderr, "bad config: %s\n",
-                 cluster.status().to_string().c_str());
-    return 1;
+    const SnapshotHooks hooks{&registry, nullptr, nullptr};
+    auto recovered = ElasticCluster::recover(io::posix_env(), argv[2], hooks);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recover %s failed: %s\n", argv[2],
+                   recovered.status().to_string().c_str());
+      return 2;
+    }
+    cluster = std::move(recovered).value();
+    std::printf("recovered from %s: version %u, %llu replicas, %zu dirty, "
+                "%zu queued for repair\n",
+                argv[2], cluster->current_version().value,
+                static_cast<unsigned long long>(
+                    cluster->object_store().total_replicas()),
+                cluster->dirty_table().size(), cluster->repair_backlog());
+  } else {
+    ElasticClusterConfig config;
+    config.metrics = &registry;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "-n") == 0) {
+        config.server_count = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "-r") == 0) {
+        config.replicas = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+      }
+    }
+    auto created = ElasticCluster::create(config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "bad config: %s\n",
+                   created.status().to_string().c_str());
+      return 1;
+    }
+    cluster = std::move(created).value();
   }
   kv::Store scratch_kv;  // raw KV playground for the `kv` command
 
   std::printf("echctl — %u servers, %u replicas (type 'help')\n",
-              config.server_count, config.replicas);
+              cluster->server_count(), cluster->config().replicas);
   std::string line;
   while (true) {
     std::printf("ech> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (!handle(*cluster.value(), scratch_kv, line)) break;
+    if (!handle(*cluster, scratch_kv, line)) break;
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "chaos/shadow_dirty.h"
 #include "common/rng.h"
 #include "core/concurrent_cluster.h"
+#include "io/fault_env.h"
 #include "obs/metrics.h"
 
 namespace ech::chaos {
@@ -18,6 +19,10 @@ namespace {
 
 /// Effectively-unbounded budget for drain pumps.
 constexpr Bytes kDrainBudget = Bytes{1} << 40;
+/// Durability campaigns journal into this FaultEnv-backed directory.
+constexpr const char* kDurabilityDir = "/chaos";
+/// Unsynced tail bytes a crash leaves behind — a torn final WAL record.
+constexpr std::size_t kTornTailKeep = 5;
 /// A drain is bounded: below full power (or with an unreachable source) the
 /// backlog cannot empty, so stop once a round makes no progress.
 constexpr int kMaxDrainRounds = 64;
@@ -117,6 +122,10 @@ class Engine {
   }
 
   [[nodiscard]] std::optional<Violation> apply(const Op& op);
+  /// Drop the live cluster, recover from the surviving env bytes, rebind
+  /// the checker and restart readers.  Returns a violation when recovery
+  /// itself fails — that IS the crash-consistency bug being hunted.
+  [[nodiscard]] std::optional<Violation> crash_and_recover();
   std::optional<Violation> do_write(ObjectId oid, Bytes bytes);
   void do_delete(ObjectId oid);
   std::optional<Violation> do_maintain(Bytes budget);
@@ -126,6 +135,10 @@ class Engine {
   [[nodiscard]] ObjectId pick_model_oid(Rng& rng) const;
 
   CampaignConfig cfg_;
+  // Durability substrate.  Declared before the clusters: a cluster's
+  // Durability flushes into these, so they must outlive it.
+  io::MemEnv mem_env_;
+  io::FaultEnv fault_env_{mem_env_};
   std::unique_ptr<ElasticCluster> plain_;
   std::unique_ptr<ConcurrentElasticCluster> conc_;
   ElasticCluster* inner_;  // the cluster the checker examines
@@ -138,6 +151,7 @@ class Engine {
   ChaosInstruments ins_;
   std::atomic<bool> stop_readers_{false};
   std::vector<std::thread> readers_;
+  bool readers_enabled_{false};
 };
 
 Expected<std::unique_ptr<Engine>> Engine::create(const CampaignConfig& cfg,
@@ -163,6 +177,14 @@ Expected<std::unique_ptr<Engine>> Engine::create(const CampaignConfig& cfg,
   }
   auto engine = std::unique_ptr<Engine>(
       new Engine(cfg, std::move(plain), std::move(conc)));
+  if (cfg.durability) {
+    if (Status s = engine->inner_->attach_durability(engine->fault_env_,
+                                                     kDurabilityDir);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  engine->readers_enabled_ = spawn_readers;
   if (spawn_readers) engine->start_readers();
   return engine;
 }
@@ -236,6 +258,24 @@ Op Engine::generate(Rng& rng) {
     return {OpKind::kMaintain, 0, budget()};
   }
   if (roll <= 84) return {OpKind::kMaintain, 0, budget()};
+  if (cfg_.durability) {
+    if (roll <= 90) return {OpKind::kRepair, 0, budget()};
+    if (roll <= 93) return {OpKind::kCheckpoint, 0, 0};
+    if (roll <= 96) {
+      // Crash modes: 0 = now, 1 = at a WAL append, 2 = before an fsync,
+      // 3 = after an fsync (op durable, success unobserved), 4 = before a
+      // rename (mid-checkpoint).  Armed triggers count relative to the
+      // env's live counters, so they land mid-op a few ops out.
+      const std::uint64_t mode = rng.uniform(0, 4);
+      std::uint64_t countdown = 0;
+      if (mode == 1) countdown = rng.uniform(1, 60);
+      if (mode == 2 || mode == 3) countdown = rng.uniform(1, 5);
+      if (mode == 4) countdown = 1;
+      return {OpKind::kCrash, mode, countdown};
+    }
+    if (roll <= 98) return {OpKind::kRepair, 0, budget()};
+    return {OpKind::kDrain, 0, 0};
+  }
   if (roll <= 98) return {OpKind::kRepair, 0, budget()};
   return {OpKind::kDrain, 0, 0};
 }
@@ -284,7 +324,29 @@ std::optional<Violation> Engine::apply_and_check(const Op& op) {
   ++stats_.ops_by_kind[static_cast<std::size_t>(op.kind)];
   ins_.steps->inc();
   ins_.ops[static_cast<std::size_t>(op.kind)]->inc();
+  // Durability campaigns: snapshot the driver's view so an op voided by a
+  // crash can be rolled back to the last durable op boundary.
+  const bool track_crash = cfg_.durability;
+  const Model model_before = track_crash ? model_ : Model{};
+  const ShadowDirtyTable shadow_before =
+      track_crash ? shadow_ : ShadowDirtyTable{};
+  const bool shadow_on_before = shadow_on_;
+  const std::uint32_t shadow_ver_before = shadow_seen_ver_;
   std::optional<Violation> v = apply(op);
+  if (track_crash && fault_env_.crashed()) {
+    // The op that hit the crash: durable iff its end-of-op WAL sync made it
+    // (post-fsync crashes return success the caller never observes — that
+    // op IS durable; anything else voids the whole op).
+    if (!inner_->durability_status().is_ok()) {
+      model_ = model_before;
+      shadow_ = shadow_before;
+      shadow_on_ = shadow_on_before;
+      shadow_seen_ver_ = shadow_ver_before;
+    }
+    // Any violation `apply` reported came from mirroring an op the crash
+    // voided; recovery + the post-recovery check below re-derive the truth.
+    v = crash_and_recover();
+  }
   if (!v.has_value()) {
     ++stats_.invariant_checks;
     v = checker_.check(model_, shadow_on_ ? &shadow_ : nullptr);
@@ -325,7 +387,84 @@ std::optional<Violation> Engine::apply(const Op& op) {
       return do_repair(static_cast<Bytes>(op.b));
     case OpKind::kDrain:
       return do_drain();
+    case OpKind::kCheckpoint:
+      // Only reads cluster state + writes the env, so no facade lock is
+      // needed even with reader threads live.
+      if (cfg_.durability) (void)inner_->checkpoint();
+      return std::nullopt;
+    case OpKind::kCrash: {
+      if (!cfg_.durability) return std::nullopt;
+      io::FaultPlan plan;
+      plan.torn_tail_bytes = kTornTailKeep;
+      switch (op.a) {
+        case 0: fault_env_.crash(kTornTailKeep); break;
+        case 1: plan.crash_at_append = fault_env_.appends() + op.b;
+                fault_env_.arm(plan); break;
+        case 2: plan.crash_before_sync_at = fault_env_.syncs() + op.b;
+                fault_env_.arm(plan); break;
+        case 3: plan.crash_after_sync_at = fault_env_.syncs() + op.b;
+                fault_env_.arm(plan); break;
+        case 4: plan.crash_before_rename_at = fault_env_.renames() + op.b;
+                fault_env_.arm(plan); break;
+        default: break;  // unknown mode in a hand-edited schedule: ignore
+      }
+      return std::nullopt;
+    }
   }
+  return std::nullopt;
+}
+
+std::optional<Violation> Engine::crash_and_recover() {
+  // Quiesce the reader threads before the cluster goes away.
+  stop_readers_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers_) t.join();
+  readers_.clear();
+  stop_readers_.store(false, std::memory_order_relaxed);
+  if (!fault_env_.crashed()) fault_env_.crash(kTornTailKeep);
+  // Destroy the live cluster BEFORE recovering: both register callback
+  // gauges in the same registry, and the recovered one must not find the
+  // dead cluster's still registered.
+  inner_ = nullptr;
+  conc_.reset();
+  plain_.reset();
+  fault_env_.revive();
+  fault_env_.arm(io::FaultPlan{});  // recovery itself runs fault-free
+  const SnapshotHooks hooks{cfg_.cluster.metrics, cfg_.cluster.clock,
+                            cfg_.cluster.tracer};
+  auto recovered = ElasticCluster::recover(fault_env_, kDurabilityDir, hooks);
+  if (!recovered.ok()) {
+    return Violation{"crash-recovery",
+                     "recovery failed: " + recovered.status().to_string()};
+  }
+  if (cfg_.reader_threads > 0) {
+    conc_ = ConcurrentElasticCluster::wrap(std::move(recovered).value());
+    inner_ = &conc_->unsynchronized();
+  } else {
+    plain_ = std::move(recovered).value();
+    inner_ = plain_.get();
+  }
+  checker_.rebind(*inner_);
+  // Re-seed the shadow from the recovered table: a crash voids mirroring
+  // fidelity for the op it interrupted (e.g. a drain whose first pump was
+  // durable but whose second was not), so the durable table is the truth to
+  // mirror from here on.  The recovered Reintegrator restarts its scan on
+  // the next version observation; shadow_seen_ver_ = 0 mirrors that.
+  if (shadow_on_) {
+    shadow_.clear();
+    const DirtyTable& dt = inner_->dirty_table();
+    const auto lo = dt.min_version();
+    const auto hi = dt.max_version();
+    if (lo.has_value() && hi.has_value()) {
+      for (std::uint32_t v = lo->value; v <= hi->value; ++v) {
+        for (ObjectId oid : dt.entries_at(Version{v})) {
+          (void)shadow_.insert(oid, Version{v});
+        }
+      }
+    }
+  }
+  shadow_seen_ver_ = 0;
+  ++stats_.crash_recoveries;
+  if (readers_enabled_) start_readers();
   return std::nullopt;
 }
 
@@ -556,8 +695,11 @@ CampaignResult drive(const CampaignConfig& config, const Schedule* replay) {
     std::ostringstream out;
     out << "campaign seed " << config.seed << ": "
         << result.stats.steps_executed << " ops, "
-        << result.stats.invariant_checks
-        << " invariant checks, all held";
+        << result.stats.invariant_checks << " invariant checks";
+    if (config.durability) {
+      out << ", " << result.stats.crash_recoveries << " crash recoveries";
+    }
+    out << ", all held";
     result.summary = out.str();
     return result;
   }

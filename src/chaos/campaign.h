@@ -46,6 +46,12 @@ struct CampaignConfig {
   /// Only meaningful in kSelective mode; auto-disabled mid-campaign when a
   /// reconcile fails (retry order is internal to the real scan).
   bool shadow_dirty{true};
+  /// Journal the cluster into a fault-injecting in-memory filesystem and
+  /// mix checkpoint + crash ops into the schedule.  After every crash the
+  /// engine recovers from the surviving bytes (rolling back the model to
+  /// the last durable op boundary when the op was lost) and re-runs every
+  /// invariant against the recovered cluster.
+  bool durability{false};
   /// Append recover-everything + resize-to-n + drain ops at the end so the
   /// strong quiescent invariants (exact placement, clean headers) fire.
   bool final_quiesce{true};
@@ -58,6 +64,8 @@ struct CampaignStats {
   std::uint64_t ops_by_kind[kOpKindCount]{};
   std::uint64_t fail_ops_skipped_unsafe{0};
   std::uint64_t invariant_checks{0};
+  /// Crashes the engine recovered from (durability campaigns).
+  std::uint64_t crash_recoveries{0};
   Bytes bytes_written{0};
   Bytes bytes_maintained{0};
   Bytes bytes_repaired{0};

@@ -56,6 +56,11 @@ class InvariantChecker {
   [[nodiscard]] std::optional<Violation> check(const Model& model,
                                                const ShadowDirtyTable* shadow);
 
+  /// Point the checker at a replacement cluster (crash recovery swaps the
+  /// instance).  Keeps the I3 floor: the recovered table must respect the
+  /// retirement order the old instance had already reached.
+  void rebind(const ElasticCluster& cluster) { cluster_ = &cluster; }
+
  private:
   const ElasticCluster* cluster_;
   std::uint32_t last_min_version_{0};

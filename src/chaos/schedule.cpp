@@ -6,9 +6,9 @@
 namespace ech::chaos {
 namespace {
 
-constexpr std::array<const char*, 9> kKindNames = {
-    "write", "overwrite", "delete", "resize", "fail",
-    "recover", "maintain", "repair", "drain"};
+constexpr std::array<const char*, kOpKindCount> kKindNames = {
+    "write", "overwrite", "delete", "resize", "fail", "recover",
+    "maintain", "repair", "drain", "checkpoint", "crash"};
 
 }  // namespace
 

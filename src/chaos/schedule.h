@@ -34,9 +34,14 @@ enum class OpKind : std::uint8_t {
   kMaintain,   // b = byte budget
   kRepair,     // b = byte budget
   kDrain,      // pump repair+maintenance to quiescence (bounded)
+  // Durability ops (no-ops unless the campaign runs with durability on):
+  kCheckpoint,  // roll the WAL into a fresh checkpoint generation
+  kCrash,       // a = crash mode (0 now, 1 at-append, 2 pre-fsync,
+                //                 3 post-fsync, 4 pre-rename)
+                // b = relative trigger count for the armed modes
 };
 
-inline constexpr std::size_t kOpKindCount = 9;
+inline constexpr std::size_t kOpKindCount = 11;
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);
 

@@ -14,4 +14,34 @@ std::uint64_t fnv1a64(const void* data, std::size_t len) noexcept {
   return h;
 }
 
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial 0x82f63b78.
+struct Crc32cTable {
+  std::uint32_t entries[256];
+  constexpr Crc32cTable() : entries{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32cTable kCrc32cTable{};
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrc32cTable.entries[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
 }  // namespace ech

@@ -32,6 +32,17 @@ namespace ech {
   return x ^ (x >> 31);
 }
 
+/// CRC-32C (Castagnoli, the iSCSI/ext4 polynomial) over a byte range.
+/// `seed` lets callers chain ranges: crc32c(b, crc32c(a)) == crc32c(a+b).
+/// Used by the durability layer to frame WAL records and seal snapshots.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t len,
+                                   std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32c(std::string_view s,
+                                          std::uint32_t seed = 0) noexcept {
+  return crc32c(s.data(), s.size(), seed);
+}
+
 /// Combine two 64-bit hashes (boost::hash_combine style, 64-bit constants).
 [[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
                                                    std::uint64_t b) noexcept {

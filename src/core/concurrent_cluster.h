@@ -41,6 +41,14 @@ class ConcurrentElasticCluster {
         new ConcurrentElasticCluster(std::move(inner).value()));
   }
 
+  /// Wrap an already-built cluster (e.g. one ElasticCluster::recover
+  /// produced).  The caller hands over ownership before any concurrency.
+  static std::unique_ptr<ConcurrentElasticCluster> wrap(
+      std::unique_ptr<ElasticCluster> inner) {
+    return std::unique_ptr<ConcurrentElasticCluster>(
+        new ConcurrentElasticCluster(std::move(inner)));
+  }
+
   // -- request path ---------------------------------------------------------
   Status write(ObjectId oid, Bytes size) {
     std::unique_lock lock(mutex_);

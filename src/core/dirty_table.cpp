@@ -46,6 +46,7 @@ bool DirtyTable::insert(ObjectId oid, Version version) {
     lo_version_ = version.value;
   }
   if (version.value > hi_version_) hi_version_ = version.value;
+  if (listener_ != nullptr) listener_->on_dirty_insert(oid, version);
   return true;
 }
 
@@ -119,6 +120,7 @@ bool DirtyTable::remove(const DirtyEntry& entry) {
     --cursor_index_;
   }
   tighten_bounds();
+  if (listener_ != nullptr) listener_->on_dirty_remove(entry.oid, entry.version);
   return true;
 }
 
@@ -147,6 +149,8 @@ void DirtyTable::tighten_bounds() {
 }
 
 void DirtyTable::clear() {
+  // Journal the wipe only when there was something to wipe.
+  if (listener_ != nullptr && lo_version_ != 0) listener_->on_dirty_clear();
   for (std::uint32_t v = lo_version_; v != 0 && v <= hi_version_; ++v) {
     const std::string key = key_for(Version{v});
     if (dedupe_) {

@@ -34,6 +34,17 @@ struct DirtyEntry {
                                    const DirtyEntry&) = default;
 };
 
+/// Observer of actual table mutations (suppressed duplicate inserts and
+/// no-op removals do not fire).  The durability layer journals through
+/// this; see core/durability.h.
+class DirtyTableListener {
+ public:
+  virtual ~DirtyTableListener() = default;
+  virtual void on_dirty_insert(ObjectId oid, Version version) = 0;
+  virtual void on_dirty_remove(ObjectId oid, Version version) = 0;
+  virtual void on_dirty_clear() = 0;
+};
+
 class DirtyTable {
  public:
   /// The table does not own the store (it is the cluster's shared KV
@@ -100,6 +111,10 @@ class DirtyTable {
     return store_->total_memory_bytes();
   }
 
+  /// Attach (or detach, with nullptr) a mutation observer.  The listener
+  /// must outlive the table or be detached first.
+  void set_listener(DirtyTableListener* listener) { listener_ = listener; }
+
   /// Key of the version list (exposed for tests).
   [[nodiscard]] static std::string key_for(Version v);
 
@@ -113,6 +128,7 @@ class DirtyTable {
   void tighten_bounds();
 
   kv::ShardedStore* store_;
+  DirtyTableListener* listener_{nullptr};
   bool dedupe_{false};
   // Version range that may hold entries; maintained locally so scans do not
   // enumerate the whole keyspace.

@@ -1,0 +1,345 @@
+#include "core/durability.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "core/elastic_cluster.h"
+#include "core/snapshot.h"
+
+namespace ech {
+
+namespace {
+
+std::string generation_name(const char* stem, std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s-%010" PRIu64, stem, seq);
+  return buf;
+}
+
+/// Parse the sequence out of an exact "CHECKPOINT-<10 digits>" name.
+bool parse_checkpoint_name(const std::string& name, std::uint64_t* seq) {
+  constexpr std::string_view kPrefix = "CHECKPOINT-";
+  if (name.size() != kPrefix.size() + 10 ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+std::string Durability::checkpoint_name(std::uint64_t seq) {
+  return generation_name("CHECKPOINT", seq);
+}
+
+std::string Durability::wal_name(std::uint64_t seq) {
+  return generation_name("WAL", seq);
+}
+
+Expected<std::unique_ptr<Durability>> Durability::attach(
+    ElasticCluster& cluster, io::Env& env, std::string dir) {
+  if (Status s = env.create_dir(dir); !s.is_ok()) return s;
+  std::uint64_t next_seq = 1;
+  auto names = env.list_dir(dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      std::uint64_t seq = 0;
+      if (parse_checkpoint_name(name, &seq) && seq >= next_seq) {
+        next_seq = seq + 1;
+      }
+    }
+  } else if (names.status().code() != StatusCode::kNotFound) {
+    return names.status();
+  }
+  std::unique_ptr<Durability> d(new Durability(cluster, env, std::move(dir)));
+  if (Status s = d->roll_generation(next_seq); !s.is_ok()) return s;
+  cluster.dirty_table().set_listener(d.get());
+  cluster.mutable_object_store().set_listener(d.get());
+  return d;
+}
+
+Durability::~Durability() {
+  cluster_->dirty_table().set_listener(nullptr);
+  cluster_->mutable_object_store().set_listener(nullptr);
+}
+
+Status Durability::roll_generation(std::uint64_t new_seq) {
+  const std::string ckpt = dir_ + "/" + checkpoint_name(new_seq);
+  if (Status s = save_snapshot(*cluster_, *env_, ckpt); !s.is_ok()) return s;
+  auto wal = io::WalWriter::open(*env_, dir_ + "/" + wal_name(new_seq), true);
+  if (!wal.ok()) return wal.status();
+  // Sync the empty WAL so its existence survives a crash alongside the
+  // checkpoint it belongs to (recovery tolerates a missing WAL anyway).
+  if (Status s = wal.value()->sync(); !s.is_ok()) return s;
+
+  const std::uint64_t old_seq = seq_;
+  seq_ = new_seq;
+  wal_ = std::move(wal).value();
+  pending_ = 0;
+
+  // The new generation is durable; everything else in the directory is
+  // garbage.  Deletion is best-effort — recovery picks the newest valid
+  // checkpoint, so leftovers cost space, not correctness.
+  if (old_seq != 0) {
+    (void)env_->remove_file(dir_ + "/" + checkpoint_name(old_seq));
+    (void)env_->remove_file(dir_ + "/" + wal_name(old_seq));
+  }
+  if (auto names = env_->list_dir(dir_); names.ok()) {
+    for (const std::string& name : names.value()) {
+      if (name == checkpoint_name(seq_) || name == wal_name(seq_)) continue;
+      (void)env_->remove_file(dir_ + "/" + name);
+    }
+  }
+  return Status::ok();
+}
+
+Status Durability::checkpoint() {
+  if (!broken_.is_ok()) return broken_;
+  if (Status s = roll_generation(seq_ + 1); !s.is_ok()) {
+    broken_ = s;
+    return broken_;
+  }
+  return Status::ok();
+}
+
+Status Durability::sync() {
+  if (!broken_.is_ok()) return broken_;
+  if (pending_ == 0) return Status::ok();
+  if (Status s = wal_->sync(); !s.is_ok()) {
+    broken_ = s;
+    return broken_;
+  }
+  pending_ = 0;
+  return Status::ok();
+}
+
+void Durability::append(const std::string& payload) {
+  if (!broken_.is_ok()) return;
+  if (Status s = wal_->append_record(payload); !s.is_ok()) {
+    broken_ = s;
+    return;
+  }
+  ++pending_;
+}
+
+void Durability::log_version(std::uint32_t prefix_target,
+                             const std::unordered_set<ServerId>& failed) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(failed.size());
+  for (ServerId id : failed) ids.push_back(id.value);
+  std::sort(ids.begin(), ids.end());
+  std::ostringstream out;
+  out << "ver " << prefix_target << " " << ids.size();
+  for (std::uint32_t id : ids) out << " " << id;
+  append(out.str());
+}
+
+void Durability::on_dirty_insert(ObjectId oid, Version version) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "d+ %" PRIu64 " %" PRIu32, oid.value,
+                version.value);
+  append(buf);
+}
+
+void Durability::on_dirty_remove(ObjectId oid, Version version) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "d- %" PRIu64 " %" PRIu32, oid.value,
+                version.value);
+  append(buf);
+}
+
+void Durability::on_dirty_clear() { append("dz"); }
+
+void Durability::on_put(ServerId server, ObjectId oid,
+                        const ObjectHeader& header, Bytes size) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "put %" PRIu32 " %" PRIu64 " %" PRIu32 " %d %" PRId64,
+                server.value, oid.value, header.version.value,
+                header.dirty ? 1 : 0, size);
+  append(buf);
+}
+
+void Durability::on_erase(ServerId server, ObjectId oid) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "del %" PRIu32 " %" PRIu64, server.value,
+                oid.value);
+  append(buf);
+}
+
+void Durability::on_server_clear(ServerId server) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "clr %" PRIu32, server.value);
+  append(buf);
+}
+
+// -- ElasticCluster recovery side -------------------------------------------
+
+Status ElasticCluster::apply_wal_record(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  if (!(in >> tag)) {
+    return {StatusCode::kInvalidArgument, "empty WAL record"};
+  }
+  const auto malformed = [&payload]() -> Status {
+    return {StatusCode::kInvalidArgument, "malformed WAL record: " + payload};
+  };
+  if (tag == "ver") {
+    std::uint32_t prefix_target = 0;
+    std::size_t failed_count = 0;
+    if (!(in >> prefix_target >> failed_count)) return malformed();
+    if (failed_count > config_.server_count) return malformed();
+    std::vector<ServerId> failed;
+    failed.reserve(failed_count);
+    for (std::size_t i = 0; i < failed_count; ++i) {
+      std::uint32_t id = 0;
+      if (!(in >> id)) return malformed();
+      failed.push_back(ServerId{id});
+    }
+    return restore_failure_state(failed, prefix_target);
+  }
+  if (tag == "put") {
+    std::uint32_t server = 0;
+    std::uint64_t oid = 0;
+    std::uint32_t version = 0;
+    int dirty = 0;
+    Bytes size = 0;
+    if (!(in >> server >> oid >> version >> dirty >> size)) return malformed();
+    if (server < 1 || server > config_.server_count || size < 0) {
+      return malformed();
+    }
+    return store_.server(ServerId{server})
+        .put(ObjectId{oid}, ObjectHeader{Version{version}, dirty != 0}, size);
+  }
+  if (tag == "del") {
+    std::uint32_t server = 0;
+    std::uint64_t oid = 0;
+    if (!(in >> server >> oid)) return malformed();
+    if (server < 1 || server > config_.server_count) return malformed();
+    (void)store_.server(ServerId{server}).erase(ObjectId{oid});
+    return Status::ok();
+  }
+  if (tag == "clr") {
+    std::uint32_t server = 0;
+    if (!(in >> server)) return malformed();
+    if (server < 1 || server > config_.server_count) return malformed();
+    store_.server(ServerId{server}).clear();
+    return Status::ok();
+  }
+  if (tag == "d+") {
+    std::uint64_t oid = 0;
+    std::uint32_t version = 0;
+    if (!(in >> oid >> version)) return malformed();
+    (void)dirty_.insert(ObjectId{oid}, Version{version});
+    return Status::ok();
+  }
+  if (tag == "d-") {
+    std::uint64_t oid = 0;
+    std::uint32_t version = 0;
+    if (!(in >> oid >> version)) return malformed();
+    (void)dirty_.remove(DirtyEntry{ObjectId{oid}, Version{version}});
+    return Status::ok();
+  }
+  if (tag == "dz") {
+    dirty_.clear();
+    return Status::ok();
+  }
+  return {StatusCode::kInvalidArgument, "unknown WAL record tag: " + tag};
+}
+
+Expected<std::unique_ptr<ElasticCluster>> ElasticCluster::recover(
+    io::Env& env, const std::string& dir, const SnapshotHooks& hooks) {
+  auto names = env.list_dir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<std::uint64_t> seqs;
+  for (const std::string& name : names.value()) {
+    std::uint64_t seq = 0;
+    if (parse_checkpoint_name(name, &seq)) seqs.push_back(seq);
+  }
+  if (seqs.empty()) {
+    return Status{StatusCode::kNotFound, "no checkpoint in " + dir};
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+
+  // Newest checkpoint first; fall back past incomplete/corrupt generations
+  // (a crash mid-roll can leave a torn or damaged checkpoint behind) but
+  // never past WAL corruption — that is data loss the operator must see.
+  std::string detail;
+  for (std::uint64_t seq : seqs) {
+    auto text = env.read_file(dir + "/" + Durability::checkpoint_name(seq));
+    if (!text.ok()) {
+      detail += Durability::checkpoint_name(seq) + ": " +
+                text.status().message() + "; ";
+      continue;
+    }
+    auto loaded = load_snapshot_from_string(text.value(), hooks);
+    if (!loaded.ok()) {
+      detail += Durability::checkpoint_name(seq) + ": " +
+                loaded.status().message() + "; ";
+      continue;
+    }
+    std::unique_ptr<ElasticCluster> cluster = std::move(loaded).value();
+
+    auto wal = io::read_wal(env, dir + "/" + Durability::wal_name(seq));
+    if (!wal.ok()) {
+      if (wal.status().code() == StatusCode::kNotFound) {
+        wal = io::WalReadResult{};  // checkpoint rolled, WAL never created
+      } else {
+        return wal.status();  // mid-log corruption: report, don't guess
+      }
+    }
+    for (std::size_t i = 0; i < wal.value().records.size(); ++i) {
+      if (Status s = cluster->apply_wal_record(wal.value().records[i]);
+          !s.is_ok()) {
+        return Status{StatusCode::kInvalidArgument,
+                      "WAL record " + std::to_string(i) + ": " + s.message()};
+      }
+    }
+    cluster->queue_repair_sweep();
+    if (Status s = cluster->attach_durability(env, dir); !s.is_ok()) return s;
+    return cluster;
+  }
+  return Status{StatusCode::kInvalidArgument,
+                "no valid checkpoint in " + dir + " (" + detail + ")"};
+}
+
+Status ElasticCluster::attach_durability(io::Env& env,
+                                         const std::string& dir) {
+  if (durability_) {
+    return {StatusCode::kFailedPrecondition, "durability already attached"};
+  }
+  auto made = Durability::attach(*this, env, dir);
+  if (!made.ok()) return made.status();
+  durability_ = std::move(made).value();
+  return Status::ok();
+}
+
+Status ElasticCluster::durability_status() const {
+  return durability_ ? durability_->status() : Status::ok();
+}
+
+Status ElasticCluster::checkpoint() {
+  if (!durability_) {
+    return {StatusCode::kFailedPrecondition, "durability not attached"};
+  }
+  return durability_->checkpoint();
+}
+
+void ElasticCluster::journal_version() {
+  if (durability_) durability_->log_version(prefix_target_, failed_);
+}
+
+void ElasticCluster::sync_journal() {
+  if (durability_) (void)durability_->sync();
+}
+
+}  // namespace ech

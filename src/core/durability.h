@@ -1,0 +1,116 @@
+// Crash-consistent durability for ElasticCluster: WAL + checkpoints.
+//
+// The paper's deployment keeps the dirty table in the distributed KV store
+// and membership epochs in Sheepdog's durable epoch log; this layer gives
+// the reproduction the same property on one node.  A directory holds one
+// generation at a time:
+//
+//   CHECKPOINT-<seq>   full state in the snapshot v2 text format
+//   WAL-<seq>          CRC-framed records of every mutation since
+//
+// Rolling a checkpoint writes CHECKPOINT-<seq+1>.tmp, syncs it, atomically
+// renames it into place, opens an empty WAL-<seq+1>, and only then deletes
+// the old generation — so a crash at ANY point leaves at least one complete
+// (checkpoint, WAL-prefix) pair on disk.  Recovery loads the newest valid
+// checkpoint, replays its WAL (a torn final record was never acknowledged
+// and is dropped; CRC damage anywhere earlier is reported, never skipped),
+// then queues the conservative repair sweep and starts a new generation.
+//
+// WAL record payloads are single-line text:
+//
+//   ver <prefix_target> <k> <failed id>*   membership transition appended
+//   put <server> <oid> <version> <dirty> <size>   replica stored / header set
+//   del <server> <oid>                      replica erased
+//   clr <server>                            server wiped (failure)
+//   d+ <oid> <version>                      dirty entry recorded
+//   d- <oid> <version>                      dirty entry retired
+//   dz                                      dirty table cleared (full power)
+//
+// Sync policy: records buffer in the env; ElasticCluster syncs once at the
+// end of every public mutating call (SyncGuard).  Op boundaries are thus
+// the durability unit — a crash mid-op voids the whole op, which is exactly
+// the rollback model the chaos harness applies.  The first journaling
+// failure makes the journal permanently "broken" (sticky status via
+// ElasticCluster::durability_status()); the in-memory cluster keeps
+// serving, and the harness treats later ops as non-durable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "core/dirty_table.h"
+#include "io/env.h"
+#include "io/wal.h"
+#include "store/storage_server.h"
+
+namespace ech {
+
+class ElasticCluster;
+
+class Durability final : public DirtyTableListener, public StoreListener {
+ public:
+  /// Roll a fresh generation for `cluster`'s current state in `dir` and
+  /// start journaling its mutations.
+  static Expected<std::unique_ptr<Durability>> attach(ElasticCluster& cluster,
+                                                      io::Env& env,
+                                                      std::string dir);
+
+  ~Durability() override;
+
+  Durability(const Durability&) = delete;
+  Durability& operator=(const Durability&) = delete;
+
+  /// Roll the WAL into a new checkpoint generation.  Failures break the
+  /// journal (sticky).
+  Status checkpoint();
+
+  /// Sync pending WAL appends (no-op when nothing is pending, so read-only
+  /// ops never consume a sync).
+  Status sync();
+
+  [[nodiscard]] const Status& status() const { return broken_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::uint64_t sequence() const { return seq_; }
+
+  /// Journal a membership transition (called by ElasticCluster after every
+  /// history append).
+  void log_version(std::uint32_t prefix_target,
+                   const std::unordered_set<ServerId>& failed);
+
+  // -- DirtyTableListener --------------------------------------------------
+  void on_dirty_insert(ObjectId oid, Version version) override;
+  void on_dirty_remove(ObjectId oid, Version version) override;
+  void on_dirty_clear() override;
+
+  // -- StoreListener -------------------------------------------------------
+  void on_put(ServerId server, ObjectId oid, const ObjectHeader& header,
+              Bytes size) override;
+  void on_erase(ServerId server, ObjectId oid) override;
+  void on_server_clear(ServerId server) override;
+
+  [[nodiscard]] static std::string checkpoint_name(std::uint64_t seq);
+  [[nodiscard]] static std::string wal_name(std::uint64_t seq);
+
+ private:
+  Durability(ElasticCluster& cluster, io::Env& env, std::string dir)
+      : cluster_(&cluster), env_(&env), dir_(std::move(dir)) {}
+
+  /// Write CHECKPOINT-<seq> via tmp + sync + rename, open an empty
+  /// WAL-<seq>, delete the previous generation.
+  Status roll_generation(std::uint64_t new_seq);
+
+  void append(const std::string& payload);
+
+  ElasticCluster* cluster_;
+  io::Env* env_;
+  std::string dir_;
+  std::uint64_t seq_{0};
+  std::unique_ptr<io::WalWriter> wal_;
+  std::uint64_t pending_{0};  // appended records not yet synced
+  Status broken_{};
+};
+
+}  // namespace ech

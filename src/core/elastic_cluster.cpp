@@ -3,9 +3,15 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "core/durability.h"
 #include "core/reconcile.h"
 
 namespace ech {
+
+// Out-of-line: Durability is incomplete in the header.  ~Durability detaches
+// the dirty-table/store listeners, so durability_ is declared last (destroyed
+// first, while those members are still alive).
+ElasticCluster::~ElasticCluster() = default;
 
 ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
                                std::uint32_t primary_count)
@@ -141,6 +147,7 @@ Status ElasticCluster::write(ObjectId oid, Bytes size) {
 }
 
 Status ElasticCluster::write_object(ObjectId oid, Bytes size) {
+  SyncGuard sync(*this);
   const auto placed = index_->place(oid, config_.replicas);
   if (!placed.ok()) return placed.status();
 
@@ -191,6 +198,7 @@ Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
 }
 
 std::uint64_t ElasticCluster::remove_object(ObjectId oid) {
+  SyncGuard sync(*this);
   const std::uint64_t erased = store_.erase_object(oid);
   // Dirty entries for a deleted object are garbage; purging them here keeps
   // the table an exact record of offloaded *live* data and frees the scan
@@ -212,6 +220,7 @@ MembershipTable ElasticCluster::build_membership(
 }
 
 Status ElasticCluster::request_resize(std::uint32_t target) {
+  SyncGuard sync(*this);
   std::uint32_t clamped =
       std::clamp(target, min_active(), config_.server_count);
   // The clamp bounds the *prefix*, but failed ranks inside the prefix serve
@@ -232,6 +241,7 @@ Status ElasticCluster::request_resize(std::uint32_t target) {
   const bool growing = next.active_count() > current;
   history_.append(next);
   publish_index();
+  journal_version();
   ins_.resize_events->inc();
 
   if (growing && config_.reintegration == ReintegrationMode::kFull) {
@@ -293,6 +303,7 @@ void ElasticCluster::rebuild_full_plan() {
 }
 
 Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
+  SyncGuard sync(*this);
   if (byte_budget <= 0) return 0;
   if (config_.reintegration == ReintegrationMode::kSelective) {
     const ReintegrationStats stats = reintegrator_.step(byte_budget);
@@ -380,6 +391,7 @@ std::vector<Expected<Placement>> ElasticCluster::place_many(
 }
 
 Status ElasticCluster::import_version(const MembershipTable& table) {
+  SyncGuard sync(*this);
   if (table.size() != config_.server_count) {
     return {StatusCode::kInvalidArgument,
             "membership size does not match the cluster"};
@@ -395,10 +407,57 @@ Status ElasticCluster::import_version(const MembershipTable& table) {
   history_.append(table);
   publish_index();
   prefix_target_ = k;
+  journal_version();
   return Status::ok();
 }
 
+Status ElasticCluster::restore_failure_state(
+    const std::vector<ServerId>& failed, std::uint32_t prefix_target) {
+  SyncGuard sync(*this);
+  if (prefix_target < min_active() || prefix_target > config_.server_count) {
+    return {StatusCode::kInvalidArgument,
+            "restore: prefix target out of range"};
+  }
+  std::unordered_set<ServerId> set;
+  for (ServerId id : failed) {
+    if (id.value < 1 || id.value > config_.server_count) {
+      return {StatusCode::kInvalidArgument, "restore: bad failed server id"};
+    }
+    if (!set.insert(id).second) {
+      return {StatusCode::kInvalidArgument,
+              "restore: duplicate failed server id"};
+    }
+  }
+  // Persisted state always satisfies the floor (fail_server/request_resize
+  // grow the prefix before journaling); a combination that violates it here
+  // is corruption, not a state to silently repair.
+  const std::unordered_set<ServerId> previous_failed = std::move(failed_);
+  failed_ = std::move(set);
+  MembershipTable next = build_membership(prefix_target);
+  if (next.active_count() < min_active()) {
+    failed_ = previous_failed;
+    return {StatusCode::kInvalidArgument,
+            "restore: active set below the replication floor"};
+  }
+  prefix_target_ = prefix_target;
+  history_.append(std::move(next));
+  publish_index();
+  journal_version();
+  return Status::ok();
+}
+
+void ElasticCluster::queue_repair_sweep() {
+  for (std::uint32_t rank = 1; rank <= config_.server_count; ++rank) {
+    for (const StoredObject& obj :
+         store_.server(chain_.server_at(rank)).list()) {
+      repair_queue_.push_back(obj.oid);
+    }
+  }
+  if (config_.reintegration == ReintegrationMode::kFull) rebuild_full_plan();
+}
+
 Status ElasticCluster::fail_server(ServerId id) {
+  SyncGuard sync(*this);
   const auto rank = chain_.rank_of(id);
   if (!rank.has_value()) {
     return {StatusCode::kNotFound,
@@ -424,6 +483,7 @@ Status ElasticCluster::fail_server(ServerId id) {
   }
   history_.append(build_membership(prefix_target_));
   publish_index();
+  journal_version();
   ECH_LOG_WARN("elastic") << "server " << id.value << " failed; "
                           << repair_queue_.size() - repair_cursor_
                           << " objects queued for repair (version "
@@ -432,6 +492,7 @@ Status ElasticCluster::fail_server(ServerId id) {
 }
 
 Status ElasticCluster::recover_server(ServerId id) {
+  SyncGuard sync(*this);
   if (!failed_.contains(id)) {
     return {StatusCode::kFailedPrecondition,
             "server " + std::to_string(id.value) + " is not failed"};
@@ -439,6 +500,7 @@ Status ElasticCluster::recover_server(ServerId id) {
   failed_.erase(id);
   history_.append(build_membership(prefix_target_));
   publish_index();
+  journal_version();
   // Sheepdog-style recovery on rejoin: sweep every object so replicas
   // displaced by the failure migrate back to their equal-work home.  The
   // sweep is idempotent — objects already in place cost nothing.
@@ -454,6 +516,7 @@ Status ElasticCluster::recover_server(ServerId id) {
 }
 
 Bytes ElasticCluster::repair_step(Bytes byte_budget) {
+  SyncGuard sync(*this);
   last_repair_insertions_.clear();
   if (byte_budget <= 0) return 0;
   const PlacementIndex& index = *index_;

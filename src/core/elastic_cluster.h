@@ -38,6 +38,21 @@
 
 namespace ech {
 
+namespace io {
+class Env;
+}  // namespace io
+
+class Durability;
+
+/// Observability hooks handed to snapshot/recovery loaders — the restored
+/// cluster's config cannot carry live pointers through the file format, so
+/// callers re-supply them (all optional, same defaults as the config).
+struct SnapshotHooks {
+  obs::MetricsRegistry* metrics{nullptr};
+  const obs::Clock* clock{nullptr};
+  obs::Tracer* tracer{nullptr};
+};
+
 enum class ReintegrationMode : std::uint8_t { kSelective, kFull };
 
 /// Ring-weight layout (Section III-C): the equal-work layout is the
@@ -81,6 +96,8 @@ class ElasticCluster final : public StorageSystem {
   /// Validates the configuration (replicas <= server_count etc.).
   static Expected<std::unique_ptr<ElasticCluster>> create(
       const ElasticClusterConfig& config);
+
+  ~ElasticCluster() override;  // out-of-line: durability_ is incomplete here
 
   // -- StorageSystem ------------------------------------------------------
   Status write(ObjectId oid, Bytes size) override;
@@ -175,6 +192,9 @@ class ElasticCluster final : public StorageSystem {
   [[nodiscard]] Version current_version() const {
     return history_.current_version();
   }
+  /// The requested active prefix size (may exceed active_count() while
+  /// servers in the prefix are failed).
+  [[nodiscard]] std::uint32_t resize_target() const { return prefix_target_; }
   [[nodiscard]] const VersionHistory& history() const { return history_; }
   [[nodiscard]] const ExpansionChain& chain() const { return chain_; }
   [[nodiscard]] const HashRing& ring() const { return ring_; }
@@ -203,6 +223,56 @@ class ElasticCluster final : public StorageSystem {
   /// right size are accepted; the resize target follows the last import.
   Status import_version(const MembershipTable& table);
 
+  /// Snapshot/WAL-restore hook: re-establish failed servers and the resize
+  /// target in one membership append (the failure epoch as persisted, not
+  /// replayed failure-by-failure).  `failed` may be empty — then this is a
+  /// plain prefix transition.  Does NOT queue repair work; callers follow
+  /// up with queue_repair_sweep() once replica state is loaded.
+  Status restore_failure_state(const std::vector<ServerId>& failed,
+                               std::uint32_t prefix_target);
+
+  /// Conservatively queue every stored object for a repair reconcile (and
+  /// rebuild the kFull sweep plan).  The repair queue is deliberately not
+  /// persisted — after a restore/recovery this sweep re-derives it, the
+  /// same way recover_server() sweeps after a rejoin.  Idempotent work:
+  /// objects already placed correctly reconcile as no-ops.
+  void queue_repair_sweep();
+
+  // -- durability (WAL + checkpoints; see core/durability.h) ---------------
+
+  /// Journal every mutation to `dir` inside `env`: writes a fresh
+  /// checkpoint of the current state, then appends CRC-framed WAL records
+  /// for each dirty-table / replica / membership change, syncing once at
+  /// the end of every public mutating call.  kFailedPrecondition when
+  /// already attached.
+  Status attach_durability(io::Env& env, const std::string& dir);
+
+  [[nodiscard]] bool durability_attached() const {
+    return durability_ != nullptr;
+  }
+
+  /// OK while the journal is intact.  A failed append/sync/checkpoint
+  /// breaks the journal permanently (the in-memory cluster keeps serving);
+  /// the sticky error is surfaced here so harnesses/operators can treat
+  /// every op since the break as non-durable.
+  [[nodiscard]] Status durability_status() const;
+
+  /// Roll the WAL into a fresh checkpoint and truncate it (generation
+  /// N -> N+1).  kFailedPrecondition when durability is not attached.
+  Status checkpoint();
+
+  /// Recover a cluster from `dir`: load the newest valid checkpoint, replay
+  /// its WAL (tolerating a torn final record; reporting mid-log corruption
+  /// as kInvalidArgument), queue the conservative repair sweep and re-attach
+  /// durability (which rolls recovery into a fresh checkpoint generation).
+  static Expected<std::unique_ptr<ElasticCluster>> recover(
+      io::Env& env, const std::string& dir, const SnapshotHooks& hooks = {});
+
+  /// Recovery hook: re-apply one WAL record payload (grammar in
+  /// core/durability.h).  Only meaningful on a freshly loaded checkpoint
+  /// with journaling detached.
+  Status apply_wal_record(const std::string& payload);
+
  private:
   explicit ElasticCluster(const ElasticClusterConfig& config,
                           std::uint32_t primary_count);
@@ -217,6 +287,25 @@ class ElasticCluster final : public StorageSystem {
   /// Membership for `active_target` prefix ranks minus failed servers.
   [[nodiscard]] MembershipTable build_membership(
       std::uint32_t active_target) const;
+
+  /// Journal the membership transition just appended (no-op when
+  /// durability is detached).
+  void journal_version();
+
+  /// One WAL sync per public mutating call; see SyncGuard.
+  void sync_journal();
+
+  /// RAII: placed at the top of every public mutating call so the journal
+  /// is synced exactly once at the op boundary, on every exit path.  Ops
+  /// are therefore the durability unit: a crash mid-op loses the whole op,
+  /// a crash after the op keeps all of it.
+  struct SyncGuard {
+    explicit SyncGuard(ElasticCluster& c) : c_(c) {}
+    ~SyncGuard() { c_.sync_journal(); }
+    SyncGuard(const SyncGuard&) = delete;
+    SyncGuard& operator=(const SyncGuard&) = delete;
+    ElasticCluster& c_;
+  };
 
   /// Instrument pointers resolved once at construction; hot paths bump
   /// them without ever touching the registry lock.
@@ -261,8 +350,13 @@ class ElasticCluster final : public StorageSystem {
   std::vector<DirtyEntry> last_repair_insertions_;
 
   // Callback gauges (dirty-table length, resident bytes, active count).
-  // Declared last: the guards deregister before any member they read dies.
+  // Declared after every member the guards read, so they deregister first.
   std::vector<obs::CallbackGuard> gauge_guards_;
+
+  // The journaling sink (nullptr until attach_durability).  Declared last:
+  // its destructor detaches the dirty-table/store listeners, which must
+  // still be alive.
+  std::unique_ptr<Durability> durability_;
 };
 
 }  // namespace ech

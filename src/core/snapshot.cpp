@@ -1,33 +1,56 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
+#include <vector>
+
+#include "common/hash.h"
 
 namespace ech {
 namespace {
 
 constexpr const char* kMagic = "ECHSNAP";
-constexpr int kFormatVersion = 1;
+constexpr int kFormatVersion = 2;
 
 Status malformed(const std::string& what, std::size_t line) {
   return {StatusCode::kInvalidArgument,
           "snapshot: " + what + " at line " + std::to_string(line)};
 }
 
+/// Line iterator over in-memory text that remembers where each line starts,
+/// so the v2 CRC trailer can be verified over the exact preceding bytes.
+struct LineReader {
+  const std::string& text;
+  std::size_t pos{0};
+  std::size_t line_no{0};
+  std::size_t line_start{0};
+
+  bool next(std::istringstream* ss) {
+    if (pos >= text.size()) return false;
+    line_start = pos;
+    const std::size_t nl = text.find('\n', pos);
+    std::string line;
+    if (nl == std::string::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    ++line_no;
+    ss->clear();
+    ss->str(line);
+    return true;
+  }
+};
+
 }  // namespace
 
-Status save_snapshot(const ElasticCluster& cluster, const std::string& path) {
-  if (cluster.failed_count() > 0) {
-    return {StatusCode::kFailedPrecondition,
-            "cannot snapshot a cluster with failed servers; repair or "
-            "recover them first"};
-  }
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return {StatusCode::kInternal, "cannot open " + path + " for writing"};
-  }
+std::string snapshot_to_string(const ElasticCluster& cluster) {
+  std::ostringstream out;
   const ElasticClusterConfig& config = cluster.config();
   out << kMagic << ' ' << kFormatVersion << '\n';
   out << "config " << config.server_count << ' ' << config.replicas << ' '
@@ -38,6 +61,11 @@ Status save_snapshot(const ElasticCluster& cluster, const std::string& path) {
       << config.kv_shards << ' ' << (config.dirty_dedupe ? 1 : 0) << ' '
       << (config.layout == LayoutKind::kUniform ? "uniform" : "equal-work")
       << '\n';
+  if (!config.capacity_by_rank.empty()) {
+    out << "caps";
+    for (Bytes c : config.capacity_by_rank) out << ' ' << c;
+    out << '\n';
+  }
 
   // Membership history (version 1 is always full power by construction).
   const VersionHistory& history = cluster.history();
@@ -46,11 +74,28 @@ Status save_snapshot(const ElasticCluster& cluster, const std::string& path) {
     out << "v " << history.table(Version{v}).active_count() << '\n';
   }
 
-  // Object directory: every replica with its header.
+  // Failure state: failed ids plus the requested prefix size, so a restore
+  // reconstructs the exact current membership in one append.
+  std::vector<std::uint32_t> failed_ids;
+  for (std::uint32_t id = 1; id <= cluster.server_count(); ++id) {
+    if (cluster.is_failed(ServerId{id})) failed_ids.push_back(id);
+  }
+  out << "failed " << failed_ids.size() << ' ' << cluster.resize_target()
+      << '\n';
+  for (std::uint32_t id : failed_ids) out << "f " << id << '\n';
+
+  // Object directory: every replica with its header.  Rows are sorted by
+  // (server, oid) so equal cluster states serialize to identical bytes —
+  // the text doubles as a state fingerprint (recovery tests diff it).
   out << "objects " << cluster.object_store().total_replicas() << '\n';
   for (std::uint32_t id = 1; id <= cluster.server_count(); ++id) {
-    for (const StoredObject& obj :
-         cluster.object_store().server(ServerId{id}).list()) {
+    std::vector<StoredObject> objs =
+        cluster.object_store().server(ServerId{id}).list();
+    std::sort(objs.begin(), objs.end(),
+              [](const StoredObject& a, const StoredObject& b) {
+                return a.oid.value < b.oid.value;
+              });
+    for (const StoredObject& obj : objs) {
       out << "o " << id << ' ' << obj.oid.value << ' '
           << obj.header.version.value << ' ' << (obj.header.dirty ? 1 : 0)
           << ' ' << obj.size << '\n';
@@ -67,37 +112,52 @@ Status save_snapshot(const ElasticCluster& cluster, const std::string& path) {
       }
     }
   }
-  out << "end\n";
-  return out.good() ? Status::ok()
-                    : Status{StatusCode::kInternal, "write error on " + path};
+
+  // Seal everything above with a CRC so any mutation of the file is
+  // detected at load, wherever it lands.
+  std::string body = out.str();
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "end %08x\n", crc32c(body));
+  body += trailer;
+  return body;
 }
 
-Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
-    const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status{StatusCode::kNotFound, "cannot open " + path};
+Status save_snapshot(const ElasticCluster& cluster, io::Env& env,
+                     const std::string& path) {
+  const std::string text = snapshot_to_string(cluster);
+  const std::string tmp = path + ".tmp";
+  auto file = env.new_writable_file(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  Status s = file.value()->append(text);
+  if (s.is_ok()) s = file.value()->sync();
+  if (s.is_ok()) s = file.value()->close();
+  if (s.is_ok()) s = env.rename_file(tmp, path);
+  if (!s.is_ok()) {
+    (void)env.remove_file(tmp);  // best effort; the original is untouched
+    return s;
   }
-  std::size_t line_no = 0;
-  std::string line;
-  const auto next_line = [&](std::istringstream* ss) {
-    if (!std::getline(in, line)) return false;
-    ++line_no;
-    ss->clear();
-    ss->str(line);
-    return true;
-  };
+  return Status::ok();
+}
 
+Status save_snapshot(const ElasticCluster& cluster, const std::string& path) {
+  return save_snapshot(cluster, io::posix_env(), path);
+}
+
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot_from_string(
+    const std::string& text, const SnapshotHooks& hooks) {
+  LineReader reader{text};
   std::istringstream ss;
-  if (!next_line(&ss)) return malformed("missing header", line_no);
+  const auto next_line = [&](std::istringstream* s) { return reader.next(s); };
+
+  if (!next_line(&ss)) return malformed("missing header", reader.line_no);
   std::string magic;
   int format = 0;
   ss >> magic >> format;
-  if (magic != kMagic || format != kFormatVersion) {
-    return malformed("bad magic or format version", line_no);
+  if (magic != kMagic || (format != 1 && format != kFormatVersion)) {
+    return malformed("bad magic or format version", reader.line_no);
   }
 
-  if (!next_line(&ss)) return malformed("missing config", line_no);
+  if (!next_line(&ss)) return malformed("missing config", reader.line_no);
   std::string tag, mode, layout;
   ElasticClusterConfig config;
   std::uint32_t primary_count = 0;
@@ -105,52 +165,123 @@ Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
   ss >> tag >> config.server_count >> config.replicas >>
       config.vnode_budget >> primary_count >> mode >> config.object_size >>
       config.server_capacity >> config.kv_shards >> dedupe >> layout;
-  if (tag != "config" || ss.fail()) return malformed("bad config", line_no);
+  if (tag != "config" || ss.fail()) {
+    return malformed("bad config", reader.line_no);
+  }
   config.primary_count = primary_count;
   config.reintegration = (mode == "sel") ? ReintegrationMode::kSelective
                                          : ReintegrationMode::kFull;
   config.dirty_dedupe = dedupe != 0;
   config.layout = (layout == "uniform") ? LayoutKind::kUniform
                                         : LayoutKind::kEqualWork;
+  config.metrics = hooks.metrics;
+  config.clock = hooks.clock;
+  config.tracer = hooks.tracer;
+
+  // v2 optionally records heterogeneous capacities between config and
+  // versions; peek the next line either way.
+  if (!next_line(&ss)) return malformed("missing versions", reader.line_no);
+  ss >> tag;
+  if (format >= 2 && tag == "caps") {
+    config.capacity_by_rank.resize(config.server_count);
+    for (auto& c : config.capacity_by_rank) ss >> c;
+    if (ss.fail()) return malformed("bad caps row", reader.line_no);
+    if (!next_line(&ss)) return malformed("missing versions", reader.line_no);
+    ss >> tag;
+  }
 
   auto created = ElasticCluster::create(config);
-  if (!created.ok()) return created.status();
+  if (!created.ok()) {
+    return malformed("config rejected: " + created.status().to_string(),
+                     reader.line_no);
+  }
   std::unique_ptr<ElasticCluster> cluster = std::move(created).value();
 
-  // Membership history.
-  if (!next_line(&ss)) return malformed("missing versions", line_no);
+  // Membership history.  `tag` already holds the header tag.
   std::size_t version_count = 0;
-  ss >> tag >> version_count;
-  if (tag != "versions" || ss.fail() || version_count == 0) {
-    return malformed("bad versions header", line_no);
+  ss >> version_count;
+  // Each version row costs >= 4 bytes, so a count beyond the text length is
+  // corruption — reject before sizing anything by it.
+  if (tag != "versions" || ss.fail() || version_count == 0 ||
+      version_count > text.size()) {
+    return malformed("bad versions header", reader.line_no);
   }
+  std::vector<std::uint32_t> actives(version_count + 1, 0);
   for (std::size_t v = 1; v <= version_count; ++v) {
-    if (!next_line(&ss)) return malformed("missing version row", line_no);
+    if (!next_line(&ss)) return malformed("missing version row", reader.line_no);
     std::uint32_t active = 0;
     ss >> tag >> active;
     if (tag != "v" || ss.fail() || active > config.server_count) {
-      return malformed("bad version row", line_no);
+      return malformed("bad version row", reader.line_no);
     }
-    if (v == 1) {
-      if (active != config.server_count) {
-        return malformed("version 1 must be full power", line_no);
+    actives[v] = active;
+  }
+  if (actives[1] != config.server_count) {
+    return malformed("version 1 must be full power", reader.line_no);
+  }
+
+  // Failure state (v2).  v1 snapshots never contain failures.
+  std::size_t failed_count = 0;
+  std::uint32_t prefix_target = 0;
+  std::vector<ServerId> failed_ids;
+  if (format >= 2) {
+    if (!next_line(&ss)) return malformed("missing failed", reader.line_no);
+    ss >> tag >> failed_count >> prefix_target;
+    if (tag != "failed" || ss.fail() || failed_count > config.server_count) {
+      return malformed("bad failed header", reader.line_no);
+    }
+    for (std::size_t i = 0; i < failed_count; ++i) {
+      if (!next_line(&ss)) return malformed("missing failed row", reader.line_no);
+      std::uint32_t id = 0;
+      ss >> tag >> id;
+      if (tag != "f" || ss.fail() || id == 0 || id > config.server_count) {
+        return malformed("bad failed row", reader.line_no);
       }
-      continue;  // created clusters already start at full power
+      failed_ids.push_back(ServerId{id});
     }
+  } else {
+    prefix_target = actives[version_count];
+  }
+
+  // Replay the version history: prefix transitions, then (when failures
+  // were recorded) the final failure epoch in one restore append.
+  const std::size_t prefix_versions =
+      failed_count > 0 ? version_count - 1 : version_count;
+  if (failed_count > 0 && version_count < 2) {
+    return malformed("failures require at least two versions", reader.line_no);
+  }
+  for (std::size_t v = 2; v <= prefix_versions; ++v) {
     const Status s = cluster->import_version(
-        MembershipTable::prefix_active(config.server_count, active));
-    if (!s.is_ok()) return s;
+        MembershipTable::prefix_active(config.server_count, actives[v]));
+    if (!s.is_ok()) {
+      return malformed("version import rejected: " + s.to_string(),
+                       reader.line_no);
+    }
+  }
+  if (failed_count > 0) {
+    const Status s = cluster->restore_failure_state(failed_ids, prefix_target);
+    if (!s.is_ok()) {
+      return malformed("failure restore rejected: " + s.to_string(),
+                       reader.line_no);
+    }
+  }
+  if (cluster->active_count() != actives[version_count]) {
+    return malformed("final version active count mismatch", reader.line_no);
+  }
+  if (failed_count == 0 && format >= 2 &&
+      cluster->resize_target() != prefix_target) {
+    return malformed("prefix target mismatch", reader.line_no);
   }
 
   // Object directory.
-  if (!next_line(&ss)) return malformed("missing objects", line_no);
+  if (!next_line(&ss)) return malformed("missing objects", reader.line_no);
   std::size_t replica_count = 0;
   ss >> tag >> replica_count;
   if (tag != "objects" || ss.fail()) {
-    return malformed("bad objects header", line_no);
+    return malformed("bad objects header", reader.line_no);
   }
   for (std::size_t i = 0; i < replica_count; ++i) {
-    if (!next_line(&ss)) return malformed("missing object row", line_no);
+    if (!next_line(&ss)) return malformed("missing object row", reader.line_no);
     std::uint32_t server = 0, version = 0;
     std::uint64_t oid = 0;
     int dirty_bit = 0;
@@ -158,39 +289,83 @@ Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
     ss >> tag >> server >> oid >> version >> dirty_bit >> size;
     if (tag != "o" || ss.fail() || server == 0 ||
         server > config.server_count) {
-      return malformed("bad object row", line_no);
+      return malformed("bad object row", reader.line_no);
     }
     const Status s = cluster->mutable_object_store()
                          .server(ServerId{server})
                          .put(ObjectId{oid},
                               ObjectHeader{Version{version}, dirty_bit != 0},
                               size);
-    if (!s.is_ok()) return s;
+    if (!s.is_ok()) {
+      return malformed("object load rejected: " + s.to_string(),
+                       reader.line_no);
+    }
   }
 
   // Dirty table.
-  if (!next_line(&ss)) return malformed("missing dirty", line_no);
+  if (!next_line(&ss)) return malformed("missing dirty", reader.line_no);
   std::size_t dirty_count = 0;
   ss >> tag >> dirty_count;
   if (tag != "dirty" || ss.fail()) {
-    return malformed("bad dirty header", line_no);
+    return malformed("bad dirty header", reader.line_no);
   }
   for (std::size_t i = 0; i < dirty_count; ++i) {
-    if (!next_line(&ss)) return malformed("missing dirty row", line_no);
+    if (!next_line(&ss)) return malformed("missing dirty row", reader.line_no);
     std::uint32_t version = 0;
     std::uint64_t oid = 0;
     ss >> tag >> version >> oid;
     if (tag != "d" || ss.fail() || version == 0) {
-      return malformed("bad dirty row", line_no);
+      return malformed("bad dirty row", reader.line_no);
     }
     (void)cluster->dirty_table().insert(ObjectId{oid}, Version{version});
   }
 
-  if (!next_line(&ss)) return malformed("missing end marker", line_no);
+  // End marker.  v2 seals the preceding bytes with a CRC and forbids
+  // trailing content; v1 stays lenient (legacy files in the wild).
+  if (!next_line(&ss)) return malformed("missing end marker", reader.line_no);
+  const std::size_t body_end = reader.line_start;
   std::string end_tag;
   ss >> end_tag;
-  if (end_tag != "end") return malformed("bad end marker", line_no);
+  if (end_tag != "end") return malformed("bad end marker", reader.line_no);
+  if (format >= 2) {
+    std::string crc_hex;
+    ss >> crc_hex;
+    if (ss.fail() || crc_hex.size() != 8) {
+      return malformed("missing snapshot CRC", reader.line_no);
+    }
+    char* parse_end = nullptr;
+    const unsigned long recorded = std::strtoul(crc_hex.c_str(), &parse_end, 16);
+    if (parse_end != crc_hex.c_str() + 8) {
+      return malformed("bad snapshot CRC", reader.line_no);
+    }
+    const std::uint32_t actual = crc32c(text.data(), body_end);
+    if (static_cast<std::uint32_t>(recorded) != actual) {
+      return malformed("snapshot CRC mismatch", reader.line_no);
+    }
+    if (reader.pos < text.size()) {
+      return malformed("trailing data after end", reader.line_no + 1);
+    }
+  }
   return cluster;
+}
+
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
+    io::Env& env, const std::string& path, const SnapshotHooks& hooks) {
+  auto text = env.read_file(path);
+  if (!text.ok()) return text.status();
+  auto loaded = load_snapshot_from_string(text.value(), hooks);
+  if (!loaded.ok()) return loaded.status();
+  // A snapshot saved mid-repair resumes repair: the queue itself is not
+  // persisted, so re-derive it conservatively.
+  if (loaded.value()->failed_count() > 0) {
+    loaded.value()->queue_repair_sweep();
+  }
+  return loaded;
+}
+
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
+    const std::string& path, const SnapshotHooks& hooks) {
+  return load_snapshot(io::posix_env(), path, hooks);
 }
 
 }  // namespace ech

@@ -3,32 +3,60 @@
 // Sheepdog persists its epoch log and object directory so a cluster can
 // restart where it left off; this module provides the equivalent for
 // ElasticCluster: a line-based text snapshot of the configuration, the
-// full membership-version history, every stored replica (with its header)
-// and the dirty table.  Restoring yields a cluster that resumes selective
-// re-integration exactly where the saved one stood (Algorithm 2 restarts
-// its scan on the next version change by design, so no cursor state needs
-// saving).
+// full membership-version history, failed-server state, every stored
+// replica (with its header) and the dirty table.  Restoring yields a
+// cluster that resumes selective re-integration exactly where the saved
+// one stood (Algorithm 2 restarts its scan on the next version change by
+// design, so no cursor state needs saving), and — for clusters saved
+// mid-repair — resumes repair via the conservative sweep.
 //
-// Limitations (documented, validated on load): snapshots capture quiesced
-// clusters without outstanding *failures* — failed servers must be
-// repaired or recovered first (elastic power-off state is fully captured).
+// Format v2 seals the whole snapshot with a CRC-32C trailer
+// ("end <crc32c hex>") and rejects trailing content, so truncation and
+// bit-level damage anywhere in the file surface as kInvalidArgument — a
+// snapshot either loads completely or not at all.  v1 snapshots (no
+// failed/caps sections, bare "end", unsealed) still load.
+//
+// save_snapshot is crash-safe: the text is written to <path>.tmp, synced,
+// then atomically renamed over <path>; IO failures carry the errno detail
+// in a kInternal status.  The old limitations — refusing clusters with
+// failed servers, and a bare unsynced ofstream — are gone.
 #pragma once
 
 #include <string>
 
 #include "common/status.h"
 #include "core/elastic_cluster.h"
+#include "io/env.h"
 
 namespace ech {
 
-/// Serialize `cluster` to `path`.  Fails with kFailedPrecondition when the
-/// cluster has failed servers and kInternal on IO errors.
+/// Serialize `cluster` into the snapshot v2 text format.
+[[nodiscard]] std::string snapshot_to_string(const ElasticCluster& cluster);
+
+/// Serialize to `path` inside `env`: tmp + sync + atomic rename.
+Status save_snapshot(const ElasticCluster& cluster, io::Env& env,
+                     const std::string& path);
+
+/// Same, on the real filesystem.
 Status save_snapshot(const ElasticCluster& cluster, const std::string& path);
 
-/// Rebuild a cluster from a snapshot.  Fails with kNotFound (missing
-/// file), kInvalidArgument (malformed/unsupported snapshot) or whatever
-/// the embedded configuration fails validation with.
+/// Rebuild a cluster from snapshot text.  Every parse/validation failure —
+/// including failures of the embedded configuration or replica loads — is
+/// reported as kInvalidArgument with detail: a mutated snapshot never
+/// crashes the loader and never yields a partially loaded cluster.
+/// Callers restoring a snapshot with failed servers should follow up with
+/// ElasticCluster::queue_repair_sweep() (the path-based loaders below do).
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot_from_string(
+    const std::string& text, const SnapshotHooks& hooks = {});
+
+/// Load from `path` inside `env`.  kNotFound when missing; otherwise as
+/// load_snapshot_from_string.  Queues the repair sweep when the snapshot
+/// recorded failed servers.
 Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
-    const std::string& path);
+    io::Env& env, const std::string& path, const SnapshotHooks& hooks = {});
+
+/// Same, on the real filesystem.
+Expected<std::unique_ptr<ElasticCluster>> load_snapshot(
+    const std::string& path, const SnapshotHooks& hooks = {});
 
 }  // namespace ech

@@ -1,0 +1,167 @@
+#include "io/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ech::io {
+
+namespace {
+
+Status errno_status(const std::string& op, const std::string& path) {
+  return {StatusCode::kInternal, op + " " + path + ": " + std::strerror(errno)};
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status append(std::string_view data) override {
+    if (fd_ < 0) return {StatusCode::kFailedPrecondition, "file closed"};
+    const char* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("write", path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+  }
+
+  Status sync() override {
+    if (fd_ < 0) return {StatusCode::kFailedPrecondition, "file closed"};
+    if (::fsync(fd_) != 0) return errno_status("fsync", path_);
+    return Status::ok();
+  }
+
+  Status close() override {
+    if (fd_ < 0) return Status::ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return errno_status("close", path_);
+    return Status::ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+// fsync the directory containing `path`, so a just-renamed entry is durable.
+Status sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return errno_status("open dir", dir);
+  Status s = Status::ok();
+  if (::fsync(fd) != 0) s = errno_status("fsync dir", dir);
+  ::close(fd);
+  return s;
+}
+
+class PosixEnv final : public Env {
+ public:
+  Expected<std::unique_ptr<WritableFile>> new_writable_file(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return errno_status("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Expected<std::string> read_file(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status{StatusCode::kNotFound, "no such file: " + path};
+      }
+      return errno_status("open", path);
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status s = errno_status("read", path);
+        ::close(fd);
+        return s;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status rename_file(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return errno_status("rename", from + " -> " + to);
+    }
+    return sync_parent_dir(to);
+  }
+
+  Status remove_file(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return {StatusCode::kNotFound, "no such file: " + path};
+      }
+      return errno_status("unlink", path);
+    }
+    return Status::ok();
+  }
+
+  bool file_exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Expected<std::vector<std::string>> list_dir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) {
+        return Status{StatusCode::kNotFound, "no such directory: " + dir};
+      }
+      return errno_status("opendir", dir);
+    }
+    std::vector<std::string> names;
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status create_dir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return errno_status("mkdir", dir);
+    }
+    return Status::ok();
+  }
+};
+
+}  // namespace
+
+Env& posix_env() {
+  static PosixEnv env;
+  return env;
+}
+
+}  // namespace ech::io

@@ -1,0 +1,70 @@
+// Minimal filesystem abstraction for the durability layer.
+//
+// The WAL and checkpoint writers only need append / fsync / atomic rename,
+// so that is the whole surface: an Env produces WritableFiles and performs
+// the handful of directory operations recovery needs.  Two implementations
+// exist — PosixEnv (real files, errno detail in every kInternal status) and
+// MemEnv / FaultEnv (in-memory with synced-byte tracking and injected
+// crashes, see mem_env.h / fault_env.h) — so crash-recovery tests run the
+// exact production code path against a simulated disk.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ech::io {
+
+/// An append-only file handle.  Writes are buffered by the OS (or by the
+/// in-memory env) until sync(); only synced bytes survive a crash.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Append `data` at the end of the file.
+  virtual Status append(std::string_view data) = 0;
+
+  /// Flush everything appended so far to durable storage (fsync).
+  virtual Status sync() = 0;
+
+  /// Close the handle.  Does not imply sync().
+  virtual Status close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Open `path` for appending; `truncate` discards existing content.
+  /// The file is created if missing.
+  virtual Expected<std::unique_ptr<WritableFile>> new_writable_file(
+      const std::string& path, bool truncate) = 0;
+
+  /// Read the whole file into a string.  kNotFound when missing.
+  virtual Expected<std::string> read_file(const std::string& path) = 0;
+
+  /// Atomically replace `to` with `from` (rename(2) semantics).
+  virtual Status rename_file(const std::string& from,
+                             const std::string& to) = 0;
+
+  virtual Status remove_file(const std::string& path) = 0;
+
+  [[nodiscard]] virtual bool file_exists(const std::string& path) = 0;
+
+  /// Names (not paths) of regular files directly inside `dir`.
+  virtual Expected<std::vector<std::string>> list_dir(
+      const std::string& dir) = 0;
+
+  /// Create `dir` (single level); ok if it already exists.
+  virtual Status create_dir(const std::string& dir) = 0;
+};
+
+/// The real filesystem.  Every failure carries the errno detail in a
+/// kInternal status ("open <path>: No such file or directory").
+[[nodiscard]] Env& posix_env();
+
+}  // namespace ech::io

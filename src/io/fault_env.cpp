@@ -1,0 +1,129 @@
+#include "io/fault_env.h"
+
+namespace ech::io {
+
+class FaultEnv::FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status append(std::string_view data) override {
+    if (env_->crashed()) return env_->crashed_status();
+    bool handled = false;
+    Status s = env_->on_append(*base_, data, handled);
+    if (handled) return s;
+    return base_->append(data);
+  }
+
+  Status sync() override {
+    if (env_->crashed()) return env_->crashed_status();
+    bool handled = false;
+    Status s = env_->on_sync(*base_, handled);
+    if (handled) return s;
+    return base_->sync();
+  }
+
+  Status close() override { return base_->close(); }
+
+ private:
+  FaultEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultEnv::crash(std::size_t keep_tail_bytes) {
+  crashed_ = true;
+  base_->drop_unsynced(keep_tail_bytes);
+}
+
+Status FaultEnv::on_append(WritableFile& base_file, std::string_view data,
+                           bool& handled) {
+  ++appends_;
+  if (plan_.crash_at_append != 0 && appends_ == plan_.crash_at_append) {
+    plan_.crash_at_append = 0;
+    handled = true;
+    crash(plan_.torn_tail_bytes);
+    return crashed_status();
+  }
+  if (plan_.short_write_at_append != 0 &&
+      appends_ == plan_.short_write_at_append) {
+    plan_.short_write_at_append = 0;
+    handled = true;
+    // Half the bytes land (unsynced) before the injected error.
+    (void)base_file.append(data.substr(0, data.size() / 2));
+    return {StatusCode::kUnavailable, "injected short write"};
+  }
+  return Status::ok();
+}
+
+Status FaultEnv::on_sync(WritableFile& base_file, bool& handled) {
+  ++syncs_;
+  if (plan_.crash_before_sync_at != 0 && syncs_ == plan_.crash_before_sync_at) {
+    plan_.crash_before_sync_at = 0;
+    handled = true;
+    crash(plan_.torn_tail_bytes);
+    return crashed_status();
+  }
+  if (plan_.fail_sync_at != 0 && syncs_ == plan_.fail_sync_at) {
+    plan_.fail_sync_at = 0;
+    handled = true;
+    return {StatusCode::kUnavailable, "injected fsync failure"};
+  }
+  if (plan_.crash_after_sync_at != 0 && syncs_ == plan_.crash_after_sync_at) {
+    plan_.crash_after_sync_at = 0;
+    handled = true;
+    // The sync completes — those bytes are durable — but the process dies
+    // before anyone can act on the acknowledgement.
+    const Status s = base_file.sync();
+    crash(plan_.torn_tail_bytes);
+    return s;
+  }
+  return Status::ok();
+}
+
+Expected<std::unique_ptr<WritableFile>> FaultEnv::new_writable_file(
+    const std::string& path, bool truncate) {
+  if (crashed_) return crashed_status();
+  auto base = base_->new_writable_file(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultWritableFile>(
+      this, std::move(base).value()));
+}
+
+Expected<std::string> FaultEnv::read_file(const std::string& path) {
+  if (crashed_) return crashed_status();
+  return base_->read_file(path);
+}
+
+Status FaultEnv::rename_file(const std::string& from, const std::string& to) {
+  if (crashed_) return crashed_status();
+  ++renames_;
+  if (plan_.crash_before_rename_at != 0 &&
+      renames_ == plan_.crash_before_rename_at) {
+    plan_.crash_before_rename_at = 0;
+    crash(plan_.torn_tail_bytes);
+    return crashed_status();
+  }
+  return base_->rename_file(from, to);
+}
+
+Status FaultEnv::remove_file(const std::string& path) {
+  if (crashed_) return crashed_status();
+  return base_->remove_file(path);
+}
+
+bool FaultEnv::file_exists(const std::string& path) {
+  if (crashed_) return false;
+  return base_->file_exists(path);
+}
+
+Expected<std::vector<std::string>> FaultEnv::list_dir(const std::string& dir) {
+  if (crashed_) return crashed_status();
+  return base_->list_dir(dir);
+}
+
+Status FaultEnv::create_dir(const std::string& dir) {
+  if (crashed_) return crashed_status();
+  return base_->create_dir(dir);
+}
+
+}  // namespace ech::io

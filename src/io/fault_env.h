@@ -1,0 +1,88 @@
+// Fault-injecting Env: deterministic crashes and IO errors for the
+// durability layer's chaos campaigns and unit tests.
+//
+// FaultEnv wraps a MemEnv and counts every append / sync / rename it sees.
+// A FaultPlan arms one-shot triggers against those counters (absolute
+// counts, so callers arm relative triggers as `appends() + k`):
+//
+//   * crash_at_append      — the Nth append crashes instead of writing
+//   * short_write_at_append— the Nth append writes only half, then fails
+//   * fail_sync_at         — the Nth sync fails (data stays unsynced)
+//   * crash_before_sync_at — crash when the Nth sync is requested
+//   * crash_after_sync_at  — the Nth sync completes, then the process dies
+//                            (callers never observe the success — the op
+//                            *was* durable; the next IO call fails)
+//   * crash_before_rename_at — crash when the Nth rename is requested
+//
+// A crash calls MemEnv::drop_unsynced(torn_tail_bytes), so a few bytes of a
+// half-flushed record survive as a torn tail.  While crashed, every env
+// operation returns kUnavailable until revive() — recovery then runs
+// against exactly the bytes a real disk would have kept.
+#pragma once
+
+#include <cstdint>
+
+#include "io/mem_env.h"
+
+namespace ech::io {
+
+struct FaultPlan {
+  // 1-based absolute trigger counts; 0 disables the trigger.
+  std::uint64_t crash_at_append{0};
+  std::uint64_t short_write_at_append{0};
+  std::uint64_t fail_sync_at{0};
+  std::uint64_t crash_before_sync_at{0};
+  std::uint64_t crash_after_sync_at{0};
+  std::uint64_t crash_before_rename_at{0};
+  // Unsynced prefix bytes kept on crash (the torn tail).
+  std::size_t torn_tail_bytes{0};
+};
+
+class FaultEnv final : public Env {
+ public:
+  explicit FaultEnv(MemEnv& base) : base_(&base) {}
+
+  /// Replace the pending fault plan (counters keep running).
+  void arm(const FaultPlan& plan) { plan_ = plan; }
+
+  /// Crash now: drop unsynced bytes (keeping `keep_tail_bytes` of the tail)
+  /// and fail every subsequent operation until revive().
+  void crash(std::size_t keep_tail_bytes = 0);
+  void revive() { crashed_ = false; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  [[nodiscard]] std::uint64_t appends() const { return appends_; }
+  [[nodiscard]] std::uint64_t syncs() const { return syncs_; }
+  [[nodiscard]] std::uint64_t renames() const { return renames_; }
+  [[nodiscard]] MemEnv& base() { return *base_; }
+
+  Expected<std::unique_ptr<WritableFile>> new_writable_file(
+      const std::string& path, bool truncate) override;
+  Expected<std::string> read_file(const std::string& path) override;
+  Status rename_file(const std::string& from, const std::string& to) override;
+  Status remove_file(const std::string& path) override;
+  bool file_exists(const std::string& path) override;
+  Expected<std::vector<std::string>> list_dir(const std::string& dir) override;
+  Status create_dir(const std::string& dir) override;
+
+ private:
+  class FaultWritableFile;
+
+  [[nodiscard]] Status crashed_status() const {
+    return {StatusCode::kUnavailable, "simulated crash"};
+  }
+  // Counter hooks called by FaultWritableFile; return the injected failure
+  // (or OK to forward the call to the base file).
+  Status on_append(WritableFile& base_file, std::string_view data,
+                   bool& handled);
+  Status on_sync(WritableFile& base_file, bool& handled);
+
+  MemEnv* base_;
+  FaultPlan plan_{};
+  bool crashed_{false};
+  std::uint64_t appends_{0};
+  std::uint64_t syncs_{0};
+  std::uint64_t renames_{0};
+};
+
+}  // namespace ech::io

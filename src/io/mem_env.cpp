@@ -1,0 +1,110 @@
+#include "io/mem_env.h"
+
+#include <algorithm>
+
+namespace ech::io {
+
+class MemEnv::MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<FileState> state)
+      : state_(std::move(state)) {}
+
+  Status append(std::string_view data) override {
+    if (!state_) return {StatusCode::kFailedPrecondition, "file closed"};
+    state_->data.append(data);
+    return Status::ok();
+  }
+
+  Status sync() override {
+    if (!state_) return {StatusCode::kFailedPrecondition, "file closed"};
+    state_->synced = state_->data.size();
+    return Status::ok();
+  }
+
+  Status close() override {
+    state_.reset();
+    return Status::ok();
+  }
+
+ private:
+  std::shared_ptr<FileState> state_;
+};
+
+Expected<std::unique_ptr<WritableFile>> MemEnv::new_writable_file(
+    const std::string& path, bool truncate) {
+  auto& slot = files_[path];
+  if (!slot) slot = std::make_shared<FileState>();
+  if (truncate) {
+    slot->data.clear();
+    slot->synced = 0;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(slot));
+}
+
+Expected<std::string> MemEnv::read_file(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status{StatusCode::kNotFound, "no such file: " + path};
+  }
+  return it->second->data;
+}
+
+Status MemEnv::rename_file(const std::string& from, const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return {StatusCode::kNotFound, "no such file: " + from};
+  }
+  files_[to] = it->second;
+  files_.erase(from);
+  return Status::ok();
+}
+
+Status MemEnv::remove_file(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return {StatusCode::kNotFound, "no such file: " + path};
+  }
+  return Status::ok();
+}
+
+bool MemEnv::file_exists(const std::string& path) {
+  return files_.contains(path);
+}
+
+Expected<std::vector<std::string>> MemEnv::list_dir(const std::string& dir) {
+  const std::string prefix = dir.ends_with('/') ? dir : dir + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, state] : files_) {
+    if (!path.starts_with(prefix)) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  if (names.empty() && !dirs_.contains(dir)) {
+    return Status{StatusCode::kNotFound, "no such directory: " + dir};
+  }
+  return names;
+}
+
+Status MemEnv::create_dir(const std::string& dir) {
+  dirs_.insert(dir);
+  return Status::ok();
+}
+
+void MemEnv::drop_unsynced(std::size_t keep_tail_bytes) {
+  for (auto& [path, state] : files_) {
+    const std::size_t target =
+        std::min(state->data.size(), state->synced + keep_tail_bytes);
+    state->data.resize(target);
+    state->synced = std::min(state->synced, state->data.size());
+  }
+}
+
+std::size_t MemEnv::unsynced_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [path, state] : files_) {
+    total += state->data.size() - state->synced;
+  }
+  return total;
+}
+
+}  // namespace ech::io

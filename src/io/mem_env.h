@@ -1,0 +1,55 @@
+// In-memory Env with crash semantics.
+//
+// Each file tracks how many of its bytes have been sync()ed.  A simulated
+// crash (drop_unsynced) discards everything after the synced watermark —
+// optionally keeping a short prefix of the unsynced tail, which is exactly
+// how a torn WAL record is produced.  Renames are treated as durable
+// metadata operations (the checkpoint protocol syncs file *contents* before
+// renaming, so this simplification only strengthens nothing: a crash can
+// still land between the content sync and the rename via FaultEnv).
+//
+// Single-threaded by design: the chaos campaign drives all mutations (and
+// therefore all journaling) from the driver thread; reader threads never
+// touch the env.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "io/env.h"
+
+namespace ech::io {
+
+class MemEnv final : public Env {
+ public:
+  Expected<std::unique_ptr<WritableFile>> new_writable_file(
+      const std::string& path, bool truncate) override;
+  Expected<std::string> read_file(const std::string& path) override;
+  Status rename_file(const std::string& from, const std::string& to) override;
+  Status remove_file(const std::string& path) override;
+  bool file_exists(const std::string& path) override;
+  Expected<std::vector<std::string>> list_dir(const std::string& dir) override;
+  Status create_dir(const std::string& dir) override;
+
+  /// Simulate a crash: every file loses its unsynced suffix, except that up
+  /// to `keep_tail_bytes` of the unsynced tail survive (a torn write).
+  void drop_unsynced(std::size_t keep_tail_bytes = 0);
+
+  /// Unsynced bytes across all files (test introspection).
+  [[nodiscard]] std::size_t unsynced_bytes() const;
+
+ private:
+  struct FileState {
+    std::string data;
+    std::size_t synced{0};
+  };
+  class MemWritableFile;
+
+  // shared_ptr so open handles stay valid across rename/remove, mirroring
+  // POSIX fd semantics (writes to an unlinked file go nowhere visible).
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace ech::io

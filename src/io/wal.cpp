@@ -1,0 +1,105 @@
+#include "io/wal.h"
+
+#include "common/hash.h"
+
+namespace ech::io {
+
+namespace {
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+}  // namespace
+
+Expected<std::unique_ptr<WalWriter>> WalWriter::open(Env& env,
+                                                     const std::string& path,
+                                                     bool truncate) {
+  auto file = env.new_writable_file(path, truncate);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file).value()));
+}
+
+Status WalWriter::append_record(std::string_view payload) {
+  if (!broken_.is_ok()) return broken_;
+  if (payload.size() > kWalMaxRecordBytes) {
+    broken_ = {StatusCode::kInvalidArgument, "WAL record too large"};
+    return broken_;
+  }
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame, crc32c(payload));
+  frame.append(payload);
+  if (Status s = file_->append(frame); !s.is_ok()) {
+    broken_ = s;
+    return broken_;
+  }
+  ++records_;
+  return Status::ok();
+}
+
+Status WalWriter::sync() {
+  if (!broken_.is_ok()) return broken_;
+  if (Status s = file_->sync(); !s.is_ok()) broken_ = s;
+  return broken_.is_ok() ? Status::ok() : broken_;
+}
+
+Expected<WalReadResult> read_wal(Env& env, const std::string& path) {
+  auto data = env.read_file(path);
+  if (!data.ok()) return data.status();
+  const std::string& buf = data.value();
+
+  WalReadResult out;
+  std::size_t pos = 0;
+  std::size_t index = 0;
+  while (pos < buf.size()) {
+    if (buf.size() - pos < 8) {
+      out.torn_tail = true;  // header cut mid-write
+      break;
+    }
+    const std::uint32_t len = get_u32le(buf.data() + pos);
+    const std::uint32_t crc = get_u32le(buf.data() + pos + 4);
+    if (len > kWalMaxRecordBytes) {
+      return Status{StatusCode::kInvalidArgument,
+                    "WAL corrupt: record #" + std::to_string(index) +
+                        " length " + std::to_string(len) + " at offset " +
+                        std::to_string(pos) + " exceeds limit"};
+    }
+    if (pos + 8 + len > buf.size()) {
+      out.torn_tail = true;  // payload cut mid-write
+      break;
+    }
+    const std::string_view payload(buf.data() + pos + 8, len);
+    if (crc32c(payload) != crc) {
+      if (pos + 8 + len == buf.size()) {
+        // Final frame: a torn flush, never acknowledged -> tolerated.
+        out.torn_tail = true;
+        break;
+      }
+      return Status{StatusCode::kInvalidArgument,
+                    "WAL corrupt: CRC mismatch in record #" +
+                        std::to_string(index) + " at offset " +
+                        std::to_string(pos)};
+    }
+    out.records.emplace_back(payload);
+    pos += 8 + len;
+    out.valid_bytes = pos;
+    ++index;
+  }
+  return out;
+}
+
+}  // namespace ech::io

@@ -1,0 +1,70 @@
+// CRC-framed write-ahead log.
+//
+// On-disk layout is a sequence of frames:
+//
+//   [u32 payload_len LE][u32 crc32c(payload) LE][payload bytes]
+//
+// Each frame is written with a single append so a short write tears at most
+// one frame.  Reading classifies damage by position:
+//
+//   * incomplete header, or a frame overrunning EOF, or a CRC mismatch on
+//     the FINAL frame          -> torn tail (tolerated: the record was never
+//                                 acknowledged; `torn_tail` is reported)
+//   * CRC mismatch or an oversize length field with more data after it
+//                              -> mid-log corruption, kInvalidArgument with
+//                                 the record index and byte offset (never
+//                                 silently skipped)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace ech::io {
+
+/// Upper bound on one payload; a longer length field is corruption, not a
+/// record (the durability layer's records are tens of bytes).
+inline constexpr std::uint32_t kWalMaxRecordBytes = 1u << 20;
+
+class WalWriter {
+ public:
+  /// Open (or create) the log at `path`; `truncate` starts it empty.
+  static Expected<std::unique_ptr<WalWriter>> open(Env& env,
+                                                   const std::string& path,
+                                                   bool truncate);
+
+  /// Frame and append one record.  After the first failure the writer is
+  /// broken: every later call returns the original error (no partial
+  /// interleavings reach the log).
+  Status append_record(std::string_view payload);
+
+  /// Make everything appended so far durable.
+  Status sync();
+
+  [[nodiscard]] const Status& status() const { return broken_; }
+  [[nodiscard]] std::uint64_t records_appended() const { return records_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  Status broken_{};
+  std::uint64_t records_{0};
+};
+
+struct WalReadResult {
+  std::vector<std::string> records;
+  bool torn_tail{false};       // trailing partial/unverifiable frame dropped
+  std::size_t valid_bytes{0};  // log prefix covered by intact frames
+};
+
+/// Read and verify a log.  kNotFound when the file is missing; mid-log
+/// corruption is kInvalidArgument (see classification above).
+[[nodiscard]] Expected<WalReadResult> read_wal(Env& env,
+                                               const std::string& path);
+
+}  // namespace ech::io

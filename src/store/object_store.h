@@ -82,6 +82,11 @@ class ObjectStoreCluster {
 
   void clear();
 
+  /// Attach (or detach, with nullptr) a mutation observer on every server.
+  void set_listener(StoreListener* listener) {
+    for (auto& s : servers_) s.set_listener(listener);
+  }
+
  private:
   std::vector<StorageServer> servers_;  // index = id - 1
 };

@@ -21,6 +21,7 @@ Status StorageServer::put(ObjectId oid, const ObjectHeader& header,
   bytes_stored_ += delta;
   bytes_written_ += size;
   ++put_count_;
+  if (listener_ != nullptr) listener_->on_put(id_, oid, header, size);
   return Status::ok();
 }
 
@@ -29,6 +30,7 @@ bool StorageServer::erase(ObjectId oid) {
   if (it == objects_.end()) return false;
   bytes_stored_ -= it->second.size;
   objects_.erase(it);
+  if (listener_ != nullptr) listener_->on_erase(id_, oid);
   return true;
 }
 
@@ -44,6 +46,9 @@ Status StorageServer::set_header(ObjectId oid, const ObjectHeader& header) {
     return {StatusCode::kNotFound, "object not on server"};
   }
   it->second.header = header;
+  if (listener_ != nullptr) {
+    listener_->on_put(id_, oid, header, it->second.size);
+  }
   return Status::ok();
 }
 
@@ -57,8 +62,10 @@ std::vector<StoredObject> StorageServer::list() const {
 }
 
 void StorageServer::clear() {
+  const bool had_objects = !objects_.empty();
   objects_.clear();
   bytes_stored_ = 0;
+  if (listener_ != nullptr && had_objects) listener_->on_server_clear(id_);
 }
 
 }  // namespace ech

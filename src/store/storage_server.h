@@ -16,6 +16,19 @@
 
 namespace ech {
 
+/// Observer of replica mutations across a server (put/overwrite, header
+/// refresh, erase, wholesale clear).  The durability layer journals replica
+/// state through this; see core/durability.h.  set_header surfaces as
+/// on_put with the stored size, so one record kind covers both.
+class StoreListener {
+ public:
+  virtual ~StoreListener() = default;
+  virtual void on_put(ServerId server, ObjectId oid, const ObjectHeader& header,
+                      Bytes size) = 0;
+  virtual void on_erase(ServerId server, ObjectId oid) = 0;
+  virtual void on_server_clear(ServerId server) = 0;
+};
+
 class StorageServer {
  public:
   StorageServer() = default;
@@ -62,7 +75,12 @@ class StorageServer {
 
   void clear();
 
+  /// Attach (or detach, with nullptr) a mutation observer.  The listener
+  /// must outlive the server or be detached first.
+  void set_listener(StoreListener* listener) { listener_ = listener; }
+
  private:
+  StoreListener* listener_{nullptr};
   ServerId id_{};
   Bytes capacity_{0};  // 0 = unlimited
   Bytes bytes_stored_{0};

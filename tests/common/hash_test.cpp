@@ -83,5 +83,29 @@ TEST(VnodePosition, DistinctAcrossServers) {
   EXPECT_NE(vnode_position(ServerId{1}, 1), vnode_position(ServerId{2}, 1));
 }
 
+TEST(Crc32c, KnownAnswerVectors) {
+  // The canonical CRC-32C (Castagnoli) check value, RFC 3720 appendix B.4.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32c, SeedChainsAcrossRanges) {
+  const std::string a = "write-ahead ";
+  const std::string b = "log record";
+  EXPECT_EQ(crc32c(b, crc32c(a)), crc32c(a + b));
+  EXPECT_EQ(crc32c(std::string_view{}, crc32c(a)), crc32c(a));
+}
+
+TEST(Crc32c, DetectsSingleBitDamage) {
+  std::string frame = "put 3 17 2 1 4096";
+  const std::uint32_t clean = crc32c(frame);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] ^= 0x01;
+    EXPECT_NE(crc32c(frame), clean) << "flip at " << i;
+    frame[i] ^= 0x01;
+  }
+}
+
 }  // namespace
 }  // namespace ech

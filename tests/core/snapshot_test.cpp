@@ -116,11 +116,33 @@ TEST_F(SnapshotTest, ConfigSurvivesRoundTrip) {
   EXPECT_EQ(loaded->name(), "primary+full");
 }
 
-TEST_F(SnapshotTest, FailedClusterRefusesToSnapshot) {
+TEST_F(SnapshotTest, FailedClusterRoundTripsAndResumesRepair) {
+  // The old format refused clusters with failed servers; v2 records the
+  // failure epoch, and loading queues the conservative repair sweep.
   auto original = make_cluster();
+  for (std::uint64_t oid = 0; oid < 60; ++oid) {
+    ASSERT_TRUE(original->write(ObjectId{oid}, 0).is_ok());
+  }
   ASSERT_TRUE(original->fail_server(ServerId{5}).is_ok());
-  const Status s = save_snapshot(*original, path_);
-  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  (void)original->repair_step(4 * kDefaultObjectSize);  // save mid-repair
+  ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+
+  auto loaded_or = load_snapshot(path_);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().to_string();
+  auto& loaded = *loaded_or.value();
+  EXPECT_EQ(loaded.failed_count(), 1u);
+  EXPECT_TRUE(loaded.is_failed(ServerId{5}));
+  EXPECT_EQ(loaded.active_count(), original->active_count());
+  EXPECT_GT(loaded.repair_backlog(), 0u);
+
+  int safety = 5000;
+  while (loaded.repair_backlog() > 0 && --safety > 0) {
+    (void)loaded.repair_step(64 * kDefaultObjectSize);
+  }
+  ASSERT_GT(safety, 0);
+  for (std::uint64_t oid = 0; oid < 60; ++oid) {
+    EXPECT_TRUE(loaded.read(ObjectId{oid}).ok()) << oid;
+  }
 }
 
 TEST_F(SnapshotTest, MissingFileFails) {

@@ -1,0 +1,174 @@
+// Env implementations: MemEnv crash semantics (synced-byte watermark,
+// torn tails) and PosixEnv round trips on a real temp directory.
+#include "io/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "io/mem_env.h"
+
+namespace ech::io {
+namespace {
+
+TEST(MemEnvTest, WriteReadRoundTrip) {
+  MemEnv env;
+  auto file = env.new_writable_file("/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->append("hello ").is_ok());
+  ASSERT_TRUE(file.value()->append("world").is_ok());
+  ASSERT_TRUE(file.value()->sync().is_ok());
+  ASSERT_TRUE(file.value()->close().is_ok());
+  auto data = env.read_file("/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "hello world");
+}
+
+TEST(MemEnvTest, MissingFileIsNotFound) {
+  MemEnv env;
+  EXPECT_EQ(env.read_file("/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(env.remove_file("/nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(env.rename_file("/nope", "/x").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(env.file_exists("/nope"));
+}
+
+TEST(MemEnvTest, TruncateDiscardsContent) {
+  MemEnv env;
+  { auto f = std::move(env.new_writable_file("/f", true)).value();
+    ASSERT_TRUE(f->append("old").is_ok());
+    ASSERT_TRUE(f->sync().is_ok()); }
+  { auto f = std::move(env.new_writable_file("/f", true)).value();
+    ASSERT_TRUE(f->append("new").is_ok()); }
+  EXPECT_EQ(env.read_file("/f").value(), "new");
+}
+
+TEST(MemEnvTest, AppendModeKeepsContent) {
+  MemEnv env;
+  { auto f = std::move(env.new_writable_file("/f", true)).value();
+    ASSERT_TRUE(f->append("a").is_ok()); }
+  { auto f = std::move(env.new_writable_file("/f", false)).value();
+    ASSERT_TRUE(f->append("b").is_ok()); }
+  EXPECT_EQ(env.read_file("/f").value(), "ab");
+}
+
+TEST(MemEnvTest, DropUnsyncedKeepsOnlySyncedPrefix) {
+  MemEnv env;
+  auto f = std::move(env.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("durable").is_ok());
+  ASSERT_TRUE(f->sync().is_ok());
+  ASSERT_TRUE(f->append("-volatile").is_ok());
+  EXPECT_EQ(env.unsynced_bytes(), 9u);
+  env.drop_unsynced();
+  EXPECT_EQ(env.read_file("/f").value(), "durable");
+  EXPECT_EQ(env.unsynced_bytes(), 0u);
+}
+
+TEST(MemEnvTest, DropUnsyncedCanKeepTornTail) {
+  MemEnv env;
+  auto f = std::move(env.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("durable").is_ok());
+  ASSERT_TRUE(f->sync().is_ok());
+  ASSERT_TRUE(f->append("-volatile").is_ok());
+  env.drop_unsynced(3);
+  EXPECT_EQ(env.read_file("/f").value(), "durable-vo");
+}
+
+TEST(MemEnvTest, RenameReplacesTarget) {
+  MemEnv env;
+  { auto f = std::move(env.new_writable_file("/from", true)).value();
+    ASSERT_TRUE(f->append("new").is_ok()); }
+  { auto f = std::move(env.new_writable_file("/to", true)).value();
+    ASSERT_TRUE(f->append("old").is_ok()); }
+  ASSERT_TRUE(env.rename_file("/from", "/to").is_ok());
+  EXPECT_FALSE(env.file_exists("/from"));
+  EXPECT_EQ(env.read_file("/to").value(), "new");
+}
+
+TEST(MemEnvTest, OpenHandleSurvivesRemove) {
+  // POSIX fd semantics: writes to an unlinked file go nowhere visible.
+  MemEnv env;
+  auto f = std::move(env.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(env.remove_file("/f").is_ok());
+  EXPECT_TRUE(f->append("ghost").is_ok());
+  EXPECT_FALSE(env.file_exists("/f"));
+}
+
+TEST(MemEnvTest, ListDirReturnsDirectChildren) {
+  MemEnv env;
+  ASSERT_TRUE(env.create_dir("/d").is_ok());
+  for (const char* p : {"/d/a", "/d/b", "/d/sub/c", "/other"}) {
+    auto f = std::move(env.new_writable_file(p, true)).value();
+    ASSERT_TRUE(f->append("x").is_ok());
+  }
+  auto names = env.list_dir("/d");
+  ASSERT_TRUE(names.ok());
+  std::vector<std::string> sorted = names.value();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(env.list_dir("/missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MemEnvTest, EmptyCreatedDirListsEmpty) {
+  MemEnv env;
+  ASSERT_TRUE(env.create_dir("/d").is_ok());
+  auto names = env.list_dir("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names.value().empty());
+}
+
+class PosixEnvTest : public ::testing::Test {
+ protected:
+  std::string dir_ = ::testing::TempDir() + "/ech_env_test." +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  void SetUp() override { ASSERT_TRUE(posix_env().create_dir(dir_).is_ok()); }
+  void TearDown() override {
+    auto names = posix_env().list_dir(dir_);
+    if (names.ok()) {
+      for (const std::string& n : names.value()) {
+        (void)posix_env().remove_file(dir_ + "/" + n);
+      }
+    }
+  }
+};
+
+TEST_F(PosixEnvTest, WriteSyncRenameReadRoundTrip) {
+  Env& env = posix_env();
+  const std::string tmp = dir_ + "/file.tmp";
+  const std::string final_path = dir_ + "/file";
+  auto file = env.new_writable_file(tmp, true);
+  ASSERT_TRUE(file.ok()) << file.status().to_string();
+  ASSERT_TRUE(file.value()->append("payload\n").is_ok());
+  ASSERT_TRUE(file.value()->sync().is_ok());
+  ASSERT_TRUE(file.value()->close().is_ok());
+  ASSERT_TRUE(env.rename_file(tmp, final_path).is_ok());
+  EXPECT_FALSE(env.file_exists(tmp));
+  ASSERT_TRUE(env.file_exists(final_path));
+  auto data = env.read_file(final_path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "payload\n");
+  auto names = env.list_dir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), std::vector<std::string>{"file"});
+}
+
+TEST_F(PosixEnvTest, FailuresCarryErrnoDetail) {
+  Env& env = posix_env();
+  EXPECT_EQ(env.read_file(dir_ + "/missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env.remove_file(dir_ + "/missing").code(), StatusCode::kNotFound);
+  // A non-ENOENT failure is kInternal with the errno text in the message.
+  const auto open = env.new_writable_file(dir_ + "/no/such/parent", true);
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), StatusCode::kInternal);
+  EXPECT_NE(open.status().message().find("No such file"), std::string::npos)
+      << open.status().to_string();
+}
+
+TEST_F(PosixEnvTest, CreateDirIsIdempotent) {
+  EXPECT_TRUE(posix_env().create_dir(dir_).is_ok());
+}
+
+}  // namespace
+}  // namespace ech::io

@@ -1,0 +1,154 @@
+// FaultEnv: every injected fault fires exactly once at its armed counter,
+// crashes drop unsynced bytes (modulo the torn tail) and fail all later IO
+// until revive(), and the crash-after-sync point acknowledges durability
+// before the process dies.
+#include "io/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include "io/wal.h"
+
+namespace ech::io {
+namespace {
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  MemEnv mem_;
+  FaultEnv env_{mem_};
+};
+
+TEST_F(FaultEnvTest, PassesThroughWhenUnarmed) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("data").is_ok());
+  ASSERT_TRUE(f->sync().is_ok());
+  EXPECT_EQ(env_.appends(), 1u);
+  EXPECT_EQ(env_.syncs(), 1u);
+  EXPECT_EQ(env_.read_file("/f").value(), "data");
+  EXPECT_FALSE(env_.crashed());
+}
+
+TEST_F(FaultEnvTest, CrashAtAppendDropsUnsyncedAndKillsEnv) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("synced").is_ok());
+  ASSERT_TRUE(f->sync().is_ok());
+  FaultPlan plan;
+  plan.crash_at_append = env_.appends() + 2;
+  env_.arm(plan);
+  ASSERT_TRUE(f->append("-unsynced").is_ok());  // append 2: passes
+  const Status s = f->append("never");          // append 3: crash
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(env_.crashed());
+  // Everything after the last sync is gone, the crashed append included.
+  EXPECT_EQ(mem_.read_file("/f").value(), "synced");
+  // While crashed every operation fails until revive().
+  EXPECT_FALSE(env_.read_file("/f").ok());
+  EXPECT_FALSE(env_.file_exists("/f"));
+  EXPECT_FALSE(env_.new_writable_file("/g", true).ok());
+  EXPECT_FALSE(env_.list_dir("/").ok());
+  env_.revive();
+  EXPECT_EQ(env_.read_file("/f").value(), "synced");
+}
+
+TEST_F(FaultEnvTest, CrashKeepsTornTailBytes) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("synced").is_ok());
+  ASSERT_TRUE(f->sync().is_ok());
+  ASSERT_TRUE(f->append("0123456789").is_ok());
+  FaultPlan plan;
+  plan.crash_at_append = env_.appends() + 1;
+  plan.torn_tail_bytes = 4;
+  env_.arm(plan);
+  EXPECT_FALSE(f->append("x").is_ok());
+  EXPECT_EQ(mem_.read_file("/f").value(), "synced0123");
+}
+
+TEST_F(FaultEnvTest, ShortWriteLandsHalfTheBytesThenFails) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  FaultPlan plan;
+  plan.short_write_at_append = env_.appends() + 1;
+  env_.arm(plan);
+  const Status s = f->append("12345678");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(env_.crashed());  // an IO error, not a crash
+  EXPECT_EQ(mem_.read_file("/f").value(), "1234");
+  // One-shot: the next append goes through whole.
+  ASSERT_TRUE(f->append("rest").is_ok());
+  EXPECT_EQ(mem_.read_file("/f").value(), "1234rest");
+}
+
+TEST_F(FaultEnvTest, FailSyncLeavesDataUnsynced) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("data").is_ok());
+  FaultPlan plan;
+  plan.fail_sync_at = env_.syncs() + 1;
+  env_.arm(plan);
+  EXPECT_EQ(f->sync().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(env_.crashed());
+  EXPECT_EQ(mem_.unsynced_bytes(), 4u);  // the failed sync flushed nothing
+  mem_.drop_unsynced();
+  EXPECT_EQ(mem_.read_file("/f").value(), "");
+}
+
+TEST_F(FaultEnvTest, CrashBeforeSyncLosesTheBytes) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("data").is_ok());
+  FaultPlan plan;
+  plan.crash_before_sync_at = env_.syncs() + 1;
+  env_.arm(plan);
+  EXPECT_EQ(f->sync().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(env_.crashed());
+  EXPECT_EQ(mem_.read_file("/f").value(), "");
+}
+
+TEST_F(FaultEnvTest, CrashAfterSyncIsDurableButEnvIsDead) {
+  auto f = std::move(env_.new_writable_file("/f", true)).value();
+  ASSERT_TRUE(f->append("data").is_ok());
+  FaultPlan plan;
+  plan.crash_after_sync_at = env_.syncs() + 1;
+  env_.arm(plan);
+  // The sync itself reports success — the bytes ARE durable — but the
+  // process dies before anyone can act on the acknowledgement.
+  EXPECT_TRUE(f->sync().is_ok());
+  EXPECT_TRUE(env_.crashed());
+  EXPECT_FALSE(env_.read_file("/f").ok());
+  env_.revive();
+  EXPECT_EQ(env_.read_file("/f").value(), "data");
+}
+
+TEST_F(FaultEnvTest, CrashBeforeRenameLeavesSourceInPlace) {
+  auto f = std::move(env_.new_writable_file("/f.tmp", true)).value();
+  ASSERT_TRUE(f->append("data").is_ok());
+  ASSERT_TRUE(f->sync().is_ok());
+  FaultPlan plan;
+  plan.crash_before_rename_at = env_.renames() + 1;
+  env_.arm(plan);
+  EXPECT_EQ(env_.rename_file("/f.tmp", "/f").code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(env_.crashed());
+  env_.revive();
+  EXPECT_TRUE(env_.file_exists("/f.tmp"));
+  EXPECT_FALSE(env_.file_exists("/f"));
+}
+
+TEST_F(FaultEnvTest, WalWriterThroughFaultEnvSurvivesCrashPoints) {
+  // End-to-end: a WAL written through the fault env, crashed mid-append,
+  // recovers to exactly the synced record prefix plus a tolerated tear.
+  auto writer = std::move(WalWriter::open(env_, "/log", true)).value();
+  ASSERT_TRUE(writer->append_record("one").is_ok());
+  ASSERT_TRUE(writer->sync().is_ok());
+  FaultPlan plan;
+  plan.crash_at_append = env_.appends() + 2;
+  plan.torn_tail_bytes = 5;
+  env_.arm(plan);
+  ASSERT_TRUE(writer->append_record("two").is_ok());      // unsynced
+  EXPECT_FALSE(writer->append_record("three").is_ok());   // crash
+  EXPECT_FALSE(writer->sync().is_ok());  // writer is sticky-broken now
+  env_.revive();
+  auto read = read_wal(env_, "/log");
+  ASSERT_TRUE(read.ok()) << read.status().to_string();
+  EXPECT_EQ(read.value().records, std::vector<std::string>{"one"});
+  EXPECT_TRUE(read.value().torn_tail);  // 5 bytes of "two"'s frame survive
+}
+
+}  // namespace
+}  // namespace ech::io
