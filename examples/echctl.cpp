@@ -4,6 +4,9 @@
 //
 //   ./echctl                          # interactive REPL (10 servers, r=2)
 //   ./echctl -n 20 -r 3               # custom cluster
+//   ./echctl --net [shards]           # dirty table served by remote KV
+//                                     # shards over the deterministic
+//                                     # message fabric (default 4 shards)
 //   ./echctl recover <dir>            # REPL on a cluster recovered from a
 //                                     # checkpoint+WAL directory
 //   echo "write 1\nresize 6\nstatus" | ./echctl
@@ -19,6 +22,10 @@
 //   dirty                       dirty-table summary
 //   layout                      per-server object counts
 //   kv <redis command...>       raw access to the dirty-table KV store
+//   net status                  fabric/breaker/pending-queue overview
+//   net partition <shard> [both|requests|replies]
+//                               cut the client<->shard link (--net only)
+//   net heal                    heal all cuts, close breakers, drain queue
 //   metrics dump|json|watch     registry snapshot (Prometheus text, JSON,
 //                               or a refreshing key-metric view)
 //   persist <dir>               journal every mutation to <dir> (WAL +
@@ -29,7 +36,7 @@
 // Chaos mode (no REPL):
 //   echctl chaos run [--seed N] [--steps M] [--servers n] [--replicas r]
 //                    [--concurrent T] [--full] [--capacity MIB] [--crash]
-//                    [--no-shrink]
+//                    [--no-shrink] [--net]
 //   echctl chaos replay <schedule-file> [same cluster flags]
 // Exit code 0 = all invariants held; 1 = violation (minimal schedule and
 // replay instructions are printed).
@@ -49,6 +56,7 @@
 #include "core/elastic_cluster.h"
 #include "io/env.h"
 #include "kvstore/command.h"
+#include "net/remote_dirty_table.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -130,7 +138,68 @@ void handle_metrics(const ElasticCluster& c, const std::string& sub) {
   }
 }
 
-bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
+void handle_net(net::RemoteDirtyFabric* rig, std::istringstream& ss) {
+  std::string sub;
+  ss >> sub;
+  if (rig == nullptr) {
+    std::printf("network fabric not enabled (start echctl with --net)\n");
+    return;
+  }
+  if (sub == "status" || sub.empty()) {
+    const net::FabricStats st = rig->fabric().stats();
+    std::printf("fabric: tick %llu; %llu sent, %llu delivered, %llu dropped, "
+                "%llu blocked, %llu duplicated\n",
+                static_cast<unsigned long long>(rig->fabric().now()),
+                static_cast<unsigned long long>(st.sent),
+                static_cast<unsigned long long>(st.delivered),
+                static_cast<unsigned long long>(st.dropped),
+                static_cast<unsigned long long>(st.blocked),
+                static_cast<unsigned long long>(st.duplicated));
+    std::printf("partitions: %zu active cut(s)\n",
+                rig->fabric().partition_count());
+    for (std::size_t i = 0; i < rig->shard_count(); ++i) {
+      const net::CircuitBreaker& b =
+          rig->client().breaker(net::RemoteDirtyFabric::shard_node(i));
+      std::printf("  shard %zu (node %u): breaker %s, opened %llu time(s)\n",
+                  i, net::RemoteDirtyFabric::shard_node(i),
+                  net::CircuitBreaker::state_name(b.state()),
+                  static_cast<unsigned long long>(b.times_opened()));
+    }
+    const net::RemoteDirtyTable& t = rig->table();
+    std::printf("pending queue: %zu op(s) (%llu queued / %llu drained "
+                "lifetime); scan skips %llu; divergence %llu\n",
+                t.pending_depth(),
+                static_cast<unsigned long long>(t.enqueued_total()),
+                static_cast<unsigned long long>(t.drained_total()),
+                static_cast<unsigned long long>(t.scan_skipped_unreachable()),
+                static_cast<unsigned long long>(t.divergence_total()));
+  } else if (sub == "partition") {
+    std::size_t shard = 0;
+    std::string mode_word;
+    if (!(ss >> shard) || shard >= rig->shard_count()) {
+      std::printf("usage: net partition <shard 0..%zu> [both|requests|replies]\n",
+                  rig->shard_count() - 1);
+      return;
+    }
+    ss >> mode_word;
+    net::PartitionMode mode = net::PartitionMode::kBoth;
+    if (mode_word == "requests") mode = net::PartitionMode::kAToB;
+    if (mode_word == "replies") mode = net::PartitionMode::kBToA;
+    rig->partition_shard(shard, mode);
+    std::printf("shard %zu partitioned (%s); mutations will queue locally\n",
+                shard, mode_word.empty() ? "both" : mode_word.c_str());
+  } else if (sub == "heal") {
+    rig->heal_all();
+    std::printf("healed: cuts removed, breakers closed, pending queue "
+                "drained to depth %zu\n",
+                rig->table().pending_depth());
+  } else {
+    std::printf("usage: net [status|partition <shard> [mode]|heal]\n");
+  }
+}
+
+bool handle(ElasticCluster& c, kv::Store& kv, net::RemoteDirtyFabric* rig,
+            const std::string& line) {
   std::istringstream ss(line);
   std::string cmd;
   if (!(ss >> cmd)) return true;
@@ -141,6 +210,7 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
         "status | write <oid> [count] | read <oid> | placement <oid> |\n"
         "resize <n> | maintain [mib] | fail <id> | recover <id> |\n"
         "repair [mib] | dirty | layout | kv <command...> |\n"
+        "net [status|partition <shard> [mode]|heal] |\n"
         "metrics [dump|json|watch] | persist <dir> | checkpoint | quit\n");
   } else if (cmd == "status") {
     print_status(c);
@@ -244,6 +314,8 @@ bool handle(ElasticCluster& c, kv::Store& kv, const std::string& line) {
     std::getline(ss, rest);
     std::printf("%s\n",
                 kv::to_string(kv::execute_command_line(kv, rest)).c_str());
+  } else if (cmd == "net") {
+    handle_net(rig, ss);
   } else {
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
   }
@@ -256,6 +328,7 @@ int chaos_usage() {
       "usage: echctl chaos run    [--seed N] [--steps M] [--servers n]\n"
       "                           [--replicas r] [--concurrent T] [--full]\n"
       "                           [--capacity MIB] [--crash] [--no-shrink]\n"
+      "                           [--net]\n"
       "       echctl chaos replay <schedule-file> [same cluster flags]\n");
   return 2;
 }
@@ -300,6 +373,10 @@ int run_chaos(int argc, char** argv) {
       cfg.durability = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       cfg.shrink_on_violation = false;
+    } else if (std::strcmp(argv[i], "--net") == 0) {
+      // Dirty table over the faulty fabric; the generator injects
+      // partition/heal/degrade_link ops alongside the usual chaos.
+      cfg.network = true;
     } else if (mode == "replay" && replay_path.empty()) {
       replay_path = argv[i];
     } else {
@@ -349,6 +426,9 @@ int main(int argc, char** argv) {
   // shows exactly this cluster.  Must outlive the cluster: callback gauges
   // deregister from it on cluster destruction.
   static obs::MetricsRegistry registry;
+  // Declared before the cluster so the fabric-backed dirty table outlives
+  // the facade that points at it via dirty_override.
+  std::unique_ptr<net::RemoteDirtyFabric> netrig;
   std::unique_ptr<ElasticCluster> cluster;
   if (argc >= 2 && std::strcmp(argv[1], "recover") == 0) {
     if (argc < 3) {
@@ -372,12 +452,25 @@ int main(int argc, char** argv) {
   } else {
     ElasticClusterConfig config;
     config.metrics = &registry;
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::strcmp(argv[i], "-n") == 0) {
+    std::size_t net_shards = 0;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
         config.server_count = static_cast<std::uint32_t>(atoi(argv[i + 1]));
-      } else if (std::strcmp(argv[i], "-r") == 0) {
+      } else if (std::strcmp(argv[i], "-r") == 0 && i + 1 < argc) {
         config.replicas = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--net") == 0) {
+        net_shards = 4;
+        if (i + 1 < argc && atoi(argv[i + 1]) > 0) {
+          net_shards = static_cast<std::size_t>(atoi(argv[i + 1]));
+        }
       }
+    }
+    if (net_shards > 0) {
+      net::RemoteDirtyFabricOptions nopts;
+      nopts.shards = net_shards;
+      nopts.metrics = &registry;
+      netrig = std::make_unique<net::RemoteDirtyFabric>(nopts);
+      config.dirty_override = &netrig->table();
     }
     auto created = ElasticCluster::create(config);
     if (!created.ok()) {
@@ -389,14 +482,15 @@ int main(int argc, char** argv) {
   }
   kv::Store scratch_kv;  // raw KV playground for the `kv` command
 
-  std::printf("echctl — %u servers, %u replicas (type 'help')\n",
-              cluster->server_count(), cluster->config().replicas);
+  std::printf("echctl — %u servers, %u replicas%s (type 'help')\n",
+              cluster->server_count(), cluster->config().replicas,
+              netrig != nullptr ? ", dirty table over fabric" : "");
   std::string line;
   while (true) {
     std::printf("ech> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (!handle(*cluster, scratch_kv, line)) break;
+    if (!handle(*cluster, scratch_kv, netrig.get(), line)) break;
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "core/concurrent_cluster.h"
 #include "io/fault_env.h"
+#include "net/remote_dirty_table.h"
 #include "obs/metrics.h"
 
 namespace ech::chaos {
@@ -26,6 +27,21 @@ constexpr std::size_t kTornTailKeep = 5;
 /// A drain is bounded: below full power (or with an unreachable source) the
 /// backlog cannot empty, so stop once a round makes no progress.
 constexpr int kMaxDrainRounds = 64;
+
+/// Background fault level for network campaigns: every RPC crosses links
+/// that drop, duplicate, reorder, and jitter — partitions come on top via
+/// kPartition ops.  Rates are low enough that the default RetryPolicy
+/// (4 attempts) almost always gets through, so queueing is dominated by
+/// the explicit partitions the schedule injects.
+net::LinkFaults chaos_link_faults() {
+  net::LinkFaults f;
+  f.drop_rate = 0.02;
+  f.dup_rate = 0.01;
+  f.reorder_rate = 0.05;
+  f.min_delay_ticks = 1;
+  f.max_delay_ticks = 4;
+  return f;
+}
 
 struct ChaosInstruments {
   obs::Counter* steps{nullptr};
@@ -77,9 +93,12 @@ class Engine {
   [[nodiscard]] const CampaignStats& stats() const { return stats_; }
 
  private:
-  Engine(const CampaignConfig& cfg, std::unique_ptr<ElasticCluster> plain,
+  Engine(const CampaignConfig& cfg,
+         std::unique_ptr<net::RemoteDirtyFabric> net,
+         std::unique_ptr<ElasticCluster> plain,
          std::unique_ptr<ConcurrentElasticCluster> conc)
       : cfg_(cfg),
+        net_(std::move(net)),
         plain_(std::move(plain)),
         conc_(std::move(conc)),
         inner_(conc_ ? &conc_->unsynchronized() : plain_.get()),
@@ -87,7 +106,9 @@ class Engine {
         shadow_(cfg.cluster.dirty_dedupe),
         ins_(make_instruments(
             obs::registry_or_default(cfg.cluster.metrics))) {
-    shadow_on_ = cfg_.shadow_dirty &&
+    // The remote scan's retry/skip interleavings are invisible to the
+    // shadow, so network campaigns rely on the invariant checker alone.
+    shadow_on_ = cfg_.shadow_dirty && !cfg_.network &&
                  cfg_.cluster.reintegration == ReintegrationMode::kSelective;
   }
 
@@ -139,6 +160,9 @@ class Engine {
   // Durability flushes into these, so they must outlive it.
   io::MemEnv mem_env_;
   io::FaultEnv fault_env_{mem_env_};
+  // Network substrate (network campaigns).  Also declared before the
+  // clusters: they hold the RemoteDirtyTable as their dirty_override.
+  std::unique_ptr<net::RemoteDirtyFabric> net_;
   std::unique_ptr<ElasticCluster> plain_;
   std::unique_ptr<ConcurrentElasticCluster> conc_;
   ElasticCluster* inner_;  // the cluster the checker examines
@@ -164,19 +188,37 @@ Expected<std::unique_ptr<Engine>> Engine::create(const CampaignConfig& cfg,
     return Status{StatusCode::kInvalidArgument,
                   "need 0 < min_object_bytes <= max_object_bytes"};
   }
+  if (cfg.network && cfg.durability) {
+    return Status{StatusCode::kInvalidArgument,
+                  "network and durability chaos modes are mutually "
+                  "exclusive (crash recovery rebuilds the in-process "
+                  "dirty table)"};
+  }
+  CampaignConfig effective = cfg;
+  std::unique_ptr<net::RemoteDirtyFabric> net;
+  if (cfg.network) {
+    net::RemoteDirtyFabricOptions nopts;
+    nopts.shards = std::max<std::size_t>(1, cfg.network_shards);
+    nopts.seed = cfg.seed;
+    nopts.dedupe = cfg.cluster.dirty_dedupe;
+    nopts.faults = chaos_link_faults();
+    nopts.metrics = cfg.cluster.metrics;
+    net = std::make_unique<net::RemoteDirtyFabric>(nopts);
+    effective.cluster.dirty_override = &net->table();
+  }
   std::unique_ptr<ElasticCluster> plain;
   std::unique_ptr<ConcurrentElasticCluster> conc;
   if (cfg.reader_threads > 0) {
-    auto made = ConcurrentElasticCluster::create(cfg.cluster);
+    auto made = ConcurrentElasticCluster::create(effective.cluster);
     if (!made.ok()) return made.status();
     conc = std::move(made).value();
   } else {
-    auto made = ElasticCluster::create(cfg.cluster);
+    auto made = ElasticCluster::create(effective.cluster);
     if (!made.ok()) return made.status();
     plain = std::move(made).value();
   }
-  auto engine = std::unique_ptr<Engine>(
-      new Engine(cfg, std::move(plain), std::move(conc)));
+  auto engine = std::unique_ptr<Engine>(new Engine(
+      effective, std::move(net), std::move(plain), std::move(conc)));
   if (cfg.durability) {
     if (Status s = engine->inner_->attach_durability(engine->fault_env_,
                                                      kDurabilityDir);
@@ -257,7 +299,21 @@ Op Engine::generate(Rng& rng) {
     }
     return {OpKind::kMaintain, 0, budget()};
   }
-  if (roll <= 84) return {OpKind::kMaintain, 0, budget()};
+  if (roll <= 84) {
+    // Network campaigns carve the top of the maintain band into fabric
+    // faults; the non-network distribution is untouched (the recorded-
+    // schedule compatibility test pins it byte-for-byte).
+    if (cfg_.network && roll >= 81) {
+      if (roll <= 82) {
+        return {OpKind::kPartition, rng.uniform(1, net_->shard_count()),
+                rng.uniform(0, 2)};
+      }
+      if (roll == 83) return {OpKind::kHeal, 0, 0};
+      return {OpKind::kDegradeLink, rng.uniform(1, net_->shard_count()),
+              rng.uniform(50, 400)};
+    }
+    return {OpKind::kMaintain, 0, budget()};
+  }
   if (cfg_.durability) {
     if (roll <= 90) return {OpKind::kRepair, 0, budget()};
     if (roll <= 93) return {OpKind::kCheckpoint, 0, 0};
@@ -351,6 +407,12 @@ std::optional<Violation> Engine::apply_and_check(const Op& op) {
     ++stats_.invariant_checks;
     v = checker_.check(model_, shadow_on_ ? &shadow_ : nullptr);
   }
+  if (net_ != nullptr) {
+    stats_.net_fingerprint = net_->fabric().delivery_fingerprint();
+    stats_.net_messages_delivered = net_->fabric().stats().delivered;
+    stats_.net_ops_queued = net_->table().enqueued_total();
+    stats_.net_ops_drained = net_->table().drained_total();
+  }
   if (v.has_value()) ins_.violations->inc();
   return v;
 }
@@ -410,6 +472,28 @@ std::optional<Violation> Engine::apply(const Op& op) {
       }
       return std::nullopt;
     }
+    case OpKind::kPartition: {
+      if (net_ == nullptr) return std::nullopt;
+      const std::size_t shard =
+          (op.a == 0 ? 0 : (op.a - 1)) % net_->shard_count();
+      net::PartitionMode mode = net::PartitionMode::kBoth;
+      if (op.b == 1) mode = net::PartitionMode::kAToB;  // requests blocked
+      if (op.b == 2) mode = net::PartitionMode::kBToA;  // replies blocked
+      net_->partition_shard(shard, mode);
+      return std::nullopt;
+    }
+    case OpKind::kHeal:
+      if (net_ != nullptr) net_->heal_all();
+      return std::nullopt;
+    case OpKind::kDegradeLink: {
+      if (net_ == nullptr) return std::nullopt;
+      const std::size_t shard =
+          (op.a == 0 ? 0 : (op.a - 1)) % net_->shard_count();
+      const double drop =
+          static_cast<double>(std::min<std::uint64_t>(op.b, 1000)) / 1000.0;
+      net_->degrade_shard(shard, drop);
+      return std::nullopt;
+    }
   }
   return std::nullopt;
 }
@@ -451,7 +535,7 @@ std::optional<Violation> Engine::crash_and_recover() {
   // the next version observation; shadow_seen_ver_ = 0 mirrors that.
   if (shadow_on_) {
     shadow_.clear();
-    const DirtyTable& dt = inner_->dirty_table();
+    const DirtyStore& dt = inner_->dirty_table();
     const auto lo = dt.min_version();
     const auto hi = dt.max_version();
     if (lo.has_value() && hi.has_value()) {
@@ -584,6 +668,9 @@ std::optional<Violation> Engine::do_drain() {
 
 std::vector<Op> Engine::quiesce_ops() const {
   std::vector<Op> ops;
+  // Heal the fabric first: the quiescent invariants need the pending queue
+  // drained and every skipped list re-scanned.
+  if (net_ != nullptr) ops.push_back({OpKind::kHeal, 0, 0});
   for (std::uint32_t id = 1; id <= inner_->server_count(); ++id) {
     if (inner_->is_failed(ServerId{id})) {
       ops.push_back({OpKind::kRecover, id, 0});
@@ -698,6 +785,11 @@ CampaignResult drive(const CampaignConfig& config, const Schedule* replay) {
         << result.stats.invariant_checks << " invariant checks";
     if (config.durability) {
       out << ", " << result.stats.crash_recoveries << " crash recoveries";
+    }
+    if (config.network) {
+      out << ", " << result.stats.net_messages_delivered
+          << " fabric deliveries (" << result.stats.net_ops_queued
+          << " ops queued, " << result.stats.net_ops_drained << " drained)";
     }
     out << ", all held";
     result.summary = out.str();

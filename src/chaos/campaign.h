@@ -52,6 +52,19 @@ struct CampaignConfig {
   /// the last durable op boundary when the op was lost) and re-runs every
   /// invariant against the recovered cluster.
   bool durability{false};
+  /// Route the dirty table over the deterministic message fabric (net/):
+  /// one RemoteDirtyTable speaking kvstore commands to `network_shards` KV
+  /// shard nodes, with drop/dup/reorder link faults on by default, and
+  /// partition / heal / degrade_link ops mixed into the schedule.  The
+  /// shadow mirror is disabled (scan skips and retry interleavings are
+  /// internal to the remote scan); the four cluster invariants still run
+  /// after every op, and the final quiesce heals the fabric first so the
+  /// strong quiescent checks fire.  Mutually exclusive with `durability`
+  /// (the crash engine recovers via ElasticCluster::recover, which rebuilds
+  /// the in-process table).
+  bool network{false};
+  /// KV shard nodes backing the remote dirty table in network mode.
+  std::size_t network_shards{4};
   /// Append recover-everything + resize-to-n + drain ops at the end so the
   /// strong quiescent invariants (exact placement, clean headers) fire.
   bool final_quiesce{true};
@@ -66,6 +79,13 @@ struct CampaignStats {
   std::uint64_t invariant_checks{0};
   /// Crashes the engine recovered from (durability campaigns).
   std::uint64_t crash_recoveries{0};
+  /// Network campaigns: FNV-1a chain over the fabric's delivery order.
+  /// Replaying the same seed (or schedule) must reproduce it exactly.
+  std::uint64_t net_fingerprint{0};
+  std::uint64_t net_messages_delivered{0};
+  /// Mutations journaled while a shard was unreachable / later replayed.
+  std::uint64_t net_ops_queued{0};
+  std::uint64_t net_ops_drained{0};
   Bytes bytes_written{0};
   Bytes bytes_maintained{0};
   Bytes bytes_repaired{0};

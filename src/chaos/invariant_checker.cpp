@@ -28,7 +28,7 @@ std::optional<Violation> InvariantChecker::check(
     const Model& model, const ShadowDirtyTable* shadow) {
   const ElasticCluster& c = *cluster_;
   const ObjectStoreCluster& store = c.object_store();
-  const DirtyTable& dirty = c.dirty_table();
+  const DirtyStore& dirty = c.dirty_table();
   const std::uint32_t p = c.primary_count();
   const bool full_power = c.history().current().is_full_power();
   const bool failures_quiesced =

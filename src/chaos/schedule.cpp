@@ -8,7 +8,8 @@ namespace {
 
 constexpr std::array<const char*, kOpKindCount> kKindNames = {
     "write", "overwrite", "delete", "resize", "fail", "recover",
-    "maintain", "repair", "drain", "checkpoint", "crash"};
+    "maintain", "repair", "drain", "checkpoint", "crash",
+    "partition", "heal", "degrade_link"};
 
 }  // namespace
 

@@ -39,9 +39,15 @@ enum class OpKind : std::uint8_t {
   kCrash,       // a = crash mode (0 now, 1 at-append, 2 pre-fsync,
                 //                 3 post-fsync, 4 pre-rename)
                 // b = relative trigger count for the armed modes
+  // Network ops (no-ops unless the campaign runs with network on):
+  kPartition,    // a = dirty-table shard (1-based), b = mode (0 both,
+                 //     1 requests blocked, 2 replies blocked)
+  kHeal,         // restore the fabric fully (cuts, link faults, breakers)
+                 // and drain the pending queue
+  kDegradeLink,  // a = shard (1-based), b = drop rate in permille
 };
 
-inline constexpr std::size_t kOpKindCount = 11;
+inline constexpr std::size_t kOpKindCount = 14;
 
 [[nodiscard]] const char* op_kind_name(OpKind kind);
 

@@ -45,7 +45,72 @@ class DirtyTableListener {
   virtual void on_dirty_clear() = 0;
 };
 
-class DirtyTable {
+/// Abstract dirty-table surface consumed by the cluster facade, the
+/// re-integrator, durability, snapshots, and the chaos invariant checker.
+/// Two implementations exist:
+///   * DirtyTable           — in-process ShardedStore (the seed behavior);
+///   * net::RemoteDirtyTable — the same Redis-list protocol spoken over the
+///     deterministic message fabric, with partition-degraded writes queued
+///     locally (src/net/remote_dirty_table.h).
+/// All methods are single-writer: the cluster facade serializes mutations
+/// (ConcurrentElasticCluster holds its exclusive lock around them).
+class DirtyStore {
+ public:
+  virtual ~DirtyStore() = default;
+
+  /// Record a dirty write of `oid` in `version`.  Returns false when the
+  /// entry was suppressed as a duplicate (dedupe mode only).
+  virtual bool insert(ObjectId oid, Version version) = 0;
+
+  /// Total entries across every version list.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Entries recorded under one version.
+  [[nodiscard]] virtual std::size_t size_at(Version v) const = 0;
+
+  /// Restart the scan from the oldest entry (Algorithm 2 line 2-3).
+  virtual void restart() = 0;
+
+  /// Next entry in (version ascending, FIFO) order, or nullopt when the
+  /// scan is exhausted.  Does not remove the entry.
+  [[nodiscard]] virtual std::optional<DirtyEntry> fetch_next() = 0;
+
+  /// Retire `entry`.  Returns false when no such entry existed (or, for a
+  /// remote table, when the retirement could not be applied or queued).
+  virtual bool remove(const DirtyEntry& entry) = 0;
+
+  /// Drop every entry recorded for `oid`, across all versions.
+  virtual std::size_t remove_entries(ObjectId oid) = 0;
+
+  /// Drop everything (all data re-integrated at full power).
+  virtual void clear() = 0;
+
+  /// Scan cursor position: (version, index into its list).
+  [[nodiscard]] virtual std::pair<Version, std::size_t> cursor() const = 0;
+
+  /// All OIDs recorded under version `v`, FIFO order (planning/tests).
+  [[nodiscard]] virtual std::vector<ObjectId> entries_at(Version v) const = 0;
+
+  /// Version bounds currently present (nullopt when empty).
+  [[nodiscard]] virtual std::optional<Version> min_version() const = 0;
+  [[nodiscard]] virtual std::optional<Version> max_version() const = 0;
+
+  [[nodiscard]] virtual std::size_t memory_usage_bytes() const = 0;
+
+  /// Attach (or detach, with nullptr) a mutation observer.  The listener
+  /// must outlive the table or be detached first.
+  virtual void set_listener(DirtyTableListener* listener) = 0;
+
+  /// Entries the current scan pass could not even fetch because their KV
+  /// shard was unreachable (monotone within one scan; reset by restart()).
+  /// Always 0 for the in-process table.
+  [[nodiscard]] virtual std::uint64_t scan_skipped_unreachable() const {
+    return 0;
+  }
+};
+
+class DirtyTable final : public DirtyStore {
  public:
   /// The table does not own the store (it is the cluster's shared KV
   /// substrate); the store must outlive the table.
@@ -58,62 +123,63 @@ class DirtyTable {
 
   /// Record a dirty write of `oid` in `version`.  Returns false when the
   /// entry was suppressed as a duplicate (dedupe mode only).
-  bool insert(ObjectId oid, Version version);
+  bool insert(ObjectId oid, Version version) override;
 
   /// Total entries across every version list.
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t size() const override;
 
   /// Entries recorded under one version.
-  [[nodiscard]] std::size_t size_at(Version v) const;
+  [[nodiscard]] std::size_t size_at(Version v) const override;
 
   // -- cursor scan (the paper's fetch_dirty_entry / restart_dirty_entry) --
 
   /// Restart the scan from the oldest entry (called when the cluster moves
   /// to a new version, Algorithm 2 line 2-3).
-  void restart();
+  void restart() override;
 
   /// Next entry in (version ascending, FIFO) order, or nullopt when the
   /// scan is exhausted.  Does not remove the entry.
-  [[nodiscard]] std::optional<DirtyEntry> fetch_next();
+  [[nodiscard]] std::optional<DirtyEntry> fetch_next() override;
 
   /// Retire `entry` (re-integrated into a full-power version).  Keeps the
   /// cursor consistent when the removed entry precedes it.  Returns false
   /// when no such entry existed.
-  bool remove(const DirtyEntry& entry);
+  bool remove(const DirtyEntry& entry) override;
 
   /// Drop every entry recorded for `oid`, across all versions (the object
   /// was deleted; its bookkeeping goes with it).  Returns entries removed.
   /// Cursor-safe: the scan position shifts only for entries that preceded
   /// it, exactly like remove().
-  std::size_t remove_entries(ObjectId oid);
+  std::size_t remove_entries(ObjectId oid) override;
 
   /// Drop everything (all data re-integrated at full power).
-  void clear();
+  void clear() override;
 
   /// Scan cursor position: (version, index into its list).  Exposed so
   /// harnesses can cross-examine cursor consistency under interleaved
   /// fetch/remove traffic; (0, 0) before the first restart.
-  [[nodiscard]] std::pair<Version, std::size_t> cursor() const {
+  [[nodiscard]] std::pair<Version, std::size_t> cursor() const override {
     return {Version{cursor_version_}, cursor_index_};
   }
 
   /// All OIDs recorded under version `v`, FIFO order (planning/tests).
-  [[nodiscard]] std::vector<ObjectId> entries_at(Version v) const;
+  [[nodiscard]] std::vector<ObjectId> entries_at(Version v) const override;
 
   /// Version bounds currently present (nullopt when empty).
-  [[nodiscard]] std::optional<Version> min_version() const;
-  [[nodiscard]] std::optional<Version> max_version() const;
+  [[nodiscard]] std::optional<Version> min_version() const override;
+  [[nodiscard]] std::optional<Version> max_version() const override;
 
   /// Resident bytes in the KV store — the management overhead the paper
   /// flags as future work (Section VI).
-  [[nodiscard]] std::size_t memory_usage_bytes() const {
+  [[nodiscard]] std::size_t memory_usage_bytes() const override {
     return store_->total_memory_bytes();
   }
 
   /// Attach (or detach, with nullptr) a mutation observer.  The listener
   /// must outlive the table or be detached first.
-  void set_listener(DirtyTableListener* listener) { listener_ = listener; }
+  void set_listener(DirtyTableListener* listener) override {
+    listener_ = listener;
+  }
 
   /// Key of the version list (exposed for tests).
   [[nodiscard]] static std::string key_for(Version v);

@@ -239,18 +239,18 @@ Status ElasticCluster::apply_wal_record(const std::string& payload) {
     std::uint64_t oid = 0;
     std::uint32_t version = 0;
     if (!(in >> oid >> version)) return malformed();
-    (void)dirty_.insert(ObjectId{oid}, Version{version});
+    (void)dirty_->insert(ObjectId{oid}, Version{version});
     return Status::ok();
   }
   if (tag == "d-") {
     std::uint64_t oid = 0;
     std::uint32_t version = 0;
     if (!(in >> oid >> version)) return malformed();
-    (void)dirty_.remove(DirtyEntry{ObjectId{oid}, Version{version}});
+    (void)dirty_->remove(DirtyEntry{ObjectId{oid}, Version{version}});
     return Status::ok();
   }
   if (tag == "dz") {
-    dirty_.clear();
+    dirty_->clear();
     return Status::ok();
   }
   return {StatusCode::kInvalidArgument, "unknown WAL record tag: " + tag};

@@ -25,8 +25,10 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
                                       config.server_capacity)
                  : ObjectStoreCluster(config.capacity_by_rank)),
       kv_(config.kv_shards),
-      dirty_(kv_, config.dirty_dedupe),
-      reintegrator_(dirty_, history_, chain_, ring_, store_,
+      local_dirty_(kv_, config.dirty_dedupe),
+      dirty_(config.dirty_override != nullptr ? config.dirty_override
+                                              : &local_dirty_),
+      reintegrator_(*dirty_, history_, chain_, ring_, store_,
                     config.replicas, config.metrics, config.clock),
       prefix_target_(config.server_count) {
   obs::MetricsRegistry& reg = *metrics_;
@@ -48,11 +50,11 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
                                    "Bytes moved re-replicating failed data");
   gauge_guards_.push_back(reg.gauge_callback(
       "ech_dirty_entries", {},
-      [this] { return static_cast<double>(dirty_.size()); },
+      [this] { return static_cast<double>(dirty_->size()); },
       "Dirty-table entries awaiting re-integration"));
   gauge_guards_.push_back(reg.gauge_callback(
       "ech_dirty_resident_bytes", {},
-      [this] { return static_cast<double>(dirty_.memory_usage_bytes()); },
+      [this] { return static_cast<double>(dirty_->memory_usage_bytes()); },
       "Resident bytes of the KV store backing the dirty table"));
   gauge_guards_.push_back(reg.gauge_callback(
       "ech_store_bytes", {},
@@ -161,7 +163,7 @@ Status ElasticCluster::write_object(ObjectId oid, Bytes size) {
   // Overwrites leave older replicas stale on other servers; they are
   // reconciled by re-integration (selective) or the sweep (full).
   if (!full_power) {
-    (void)dirty_.insert(oid, curr);
+    (void)dirty_->insert(oid, curr);
     ins_.offloaded_writes->inc();
   }
   return Status::ok();
@@ -203,7 +205,7 @@ std::uint64_t ElasticCluster::remove_object(ObjectId oid) {
   // Dirty entries for a deleted object are garbage; purging them here keeps
   // the table an exact record of offloaded *live* data and frees the scan
   // from wading through tombstones.
-  dirty_.remove_entries(oid);
+  dirty_->remove_entries(oid);
   return erased;
 }
 
@@ -330,7 +332,7 @@ Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
   }
   if (full_cursor_ >= full_plan_.size() && full_power) {
     // Sweep complete at full power: nothing is dirty any more.
-    dirty_.clear();
+    dirty_->clear();
   }
   ins_.maintenance_bytes->add(static_cast<std::uint64_t>(spent));
   return spent;
@@ -342,7 +344,7 @@ Bytes ElasticCluster::pending_maintenance_bytes() const {
     // At full power, dirty-table entries must still be scanned and retired
     // even when every replica already sits in place; report one nominal
     // byte so callers grant the (free) retirement pass a budget.
-    if (bytes == 0 && !dirty_.empty() &&
+    if (bytes == 0 && !dirty_->empty() &&
         history_.current().is_full_power()) {
       return 1;
     }
@@ -555,7 +557,7 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
       // that is a dirty write like any other and must be tracked, or the
       // copies would never be re-homed (and surplus ones never dropped)
       // once the cluster returns to full power.
-      (void)dirty_.insert(oid, curr);
+      (void)dirty_->insert(oid, curr);
       last_repair_insertions_.push_back(DirtyEntry{oid, curr});
     }
     if (r.unavailable || r.incomplete) {

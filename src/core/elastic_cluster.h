@@ -81,6 +81,12 @@ struct ElasticClusterConfig {
   std::size_t kv_shards{8};
   /// Suppress duplicate dirty entries (extension; see DirtyTable).
   bool dirty_dedupe{false};
+  /// When non-null the cluster routes all dirty-table traffic through this
+  /// externally owned DirtyStore (e.g. net::RemoteDirtyTable speaking over
+  /// the deterministic message fabric) instead of its in-process table.
+  /// Non-owning; must outlive the cluster.  Snapshot/recover round-trips
+  /// rebuild the in-process table — re-wire the override before replaying.
+  DirtyStore* dirty_override{nullptr};
   /// Observability hooks (all optional).  `metrics` defaults to the
   /// process-wide registry — pass a private one when per-run isolation
   /// matters (benches).  `clock` defaults to the monotonic wall clock —
@@ -198,8 +204,8 @@ class ElasticCluster final : public StorageSystem {
   [[nodiscard]] const VersionHistory& history() const { return history_; }
   [[nodiscard]] const ExpansionChain& chain() const { return chain_; }
   [[nodiscard]] const HashRing& ring() const { return ring_; }
-  [[nodiscard]] const DirtyTable& dirty_table() const { return dirty_; }
-  [[nodiscard]] DirtyTable& dirty_table() { return dirty_; }
+  [[nodiscard]] const DirtyStore& dirty_table() const { return *dirty_; }
+  [[nodiscard]] DirtyStore& dirty_table() { return *dirty_; }
   [[nodiscard]] ObjectStoreCluster& mutable_object_store() { return store_; }
   [[nodiscard]] std::uint32_t primary_count() const {
     return chain_.primary_count();
@@ -330,7 +336,8 @@ class ElasticCluster final : public StorageSystem {
   std::shared_ptr<const PlacementIndex> index_;  // current epoch, immutable
   ObjectStoreCluster store_;
   kv::ShardedStore kv_;
-  DirtyTable dirty_;
+  DirtyTable local_dirty_;   // in-process table (used unless overridden)
+  DirtyStore* dirty_;        // -> local_dirty_ or config.dirty_override
   Reintegrator reintegrator_;
 
   ReintegrationStats last_reintegration_stats_{};

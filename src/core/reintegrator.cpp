@@ -8,7 +8,7 @@
 
 namespace ech {
 
-Reintegrator::Reintegrator(DirtyTable& table, const VersionHistory& history,
+Reintegrator::Reintegrator(DirtyStore& table, const VersionHistory& history,
                            const ExpansionChain& chain, const HashRing& ring,
                            ObjectStoreCluster& cluster, std::uint32_t replicas,
                            obs::MetricsRegistry* metrics,
@@ -50,6 +50,7 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
     // Algorithm 2 lines 2-4: new version -> restart from the oldest entry,
     // and pin a fresh placement index for the new epoch.
     table_->restart();
+    reported_scan_skips_ = 0;
     last_seen_version_ = curr;
     index_ = PlacementIndex::build(
         ClusterView(*chain_, *ring_, history_->current()), curr);
@@ -88,10 +89,23 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
     }
     if (full_power) {
       // Algorithm 2 lines 11-13: at full power the entry is fully
-      // re-integrated and can be retired.
-      table_->remove(*entry);
-      ++stats.entries_retired;
+      // re-integrated and can be retired.  A remote table may be unable to
+      // apply (or queue) the retirement; the entry then survives for a
+      // later pass and counts as failed, not retired.
+      if (table_->remove(*entry)) {
+        ++stats.entries_retired;
+      } else {
+        ++stats.entries_failed;
+      }
     }
+  }
+  // Entries the scan could not even fetch (unreachable KV shard) failed
+  // this pass: they were neither reconciled nor retired, and must survive.
+  const std::uint64_t skips = table_->scan_skipped_unreachable();
+  if (skips < reported_scan_skips_) reported_scan_skips_ = 0;  // ext. restart
+  if (skips > reported_scan_skips_) {
+    stats.entries_failed += skips - reported_scan_skips_;
+    reported_scan_skips_ = skips;
   }
   ins_.bytes->add(static_cast<std::uint64_t>(stats.bytes_migrated));
   ins_.objects->add(stats.objects_reintegrated);
@@ -111,8 +125,14 @@ Reintegrator::ReintegrateOutcome Reintegrator::reintegrate(
     ++stats.entries_skipped_stale;
     return {};
   }
-  // Stale-entry check (Section III-E.2): a later write re-dirtied the
-  // object and owns a newer entry; this one carries outdated locations.
+  // Stale-entry check (Section III-E.2): a later write moved the object
+  // on; this entry carries outdated locations.  Below full power skipping
+  // is a pure deferral — the entry survives, so the outdated replicas stay
+  // tracked.  At full power the entry is about to be *retired*, and a
+  // newer dirty entry covering the cleanup may not exist (full-power
+  // overwrites insert none), so never skip there: reconcile first — a
+  // no-op when the object is already placed — and only then retire.
+  const bool full_power = history_->current().is_full_power();
   Version newest{0};
   for (ServerId s : holders) {
     const auto obj = cluster_->server(s).get(entry.oid);
@@ -120,7 +140,7 @@ Reintegrator::ReintegrateOutcome Reintegrator::reintegrate(
       newest = obj->header.version;
     }
   }
-  if (newest > entry.version) {
+  if (newest > entry.version && !full_power) {
     ++stats.entries_skipped_stale;
     return {};
   }
@@ -133,7 +153,6 @@ Reintegrator::ReintegrateOutcome Reintegrator::reintegrate(
         << placed.status().to_string();
     return {.bytes = 0, .failed = true};
   }
-  const bool full_power = history_->current().is_full_power();
   const ReconcileResult r = reconcile_object(
       *cluster_, entry.oid, placed.value().servers,
       /*dirty_flag=*/!full_power,

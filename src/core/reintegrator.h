@@ -76,7 +76,7 @@ class Reintegrator {
   /// process defaults (registry aggregate; monotonic wall clock).  The
   /// clock stamps drain latency — how long after a version appears its
   /// offloaded data finishes re-integrating.
-  Reintegrator(DirtyTable& table, const VersionHistory& history,
+  Reintegrator(DirtyStore& table, const VersionHistory& history,
                const ExpansionChain& chain, const HashRing& ring,
                ObjectStoreCluster& cluster, std::uint32_t replicas,
                obs::MetricsRegistry* metrics = nullptr,
@@ -103,7 +103,7 @@ class Reintegrator {
   ReintegrateOutcome reintegrate(const DirtyEntry& entry,
                                  ReintegrationStats& stats);
 
-  DirtyTable* table_;
+  DirtyStore* table_;
   const VersionHistory* history_;
   const ExpansionChain* chain_;
   const HashRing* ring_;
@@ -120,6 +120,9 @@ class Reintegrator {
     obs::Histogram* drain_ns{nullptr};  // version-seen -> first drain
   } ins_{};
   Version last_seen_version_{0};  // Algorithm 2's Last_Ver
+  // scan_skipped_unreachable() already folded into entries_failed for the
+  // current scan (the counter is cumulative per scan; steps report deltas).
+  std::uint64_t reported_scan_skips_{0};
   std::uint64_t version_seen_ns_{0};  // clock stamp when last_seen_ changed
   bool drain_observed_{true};         // drain_ns recorded for this version
   // Epoch-pinned placement index for last_seen_version_; Algorithm 2

@@ -103,7 +103,7 @@ std::string snapshot_to_string(const ElasticCluster& cluster) {
   }
 
   // Dirty table, version-ascending and FIFO within a version.
-  const DirtyTable& dirty = cluster.dirty_table();
+  const DirtyStore& dirty = cluster.dirty_table();
   out << "dirty " << dirty.size() << '\n';
   if (const auto lo = dirty.min_version()) {
     for (std::uint32_t v = lo->value; v <= dirty.max_version()->value; ++v) {

@@ -16,6 +16,16 @@
 
 namespace ech::kv {
 
+/// Stable shard routing: FNV-1a 64-bit mod N — never std::hash, whose
+/// value is implementation-defined and would make shard assignment (and
+/// therefore chaos replay) differ across platforms.  Shared by
+/// ShardedStore and net::RemoteDirtyTable so the in-process and
+/// fabric-backed dirty tables place every key on the same shard.
+[[nodiscard]] inline std::size_t shard_index_for(const std::string& key,
+                                                 std::size_t shard_count) {
+  return fnv1a64(key) % shard_count;
+}
+
 class ShardedStore {
  public:
   /// Creates `shard_count` independent shards (>= 1).
@@ -28,7 +38,7 @@ class ShardedStore {
   [[nodiscard]] const Store& shard_for(const std::string& key) const;
 
   [[nodiscard]] std::size_t shard_index(const std::string& key) const {
-    return fnv1a64(key) % shards_.size();
+    return shard_index_for(key, shards_.size());
   }
 
   /// Direct shard access for rebalancing tools and tests.

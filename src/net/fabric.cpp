@@ -1,0 +1,196 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace ech::net {
+
+Fabric::Fabric(std::uint64_t seed) : rng_(seed) {}
+
+void Fabric::bind(NodeId node, Endpoint* endpoint) {
+  std::lock_guard lock(mu_);
+  endpoints_[node] = endpoint;
+}
+
+void Fabric::unbind(NodeId node) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(node);
+}
+
+void Fabric::set_default_faults(const LinkFaults& faults) {
+  std::lock_guard lock(mu_);
+  default_faults_ = faults;
+}
+
+void Fabric::set_link_faults(NodeId a, NodeId b, const LinkFaults& faults) {
+  std::lock_guard lock(mu_);
+  link_faults_[std::minmax(a, b)] = faults;
+}
+
+void Fabric::clear_link_faults() {
+  std::lock_guard lock(mu_);
+  link_faults_.clear();
+}
+
+void Fabric::partition(NodeId a, NodeId b, PartitionMode mode) {
+  std::lock_guard lock(mu_);
+  if (mode == PartitionMode::kBoth || mode == PartitionMode::kAToB) {
+    blocked_[link_key(a, b)] = true;
+  }
+  if (mode == PartitionMode::kBoth || mode == PartitionMode::kBToA) {
+    blocked_[link_key(b, a)] = true;
+  }
+}
+
+void Fabric::heal(NodeId a, NodeId b) {
+  std::lock_guard lock(mu_);
+  blocked_.erase(link_key(a, b));
+  blocked_.erase(link_key(b, a));
+}
+
+void Fabric::heal_all() {
+  std::lock_guard lock(mu_);
+  blocked_.clear();
+}
+
+bool Fabric::partitioned(NodeId a, NodeId b) const {
+  std::lock_guard lock(mu_);
+  return blocked_.contains(link_key(a, b)) || blocked_.contains(link_key(b, a));
+}
+
+std::size_t Fabric::partition_count() const {
+  std::lock_guard lock(mu_);
+  // Count partitioned node *pairs*: a symmetric cut is one partition, not
+  // two directed entries.
+  std::unordered_set<std::uint64_t> pairs;
+  for (const auto& [key, cut] : blocked_) {
+    if (!cut) continue;
+    const NodeId from = static_cast<NodeId>(key >> 32);
+    const NodeId to = static_cast<NodeId>(key & 0xFFFFFFFFu);
+    const auto [a, b] = std::minmax(from, to);
+    pairs.insert(link_key(a, b));
+  }
+  return pairs.size();
+}
+
+const LinkFaults& Fabric::faults_for(NodeId a, NodeId b) const {
+  const auto it = link_faults_.find(std::minmax(a, b));
+  return it != link_faults_.end() ? it->second : default_faults_;
+}
+
+bool Fabric::blocked_locked(NodeId from, NodeId to) const {
+  const auto it = blocked_.find(link_key(from, to));
+  return it != blocked_.end() && it->second;
+}
+
+void Fabric::enqueue_locked(NodeId from, NodeId to,
+                            const std::string& payload) {
+  const LinkFaults& f = faults_for(from, to);
+  std::uint64_t delay =
+      f.min_delay_ticks >= f.max_delay_ticks
+          ? f.min_delay_ticks
+          : rng_.uniform(f.min_delay_ticks, f.max_delay_ticks);
+  if (f.reorder_rate > 0.0 && rng_.next_double() < f.reorder_rate) {
+    delay += rng_.uniform(1, std::max<std::uint64_t>(1, f.reorder_extra_ticks));
+  }
+  inflight_.push(Message{now_ + std::max<std::uint64_t>(1, delay), seq_++,
+                         from, to, payload});
+}
+
+void Fabric::send(NodeId from, NodeId to, std::string payload) {
+  std::lock_guard lock(mu_);
+  ++stats_.sent;
+  if (blocked_locked(from, to)) {
+    ++stats_.blocked;
+    return;
+  }
+  const LinkFaults& f = faults_for(from, to);
+  if (f.drop_rate > 0.0 && rng_.next_double() < f.drop_rate) {
+    ++stats_.dropped;
+    return;
+  }
+  enqueue_locked(from, to, payload);
+  if (f.dup_rate > 0.0 && rng_.next_double() < f.dup_rate) {
+    ++stats_.duplicated;
+    enqueue_locked(from, to, payload);
+  }
+}
+
+std::uint64_t Fabric::now() const {
+  std::lock_guard lock(mu_);
+  return now_;
+}
+
+void Fabric::advance(std::uint64_t ticks) {
+  std::lock_guard lock(mu_);
+  now_ += ticks;
+}
+
+std::size_t Fabric::pump_until(std::uint64_t until) {
+  std::size_t delivered = 0;
+  for (;;) {
+    Message msg;
+    Endpoint* target = nullptr;
+    {
+      std::lock_guard lock(mu_);
+      if (inflight_.empty() || inflight_.top().deliver_at > until) {
+        now_ = std::max(now_, until);
+        break;
+      }
+      msg = inflight_.top();
+      inflight_.pop();
+      now_ = std::max(now_, msg.deliver_at);
+      // A partition cut while the message was in flight eats it too.
+      if (blocked_locked(msg.from, msg.to)) {
+        ++stats_.blocked;
+        continue;
+      }
+      const auto it = endpoints_.find(msg.to);
+      if (it == endpoints_.end() || it->second == nullptr) {
+        ++stats_.unroutable;
+        continue;
+      }
+      target = it->second;
+      ++stats_.delivered;
+      ++delivered;
+      std::uint64_t h = fingerprint_;
+      h = hash_combine(h, msg.from);
+      h = hash_combine(h, msg.to);
+      h = hash_combine(h, msg.deliver_at);
+      h = hash_combine(h, fnv1a64(msg.payload));
+      fingerprint_ = h;
+    }
+    // Lock released: the handler may send() replies back into the fabric.
+    target->deliver(msg.from, msg.payload);
+  }
+  return delivered;
+}
+
+std::size_t Fabric::pump_all() {
+  // Drain horizon by horizon: handlers triggered by one batch may schedule
+  // more messages (replies), always strictly later than now.
+  std::size_t total = 0;
+  for (;;) {
+    std::uint64_t next = 0;
+    {
+      std::lock_guard lock(mu_);
+      if (inflight_.empty()) return total;
+      next = inflight_.top().deliver_at;
+    }
+    total += pump_until(next);
+  }
+}
+
+FabricStats Fabric::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::uint64_t Fabric::delivery_fingerprint() const {
+  std::lock_guard lock(mu_);
+  return fingerprint_;
+}
+
+}  // namespace ech::net

@@ -1,0 +1,152 @@
+// Deterministic message fabric: the network the distributed dirty table
+// actually crosses.
+//
+// The fabric is a discrete-event simulator over virtual time ("ticks").
+// Nodes register an Endpoint; send() enqueues a datagram whose fate —
+// dropped, duplicated, delayed, reordered, or blocked by a partition — is
+// decided *at send time* by one seeded Rng, so a (seed, send-sequence)
+// pair fully determines every delivery.  pump_until() then delivers due
+// messages in (deliver_at, sequence) order and advances the clock.
+//
+// Determinism contract: with the same seed and the same sequence of
+// send()/pump_until()/fault-control calls, the fabric delivers the same
+// messages in the same order at the same ticks.  delivery_fingerprint()
+// folds every delivery into a running FNV-1a chain so harnesses can assert
+// replay identity cheaply.
+//
+// Thread safety: all public methods are mutex-guarded; endpoint handlers
+// are invoked with the lock RELEASED (handlers send replies, re-entering
+// the fabric).  Single-threaded use is the deterministic mode; the chaos
+// campaigns only drive the fabric from the writer thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ech::net {
+
+using NodeId = std::uint32_t;
+
+/// Per-link fault model, applied to each message at send time.
+struct LinkFaults {
+  double drop_rate{0.0};     ///< P(message silently lost)
+  double dup_rate{0.0};      ///< P(a second copy is also delivered)
+  double reorder_rate{0.0};  ///< P(extra delay pushing it past later sends)
+  std::uint64_t min_delay_ticks{1};
+  std::uint64_t max_delay_ticks{1};
+  /// Extra delay range applied on a reorder hit.
+  std::uint64_t reorder_extra_ticks{8};
+};
+
+/// Which direction(s) of a link a partition blocks.
+enum class PartitionMode : std::uint8_t {
+  kBoth,  ///< symmetric: neither direction delivers
+  kAToB,  ///< one-way: messages a->b are blocked (requests lost)
+  kBToA,  ///< one-way: messages b->a are blocked (replies lost)
+};
+
+/// A node's receive hook.  Called with the fabric lock released.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void deliver(NodeId from, const std::string& payload) = 0;
+};
+
+struct FabricStats {
+  std::uint64_t sent{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped{0};      // fault-model losses
+  std::uint64_t duplicated{0};
+  std::uint64_t blocked{0};      // partition losses
+  std::uint64_t unroutable{0};   // destination never bound
+};
+
+class Fabric {
+ public:
+  explicit Fabric(std::uint64_t seed);
+
+  /// Register (or replace) the endpoint for `node`.  Non-owning.
+  void bind(NodeId node, Endpoint* endpoint);
+  void unbind(NodeId node);
+
+  /// Fault model for links with no per-link override.
+  void set_default_faults(const LinkFaults& faults);
+  /// Per-link override, symmetric (applies to both directions).
+  void set_link_faults(NodeId a, NodeId b, const LinkFaults& faults);
+  void clear_link_faults();
+
+  void partition(NodeId a, NodeId b, PartitionMode mode = PartitionMode::kBoth);
+  void heal(NodeId a, NodeId b);
+  void heal_all();
+  /// True when any direction of (a, b) is blocked.
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t partition_count() const;
+
+  /// Enqueue a datagram.  Fault decisions happen now, deterministically.
+  void send(NodeId from, NodeId to, std::string payload);
+
+  /// Current virtual time in ticks.
+  [[nodiscard]] std::uint64_t now() const;
+
+  /// Advance the clock by `ticks` without delivering (models local work
+  /// during fast-fail paths so cool-downs eventually expire).
+  void advance(std::uint64_t ticks);
+
+  /// Deliver every message due at or before `until` (including messages
+  /// sent by handlers during this call, when due), then set now = until.
+  /// Returns the number of deliveries made.
+  std::size_t pump_until(std::uint64_t until);
+
+  /// Deliver everything in flight regardless of due time.
+  std::size_t pump_all();
+
+  [[nodiscard]] FabricStats stats() const;
+  /// FNV-1a chain over every delivery (src, dst, tick, payload) — equal
+  /// fingerprints mean identical delivery orders.
+  [[nodiscard]] std::uint64_t delivery_fingerprint() const;
+
+ private:
+  struct Message {
+    std::uint64_t deliver_at{0};
+    std::uint64_t seq{0};  // tie-break: FIFO among equal deliver_at
+    NodeId from{0};
+    NodeId to{0};
+    std::string payload;
+  };
+  struct Later {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Key for directed link state: (from, to) packed into 64 bits.
+  [[nodiscard]] static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  [[nodiscard]] const LinkFaults& faults_for(NodeId a, NodeId b) const;
+  [[nodiscard]] bool blocked_locked(NodeId from, NodeId to) const;
+  void enqueue_locked(NodeId from, NodeId to, const std::string& payload);
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::uint64_t now_{0};
+  std::uint64_t seq_{0};
+  std::priority_queue<Message, std::vector<Message>, Later> inflight_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  LinkFaults default_faults_{};
+  std::map<std::pair<NodeId, NodeId>, LinkFaults> link_faults_;  // a < b
+  std::unordered_map<std::uint64_t, bool> blocked_;  // directed link -> cut
+  FabricStats stats_{};
+  std::uint64_t fingerprint_{1469598103934665603ULL};  // FNV offset basis
+};
+
+}  // namespace ech::net

@@ -1,0 +1,87 @@
+#include "net/kv_shard.h"
+
+#include <cstdlib>
+
+namespace ech::net {
+
+std::string encode_reply(const kv::Reply& reply) {
+  using Kind = kv::Reply::Kind;
+  switch (reply.kind) {
+    case Kind::kOk:
+      return "+";
+    case Kind::kError:
+      return "-" + reply.text;
+    case Kind::kInteger:
+      return ":" + std::to_string(reply.integer);
+    case Kind::kBulk:
+      return "$" + reply.text;
+    case Kind::kNil:
+      return "_";
+    case Kind::kArray: {
+      std::string out = "*" + std::to_string(reply.array.size());
+      for (const std::string& item : reply.array) {
+        out += '\t';
+        out += item;
+      }
+      return out;
+    }
+  }
+  return "-unencodable reply";
+}
+
+kv::Reply decode_reply(const std::string& wire) {
+  if (wire.empty()) return kv::Reply::error("empty wire reply");
+  const std::string rest = wire.substr(1);
+  switch (wire[0]) {
+    case '+':
+      return kv::Reply::ok();
+    case '-':
+      return kv::Reply::error(rest);
+    case ':': {
+      char* end = nullptr;
+      const long long v = std::strtoll(rest.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return kv::Reply::error("bad integer reply: " + wire);
+      }
+      return kv::Reply::integer_reply(v);
+    }
+    case '$':
+      return kv::Reply::bulk(rest);
+    case '_':
+      return kv::Reply::nil();
+    case '*': {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(rest.c_str(), &end, 10);
+      if (end == nullptr || (*end != '\0' && *end != '\t')) {
+        return kv::Reply::error("bad array reply: " + wire);
+      }
+      std::vector<std::string> items;
+      const char* p = end;
+      while (*p == '\t') {
+        ++p;
+        const char* tab = p;
+        while (*tab != '\0' && *tab != '\t') ++tab;
+        items.emplace_back(p, tab);
+        p = tab;
+      }
+      if (items.size() != n) {
+        return kv::Reply::error("array length mismatch: " + wire);
+      }
+      return kv::Reply::array_reply(std::move(items));
+    }
+    default:
+      return kv::Reply::error("unknown wire reply: " + wire);
+  }
+}
+
+KvShard::KvShard(Fabric& fabric, NodeId node,
+                 std::size_t reply_cache_entries) {
+  server_ = std::make_unique<RpcServer>(
+      fabric, node,
+      [this](const std::string& body) {
+        return encode_reply(kv::execute_command_line(store_, body));
+      },
+      reply_cache_entries);
+}
+
+}  // namespace ech::net

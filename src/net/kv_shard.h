@@ -1,0 +1,44 @@
+// A KV shard living behind the fabric: one kv::Store served over RPC by
+// executing textual commands (the same Redis-flavored surface the echctl
+// `kv` REPL speaks), plus the wire codec for kv::Reply.
+//
+// Reply wire format (single line; our keys/values never contain '\n'):
+//   "+"            kOk
+//   "-<message>"   kError
+//   ":<integer>"   kInteger
+//   "$<text>"      kBulk
+//   "_"            kNil
+//   "*<n>[\t<item>]*n"  kArray (tab-separated items)
+// Anything unparseable decodes to kError, which callers treat as a
+// protocol fault (never silently as data).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kvstore/command.h"
+#include "kvstore/store.h"
+#include "net/rpc.h"
+
+namespace ech::net {
+
+[[nodiscard]] std::string encode_reply(const kv::Reply& reply);
+[[nodiscard]] kv::Reply decode_reply(const std::string& wire);
+
+/// Owns the Store and its RpcServer; the handler runs commands through
+/// kv::execute_command_line with at-most-once execution per rpc id.
+class KvShard {
+ public:
+  KvShard(Fabric& fabric, NodeId node, std::size_t reply_cache_entries = 4096);
+
+  [[nodiscard]] kv::Store& store() { return store_; }
+  [[nodiscard]] const kv::Store& store() const { return store_; }
+  [[nodiscard]] NodeId node() const { return server_->node(); }
+  [[nodiscard]] const RpcServer& server() const { return *server_; }
+
+ private:
+  kv::Store store_;
+  std::unique_ptr<RpcServer> server_;  // binds to the fabric in its ctor
+};
+
+}  // namespace ech::net

@@ -1,0 +1,468 @@
+#include "net/remote_dirty_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/log.h"
+#include "kvstore/sharded_store.h"
+
+namespace ech::net {
+namespace {
+
+std::string encode_oid(std::uint64_t oid) { return std::to_string(oid); }
+
+}  // namespace
+
+RemoteDirtyTable::RemoteDirtyTable(RpcClient& client,
+                                   std::vector<NodeId> shard_nodes,
+                                   const RemoteDirtyTableOptions& options)
+    : client_(&client),
+      shard_nodes_(std::move(shard_nodes)),
+      dedupe_(options.dedupe),
+      env_(options.env),
+      wal_path_(options.wal_path) {
+  assert(!shard_nodes_.empty());
+  obs::MetricsRegistry& reg = obs::registry_or_default(options.metrics);
+  pending_gauge_ = &reg.gauge(
+      "dirty_pending_queue_depth", {},
+      "Dirty-table mutations queued locally while their shard is dark");
+  divergence_counter_ =
+      &reg.counter("net_mirror_divergence_total", {},
+                   "Scan reads disagreeing with the client-side mirror");
+  if (env_ != nullptr && !wal_path_.empty()) {
+    recover_queue();
+    auto writer = io::WalWriter::open(*env_, wal_path_, /*truncate=*/false);
+    if (writer.ok()) {
+      wal_ = std::move(writer).value();
+    } else {
+      ECH_LOG_ERROR("remote_dirty")
+          << "pending-queue WAL unavailable at " << wal_path_ << ": "
+          << writer.status().to_string();
+    }
+  }
+  update_gauge();
+}
+
+NodeId RemoteDirtyTable::node_for(const std::string& key) const {
+  return shard_nodes_[kv::shard_index_for(key, shard_nodes_.size())];
+}
+
+NodeId RemoteDirtyTable::node_for_version(Version v) const {
+  return node_for(DirtyTable::key_for(v));
+}
+
+Status RemoteDirtyTable::apply_op(const PendingOp& op) {
+  const Version v{op.version};
+  const ObjectId oid{op.oid};
+  const std::string key = DirtyTable::key_for(v);
+  const auto checked = [this](NodeId node, const std::string& cmd,
+                              std::uint64_t id) -> Status {
+    auto resp = client_->call(node, cmd, id);
+    if (!resp.ok()) return resp.status();
+    const kv::Reply r = decode_reply(resp.value());
+    if (r.kind == kv::Reply::Kind::kError) {
+      ECH_LOG_ERROR("remote_dirty")
+          << "shard rejected '" << cmd << "': " << r.text;
+      return Status{StatusCode::kInternal, "shard error: " + r.text};
+    }
+    return Status::ok();
+  };
+  switch (op.kind) {
+    case OpKind::kInsert: {
+      if (op.rpc_marker != 0) {
+        const std::string seen = DirtyTable::seen_key_for(v, oid);
+        if (Status s = checked(node_for(seen), "SET " + seen + " 1",
+                               op.rpc_marker);
+            !s.is_ok()) {
+          return s;
+        }
+      }
+      return checked(node_for(key), "RPUSH " + key + " " + encode_oid(op.oid),
+                     op.rpc_list);
+    }
+    case OpKind::kRemove: {
+      if (Status s = checked(node_for(key),
+                             "LREM " + key + " 1 " + encode_oid(op.oid),
+                             op.rpc_list);
+          !s.is_ok()) {
+        return s;
+      }
+      if (op.rpc_marker != 0) {
+        const std::string seen = DirtyTable::seen_key_for(v, oid);
+        return checked(node_for(seen), "DEL " + seen, op.rpc_marker);
+      }
+      return Status::ok();
+    }
+    case OpKind::kDelMarker: {
+      const std::string seen = DirtyTable::seen_key_for(v, oid);
+      return checked(node_for(seen), "DEL " + seen, op.rpc_list);
+    }
+    case OpKind::kDelList:
+      return checked(node_for(key), "DEL " + key, op.rpc_list);
+  }
+  return Status{StatusCode::kInternal, "unknown pending op"};
+}
+
+void RemoteDirtyTable::journal(const std::string& record) {
+  if (wal_ == nullptr) return;
+  if (Status s = wal_->append_record(record); !s.is_ok()) {
+    ECH_LOG_ERROR("remote_dirty")
+        << "pending-queue journal append failed: " << s.to_string();
+    return;
+  }
+  (void)wal_->sync();
+  wal_dirty_ = true;
+}
+
+void RemoteDirtyTable::enqueue(PendingOp op) {
+  std::string rec;
+  switch (op.kind) {
+    case OpKind::kInsert:
+      rec = "q+";
+      break;
+    case OpKind::kRemove:
+      rec = "q-";
+      break;
+    case OpKind::kDelMarker:
+      rec = "qm";
+      break;
+    case OpKind::kDelList:
+      rec = "qz";
+      break;
+  }
+  rec += " " + std::to_string(op.oid) + " " + std::to_string(op.version) +
+         " " + std::to_string(op.rpc_list) + " " +
+         std::to_string(op.rpc_marker);
+  journal(rec);
+  pending_.push_back(op);
+  ++enqueued_total_;
+  update_gauge();
+}
+
+void RemoteDirtyTable::recover_queue() {
+  if (!env_->file_exists(wal_path_)) return;
+  auto result = io::read_wal(*env_, wal_path_);
+  if (!result.ok()) {
+    ECH_LOG_ERROR("remote_dirty")
+        << "pending-queue WAL unreadable: " << result.status().to_string();
+    return;
+  }
+  std::uint64_t max_id = 0;
+  for (const std::string& rec : result.value().records) {
+    std::istringstream in(rec);
+    std::string tag;
+    in >> tag;
+    if (tag == "qc") {
+      if (!pending_.empty()) pending_.pop_front();
+      continue;
+    }
+    PendingOp op;
+    if (tag == "q+") {
+      op.kind = OpKind::kInsert;
+    } else if (tag == "q-") {
+      op.kind = OpKind::kRemove;
+    } else if (tag == "qm") {
+      op.kind = OpKind::kDelMarker;
+    } else if (tag == "qz") {
+      op.kind = OpKind::kDelList;
+    } else {
+      ECH_LOG_WARN("remote_dirty") << "unknown journal record: " << rec;
+      continue;
+    }
+    if (!(in >> op.oid >> op.version >> op.rpc_list >> op.rpc_marker)) {
+      ECH_LOG_WARN("remote_dirty") << "malformed journal record: " << rec;
+      continue;
+    }
+    max_id = std::max({max_id, op.rpc_list, op.rpc_marker});
+    pending_.push_back(op);
+  }
+  client_->reserve_ids(max_id);
+  // Seed the mirror with the still-pending inserts so bounds/size/I2 see
+  // them.  (Entries applied remotely before the crash are not recoverable
+  // from this journal; pair with core/durability for full-table recovery.)
+  for (const PendingOp& op : pending_) {
+    if (op.kind == OpKind::kInsert) {
+      mirror_insert(ObjectId{op.oid}, Version{op.version});
+    }
+  }
+  if (!pending_.empty()) {
+    ECH_LOG_INFO("remote_dirty")
+        << "recovered " << pending_.size() << " queued dirty-table ops";
+  }
+}
+
+void RemoteDirtyTable::update_gauge() {
+  pending_gauge_->set(static_cast<double>(pending_.size()));
+}
+
+void RemoteDirtyTable::mirror_insert(ObjectId oid, Version version) {
+  lists_[version.value].push_back(encode_oid(oid.value));
+  if (lo_version_ == 0 || version.value < lo_version_) {
+    lo_version_ = version.value;
+  }
+  if (version.value > hi_version_) hi_version_ = version.value;
+}
+
+void RemoteDirtyTable::dispatch(PendingOp op) {
+  // Opportunistic drain keeps FIFO order: a new op may only go direct when
+  // nothing older is still queued in front of it.
+  if (!pending_.empty()) (void)drain_pending();
+  if (!pending_.empty() || !apply_op(op).is_ok()) enqueue(op);
+}
+
+bool RemoteDirtyTable::insert(ObjectId oid, Version version) {
+  assert(version.value >= 1);
+  if (dedupe_) {
+    // The mirror (acknowledged ∪ pending) is the dedupe truth; the remote
+    // dseen markers are maintained for protocol fidelity.
+    const auto it = lists_.find(version.value);
+    if (it != lists_.end()) {
+      const std::string needle = encode_oid(oid.value);
+      if (std::find(it->second.begin(), it->second.end(), needle) !=
+          it->second.end()) {
+        return false;
+      }
+    }
+  }
+  PendingOp op{OpKind::kInsert, oid.value, version.value,
+               client_->allocate_rpc_id(),
+               dedupe_ ? client_->allocate_rpc_id() : 0};
+  dispatch(op);
+  mirror_insert(oid, version);
+  if (listener_ != nullptr) listener_->on_dirty_insert(oid, version);
+  return true;
+}
+
+std::size_t RemoteDirtyTable::size() const {
+  std::size_t total = 0;
+  for (const auto& [v, lst] : lists_) total += lst.size();
+  return total;
+}
+
+std::size_t RemoteDirtyTable::size_at(Version v) const {
+  const auto it = lists_.find(v.value);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+void RemoteDirtyTable::restart() {
+  cursor_version_ = lo_version_;
+  cursor_index_ = 0;
+  scan_skipped_ = 0;
+}
+
+std::optional<DirtyEntry> RemoteDirtyTable::fetch_next() {
+  if (lo_version_ == 0) return std::nullopt;
+  if (cursor_version_ == 0) cursor_version_ = lo_version_;
+  while (cursor_version_ <= hi_version_) {
+    const auto it = lists_.find(cursor_version_);
+    const std::size_t len = it == lists_.end() ? 0 : it->second.size();
+    if (cursor_index_ < len) {
+      const Version v{cursor_version_};
+      const std::string key = DirtyTable::key_for(v);
+      // The scan reads through to the shard (this is the paper's remote
+      // lookup traffic).  An unreachable list defers its remaining entries
+      // to a later pass instead of fabricating a fetch.
+      auto resp = client_->call(
+          node_for(key), "LINDEX " + key + " " + std::to_string(cursor_index_));
+      if (!resp.ok()) {
+        scan_skipped_ += len - cursor_index_;
+        ++cursor_version_;
+        cursor_index_ = 0;
+        continue;
+      }
+      const std::string& mine = it->second[cursor_index_];
+      const kv::Reply r = decode_reply(resp.value());
+      // A nil here just means the entry is still in the pending queue; a
+      // different value is real divergence (should never happen with
+      // exactly-once mutations).  While mutations are queued the remote
+      // list legitimately lags the mirror (e.g. un-applied LREMs shift
+      // every later index), so only count divergence when the queue is
+      // empty and the views should be identical.
+      if (pending_.empty() && r.kind == kv::Reply::Kind::kBulk &&
+          r.text != mine) {
+        ++divergence_total_;
+        divergence_counter_->add(1);
+        ECH_LOG_WARN("remote_dirty")
+            << "mirror/remote divergence at " << key << "[" << cursor_index_
+            << "]: mirror=" << mine << " remote=" << r.text;
+      }
+      ++cursor_index_;
+      return DirtyEntry{ObjectId{std::strtoull(mine.c_str(), nullptr, 10)}, v};
+    }
+    ++cursor_version_;
+    cursor_index_ = 0;
+  }
+  return std::nullopt;
+}
+
+bool RemoteDirtyTable::remove(const DirtyEntry& entry) {
+  const auto it = lists_.find(entry.version.value);
+  if (it == lists_.end()) return false;
+  auto& lst = it->second;
+  const std::string needle = encode_oid(entry.oid.value);
+  const auto pos = std::find(lst.begin(), lst.end(), needle);
+  if (pos == lst.end()) return false;
+  const auto idx = static_cast<std::size_t>(pos - lst.begin());
+  lst.erase(pos);
+  if (entry.version.value == cursor_version_ && idx < cursor_index_) {
+    --cursor_index_;
+  }
+  if (lst.empty()) lists_.erase(it);
+  tighten_bounds();
+  PendingOp op{OpKind::kRemove, entry.oid.value, entry.version.value,
+               client_->allocate_rpc_id(),
+               dedupe_ ? client_->allocate_rpc_id() : 0};
+  dispatch(op);
+  if (listener_ != nullptr) {
+    listener_->on_dirty_remove(entry.oid, entry.version);
+  }
+  return true;
+}
+
+std::size_t RemoteDirtyTable::remove_entries(ObjectId oid) {
+  if (lo_version_ == 0) return 0;
+  const std::uint32_t lo = lo_version_;
+  const std::uint32_t hi = hi_version_;
+  std::size_t removed_total = 0;
+  for (std::uint32_t v = lo; v <= hi; ++v) {
+    while (remove(DirtyEntry{oid, Version{v}})) ++removed_total;
+  }
+  return removed_total;
+}
+
+void RemoteDirtyTable::tighten_bounds() {
+  while (lo_version_ != 0 && lo_version_ <= hi_version_ &&
+         size_at(Version{lo_version_}) == 0) {
+    ++lo_version_;
+  }
+  if (lo_version_ > hi_version_) {
+    lo_version_ = hi_version_ = 0;
+  }
+}
+
+void RemoteDirtyTable::clear() {
+  if (listener_ != nullptr && lo_version_ != 0) listener_->on_dirty_clear();
+  // Capture the wipe as explicit remote ops before dropping the mirror, so
+  // unreachable shards get theirs replayed from the pending queue.
+  for (const auto& [v, lst] : lists_) {
+    if (dedupe_) {
+      for (const std::string& e : lst) {
+        dispatch(PendingOp{OpKind::kDelMarker,
+                           std::strtoull(e.c_str(), nullptr, 10), v,
+                           client_->allocate_rpc_id(), 0});
+      }
+    }
+    dispatch(PendingOp{OpKind::kDelList, 0, v, client_->allocate_rpc_id(), 0});
+  }
+  lists_.clear();
+  lo_version_ = hi_version_ = 0;
+  cursor_version_ = 0;
+  cursor_index_ = 0;
+  scan_skipped_ = 0;
+}
+
+std::vector<ObjectId> RemoteDirtyTable::entries_at(Version v) const {
+  std::vector<ObjectId> out;
+  const auto it = lists_.find(v.value);
+  if (it == lists_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& s : it->second) {
+    out.push_back(ObjectId{std::strtoull(s.c_str(), nullptr, 10)});
+  }
+  return out;
+}
+
+std::optional<Version> RemoteDirtyTable::min_version() const {
+  if (lo_version_ == 0) return std::nullopt;
+  return Version{lo_version_};
+}
+
+std::optional<Version> RemoteDirtyTable::max_version() const {
+  if (hi_version_ == 0) return std::nullopt;
+  return Version{hi_version_};
+}
+
+std::size_t RemoteDirtyTable::memory_usage_bytes() const {
+  // Client-side estimate: mirror contents plus the queued ops.  (The
+  // authoritative remote number would need per-shard INFO round-trips.)
+  std::size_t total = 0;
+  for (const auto& [v, lst] : lists_) {
+    total += 16;  // list key
+    for (const std::string& s : lst) total += s.size() + 8;
+  }
+  total += pending_.size() * sizeof(PendingOp);
+  return total;
+}
+
+std::size_t RemoteDirtyTable::drain_pending() {
+  std::size_t drained = 0;
+  while (!pending_.empty()) {
+    if (!apply_op(pending_.front()).is_ok()) break;
+    pending_.pop_front();
+    journal("qc 0 0 0 0");
+    ++drained_total_;
+    ++drained;
+  }
+  if (drained > 0) update_gauge();
+  if (pending_.empty() && wal_dirty_ && env_ != nullptr) {
+    // Queue fully drained: restart the journal so it does not grow without
+    // bound (and a crash right now recovers an empty queue).
+    auto writer = io::WalWriter::open(*env_, wal_path_, /*truncate=*/true);
+    if (writer.ok()) {
+      wal_ = std::move(writer).value();
+      wal_dirty_ = false;
+    }
+  }
+  return drained;
+}
+
+void RemoteDirtyTable::on_heal() {
+  client_->reset_breakers();
+  (void)drain_pending();
+  if (scan_skipped_ > 0) {
+    // Lists skipped as unreachable need a second pass now that their shard
+    // answers again.
+    restart();
+  }
+}
+
+RemoteDirtyFabric::RemoteDirtyFabric(const RemoteDirtyFabricOptions& options)
+    : fabric_(options.seed ^ 0x9E3779B97F4A7C15ULL),
+      default_faults_(options.faults) {
+  fabric_.set_default_faults(options.faults);
+  const std::size_t n = std::max<std::size_t>(1, options.shards);
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<KvShard>(fabric_, shard_node(i)));
+    nodes.push_back(shard_node(i));
+  }
+  client_ = std::make_unique<RpcClient>(fabric_, client_node(), options.retry,
+                                        options.breaker, options.metrics,
+                                        options.seed ^ 0xA076'1D64'78BD'642FULL);
+  table_ = std::make_unique<RemoteDirtyTable>(
+      *client_, std::move(nodes),
+      RemoteDirtyTableOptions{options.dedupe, options.env, options.wal_path,
+                              options.metrics});
+}
+
+void RemoteDirtyFabric::partition_shard(std::size_t shard,
+                                        PartitionMode mode) {
+  fabric_.partition(client_node(), shard_node(shard % shards_.size()), mode);
+}
+
+void RemoteDirtyFabric::degrade_shard(std::size_t shard, double drop_rate) {
+  LinkFaults f = default_faults_;
+  f.drop_rate = drop_rate;
+  fabric_.set_link_faults(client_node(), shard_node(shard % shards_.size()),
+                          f);
+}
+
+void RemoteDirtyFabric::heal_all() {
+  fabric_.heal_all();
+  fabric_.clear_link_faults();
+  table_->on_heal();
+}
+
+}  // namespace ech::net

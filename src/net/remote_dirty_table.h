@@ -1,0 +1,214 @@
+// The paper's dirty table as it really deploys: Redis LISTs on remote KV
+// shards, reached over the (faulty) message fabric.
+//
+// RemoteDirtyTable speaks the same textual kvstore commands as the
+// in-process DirtyTable (RPUSH/LINDEX/LREM/DEL plus dseen markers), routed
+// per key with kv::shard_index_for — so an in-process table and a remote
+// one put every list on the same shard.  Three mechanisms make it hold up
+// under partitions:
+//
+//   * Exactly-once mutations.  Every mutation carries a pre-allocated rpc
+//     id; retries and queued replays retransmit the SAME id, and the shard
+//     deduplicates by it (net/rpc.h).  Reply loss therefore never double-
+//     applies an RPUSH or LREM.
+//
+//   * Client-side mirror.  The table is single-writer (the cluster facade
+//     serializes mutations), so the client keeps an exact mirror of the
+//     acknowledged list contents.  Bounds, size, cursor bookkeeping, and
+//     entries_at() are answered from the mirror without RPCs — which is
+//     also what keeps invariant I2 (dirty completeness) checkable while a
+//     shard is dark.  The *scan* (fetch_next) still reads through to the
+//     remote shard and skips lists it cannot reach: an unreachable shard
+//     defers its entries (counted via scan_skipped_unreachable()) instead
+//     of silently pretending they were fetched.
+//
+//   * WAL-backed pending queue.  A mutation whose shard is unreachable is
+//     accepted, journaled to a local write-ahead log (io/wal.h), and queued
+//     FIFO; drain_pending() replays it — original rpc id and all — when
+//     the link heals.  Offloaded writes thus stay available through the
+//     partition, and I2 holds because the mirror already reflects them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dirty_table.h"
+#include "io/env.h"
+#include "io/wal.h"
+#include "net/kv_shard.h"
+#include "net/rpc.h"
+#include "obs/metrics.h"
+
+namespace ech::net {
+
+struct RemoteDirtyTableOptions {
+  bool dedupe{false};
+  /// Optional journal for the pending queue: survives a process crash and
+  /// is replayed by the next construction with the same env/path.
+  io::Env* env{nullptr};
+  std::string wal_path{};
+  obs::MetricsRegistry* metrics{nullptr};
+};
+
+class RemoteDirtyTable final : public DirtyStore {
+ public:
+  /// `client` outlives the table; `shard_nodes` are the fabric nodes
+  /// serving the KV shards (index = kv::shard_index_for(key, size)).
+  RemoteDirtyTable(RpcClient& client, std::vector<NodeId> shard_nodes,
+                   const RemoteDirtyTableOptions& options = {});
+
+  // -- DirtyStore --
+  bool insert(ObjectId oid, Version version) override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::size_t size_at(Version v) const override;
+  void restart() override;
+  [[nodiscard]] std::optional<DirtyEntry> fetch_next() override;
+  bool remove(const DirtyEntry& entry) override;
+  std::size_t remove_entries(ObjectId oid) override;
+  void clear() override;
+  [[nodiscard]] std::pair<Version, std::size_t> cursor() const override {
+    return {Version{cursor_version_}, cursor_index_};
+  }
+  [[nodiscard]] std::vector<ObjectId> entries_at(Version v) const override;
+  [[nodiscard]] std::optional<Version> min_version() const override;
+  [[nodiscard]] std::optional<Version> max_version() const override;
+  [[nodiscard]] std::size_t memory_usage_bytes() const override;
+  void set_listener(DirtyTableListener* listener) override {
+    listener_ = listener;
+  }
+  [[nodiscard]] std::uint64_t scan_skipped_unreachable() const override {
+    return scan_skipped_;
+  }
+
+  // -- partition degradation --
+
+  /// Replay queued mutations FIFO, stopping at the first shard that is
+  /// still unreachable.  Returns ops drained this call.
+  std::size_t drain_pending();
+
+  /// Operator/heal hook: close breakers, drain the queue, and restart the
+  /// scan if any list was skipped as unreachable (its entries need a
+  /// second pass now that the shard is back).
+  void on_heal();
+
+  [[nodiscard]] std::size_t pending_depth() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t enqueued_total() const { return enqueued_total_; }
+  [[nodiscard]] std::uint64_t drained_total() const { return drained_total_; }
+  /// Mirror-vs-remote disagreements seen by the scan (0 in a correct run).
+  [[nodiscard]] std::uint64_t divergence_total() const {
+    return divergence_total_;
+  }
+  [[nodiscard]] NodeId node_for_version(Version v) const;
+
+ private:
+  enum class OpKind : std::uint8_t {
+    kInsert,     // [SET marker] + RPUSH
+    kRemove,     // LREM + [DEL marker]
+    kDelMarker,  // DEL marker only (clear() bookkeeping)
+    kDelList,    // DEL list key (clear())
+  };
+  struct PendingOp {
+    OpKind kind{OpKind::kInsert};
+    std::uint64_t oid{0};
+    std::uint32_t version{0};
+    std::uint64_t rpc_list{0};    // id for the list-key RPC
+    std::uint64_t rpc_marker{0};  // id for the marker-key RPC (0 = none)
+  };
+
+  [[nodiscard]] NodeId node_for(const std::string& key) const;
+  /// Issue the op's RPC(s), reusing its ids.  kUnavailable when any leg
+  /// could not be reached; protocol errors surface as kInternal.
+  Status apply_op(const PendingOp& op);
+  /// Direct-or-queue: drain older queued ops first (FIFO), then apply or
+  /// enqueue this one.
+  void dispatch(PendingOp op);
+  void tighten_bounds();
+  void enqueue(PendingOp op);
+  void journal(const std::string& record);
+  void recover_queue();
+  void update_gauge();
+  /// Mirror insert bookkeeping shared by the direct and queued paths.
+  void mirror_insert(ObjectId oid, Version version);
+
+  RpcClient* client_;
+  std::vector<NodeId> shard_nodes_;
+  bool dedupe_;
+  DirtyTableListener* listener_{nullptr};
+
+  // Exact client-side view of acknowledged contents (encoded oids, FIFO).
+  std::map<std::uint32_t, std::deque<std::string>> lists_;
+  std::uint32_t lo_version_{0};
+  std::uint32_t hi_version_{0};
+  std::uint32_t cursor_version_{0};
+  std::size_t cursor_index_{0};
+  std::uint64_t scan_skipped_{0};
+
+  std::deque<PendingOp> pending_;
+  std::uint64_t enqueued_total_{0};
+  std::uint64_t drained_total_{0};
+  std::uint64_t divergence_total_{0};
+
+  io::Env* env_{nullptr};
+  std::string wal_path_;
+  std::unique_ptr<io::WalWriter> wal_;
+  bool wal_dirty_{false};  // journal holds records since last truncate
+
+  obs::Gauge* pending_gauge_{nullptr};
+  obs::Counter* divergence_counter_{nullptr};
+};
+
+/// Everything needed to stand up a fabric-backed dirty table in one go:
+/// the fabric, one KvShard per node, the retrying client, and the table.
+/// Node ids: client = 0, shards = 1..shards.  Used by the chaos engine,
+/// echctl --net, and the failure drill.
+struct RemoteDirtyFabricOptions {
+  std::size_t shards{8};
+  std::uint64_t seed{1};
+  bool dedupe{false};
+  LinkFaults faults{};  // default link behavior (delay/drop/dup/reorder)
+  RetryPolicy retry{};
+  CircuitBreakerConfig breaker{};
+  io::Env* env{nullptr};
+  std::string wal_path{};
+  obs::MetricsRegistry* metrics{nullptr};
+};
+
+class RemoteDirtyFabric {
+ public:
+  explicit RemoteDirtyFabric(const RemoteDirtyFabricOptions& options);
+
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] RpcClient& client() { return *client_; }
+  [[nodiscard]] RemoteDirtyTable& table() { return *table_; }
+  [[nodiscard]] const RemoteDirtyTable& table() const { return *table_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] static NodeId client_node() { return 0; }
+  [[nodiscard]] static NodeId shard_node(std::size_t i) {
+    return static_cast<NodeId>(i + 1);
+  }
+  [[nodiscard]] KvShard& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Cut (or degrade) the client<->shard link; `shard` is 0-based.
+  void partition_shard(std::size_t shard, PartitionMode mode);
+  void degrade_shard(std::size_t shard, double drop_rate);
+  /// Full restoration: heal cuts, restore default faults, close breakers,
+  /// drain the pending queue, re-scan skipped lists.
+  void heal_all();
+  [[nodiscard]] bool any_partition() const {
+    return fabric_.partition_count() > 0;
+  }
+
+ private:
+  Fabric fabric_;
+  LinkFaults default_faults_;  // restored on heal_all()
+  std::vector<std::unique_ptr<KvShard>> shards_;
+  std::unique_ptr<RpcClient> client_;
+  std::unique_ptr<RemoteDirtyTable> table_;
+};
+
+}  // namespace ech::net

@@ -1,0 +1,85 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace ech::net {
+
+std::uint64_t RetryPolicy::backoff_ticks(std::uint32_t attempt,
+                                         Rng& rng) const {
+  // Capped exponential: base * 2^attempt, saturating at max.
+  std::uint64_t b = std::max<std::uint64_t>(1, base_backoff_ticks);
+  const std::uint64_t cap = std::max<std::uint64_t>(b, max_backoff_ticks);
+  for (std::uint32_t i = 0; i < attempt && b < cap; ++i) {
+    b = std::min(cap, b * 2);
+  }
+  if (jitter <= 0.0) return b;
+  const double j = std::min(jitter, 1.0);
+  // Deterministic "equal jitter": keep (1 - j) * b, randomize the rest.
+  const auto spread = static_cast<std::uint64_t>(j * static_cast<double>(b));
+  if (spread == 0) return b;
+  return b - rng.uniform(0, spread - 1);
+}
+
+bool CircuitBreaker::allow(std::uint64_t now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= config_.open_cooldown_ticks) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;  // the probe
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time; further traffic waits for its verdict.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(std::uint64_t) {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::record_failure(std::uint64_t now) {
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    trip(now);  // failed probe: straight back to open
+    return;
+  }
+  if (state_ == State::kClosed) {
+    if (++consecutive_failures_ >= config_.failure_threshold) trip(now);
+  }
+}
+
+void CircuitBreaker::reset() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::trip(std::uint64_t now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  ++times_opened_;
+}
+
+const char* CircuitBreaker::state_name(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace ech::net

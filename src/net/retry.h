@@ -1,0 +1,80 @@
+// Retry/backoff policy and per-endpoint circuit breaker for fabric RPCs.
+//
+// Both are clocked in fabric ticks (virtual time) and draw jitter from an
+// explicit Rng, so a retry schedule is a pure function of (policy, seed,
+// attempt) — the determinism the chaos replayer depends on.
+//
+// Breaker state machine (the classic three states):
+//
+//     closed --[N consecutive failures]--> open
+//     open   --[cool-down elapsed]------> half-open (one probe admitted)
+//     half-open --[probe succeeds]------> closed
+//     half-open --[probe fails]---------> open (cool-down restarts)
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ech::net {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts{4};
+  /// How long one attempt waits for its reply before counting a timeout.
+  std::uint64_t attempt_timeout_ticks{16};
+  std::uint64_t base_backoff_ticks{2};
+  std::uint64_t max_backoff_ticks{64};
+  /// Whole-call budget across attempts and backoffs (0 = unlimited).
+  std::uint64_t deadline_ticks{256};
+  /// Fraction of the capped backoff randomized away: the delay is drawn
+  /// uniformly from ((1 - jitter) * b, b].  0 = fully deterministic.
+  double jitter{0.5};
+
+  /// Capped exponential backoff with deterministic jitter from `rng`.
+  /// `attempt` is 0-based (delay before the first retry).
+  [[nodiscard]] std::uint64_t backoff_ticks(std::uint32_t attempt,
+                                            Rng& rng) const;
+};
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  std::uint32_t failure_threshold{5};
+  /// Cool-down before a half-open probe is admitted.
+  std::uint64_t open_cooldown_ticks{128};
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config = {})
+      : config_(config) {}
+
+  /// May a request be issued at tick `now`?  Transitions open -> half-open
+  /// when the cool-down has elapsed (the admitted request is the probe).
+  [[nodiscard]] bool allow(std::uint64_t now);
+
+  void record_success(std::uint64_t now);
+  void record_failure(std::uint64_t now);
+
+  /// Operator reset (e.g. after an explicit heal): back to closed.
+  void reset();
+
+  [[nodiscard]] State state() const { return state_; }
+  /// Times the breaker transitioned closed/half-open -> open.
+  [[nodiscard]] std::uint64_t times_opened() const { return times_opened_; }
+
+  [[nodiscard]] static const char* state_name(State s);
+
+ private:
+  void trip(std::uint64_t now);
+
+  CircuitBreakerConfig config_;
+  State state_{State::kClosed};
+  std::uint32_t consecutive_failures_{0};
+  std::uint64_t opened_at_{0};
+  std::uint64_t times_opened_{0};
+  bool probe_in_flight_{false};
+};
+
+}  // namespace ech::net

@@ -1,0 +1,197 @@
+#include "net/rpc.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace ech::net {
+namespace {
+
+// "Q <id> <body>" / "R <id> <body>" -> (id, body).  Returns false on junk.
+bool parse_frame(const std::string& payload, char expect_tag,
+                 std::uint64_t* id, std::string* body) {
+  if (payload.size() < 3 || payload[0] != expect_tag || payload[1] != ' ') {
+    return false;
+  }
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(payload.c_str() + 2, &end, 10);
+  if (end == nullptr || *end != ' ') return false;
+  *id = parsed;
+  body->assign(end + 1);
+  return true;
+}
+
+// Cache key: caller and rpc id, mixed so one map serves all callers.
+std::uint64_t cache_key(NodeId from, std::uint64_t id) {
+  return hash_combine(static_cast<std::uint64_t>(from), id);
+}
+
+}  // namespace
+
+RpcServer::RpcServer(Fabric& fabric, NodeId self, Handler handler,
+                     std::size_t reply_cache_entries)
+    : fabric_(&fabric),
+      self_(self),
+      handler_(std::move(handler)),
+      cache_capacity_(std::max<std::size_t>(1, reply_cache_entries)) {
+  fabric_->bind(self_, this);
+}
+
+RpcServer::~RpcServer() { fabric_->unbind(self_); }
+
+void RpcServer::deliver(NodeId from, const std::string& payload) {
+  std::uint64_t id = 0;
+  std::string body;
+  if (!parse_frame(payload, 'Q', &id, &body)) return;  // junk: drop
+  const std::uint64_t key = cache_key(from, id);
+  std::string reply;
+  bool cached = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = replies_.find(key);
+    if (it != replies_.end()) {
+      ++cache_hits_;
+      cached = true;
+      reply = it->second;
+    }
+  }
+  if (!cached) {
+    // First sighting of this id: execute once, then remember the verdict.
+    reply = handler_(body);
+    std::lock_guard lock(mu_);
+    ++executions_;
+    replies_[key] = reply;
+    fifo_.push_back(key);
+    while (fifo_.size() - fifo_head_ > cache_capacity_) {
+      replies_.erase(fifo_[fifo_head_++]);
+      if (fifo_head_ > cache_capacity_) {  // compact the tombstone prefix
+        fifo_.erase(fifo_.begin(),
+                    fifo_.begin() + static_cast<std::ptrdiff_t>(fifo_head_));
+        fifo_head_ = 0;
+      }
+    }
+  }
+  fabric_->send(self_, from, "R " + std::to_string(id) + " " + reply);
+}
+
+std::uint64_t RpcServer::executions() const {
+  std::lock_guard lock(mu_);
+  return executions_;
+}
+
+std::uint64_t RpcServer::cache_hits() const {
+  std::lock_guard lock(mu_);
+  return cache_hits_;
+}
+
+RpcClient::RpcClient(Fabric& fabric, NodeId self, const RetryPolicy& policy,
+                     const CircuitBreakerConfig& breaker_config,
+                     obs::MetricsRegistry* metrics, std::uint64_t seed)
+    : fabric_(&fabric),
+      self_(self),
+      policy_(policy),
+      breaker_config_(breaker_config),
+      rng_(seed) {
+  obs::MetricsRegistry& reg = obs::registry_or_default(metrics);
+  ins_.retries = &reg.counter("net_retries_total", {},
+                              "RPC attempts retried after a timeout");
+  ins_.timeouts = &reg.counter("net_timeouts_total", {},
+                               "RPC attempts that timed out");
+  ins_.breaker_open =
+      &reg.counter("net_breaker_open_total", {},
+                   "Circuit-breaker transitions to the open state");
+  ins_.breaker_rejected =
+      &reg.counter("net_breaker_rejected_total", {},
+                   "RPCs rejected fast by an open circuit breaker");
+  ins_.latency = &reg.histogram("net_rpc_latency_ticks", {},
+                                "Successful RPC latency in fabric ticks");
+  fabric_->bind(self_, this);
+}
+
+RpcClient::~RpcClient() { fabric_->unbind(self_); }
+
+CircuitBreaker& RpcClient::breaker(NodeId to) {
+  auto& slot = breakers_[to];
+  if (slot == nullptr) slot = std::make_unique<CircuitBreaker>(breaker_config_);
+  return *slot;
+}
+
+void RpcClient::reset_breakers() {
+  for (auto& [node, br] : breakers_) br->reset();
+}
+
+void RpcClient::deliver(NodeId, const std::string& payload) {
+  std::uint64_t id = 0;
+  std::string body;
+  if (!parse_frame(payload, 'R', &id, &body)) return;
+  std::lock_guard lock(mu_);
+  // Late duplicate replies (dup fault, or a retry racing the original)
+  // harmlessly overwrite; the id is consumed exactly once by take_reply.
+  replies_[id] = std::move(body);
+}
+
+std::optional<std::string> RpcClient::take_reply(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  const auto it = replies_.find(id);
+  if (it == replies_.end()) return std::nullopt;
+  std::string body = std::move(it->second);
+  replies_.erase(it);
+  return body;
+}
+
+Expected<std::string> RpcClient::call(NodeId to, const std::string& request,
+                                      std::uint64_t rpc_id) {
+  CircuitBreaker& br = breaker(to);
+  const std::uint64_t opened_before = br.times_opened();
+  if (!br.allow(fabric_->now())) {
+    // Fast fail — but let virtual time move so the cool-down can elapse.
+    fabric_->advance(1);
+    ins_.breaker_rejected->add(1);
+    return Status{StatusCode::kUnavailable,
+                  "circuit breaker open for node " + std::to_string(to)};
+  }
+  if (rpc_id == 0) rpc_id = next_id_++;
+  const std::uint64_t start = fabric_->now();
+  const std::uint64_t overall_deadline =
+      policy_.deadline_ticks == 0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : start + policy_.deadline_ticks;
+  const std::string frame = "Q " + std::to_string(rpc_id) + " " + request;
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    fabric_->send(self_, to, frame);
+    const std::uint64_t attempt_deadline =
+        std::min(fabric_->now() + policy_.attempt_timeout_ticks,
+                 overall_deadline);
+    fabric_->pump_until(attempt_deadline);
+    if (auto reply = take_reply(rpc_id)) {
+      br.record_success(fabric_->now());
+      ins_.latency->observe(static_cast<double>(fabric_->now() - start));
+      return *reply;
+    }
+    ins_.timeouts->add(1);
+    if (attempt + 1 >= policy_.max_attempts ||
+        fabric_->now() >= overall_deadline) {
+      break;
+    }
+    ins_.retries->add(1);
+    const std::uint64_t backoff = policy_.backoff_ticks(attempt, rng_);
+    fabric_->pump_until(std::min(fabric_->now() + backoff, overall_deadline));
+    // A straggler reply may land during the backoff window.
+    if (auto reply = take_reply(rpc_id)) {
+      br.record_success(fabric_->now());
+      ins_.latency->observe(static_cast<double>(fabric_->now() - start));
+      return *reply;
+    }
+  }
+  br.record_failure(fabric_->now());
+  ins_.breaker_open->add(br.times_opened() - opened_before);
+  return Status{StatusCode::kUnavailable,
+                "rpc " + std::to_string(rpc_id) + " to node " +
+                    std::to_string(to) + " timed out after " +
+                    std::to_string(policy_.max_attempts) + " attempts"};
+}
+
+}  // namespace ech::net

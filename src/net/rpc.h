@@ -1,0 +1,136 @@
+// Request/reply RPC over the fabric, with retries, breakers, and
+// exactly-once execution.
+//
+// Wire framing (payload of a fabric datagram):
+//   request:  "Q <rpc-id> <body>"
+//   response: "R <rpc-id> <body>"
+//
+// Retries REUSE the rpc id, and RpcServer keeps a bounded reply cache
+// keyed by (caller, rpc-id): a retransmitted request whose original
+// execution already happened gets the cached reply instead of a second
+// execution (at-most-once semantics, Birrell–Nelson style).  This is what
+// lets the remote dirty table retry RPUSH/LREM through reply loss without
+// duplicating or double-removing entries.
+//
+// RpcClient::call() is synchronous over virtual time: it pumps the fabric
+// until the reply lands or the attempt deadline passes, backing off
+// between attempts per RetryPolicy.  A per-destination CircuitBreaker
+// sheds load while a node is unreachable; open-breaker rejections fail in
+// one tick instead of a full retry ladder.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/fabric.h"
+#include "net/retry.h"
+#include "obs/metrics.h"
+
+namespace ech::net {
+
+/// Serves requests at one node: body in, body out.  Executions are
+/// deduplicated by (caller, rpc-id) through a bounded FIFO reply cache.
+class RpcServer final : public Endpoint {
+ public:
+  using Handler = std::function<std::string(const std::string& body)>;
+
+  RpcServer(Fabric& fabric, NodeId self, Handler handler,
+            std::size_t reply_cache_entries = 4096);
+  ~RpcServer() override;
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void deliver(NodeId from, const std::string& payload) override;
+
+  [[nodiscard]] NodeId node() const { return self_; }
+  [[nodiscard]] std::uint64_t executions() const;
+  [[nodiscard]] std::uint64_t cache_hits() const;
+
+ private:
+  Fabric* fabric_;
+  NodeId self_;
+  Handler handler_;
+  std::size_t cache_capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::string> replies_;  // key -> reply
+  std::vector<std::uint64_t> fifo_;  // insertion order, for eviction
+  std::size_t fifo_head_{0};
+  std::uint64_t executions_{0};
+  std::uint64_t cache_hits_{0};
+};
+
+class RpcClient final : public Endpoint {
+ public:
+  /// `metrics` null = process default registry.  `seed` feeds backoff
+  /// jitter only (the fabric has its own rng).
+  RpcClient(Fabric& fabric, NodeId self, const RetryPolicy& policy,
+            const CircuitBreakerConfig& breaker_config = {},
+            obs::MetricsRegistry* metrics = nullptr, std::uint64_t seed = 1);
+  ~RpcClient() override;
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Issue `request` to `to` and pump the fabric until a reply or until
+  /// retries/deadline are exhausted (kUnavailable).  Pass a non-zero
+  /// `rpc_id` (from allocate_rpc_id(), or a previous failed call) to make
+  /// the call a retransmission the server deduplicates — required when
+  /// replaying a queued mutation that may already have executed.
+  Expected<std::string> call(NodeId to, const std::string& request,
+                             std::uint64_t rpc_id = 0);
+
+  /// Pre-allocate an id so a mutation can be journaled before first send.
+  [[nodiscard]] std::uint64_t allocate_rpc_id() { return next_id_++; }
+
+  /// Never hand out ids <= `max_used` (journal recovery replays old ids;
+  /// colliding with them would defeat the server-side dedupe).
+  void reserve_ids(std::uint64_t max_used) {
+    if (next_id_ <= max_used) next_id_ = max_used + 1;
+  }
+
+  /// Breaker for `to` (created on first use).
+  [[nodiscard]] CircuitBreaker& breaker(NodeId to);
+  /// Operator heal: close every breaker so drains probe immediately.
+  void reset_breakers();
+
+  void deliver(NodeId from, const std::string& payload) override;
+
+  [[nodiscard]] NodeId node() const { return self_; }
+  [[nodiscard]] Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> take_reply(std::uint64_t id);
+
+  Fabric* fabric_;
+  NodeId self_;
+  RetryPolicy policy_;
+  CircuitBreakerConfig breaker_config_;
+  Rng rng_;
+  std::uint64_t next_id_{1};
+  std::unordered_map<NodeId, std::unique_ptr<CircuitBreaker>> breakers_;
+
+  mutable std::mutex mu_;  // guards replies_ (deliver runs re-entrantly)
+  std::unordered_map<std::uint64_t, std::string> replies_;
+
+  struct Instruments {
+    obs::Counter* retries{nullptr};
+    obs::Counter* timeouts{nullptr};
+    obs::Counter* breaker_open{nullptr};
+    obs::Counter* breaker_rejected{nullptr};
+    obs::Histogram* latency{nullptr};
+  } ins_{};
+};
+
+}  // namespace ech::net

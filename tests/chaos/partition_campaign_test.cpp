@@ -1,0 +1,170 @@
+// Network-mode chaos: campaigns with the dirty table routed over the
+// faulty fabric (drop/dup/reorder plus partition/heal/degrade_link ops)
+// must hold all four invariants on fixed seeds for both facades, replay
+// deterministically (identical fabric delivery fingerprints), and survive
+// the acceptance scenario — a dirty-table shard partitioned during active
+// re-integration, with every entry surviving and draining after heal.
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "common/types.h"
+#include "core/elastic_cluster.h"
+#include "net/remote_dirty_table.h"
+#include "obs/metrics.h"
+
+namespace ech::chaos {
+namespace {
+
+CampaignConfig net_config(std::uint64_t seed, std::size_t steps = 1200) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.steps = steps;
+  cfg.network = true;
+  cfg.cluster.vnode_budget = 2000;  // smaller ring keeps rebuilds fast
+  return cfg;
+}
+
+TEST(PartitionCampaignTest, FixedSeedsHoldInvariantsPlainFacade) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const CampaignResult r = run_campaign(net_config(seed));
+    EXPECT_TRUE(r.passed) << "seed " << seed << ": " << r.summary;
+    EXPECT_GE(r.stats.steps_executed, 1200u);
+    EXPECT_GT(r.stats.net_messages_delivered, 0u);
+    // The generator injected fabric faults (and their ops were applied).
+    const std::uint64_t net_ops =
+        r.stats.ops_by_kind[static_cast<std::size_t>(OpKind::kPartition)] +
+        r.stats.ops_by_kind[static_cast<std::size_t>(OpKind::kHeal)] +
+        r.stats.ops_by_kind[static_cast<std::size_t>(OpKind::kDegradeLink)];
+    EXPECT_GT(net_ops, 0u) << "seed " << seed;
+    // Everything queued while shards were dark drained by the end (the
+    // final quiesce heals first).
+    EXPECT_EQ(r.stats.net_ops_queued, r.stats.net_ops_drained)
+        << "seed " << seed;
+  }
+}
+
+TEST(PartitionCampaignTest, FixedSeedsHoldInvariantsConcurrentFacade) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    CampaignConfig cfg = net_config(seed, 1000);
+    cfg.reader_threads = 2;
+    const CampaignResult r = run_campaign(cfg);
+    EXPECT_TRUE(r.passed) << "seed " << seed << ": " << r.summary;
+    EXPECT_GT(r.stats.net_messages_delivered, 0u);
+  }
+}
+
+TEST(PartitionCampaignTest, SameSeedReplaysIdenticalFabricAndState) {
+  const CampaignResult a = run_campaign(net_config(7, 600));
+  const CampaignResult b = run_campaign(net_config(7, 600));
+  ASSERT_TRUE(a.passed) << a.summary;
+  ASSERT_TRUE(b.passed) << b.summary;
+  EXPECT_EQ(a.executed.ops, b.executed.ops);
+  // Same seed => identical fabric delivery order, tick for tick.
+  EXPECT_NE(a.stats.net_fingerprint, 0u);
+  EXPECT_EQ(a.stats.net_fingerprint, b.stats.net_fingerprint);
+  EXPECT_EQ(a.stats.net_messages_delivered, b.stats.net_messages_delivered);
+  EXPECT_EQ(a.stats.net_ops_queued, b.stats.net_ops_queued);
+  EXPECT_EQ(a.stats.net_ops_drained, b.stats.net_ops_drained);
+  EXPECT_EQ(a.stats.bytes_written, b.stats.bytes_written);
+  EXPECT_EQ(a.stats.bytes_maintained, b.stats.bytes_maintained);
+  EXPECT_EQ(a.stats.bytes_repaired, b.stats.bytes_repaired);
+}
+
+TEST(PartitionCampaignTest, ExecutedScheduleReplaysWithSameFingerprint) {
+  const CampaignConfig cfg = net_config(3, 500);
+  const CampaignResult generated = run_campaign(cfg);
+  ASSERT_TRUE(generated.passed) << generated.summary;
+  const CampaignResult replayed = replay_schedule(cfg, generated.executed);
+  EXPECT_TRUE(replayed.passed) << replayed.summary;
+  EXPECT_EQ(replayed.stats.net_fingerprint, generated.stats.net_fingerprint);
+}
+
+TEST(PartitionCampaignTest, PartitionDuringReintegrationScheduleHolds) {
+  // The acceptance scenario, as an explicit schedule: populate the dirty
+  // table below full power, return to full power so re-integration is
+  // actively retiring, cut a shard mid-scan, keep scanning, then heal and
+  // drain.  Every invariant is re-checked after every op; the trailing
+  // drain hits the strong quiescent checks (table empty, placement exact).
+  CampaignConfig cfg = net_config(11);
+  const auto parsed = Schedule::parse(
+      "resize 6 0\n"
+      "write 1 8192\nwrite 2 8192\nwrite 3 8192\nwrite 4 8192\n"
+      "write 5 8192\nwrite 6 8192\nwrite 7 8192\nwrite 8 8192\n"
+      "resize 10 0\n"
+      "maintain 0 16384\n"   // re-integration starts retiring
+      "partition 1 0\n"      // shard 1 dark, both directions
+      "maintain 0 16384\n"   // scan must skip, not lose, its lists
+      "partition 2 1\n"      // shard 2: requests blocked too
+      "write 9 8192\n"       // mutations while degraded: queued, not lost
+      "maintain 0 16384\n"
+      "heal 0 0\n"           // breakers close, queue drains, scan restarts
+      "drain 0 0\n");
+  ASSERT_TRUE(parsed.ok());
+  const CampaignResult r = replay_schedule(cfg, parsed.value());
+  EXPECT_TRUE(r.passed) << r.summary;
+  EXPECT_EQ(r.stats.net_ops_queued, r.stats.net_ops_drained);
+}
+
+TEST(PartitionCampaignTest, DegradedLinksCampaignHolds) {
+  // degrade_link-heavy schedule: high loss without full cuts exercises the
+  // retry ladder and breaker open/half-open cycling.
+  CampaignConfig cfg = net_config(13, 800);
+  cfg.network_shards = 2;  // denser per-shard traffic
+  const CampaignResult r = run_campaign(cfg);
+  EXPECT_TRUE(r.passed) << r.summary;
+}
+
+TEST(PartitionCampaignTest, NetworkAndDurabilityAreMutuallyExclusive) {
+  CampaignConfig cfg = net_config(1, 10);
+  cfg.durability = true;
+  const CampaignResult r = run_campaign(cfg);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.summary.find("setup failed"), std::string::npos);
+}
+
+// Reintegrator-level regression for the failure accounting: a shard
+// partitioned during an active scan defers its entries as entries_failed
+// (never silently dropping them), and a post-heal pass retires the rest.
+TEST(PartitionCampaignTest, ScanSkipsAreAccountedAsFailures) {
+  net::RemoteDirtyFabricOptions nopts;
+  nopts.shards = 2;
+  nopts.seed = 21;
+  nopts.retry.max_attempts = 2;
+  nopts.retry.attempt_timeout_ticks = 4;
+  net::RemoteDirtyFabric rig(nopts);
+
+  ElasticClusterConfig cc;
+  cc.vnode_budget = 2000;
+  cc.dirty_override = &rig.table();
+  auto made = ElasticCluster::create(cc);
+  ASSERT_TRUE(made.ok());
+  ElasticCluster& cluster = *made.value();
+
+  // Below full power every write is offloaded and lands in the table.
+  ASSERT_TRUE(cluster.request_resize(cluster.min_active()).is_ok());
+  for (std::uint64_t oid = 1; oid <= 12; ++oid) {
+    ASSERT_TRUE(cluster.write(ObjectId{oid}, Bytes{8 * kKiB}).is_ok());
+  }
+  const std::size_t dirty_before = cluster.dirty_table().size();
+  ASSERT_GT(dirty_before, 0u);
+
+  // Back to full power: re-integration active.  Cut both shards so the
+  // scan can reach no list at all.
+  ASSERT_TRUE(cluster.request_resize(cluster.server_count()).is_ok());
+  rig.partition_shard(0, net::PartitionMode::kBoth);
+  rig.partition_shard(1, net::PartitionMode::kBoth);
+  (void)cluster.maintenance_step(Bytes{1} << 30);
+  const ReintegrationStats st = cluster.last_reintegration_stats();
+  EXPECT_GT(st.entries_failed, 0u);          // skips surfaced, not hidden
+  EXPECT_EQ(cluster.dirty_table().size(), dirty_before);  // nothing lost
+
+  rig.heal_all();
+  for (int i = 0; i < 8 && !cluster.dirty_table().empty(); ++i) {
+    (void)cluster.maintenance_step(Bytes{1} << 30);
+  }
+  EXPECT_TRUE(cluster.dirty_table().empty());
+  EXPECT_EQ(rig.table().pending_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace ech::chaos

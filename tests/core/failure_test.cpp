@@ -190,5 +190,41 @@ TEST(Failure, DoubleFaultWithTwoReplicasLosesOnlyOverlap) {
   EXPECT_EQ(lost, both_on_failed);
 }
 
+TEST(Failure, FullPowerOverwriteThenFailureLeavesNoUntrackedDirtyReplicas) {
+  // Regression: an object offloaded below power, overwritten at full power
+  // (which inserts no new dirty entry), then caught in a failure/repair
+  // cycle must end fully clean — dirty table empty AND no replica header
+  // still flagged dirty.  The old stale-skip retired the only tracking
+  // entry without reconciling, stranding dirty-flagged replicas.
+  auto c = make_cluster();
+  ASSERT_TRUE(c->request_resize(c->min_active()).is_ok());
+  for (std::uint64_t oid = 0; oid < 50; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());
+  }
+  ASSERT_TRUE(c->request_resize(10).is_ok());
+  for (std::uint64_t oid = 0; oid < 50; ++oid) {
+    ASSERT_TRUE(c->write(ObjectId{oid}, 0).is_ok());  // clean overwrite
+  }
+  ASSERT_TRUE(c->fail_server(ServerId{10}).is_ok());
+  int safety = 10000;
+  while (c->maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  ASSERT_TRUE(c->recover_server(ServerId{10}).is_ok());
+  safety = 10000;
+  while (c->maintenance_step(64 * kDefaultObjectSize) > 0 && --safety > 0) {
+  }
+  ASSERT_GT(safety, 0);
+  EXPECT_TRUE(c->dirty_table().empty());
+  for (std::uint64_t oid = 0; oid < 50; ++oid) {
+    auto want = c->placement_of(ObjectId{oid}).value().servers;
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(c->object_store().locate(ObjectId{oid}), want) << oid;
+    for (ServerId s : want) {
+      EXPECT_FALSE(c->object_store().server(s).get(ObjectId{oid})->header.dirty)
+          << oid;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ech

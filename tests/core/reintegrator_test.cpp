@@ -160,20 +160,50 @@ TEST_F(ReintegratorTest, DeferredWhenCurrentNotLarger) {
   EXPECT_EQ(table_.size(), 20u);
 }
 
-TEST_F(ReintegratorTest, StaleEntriesSkipped) {
+TEST_F(ReintegratorTest, StaleEntriesSkippedBelowFullPower) {
+  // Below full power the older of two entries for a re-dirtied object is a
+  // pure deferral: skipped without data movement, and kept in the table.
   resize(6);  // version 2
   write(ObjectId{7});
   resize(5);  // version 3
   write(ObjectId{7});  // re-dirtied with a newer version
-  resize(10);          // version 4, full power
+  resize(8);           // version 4: larger, but still below full power
   const auto stats = reintegrator_.step(100 * kGiB);
   EXPECT_TRUE(stats.drained);
   EXPECT_GE(stats.entries_skipped_stale, 1u);
+  EXPECT_EQ(table_.size(), 2u);  // nothing retired below full power
+
+  resize(10);  // version 5, full power: both entries reconcile and retire
+  const auto final_stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(final_stats.drained);
   EXPECT_EQ(table_.size(), 0u);
-  // Object ends at current placement.
   auto want = placement_now(ObjectId{7});
   std::sort(want.begin(), want.end());
   EXPECT_EQ(store_.locate(ObjectId{7}), want);
+}
+
+TEST_F(ReintegratorTest, FullPowerOverwriteDoesNotOrphanStaleReplicas) {
+  // Regression: an offloaded write tracks its replicas with a dirty entry;
+  // a later *full-power* overwrite inserts no newer entry, so that old
+  // entry is the only record of the now-stale replicas.  Retiring it as
+  // "stale" without reconciling would leave those replicas behind forever.
+  resize(2);  // version 2
+  for (std::uint64_t i = 0; i < 50; ++i) write(ObjectId{i});
+  resize(10);  // version 3, full power
+  for (std::uint64_t i = 0; i < 50; ++i) write(ObjectId{i});  // no entries
+
+  const auto stats = reintegrator_.step(100 * kGiB);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(table_.size(), 0u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    auto want = placement_now(ObjectId{i});
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(store_.locate(ObjectId{i}), want) << "oid " << i;
+    for (ServerId s : want) {
+      EXPECT_FALSE(store_.server(s).get(ObjectId{i})->header.dirty)
+          << "oid " << i;
+    }
+  }
 }
 
 TEST_F(ReintegratorTest, DeletedObjectEntrySkipped) {

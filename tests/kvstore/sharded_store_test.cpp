@@ -30,6 +30,41 @@ TEST(ShardedStore, SameKeySameShardAcrossInstances) {
   }
 }
 
+TEST(ShardedStore, ShardSelectionMatchesPinnedFnv1aVectors) {
+  // Pinned vectors for the 64-bit FNV-1a routing (shard = fnv1a64(key) % n).
+  // If these move, every deployed dirty-table list silently lands on a
+  // different shard — net::RemoteDirtyTable and ShardedStore must keep
+  // agreeing on this function forever.
+  struct Vector {
+    const char* key;
+    std::uint64_t hash;
+    std::size_t mod8;
+    std::size_t mod2;
+    std::size_t mod5;
+  };
+  const Vector vectors[] = {
+      {"dirty:v0000000001", 14613223048350620676ULL, 4, 0, 1},
+      {"dirty:v0000000002", 14613226346885505309ULL, 5, 1, 4},
+      {"dirty:v0000000003", 14613225247373877098ULL, 2, 0, 3},
+      {"dirty:v0000000017", 14612235686908676423ULL, 7, 1, 3},
+      {"dseen:v0000000003:42", 15504127456142470663ULL, 7, 1, 3},
+      {"alpha", 9999721509958787115ULL, 3, 1, 0},
+      {"beta", 8513880941419438247ULL, 7, 1, 2},
+      {"gamma", 2490902623560640874ULL, 2, 0, 4},
+      {"k0", 629956424149115662ULL, 6, 0, 2},
+  };
+  ShardedStore s8(8), s2(2), s5(5);
+  for (const Vector& v : vectors) {
+    EXPECT_EQ(fnv1a64(v.key), v.hash) << v.key;
+    EXPECT_EQ(shard_index_for(v.key, 8), v.mod8) << v.key;
+    EXPECT_EQ(shard_index_for(v.key, 2), v.mod2) << v.key;
+    EXPECT_EQ(shard_index_for(v.key, 5), v.mod5) << v.key;
+    EXPECT_EQ(s8.shard_index(v.key), v.mod8) << v.key;
+    EXPECT_EQ(s2.shard_index(v.key), v.mod2) << v.key;
+    EXPECT_EQ(s5.shard_index(v.key), v.mod5) << v.key;
+  }
+}
+
 TEST(ShardedStore, SingleShardTakesEverything) {
   ShardedStore s(1);
   for (int i = 0; i < 20; ++i) {

@@ -1,0 +1,191 @@
+// Fabric determinism and fault model: same seed + same call sequence must
+// reproduce every delivery (tick, order, fingerprint); partitions block
+// exactly the cut directions and heal restores them.
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ech::net {
+namespace {
+
+/// Records every delivery in arrival order.
+class Recorder final : public Endpoint {
+ public:
+  void deliver(NodeId from, const std::string& payload) override {
+    log.push_back(std::to_string(from) + ":" + payload);
+  }
+  std::vector<std::string> log;
+};
+
+TEST(FabricTest, DeliversInSendOrderWithoutFaults) {
+  Fabric fabric(1);
+  Recorder rx;
+  fabric.bind(2, &rx);
+  fabric.send(1, 2, "a");
+  fabric.send(1, 2, "b");
+  fabric.send(1, 2, "c");
+  EXPECT_EQ(fabric.pump_all(), 3u);
+  EXPECT_EQ(rx.log, (std::vector<std::string>{"1:a", "1:b", "1:c"}));
+  EXPECT_EQ(fabric.stats().delivered, 3u);
+  EXPECT_EQ(fabric.stats().dropped, 0u);
+}
+
+TEST(FabricTest, SameSeedSameFingerprint) {
+  const auto run = [](std::uint64_t seed) {
+    Fabric fabric(seed);
+    Recorder rx;
+    fabric.bind(2, &rx);
+    LinkFaults faults;
+    faults.drop_rate = 0.2;
+    faults.dup_rate = 0.1;
+    faults.reorder_rate = 0.3;
+    faults.min_delay_ticks = 1;
+    faults.max_delay_ticks = 6;
+    fabric.set_default_faults(faults);
+    for (int i = 0; i < 200; ++i) {
+      fabric.send(1, 2, "m" + std::to_string(i));
+    }
+    fabric.pump_all();
+    return std::make_pair(fabric.delivery_fingerprint(), rx.log);
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run(43);
+  EXPECT_NE(a.first, c.first);  // different seed, different fate sequence
+}
+
+TEST(FabricTest, DropRateLosesMessages) {
+  Fabric fabric(7);
+  Recorder rx;
+  fabric.bind(2, &rx);
+  LinkFaults faults;
+  faults.drop_rate = 0.5;
+  fabric.set_default_faults(faults);
+  for (int i = 0; i < 400; ++i) fabric.send(1, 2, "x");
+  fabric.pump_all();
+  const FabricStats st = fabric.stats();
+  EXPECT_EQ(st.sent, 400u);
+  EXPECT_GT(st.dropped, 100u);
+  EXPECT_LT(st.dropped, 300u);
+  EXPECT_EQ(st.delivered, st.sent - st.dropped);
+}
+
+TEST(FabricTest, DuplicationDeliversTwice) {
+  Fabric fabric(7);
+  Recorder rx;
+  fabric.bind(2, &rx);
+  LinkFaults faults;
+  faults.dup_rate = 1.0;
+  fabric.set_default_faults(faults);
+  fabric.send(1, 2, "x");
+  fabric.pump_all();
+  EXPECT_EQ(rx.log.size(), 2u);
+  EXPECT_EQ(fabric.stats().duplicated, 1u);
+}
+
+TEST(FabricTest, SymmetricPartitionBlocksBothDirections) {
+  Fabric fabric(1);
+  Recorder a, b;
+  fabric.bind(1, &a);
+  fabric.bind(2, &b);
+  fabric.partition(1, 2, PartitionMode::kBoth);
+  EXPECT_TRUE(fabric.partitioned(1, 2));
+  fabric.send(1, 2, "req");
+  fabric.send(2, 1, "rep");
+  EXPECT_EQ(fabric.pump_all(), 0u);
+  EXPECT_EQ(fabric.stats().blocked, 2u);
+  fabric.heal(1, 2);
+  EXPECT_FALSE(fabric.partitioned(1, 2));
+  fabric.send(1, 2, "req2");
+  EXPECT_EQ(fabric.pump_all(), 1u);
+  EXPECT_EQ(b.log, (std::vector<std::string>{"1:req2"}));
+}
+
+TEST(FabricTest, OneWayPartitionBlocksOnlyThatDirection) {
+  Fabric fabric(1);
+  Recorder a, b;
+  fabric.bind(1, &a);
+  fabric.bind(2, &b);
+  fabric.partition(1, 2, PartitionMode::kAToB);
+  fabric.send(1, 2, "req");   // blocked
+  fabric.send(2, 1, "rep");   // delivered
+  fabric.pump_all();
+  EXPECT_TRUE(b.log.empty());
+  EXPECT_EQ(a.log, (std::vector<std::string>{"2:rep"}));
+}
+
+TEST(FabricTest, InFlightMessageBlockedByLaterCut) {
+  // A message already in flight when the cut lands must not sneak through:
+  // partitions are checked at delivery time too.
+  Fabric fabric(1);
+  Recorder rx;
+  fabric.bind(2, &rx);
+  LinkFaults faults;
+  faults.min_delay_ticks = 10;
+  faults.max_delay_ticks = 10;
+  fabric.set_default_faults(faults);
+  fabric.send(1, 2, "slow");
+  fabric.partition(1, 2);
+  fabric.pump_all();
+  EXPECT_TRUE(rx.log.empty());
+  EXPECT_EQ(fabric.stats().blocked, 1u);
+}
+
+TEST(FabricTest, HealAllClearsEveryCut) {
+  Fabric fabric(1);
+  fabric.partition(1, 2);
+  fabric.partition(3, 4, PartitionMode::kBToA);
+  EXPECT_EQ(fabric.partition_count(), 2u);
+  fabric.heal_all();
+  EXPECT_EQ(fabric.partition_count(), 0u);
+}
+
+TEST(FabricTest, UnroutableCountsWhenUnbound) {
+  Fabric fabric(1);
+  fabric.send(1, 99, "void");
+  fabric.pump_all();
+  EXPECT_EQ(fabric.stats().unroutable, 1u);
+  EXPECT_EQ(fabric.stats().delivered, 0u);
+}
+
+TEST(FabricTest, HandlerMaySendFromDeliver) {
+  // Endpoints send replies re-entrantly; pump_until delivers them within
+  // the same call when due.
+  class Echo final : public Endpoint {
+   public:
+    explicit Echo(Fabric& f) : fabric_(&f) {}
+    void deliver(NodeId from, const std::string& payload) override {
+      fabric_->send(2, from, "echo:" + payload);
+    }
+    Fabric* fabric_;
+  };
+  Fabric fabric(1);
+  Echo echo(fabric);
+  Recorder rx;
+  fabric.bind(1, &rx);
+  fabric.bind(2, &echo);
+  fabric.send(1, 2, "ping");
+  fabric.pump_until(fabric.now() + 8);
+  EXPECT_EQ(rx.log, (std::vector<std::string>{"2:echo:ping"}));
+}
+
+TEST(FabricTest, AdvanceMovesClockWithoutDelivering) {
+  Fabric fabric(1);
+  Recorder rx;
+  fabric.bind(2, &rx);
+  fabric.send(1, 2, "x");
+  const std::uint64_t t0 = fabric.now();
+  fabric.advance(5);
+  EXPECT_EQ(fabric.now(), t0 + 5);
+  EXPECT_TRUE(rx.log.empty());  // advance() never delivers
+  fabric.pump_until(fabric.now());
+  EXPECT_EQ(rx.log.size(), 1u);  // already due after the advance
+}
+
+}  // namespace
+}  // namespace ech::net

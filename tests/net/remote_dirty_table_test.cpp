@@ -1,0 +1,257 @@
+// RemoteDirtyTable: DirtyTable semantics over the fabric, plus the three
+// partition-tolerance mechanisms — exactly-once mutations, the client-side
+// mirror, and the WAL-backed pending queue that drains on heal.
+#include "net/remote_dirty_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/dirty_table.h"
+#include "io/mem_env.h"
+#include "kvstore/command.h"
+
+namespace ech::net {
+namespace {
+
+RemoteDirtyFabricOptions fast_options(std::uint64_t seed = 1) {
+  RemoteDirtyFabricOptions opts;
+  opts.shards = 2;
+  opts.seed = seed;
+  opts.retry.max_attempts = 2;
+  opts.retry.attempt_timeout_ticks = 4;
+  opts.retry.deadline_ticks = 64;
+  opts.breaker.open_cooldown_ticks = 8;
+  return opts;
+}
+
+/// 0-based shard index serving version v's list key.
+std::size_t shard_of(const RemoteDirtyTable& t, Version v) {
+  return static_cast<std::size_t>(t.node_for_version(v)) - 1;
+}
+
+std::size_t remote_list_len(RemoteDirtyFabric& rig, Version v) {
+  const std::size_t shard = shard_of(rig.table(), v);
+  const auto len = rig.shard(shard).store().llen(DirtyTable::key_for(v));
+  return len.ok() ? len.value() : 0;
+}
+
+TEST(RemoteDirtyTableTest, InsertFetchRemoveMirrorsDirtyTableSemantics) {
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  EXPECT_TRUE(t.insert(ObjectId{7}, Version{3}));
+  EXPECT_TRUE(t.insert(ObjectId{8}, Version{3}));
+  EXPECT_TRUE(t.insert(ObjectId{9}, Version{5}));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.size_at(Version{3}), 2u);
+  EXPECT_EQ(t.min_version()->value, 3u);
+  EXPECT_EQ(t.max_version()->value, 5u);
+  EXPECT_EQ(remote_list_len(rig, Version{3}), 2u);
+
+  t.restart();
+  const auto e1 = t.fetch_next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->oid.value, 7u);
+  EXPECT_EQ(e1->version.value, 3u);
+  EXPECT_TRUE(t.remove(*e1));
+  EXPECT_FALSE(t.remove(*e1));  // already gone
+  const auto e2 = t.fetch_next();
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->oid.value, 8u);
+  EXPECT_TRUE(t.remove(*e2));
+  EXPECT_EQ(t.min_version()->value, 5u);  // bounds tightened past v3
+  EXPECT_EQ(remote_list_len(rig, Version{3}), 0u);
+  const auto e3 = t.fetch_next();
+  ASSERT_TRUE(e3.has_value());
+  EXPECT_EQ(e3->oid.value, 9u);
+  EXPECT_FALSE(t.fetch_next().has_value());
+  EXPECT_EQ(t.divergence_total(), 0u);
+}
+
+TEST(RemoteDirtyTableTest, DedupeSuppressesDuplicateInserts) {
+  RemoteDirtyFabricOptions opts = fast_options();
+  opts.dedupe = true;
+  RemoteDirtyFabric rig(opts);
+  EXPECT_TRUE(rig.table().insert(ObjectId{4}, Version{2}));
+  EXPECT_FALSE(rig.table().insert(ObjectId{4}, Version{2}));
+  EXPECT_TRUE(rig.table().insert(ObjectId{4}, Version{3}));
+  EXPECT_EQ(rig.table().size(), 2u);
+  EXPECT_EQ(remote_list_len(rig, Version{2}), 1u);
+}
+
+TEST(RemoteDirtyTableTest, PartitionQueuesMutationsAndHealDrains) {
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  // Find a version served by shard 0 and one served by shard 1.
+  std::uint32_t on0 = 0, on1 = 0;
+  for (std::uint32_t v = 1; (on0 == 0 || on1 == 0) && v < 64; ++v) {
+    (shard_of(t, Version{v}) == 0 ? on0 : on1) = v;
+  }
+  ASSERT_NE(on0, 0u);
+  ASSERT_NE(on1, 0u);
+  rig.partition_shard(shard_of(t, Version{on0}), PartitionMode::kBoth);
+  EXPECT_TRUE(rig.any_partition());
+
+  // Mutations for the dark shard are accepted and queued; the mirror keeps
+  // answering size/bounds as if they landed (I2 stays checkable).
+  EXPECT_TRUE(t.insert(ObjectId{1}, Version{on0}));
+  EXPECT_TRUE(t.insert(ObjectId{2}, Version{on0}));
+  EXPECT_GE(t.pending_depth(), 2u);
+  EXPECT_EQ(t.size_at(Version{on0}), 2u);
+  EXPECT_EQ(remote_list_len(rig, Version{on0}), 0u);  // not there yet
+
+  // The reachable shard still takes traffic, but FIFO order means its op
+  // queues behind the dark shard's (otherwise replays would reorder).
+  EXPECT_TRUE(t.insert(ObjectId{3}, Version{on1}));
+  EXPECT_EQ(t.size(), 3u);
+
+  rig.heal_all();
+  EXPECT_EQ(t.pending_depth(), 0u);
+  EXPECT_EQ(t.drained_total(), 3u);
+  EXPECT_EQ(remote_list_len(rig, Version{on0}), 2u);
+  EXPECT_EQ(remote_list_len(rig, Version{on1}), 1u);
+}
+
+TEST(RemoteDirtyTableTest, ReplyLossReplayDoesNotDuplicateRemoteEntries) {
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  const Version v{1};
+  // Block replies only: the RPUSH executes remotely, the ack is lost, and
+  // the op lands in the pending queue.
+  rig.partition_shard(shard_of(t, v), PartitionMode::kBToA);
+  EXPECT_TRUE(t.insert(ObjectId{42}, v));
+  EXPECT_EQ(t.pending_depth(), 1u);
+  EXPECT_EQ(remote_list_len(rig, v), 1u);  // already applied remotely
+  rig.heal_all();
+  // The queued replay reuses the rpc id; the shard's reply cache answers
+  // without a second RPUSH.
+  EXPECT_EQ(t.pending_depth(), 0u);
+  EXPECT_EQ(remote_list_len(rig, v), 1u);
+  EXPECT_EQ(t.size_at(v), 1u);
+}
+
+TEST(RemoteDirtyTableTest, ScanSkipsUnreachableListsAndResumesAfterHeal) {
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  std::uint32_t on0 = 0, on1 = 0;
+  for (std::uint32_t v = 1; (on0 == 0 || on1 == 0) && v < 64; ++v) {
+    (shard_of(t, Version{v}) == 0 ? on0 : on1) = v;
+  }
+  EXPECT_TRUE(t.insert(ObjectId{1}, Version{on0}));
+  EXPECT_TRUE(t.insert(ObjectId{2}, Version{on0}));
+  EXPECT_TRUE(t.insert(ObjectId{3}, Version{on1}));
+
+  rig.partition_shard(shard_of(t, Version{on0}), PartitionMode::kBoth);
+  t.restart();
+  std::vector<std::uint64_t> fetched;
+  while (const auto e = t.fetch_next()) fetched.push_back(e->oid.value);
+  EXPECT_EQ(fetched, (std::vector<std::uint64_t>{3}));  // dark list skipped
+  EXPECT_EQ(t.scan_skipped_unreachable(), 2u);
+  EXPECT_EQ(t.size(), 3u);  // nothing lost, just deferred
+
+  rig.heal_all();  // restarts the scan because entries were skipped
+  EXPECT_EQ(t.scan_skipped_unreachable(), 0u);
+  fetched.clear();
+  while (const auto e = t.fetch_next()) fetched.push_back(e->oid.value);
+  EXPECT_EQ(fetched.size(), 3u);
+}
+
+TEST(RemoteDirtyTableTest, ClearWipesRemoteListsEvenThroughPartition) {
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  std::uint32_t on0 = 0, on1 = 0;
+  for (std::uint32_t v = 1; (on0 == 0 || on1 == 0) && v < 64; ++v) {
+    (shard_of(t, Version{v}) == 0 ? on0 : on1) = v;
+  }
+  EXPECT_TRUE(t.insert(ObjectId{1}, Version{on0}));
+  EXPECT_TRUE(t.insert(ObjectId{2}, Version{on1}));
+  rig.partition_shard(shard_of(t, Version{on0}), PartitionMode::kBoth);
+  t.clear();
+  // The mirror empties immediately; the dark shard's DEL queues (and any
+  // later DEL queues behind it — FIFO keeps replays in order).
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.min_version().has_value());
+  EXPECT_GE(t.pending_depth(), 1u);
+  EXPECT_EQ(remote_list_len(rig, Version{on0}), 1u);  // DEL still queued
+  rig.heal_all();
+  EXPECT_EQ(t.pending_depth(), 0u);
+  EXPECT_EQ(remote_list_len(rig, Version{on0}), 0u);
+  EXPECT_EQ(remote_list_len(rig, Version{on1}), 0u);
+}
+
+TEST(RemoteDirtyTableTest, PendingQueueSurvivesRestartViaWal) {
+  io::MemEnv env;
+  const std::string wal = "/dirty-pending.wal";
+  RemoteDirtyFabricOptions opts = fast_options();
+  opts.env = &env;
+  opts.wal_path = wal;
+  std::uint32_t dark = 0;
+  {
+    RemoteDirtyFabric rig(opts);
+    RemoteDirtyTable& t = rig.table();
+    for (std::uint32_t v = 1; dark == 0 && v < 64; ++v) {
+      if (shard_of(t, Version{v}) == 0) dark = v;
+    }
+    rig.partition_shard(0, PartitionMode::kBoth);
+    EXPECT_TRUE(t.insert(ObjectId{5}, Version{dark}));
+    EXPECT_TRUE(t.insert(ObjectId{6}, Version{dark}));
+    EXPECT_EQ(t.pending_depth(), 2u);
+  }  // process "crashes" here; the journal survives in the env
+
+  RemoteDirtyFabric rig(opts);  // fresh fabric + shards, same env/journal
+  RemoteDirtyTable& t = rig.table();
+  EXPECT_EQ(t.pending_depth(), 2u);
+  // The mirror is re-seeded from the journaled inserts: bounds and size
+  // answer correctly before any network traffic.
+  EXPECT_EQ(t.size_at(Version{dark}), 2u);
+  EXPECT_EQ(t.min_version()->value, dark);
+  rig.heal_all();
+  EXPECT_EQ(t.pending_depth(), 0u);
+  EXPECT_EQ(remote_list_len(rig, Version{dark}), 2u);
+  // And the journal was truncated: a second restart recovers nothing.
+  RemoteDirtyFabric again(opts);
+  EXPECT_EQ(again.table().pending_depth(), 0u);
+}
+
+TEST(RemoteDirtyTableTest, DivergenceIsCountedNotTrusted) {
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  const Version v{1};
+  EXPECT_TRUE(t.insert(ObjectId{10}, v));
+  // Corrupt the remote list behind the mirror's back.
+  kv::Store& store = rig.shard(shard_of(t, v)).store();
+  (void)kv::execute_command_line(store, "DEL " + DirtyTable::key_for(v));
+  (void)kv::execute_command_line(store,
+                                 "RPUSH " + DirtyTable::key_for(v) + " 999");
+  t.restart();
+  const auto e = t.fetch_next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->oid.value, 10u);  // the mirror's answer wins
+  EXPECT_EQ(t.divergence_total(), 1u);
+}
+
+TEST(RemoteDirtyTableTest, ListenerFiresOnInsertAndRemove) {
+  struct Listener final : DirtyTableListener {
+    void on_dirty_insert(ObjectId, Version) override { ++inserts; }
+    void on_dirty_remove(ObjectId, Version) override { ++removes; }
+    void on_dirty_clear() override { ++clears; }
+    int inserts{0}, removes{0}, clears{0};
+  } listener;
+  RemoteDirtyFabric rig(fast_options());
+  RemoteDirtyTable& t = rig.table();
+  t.set_listener(&listener);
+  EXPECT_TRUE(t.insert(ObjectId{1}, Version{2}));
+  t.restart();
+  const auto e = t.fetch_next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(t.remove(*e));
+  EXPECT_TRUE(t.insert(ObjectId{2}, Version{2}));
+  t.clear();
+  EXPECT_EQ(listener.inserts, 2);
+  EXPECT_EQ(listener.removes, 1);
+  EXPECT_EQ(listener.clears, 1);
+}
+
+}  // namespace
+}  // namespace ech::net

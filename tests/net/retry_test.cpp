@@ -1,0 +1,137 @@
+// Retry backoff (bounds + seed determinism) and the circuit breaker state
+// machine, including the single half-open probe.
+#include "net/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ech::net {
+namespace {
+
+TEST(RetryPolicyTest, BackoffStaysWithinJitterWindow) {
+  RetryPolicy policy;
+  policy.base_backoff_ticks = 2;
+  policy.max_backoff_ticks = 64;
+  policy.jitter = 0.5;
+  Rng rng(9);
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t capped =
+        std::min<std::uint64_t>(64, 2ULL << std::min<std::uint32_t>(attempt, 62));
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t b = policy.backoff_ticks(attempt, rng);
+      EXPECT_LE(b, capped) << "attempt " << attempt;
+      EXPECT_GE(b, capped - capped / 2) << "attempt " << attempt;
+      EXPECT_GE(b, 1u);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, ExponentialGrowthUntilCap) {
+  RetryPolicy policy;
+  policy.base_backoff_ticks = 4;
+  policy.max_backoff_ticks = 32;
+  policy.jitter = 0.0;  // deterministic: exact capped exponential
+  Rng rng(1);
+  EXPECT_EQ(policy.backoff_ticks(0, rng), 4u);
+  EXPECT_EQ(policy.backoff_ticks(1, rng), 8u);
+  EXPECT_EQ(policy.backoff_ticks(2, rng), 16u);
+  EXPECT_EQ(policy.backoff_ticks(3, rng), 32u);
+  EXPECT_EQ(policy.backoff_ticks(4, rng), 32u);   // capped
+  EXPECT_EQ(policy.backoff_ticks(40, rng), 32u);  // shift overflow guarded
+}
+
+TEST(RetryPolicyTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  const auto schedule = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint64_t> out;
+    for (std::uint32_t a = 0; a < 16; ++a) {
+      out.push_back(policy.backoff_ticks(a, rng));
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule(123), schedule(123));
+  EXPECT_NE(schedule(123), schedule(124));
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_cooldown_ticks = 100;
+  CircuitBreaker breaker(cfg);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure(1);
+  breaker.record_failure(2);
+  EXPECT_TRUE(breaker.allow(3));  // still closed below threshold
+  breaker.record_failure(3);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.allow(4));  // cool-down not elapsed
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure(1);
+  breaker.record_failure(2);
+  breaker.record_success(3);
+  breaker.record_failure(4);
+  breaker.record_failure(5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ticks = 10;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(5));   // cooling down
+  EXPECT_TRUE(breaker.allow(10));   // cool-down elapsed: the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(11));  // second request while probe in flight
+  breaker.record_success(12);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(13));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ticks = 10;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(10));  // probe admitted
+  breaker.record_failure(11);      // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.allow(19));  // cool-down restarted from tick 11
+  EXPECT_TRUE(breaker.allow(21));
+}
+
+TEST(CircuitBreakerTest, ResetClosesImmediately) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ticks = 1000;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure(0);
+  EXPECT_FALSE(breaker.allow(1));
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(1));
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(CircuitBreaker::state_name(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::state_name(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::state_name(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace ech::net
