@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,34 @@
 #include "common/log.h"
 
 namespace ech::bench {
+
+/// Build flavour this binary was compiled as.  Committed BENCH_*.json files
+/// must come from release builds — debug numbers are noise that poisons the
+/// perf trajectory — so the writers below stamp this into the output context
+/// and refuse to write machine-readable results from a debug binary.
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Guard for machine-readable output flags (`--json`, `--benchmark_out`):
+/// no-op in release builds, hard exit in debug ones.  Human-readable stdout
+/// is always allowed; only the committed-artifact path is gated.
+inline void refuse_bench_output_in_debug(const std::string& flag) {
+#ifdef NDEBUG
+  (void)flag;
+#else
+  std::fprintf(stderr,
+               "error: %s requested from a debug build; BENCH_*.json "
+               "artifacts must be generated from a release build "
+               "(-DCMAKE_BUILD_TYPE=Release)\n",
+               flag.c_str());
+  std::exit(1);
+#endif
+}
 
 /// Minimal flag parser: supports `--csv <path>` (CSV dump of the series)
 /// and `--quick` (reduced volumes where a bench offers it).

@@ -3,14 +3,18 @@
 // flat epoch-pinned PlacementIndex, single- and multi-threaded), dirty-table
 // ops and the hash primitives.
 //
-// Machine-readable results for the perf trajectory:
-//   ./micro_placement --benchmark_filter='Placement|Concurrent' \
+// Machine-readable results for the perf trajectory (release builds only;
+// the main() below refuses --benchmark_out from a debug binary):
+//   ./micro_placement --benchmark_filter='Placement|Concurrent'
 //       --benchmark_out=BENCH_micro_placement.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <shared_mutex>
+#include <string_view>
 #include <vector>
+
+#include "bench_common.h"
 
 #include "cluster/cluster_view.h"
 #include "cluster/layout.h"
@@ -174,8 +178,10 @@ BENCHMARK(BM_ConcurrentPlacementSharedMutex)
     ->UseRealTime();
 
 void BM_ConcurrentPlacementLockFree(benchmark::State& state) {
-  // The new path: pin the epoch snapshot once per lookup (one atomic
-  // shared_ptr load) and scan the flat index — no lock word touched.
+  // The serving path: publish this thread's epoch in its private padded
+  // slot, hit the thread-local snapshot cache (one relaxed uint64 compare
+  // in the no-resize steady state) and scan the flat index — no lock word,
+  // no shared_ptr refcount, zero writes to shared cachelines.
   static ConcurrentElasticCluster* cluster = nullptr;
   if (state.thread_index() == 0 && cluster == nullptr) {
     ElasticClusterConfig config;
@@ -317,3 +323,20 @@ void BM_Sha1(benchmark::State& state) {
 BENCHMARK(BM_Sha1)->Arg(16)->Arg(256)->Arg(4096);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Committed BENCH_*.json artifacts must come from release builds: refuse
+  // the machine-readable output flag from a debug binary, and stamp the
+  // build flavour into the context so a stray debug artifact is detectable.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      ech::bench::refuse_bench_output_in_debug(argv[i]);
+    }
+  }
+  benchmark::AddCustomContext("ech_build_type", ech::bench::build_type());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Serving-path macro benchmark (ROADMAP item 1): closed-loop worker threads
+// driving ConcurrentElasticCluster with a mixed read/write/placement load
+// while a controller churns the active set, via serve::ServingEngine.
+// Reports ops/s and latency percentiles from the obs histogram.
+//
+// Machine-readable results for the perf trajectory (release builds only):
+//   ./serving_engine --json BENCH_serving.json
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/serving_engine.h"
+
+namespace {
+
+using ech::serve::ServingConfig;
+using ech::serve::ServingReport;
+
+struct Flags {
+  std::vector<std::uint32_t> threads{1, 2, 4, 8};
+  std::uint64_t duration_ms{2'000};
+  std::uint64_t objects{20'000};
+  std::uint32_t servers{300};
+  std::uint32_t replicas{3};
+  bool churn{true};
+  std::string json_path;
+};
+
+Flags parse_flags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      f.threads = {static_cast<std::uint32_t>(std::stoul(argv[++i]))};
+    } else if (arg == "--ms" && i + 1 < argc) {
+      f.duration_ms = std::stoull(argv[++i]);
+    } else if (arg == "--objects" && i + 1 < argc) {
+      f.objects = std::stoull(argv[++i]);
+    } else if (arg == "--servers" && i + 1 < argc) {
+      f.servers = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      f.replicas = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--no-churn") {
+      f.churn = false;
+    } else if (arg == "--quick") {
+      f.threads = {1, 2};
+      f.duration_ms = 250;
+      f.objects = 2'000;
+    } else if (arg == "--json" && i + 1 < argc) {
+      f.json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--threads N] [--ms N] [--objects N] [--servers N]\n"
+          "          [--replicas N] [--no-churn] [--quick] [--json <path>]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  return f;
+}
+
+std::string iso_timestamp() {
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void append_run_json(std::string& out, std::uint32_t threads,
+                     const ServingReport& r, bool first) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s    {\"name\": \"serving/threads:%u\", \"threads\": %u, "
+      "\"ops_per_sec\": %.1f, \"total_ops\": %llu, "
+      "\"placement_ops\": %llu, \"read_ops\": %llu, \"write_ops\": %llu, "
+      "\"errors\": %llu, \"resizes\": %llu, "
+      "\"p50_ns\": %llu, \"p90_ns\": %llu, \"p99_ns\": %llu, "
+      "\"p999_ns\": %llu, \"mean_ns\": %.1f, "
+      "\"epoch_retirements\": %llu, \"epoch_slow_pins\": %llu, "
+      "\"epoch_fallback_pins\": %llu}",
+      first ? "" : ",\n", threads, threads, r.ops_per_sec,
+      static_cast<unsigned long long>(r.total_ops),
+      static_cast<unsigned long long>(r.placement_ops),
+      static_cast<unsigned long long>(r.read_ops),
+      static_cast<unsigned long long>(r.write_ops),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.resizes),
+      static_cast<unsigned long long>(r.p50_ns),
+      static_cast<unsigned long long>(r.p90_ns),
+      static_cast<unsigned long long>(r.p99_ns),
+      static_cast<unsigned long long>(r.p999_ns), r.mean_ns,
+      static_cast<unsigned long long>(r.epoch_retirements),
+      static_cast<unsigned long long>(r.epoch_slow_pins),
+      static_cast<unsigned long long>(r.epoch_fallback_pins));
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parse_flags(argc, argv);
+  if (!flags.json_path.empty()) {
+    ech::bench::refuse_bench_output_in_debug("--json");
+  }
+
+  ech::bench::banner(
+      "serving_engine — closed-loop macro bench over ConcurrentElasticCluster",
+      "serving-path throughput/latency under resize churn (ROADMAP item 1)");
+  std::printf("servers=%u replicas=%u objects=%llu duration=%llums churn=%s "
+              "build=%s cpus=%u\n\n",
+              flags.servers, flags.replicas,
+              static_cast<unsigned long long>(flags.objects),
+              static_cast<unsigned long long>(flags.duration_ms),
+              flags.churn ? "on" : "off", ech::bench::build_type(),
+              std::thread::hardware_concurrency());
+  ech::bench::print_row({"threads", "ops/s", "p50_us", "p90_us", "p99_us",
+                         "p999_us", "errors", "resizes"},
+                        10);
+
+  std::string runs;
+  bool first = true;
+  for (const std::uint32_t t : flags.threads) {
+    ServingConfig config;
+    config.server_count = flags.servers;
+    config.replicas = flags.replicas;
+    config.threads = t;
+    config.preload_objects = flags.objects;
+    config.duration_ms = flags.duration_ms;
+    config.resize_churn = flags.churn;
+    ech::serve::ServingEngine engine(config);
+    auto run = engine.run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed (threads=%u): %s\n", t,
+                   run.status().to_string().c_str());
+      return 1;
+    }
+    const ServingReport& r = run.value();
+    ech::bench::print_row(
+        {std::to_string(t), std::to_string(static_cast<std::uint64_t>(
+                                r.ops_per_sec)),
+         std::to_string(r.p50_ns / 1000), std::to_string(r.p90_ns / 1000),
+         std::to_string(r.p99_ns / 1000), std::to_string(r.p999_ns / 1000),
+         std::to_string(r.errors), std::to_string(r.resizes)},
+        10);
+    append_run_json(runs, t, r, first);
+    first = false;
+  }
+
+  if (!flags.json_path.empty()) {
+    std::FILE* out = std::fopen(flags.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", flags.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"context\": {\n"
+        "    \"name\": \"serving_engine\",\n"
+        "    \"date\": \"%s\",\n"
+        "    \"num_cpus\": %u,\n"
+        "    \"ech_build_type\": \"%s\",\n"
+        "    \"servers\": %u,\n"
+        "    \"replicas\": %u,\n"
+        "    \"preload_objects\": %llu,\n"
+        "    \"duration_ms\": %llu,\n"
+        "    \"resize_churn\": %s\n"
+        "  },\n  \"benchmarks\": [\n%s\n  ]\n}\n",
+        iso_timestamp().c_str(), std::thread::hardware_concurrency(),
+        ech::bench::build_type(), flags.servers, flags.replicas,
+        static_cast<unsigned long long>(flags.objects),
+        static_cast<unsigned long long>(flags.duration_ms),
+        flags.churn ? "true" : "false", runs.c_str());
+    std::fclose(out);
+    std::printf("\nwrote %s\n", flags.json_path.c_str());
+  }
+  return 0;
+}

@@ -6,13 +6,17 @@
 // concurrently; ConcurrentElasticCluster provides that with a two-tier
 // scheme:
 //
-//   * The *placement* path is lock-free.  Every membership change builds an
-//     immutable PlacementIndex (core/placement_index.h) which is published
-//     RCU-style through an atomically swapped shared_ptr.  placement_of()/
-//     place_many() and the membership introspection calls pin a snapshot
-//     with one atomic load — no shared_mutex, no reader-reader cache-line
-//     contention, and an in-flight lookup keeps its epoch alive even while
-//     a resize publishes the next one.
+//   * The *placement* path is lock-free AND write-free.  Every membership
+//     change builds an immutable PlacementIndex (core/placement_index.h)
+//     published through a PlacementEpochDomain (core/epoch_pin.h):
+//     placement_of()/place_many() and the membership introspection calls
+//     pin the snapshot with a per-thread epoch slot and a thread-local
+//     snapshot cache — in the common no-resize case one relaxed uint64
+//     load, with zero writes to shared cachelines (the old per-lookup
+//     atomic<shared_ptr> copy bounced the control-block refcount across
+//     every reader core).  An in-flight lookup still keeps its epoch alive
+//     while a resize publishes the next one; retired snapshots are
+//     reclaimed once no reader slot pins them.
 //   * The *object store* (replica directories) is still guarded by the
 //     reader/writer lock: read() takes it shared; anything that can move
 //     replicas or change membership takes it exclusive and republishes the
@@ -23,11 +27,11 @@
 // the path that must scale with cores (see bench/micro_placement).
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <shared_mutex>
 
 #include "core/elastic_cluster.h"
+#include "core/epoch_pin.h"
 
 namespace ech {
 
@@ -62,26 +66,36 @@ class ConcurrentElasticCluster {
     std::unique_lock lock(mutex_);
     return inner_->remove_object(oid);
   }
-  /// Lock-free: pins the current epoch's index and runs Algorithm 1 on it.
-  /// The lookup counter is a sharded-cell relaxed add — no contention and
-  /// no registry lock on this path.
+  /// Lock-free and write-free: pins the current epoch via a per-thread
+  /// slot and runs Algorithm 1 on the cached snapshot.  The lookup counter
+  /// is a sharded-cell relaxed add — no contention and no registry lock on
+  /// this path.
   [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const {
     lookups_->inc();
-    return pinned_index()->place(oid, replicas_);
+    const auto pin = epochs_.pin();
+    return pin->place(oid, replicas_);
   }
   /// Lock-free batch lookup; every oid is placed against ONE pinned epoch
   /// (a resize in between cannot split the batch across versions).
   [[nodiscard]] std::vector<Expected<Placement>> place_many(
       std::span<const ObjectId> oids) const {
     lookups_->add(oids.size());
-    return pinned_index()->place_many(oids, replicas_);
+    const auto pin = epochs_.pin();
+    return pin->place_many(oids, replicas_);
   }
 
-  /// Pin the current placement snapshot (one atomic load).  The snapshot
-  /// stays valid — and placement-stable — for as long as the caller holds
-  /// it, regardless of concurrent resizes.
+  /// Ownership pin of the current placement snapshot (one shared_ptr copy
+  /// — the slow path; lookups above never pay it).  The snapshot stays
+  /// valid — and placement-stable — for as long as the caller holds it,
+  /// regardless of concurrent resizes.  Use for snapshots parked across
+  /// blocking work (Reintegrator sweeps, snapshot writers).
   [[nodiscard]] std::shared_ptr<const PlacementIndex> pinned_index() const {
-    return index_.load(std::memory_order_acquire);
+    return epochs_.pin_shared();
+  }
+
+  /// The epoch domain behind the read path (tests, obs tooling).
+  [[nodiscard]] const PlacementEpochDomain& placement_epochs() const {
+    return epochs_;
   }
 
   // -- control plane ---------------------------------------------------------
@@ -127,7 +141,8 @@ class ConcurrentElasticCluster {
   // -- introspection -----------------------------------------------------------
   // Membership-shaped queries answer from the pinned snapshot, lock-free.
   [[nodiscard]] std::uint32_t active_count() const {
-    return pinned_index()->active_count();
+    const auto pin = epochs_.pin();
+    return pin->active_count();
   }
   [[nodiscard]] std::uint32_t server_count() const {
     std::shared_lock lock(mutex_);
@@ -138,7 +153,8 @@ class ConcurrentElasticCluster {
     return inner_->min_active();
   }
   [[nodiscard]] Version current_version() const {
-    return pinned_index()->version();
+    const auto pin = epochs_.pin();
+    return pin->version();
   }
   [[nodiscard]] std::size_t dirty_entries() const {
     std::shared_lock lock(mutex_);
@@ -164,22 +180,21 @@ class ConcurrentElasticCluster {
  private:
   explicit ConcurrentElasticCluster(std::unique_ptr<ElasticCluster> inner)
       : inner_(std::move(inner)),
+        epochs_(inner_->placement_index(), &inner_->metrics_registry()),
         replicas_(inner_->config().replicas),
         lookups_(&inner_->metrics_registry().counter(
             "ech_placement_lookups_total", {},
-            "Placement lookups served by the pinned index")) {
-    index_.store(inner_->placement_index(), std::memory_order_release);
-  }
+            "Placement lookups served by the pinned index")) {}
 
   /// Callers hold mutex_ exclusively; readers pick the new epoch up on
-  /// their next pin while in-flight lookups finish on the old one.
-  void republish() {
-    index_.store(inner_->placement_index(), std::memory_order_release);
-  }
+  /// their next pin while in-flight lookups finish on the old one.  The
+  /// domain retires the previous snapshot and reclaims whatever no reader
+  /// slot still pins.
+  void republish() { epochs_.publish(inner_->placement_index()); }
 
   mutable std::shared_mutex mutex_;
   std::unique_ptr<ElasticCluster> inner_;
-  std::atomic<std::shared_ptr<const PlacementIndex>> index_;
+  PlacementEpochDomain epochs_;
   std::uint32_t replicas_;
   obs::Counter* lookups_;  // same instrument the inner facade bumps
 };

@@ -1,0 +1,261 @@
+#include "core/epoch_pin.h"
+
+#include <unordered_set>
+
+namespace ech {
+namespace {
+
+// Domain liveness registry: a thread's cached slot pointer may outlive the
+// domain it belongs to (the thread simply never touched that cluster
+// again), so slot release — on domain switch or thread exit — first checks
+// the owning domain is still alive under this mutex.  Deliberately leaked:
+// threads may exit after static destructors have run.
+std::mutex& domains_mutex() {
+  static auto* m = new std::mutex();
+  return *m;
+}
+
+std::unordered_set<std::uint64_t>& live_domains() {
+  static auto* s = new std::unordered_set<std::uint64_t>();
+  return *s;
+}
+
+std::atomic<std::uint64_t>& next_domain_id() {
+  static auto* id = new std::atomic<std::uint64_t>(1);
+  return *id;
+}
+
+}  // namespace
+
+// Cacheline-padded so one reader's pin never bounces another reader's (or
+// the epoch counter's) line.  `epoch` is the pin itself; `claimed` is
+// long-term thread ownership of the slot.
+struct alignas(64) PlacementEpochDomain::Slot {
+  std::atomic<std::uint64_t> epoch{kIdle};
+  std::atomic<bool> claimed{false};
+};
+
+struct PlacementEpochDomain::ReaderTls {
+  std::uint64_t domain_id{0};     // domain the cache below belongs to
+  Slot* slot{nullptr};            // owned slot in that domain (may be null)
+  std::uint64_t epoch{0};         // epoch tag of the cached snapshot
+  const PlacementIndex* index{nullptr};
+  std::uint32_t depth{0};         // nested pins on `slot`
+  std::uint32_t fallback_streak{0};
+
+  ~ReaderTls() {
+    if (slot == nullptr) return;
+    std::lock_guard lock(domains_mutex());
+    if (live_domains().contains(domain_id)) {
+      slot->epoch.store(kIdle, std::memory_order_release);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+PlacementEpochDomain::ReaderTls& PlacementEpochDomain::reader_tls() {
+  thread_local ReaderTls t;
+  return t;
+}
+
+PlacementEpochDomain::PlacementEpochDomain(
+    std::shared_ptr<const PlacementIndex> initial,
+    obs::MetricsRegistry* registry)
+    : id_(next_domain_id().fetch_add(1, std::memory_order_relaxed)),
+      slots_(new Slot[kSlots]) {
+  const PlacementIndex* raw = initial.get();
+  shared_current_.store(std::move(initial), std::memory_order_release);
+  current_.store(raw, std::memory_order_release);
+
+  auto& reg = obs::registry_or_default(registry);
+  obs_retirements_ = &reg.counter(
+      "ech_epoch_retired_total", {},
+      "Placement snapshots retired by an epoch publish");
+  obs_reclamations_ = &reg.counter(
+      "ech_epoch_reclaimed_total", {},
+      "Retired placement snapshots reclaimed (no reader slot pinned them)");
+  obs_deferred_ = &reg.counter(
+      "ech_epoch_reclaim_deferred_total", {},
+      "Reclaim passes that had to keep a retired snapshot alive because a "
+      "reader slot still pinned its epoch");
+  obs_slow_pins_ = &reg.counter(
+      "ech_epoch_slow_pins_total", {},
+      "Epoch pins that missed the thread-local snapshot cache (epoch moved)");
+  obs_fallback_pins_ = &reg.counter(
+      "ech_epoch_fallback_pins_total", {},
+      "Epoch pins served through the shared_ptr fallback (no reader slot)");
+
+  std::lock_guard lock(domains_mutex());
+  live_domains().insert(id_);
+}
+
+PlacementEpochDomain::~PlacementEpochDomain() {
+  {
+    std::lock_guard lock(domains_mutex());
+    live_domains().erase(id_);
+  }
+  // Contract: no reader is concurrent with destruction (same rule as
+  // destroying the owning facade), so every retired snapshot is free now.
+  std::lock_guard lock(retire_mutex_);
+  if (!retired_.empty()) {
+    count(obs_reclamations_, reclamations_, retired_.size());
+  }
+  retired_.clear();
+}
+
+PlacementEpochDomain::Pin::~Pin() {
+  if (slot_ == nullptr) return;
+  ReaderTls& t = reader_tls();
+  if (--t.depth == 0) {
+    // Release: every snapshot access above happens-before a writer that
+    // observes this store and frees the snapshot.
+    slot_->epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+PlacementEpochDomain::Pin PlacementEpochDomain::fallback_pin() const {
+  count(obs_fallback_pins_, fallback_pins_);
+  std::shared_ptr<const PlacementIndex> sp =
+      shared_current_.load(std::memory_order_acquire);
+  const PlacementIndex* raw = sp.get();
+  return Pin(raw, nullptr, std::move(sp));
+}
+
+PlacementEpochDomain::Slot* PlacementEpochDomain::attach_thread(
+    ReaderTls& t) const {
+  std::lock_guard lock(domains_mutex());
+  if (t.slot != nullptr && live_domains().contains(t.domain_id)) {
+    t.slot->epoch.store(kIdle, std::memory_order_release);
+    t.slot->claimed.store(false, std::memory_order_release);
+  }
+  t.slot = nullptr;
+  t.domain_id = id_;
+  t.epoch = 0;  // epochs start at 1, so the cache always misses first
+  t.index = nullptr;
+  t.fallback_streak = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    bool expected = false;
+    if (slots_[i].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      t.slot = &slots_[i];
+      break;
+    }
+  }
+  return t.slot;
+}
+
+PlacementEpochDomain::Pin PlacementEpochDomain::pin() const {
+  ReaderTls& t = reader_tls();
+  if (t.domain_id != id_) [[unlikely]] {
+    if (t.depth != 0) {
+      // The thread's slot is guarding a pin in another domain further up
+      // the stack; don't disturb it.
+      return fallback_pin();
+    }
+    (void)attach_thread(t);
+  } else if (t.slot == nullptr) [[unlikely]] {
+    // All slots were taken when we first attached; retry occasionally in
+    // case reader threads have since exited.
+    if ((++t.fallback_streak & 1023u) == 0) (void)attach_thread(t);
+  }
+  Slot* const slot = t.slot;
+  if (slot == nullptr) [[unlikely]] {
+    return fallback_pin();
+  }
+
+  if (t.depth++ == 0) {
+    // Publish the epoch we are about to scan, then re-validate it.  The
+    // seq_cst fence orders the slot store before the epoch re-load against
+    // the writer's publish/scan fence: either the writer's reclaim scan
+    // sees our slot, or we see the writer's new epoch and re-publish.
+    std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot->epoch.store(e, std::memory_order_release);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uint64_t now = epoch_.load(std::memory_order_acquire);
+      if (now == e) break;
+      e = now;
+    }
+    if (t.epoch != e) [[unlikely]] {
+      // Epoch moved since this thread last looked: re-pin the snapshot
+      // (one refcount-free raw load; the slot already protects it).
+      t.index = current_.load(std::memory_order_acquire);
+      t.epoch = e;
+      count(obs_slow_pins_, slow_pins_);
+    }
+  } else {
+    // Nested pin: the outer pin's (older or equal) slot epoch already
+    // blocks reclamation of anything we can observe here.
+    const std::uint64_t now = epoch_.load(std::memory_order_acquire);
+    if (t.epoch != now) [[unlikely]] {
+      t.index = current_.load(std::memory_order_acquire);
+      t.epoch = now;
+      count(obs_slow_pins_, slow_pins_);
+    }
+  }
+  return Pin(t.index, slot, {});
+}
+
+std::shared_ptr<const PlacementIndex> PlacementEpochDomain::pin_shared()
+    const {
+  return shared_current_.load(std::memory_order_acquire);
+}
+
+void PlacementEpochDomain::publish(
+    std::shared_ptr<const PlacementIndex> next) {
+  const PlacementIndex* raw = next.get();
+  std::shared_ptr<const PlacementIndex> old =
+      shared_current_.exchange(std::move(next), std::memory_order_acq_rel);
+  // Raw pointer first, then the epoch: a reader that validates epoch e
+  // through the release/acquire pair sees at least epoch e's snapshot.
+  current_.store(raw, std::memory_order_release);
+  const std::uint64_t retired_epoch = epoch_.load(std::memory_order_relaxed);
+  epoch_.store(retired_epoch + 1, std::memory_order_release);
+  {
+    std::lock_guard lock(retire_mutex_);
+    retired_.push_back({retired_epoch, std::move(old)});
+  }
+  count(obs_retirements_, retirements_);
+  // Pair of the readers' pin fence: after this, the slot scan in reclaim()
+  // sees every slot store that preceded a reader's epoch validation.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  reclaim();
+}
+
+void PlacementEpochDomain::reclaim() {
+  std::uint64_t min_pinned = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    // Acquire: pairs with the reader's release stores, so freeing below
+    // happens-after every access the reader made under an earlier pin.
+    const std::uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+    if (e != kIdle && e < min_pinned) min_pinned = e;
+  }
+  std::vector<std::shared_ptr<const PlacementIndex>> free_list;
+  {
+    std::lock_guard lock(retire_mutex_);
+    std::size_t kept = 0;
+    for (auto& r : retired_) {
+      if (r.epoch < min_pinned) {
+        free_list.push_back(std::move(r.index));
+      } else {
+        retired_[kept++] = std::move(r);
+      }
+    }
+    retired_.resize(kept);
+    if (!free_list.empty()) {
+      count(obs_reclamations_, reclamations_, free_list.size());
+    }
+    if (kept != 0) {
+      count(obs_deferred_, deferred_, kept);
+    }
+  }
+  // free_list drops its references outside the lock; the last reference
+  // (ownership pins may still hold one) actually frees the index.
+}
+
+std::size_t PlacementEpochDomain::retired_count() const {
+  std::lock_guard lock(retire_mutex_);
+  return retired_.size();
+}
+
+}  // namespace ech

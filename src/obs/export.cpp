@@ -233,4 +233,19 @@ std::string to_json(const MetricsSnapshot& snap, const JsonContext& ctx) {
   return out;
 }
 
+std::uint64_t histogram_quantile(const HistogramSnapshot& snap, double q) {
+  if (snap.count == 0 || snap.buckets.empty()) return 0;
+  if (q < 0.0) q = 0.0;
+  // Nearest rank: the ceil(q * count)-th sample, 1-based.
+  const double scaled = q * static_cast<double>(snap.count);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > snap.count) rank = snap.count;
+  for (const auto& [le, cumulative] : snap.buckets) {
+    if (cumulative >= rank) return le;
+  }
+  return snap.buckets.back().first;
+}
+
 }  // namespace ech::obs

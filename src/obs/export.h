@@ -33,4 +33,12 @@ struct JsonContext {
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snap,
                                   const JsonContext& ctx);
 
+/// Quantile estimate over a histogram snapshot (q in [0, 1]): the upper
+/// bound of the bucket holding the nearest-rank sample, i.e. exact to the
+/// log-linear bucket width (<= ~12% relative error).  Returns 0 for an
+/// empty histogram; q >= 1 returns the last bucket's bound.  This is what
+/// the serving bench reports as p50/p99/p999.
+[[nodiscard]] std::uint64_t histogram_quantile(const HistogramSnapshot& snap,
+                                               double q);
+
 }  // namespace ech::obs

@@ -1,0 +1,182 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/concurrent_cluster.h"
+#include "obs/export.h"
+
+namespace ech::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(ServingConfig config)
+    : config_(std::move(config)) {
+  if (config_.metrics == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    config_.metrics = owned_registry_.get();
+  }
+  config_.threads = std::max(1u, config_.threads);
+}
+
+ServingEngine::~ServingEngine() = default;
+
+Expected<ServingReport> ServingEngine::run() {
+  obs::MetricsRegistry& registry = *config_.metrics;
+
+  ElasticClusterConfig cluster_config;
+  cluster_config.server_count = config_.server_count;
+  cluster_config.replicas = config_.replicas;
+  cluster_config.metrics = &registry;
+  auto created = ConcurrentElasticCluster::create(cluster_config);
+  if (!created.ok()) return created.status();
+  const std::unique_ptr<ConcurrentElasticCluster> cluster =
+      std::move(created).value();
+
+  // Preload the keyspace the readers will draw from.
+  for (std::uint64_t oid = 0; oid < config_.preload_objects; ++oid) {
+    const Status s = cluster->write(ObjectId{oid}, 0);
+    if (!s.is_ok()) return s;
+  }
+
+  obs::Histogram& latency = registry.histogram(
+      "ech_serve_latency_ns", {},
+      "Per-request serving latency (placement/read/write), nanoseconds");
+  obs::Counter& ops_placement = registry.counter(
+      "ech_serve_ops_total", {{"op", "placement"}}, "Serving ops completed");
+  obs::Counter& ops_read =
+      registry.counter("ech_serve_ops_total", {{"op", "read"}});
+  obs::Counter& ops_write =
+      registry.counter("ech_serve_ops_total", {{"op", "write"}});
+  obs::Counter& op_errors = registry.counter(
+      "ech_serve_errors_total", {}, "Serving ops that returned an error");
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> placement_ops{0};
+  std::atomic<std::uint64_t> read_ops{0};
+  std::atomic<std::uint64_t> write_ops{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> resizes{0};
+
+  const std::uint32_t churn_low =
+      config_.churn_low != 0
+          ? config_.churn_low
+          : std::max(config_.replicas, (config_.server_count * 3) / 5);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::milliseconds(config_.duration_ms);
+
+  std::vector<std::thread> workers;
+  workers.reserve(config_.threads);
+  for (std::uint32_t t = 0; t < config_.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + t);
+      std::uint64_t local_placement = 0;
+      std::uint64_t local_read = 0;
+      std::uint64_t local_write = 0;
+      std::uint64_t local_errors = 0;
+      std::uint64_t fresh = (static_cast<std::uint64_t>(t) + 1) << 40;
+      auto now = Clock::now();
+      while (now < deadline && !stop.load(std::memory_order_relaxed)) {
+        const double dice = rng.next_double();
+        const auto op_start = now;
+        if (dice < config_.write_fraction) {
+          // Half updates of preloaded keys, half fresh inserts.
+          const ObjectId oid = rng.bernoulli(0.5)
+                                   ? ObjectId{rng.uniform(
+                                         0, config_.preload_objects - 1)}
+                                   : ObjectId{fresh++};
+          if (!cluster->write(oid, 0).is_ok()) ++local_errors;
+          ops_write.inc();
+          ++local_write;
+        } else if (dice < config_.write_fraction + config_.read_fraction) {
+          const ObjectId oid{rng.uniform(0, config_.preload_objects - 1)};
+          if (!cluster->read(oid).ok()) ++local_errors;
+          ops_read.inc();
+          ++local_read;
+        } else {
+          const ObjectId oid{rng.next_u64()};
+          if (!cluster->placement_of(oid).ok()) ++local_errors;
+          ops_placement.inc();
+          ++local_placement;
+        }
+        now = Clock::now();
+        latency.observe(elapsed_ns(op_start, now));
+      }
+      placement_ops.fetch_add(local_placement, std::memory_order_relaxed);
+      read_ops.fetch_add(local_read, std::memory_order_relaxed);
+      write_ops.fetch_add(local_write, std::memory_order_relaxed);
+      errors.fetch_add(local_errors, std::memory_order_relaxed);
+      op_errors.add(local_errors);
+    });
+  }
+
+  std::thread controller;
+  if (config_.resize_churn) {
+    controller = std::thread([&] {
+      bool low = true;
+      while (Clock::now() < deadline && !stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.churn_period_ms));
+        if (cluster->request_resize(low ? churn_low : config_.server_count)
+                .is_ok()) {
+          resizes.fetch_add(1, std::memory_order_relaxed);
+        }
+        low = !low;
+        (void)cluster->maintenance_step(config_.maintenance_budget);
+      }
+    });
+  }
+
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  if (controller.joinable()) controller.join();
+  const auto end = Clock::now();
+
+  ServingReport report;
+  report.placement_ops = placement_ops.load();
+  report.read_ops = read_ops.load();
+  report.write_ops = write_ops.load();
+  report.errors = errors.load();
+  report.resizes = resizes.load();
+  report.total_ops = report.placement_ops + report.read_ops + report.write_ops;
+  report.duration_s =
+      static_cast<double>(elapsed_ns(start, end)) / 1e9;
+  report.ops_per_sec = report.duration_s > 0
+                           ? static_cast<double>(report.total_ops) /
+                                 report.duration_s
+                           : 0.0;
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  if (const obs::MetricSample* s =
+          obs::find_sample(snap, "ech_serve_latency_ns")) {
+    report.p50_ns = obs::histogram_quantile(s->histogram, 0.50);
+    report.p90_ns = obs::histogram_quantile(s->histogram, 0.90);
+    report.p99_ns = obs::histogram_quantile(s->histogram, 0.99);
+    report.p999_ns = obs::histogram_quantile(s->histogram, 0.999);
+    if (s->histogram.count > 0) {
+      report.mean_ns = static_cast<double>(s->histogram.sum) /
+                       static_cast<double>(s->histogram.count);
+    }
+  }
+
+  const PlacementEpochDomain& epochs = cluster->placement_epochs();
+  report.epoch_retirements = epochs.retirements();
+  report.epoch_slow_pins = epochs.slow_pins();
+  report.epoch_fallback_pins = epochs.fallback_pins();
+  return report;
+}
+
+}  // namespace ech::serve

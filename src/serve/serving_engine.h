@@ -1,0 +1,94 @@
+// Serving engine: the first cut of the end-to-end request-serving loop
+// (ROADMAP item 1 — the "millions of users" proof).
+//
+// A ServingEngine drives a ConcurrentElasticCluster with N closed-loop
+// worker threads issuing a configurable mix of requests:
+//
+//   * placement lookups — the routing hot path (lock-free epoch pin),
+//   * reads             — shared-lock replica-directory lookups,
+//   * writes            — exclusive-lock replica placement + dirty tracking,
+//
+// while (optionally) a controller thread churns the active set between a
+// low- and full-power target and pumps re-integration, so the numbers are
+// measured under membership change, not in a quiet cluster.  Per-request
+// latency lands in the obs histogram `ech_serve_latency_ns`; the report
+// derives ops/s and p50/p90/p99/p999 from it (obs::histogram_quantile), so
+// the macro bench exercises the same observability stack production would.
+//
+// Closed-loop means each worker issues its next request as soon as the
+// previous one returns: throughput is the system's, not an offered load.
+// Open-loop arrival processes, batching and admission control layer on top
+// of this in later PRs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace ech::serve {
+
+struct ServingConfig {
+  std::uint32_t server_count{300};
+  std::uint32_t replicas{3};
+  std::uint32_t threads{4};
+  /// Keyspace preloaded before the clock starts; reads draw from it.
+  std::uint64_t preload_objects{20'000};
+  /// Request mix: writes, then reads, remainder placement lookups.
+  double write_fraction{0.05};
+  double read_fraction{0.20};
+  std::uint64_t duration_ms{2'000};
+  /// Resize storm while serving: flip between churn_low and full power
+  /// every churn_period_ms, pumping maintenance in between.
+  bool resize_churn{true};
+  /// 0 = 60% of server_count (clamped to >= replicas).
+  std::uint32_t churn_low{0};
+  std::uint64_t churn_period_ms{50};
+  Bytes maintenance_budget{64 * kDefaultObjectSize};
+  std::uint64_t seed{42};
+  /// Registry the cluster + engine report into (nullptr = a private one
+  /// owned by the engine, so repeated runs don't aggregate).
+  obs::MetricsRegistry* metrics{nullptr};
+};
+
+struct ServingReport {
+  std::uint64_t total_ops{0};
+  double duration_s{0};
+  double ops_per_sec{0};
+  std::uint64_t placement_ops{0};
+  std::uint64_t read_ops{0};
+  std::uint64_t write_ops{0};
+  std::uint64_t errors{0};
+  std::uint64_t resizes{0};
+  // Latency, nanoseconds, from the obs histogram.
+  std::uint64_t p50_ns{0};
+  std::uint64_t p90_ns{0};
+  std::uint64_t p99_ns{0};
+  std::uint64_t p999_ns{0};
+  double mean_ns{0};
+  // Epoch-pinning health (see core/epoch_pin.h).
+  std::uint64_t epoch_retirements{0};
+  std::uint64_t epoch_slow_pins{0};
+  std::uint64_t epoch_fallback_pins{0};
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(ServingConfig config);
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Build the cluster, preload the keyspace, run the closed loop for
+  /// duration_ms, and summarize.  Each call is a fresh cluster.
+  [[nodiscard]] Expected<ServingReport> run();
+
+ private:
+  ServingConfig config_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+};
+
+}  // namespace ech::serve

@@ -1,0 +1,104 @@
+// Single-threaded reclamation properties of PlacementEpochDomain, written
+// to run under the ASan job: every retired PlacementIndex must eventually
+// be freed — immediately when no reader slot pins it, in the destructor
+// otherwise — so leak detection on process exit is part of the assertion.
+#include "core/epoch_pin.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/layout.h"
+#include "core/concurrent_cluster.h"
+#include "obs/metrics.h"
+
+namespace ech {
+namespace {
+
+std::shared_ptr<const PlacementIndex> make_index(std::uint32_t n,
+                                                 std::uint32_t active,
+                                                 std::uint32_t version) {
+  HashRing ring;
+  const WeightVector w = EqualWorkLayout::weights({n, 1000});
+  for (std::uint32_t rank = 1; rank <= n; ++rank) {
+    (void)ring.add_server(ServerId{rank}, w[rank - 1]);
+  }
+  const ExpansionChain chain =
+      ExpansionChain::identity(n, EqualWorkLayout::primary_count(n));
+  const MembershipTable membership = MembershipTable::prefix_active(n, active);
+  return PlacementIndex::build(ClusterView(chain, ring, membership),
+                               Version{version});
+}
+
+TEST(EpochReclaim, UnpinnedSnapshotsReclaimOnEveryPublish) {
+  obs::MetricsRegistry registry;
+  PlacementEpochDomain domain(make_index(10, 10, 1), &registry);
+  const std::uint64_t first_epoch = domain.epoch();
+  for (std::uint32_t v = 2; v <= 11; ++v) {
+    domain.publish(make_index(10, (v % 2 == 0) ? 6 : 10, v));
+    // No reader slot is active, so the retired snapshot frees right away.
+    EXPECT_EQ(domain.retired_count(), 0u) << "version " << v;
+  }
+  EXPECT_EQ(domain.epoch(), first_epoch + 10);
+  EXPECT_EQ(domain.retirements(), 10u);
+  EXPECT_EQ(domain.reclamations(), 10u);
+  EXPECT_EQ(domain.deferred_reclamations(), 0u);
+}
+
+TEST(EpochReclaim, DestructorFreesRetiredSnapshots) {
+  // Retire snapshots while a pin blocks reclamation, release the pin, and
+  // destroy the domain without another publish: the destructor must free
+  // the whole retired list (ASan's leak checker verifies the "must").
+  obs::MetricsRegistry registry;
+  {
+    PlacementEpochDomain domain(make_index(10, 10, 1), &registry);
+    {
+      const auto pin = domain.pin();
+      domain.publish(make_index(10, 6, 2));
+      domain.publish(make_index(10, 10, 3));
+      ASSERT_EQ(domain.retired_count(), 2u);
+    }
+    // Pin gone, but nothing publishes again: the retired list still holds
+    // both snapshots when the destructor runs.
+    ASSERT_EQ(domain.retired_count(), 2u);
+  }
+}
+
+TEST(EpochReclaim, ObsCountersAreRegistered) {
+  obs::MetricsRegistry registry;
+  PlacementEpochDomain domain(make_index(10, 10, 1), &registry);
+  domain.publish(make_index(10, 6, 2));
+  const auto snap = registry.snapshot();
+  const auto* retired = obs::find_sample(snap, "ech_epoch_retired_total");
+  ASSERT_NE(retired, nullptr);
+  EXPECT_EQ(retired->value, 1.0);
+  const auto* reclaimed = obs::find_sample(snap, "ech_epoch_reclaimed_total");
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_EQ(reclaimed->value, 1.0);
+  EXPECT_NE(obs::find_sample(snap, "ech_epoch_reclaim_deferred_total"),
+            nullptr);
+  EXPECT_NE(obs::find_sample(snap, "ech_epoch_slow_pins_total"), nullptr);
+  EXPECT_NE(obs::find_sample(snap, "ech_epoch_fallback_pins_total"), nullptr);
+}
+
+TEST(EpochReclaim, FacadeChurnLeavesNothingRetired) {
+  ElasticClusterConfig config;
+  config.server_count = 10;
+  config.replicas = 2;
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  auto c = std::move(ConcurrentElasticCluster::create(config)).value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c->request_resize(i % 2 == 0 ? 6 : 10).is_ok());
+    ASSERT_TRUE(c->placement_of(ObjectId{static_cast<std::uint64_t>(i)}).ok());
+  }
+  const PlacementEpochDomain& epochs = c->placement_epochs();
+  EXPECT_EQ(epochs.retirements(), 100u);
+  // The single-threaded caller's slot is idle between calls, so every
+  // publish reclaimed its predecessor immediately.
+  EXPECT_EQ(epochs.retired_count(), 0u);
+  EXPECT_EQ(epochs.reclamations(), 100u);
+  // The reader cache re-pinned after every resize (epoch moved each time).
+  EXPECT_GE(epochs.slow_pins(), 100u);
+}
+
+}  // namespace
+}  // namespace ech
