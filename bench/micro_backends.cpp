@@ -1,0 +1,310 @@
+// Placement-backend microbenchmark: ring vs jump vs dx at n = 1k/10k/100k.
+//
+// Per (backend, n) cell:
+//   * lookup ns/op   — place(oid, r=3) over a full-power membership
+//   * cold build ms  — build_placement_backend from a fresh ClusterView
+//   * rebuild ms     — warm rebuild() onto the next membership version
+//                      (the per-epoch publish cost a resize actually pays)
+//   * resident KiB   — bytes_used() of the published snapshot
+//
+// Plus the ring-maintenance baseline the backends exist to dodge: building
+// a 99-server ring at a 100k vnode budget and adding one more server (~95 ms
+// combined; the work BM_RingAddServer/100000 in micro_placement.cpp times
+// per iteration), reported next to the hash backends' sub-ms rebuilds.
+//
+// Machine-readable output (release builds only):
+//   ./micro_backends --json BENCH_backends.json [--quick] [--backend jump]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "cluster/cluster_view.h"
+#include "cluster/layout.h"
+#include "common/rng.h"
+#include "placement/backend.h"
+
+namespace {
+
+using namespace ech;
+
+constexpr std::uint32_t kReplicas = 3;
+constexpr std::uint32_t kVnodeBudget = 10'000;
+
+struct Flags {
+  std::string json_path;
+  std::string backend_filter;  // empty = all
+  bool quick{false};
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--json <path>] [--quick] [--backend ring|jump|dx]\n", argv0);
+}
+
+Flags parse_flags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      f.json_path = argv[++i];
+      ech::bench::refuse_bench_output_in_debug("--json");
+    } else if (arg == "--backend" && i + 1 < argc) {
+      f.backend_filter = argv[++i];
+      if (!parse_backend_kind(f.backend_filter).has_value()) {
+        std::fprintf(stderr, "error: unknown backend '%s'\n",
+                     f.backend_filter.c_str());
+        std::exit(1);
+      }
+    } else if (arg == "--quick") {
+      f.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+      std::exit(1);
+    }
+  }
+  Logger::instance().set_level(LogLevel::kError);
+  return f;
+}
+
+std::string iso_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One cluster shape shared by all three backends at a given n: identity
+/// chain, equal-work ring, full-power membership plus a 90%-active variant
+/// for the warm-rebuild path.  Ring construction dominates setup at large n
+/// (every add_server merges into the sorted vnode array), so each shape is
+/// built once and reused.
+struct Shape {
+  explicit Shape(std::uint32_t n)
+      : chain(ExpansionChain::identity(n, EqualWorkLayout::primary_count(n))),
+        full(MembershipTable::full_power(n)),
+        shrunk(MembershipTable::prefix_active(n, n - n / 10)) {
+    const WeightVector w = EqualWorkLayout::weights({n, kVnodeBudget});
+    for (std::uint32_t rank = 1; rank <= n; ++rank) {
+      (void)ring.add_server(ServerId{rank}, w[rank - 1]);
+    }
+  }
+
+  [[nodiscard]] ClusterView full_view() const {
+    return ClusterView(chain, ring, full);
+  }
+  [[nodiscard]] ClusterView shrunk_view() const {
+    return ClusterView(chain, ring, shrunk);
+  }
+
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable full;
+  MembershipTable shrunk;
+};
+
+struct Cell {
+  PlacementBackendKind kind;
+  std::uint32_t n{0};
+  double lookup_ns{0};
+  double cold_build_ms{0};
+  double rebuild_ms{0};
+  std::size_t resident_bytes{0};
+};
+
+Cell measure(PlacementBackendKind kind, const Shape& shape, std::uint32_t n,
+             bool quick) {
+  Cell cell;
+  cell.kind = kind;
+  cell.n = n;
+
+  // Cold build: best-of-k wall time (min filters scheduler noise; the cost
+  // is deterministic work, not a distribution worth averaging).
+  const std::uint32_t build_reps = n >= 100'000 ? 3 : (n >= 10'000 ? 5 : 10);
+  std::shared_ptr<const PlacementBackend> backend;
+  double best = 0;
+  for (std::uint32_t i = 0; i < build_reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    backend = build_placement_backend(kind, shape.full_view(), Version{1});
+    const double ms = elapsed_ms(t0);
+    if (i == 0 || ms < best) best = ms;
+  }
+  cell.cold_build_ms = best;
+  cell.resident_bytes = backend->bytes_used();
+
+  // Warm rebuild: alternate between the two membership versions so every
+  // iteration does real flag work.
+  const std::uint32_t rebuild_reps = build_reps * 2;
+  std::uint32_t version = 1;
+  best = 0;
+  for (std::uint32_t i = 0; i < rebuild_reps; ++i) {
+    ++version;
+    const ClusterView view =
+        (i % 2 == 0) ? shape.shrunk_view() : shape.full_view();
+    const auto t0 = std::chrono::steady_clock::now();
+    backend = backend->rebuild(view, Version{version});
+    const double ms = elapsed_ms(t0);
+    if (i == 0 || ms < best) best = ms;
+  }
+  cell.rebuild_ms = best;
+
+  // Lookups against the full-power snapshot (the steady serving state).
+  backend = backend->rebuild(shape.full_view(), Version{version + 1});
+  const std::uint64_t lookups = quick ? 200'000 : 1'000'000;
+  Rng rng(42);
+  std::vector<ObjectId> oids;
+  oids.reserve(4096);
+  for (std::uint32_t i = 0; i < 4096; ++i) oids.emplace_back(rng.next_u64());
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < lookups; ++i) {
+    const auto placed = backend->place(oids[i % 4096], kReplicas);
+    sink += placed.value().servers[0].value;
+  }
+  const double total_ms = elapsed_ms(t0);
+  if (sink == 0) std::fprintf(stderr, "(impossible sink)\n");
+  cell.lookup_ns = total_ms * 1e6 / static_cast<double>(lookups);
+  return cell;
+}
+
+struct RingMaintenance {
+  double build_99_ring_ms{0};  ///< 99 add_server merges from scratch
+  double add_server_ms{0};     ///< the 100th add into the full ring
+};
+
+/// The structural ring-maintenance baseline at a 100k vnode budget — the
+/// same work BM_RingAddServer/100000 times per iteration (~95 ms: a fresh
+/// 99-server ring plus one more add_server), split into its two parts.
+RingMaintenance measure_ring_maintenance(std::uint32_t budget) {
+  const std::uint32_t n = 99;
+  const WeightVector w = EqualWorkLayout::weights({n, budget});
+  RingMaintenance best;
+  for (std::uint32_t rep = 0; rep < 3; ++rep) {
+    HashRing ring;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t rank = 1; rank <= n; ++rank) {
+      (void)ring.add_server(ServerId{rank}, w[rank - 1]);
+    }
+    const double build_ms = elapsed_ms(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)ring.add_server(ServerId{100}, std::max(1u, budget / 100));
+    const double add_ms = elapsed_ms(t1);
+    if (rep == 0 || build_ms + add_ms <
+                        best.build_99_ring_ms + best.add_server_ms) {
+      best.build_99_ring_ms = build_ms;
+      best.add_server_ms = add_ms;
+    }
+  }
+  return best;
+}
+
+std::string fmt(double v, const char* spec = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parse_flags(argc, argv);
+
+  ech::bench::banner(
+      "micro_backends: placement-backend lookup/build/memory scaling",
+      "Sec. III placement maps — ring (Algorithm 1 exact) vs jump/dx "
+      "hash backends");
+  std::printf("build: %s   replicas: %u   vnode budget: %u\n\n",
+              ech::bench::build_type(), kReplicas, kVnodeBudget);
+
+  std::vector<std::uint32_t> sizes{1'000, 10'000, 100'000};
+  if (flags.quick) sizes.pop_back();
+
+  std::vector<PlacementBackendKind> kinds{PlacementBackendKind::kRing,
+                                          PlacementBackendKind::kJump,
+                                          PlacementBackendKind::kDx};
+  if (!flags.backend_filter.empty()) {
+    kinds = {*parse_backend_kind(flags.backend_filter)};
+  }
+
+  ech::bench::print_row({"backend", "n", "lookup ns/op", "cold build ms",
+                         "rebuild ms", "resident KiB"});
+
+  std::vector<Cell> cells;
+  for (const std::uint32_t n : sizes) {
+    const Shape shape(n);
+    for (const auto kind : kinds) {
+      const Cell c = measure(kind, shape, n, flags.quick);
+      cells.push_back(c);
+      ech::bench::print_row({backend_kind_name(kind), std::to_string(n),
+                             fmt(c.lookup_ns), fmt(c.cold_build_ms, "%.3f"),
+                             fmt(c.rebuild_ms, "%.3f"),
+                             fmt(static_cast<double>(c.resident_bytes) / 1024.0)});
+    }
+  }
+
+  const RingMaintenance ring_maint = measure_ring_maintenance(100'000);
+  std::printf("\nring maintenance baseline at 100k vnode budget: "
+              "99-server ring build = %.1f ms, one more add_server = %.1f ms "
+              "(BM_RingAddServer/100000 times their sum)\n",
+              ring_maint.build_99_ring_ms, ring_maint.add_server_ms);
+
+  if (flags.json_path.empty()) return 0;
+
+  std::FILE* out = std::fopen(flags.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", flags.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"context\": {\n"
+               "    \"name\": \"micro_backends\",\n"
+               "    \"date\": \"%s\",\n"
+               "    \"num_cpus\": %u,\n"
+               "    \"ech_build_type\": \"%s\",\n"
+               "    \"replicas\": %u,\n"
+               "    \"vnode_budget\": %u,\n"
+               "    \"backend_filter\": \"%s\"\n"
+               "  },\n"
+               "  \"benchmarks\": [\n",
+               iso_timestamp().c_str(), std::thread::hardware_concurrency(),
+               ech::bench::build_type(), kReplicas, kVnodeBudget,
+               flags.backend_filter.empty() ? "all"
+                                            : flags.backend_filter.c_str());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"name\": \"backends/%s/n:%u\", "
+                 "\"lookup_ns_per_op\": %.1f, "
+                 "\"cold_build_ms\": %.3f, "
+                 "\"rebuild_ms\": %.3f, "
+                 "\"resident_bytes\": %zu},\n",
+                 backend_kind_name(c.kind), c.n, c.lookup_ns, c.cold_build_ms,
+                 c.rebuild_ms, c.resident_bytes);
+  }
+  std::fprintf(out,
+               "    {\"name\": \"backends/ring_maintenance/budget:100000\", "
+               "\"build_99_ring_ms\": %.1f, \"add_server_ms\": %.1f}\n"
+               "  ]\n"
+               "}\n",
+               ring_maint.build_99_ring_ms, ring_maint.add_server_ms);
+  std::fclose(out);
+  std::printf("wrote %s\n", flags.json_path.c_str());
+  return 0;
+}

@@ -203,6 +203,12 @@ BENCHMARK(BM_ConcurrentPlacementLockFree)
     ->UseRealTime();
 
 void BM_RingAddServer(benchmark::State& state) {
+  // Structural ring maintenance.  The argument is the ring's VNODE BUDGET,
+  // not a server count; each iteration times constructing a fresh 99-server
+  // ring at that budget (99 sorted-array merges) plus one more add_server —
+  // the full structural cost a ring-backed resize epoch would pay.  At a
+  // 100k budget this is the ~95 ms cliff that motivates the jump/dx
+  // placement backends (see bench/micro_backends.cpp, BENCH_backends.json).
   const auto budget = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
     HashRing ring = make_ring(99, budget);

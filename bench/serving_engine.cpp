@@ -5,6 +5,12 @@
 //
 // Machine-readable results for the perf trajectory (release builds only):
 //   ./serving_engine --json BENCH_serving.json
+//
+// Two modes:
+//   * default — ops/s vs worker threads under resize churn,
+//   * --sweep — ops/s vs active-set size (performance proportionality:
+//     fixed thread count, churn off, one entry per active size).
+// Both honor --backend ring|jump|dx (the cluster's placement backend).
 #include <cstdio>
 #include <ctime>
 #include <string>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "placement/backend.h"
 #include "serve/serving_engine.h"
 
 namespace {
@@ -26,6 +33,9 @@ struct Flags {
   std::uint32_t servers{300};
   std::uint32_t replicas{3};
   bool churn{true};
+  bool sweep{false};
+  ech::PlacementBackendKind backend{ech::PlacementBackendKind::kRing};
+  std::string backend_name{"ring"};
   std::string json_path;
 };
 
@@ -45,6 +55,17 @@ Flags parse_flags(int argc, char** argv) {
       f.replicas = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (arg == "--no-churn") {
       f.churn = false;
+    } else if (arg == "--sweep") {
+      f.sweep = true;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      f.backend_name = argv[++i];
+      const auto kind = ech::parse_backend_kind(f.backend_name);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown backend: %s (ring|jump|dx)\n",
+                     f.backend_name.c_str());
+        std::exit(1);
+      }
+      f.backend = *kind;
     } else if (arg == "--quick") {
       f.threads = {1, 2};
       f.duration_ms = 250;
@@ -54,7 +75,8 @@ Flags parse_flags(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--threads N] [--ms N] [--objects N] [--servers N]\n"
-          "          [--replicas N] [--no-churn] [--quick] [--json <path>]\n",
+          "          [--replicas N] [--backend ring|jump|dx] [--no-churn]\n"
+          "          [--sweep] [--quick] [--json <path>]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -74,12 +96,13 @@ std::string iso_timestamp() {
   return buf;
 }
 
-void append_run_json(std::string& out, std::uint32_t threads,
-                     const ServingReport& r, bool first) {
+void append_run_json(std::string& out, const std::string& name,
+                     std::uint32_t threads, const ServingReport& r,
+                     bool first) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "%s    {\"name\": \"serving/threads:%u\", \"threads\": %u, "
+      "%s    {\"name\": \"%s\", \"threads\": %u, "
       "\"ops_per_sec\": %.1f, \"total_ops\": %llu, "
       "\"placement_ops\": %llu, \"read_ops\": %llu, \"write_ops\": %llu, "
       "\"errors\": %llu, \"resizes\": %llu, "
@@ -87,7 +110,7 @@ void append_run_json(std::string& out, std::uint32_t threads,
       "\"p999_ns\": %llu, \"mean_ns\": %.1f, "
       "\"epoch_retirements\": %llu, \"epoch_slow_pins\": %llu, "
       "\"epoch_fallback_pins\": %llu}",
-      first ? "" : ",\n", threads, threads, r.ops_per_sec,
+      first ? "" : ",\n", name.c_str(), threads, r.ops_per_sec,
       static_cast<unsigned long long>(r.total_ops),
       static_cast<unsigned long long>(r.placement_ops),
       static_cast<unsigned long long>(r.read_ops),
@@ -115,43 +138,67 @@ int main(int argc, char** argv) {
   ech::bench::banner(
       "serving_engine — closed-loop macro bench over ConcurrentElasticCluster",
       "serving-path throughput/latency under resize churn (ROADMAP item 1)");
-  std::printf("servers=%u replicas=%u objects=%llu duration=%llums churn=%s "
-              "build=%s cpus=%u\n\n",
-              flags.servers, flags.replicas,
+  std::printf("servers=%u replicas=%u backend=%s objects=%llu duration=%llums "
+              "churn=%s build=%s cpus=%u\n\n",
+              flags.servers, flags.replicas, flags.backend_name.c_str(),
               static_cast<unsigned long long>(flags.objects),
               static_cast<unsigned long long>(flags.duration_ms),
-              flags.churn ? "on" : "off", ech::bench::build_type(),
-              std::thread::hardware_concurrency());
-  ech::bench::print_row({"threads", "ops/s", "p50_us", "p90_us", "p99_us",
-                         "p999_us", "errors", "resizes"},
+              (flags.churn && !flags.sweep) ? "on" : "off",
+              ech::bench::build_type(), std::thread::hardware_concurrency());
+  ech::bench::print_row({flags.sweep ? "active" : "threads", "ops/s", "p50_us",
+                         "p90_us", "p99_us", "p999_us", "errors", "resizes"},
                         10);
+
+  // Sweep mode varies the active-set size at a fixed thread count
+  // (performance proportionality); default mode varies worker threads.
+  std::vector<std::uint32_t> series;
+  std::uint32_t sweep_threads = 4;
+  if (flags.sweep) {
+    for (std::uint32_t pct = 20; pct <= 100; pct += 20) {
+      series.push_back(
+          std::max(flags.replicas, flags.servers * pct / 100));
+    }
+    if (flags.threads.size() == 1) sweep_threads = flags.threads.front();
+  } else {
+    series = flags.threads;
+  }
 
   std::string runs;
   bool first = true;
-  for (const std::uint32_t t : flags.threads) {
+  for (const std::uint32_t point : series) {
     ServingConfig config;
     config.server_count = flags.servers;
     config.replicas = flags.replicas;
-    config.threads = t;
+    config.placement_backend = flags.backend;
+    config.threads = flags.sweep ? sweep_threads : point;
     config.preload_objects = flags.objects;
     config.duration_ms = flags.duration_ms;
-    config.resize_churn = flags.churn;
+    if (flags.sweep) {
+      config.active_servers = point;
+      config.resize_churn = false;
+    } else {
+      config.resize_churn = flags.churn;
+    }
     ech::serve::ServingEngine engine(config);
     auto run = engine.run();
     if (!run.ok()) {
-      std::fprintf(stderr, "run failed (threads=%u): %s\n", t,
+      std::fprintf(stderr, "run failed (%s=%u): %s\n",
+                   flags.sweep ? "active" : "threads", point,
                    run.status().to_string().c_str());
       return 1;
     }
     const ServingReport& r = run.value();
     ech::bench::print_row(
-        {std::to_string(t), std::to_string(static_cast<std::uint64_t>(
-                                r.ops_per_sec)),
+        {std::to_string(point), std::to_string(static_cast<std::uint64_t>(
+                                    r.ops_per_sec)),
          std::to_string(r.p50_ns / 1000), std::to_string(r.p90_ns / 1000),
          std::to_string(r.p99_ns / 1000), std::to_string(r.p999_ns / 1000),
          std::to_string(r.errors), std::to_string(r.resizes)},
         10);
-    append_run_json(runs, t, r, first);
+    char name[64];
+    std::snprintf(name, sizeof(name), "serving/%s:%u",
+                  flags.sweep ? "active" : "threads", point);
+    append_run_json(runs, name, config.threads, r, first);
     first = false;
   }
 
@@ -170,15 +217,18 @@ int main(int argc, char** argv) {
         "    \"ech_build_type\": \"%s\",\n"
         "    \"servers\": %u,\n"
         "    \"replicas\": %u,\n"
+        "    \"backend\": \"%s\",\n"
+        "    \"mode\": \"%s\",\n"
         "    \"preload_objects\": %llu,\n"
         "    \"duration_ms\": %llu,\n"
         "    \"resize_churn\": %s\n"
         "  },\n  \"benchmarks\": [\n%s\n  ]\n}\n",
         iso_timestamp().c_str(), std::thread::hardware_concurrency(),
         ech::bench::build_type(), flags.servers, flags.replicas,
+        flags.backend_name.c_str(), flags.sweep ? "sweep" : "threads",
         static_cast<unsigned long long>(flags.objects),
         static_cast<unsigned long long>(flags.duration_ms),
-        flags.churn ? "true" : "false", runs.c_str());
+        (flags.churn && !flags.sweep) ? "true" : "false", runs.c_str());
     std::fclose(out);
     std::printf("\nwrote %s\n", flags.json_path.c_str());
   }

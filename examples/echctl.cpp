@@ -4,6 +4,7 @@
 //
 //   ./echctl                          # interactive REPL (10 servers, r=2)
 //   ./echctl -n 20 -r 3               # custom cluster
+//   ./echctl --backend jump           # placement backend: ring|jump|dx
 //   ./echctl --net [shards]           # dirty table served by remote KV
 //                                     # shards over the deterministic
 //                                     # message fabric (default 4 shards)
@@ -36,7 +37,7 @@
 // Chaos mode (no REPL):
 //   echctl chaos run [--seed N] [--steps M] [--servers n] [--replicas r]
 //                    [--concurrent T] [--full] [--capacity MIB] [--crash]
-//                    [--no-shrink] [--net]
+//                    [--no-shrink] [--net] [--backend ring|jump|dx]
 //   echctl chaos replay <schedule-file> [same cluster flags]
 // Exit code 0 = all invariants held; 1 = violation (minimal schedule and
 // replay instructions are printed).
@@ -328,7 +329,7 @@ int chaos_usage() {
       "usage: echctl chaos run    [--seed N] [--steps M] [--servers n]\n"
       "                           [--replicas r] [--concurrent T] [--full]\n"
       "                           [--capacity MIB] [--crash] [--no-shrink]\n"
-      "                           [--net]\n"
+      "                           [--net] [--backend ring|jump|dx]\n"
       "       echctl chaos replay <schedule-file> [same cluster flags]\n");
   return 2;
 }
@@ -377,6 +378,10 @@ int run_chaos(int argc, char** argv) {
       // Dirty table over the faulty fabric; the generator injects
       // partition/heal/degrade_link ops alongside the usual chaos.
       cfg.network = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const auto kind = parse_backend_kind(next());
+      if (!kind.has_value()) return chaos_usage();
+      cfg.cluster.placement_backend = *kind;
     } else if (mode == "replay" && replay_path.empty()) {
       replay_path = argv[i];
     } else {
@@ -458,6 +463,14 @@ int main(int argc, char** argv) {
         config.server_count = static_cast<std::uint32_t>(atoi(argv[i + 1]));
       } else if (std::strcmp(argv[i], "-r") == 0 && i + 1 < argc) {
         config.replicas = static_cast<std::uint32_t>(atoi(argv[i + 1]));
+      } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+        const auto kind = parse_backend_kind(argv[i + 1]);
+        if (!kind.has_value()) {
+          std::fprintf(stderr, "unknown backend '%s' (ring|jump|dx)\n",
+                       argv[i + 1]);
+          return 2;
+        }
+        config.placement_backend = *kind;
       } else if (std::strcmp(argv[i], "--net") == 0) {
         net_shards = 4;
         if (i + 1 < argc && atoi(argv[i + 1]) > 0) {
@@ -482,8 +495,9 @@ int main(int argc, char** argv) {
   }
   kv::Store scratch_kv;  // raw KV playground for the `kv` command
 
-  std::printf("echctl — %u servers, %u replicas%s (type 'help')\n",
+  std::printf("echctl — %u servers, %u replicas, %s backend%s (type 'help')\n",
               cluster->server_count(), cluster->config().replicas,
+              backend_kind_name(cluster->config().placement_backend),
               netrig != nullptr ? ", dirty table over fabric" : "");
   std::string line;
   while (true) {

@@ -7,8 +7,9 @@
 // scheme:
 //
 //   * The *placement* path is lock-free AND write-free.  Every membership
-//     change builds an immutable PlacementIndex (core/placement_index.h)
-//     published through a PlacementEpochDomain (core/epoch_pin.h):
+//     change builds an immutable PlacementBackend snapshot
+//     (placement/backend.h — ring, jump or dx per the config) published
+//     through a PlacementEpochDomain (placement/epoch_pin.h):
 //     placement_of()/place_many() and the membership introspection calls
 //     pin the snapshot with a per-thread epoch slot and a thread-local
 //     snapshot cache — in the common no-resize case one relaxed uint64
@@ -89,7 +90,7 @@ class ConcurrentElasticCluster {
   /// valid — and placement-stable — for as long as the caller holds it,
   /// regardless of concurrent resizes.  Use for snapshots parked across
   /// blocking work (Reintegrator sweeps, snapshot writers).
-  [[nodiscard]] std::shared_ptr<const PlacementIndex> pinned_index() const {
+  [[nodiscard]] std::shared_ptr<const PlacementBackend> pinned_index() const {
     return epochs_.pin_shared();
   }
 

@@ -29,15 +29,16 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
       dirty_(config.dirty_override != nullptr ? config.dirty_override
                                               : &local_dirty_),
       reintegrator_(*dirty_, history_, chain_, ring_, store_,
-                    config.replicas, config.metrics, config.clock),
+                    config.replicas, config.metrics, config.clock,
+                    config.placement_backend),
       prefix_target_(config.server_count) {
   obs::MetricsRegistry& reg = *metrics_;
   ins_.lookups = &reg.counter("ech_placement_lookups_total", {},
                               "Placement lookups served by the pinned index");
   ins_.epoch_publishes = &reg.counter("ech_epoch_publishes_total", {},
-                                      "PlacementIndex epoch publications");
+                                      "Placement-backend epoch publications");
   ins_.rebuild_ns = &reg.histogram("ech_index_rebuild_ns", {},
-                                   "PlacementIndex rebuild duration");
+                                   "Placement-backend rebuild duration");
   ins_.offloaded_writes =
       &reg.counter("ech_offloaded_writes_total", {},
                    "Writes landed while the cluster was below full power");
@@ -68,6 +69,13 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
       "ech_active_servers", {},
       [this] { return static_cast<double>(active_count()); },
       "Servers active under the current membership"));
+  gauge_guards_.push_back(reg.gauge_callback(
+      "ech_placement_backend_bytes", {},
+      [this] {
+        return static_cast<double>(index_ != nullptr ? index_->bytes_used()
+                                                     : 0);
+      },
+      "Resident bytes of the current placement-backend snapshot"));
 
   for (std::uint32_t rank = 1; rank <= config.server_count; ++rank) {
     std::uint32_t w;
@@ -88,7 +96,13 @@ ElasticCluster::ElasticCluster(const ElasticClusterConfig& config,
 
 void ElasticCluster::publish_index() {
   const std::uint64_t t0 = clock_->now_ns();
-  index_ = PlacementIndex::build(current_view(), history_.current_version());
+  // First publish cold-builds the configured backend; later publishes go
+  // through the backend's (possibly incremental) rebuild path.
+  index_ = index_ == nullptr
+               ? build_placement_backend(config_.placement_backend,
+                                         current_view(),
+                                         history_.current_version())
+               : index_->rebuild(current_view(), history_.current_version());
   const std::uint64_t t1 = clock_->now_ns();
   ins_.rebuild_ns->observe(t1 - t0);
   ins_.epoch_publishes->inc();
@@ -175,7 +189,7 @@ Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
     return Status{StatusCode::kNotFound,
                   "object " + std::to_string(oid.value) + " not stored"};
   }
-  const PlacementIndex& index = *index_;
+  const PlacementBackend& index = *index_;
   Version newest{0};
   for (ServerId s : holders) {
     const auto obj = store_.server(s).get(oid);
@@ -318,7 +332,7 @@ Bytes ElasticCluster::maintenance_step(Bytes byte_budget) {
   // work-list is queued by request_resize on grow only — sizing down must
   // stay clean-up free (the headline elasticity property), so no plan is
   // rebuilt here.
-  const PlacementIndex& index = *index_;
+  const PlacementBackend& index = *index_;
   const bool full_power = history_.current().is_full_power();
   Bytes spent = 0;
   while (full_cursor_ < full_plan_.size() && spent < byte_budget) {
@@ -352,7 +366,7 @@ Bytes ElasticCluster::pending_maintenance_bytes() const {
   }
   // kFull estimate: bytes that reconciliation would still move for the
   // un-swept tail of the plan (batch placement over the tail).
-  const PlacementIndex& index = *index_;
+  const PlacementBackend& index = *index_;
   Bytes pending = 0;
   const std::span<const ObjectId> tail{full_plan_.data() + full_cursor_,
                                        full_plan_.size() - full_cursor_};
@@ -521,7 +535,7 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
   SyncGuard sync(*this);
   last_repair_insertions_.clear();
   if (byte_budget <= 0) return 0;
-  const PlacementIndex& index = *index_;
+  const PlacementBackend& index = *index_;
   const bool full_power = history_.current().is_full_power();
   const Version curr = history_.current_version();
   Bytes spent = 0;
@@ -578,7 +592,7 @@ Bytes ElasticCluster::repair_step(Bytes byte_budget) {
 }
 
 Bytes ElasticCluster::pending_repair_bytes() const {
-  const PlacementIndex& index = *index_;
+  const PlacementBackend& index = *index_;
   Bytes pending = 0;
   const std::span<const ObjectId> tail{repair_queue_.data() + repair_cursor_,
                                        repair_queue_.size() - repair_cursor_};

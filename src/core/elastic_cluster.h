@@ -25,9 +25,10 @@
 #include "cluster/layout.h"
 #include "cluster/membership.h"
 #include "core/dirty_table.h"
-#include "core/placement.h"
-#include "core/placement_index.h"
 #include "core/reintegrator.h"
+#include "placement/backend.h"
+#include "placement/placement.h"
+#include "placement/placement_index.h"
 #include "core/storage_system.h"
 #include "hashring/hash_ring.h"
 #include "kvstore/sharded_store.h"
@@ -87,6 +88,12 @@ struct ElasticClusterConfig {
   /// Non-owning; must outlive the cluster.  Snapshot/recover round-trips
   /// rebuild the in-process table — re-wire the override before replaying.
   DirtyStore* dirty_override{nullptr};
+  /// Which placement map serves lookups (see placement/backend.h): the
+  /// ring-walk-exact PlacementIndex (default), jump consistent hash, or
+  /// DxHash.  All three honor Algorithm 1's one-replica-on-primary
+  /// invariant; jump/dx trade ring-exact replica sets for O(1) build cost
+  /// and near-zero resident state at large n.
+  PlacementBackendKind placement_backend{PlacementBackendKind::kRing};
   /// Observability hooks (all optional).  `metrics` defaults to the
   /// process-wide registry — pass a private one when per-run isolation
   /// matters (benches).  `clock` defaults to the monotonic wall clock —
@@ -166,7 +173,8 @@ class ElasticCluster final : public StorageSystem {
   Status write_object(ObjectId oid, Bytes size);
 
   /// Current placement of an object under the live membership.  Served by
-  /// the epoch-pinned PlacementIndex (flat scan), not the predicate walk.
+  /// the configured placement backend (flat scan / hash function), not the
+  /// predicate walk.
   [[nodiscard]] Expected<Placement> placement_of(ObjectId oid) const;
 
   /// Batch placement under the live membership (reintegration sweeps,
@@ -174,10 +182,12 @@ class ElasticCluster final : public StorageSystem {
   [[nodiscard]] std::vector<Expected<Placement>> place_many(
       std::span<const ObjectId> oids) const;
 
-  /// The immutable placement index for the current membership version.
-  /// Rebuilt whenever a version is appended; callers may hold the returned
-  /// snapshot across later resizes (it stays valid for its own epoch).
-  [[nodiscard]] std::shared_ptr<const PlacementIndex> placement_index() const {
+  /// The immutable placement backend snapshot for the current membership
+  /// version (kind chosen by config.placement_backend).  Rebuilt whenever a
+  /// version is appended; callers may hold the returned snapshot across
+  /// later resizes (it stays valid for its own epoch).
+  [[nodiscard]] std::shared_ptr<const PlacementBackend> placement_index()
+      const {
     return index_;
   }
 
@@ -286,8 +296,9 @@ class ElasticCluster final : public StorageSystem {
   /// Rebuild the kFull sweep work list after a version change.
   void rebuild_full_plan();
 
-  /// Flatten the current view into a fresh PlacementIndex.  Must run after
-  /// every history_ append — the index *is* the published epoch.
+  /// Build (or incrementally rebuild) the placement backend snapshot for
+  /// the current view.  Must run after every history_ append — the snapshot
+  /// *is* the published epoch.
   void publish_index();
 
   /// Membership for `active_target` prefix ranks minus failed servers.
@@ -333,7 +344,7 @@ class ElasticCluster final : public StorageSystem {
   ExpansionChain chain_;
   HashRing ring_;
   VersionHistory history_;
-  std::shared_ptr<const PlacementIndex> index_;  // current epoch, immutable
+  std::shared_ptr<const PlacementBackend> index_;  // current epoch, immutable
   ObjectStoreCluster store_;
   kv::ShardedStore kv_;
   DirtyTable local_dirty_;   // in-process table (used unless overridden)

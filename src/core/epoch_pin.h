@@ -1,187 +1,5 @@
-// Contention-free epoch pinning for the RCU-published PlacementIndex.
-//
-// The first concurrent facade pinned a snapshot by copying an
-// atomic<shared_ptr> per lookup.  That is correct but does not scale: every
-// placement_of() bounces the control-block refcount (and, in libstdc++, a
-// spin-lock word inside the atomic<shared_ptr>) across all reader cores —
-// BM_ConcurrentPlacementLockFree *degraded* from 12.0M ops/s at one thread
-// to 5.3M at eight.  PlacementEpochDomain replaces the per-lookup refcount
-// with hazard-era style reader slots:
-//
-//   * Readers own a cacheline-padded slot (claimed once per thread, reused
-//     for the thread's lifetime).  A pin publishes the epoch being scanned
-//     with one relaxed-ish store to that private line plus one seq_cst
-//     fence, then re-validates the global epoch counter — the classic
-//     store/fence/re-check handshake of epoch-based reclamation.  No shared
-//     cacheline is ever written on this path.
-//   * A thread-local snapshot cache (raw index pointer keyed by the epoch
-//     counter) makes the common no-resize case: one relaxed uint64 load,
-//     compare, done.  The atomic<shared_ptr> is only touched when the epoch
-//     actually moved ("slow-path pin") or when a thread cannot get a slot
-//     ("fallback pin", e.g. more than kSlots concurrent reader threads).
-//   * Writers (already serialized by the facade's writer lock) publish the
-//     next index, bump the epoch, move the previous snapshot onto a retired
-//     list, and reclaim any retired snapshot no slot still pins
-//     (slot epoch > retired epoch, or idle).  Reclamation that must wait is
-//     counted as deferred and retried on the next publish (and completed
-//     unconditionally in the destructor, so nothing leaks).
-//
-// Memory-ordering contract (also what keeps TSan happy without
-// suppressions): every slot store is release and every writer-side slot
-// scan load is acquire, so the reader's last access to a snapshot
-// happens-before the writer frees it.  The seq_cst fences close the
-// store/load race between a reader publishing its slot and the writer
-// scanning — whichever fence comes second sees the other side's store, so a
-// reader either gets its slot observed or re-validates into the new epoch.
-//
-// Ownership callers (Reintegrator, snapshot writers, anything that parks a
-// snapshot across blocking work) keep the shared_ptr facade via
-// pin_shared(); the slot path is for bounded-duration lookups only.
+// Moved to src/placement/ (the pluggable placement-backend subsystem);
+// this shim keeps historical include paths compiling.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
-
-#include "core/placement_index.h"
-#include "obs/metrics.h"
-
-namespace ech {
-
-class PlacementEpochDomain {
- public:
-  /// Reader slots; threads beyond this many concurrently *distinct* reader
-  /// threads fall back to the shared_ptr pin (correct, just slower).
-  static constexpr std::size_t kSlots = 64;
-
-  /// `initial` becomes epoch 1.  Counters are registered in `registry`
-  /// (nullptr = process default).
-  explicit PlacementEpochDomain(std::shared_ptr<const PlacementIndex> initial,
-                                obs::MetricsRegistry* registry = nullptr);
-  ~PlacementEpochDomain();
-  PlacementEpochDomain(const PlacementEpochDomain&) = delete;
-  PlacementEpochDomain& operator=(const PlacementEpochDomain&) = delete;
-
-  struct Slot;  // opaque outside the implementation
-
-  /// RAII epoch pin.  While alive, the snapshot it points to cannot be
-  /// reclaimed.  Scope it tightly (a lookup, a batch); it must be destroyed
-  /// on the thread that created it, and nested pins unwind LIFO (natural
-  /// with block scoping).  For ownership that outlives the calling frame
-  /// use pin_shared().
-  class Pin {
-   public:
-    Pin(const Pin&) = delete;
-    Pin& operator=(const Pin&) = delete;
-    Pin(Pin&&) = delete;
-    Pin& operator=(Pin&&) = delete;
-    ~Pin();
-
-    [[nodiscard]] const PlacementIndex* get() const noexcept { return index_; }
-    const PlacementIndex* operator->() const noexcept { return index_; }
-    const PlacementIndex& operator*() const noexcept { return *index_; }
-
-   private:
-    friend class PlacementEpochDomain;
-    Pin(const PlacementIndex* index, Slot* slot,
-        std::shared_ptr<const PlacementIndex> keepalive) noexcept
-        : index_(index), slot_(slot), keepalive_(std::move(keepalive)) {}
-
-    const PlacementIndex* index_;
-    Slot* slot_;  // nullptr => fallback pin (keepalive_ owns the snapshot)
-    std::shared_ptr<const PlacementIndex> keepalive_;
-  };
-
-  /// Pin the current snapshot.  Fast path: one relaxed epoch load against
-  /// the thread-local cache; no shared write, no refcount.
-  [[nodiscard]] Pin pin() const;
-
-  /// Ownership pin: a plain shared_ptr copy (one refcount RMW).  Use for
-  /// snapshots held across blocking work or handed to other threads.
-  [[nodiscard]] std::shared_ptr<const PlacementIndex> pin_shared() const;
-
-  /// Publish the next snapshot and retire the previous one.  Callers must
-  /// serialize publishes externally (the facade's writer lock does).
-  void publish(std::shared_ptr<const PlacementIndex> next);
-
-  // -- introspection (tests, obs) ------------------------------------------
-  [[nodiscard]] std::uint64_t epoch() const {
-    return epoch_.load(std::memory_order_acquire);
-  }
-  /// Retired snapshots not yet reclaimed (waiting on reader slots).
-  [[nodiscard]] std::size_t retired_count() const;
-  [[nodiscard]] std::uint64_t retirements() const {
-    return retirements_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t reclamations() const {
-    return reclamations_.load(std::memory_order_relaxed);
-  }
-  /// Retired snapshots that could not be reclaimed in a pass because a
-  /// reader slot still pinned an epoch at or below theirs.
-  [[nodiscard]] std::uint64_t deferred_reclamations() const {
-    return deferred_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t slow_pins() const {
-    return slow_pins_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t fallback_pins() const {
-    return fallback_pins_.load(std::memory_order_relaxed);
-  }
-
- private:
-  struct ReaderTls;
-
-  static constexpr std::uint64_t kIdle = 0;
-
-  /// Per-thread reader state (slot + snapshot cache), shared by all domains
-  /// (one domain bound at a time; switching re-attaches).
-  static ReaderTls& reader_tls();
-
-  /// Bind the calling thread to a slot of this domain (releasing whatever
-  /// slot it held in another still-live domain).  Returns nullptr when all
-  /// slots are taken.
-  Slot* attach_thread(ReaderTls& t) const;
-
-  /// Ownership pin used when no reader slot is available.
-  [[nodiscard]] Pin fallback_pin() const;
-
-  /// Free every retired snapshot no reader slot still pins.
-  void reclaim();
-
-  void count(obs::Counter* c, std::atomic<std::uint64_t>& mirror,
-             std::uint64_t n = 1) const {
-    mirror.fetch_add(n, std::memory_order_relaxed);
-    if (c != nullptr) c->add(n);
-  }
-
-  struct Retired {
-    std::uint64_t epoch;  // last epoch during which this snapshot was current
-    std::shared_ptr<const PlacementIndex> index;
-  };
-
-  const std::uint64_t id_;  // process-unique, for the thread-slot registry
-  std::unique_ptr<Slot[]> slots_;
-  std::atomic<std::uint64_t> epoch_{1};
-  std::atomic<const PlacementIndex*> current_{nullptr};
-  std::atomic<std::shared_ptr<const PlacementIndex>> shared_current_;
-
-  mutable std::mutex retire_mutex_;  // retired_ (writer + introspection)
-  std::vector<Retired> retired_;
-
-  // Internal mirrors of the obs counters, readable without a registry.
-  mutable std::atomic<std::uint64_t> retirements_{0};
-  mutable std::atomic<std::uint64_t> reclamations_{0};
-  mutable std::atomic<std::uint64_t> deferred_{0};
-  mutable std::atomic<std::uint64_t> slow_pins_{0};
-  mutable std::atomic<std::uint64_t> fallback_pins_{0};
-
-  obs::Counter* obs_retirements_{nullptr};
-  obs::Counter* obs_reclamations_{nullptr};
-  obs::Counter* obs_deferred_{nullptr};
-  obs::Counter* obs_slow_pins_{nullptr};
-  obs::Counter* obs_fallback_pins_{nullptr};
-};
-
-}  // namespace ech
+#include "placement/epoch_pin.h"

@@ -12,14 +12,16 @@ Reintegrator::Reintegrator(DirtyStore& table, const VersionHistory& history,
                            const ExpansionChain& chain, const HashRing& ring,
                            ObjectStoreCluster& cluster, std::uint32_t replicas,
                            obs::MetricsRegistry* metrics,
-                           const obs::Clock* clock)
+                           const obs::Clock* clock,
+                           PlacementBackendKind backend)
     : table_(&table),
       history_(&history),
       chain_(&chain),
       ring_(&ring),
       cluster_(&cluster),
       replicas_(replicas),
-      clock_(&obs::clock_or_default(clock)) {
+      clock_(&obs::clock_or_default(clock)),
+      backend_(backend) {
   obs::MetricsRegistry& reg = obs::registry_or_default(metrics);
   ins_.bytes = &reg.counter("ech_reintegration_bytes_total", {},
                             "Bytes moved by selective re-integration");
@@ -52,8 +54,8 @@ ReintegrationStats Reintegrator::step(Bytes byte_budget) {
     table_->restart();
     reported_scan_skips_ = 0;
     last_seen_version_ = curr;
-    index_ = PlacementIndex::build(
-        ClusterView(*chain_, *ring_, history_->current()), curr);
+    index_ = build_placement_backend(
+        backend_, ClusterView(*chain_, *ring_, history_->current()), curr);
     version_seen_ns_ = clock_->now_ns();
     drain_observed_ = false;
   }
@@ -145,7 +147,7 @@ Reintegrator::ReintegrateOutcome Reintegrator::reintegrate(
     return {};
   }
 
-  const PlacementIndex& index = *index_;
+  const PlacementBackend& index = *index_;
   const auto placed = index.place(entry.oid, replicas_);
   if (!placed.ok()) {
     ECH_LOG_WARN("reintegrator")
@@ -173,8 +175,8 @@ Bytes Reintegrator::pending_bytes() const {
   const std::uint32_t curr_servers = history_->num_servers(curr);
   // A const estimate must not touch the scan-pinned index_ (it may belong
   // to an older epoch mid-step); pin a fresh snapshot for this pass.
-  const auto index = PlacementIndex::build(
-      ClusterView(*chain_, *ring_, history_->current()), curr);
+  const auto index = build_placement_backend(
+      backend_, ClusterView(*chain_, *ring_, history_->current()), curr);
 
   // Collect the actionable, deduped oids first, then place them in one
   // batch against the pinned snapshot.

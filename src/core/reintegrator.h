@@ -31,7 +31,7 @@
 #include "common/types.h"
 #include "core/dirty_table.h"
 #include "core/placement.h"
-#include "core/placement_index.h"
+#include "placement/backend.h"
 #include "hashring/hash_ring.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -76,11 +76,15 @@ class Reintegrator {
   /// process defaults (registry aggregate; monotonic wall clock).  The
   /// clock stamps drain latency — how long after a version appears its
   /// offloaded data finishes re-integrating.
+  /// `backend` selects the placement map the scan places against; it must
+  /// match the owning cluster's lookup backend, or a quiescent sweep would
+  /// leave replicas where lookups never go.
   Reintegrator(DirtyStore& table, const VersionHistory& history,
                const ExpansionChain& chain, const HashRing& ring,
                ObjectStoreCluster& cluster, std::uint32_t replicas,
                obs::MetricsRegistry* metrics = nullptr,
-               const obs::Clock* clock = nullptr);
+               const obs::Clock* clock = nullptr,
+               PlacementBackendKind backend = PlacementBackendKind::kRing);
 
   /// Run Algorithm 2 until `byte_budget` is spent or the table is drained
   /// for the current version.  Safe to call repeatedly; resumes the scan.
@@ -125,10 +129,11 @@ class Reintegrator {
   std::uint64_t reported_scan_skips_{0};
   std::uint64_t version_seen_ns_{0};  // clock stamp when last_seen_ changed
   bool drain_observed_{true};         // drain_ns recorded for this version
-  // Epoch-pinned placement index for last_seen_version_; Algorithm 2
+  PlacementBackendKind backend_{PlacementBackendKind::kRing};
+  // Epoch-pinned placement snapshot for last_seen_version_; Algorithm 2
   // restarts the scan on every version change, which is exactly when this
   // is rebuilt, so every entry in one scan places against one snapshot.
-  std::shared_ptr<const PlacementIndex> index_;
+  std::shared_ptr<const PlacementBackend> index_;
 };
 
 }  // namespace ech

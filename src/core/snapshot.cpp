@@ -60,7 +60,7 @@ std::string snapshot_to_string(const ElasticCluster& cluster) {
       << ' ' << config.object_size << ' ' << config.server_capacity << ' '
       << config.kv_shards << ' ' << (config.dirty_dedupe ? 1 : 0) << ' '
       << (config.layout == LayoutKind::kUniform ? "uniform" : "equal-work")
-      << '\n';
+      << ' ' << backend_kind_name(config.placement_backend) << '\n';
   if (!config.capacity_by_rank.empty()) {
     out << "caps";
     for (Bytes c : config.capacity_by_rank) out << ' ' << c;
@@ -174,6 +174,17 @@ Expected<std::unique_ptr<ElasticCluster>> load_snapshot_from_string(
   config.dirty_dedupe = dedupe != 0;
   config.layout = (layout == "uniform") ? LayoutKind::kUniform
                                         : LayoutKind::kEqualWork;
+  // Trailing backend token: absent in snapshots written before the
+  // pluggable-backend change; default to the ring.
+  std::string backend;
+  ss >> backend;
+  if (ss.fail()) {
+    ss.clear();
+    config.placement_backend = PlacementBackendKind::kRing;
+  } else {
+    config.placement_backend =
+        parse_backend_kind(backend).value_or(PlacementBackendKind::kRing);
+  }
   config.metrics = hooks.metrics;
   config.clock = hooks.clock;
   config.tracer = hooks.tracer;

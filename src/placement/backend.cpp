@@ -1,0 +1,56 @@
+#include "placement/backend.h"
+
+#include "placement/dx_backend.h"
+#include "placement/jump_backend.h"
+#include "placement/ring_backend.h"
+
+namespace ech {
+
+const char* backend_kind_name(PlacementBackendKind kind) {
+  switch (kind) {
+    case PlacementBackendKind::kRing:
+      return "ring";
+    case PlacementBackendKind::kJump:
+      return "jump";
+    case PlacementBackendKind::kDx:
+      return "dx";
+  }
+  return "ring";
+}
+
+std::optional<PlacementBackendKind> parse_backend_kind(std::string_view name) {
+  if (name == "ring") return PlacementBackendKind::kRing;
+  if (name == "jump") return PlacementBackendKind::kJump;
+  if (name == "dx") return PlacementBackendKind::kDx;
+  return std::nullopt;
+}
+
+std::vector<Expected<Placement>> PlacementBackend::place_many(
+    std::span<const ObjectId> oids, std::uint32_t replicas) const {
+  std::vector<Expected<Placement>> out;
+  out.reserve(oids.size());
+  for (const ObjectId oid : oids) {
+    out.push_back(place(oid, replicas));
+  }
+  return out;
+}
+
+std::shared_ptr<const PlacementBackend> PlacementBackend::rebuild(
+    const ClusterView& view, Version version) const {
+  return build_placement_backend(kind(), view, version);
+}
+
+std::shared_ptr<const PlacementBackend> build_placement_backend(
+    PlacementBackendKind kind, const ClusterView& view, Version version) {
+  switch (kind) {
+    case PlacementBackendKind::kJump:
+      return JumpBackend::build(view, version);
+    case PlacementBackendKind::kDx:
+      return DxBackend::build(view, version);
+    case PlacementBackendKind::kRing:
+      break;
+  }
+  return RingBackend::build(view, version);
+}
+
+}  // namespace ech

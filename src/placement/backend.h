@@ -1,0 +1,111 @@
+// PlacementBackend: one interface over several placement maps.
+//
+// The ring (PlacementIndex) answers Algorithm 1 exactly but pays O(n·v)
+// memory and rebuild time — at six-figure server counts ring maintenance,
+// not lookup latency, is the scaling cliff (BM_RingAddServer/100000 ≈ 95 ms
+// of structural resize alone).  Jump consistent hash and DxHash's
+// pseudo-random-sequence scheme place in O(1)-ish time with near-zero
+// resident state, at the cost of ring-walk-exact replica sets.  Following
+// DAOS's placement-map design (several cheap maps referencing one pool
+// map), every backend builds from the same membership snapshot
+// (ClusterView) and publishes through the same epoch domain, so
+// ElasticCluster / ConcurrentElasticCluster serve lookups from any of them.
+//
+// Contract every backend must honor (the paper's Algorithm 1 guarantees,
+// enforced by the differential fuzz suite and the chaos InvariantChecker):
+//
+//   * replicas == 0                      -> kInvalidArgument
+//   * active_count < replicas           -> kUnavailable
+//   * no active primary                 -> kUnavailable
+//   * otherwise: exactly `replicas` distinct ACTIVE servers, with exactly
+//     one primary among them — unless fewer than replicas-1 secondaries
+//     are active, in which case primaries stand in as secondaries (at
+//     least one primary) and `primaries_as_secondaries` is set.
+//
+// Success/failure must agree with PrimaryPlacement::place on the same
+// snapshot for every backend; RingBackend additionally returns the
+// identical replica sets.  Snapshots are deeply immutable after build, so
+// any number of threads may call place() concurrently (the property
+// PlacementEpochDomain relies on).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster_view.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "placement/placement.h"
+
+namespace ech {
+
+enum class PlacementBackendKind : std::uint8_t { kRing = 0, kJump = 1, kDx = 2 };
+
+/// Stable wire/flag name: "ring" | "jump" | "dx".
+[[nodiscard]] const char* backend_kind_name(PlacementBackendKind kind);
+
+/// Inverse of backend_kind_name; nullopt for anything else.
+[[nodiscard]] std::optional<PlacementBackendKind> parse_backend_kind(
+    std::string_view name);
+
+class PlacementBackend {
+ public:
+  virtual ~PlacementBackend() = default;
+
+  // -- lookups (thread-safe, lock-free) ------------------------------------
+
+  /// Algorithm 1's guarantees against this snapshot (contract above).
+  [[nodiscard]] virtual Expected<Placement> place(
+      ObjectId oid, std::uint32_t replicas) const = 0;
+
+  /// Batch lookup: one placement per oid, in order.  Default loops place();
+  /// backends may override with a tighter loop.
+  [[nodiscard]] virtual std::vector<Expected<Placement>> place_many(
+      std::span<const ObjectId> oids, std::uint32_t replicas) const;
+
+  // -- snapshot introspection ----------------------------------------------
+
+  [[nodiscard]] virtual Version version() const = 0;
+  [[nodiscard]] virtual std::uint32_t server_count() const = 0;
+  [[nodiscard]] virtual std::uint32_t active_count() const = 0;
+  [[nodiscard]] virtual std::uint32_t active_secondary_count() const = 0;
+  [[nodiscard]] virtual bool is_active(ServerId id) const = 0;
+  [[nodiscard]] virtual bool is_primary(ServerId id) const = 0;
+
+  [[nodiscard]] virtual PlacementBackendKind kind() const = 0;
+  [[nodiscard]] const char* kind_name() const {
+    return backend_kind_name(kind());
+  }
+
+  /// Resident bytes of the lookup structures behind this snapshot (exported
+  /// through obs as ech_placement_backend_bytes).
+  [[nodiscard]] virtual std::size_t bytes_used() const = 0;
+
+  /// Wall nanoseconds spent constructing this snapshot (cold build or
+  /// incremental rebuild) — the per-epoch publish cost.
+  [[nodiscard]] std::uint64_t build_ns() const { return build_ns_; }
+
+  /// Snapshot for the next membership version.  The expansion chain and
+  /// ring are fixed for a cluster's lifetime — only membership flags change
+  /// — so backends may override this with an incremental path (jump/dx
+  /// reuse their chain map and only refresh the active-set arrays).  The
+  /// default is a cold build of the same kind.
+  [[nodiscard]] virtual std::shared_ptr<const PlacementBackend> rebuild(
+      const ClusterView& view, Version version) const;
+
+ protected:
+  void set_build_ns(std::uint64_t ns) { build_ns_ = ns; }
+
+ private:
+  std::uint64_t build_ns_{0};
+};
+
+/// Factory: cold-build a backend of `kind` from one membership snapshot.
+[[nodiscard]] std::shared_ptr<const PlacementBackend> build_placement_backend(
+    PlacementBackendKind kind, const ClusterView& view, Version version);
+
+}  // namespace ech

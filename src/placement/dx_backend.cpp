@@ -1,0 +1,69 @@
+#include "placement/dx_backend.h"
+
+#include <bit>
+#include <chrono>
+#include <optional>
+
+#include "common/hash.h"
+#include "placement/flat_place.h"
+
+namespace ech {
+
+namespace {
+
+struct DxStrategy {
+  template <class Accept>
+  std::optional<Rank> home(std::uint64_t key, Rank lo, std::uint32_t count,
+                           Accept&& accept) const {
+    // Pseudo-random sequence over the power-of-two capacity covering the
+    // subrange; draws landing past `count` or on ineligible ranks are
+    // skipped, up to the draw budget.
+    const std::uint64_t cap_mask = std::bit_ceil<std::uint64_t>(count) - 1;
+    std::uint64_t x = key;
+    for (std::uint32_t draw = 0; draw < DxBackend::kMaxDraws; ++draw) {
+      x = mix64(x);
+      const std::uint64_t idx = x & cap_mask;
+      if (idx >= count) continue;
+      const Rank rank = lo + static_cast<std::uint32_t>(idx);
+      if (accept(rank)) return rank;
+    }
+    return std::nullopt;
+  }
+  std::uint32_t dense(std::uint64_t key, std::uint32_t count) const {
+    return static_cast<std::uint32_t>(mix64(key) % count);
+  }
+};
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+std::shared_ptr<const DxBackend> DxBackend::build(const ClusterView& view,
+                                                  Version version) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto backend = std::shared_ptr<DxBackend>(
+      new DxBackend(FlatMembership::build(view, version)));
+  backend->set_build_ns(elapsed_ns(t0));
+  return backend;
+}
+
+Expected<Placement> DxBackend::place(ObjectId oid,
+                                     std::uint32_t replicas) const {
+  return detail::flat_place(membership_, oid, replicas, DxStrategy{});
+}
+
+std::shared_ptr<const PlacementBackend> DxBackend::rebuild(
+    const ClusterView& view, Version version) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto backend = std::shared_ptr<DxBackend>(
+      new DxBackend(membership_.rebuilt(view, version)));
+  backend->set_build_ns(elapsed_ns(t0));
+  return backend;
+}
+
+}  // namespace ech

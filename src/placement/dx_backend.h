@@ -1,0 +1,78 @@
+// DxBackend: DxHash-style pseudo-random-sequence placement (Dong & Wang,
+// arXiv:2308.09878) over expansion-chain ranks.
+//
+// Where jump hash recomputes a closed-form map, DxHash walks a per-key
+// pseudo-random sequence of slots over a power-of-two capacity and takes
+// the first slot that is (a) inside the rank subrange and (b) active — so
+// membership holes are tolerated *inside* the draw instead of by a separate
+// remap, and a reactivated rank reclaims exactly the keys whose sequence
+// hits it before their current holder.  The sequence is capped at
+// kMaxDraws; at pathologically low occupancy the draw falls back to a
+// deterministic probe over the dense active array, keeping the worst case
+// bounded (the NSArray in the DxHash paper plays the same role).
+//
+// Cost profile matches JumpBackend: FlatMembership is the only resident
+// state, and rebuilds are an O(n) flag refresh.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "placement/backend.h"
+#include "placement/flat_membership.h"
+
+namespace ech {
+
+class DxBackend final : public PlacementBackend {
+ public:
+  /// Draw budget per replica slot before the dense-array fallback.  With
+  /// occupancy q over the power-of-two capacity, a draw hits with
+  /// probability >= q/2; 64 draws make the fallback a < 2^-19 event even at
+  /// 50% occupancy.
+  static constexpr std::uint32_t kMaxDraws = 64;
+
+  [[nodiscard]] static std::shared_ptr<const DxBackend> build(
+      const ClusterView& view, Version version);
+
+  [[nodiscard]] Expected<Placement> place(ObjectId oid,
+                                          std::uint32_t replicas) const override;
+
+  [[nodiscard]] Version version() const override {
+    return membership_.version();
+  }
+  [[nodiscard]] std::uint32_t server_count() const override {
+    return membership_.server_count();
+  }
+  [[nodiscard]] std::uint32_t active_count() const override {
+    return membership_.active_count();
+  }
+  [[nodiscard]] std::uint32_t active_secondary_count() const override {
+    return membership_.active_secondary_count();
+  }
+  [[nodiscard]] bool is_active(ServerId id) const override {
+    return membership_.is_active(id);
+  }
+  [[nodiscard]] bool is_primary(ServerId id) const override {
+    return membership_.is_primary(id);
+  }
+
+  [[nodiscard]] PlacementBackendKind kind() const override {
+    return PlacementBackendKind::kDx;
+  }
+  [[nodiscard]] std::size_t bytes_used() const override {
+    return sizeof(*this) + membership_.bytes();
+  }
+
+  /// Incremental: share the ChainMap, refresh only the membership flags and
+  /// dense active arrays (O(n), no sort).
+  [[nodiscard]] std::shared_ptr<const PlacementBackend> rebuild(
+      const ClusterView& view, Version version) const override;
+
+ private:
+  explicit DxBackend(FlatMembership membership)
+      : membership_(std::move(membership)) {}
+
+  FlatMembership membership_;
+};
+
+}  // namespace ech

@@ -1,4 +1,4 @@
-#include "core/epoch_pin.h"
+#include "placement/epoch_pin.h"
 
 #include <unordered_set>
 
@@ -39,7 +39,7 @@ struct PlacementEpochDomain::ReaderTls {
   std::uint64_t domain_id{0};     // domain the cache below belongs to
   Slot* slot{nullptr};            // owned slot in that domain (may be null)
   std::uint64_t epoch{0};         // epoch tag of the cached snapshot
-  const PlacementIndex* index{nullptr};
+  const PlacementBackend* index{nullptr};
   std::uint32_t depth{0};         // nested pins on `slot`
   std::uint32_t fallback_streak{0};
 
@@ -59,11 +59,11 @@ PlacementEpochDomain::ReaderTls& PlacementEpochDomain::reader_tls() {
 }
 
 PlacementEpochDomain::PlacementEpochDomain(
-    std::shared_ptr<const PlacementIndex> initial,
+    std::shared_ptr<const PlacementBackend> initial,
     obs::MetricsRegistry* registry)
     : id_(next_domain_id().fetch_add(1, std::memory_order_relaxed)),
       slots_(new Slot[kSlots]) {
-  const PlacementIndex* raw = initial.get();
+  const PlacementBackend* raw = initial.get();
   shared_current_.store(std::move(initial), std::memory_order_release);
   current_.store(raw, std::memory_order_release);
 
@@ -115,9 +115,9 @@ PlacementEpochDomain::Pin::~Pin() {
 
 PlacementEpochDomain::Pin PlacementEpochDomain::fallback_pin() const {
   count(obs_fallback_pins_, fallback_pins_);
-  std::shared_ptr<const PlacementIndex> sp =
+  std::shared_ptr<const PlacementBackend> sp =
       shared_current_.load(std::memory_order_acquire);
-  const PlacementIndex* raw = sp.get();
+  const PlacementBackend* raw = sp.get();
   return Pin(raw, nullptr, std::move(sp));
 }
 
@@ -196,15 +196,15 @@ PlacementEpochDomain::Pin PlacementEpochDomain::pin() const {
   return Pin(t.index, slot, {});
 }
 
-std::shared_ptr<const PlacementIndex> PlacementEpochDomain::pin_shared()
+std::shared_ptr<const PlacementBackend> PlacementEpochDomain::pin_shared()
     const {
   return shared_current_.load(std::memory_order_acquire);
 }
 
 void PlacementEpochDomain::publish(
-    std::shared_ptr<const PlacementIndex> next) {
-  const PlacementIndex* raw = next.get();
-  std::shared_ptr<const PlacementIndex> old =
+    std::shared_ptr<const PlacementBackend> next) {
+  const PlacementBackend* raw = next.get();
+  std::shared_ptr<const PlacementBackend> old =
       shared_current_.exchange(std::move(next), std::memory_order_acq_rel);
   // Raw pointer first, then the epoch: a reader that validates epoch e
   // through the release/acquire pair sees at least epoch e's snapshot.
@@ -230,7 +230,7 @@ void PlacementEpochDomain::reclaim() {
     const std::uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
     if (e != kIdle && e < min_pinned) min_pinned = e;
   }
-  std::vector<std::shared_ptr<const PlacementIndex>> free_list;
+  std::vector<std::shared_ptr<const PlacementBackend>> free_list;
   {
     std::lock_guard lock(retire_mutex_);
     std::size_t kept = 0;

@@ -1,0 +1,76 @@
+#include "placement/flat_membership.h"
+
+#include <algorithm>
+
+namespace ech {
+
+FlatMembership FlatMembership::build(const ClusterView& view, Version version) {
+  auto chain = std::make_shared<ChainMap>();
+  chain->id_by_rank = view.chain().servers();
+  chain->primary_count = view.chain().primary_count();
+  chain->rank_by_id.reserve(chain->id_by_rank.size());
+  for (std::uint32_t i = 0; i < chain->id_by_rank.size(); ++i) {
+    chain->rank_by_id.emplace_back(chain->id_by_rank[i].value, i + 1);
+  }
+  std::sort(chain->rank_by_id.begin(), chain->rank_by_id.end());
+  return FlatMembership(std::move(chain), view, version);
+}
+
+FlatMembership FlatMembership::rebuilt(const ClusterView& view,
+                                       Version version) const {
+  return FlatMembership(chain_, view, version);
+}
+
+FlatMembership::FlatMembership(std::shared_ptr<const ChainMap> chain,
+                               const ClusterView& view, Version version)
+    : chain_(std::move(chain)), version_(version) {
+  const std::uint32_t n = static_cast<std::uint32_t>(chain_->id_by_rank.size());
+  const std::uint32_t p = chain_->primary_count;
+  const MembershipTable& membership = view.membership();
+  flags_.resize(n);
+  actives_.reserve(n);
+  active_primaries_.reserve(p);
+  for (Rank rank = 1; rank <= n; ++rank) {
+    std::uint8_t f = rank <= p ? kPrimaryFlag : std::uint8_t{0};
+    if (membership.is_active(rank)) {
+      f |= kActiveFlag;
+      actives_.push_back(rank);
+      if (rank <= p) {
+        active_primaries_.push_back(rank);
+      } else {
+        active_secondaries_.push_back(rank);
+      }
+    }
+    flags_[rank - 1] = f;
+  }
+}
+
+bool FlatMembership::is_active(ServerId id) const {
+  const auto& by_id = chain_->rank_by_id;
+  const auto it = std::lower_bound(
+      by_id.begin(), by_id.end(),
+      std::pair<std::uint32_t, std::uint32_t>{id.value, 0});
+  if (it == by_id.end() || it->first != id.value) return false;
+  return rank_active(it->second);
+}
+
+bool FlatMembership::is_primary(ServerId id) const {
+  const auto& by_id = chain_->rank_by_id;
+  const auto it = std::lower_bound(
+      by_id.begin(), by_id.end(),
+      std::pair<std::uint32_t, std::uint32_t>{id.value, 0});
+  if (it == by_id.end() || it->first != id.value) return false;
+  return it->second <= chain_->primary_count;
+}
+
+std::size_t FlatMembership::bytes() const {
+  return chain_->id_by_rank.capacity() * sizeof(ServerId) +
+         chain_->rank_by_id.capacity() *
+             sizeof(std::pair<std::uint32_t, std::uint32_t>) +
+         flags_.capacity() * sizeof(std::uint8_t) +
+         (actives_.capacity() + active_primaries_.capacity() +
+          active_secondaries_.capacity()) *
+             sizeof(Rank);
+}
+
+}  // namespace ech

@@ -1,0 +1,94 @@
+// FlatMembership: the rank-indexed membership snapshot behind the
+// hash-function backends (jump, dx).
+//
+// Those backends place by drawing ranks, not by walking vnodes, so all they
+// need from a ClusterView is (a) the rank <-> id mapping and (b) per-rank
+// active/primary flags plus dense arrays of the currently-active ranks to
+// remap drawn-but-inactive ranks onto.  The mapping in (a) never changes
+// after cluster construction — fail/recover/resize only flip membership
+// flags — so it lives in an immutable ChainMap shared across epochs, and a
+// membership-change rebuild is a single O(n) flag refresh with no sort and
+// no hashing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_view.h"
+#include "common/types.h"
+
+namespace ech {
+
+/// Fixed for a cluster's lifetime: who sits at which expansion-chain rank.
+struct ChainMap {
+  std::vector<ServerId> id_by_rank;  // index = rank - 1
+  // (id, rank) sorted by id, for by-server lookups without a hash table.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rank_by_id;
+  std::uint32_t primary_count{0};
+};
+
+class FlatMembership {
+ public:
+  static constexpr std::uint8_t kActiveFlag = 1;
+  static constexpr std::uint8_t kPrimaryFlag = 2;
+
+  /// Cold build: derive the ChainMap and the flag/active arrays from `view`.
+  [[nodiscard]] static FlatMembership build(const ClusterView& view,
+                                            Version version);
+
+  /// Next-epoch snapshot sharing this one's ChainMap; only the flags and
+  /// dense active arrays are recomputed (one pass over ranks, no sort).
+  [[nodiscard]] FlatMembership rebuilt(const ClusterView& view,
+                                       Version version) const;
+
+  [[nodiscard]] Version version() const { return version_; }
+  [[nodiscard]] std::uint32_t server_count() const {
+    return static_cast<std::uint32_t>(chain_->id_by_rank.size());
+  }
+  [[nodiscard]] std::uint32_t primary_count() const {
+    return chain_->primary_count;
+  }
+  [[nodiscard]] std::uint32_t active_count() const {
+    return static_cast<std::uint32_t>(actives_.size());
+  }
+  [[nodiscard]] std::uint32_t active_secondary_count() const {
+    return static_cast<std::uint32_t>(active_secondaries_.size());
+  }
+
+  [[nodiscard]] ServerId id_at(Rank rank) const {
+    return chain_->id_by_rank[rank - 1];
+  }
+  [[nodiscard]] bool rank_active(Rank rank) const {
+    return (flags_[rank - 1] & kActiveFlag) != 0;
+  }
+
+  [[nodiscard]] bool is_active(ServerId id) const;
+  [[nodiscard]] bool is_primary(ServerId id) const;
+
+  /// Dense, ascending rank arrays over the current membership.
+  [[nodiscard]] const std::vector<Rank>& actives() const { return actives_; }
+  [[nodiscard]] const std::vector<Rank>& active_primaries() const {
+    return active_primaries_;
+  }
+  [[nodiscard]] const std::vector<Rank>& active_secondaries() const {
+    return active_secondaries_;
+  }
+
+  /// Resident bytes (the shared ChainMap counted once, in full).
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  FlatMembership(std::shared_ptr<const ChainMap> chain, const ClusterView& view,
+                 Version version);
+
+  std::shared_ptr<const ChainMap> chain_;
+  std::vector<std::uint8_t> flags_;  // index = rank - 1
+  std::vector<Rank> actives_;
+  std::vector<Rank> active_primaries_;
+  std::vector<Rank> active_secondaries_;
+  Version version_{0};
+};
+
+}  // namespace ech

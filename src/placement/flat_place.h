@@ -1,0 +1,107 @@
+// Shared Algorithm-1 skeleton for the hash-function backends (jump, dx).
+//
+// Both backends place by the same two-step rule and differ only in how they
+// draw a rank:
+//
+//   1. home draw over a fixed rank subrange — stable across membership
+//      changes, because the subrange bounds depend only on (n, p), which are
+//      fixed for the cluster's lifetime;
+//   2. if the home rank is powered off / failed / already chosen, a remap
+//      draw over the dense array of currently-eligible ranks.
+//
+// Replica 1 draws over the primary range [1, p] and remaps onto active
+// primaries — that is the paper's one-replica-on-primary invariant, and it
+// can only fail when no primary is active (exactly when the predicate-walk
+// oracle fails).  Replicas 2..r draw over the secondary range [p+1, n] and
+// remap onto active secondaries, unless the Section III-B special case
+// (fewer than r-1 active secondaries) relaxes the pool to all actives and
+// sets primaries_as_secondaries.  Success/failure is therefore decided by
+// pool counts alone and agrees with PrimaryPlacement::place on every
+// snapshot; the replica sets themselves are backend-specific.
+//
+// A Strategy supplies:
+//   std::optional<Rank> home(key, lo, count, accept)
+//       a draw (or bounded sequence of draws) over ranks [lo, lo+count);
+//       returns a rank satisfying accept, or nullopt to fall back;
+//   std::uint32_t dense(key, count)
+//       an index into a dense array of `count` eligible ranks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "placement/flat_membership.h"
+#include "placement/placement.h"
+
+namespace ech::detail {
+
+template <class Strategy>
+[[nodiscard]] Expected<Placement> flat_place(const FlatMembership& m,
+                                             ObjectId oid,
+                                             std::uint32_t replicas,
+                                             const Strategy& strat) {
+  if (replicas == 0) {
+    return Status{StatusCode::kInvalidArgument, "replicas must be >= 1"};
+  }
+  if (m.active_count() < replicas) {
+    return Status{StatusCode::kUnavailable,
+                  "fewer active servers than the replication level"};
+  }
+  const std::vector<Rank>& primaries = m.active_primaries();
+  if (primaries.empty()) {
+    return Status{StatusCode::kUnavailable, "no active primary"};
+  }
+
+  const std::uint64_t h = object_position(oid);
+  const bool relax = m.active_secondary_count() + 1 < replicas;
+
+  Placement out;
+  out.servers.reserve(replicas);
+  out.primaries_as_secondaries = relax;
+
+  std::vector<Rank> chosen;
+  chosen.reserve(replicas);
+  const auto is_chosen = [&chosen](Rank r) {
+    return std::find(chosen.begin(), chosen.end(), r) != chosen.end();
+  };
+  const auto take = [&](Rank r) {
+    chosen.push_back(r);
+    out.servers.push_back(m.id_at(r));
+  };
+  // Remap onto a dense eligible array; probe forward past already-chosen
+  // ranks (bounded: fewer than `replicas` ranks are ever chosen, and the
+  // pool is proven large enough before each call).
+  const auto remap = [&](std::uint64_t key, const std::vector<Rank>& pool) {
+    std::size_t idx =
+        strat.dense(key, static_cast<std::uint32_t>(pool.size()));
+    while (is_chosen(pool[idx])) idx = (idx + 1) % pool.size();
+    return pool[idx];
+  };
+
+  // Replica 1: always on a primary.
+  {
+    const auto home = strat.home(h, Rank{1}, m.primary_count(),
+                                 [&](Rank r) { return m.rank_active(r); });
+    take(home.has_value() ? *home : remap(mix64(h), primaries));
+  }
+
+  // Replicas 2..r: secondaries, or any active under the relaxed rule.
+  const Rank lo = relax ? Rank{1} : m.primary_count() + 1;
+  const std::uint32_t span = m.server_count() - lo + 1;
+  const std::vector<Rank>& pool =
+      relax ? m.actives() : m.active_secondaries();
+  for (std::uint32_t i = 1; i < replicas; ++i) {
+    const std::uint64_t key = hash_combine(h, i);
+    const auto home = strat.home(key, lo, span, [&](Rank r) {
+      return m.rank_active(r) && !is_chosen(r);
+    });
+    take(home.has_value() ? *home : remap(mix64(key), pool));
+  }
+  return out;
+}
+
+}  // namespace ech::detail

@@ -1,0 +1,57 @@
+#include "placement/jump_backend.h"
+
+#include <chrono>
+#include <optional>
+
+#include "placement/flat_place.h"
+
+namespace ech {
+
+namespace {
+
+struct JumpStrategy {
+  template <class Accept>
+  std::optional<Rank> home(std::uint64_t key, Rank lo, std::uint32_t count,
+                           Accept&& accept) const {
+    const Rank rank = lo + jump_hash(key, count);
+    if (accept(rank)) return rank;
+    return std::nullopt;
+  }
+  std::uint32_t dense(std::uint64_t key, std::uint32_t count) const {
+    return jump_hash(key, count);
+  }
+};
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+std::shared_ptr<const JumpBackend> JumpBackend::build(const ClusterView& view,
+                                                      Version version) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto backend = std::shared_ptr<JumpBackend>(
+      new JumpBackend(FlatMembership::build(view, version)));
+  backend->set_build_ns(elapsed_ns(t0));
+  return backend;
+}
+
+Expected<Placement> JumpBackend::place(ObjectId oid,
+                                       std::uint32_t replicas) const {
+  return detail::flat_place(membership_, oid, replicas, JumpStrategy{});
+}
+
+std::shared_ptr<const PlacementBackend> JumpBackend::rebuild(
+    const ClusterView& view, Version version) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto backend = std::shared_ptr<JumpBackend>(
+      new JumpBackend(membership_.rebuilt(view, version)));
+  backend->set_build_ns(elapsed_ns(t0));
+  return backend;
+}
+
+}  // namespace ech

@@ -1,0 +1,88 @@
+// JumpBackend: jump consistent hash (Lamping & Veach, arXiv:1406.2294) over
+// expansion-chain ranks, with a sparse active-set remap.
+//
+// Jump hash maps a key onto [0, n) such that growing n from k to k+1 moves
+// exactly 1/(k+1) of the keys — and every key that moves, moves to the NEW
+// bucket.  Rank subranges here only change size at the tail (the expansion
+// chain powers servers off from rank n downward), which is jump hash's best
+// case: a tail shrink only remaps keys whose home was the removed rank.
+// Failures punch holes mid-range instead; those keys take the remap draw
+// over the dense active array, which is itself a jump draw, so hole churn is
+// proportional to the hole count, not to n.
+//
+// Resident state is just FlatMembership (a few bytes per server); build and
+// rebuild are one O(n) pass, no sort, no vnode table — the point of this
+// backend at six-figure n.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "placement/backend.h"
+#include "placement/flat_membership.h"
+
+namespace ech {
+
+/// Jump consistent hash: maps `key` onto [0, buckets).  `buckets` >= 1.
+[[nodiscard]] inline std::uint32_t jump_hash(std::uint64_t key,
+                                             std::uint32_t buckets) noexcept {
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(std::int64_t{1} << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+class JumpBackend final : public PlacementBackend {
+ public:
+  [[nodiscard]] static std::shared_ptr<const JumpBackend> build(
+      const ClusterView& view, Version version);
+
+  [[nodiscard]] Expected<Placement> place(ObjectId oid,
+                                          std::uint32_t replicas) const override;
+
+  [[nodiscard]] Version version() const override {
+    return membership_.version();
+  }
+  [[nodiscard]] std::uint32_t server_count() const override {
+    return membership_.server_count();
+  }
+  [[nodiscard]] std::uint32_t active_count() const override {
+    return membership_.active_count();
+  }
+  [[nodiscard]] std::uint32_t active_secondary_count() const override {
+    return membership_.active_secondary_count();
+  }
+  [[nodiscard]] bool is_active(ServerId id) const override {
+    return membership_.is_active(id);
+  }
+  [[nodiscard]] bool is_primary(ServerId id) const override {
+    return membership_.is_primary(id);
+  }
+
+  [[nodiscard]] PlacementBackendKind kind() const override {
+    return PlacementBackendKind::kJump;
+  }
+  [[nodiscard]] std::size_t bytes_used() const override {
+    return sizeof(*this) + membership_.bytes();
+  }
+
+  /// Incremental: share the ChainMap, refresh only the membership flags and
+  /// dense active arrays (O(n), no sort).
+  [[nodiscard]] std::shared_ptr<const PlacementBackend> rebuild(
+      const ClusterView& view, Version version) const override;
+
+ private:
+  explicit JumpBackend(FlatMembership membership)
+      : membership_(std::move(membership)) {}
+
+  FlatMembership membership_;
+};
+
+}  // namespace ech

@@ -1,4 +1,4 @@
-#include "core/placement.h"
+#include "placement/placement.h"
 
 #include <algorithm>
 

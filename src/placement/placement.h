@@ -1,0 +1,76 @@
+// Data placement policies.
+//
+// * OriginalPlacement — plain consistent hashing (Section II-A): the first
+//   r distinct physical servers clockwise from hash(oid).  Membership
+//   changes are expressed by adding/removing servers from the ring, which is
+//   why the original system must re-replicate before extracting a server.
+//
+// * PrimaryPlacement — the paper's Algorithm 1 with write-availability
+//   offloading.  The ring is static (inactive servers stay on it and are
+//   *skipped*), servers are ranked by the expansion chain, and placement
+//   guarantees exactly one replica per object on a primary:
+//
+//     server(1) = next active server from hash(oid)
+//     for i in 2..r-1:
+//       if a primary was already chosen -> next active *secondary*
+//       else                            -> next active server
+//     for i == r:
+//       if a primary was already chosen -> next active secondary
+//       else                            -> next *primary*
+//
+//   Each walk continues clockwise from the virtual node where the previous
+//   replica landed (the paper writes this as hash(server(i-1)); Figure 4
+//   shows the intent — D1's second copy goes to "the first primary server
+//   *next to* server 3") and skips servers already chosen.  Special case
+//   (Section III-B last ¶): when fewer than r-1 secondaries are active,
+//   primaries stand in as secondaries so the replication level holds as
+//   long as >= r servers are active at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_view.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "hashring/hash_ring.h"
+
+namespace ech {
+
+struct Placement {
+  /// Chosen servers, replica 1 first.  Size == r on success.
+  std::vector<ServerId> servers;
+  /// True when the special case fired and a primary holds a "secondary"
+  /// replica (fewer than r-1 active secondaries).
+  bool primaries_as_secondaries{false};
+
+  [[nodiscard]] bool contains(ServerId id) const {
+    for (ServerId s : servers) {
+      if (s == id) return true;
+    }
+    return false;
+  }
+};
+
+class OriginalPlacement {
+ public:
+  /// First `replicas` distinct servers clockwise from hash(oid).
+  /// Fails with kUnavailable if the ring has fewer servers than replicas.
+  [[nodiscard]] static Expected<Placement> place(ObjectId oid,
+                                                 const HashRing& ring,
+                                                 std::uint32_t replicas);
+};
+
+class PrimaryPlacement {
+ public:
+  /// Algorithm 1 against one membership snapshot.  The ring must contain
+  /// every server in the chain (inactive ones included — they are skipped,
+  /// not removed).  Fails with kUnavailable when fewer than `replicas`
+  /// servers are active.
+  [[nodiscard]] static Expected<Placement> place(ObjectId oid,
+                                                 const ClusterView& view,
+                                                 std::uint32_t replicas);
+};
+
+}  // namespace ech

@@ -1,4 +1,4 @@
-#include "core/placement_index.h"
+#include "placement/placement_index.h"
 
 #include <algorithm>
 #include <string>

@@ -1,0 +1,146 @@
+// Epoch-pinned placement index: the flat, lock-free lookup path for
+// Algorithm 1.
+//
+// The predicate walk in core/placement.cpp is correct but pays per visited
+// vnode: a type-erased callback, two hash probes (is_active / is_primary)
+// and a heap-allocated visited set.  A membership snapshot is *immutable*
+// between versions, so when one is published we flatten the whole ring into
+// two contiguous arrays — sorted positions plus a packed 64-bit word per
+// vnode (server id, expansion-chain rank, active/primary bits).  Algorithm
+// 1's skip-primary / skip-secondary / skip-inactive rules then become a
+// single branch-on-bitmask test per vnode over cache-friendly memory.
+//
+// An index is built once per membership version and shared via
+// std::shared_ptr ("RCU-style"): writers publish a new index after
+// appending a version, readers pin a snapshot with one atomic load and keep
+// it alive for the duration of their lookup — the old index dies when the
+// last pinned reader drops it.  Instances are deeply immutable after
+// build(), so any number of threads may call place() on one concurrently.
+//
+// place()/place_original() are placement-identical to
+// PrimaryPlacement::place / OriginalPlacement::place on the same snapshot
+// (tests/core/placement_index_test.cpp proves this differentially).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster_view.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "placement/placement.h"
+
+namespace ech {
+
+class PlacementIndex {
+ public:
+  /// Packed per-vnode metadata.
+  ///   bits  0..31  server id
+  ///   bits 32..55  expansion-chain rank (1-based; 0 = not in the chain)
+  ///   bit  62      active in this membership version
+  ///   bit  63      primary (rank <= p)
+  using PackedVnode = std::uint64_t;
+
+  static constexpr PackedVnode kActiveBit = PackedVnode{1} << 62;
+  static constexpr PackedVnode kPrimaryBit = PackedVnode{1} << 63;
+  static constexpr std::uint32_t kRankShift = 32;
+  static constexpr PackedVnode kRankMask = (PackedVnode{1} << 24) - 1;
+
+  /// Flatten `view` (ring + chain + membership) into an immutable index.
+  /// `version` tags the snapshot so readers can tell epochs apart.
+  [[nodiscard]] static std::shared_ptr<const PlacementIndex> build(
+      const ClusterView& view, Version version);
+
+  // -- lookups (thread-safe, lock-free, allocation: output vector only) ----
+
+  /// Algorithm 1 against this snapshot; identical results to
+  /// PrimaryPlacement::place on the view the index was built from.
+  [[nodiscard]] Expected<Placement> place(ObjectId oid,
+                                          std::uint32_t replicas) const;
+
+  /// Plain consistent hashing (first `replicas` distinct servers, active or
+  /// not); identical results to OriginalPlacement::place on the same ring.
+  [[nodiscard]] Expected<Placement> place_original(
+      ObjectId oid, std::uint32_t replicas) const;
+
+  /// Batch lookup for the reintegrator / trace replay: one placement per
+  /// oid, in order.  Failed lookups carry their status.
+  [[nodiscard]] std::vector<Expected<Placement>> place_many(
+      std::span<const ObjectId> oids, std::uint32_t replicas) const;
+
+  // -- snapshot introspection ----------------------------------------------
+
+  [[nodiscard]] Version version() const { return version_; }
+  [[nodiscard]] std::uint32_t server_count() const { return server_count_; }
+  [[nodiscard]] std::uint32_t active_count() const { return active_count_; }
+  [[nodiscard]] std::uint32_t active_secondary_count() const {
+    return active_secondary_count_;
+  }
+  [[nodiscard]] std::size_t vnode_count() const { return positions_.size(); }
+
+  [[nodiscard]] bool is_active(ServerId id) const {
+    const PackedVnode* f = find_server(id);
+    return f != nullptr && (*f & kActiveBit) != 0;
+  }
+  [[nodiscard]] bool is_primary(ServerId id) const {
+    const PackedVnode* f = find_server(id);
+    return f != nullptr && (*f & kPrimaryBit) != 0;
+  }
+
+  /// Raw arrays, for tests and tooling.
+  [[nodiscard]] std::span<const RingPosition> positions() const {
+    return positions_;
+  }
+  [[nodiscard]] std::span<const PackedVnode> packed() const { return meta_; }
+
+  static constexpr std::uint32_t server_of(PackedVnode m) {
+    return static_cast<std::uint32_t>(m & 0xffffffffu);
+  }
+  static constexpr Rank rank_of(PackedVnode m) {
+    return static_cast<Rank>((m >> kRankShift) & kRankMask);
+  }
+
+ private:
+  PlacementIndex() = default;
+
+  /// First vnode index at or after `pos` (mod size).  Positions are
+  /// uniformly distributed hashes, so a radix bucket table (top bits of the
+  /// position -> first slot) plus a short linear scan beats binary search:
+  /// one dependent load instead of log2(V) cache-missing probes.
+  [[nodiscard]] std::size_t successor_slot(RingPosition pos) const;
+
+  /// First vnode index after `hit` on the ring as the predicate walk sees
+  /// it: the successor of position `positions_[hit] + 1`, i.e. collisions
+  /// at the same position are skipped (mirrors HashRing::successor_index).
+  [[nodiscard]] std::size_t slot_after(std::size_t hit) const;
+
+  /// First vnode clockwise from slot `start` (inclusive, mod size) whose
+  /// packed word satisfies (meta & mask) == want and whose server is not
+  /// already in `chosen`.  Returns the vnode index, or npos.
+  [[nodiscard]] std::size_t scan(std::size_t start, PackedVnode mask,
+                                 PackedVnode want,
+                                 const std::vector<ServerId>& chosen) const;
+
+  [[nodiscard]] const PackedVnode* find_server(ServerId id) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::vector<RingPosition> positions_;  // sorted (ring order)
+  std::vector<PackedVnode> meta_;        // parallel to positions_
+  // bucket_[b] = first slot with position >= b << bucket_shift_; one entry
+  // per vnode (rounded to a power of two), so the scan after the table
+  // lookup averages a single step.
+  std::vector<std::uint32_t> bucket_;
+  std::uint32_t bucket_shift_{63};
+  // (id, packed flags) sorted by id, for by-server activity checks.
+  std::vector<std::pair<std::uint32_t, PackedVnode>> by_id_;
+  Version version_{0};
+  std::uint32_t server_count_{0};            // servers on the ring
+  std::uint32_t active_count_{0};            // active ranks in the membership
+  std::uint32_t active_secondary_count_{0};  // active ranks > p
+};
+
+}  // namespace ech

@@ -1,0 +1,27 @@
+#include "placement/ring_backend.h"
+
+#include <chrono>
+
+namespace ech {
+
+std::shared_ptr<const RingBackend> RingBackend::build(const ClusterView& view,
+                                                      Version version) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto backend =
+      std::make_shared<RingBackend>(PlacementIndex::build(view, version));
+  const auto t1 = std::chrono::steady_clock::now();
+  backend->set_build_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  return backend;
+}
+
+std::size_t RingBackend::bytes_used() const {
+  const PlacementIndex& idx = *index_;
+  // The four flat arrays of the index; the struct overhead itself is noise.
+  return idx.positions().size_bytes() + idx.packed().size_bytes() +
+         idx.vnode_count() * sizeof(std::uint32_t) +  // bucket table (~1/vnode)
+         idx.server_count() *
+             sizeof(std::pair<std::uint32_t, PlacementIndex::PackedVnode>);
+}
+
+}  // namespace ech

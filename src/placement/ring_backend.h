@@ -1,0 +1,68 @@
+// RingBackend: the existing epoch-pinned PlacementIndex behind the
+// PlacementBackend interface.  Replica sets are ring-walk exact (identical
+// to PrimaryPlacement::place), which the other backends do not promise —
+// this is the reference implementation and the default.
+//
+// Cost profile: O(vnodes) resident memory, O(vnodes) flatten per membership
+// version, and ring maintenance (add_server) that re-sorts the whole vnode
+// table — fine at n=300, the scaling cliff at n=100k.
+#pragma once
+
+#include <memory>
+
+#include "placement/backend.h"
+#include "placement/placement_index.h"
+
+namespace ech {
+
+class RingBackend final : public PlacementBackend {
+ public:
+  /// Wrap an already-flattened index (tests; the epoch-domain suites build
+  /// indexes directly and publish them through this adapter).
+  explicit RingBackend(std::shared_ptr<const PlacementIndex> index)
+      : index_(std::move(index)) {
+    set_build_ns(0);
+  }
+
+  [[nodiscard]] static std::shared_ptr<const RingBackend> build(
+      const ClusterView& view, Version version);
+
+  [[nodiscard]] Expected<Placement> place(
+      ObjectId oid, std::uint32_t replicas) const override {
+    return index_->place(oid, replicas);
+  }
+  [[nodiscard]] std::vector<Expected<Placement>> place_many(
+      std::span<const ObjectId> oids, std::uint32_t replicas) const override {
+    return index_->place_many(oids, replicas);
+  }
+
+  [[nodiscard]] Version version() const override { return index_->version(); }
+  [[nodiscard]] std::uint32_t server_count() const override {
+    return index_->server_count();
+  }
+  [[nodiscard]] std::uint32_t active_count() const override {
+    return index_->active_count();
+  }
+  [[nodiscard]] std::uint32_t active_secondary_count() const override {
+    return index_->active_secondary_count();
+  }
+  [[nodiscard]] bool is_active(ServerId id) const override {
+    return index_->is_active(id);
+  }
+  [[nodiscard]] bool is_primary(ServerId id) const override {
+    return index_->is_primary(id);
+  }
+
+  [[nodiscard]] PlacementBackendKind kind() const override {
+    return PlacementBackendKind::kRing;
+  }
+  [[nodiscard]] std::size_t bytes_used() const override;
+
+  /// The wrapped index (tests, tooling that wants the packed arrays).
+  [[nodiscard]] const PlacementIndex& index() const { return *index_; }
+
+ private:
+  std::shared_ptr<const PlacementIndex> index_;
+};
+
+}  // namespace ech

@@ -39,11 +39,21 @@ Expected<ServingReport> ServingEngine::run() {
   ElasticClusterConfig cluster_config;
   cluster_config.server_count = config_.server_count;
   cluster_config.replicas = config_.replicas;
+  cluster_config.placement_backend = config_.placement_backend;
   cluster_config.metrics = &registry;
   auto created = ConcurrentElasticCluster::create(cluster_config);
   if (!created.ok()) return created.status();
   const std::unique_ptr<ConcurrentElasticCluster> cluster =
       std::move(created).value();
+
+  // Sweep runs pin the active set before the clock starts.
+  if (config_.active_servers != 0 &&
+      config_.active_servers < config_.server_count) {
+    const Status s = cluster->request_resize(config_.active_servers);
+    if (!s.is_ok()) return s;
+    while (cluster->maintenance_step(config_.maintenance_budget) > 0) {
+    }
+  }
 
   // Preload the keyspace the readers will draw from.
   for (std::uint64_t oid = 0; oid < config_.preload_objects; ++oid) {

@@ -28,12 +28,19 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "placement/backend.h"
 
 namespace ech::serve {
 
 struct ServingConfig {
   std::uint32_t server_count{300};
   std::uint32_t replicas{3};
+  /// Placement backend the cluster publishes (ring | jump | dx).
+  PlacementBackendKind placement_backend{PlacementBackendKind::kRing};
+  /// Fixed active-set size: resize to this target (draining re-integration)
+  /// before the clock starts.  0 = serve at full power.  Combine with
+  /// resize_churn = false for ops/s-vs-active-set sweeps.
+  std::uint32_t active_servers{0};
   std::uint32_t threads{4};
   /// Keyspace preloaded before the clock starts; reads draw from it.
   std::uint64_t preload_objects{20'000};

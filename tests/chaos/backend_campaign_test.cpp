@@ -1,0 +1,68 @@
+// The chaos InvariantChecker, unmodified, must hold under every placement
+// backend: the four invariants are phrased against the cluster's published
+// placement snapshot, so swapping the ring for jump / dx placement must not
+// cost a single invariant — including the strong quiescent checks (exact
+// placement agreement between holders and lookups, which only works because
+// the Reintegrator places with the same backend the lookups use).
+#include "chaos/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/backend.h"
+
+namespace ech::chaos {
+namespace {
+
+CampaignConfig backend_config(PlacementBackendKind kind, std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.steps = 1500;
+  cfg.cluster.vnode_budget = 2000;
+  cfg.cluster.placement_backend = kind;
+  return cfg;
+}
+
+TEST(BackendCampaignTest, JumpBackendHoldsAllInvariants) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const CampaignResult r =
+        run_campaign(backend_config(PlacementBackendKind::kJump, seed));
+    EXPECT_TRUE(r.passed) << r.summary;
+    EXPECT_EQ(r.stats.invariant_checks, r.stats.steps_executed);
+  }
+}
+
+TEST(BackendCampaignTest, DxBackendHoldsAllInvariants) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    const CampaignResult r =
+        run_campaign(backend_config(PlacementBackendKind::kDx, seed));
+    EXPECT_TRUE(r.passed) << r.summary;
+    EXPECT_EQ(r.stats.invariant_checks, r.stats.steps_executed);
+  }
+}
+
+TEST(BackendCampaignTest, JumpBackendHoldsUnderConcurrentReaders) {
+  CampaignConfig cfg = backend_config(PlacementBackendKind::kJump, 3);
+  cfg.reader_threads = 2;
+  const CampaignResult r = run_campaign(cfg);
+  EXPECT_TRUE(r.passed) << r.summary;
+}
+
+TEST(BackendCampaignTest, DxBackendHoldsUnderConcurrentReaders) {
+  CampaignConfig cfg = backend_config(PlacementBackendKind::kDx, 3);
+  cfg.reader_threads = 2;
+  const CampaignResult r = run_campaign(cfg);
+  EXPECT_TRUE(r.passed) << r.summary;
+}
+
+TEST(BackendCampaignTest, BackendCampaignsAreDeterministic) {
+  const CampaignResult a =
+      run_campaign(backend_config(PlacementBackendKind::kJump, 7));
+  const CampaignResult b =
+      run_campaign(backend_config(PlacementBackendKind::kJump, 7));
+  ASSERT_TRUE(a.passed) << a.summary;
+  EXPECT_EQ(a.executed.ops, b.executed.ops);
+  EXPECT_EQ(a.stats.bytes_written, b.stats.bytes_written);
+}
+
+}  // namespace
+}  // namespace ech::chaos

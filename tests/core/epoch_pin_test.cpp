@@ -12,12 +12,13 @@
 #include <vector>
 
 #include "cluster/layout.h"
+#include "placement/ring_backend.h"
 #include "core/concurrent_cluster.h"
 
 namespace ech {
 namespace {
 
-std::shared_ptr<const PlacementIndex> make_index(std::uint32_t n,
+std::shared_ptr<const PlacementBackend> make_index(std::uint32_t n,
                                                  std::uint32_t active,
                                                  std::uint32_t version) {
   HashRing ring;
@@ -28,8 +29,8 @@ std::shared_ptr<const PlacementIndex> make_index(std::uint32_t n,
   const ExpansionChain chain =
       ExpansionChain::identity(n, EqualWorkLayout::primary_count(n));
   const MembershipTable membership = MembershipTable::prefix_active(n, active);
-  return PlacementIndex::build(ClusterView(chain, ring, membership),
-                               Version{version});
+  return std::make_shared<RingBackend>(PlacementIndex::build(
+      ClusterView(chain, ring, membership), Version{version}));
 }
 
 TEST(EpochPin, ReadersStayOnOneEpochAgainstContinuousResizeChurn) {

@@ -40,6 +40,32 @@ TEST_F(SnapshotTest, RoundTripEmptyCluster) {
   EXPECT_EQ(loaded.value()->object_store().total_replicas(), 0u);
 }
 
+TEST_F(SnapshotTest, RoundTripPreservesPlacementBackend) {
+  for (const auto kind : {PlacementBackendKind::kRing,
+                          PlacementBackendKind::kJump,
+                          PlacementBackendKind::kDx}) {
+    ElasticClusterConfig config;
+    config.server_count = 10;
+    config.replicas = 2;
+    config.placement_backend = kind;
+    auto original = std::move(ElasticCluster::create(config)).value();
+    for (std::uint64_t oid = 0; oid < 50; ++oid) {
+      ASSERT_TRUE(original->write(ObjectId{oid}, 0).is_ok());
+    }
+    ASSERT_TRUE(save_snapshot(*original, path_).is_ok());
+    auto loaded = load_snapshot(path_);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value()->config().placement_backend, kind);
+    EXPECT_EQ(loaded.value()->placement_index()->kind(), kind);
+    // Replica directories must agree with the restored backend's lookups.
+    for (std::uint64_t oid = 0; oid < 50; ++oid) {
+      EXPECT_EQ(loaded.value()->object_store().locate(ObjectId{oid}),
+                original->object_store().locate(ObjectId{oid}))
+          << backend_kind_name(kind) << " oid " << oid;
+    }
+  }
+}
+
 TEST_F(SnapshotTest, RoundTripPreservesObjectsAndDirtyState) {
   auto original = make_cluster();
   for (std::uint64_t oid = 0; oid < 100; ++oid) {

@@ -1,0 +1,174 @@
+// Differential fuzz: every placement backend against the predicate-walk
+// oracle (PrimaryPlacement::place) across random cluster shapes and random
+// membership mutation sequences.
+//
+// Obligations per case:
+//   * RingBackend returns byte-identical results to the oracle — same
+//     status code on failure, same servers and relax flag on success (it is
+//     the flattened form of the same walk).
+//   * JumpBackend / DxBackend agree with the oracle on *ok-ness* (both the
+//     paper's Algorithm 1 and the hash-function skeleton fail exactly when
+//     replicas == 0, fewer actives than replicas, or no active primary) and
+//     keep the structural contract on success: exactly `replicas` distinct
+//     active servers, the relax flag matching the Section III-B condition,
+//     exactly one primary replica when the flag is clear, at least one when
+//     it is set.
+//
+// 10'000 cases, each with a fresh random (n, p, B, r) shape and a random
+// walk of resize / fail / recover mutations; each backend is carried through
+// the walk via its incremental rebuild() so the warm path is what gets
+// fuzzed (a cold-build disagreement would also be caught by
+// IncrementalRebuildMatchesColdBuild in backend_test.cpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster_view.h"
+#include "cluster/layout.h"
+#include "common/rng.h"
+#include "placement/backend.h"
+#include "placement/placement.h"
+
+namespace ech {
+namespace {
+
+struct Shape {
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable membership;
+  std::uint32_t replicas{2};
+
+  [[nodiscard]] ClusterView view() const {
+    return ClusterView(chain, ring, membership);
+  }
+};
+
+Shape random_shape(Rng& rng) {
+  Shape s;
+  const auto n = static_cast<std::uint32_t>(rng.uniform(2, 40));
+  const auto p = static_cast<std::uint32_t>(
+      rng.uniform(1, EqualWorkLayout::primary_count(n)));
+  const auto budget = static_cast<std::uint32_t>(rng.uniform(n, 400));
+  s.chain = ExpansionChain::identity(n, p);
+  for (std::uint32_t rank = 1; rank <= n; ++rank) {
+    const std::uint32_t w =
+        rank <= p ? std::max(1u, budget / p) : std::max(1u, budget / rank);
+    (void)s.ring.add_server(ServerId{rank}, w);
+  }
+  s.membership = MembershipTable::full_power(n);
+  s.replicas = static_cast<std::uint32_t>(rng.uniform(1, std::min(n, 5u)));
+  return s;
+}
+
+/// One random membership mutation: prefix resize, fail, or recover.
+void mutate(Shape& s, Rng& rng) {
+  const std::uint32_t n = s.chain.size();
+  switch (rng.uniform(0, 2)) {
+    case 0: {  // resize the active prefix (keep >= 1 rank on)
+      const auto target = static_cast<std::uint32_t>(rng.uniform(1, n));
+      for (Rank r = 1; r <= n; ++r) {
+        s.membership.set_state(r, r <= target ? ServerState::kOn
+                                              : ServerState::kOff);
+      }
+      break;
+    }
+    case 1: {  // fail one random rank
+      const auto r = static_cast<Rank>(rng.uniform(1, n));
+      s.membership.set_state(r, ServerState::kOff);
+      break;
+    }
+    default: {  // recover one random rank
+      const auto r = static_cast<Rank>(rng.uniform(1, n));
+      s.membership.set_state(r, ServerState::kOn);
+      break;
+    }
+  }
+}
+
+void check_case(const Shape& s,
+                const std::shared_ptr<const PlacementBackend>& ring,
+                const std::shared_ptr<const PlacementBackend>& jump,
+                const std::shared_ptr<const PlacementBackend>& dx,
+                ObjectId oid, std::uint64_t case_no) {
+  const ClusterView view = s.view();
+  const auto oracle = PrimaryPlacement::place(oid, view, s.replicas);
+
+  // Ring: byte-identical to the walk.
+  const auto r = ring->place(oid, s.replicas);
+  ASSERT_EQ(r.ok(), oracle.ok()) << "case " << case_no;
+  if (oracle.ok()) {
+    ASSERT_EQ(r.value().servers, oracle.value().servers)
+        << "case " << case_no;
+    ASSERT_EQ(r.value().primaries_as_secondaries,
+              oracle.value().primaries_as_secondaries)
+        << "case " << case_no;
+  } else {
+    ASSERT_EQ(r.status().code(), oracle.status().code()) << "case " << case_no;
+  }
+
+  // Jump / dx: same ok-ness, structural contract on success.
+  const bool relax = view.active_secondary_count() + 1 < s.replicas;
+  for (const auto& b : {jump, dx}) {
+    const auto placed = b->place(oid, s.replicas);
+    ASSERT_EQ(placed.ok(), oracle.ok())
+        << b->kind_name() << " case " << case_no << ": oracle says "
+        << (oracle.ok() ? "ok" : oracle.status().to_string());
+    if (!placed.ok()) {
+      ASSERT_EQ(placed.status().code(), oracle.status().code())
+          << b->kind_name() << " case " << case_no;
+      continue;
+    }
+    const Placement& p = placed.value();
+    ASSERT_EQ(p.servers.size(), s.replicas) << b->kind_name();
+    ASSERT_EQ(p.primaries_as_secondaries, relax)
+        << b->kind_name() << " case " << case_no;
+    std::set<ServerId> distinct(p.servers.begin(), p.servers.end());
+    ASSERT_EQ(distinct.size(), s.replicas)
+        << b->kind_name() << " case " << case_no << ": duplicate replica";
+    std::uint32_t primaries = 0;
+    for (ServerId sid : p.servers) {
+      ASSERT_TRUE(view.is_active(sid))
+          << b->kind_name() << " case " << case_no << ": inactive replica "
+          << sid.value;
+      if (view.is_primary(sid)) ++primaries;
+    }
+    if (relax) {
+      ASSERT_GE(primaries, 1u) << b->kind_name() << " case " << case_no;
+    } else {
+      ASSERT_EQ(primaries, 1u) << b->kind_name() << " case " << case_no;
+    }
+  }
+}
+
+TEST(BackendDifferentialFuzz, TenThousandRandomMembershipWalks) {
+  Rng rng(20260809);
+  std::uint64_t cases = 0;
+  while (cases < 10'000) {
+    Shape s = random_shape(rng);
+    std::uint32_t version = 1;
+    auto ring = build_placement_backend(PlacementBackendKind::kRing, s.view(),
+                                        Version{version});
+    auto jump = build_placement_backend(PlacementBackendKind::kJump, s.view(),
+                                        Version{version});
+    auto dx = build_placement_backend(PlacementBackendKind::kDx, s.view(),
+                                      Version{version});
+    const auto steps = rng.uniform(1, 8);
+    for (std::uint64_t step = 0; step <= steps; ++step) {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        check_case(s, ring, jump, dx, ObjectId{rng.next_u64()}, cases);
+        ++cases;
+      }
+      mutate(s, rng);
+      ++version;
+      ring = ring->rebuild(s.view(), Version{version});
+      jump = jump->rebuild(s.view(), Version{version});
+      dx = dx->rebuild(s.view(), Version{version});
+    }
+  }
+  SUCCEED() << cases << " differential cases checked";
+}
+
+}  // namespace
+}  // namespace ech

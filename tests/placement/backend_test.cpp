@@ -1,0 +1,235 @@
+// PlacementBackend contract: every backend must keep Algorithm 1's
+// structural guarantees (one replica on a primary, distinct active
+// replicas, the Section III-B relax flag) on hand-picked memberships, stay
+// deterministic, and rebuild incrementally without drifting from a cold
+// build.
+#include "placement/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cluster/layout.h"
+#include "placement/dx_backend.h"
+#include "placement/jump_backend.h"
+#include "placement/ring_backend.h"
+
+namespace ech {
+namespace {
+
+constexpr PlacementBackendKind kAllKinds[] = {PlacementBackendKind::kRing,
+                                              PlacementBackendKind::kJump,
+                                              PlacementBackendKind::kDx};
+
+/// Owns the pieces a ClusterView references, so a backend can outlive the
+/// helper that made it.
+struct Fixture {
+  Fixture(std::uint32_t n, std::uint32_t active,
+          std::vector<Rank> failed_ranks = {})
+      : chain(ExpansionChain::identity(n, EqualWorkLayout::primary_count(n))),
+        membership(MembershipTable::prefix_active(n, active)) {
+    const WeightVector w = EqualWorkLayout::weights({n, 1000});
+    for (std::uint32_t rank = 1; rank <= n; ++rank) {
+      (void)ring.add_server(ServerId{rank}, w[rank - 1]);
+    }
+    for (Rank r : failed_ranks) membership.set_state(r, ServerState::kOff);
+  }
+  [[nodiscard]] ClusterView view() const {
+    return ClusterView(chain, ring, membership);
+  }
+
+  ExpansionChain chain;
+  HashRing ring;
+  MembershipTable membership;
+};
+
+void check_structure(const PlacementBackend& b, const ClusterView& view,
+                     std::uint32_t replicas, std::uint32_t oids = 500) {
+  const bool relax = view.active_secondary_count() + 1 < replicas;
+  for (std::uint32_t i = 0; i < oids; ++i) {
+    const auto placed = b.place(ObjectId{1000 + i}, replicas);
+    ASSERT_TRUE(placed.ok()) << b.kind_name() << ": "
+                             << placed.status().to_string();
+    const Placement& p = placed.value();
+    ASSERT_EQ(p.servers.size(), replicas) << b.kind_name();
+    EXPECT_EQ(p.primaries_as_secondaries, relax) << b.kind_name();
+    std::set<ServerId> distinct(p.servers.begin(), p.servers.end());
+    EXPECT_EQ(distinct.size(), replicas) << b.kind_name() << ": duplicates";
+    std::uint32_t primaries = 0;
+    for (ServerId s : p.servers) {
+      EXPECT_TRUE(view.is_active(s)) << b.kind_name() << ": inactive replica";
+      if (view.is_primary(s)) ++primaries;
+    }
+    if (relax) {
+      EXPECT_GE(primaries, 1u) << b.kind_name();
+    } else {
+      EXPECT_EQ(primaries, 1u) << b.kind_name();
+    }
+  }
+}
+
+TEST(PlacementBackendTest, KindNamesRoundTrip) {
+  for (const auto kind : kAllKinds) {
+    const auto parsed = parse_backend_kind(backend_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_backend_kind("ringg").has_value());
+  EXPECT_FALSE(parse_backend_kind("").has_value());
+}
+
+TEST(PlacementBackendTest, StructuralInvariantsAtFullPower) {
+  const Fixture f(60, 60);
+  for (const auto kind : kAllKinds) {
+    const auto b = build_placement_backend(kind, f.view(), Version{1});
+    check_structure(*b, f.view(), 3);
+  }
+}
+
+TEST(PlacementBackendTest, StructuralInvariantsAtMinimumPower) {
+  // Active set shrunk to the primaries: the relaxed rule must kick in for
+  // r >= 2 and every backend must still produce full replica sets.
+  const std::uint32_t n = 60;
+  const std::uint32_t p = EqualWorkLayout::primary_count(n);
+  const Fixture f(n, p);
+  for (const auto kind : kAllKinds) {
+    const auto b = build_placement_backend(kind, f.view(), Version{1});
+    check_structure(*b, f.view(), 3);
+  }
+}
+
+TEST(PlacementBackendTest, StructuralInvariantsWithHoles) {
+  // Mid-chain failures punch holes in both the primary and secondary
+  // ranges (ranks 2 and 3 are primaries at n=60, p=9).
+  const Fixture f(60, 40, {Rank{2}, Rank{3}, Rank{17}, Rank{25}});
+  for (const auto kind : kAllKinds) {
+    const auto b = build_placement_backend(kind, f.view(), Version{1});
+    check_structure(*b, f.view(), 3);
+  }
+}
+
+TEST(PlacementBackendTest, FailureStatusesMatchTheOracleContract) {
+  const Fixture full(12, 12);
+  Fixture no_primary(12, 12);
+  const std::uint32_t p = no_primary.chain.primary_count();
+  for (Rank r = 1; r <= p; ++r) no_primary.membership.set_state(r, ServerState::kOff);
+  for (const auto kind : kAllKinds) {
+    const auto b = build_placement_backend(kind, full.view(), Version{1});
+    EXPECT_EQ(b->place(ObjectId{1}, 0).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(b->place(ObjectId{1}, 13).status().code(),
+              StatusCode::kUnavailable);
+
+    const auto dead =
+        build_placement_backend(kind, no_primary.view(), Version{2});
+    EXPECT_EQ(dead->place(ObjectId{1}, 1).status().code(),
+              StatusCode::kUnavailable)
+        << backend_kind_name(kind) << ": no active primary must fail";
+  }
+}
+
+TEST(PlacementBackendTest, PlacementIsDeterministic) {
+  const Fixture f(60, 45);
+  for (const auto kind : kAllKinds) {
+    const auto a = build_placement_backend(kind, f.view(), Version{1});
+    const auto b = build_placement_backend(kind, f.view(), Version{1});
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      const auto pa = a->place(ObjectId{i}, 3);
+      const auto pb = b->place(ObjectId{i}, 3);
+      ASSERT_TRUE(pa.ok());
+      ASSERT_TRUE(pb.ok());
+      EXPECT_EQ(pa.value().servers, pb.value().servers);
+    }
+  }
+}
+
+TEST(PlacementBackendTest, IncrementalRebuildMatchesColdBuild) {
+  const Fixture before(80, 80);
+  const Fixture after(80, 50, {Rank{4}, Rank{31}});
+  for (const auto kind : kAllKinds) {
+    const auto cold = build_placement_backend(kind, after.view(), Version{2});
+    const auto warm = build_placement_backend(kind, before.view(), Version{1})
+                          ->rebuild(after.view(), Version{2});
+    EXPECT_EQ(warm->kind(), kind);
+    EXPECT_EQ(warm->version(), Version{2});
+    EXPECT_EQ(warm->active_count(), cold->active_count());
+    EXPECT_EQ(warm->active_secondary_count(), cold->active_secondary_count());
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      const auto a = cold->place(ObjectId{i}, 3);
+      const auto b = warm->place(ObjectId{i}, 3);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value().servers, b.value().servers) << backend_kind_name(kind);
+    }
+  }
+}
+
+TEST(PlacementBackendTest, ShrinkChurnIsBoundedAndPrimariesAreStable) {
+  // The hash-function backends exist to make resizes cheap in *movement*
+  // too.  A tail shrink (100 -> 80 active) only disturbs secondary picks
+  // whose draws touched the powered-off ranks (~20/86 per pick here), so
+  // the majority of replica sets must survive identical — a full reshuffle
+  // would leave almost none.  The primary pick draws over [1, p] with all
+  // primaries active in both epochs, so it must never move at all.
+  const std::uint32_t n = 100;
+  const std::uint32_t oids = 2000;
+  const Fixture before(n, n);
+  const Fixture after(n, 80);
+  for (const auto kind :
+       {PlacementBackendKind::kJump, PlacementBackendKind::kDx}) {
+    const auto big = build_placement_backend(kind, before.view(), Version{1});
+    const auto small = big->rebuild(after.view(), Version{2});
+    std::uint32_t identical = 0;
+    for (std::uint32_t i = 0; i < oids; ++i) {
+      const auto a = big->place(ObjectId{i}, 3);
+      const auto b = small->place(ObjectId{i}, 3);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value().servers.front(), b.value().servers.front())
+          << backend_kind_name(kind) << ": primary pick moved on oid " << i;
+      if (a.value().servers == b.value().servers) ++identical;
+    }
+    EXPECT_GT(identical, oids * 2 / 5)
+        << backend_kind_name(kind) << ": shrink churn far above the expected "
+        << "per-pick tail-hit rate";
+    EXPECT_LT(identical, oids) << backend_kind_name(kind)
+                               << ": shrink moved nothing (suspicious)";
+  }
+}
+
+TEST(PlacementBackendTest, BytesUsedOrdersRingAboveHashBackends) {
+  const Fixture f(300, 300);
+  const auto ring = build_placement_backend(PlacementBackendKind::kRing,
+                                            f.view(), Version{1});
+  const auto jump = build_placement_backend(PlacementBackendKind::kJump,
+                                            f.view(), Version{1});
+  const auto dx =
+      build_placement_backend(PlacementBackendKind::kDx, f.view(), Version{1});
+  EXPECT_GT(ring->bytes_used(), 0u);
+  EXPECT_GT(jump->bytes_used(), 0u);
+  EXPECT_GT(dx->bytes_used(), 0u);
+  // The ring carries a vnode table; the hash backends carry bytes per
+  // server.  At n=300 with a 1000-vnode budget the gap is already wide.
+  EXPECT_GT(ring->bytes_used(), jump->bytes_used());
+  EXPECT_GT(ring->bytes_used(), dx->bytes_used());
+}
+
+TEST(PlacementBackendTest, JumpHashMatchesReferenceProperties) {
+  // Single bucket maps everything to 0; growing buckets only moves keys
+  // into the new bucket (the jump-hash defining property).
+  EXPECT_EQ(jump_hash(12345, 1), 0u);
+  for (std::uint32_t buckets = 1; buckets < 40; ++buckets) {
+    for (std::uint64_t key = 1; key <= 200; ++key) {
+      const std::uint32_t a = jump_hash(key, buckets);
+      const std::uint32_t b = jump_hash(key, buckets + 1);
+      ASSERT_LT(a, buckets);
+      ASSERT_TRUE(b == a || b == buckets)
+          << "key " << key << " moved to an old bucket";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ech
