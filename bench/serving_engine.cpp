@@ -32,6 +32,8 @@ struct Flags {
   std::uint64_t objects{20'000};
   std::uint32_t servers{300};
   std::uint32_t replicas{3};
+  double write_fraction{0.05};
+  double read_fraction{0.20};
   bool churn{true};
   bool sweep{false};
   ech::PlacementBackendKind backend{ech::PlacementBackendKind::kRing};
@@ -53,6 +55,10 @@ Flags parse_flags(int argc, char** argv) {
       f.servers = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (arg == "--replicas" && i + 1 < argc) {
       f.replicas = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--write-fraction" && i + 1 < argc) {
+      f.write_fraction = std::stod(argv[++i]);
+    } else if (arg == "--read-fraction" && i + 1 < argc) {
+      f.read_fraction = std::stod(argv[++i]);
     } else if (arg == "--no-churn") {
       f.churn = false;
     } else if (arg == "--sweep") {
@@ -76,6 +82,7 @@ Flags parse_flags(int argc, char** argv) {
       std::printf(
           "usage: %s [--threads N] [--ms N] [--objects N] [--servers N]\n"
           "          [--replicas N] [--backend ring|jump|dx] [--no-churn]\n"
+          "          [--write-fraction F] [--read-fraction F]\n"
           "          [--sweep] [--quick] [--json <path>]\n",
           argv[0]);
       std::exit(0);
@@ -139,10 +146,11 @@ int main(int argc, char** argv) {
       "serving_engine — closed-loop macro bench over ConcurrentElasticCluster",
       "serving-path throughput/latency under resize churn (ROADMAP item 1)");
   std::printf("servers=%u replicas=%u backend=%s objects=%llu duration=%llums "
-              "churn=%s build=%s cpus=%u\n\n",
+              "mix=w%.2f/r%.2f churn=%s build=%s cpus=%u\n\n",
               flags.servers, flags.replicas, flags.backend_name.c_str(),
               static_cast<unsigned long long>(flags.objects),
               static_cast<unsigned long long>(flags.duration_ms),
+              flags.write_fraction, flags.read_fraction,
               (flags.churn && !flags.sweep) ? "on" : "off",
               ech::bench::build_type(), std::thread::hardware_concurrency());
   ech::bench::print_row({flags.sweep ? "active" : "threads", "ops/s", "p50_us",
@@ -172,6 +180,8 @@ int main(int argc, char** argv) {
     config.placement_backend = flags.backend;
     config.threads = flags.sweep ? sweep_threads : point;
     config.preload_objects = flags.objects;
+    config.write_fraction = flags.write_fraction;
+    config.read_fraction = flags.read_fraction;
     config.duration_ms = flags.duration_ms;
     if (flags.sweep) {
       config.active_servers = point;
@@ -220,6 +230,8 @@ int main(int argc, char** argv) {
         "    \"backend\": \"%s\",\n"
         "    \"mode\": \"%s\",\n"
         "    \"preload_objects\": %llu,\n"
+        "    \"write_fraction\": %.3f,\n"
+        "    \"read_fraction\": %.3f,\n"
         "    \"duration_ms\": %llu,\n"
         "    \"resize_churn\": %s\n"
         "  },\n  \"benchmarks\": [\n%s\n  ]\n}\n",
@@ -227,6 +239,7 @@ int main(int argc, char** argv) {
         ech::bench::build_type(), flags.servers, flags.replicas,
         flags.backend_name.c_str(), flags.sweep ? "sweep" : "threads",
         static_cast<unsigned long long>(flags.objects),
+        flags.write_fraction, flags.read_fraction,
         static_cast<unsigned long long>(flags.duration_ms),
         (flags.churn && !flags.sweep) ? "true" : "false", runs.c_str());
     std::fclose(out);

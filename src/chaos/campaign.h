@@ -18,6 +18,14 @@
 // gated (at generation AND replay) on every acknowledged object keeping a
 // fresh replica off the victim, so any post-failure data loss is the
 // system's fault, never the schedule's.
+//
+// Threading contract with the striped store (store/stripe.h): all
+// MUTATIONS run on the driver thread — reader threads only call
+// read()/placement_of(), taking shared stripe locks and epoch pins.  The
+// checker reads the inner cluster directly from the driver thread, which
+// is safe because no writer can be mid-op when it runs.  This is also why
+// net::RemoteDirtyTable may stay single-writer while the in-process
+// DirtyTable synchronizes internally for the serving engine's sake.
 #pragma once
 
 #include <cstdint>

@@ -3,7 +3,7 @@
 // The core facade follows a single-owner threading model (one thread — or
 // the simulator — drives it).  A real storage daemon has a request path,
 // a re-integration thread and a membership/controller thread running
-// concurrently; ConcurrentElasticCluster provides that with a two-tier
+// concurrently; ConcurrentElasticCluster provides that with a three-tier
 // scheme:
 //
 //   * The *placement* path is lock-free AND write-free.  Every membership
@@ -18,21 +18,41 @@
 //     every reader core).  An in-flight lookup still keeps its epoch alive
 //     while a resize publishes the next one; retired snapshots are
 //     reclaimed once no reader slot pins them.
-//   * The *object store* (replica directories) is still guarded by the
-//     reader/writer lock: read() takes it shared; anything that can move
-//     replicas or change membership takes it exclusive and republishes the
-//     index before unlocking.
+//   * The *request* path (write/read/remove of ONE object) locks only the
+//     stripe that owns the object: kStoreStripes shared_mutexes, one per
+//     directory stripe (store/stripe.h), each on its own cacheline.  Every
+//     server's replica directory is partitioned by the same
+//     shard_index_for(oid), so holding stripe i covers sub-directory i of
+//     every server — two writers in different stripes touch disjoint maps
+//     and never serialize (the old design funnelled all writers through a
+//     single exclusive shared_mutex; see ROADMAP item on the serving write
+//     path).  Per-server byte accounting is atomic, and the dirty table
+//     and durability journal synchronize internally.
+//   * The *control plane* (resize, fail/recover, maintenance/repair steps)
+//     acquires ALL stripes in ascending order before mutating membership,
+//     moving replicas or republishing the epoch.  Request threads hold
+//     exactly one stripe and all-stripe lockers acquire in one fixed
+//     order, so the scheme is deadlock-free; while the control plane runs
+//     it has the same exclusive view the single-lock design gave it.
+//
+// Lock ordering (outermost first): stripe locks ascending -> DirtyTable
+// internal mutex -> Durability internal mutex.  Nothing acquires a stripe
+// while holding either inner mutex, so no cycles.
 //
 // The paper's system serialises membership changes through epochs anyway,
-// so writers staying coarse-grained is faithful; the per-request lookup is
-// the path that must scale with cores (see bench/micro_placement).
+// so the control plane staying coarse-grained is faithful; the per-request
+// lookup AND the per-object write are the paths that must scale with cores
+// (see bench/micro_placement and bench/serving_engine).
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 
 #include "core/elastic_cluster.h"
 #include "core/epoch_pin.h"
+#include "store/stripe.h"
 
 namespace ech {
 
@@ -55,16 +75,19 @@ class ConcurrentElasticCluster {
   }
 
   // -- request path ---------------------------------------------------------
+  // One stripe lock each: the oid's stripe covers its sub-directory on
+  // every server, so placement, replica puts/erases and the dirty-table
+  // append all run without blocking writers in other stripes.
   Status write(ObjectId oid, Bytes size) {
-    std::unique_lock lock(mutex_);
+    std::unique_lock lock(stripes_[shard_index_for(oid)].m);
     return inner_->write(oid, size);
   }
   [[nodiscard]] Expected<std::vector<ServerId>> read(ObjectId oid) const {
-    std::shared_lock lock(mutex_);
+    std::shared_lock lock(stripes_[shard_index_for(oid)].m);
     return inner_->read(oid);
   }
   std::uint64_t remove_object(ObjectId oid) {
-    std::unique_lock lock(mutex_);
+    std::unique_lock lock(stripes_[shard_index_for(oid)].m);
     return inner_->remove_object(oid);
   }
   /// Lock-free and write-free: pins the current epoch via a per-thread
@@ -100,42 +123,45 @@ class ConcurrentElasticCluster {
   }
 
   // -- control plane ---------------------------------------------------------
+  // All stripes, exclusive, ascending: membership changes and replica
+  // migration touch every stripe's directories, and the epoch republish
+  // must not race a request-path writer mid-object.
   Status request_resize(std::uint32_t target) {
-    std::unique_lock lock(mutex_);
+    const AllExclusive all(stripes_);
     const Status s = inner_->request_resize(target);
     republish();
     return s;
   }
   Bytes maintenance_step(Bytes byte_budget) {
-    std::unique_lock lock(mutex_);
+    const AllExclusive all(stripes_);
     return inner_->maintenance_step(byte_budget);
   }
   Status fail_server(ServerId id) {
-    std::unique_lock lock(mutex_);
+    const AllExclusive all(stripes_);
     const Status s = inner_->fail_server(id);
     republish();
     return s;
   }
   Status recover_server(ServerId id) {
-    std::unique_lock lock(mutex_);
+    const AllExclusive all(stripes_);
     const Status s = inner_->recover_server(id);
     republish();
     return s;
   }
   Bytes repair_step(Bytes byte_budget) {
-    std::unique_lock lock(mutex_);
+    const AllExclusive all(stripes_);
     return inner_->repair_step(byte_budget);
   }
   [[nodiscard]] Bytes pending_repair_bytes() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->pending_repair_bytes();
   }
   [[nodiscard]] std::size_t repair_backlog() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->repair_backlog();
   }
   [[nodiscard]] std::uint32_t failed_count() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->failed_count();
   }
 
@@ -146,11 +172,11 @@ class ConcurrentElasticCluster {
     return pin->active_count();
   }
   [[nodiscard]] std::uint32_t server_count() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->server_count();
   }
   [[nodiscard]] std::uint32_t min_active() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->min_active();
   }
   [[nodiscard]] Version current_version() const {
@@ -158,11 +184,11 @@ class ConcurrentElasticCluster {
     return pin->version();
   }
   [[nodiscard]] std::size_t dirty_entries() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->dirty_table().size();
   }
   [[nodiscard]] Bytes pending_maintenance_bytes() const {
-    std::shared_lock lock(mutex_);
+    const AllShared all(stripes_);
     return inner_->pending_maintenance_bytes();
   }
 
@@ -174,11 +200,54 @@ class ConcurrentElasticCluster {
   /// Republish the inner cluster's index (after an unsynchronized() phase
   /// that changed membership).
   void refresh_index() {
-    std::unique_lock lock(mutex_);
+    const AllExclusive all(stripes_);
     republish();
   }
 
  private:
+  /// One shared_mutex per directory stripe, padded so request threads in
+  /// neighbouring stripes never contend on a cacheline.
+  struct alignas(64) StripeLock {
+    mutable std::shared_mutex m;
+  };
+  using StripeLocks = std::array<StripeLock, kStoreStripes>;
+
+  // RAII all-stripes guards.  Acquisition is ascending (the ONLY multi-
+  // stripe order in the codebase) and release descending; request threads
+  // hold exactly one stripe, so lock-order cycles are impossible.
+  class AllExclusive {
+   public:
+    explicit AllExclusive(const StripeLocks& stripes) : stripes_(stripes) {
+      for (auto& s : stripes_) s.m.lock();
+    }
+    ~AllExclusive() {
+      for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) {
+        it->m.unlock();
+      }
+    }
+    AllExclusive(const AllExclusive&) = delete;
+    AllExclusive& operator=(const AllExclusive&) = delete;
+
+   private:
+    const StripeLocks& stripes_;
+  };
+  class AllShared {
+   public:
+    explicit AllShared(const StripeLocks& stripes) : stripes_(stripes) {
+      for (auto& s : stripes_) s.m.lock_shared();
+    }
+    ~AllShared() {
+      for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) {
+        it->m.unlock_shared();
+      }
+    }
+    AllShared(const AllShared&) = delete;
+    AllShared& operator=(const AllShared&) = delete;
+
+   private:
+    const StripeLocks& stripes_;
+  };
+
   explicit ConcurrentElasticCluster(std::unique_ptr<ElasticCluster> inner)
       : inner_(std::move(inner)),
         epochs_(inner_->placement_index(), &inner_->metrics_registry()),
@@ -187,13 +256,13 @@ class ConcurrentElasticCluster {
             "ech_placement_lookups_total", {},
             "Placement lookups served by the pinned index")) {}
 
-  /// Callers hold mutex_ exclusively; readers pick the new epoch up on
-  /// their next pin while in-flight lookups finish on the old one.  The
+  /// Callers hold every stripe exclusively; readers pick the new epoch up
+  /// on their next pin while in-flight lookups finish on the old one.  The
   /// domain retires the previous snapshot and reclaims whatever no reader
   /// slot still pins.
   void republish() { epochs_.publish(inner_->placement_index()); }
 
-  mutable std::shared_mutex mutex_;
+  StripeLocks stripes_;
   std::unique_ptr<ElasticCluster> inner_;
   PlacementEpochDomain epochs_;
   std::uint32_t replicas_;

@@ -33,6 +33,7 @@ std::string DirtyTable::seen_key_for(Version v, ObjectId oid) {
 
 bool DirtyTable::insert(ObjectId oid, Version version) {
   assert(version.value >= 1);
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (dedupe_) {
     const std::string seen = seen_key_for(version, oid);
     auto& shard = store_->shard_for(seen);
@@ -57,6 +58,7 @@ std::size_t DirtyTable::list_len(Version v) const {
 }
 
 std::size_t DirtyTable::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (std::uint32_t v = lo_version_; v != 0 && v <= hi_version_; ++v) {
     total += list_len(Version{v});
@@ -67,11 +69,13 @@ std::size_t DirtyTable::size() const {
 std::size_t DirtyTable::size_at(Version v) const { return list_len(v); }
 
 void DirtyTable::restart() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   cursor_version_ = lo_version_;
   cursor_index_ = 0;
 }
 
 std::optional<DirtyEntry> DirtyTable::fetch_next() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (lo_version_ == 0) return std::nullopt;
   if (cursor_version_ == 0) cursor_version_ = lo_version_;
   while (cursor_version_ <= hi_version_) {
@@ -90,6 +94,11 @@ std::optional<DirtyEntry> DirtyTable::fetch_next() {
 }
 
 bool DirtyTable::remove(const DirtyEntry& entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return remove_locked(entry);
+}
+
+bool DirtyTable::remove_locked(const DirtyEntry& entry) {
   const std::string key = key_for(entry.version);
   auto& shard = store_->shard_for(key);
   // LREM removes the FIRST occurrence, which is not necessarily the one the
@@ -125,15 +134,16 @@ bool DirtyTable::remove(const DirtyEntry& entry) {
 }
 
 std::size_t DirtyTable::remove_entries(ObjectId oid) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (lo_version_ == 0) return 0;
-  // Route every removal through remove() so the cursor bookkeeping has a
-  // single implementation; the bounds are cached because remove() tightens
+  // Route every removal through remove_locked() so the cursor bookkeeping
+  // has a single implementation; the bounds are cached because it tightens
   // them as lists empty out.
   const std::uint32_t lo = lo_version_;
   const std::uint32_t hi = hi_version_;
   std::size_t removed_total = 0;
   for (std::uint32_t v = lo; v <= hi; ++v) {
-    while (remove(DirtyEntry{oid, Version{v}})) ++removed_total;
+    while (remove_locked(DirtyEntry{oid, Version{v}})) ++removed_total;
   }
   return removed_total;
 }
@@ -149,6 +159,7 @@ void DirtyTable::tighten_bounds() {
 }
 
 void DirtyTable::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   // Journal the wipe only when there was something to wipe.
   if (listener_ != nullptr && lo_version_ != 0) listener_->on_dirty_clear();
   for (std::uint32_t v = lo_version_; v != 0 && v <= hi_version_; ++v) {
@@ -181,11 +192,13 @@ std::vector<ObjectId> DirtyTable::entries_at(Version v) const {
 }
 
 std::optional<Version> DirtyTable::min_version() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (lo_version_ == 0) return std::nullopt;
   return Version{lo_version_};
 }
 
 std::optional<Version> DirtyTable::max_version() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (hi_version_ == 0) return std::nullopt;
   return Version{hi_version_};
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -52,8 +53,12 @@ class DirtyTableListener {
 ///   * net::RemoteDirtyTable — the same Redis-list protocol spoken over the
 ///     deterministic message fabric, with partition-degraded writes queued
 ///     locally (src/net/remote_dirty_table.h).
-/// All methods are single-writer: the cluster facade serializes mutations
-/// (ConcurrentElasticCluster holds its exclusive lock around them).
+/// Threading differs per implementation.  DirtyTable synchronizes
+/// internally (one mutex) because stripe-concurrent writers append to it
+/// from the request path — it sits BELOW the facade's stripe locks in the
+/// lock order (concurrent_cluster.h).  net::RemoteDirtyTable stays
+/// single-writer: all chaos-campaign mutations run on the driver thread,
+/// and the fabric transport is not reentrant.
 class DirtyStore {
  public:
   virtual ~DirtyStore() = default;
@@ -110,6 +115,12 @@ class DirtyStore {
   }
 };
 
+/// In-process dirty table.  Thread-safe: every public method takes the
+/// internal mutex, so concurrent request-path inserts (one per stripe
+/// writer) interleave with scans and retirements without torn version
+/// bounds or cursor state.  Callers must not hold the mutex-ordered-later
+/// Durability mutex when calling in (they never do; see
+/// concurrent_cluster.h lock order).
 class DirtyTable final : public DirtyStore {
  public:
   /// The table does not own the store (it is the cluster's shared KV
@@ -159,6 +170,7 @@ class DirtyTable final : public DirtyStore {
   /// harnesses can cross-examine cursor consistency under interleaved
   /// fetch/remove traffic; (0, 0) before the first restart.
   [[nodiscard]] std::pair<Version, std::size_t> cursor() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return {Version{cursor_version_}, cursor_index_};
   }
 
@@ -190,9 +202,18 @@ class DirtyTable final : public DirtyStore {
  private:
   [[nodiscard]] std::size_t list_len(Version v) const;
 
+  /// remove() body; callers hold mutex_.  remove_entries() loops it
+  /// without re-acquiring.
+  bool remove_locked(const DirtyEntry& entry);
+
   /// Advance lo_version_ past emptied lists; reset bounds when empty.
+  /// Callers hold mutex_.
   void tighten_bounds();
 
+  /// Guards the version bounds and scan cursor below (the KV store has its
+  /// own per-shard locking, but lo/hi/cursor must move atomically with the
+  /// list mutation that justified them).
+  mutable std::mutex mutex_;
   kv::ShardedStore* store_;
   DirtyTableListener* listener_{nullptr};
   bool dedupe_{false};

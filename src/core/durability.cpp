@@ -81,10 +81,14 @@ Status Durability::roll_generation(std::uint64_t new_seq) {
   // checkpoint it belongs to (recovery tolerates a missing WAL anyway).
   if (Status s = wal.value()->sync(); !s.is_ok()) return s;
 
-  const std::uint64_t old_seq = seq_;
-  seq_ = new_seq;
-  wal_ = std::move(wal).value();
-  pending_ = 0;
+  std::uint64_t old_seq = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    old_seq = seq_;
+    seq_ = new_seq;
+    wal_ = std::move(wal).value();
+    pending_ = 0;
+  }
 
   // The new generation is durable; everything else in the directory is
   // garbage.  Deletion is best-effort — recovery picks the newest valid
@@ -103,8 +107,18 @@ Status Durability::roll_generation(std::uint64_t new_seq) {
 }
 
 Status Durability::checkpoint() {
-  if (!broken_.is_ok()) return broken_;
-  if (Status s = roll_generation(seq_ + 1); !s.is_ok()) {
+  // Snapshotting the cluster requires the caller to exclude concurrent
+  // mutators (all stripes held, or a single-threaded phase), so mutex_ is
+  // only needed for the journal-state reads/writes — holding it across
+  // save_snapshot would invert the dirty->durability lock order.
+  std::uint64_t next = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!broken_.is_ok()) return broken_;
+    next = seq_ + 1;
+  }
+  if (Status s = roll_generation(next); !s.is_ok()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     broken_ = s;
     return broken_;
   }
@@ -112,6 +126,7 @@ Status Durability::checkpoint() {
 }
 
 Status Durability::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (!broken_.is_ok()) return broken_;
   if (pending_ == 0) return Status::ok();
   if (Status s = wal_->sync(); !s.is_ok()) {
@@ -123,6 +138,7 @@ Status Durability::sync() {
 }
 
 void Durability::append(const std::string& payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (!broken_.is_ok()) return;
   if (Status s = wal_->append_record(payload); !s.is_ok()) {
     broken_ = s;

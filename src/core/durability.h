@@ -33,10 +33,21 @@
 // failure makes the journal permanently "broken" (sticky status via
 // ElasticCluster::durability_status()); the in-memory cluster keeps
 // serving, and the harness treats later ops as non-durable.
+//
+// Threading: append/sync/log_version and the listener callbacks take the
+// internal mutex, so stripe-concurrent writers journal safely.  In the
+// facade's lock order this mutex is innermost (stripes -> dirty table ->
+// durability; the dirty table invokes its listener while holding its own
+// mutex).  checkpoint() deliberately does NOT hold the mutex across the
+// snapshot — the caller must exclude concurrent mutators anyway (a
+// checkpoint of a cluster mid-write is meaningless), and holding it there
+// would invert the dirty->durability order when the snapshot reads the
+// dirty table.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -71,9 +82,15 @@ class Durability final : public DirtyTableListener, public StoreListener {
   /// ops never consume a sync).
   Status sync();
 
-  [[nodiscard]] const Status& status() const { return broken_; }
+  [[nodiscard]] Status status() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return broken_;
+  }
   [[nodiscard]] const std::string& dir() const { return dir_; }
-  [[nodiscard]] std::uint64_t sequence() const { return seq_; }
+  [[nodiscard]] std::uint64_t sequence() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return seq_;
+  }
 
   /// Journal a membership transition (called by ElasticCluster after every
   /// history append).
@@ -99,7 +116,8 @@ class Durability final : public DirtyTableListener, public StoreListener {
       : cluster_(&cluster), env_(&env), dir_(std::move(dir)) {}
 
   /// Write CHECKPOINT-<seq> via tmp + sync + rename, open an empty
-  /// WAL-<seq>, delete the previous generation.
+  /// WAL-<seq>, delete the previous generation.  Runs without mutex_ (see
+  /// header comment); the generation swap itself takes it.
   Status roll_generation(std::uint64_t new_seq);
 
   void append(const std::string& payload);
@@ -107,6 +125,9 @@ class Durability final : public DirtyTableListener, public StoreListener {
   ElasticCluster* cluster_;
   io::Env* env_;
   std::string dir_;
+  /// Guards seq_, wal_, pending_ and broken_ (innermost lock; never held
+  /// while calling back into the cluster or the dirty table).
+  mutable std::mutex mutex_;
   std::uint64_t seq_{0};
   std::unique_ptr<io::WalWriter> wal_;
   std::uint64_t pending_{0};  // appended records not yet synced

@@ -113,6 +113,11 @@ class ElasticCluster final : public StorageSystem {
   ~ElasticCluster() override;  // out-of-line: durability_ is incomplete here
 
   // -- StorageSystem ------------------------------------------------------
+  // write/read/remove_object only touch the oid's directory stripe (plus
+  // internally synchronized state: dirty table, durability, atomic server
+  // counters, obs instruments), so ConcurrentElasticCluster may run them
+  // concurrently for oids in different stripes.  Every other method still
+  // requires exclusivity.
   Status write(ObjectId oid, Bytes size) override;
   [[nodiscard]] Expected<std::vector<ServerId>> read(
       ObjectId oid) const override;

@@ -3,6 +3,12 @@
 // full re-integration) and OriginalChCluster (plain consistent hashing with
 // Sheepdog-style recovery).  The simulation layer (sim/cluster_sim.h) drives
 // any implementation through this interface.
+//
+// Implementations are single-owner: one thread (or the simulator) drives
+// them.  The exception is ElasticCluster behind ConcurrentElasticCluster,
+// whose stripe locks allow write/read/remove_object for oids in DIFFERENT
+// directory stripes to run concurrently (store/stripe.h); everything else
+// still requires exclusivity.
 #pragma once
 
 #include <cstdint>

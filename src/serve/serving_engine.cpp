@@ -36,6 +36,19 @@ ServingEngine::~ServingEngine() = default;
 Expected<ServingReport> ServingEngine::run() {
   obs::MetricsRegistry& registry = *config_.metrics;
 
+  if (config_.write_fraction < 0.0 || config_.read_fraction < 0.0 ||
+      config_.write_fraction + config_.read_fraction > 1.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "write_fraction/read_fraction must be >= 0 and sum to <= 1"};
+  }
+  // Reads draw exclusively from the preload; with an empty keyspace the
+  // draw would be meaningless (and used to underflow to the whole u64
+  // space).  Writes are fine — the update half of the mix is skipped below.
+  if (config_.preload_objects == 0 && config_.read_fraction > 0.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "read_fraction > 0 requires preload_objects > 0"};
+  }
+
   ElasticClusterConfig cluster_config;
   cluster_config.server_count = config_.server_count;
   cluster_config.replicas = config_.replicas;
@@ -51,7 +64,11 @@ Expected<ServingReport> ServingEngine::run() {
       config_.active_servers < config_.server_count) {
     const Status s = cluster->request_resize(config_.active_servers);
     if (!s.is_ok()) return s;
-    while (cluster->maintenance_step(config_.maintenance_budget) > 0) {
+    // A zero budget pumps nothing and must not spin here forever; the run
+    // then serves with re-integration outstanding, which is a valid sweep.
+    if (config_.maintenance_budget > 0) {
+      while (cluster->maintenance_step(config_.maintenance_budget) > 0) {
+      }
     }
   }
 
@@ -103,11 +120,13 @@ Expected<ServingReport> ServingEngine::run() {
         const double dice = rng.next_double();
         const auto op_start = now;
         if (dice < config_.write_fraction) {
-          // Half updates of preloaded keys, half fresh inserts.
-          const ObjectId oid = rng.bernoulli(0.5)
-                                   ? ObjectId{rng.uniform(
-                                         0, config_.preload_objects - 1)}
-                                   : ObjectId{fresh++};
+          // Half updates of preloaded keys, half fresh inserts.  With no
+          // preload every write is a fresh insert (the uniform draw on an
+          // empty range would underflow to the whole u64 keyspace).
+          const ObjectId oid =
+              config_.preload_objects > 0 && rng.bernoulli(0.5)
+                  ? ObjectId{rng.uniform(0, config_.preload_objects - 1)}
+                  : ObjectId{fresh++};
           if (!cluster->write(oid, 0).is_ok()) ++local_errors;
           ops_write.inc();
           ++local_write;
@@ -136,24 +155,40 @@ Expected<ServingReport> ServingEngine::run() {
   std::thread controller;
   if (config_.resize_churn) {
     controller = std::thread([&] {
+      // Sleep in small slices so a long churn_period_ms cannot pin the
+      // thread past the deadline or a stop request: a full-period
+      // sleep_for used to overshoot the run by up to churn_period_ms.
+      constexpr auto kSlice = std::chrono::milliseconds(2);
       bool low = true;
-      while (Clock::now() < deadline && !stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(config_.churn_period_ms));
+      auto next_churn =
+          Clock::now() + std::chrono::milliseconds(config_.churn_period_ms);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto now = Clock::now();
+        if (now >= deadline) break;
+        if (now < next_churn) {
+          std::this_thread::sleep_for(
+              std::min<Clock::duration>(kSlice, next_churn - now));
+          continue;
+        }
         if (cluster->request_resize(low ? churn_low : config_.server_count)
                 .is_ok()) {
           resizes.fetch_add(1, std::memory_order_relaxed);
         }
         low = !low;
         (void)cluster->maintenance_step(config_.maintenance_budget);
+        next_churn =
+            Clock::now() + std::chrono::milliseconds(config_.churn_period_ms);
       }
     });
   }
 
   for (auto& w : workers) w.join();
+  // The measurement window closes when the last worker stops issuing
+  // requests; joining the controller first used to inflate duration_s (and
+  // deflate ops/s) by up to one churn period.
+  const auto end = Clock::now();
   stop.store(true, std::memory_order_relaxed);
   if (controller.joinable()) controller.join();
-  const auto end = Clock::now();
 
   ServingReport report;
   report.placement_ops = placement_ops.load();

@@ -5,8 +5,9 @@
 // worker threads issuing a configurable mix of requests:
 //
 //   * placement lookups — the routing hot path (lock-free epoch pin),
-//   * reads             — shared-lock replica-directory lookups,
-//   * writes            — exclusive-lock replica placement + dirty tracking,
+//   * reads             — shared-lock on the object's directory stripe,
+//   * writes            — exclusive lock on ONE directory stripe (replica
+//                         placement + dirty tracking; store/stripe.h),
 //
 // while (optionally) a controller thread churns the active set between a
 // low- and full-power target and pumps re-integration, so the numbers are
@@ -19,6 +20,11 @@
 // previous one returns: throughput is the system's, not an offered load.
 // Open-loop arrival processes, batching and admission control layer on top
 // of this in later PRs.
+//
+// Measurement contract: duration_s spans preload-done to last-worker-join —
+// the controller thread (which sleeps in small slices and re-checks the
+// deadline) is joined after the clock stops, so churn housekeeping never
+// inflates the denominator of ops_per_sec.
 #pragma once
 
 #include <cstdint>
@@ -43,8 +49,11 @@ struct ServingConfig {
   std::uint32_t active_servers{0};
   std::uint32_t threads{4};
   /// Keyspace preloaded before the clock starts; reads draw from it.
+  /// With 0 preload, read_fraction must be 0 (run() rejects it) and every
+  /// write is a fresh insert.
   std::uint64_t preload_objects{20'000};
-  /// Request mix: writes, then reads, remainder placement lookups.
+  /// Request mix: writes, then reads, remainder placement lookups.  Both
+  /// must be >= 0 and sum to <= 1 (run() validates).
   double write_fraction{0.05};
   double read_fraction{0.20};
   std::uint64_t duration_ms{2'000};

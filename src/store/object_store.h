@@ -5,6 +5,15 @@
 // per server.  Placement decisions (original CH vs primary-server) live in
 // core/placement.h; recovery/migration planning lives in store/recovery.h
 // and core/reintegrator.h.
+//
+// Concurrency: the cluster itself holds no locks — synchronization is the
+// caller's job (ConcurrentElasticCluster's stripe locks, store/stripe.h).
+// Per-oid operations (put_replicas, erase_object, locate, move_replica on a
+// single oid) only touch the oid's directory stripe on each server, so they
+// are safe under that one stripe's lock even though they iterate servers.
+// Aggregates over counters (total_bytes, total_puts, bytes_per_server, ...)
+// read atomics and are always safe; aggregates over directories
+// (total_replicas, objects_per_server, clear) need all stripes held.
 #pragma once
 
 #include <cstdint>

@@ -7,42 +7,58 @@ Status StorageServer::put(ObjectId oid, const ObjectHeader& header,
   if (size < 0) {
     return {StatusCode::kInvalidArgument, "negative object size"};
   }
-  const auto it = objects_.find(oid);
-  const Bytes delta = size - (it != objects_.end() ? it->second.size : 0);
-  if (capacity_ > 0 && bytes_stored_ + delta > capacity_) {
-    return {StatusCode::kOutOfRange,
-            "server " + std::to_string(id_.value) + " full"};
+  auto& dir = stripe(oid).objects;
+  const auto it = dir.find(oid);
+  const Bytes delta = size - (it != dir.end() ? it->second.size : 0);
+  if (capacity_ > 0) {
+    // Reserve the delta before mutating the directory: stripe-concurrent
+    // writers race on bytes_stored_, and a plain load+check+add could admit
+    // two writes whose sum overshoots capacity.  The oid's own entry is
+    // stable (same oid -> same stripe -> caller's stripe lock), so delta
+    // cannot change under us.
+    Bytes cur = bytes_stored_.load(std::memory_order_relaxed);
+    do {
+      if (cur + delta > capacity_) {
+        return {StatusCode::kOutOfRange,
+                "server " + std::to_string(id_.value) + " full"};
+      }
+    } while (!bytes_stored_.compare_exchange_weak(cur, cur + delta,
+                                                  std::memory_order_relaxed));
+  } else {
+    bytes_stored_.fetch_add(delta, std::memory_order_relaxed);
   }
-  if (it != objects_.end()) {
+  if (it != dir.end()) {
     it->second = Entry{header, size};
   } else {
-    objects_.emplace(oid, Entry{header, size});
+    dir.emplace(oid, Entry{header, size});
   }
-  bytes_stored_ += delta;
-  bytes_written_ += size;
-  ++put_count_;
+  bytes_written_.fetch_add(size, std::memory_order_relaxed);
+  put_count_.fetch_add(1, std::memory_order_relaxed);
   if (listener_ != nullptr) listener_->on_put(id_, oid, header, size);
   return Status::ok();
 }
 
 bool StorageServer::erase(ObjectId oid) {
-  const auto it = objects_.find(oid);
-  if (it == objects_.end()) return false;
-  bytes_stored_ -= it->second.size;
-  objects_.erase(it);
+  auto& dir = stripe(oid).objects;
+  const auto it = dir.find(oid);
+  if (it == dir.end()) return false;
+  bytes_stored_.fetch_sub(it->second.size, std::memory_order_relaxed);
+  dir.erase(it);
   if (listener_ != nullptr) listener_->on_erase(id_, oid);
   return true;
 }
 
 std::optional<StoredObject> StorageServer::get(ObjectId oid) const {
-  const auto it = objects_.find(oid);
-  if (it == objects_.end()) return std::nullopt;
+  const auto& dir = stripe(oid).objects;
+  const auto it = dir.find(oid);
+  if (it == dir.end()) return std::nullopt;
   return StoredObject{oid, it->second.header, it->second.size};
 }
 
 Status StorageServer::set_header(ObjectId oid, const ObjectHeader& header) {
-  const auto it = objects_.find(oid);
-  if (it == objects_.end()) {
+  auto& dir = stripe(oid).objects;
+  const auto it = dir.find(oid);
+  if (it == dir.end()) {
     return {StatusCode::kNotFound, "object not on server"};
   }
   it->second.header = header;
@@ -54,17 +70,22 @@ Status StorageServer::set_header(ObjectId oid, const ObjectHeader& header) {
 
 std::vector<StoredObject> StorageServer::list() const {
   std::vector<StoredObject> out;
-  out.reserve(objects_.size());
-  for (const auto& [oid, entry] : objects_) {
-    out.push_back(StoredObject{oid, entry.header, entry.size});
+  out.reserve(object_count());
+  for (const auto& s : stripes_) {
+    for (const auto& [oid, entry] : s.objects) {
+      out.push_back(StoredObject{oid, entry.header, entry.size});
+    }
   }
   return out;
 }
 
 void StorageServer::clear() {
-  const bool had_objects = !objects_.empty();
-  objects_.clear();
-  bytes_stored_ = 0;
+  bool had_objects = false;
+  for (auto& s : stripes_) {
+    had_objects = had_objects || !s.objects.empty();
+    s.objects.clear();
+  }
+  bytes_stored_.store(0, std::memory_order_relaxed);
   if (listener_ != nullptr && had_objects) listener_->on_server_clear(id_);
 }
 

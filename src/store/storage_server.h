@@ -3,8 +3,25 @@
 // The simulation never materialises object payloads — experiments measure
 // *which* replicas exist where and how many bytes move, so each server keeps
 // an OID -> header/size map plus byte accounting against its capacity.
+//
+// The directory is partitioned into kStoreStripes sub-maps keyed by
+// shard_index_for(oid) (store/stripe.h), each cacheline-padded, so callers
+// holding distinct stripe locks (ConcurrentElasticCluster's request path)
+// mutate disjoint maps.  The concurrency contract:
+//
+//   * put/erase/get/contains/set_header touch ONLY the stripe owning the
+//     oid — safe under that stripe's lock;
+//   * byte/put accounting is atomic (relaxed) so cross-stripe writers and
+//     gauge readers never race, and the capacity check reserves its delta
+//     with a CAS so concurrent writers cannot overshoot the capacity;
+//   * list/clear/object_count walk every stripe — callers must hold all
+//     stripes (control-plane ops) or be single-threaded;
+//   * the listener, when attached, is invoked from whatever thread mutates
+//     the directory and must be internally synchronized (Durability is).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -13,6 +30,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "store/object.h"
+#include "store/stripe.h"
 
 namespace ech {
 
@@ -34,22 +52,58 @@ class StorageServer {
   StorageServer() = default;
   StorageServer(ServerId id, Bytes capacity) : id_(id), capacity_(capacity) {}
 
+  // Movable (vector storage); the atomics force the moves to be spelled
+  // out.  Moves happen only during single-threaded construction.
+  StorageServer(StorageServer&& o) noexcept
+      : listener_(o.listener_),
+        id_(o.id_),
+        capacity_(o.capacity_),
+        bytes_stored_(o.bytes_stored_.load(std::memory_order_relaxed)),
+        bytes_written_(o.bytes_written_.load(std::memory_order_relaxed)),
+        put_count_(o.put_count_.load(std::memory_order_relaxed)),
+        stripes_(std::move(o.stripes_)) {}
+  StorageServer& operator=(StorageServer&& o) noexcept {
+    listener_ = o.listener_;
+    id_ = o.id_;
+    capacity_ = o.capacity_;
+    bytes_stored_.store(o.bytes_stored_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    bytes_written_.store(o.bytes_written_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    put_count_.store(o.put_count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    stripes_ = std::move(o.stripes_);
+    return *this;
+  }
+
   [[nodiscard]] ServerId id() const { return id_; }
   [[nodiscard]] Bytes capacity() const { return capacity_; }
-  [[nodiscard]] Bytes bytes_stored() const { return bytes_stored_; }
+  [[nodiscard]] Bytes bytes_stored() const {
+    return bytes_stored_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double utilization() const {
     return capacity_ > 0
-               ? static_cast<double>(bytes_stored_) /
+               ? static_cast<double>(bytes_stored()) /
                      static_cast<double>(capacity_)
                : 0.0;
   }
-  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  /// Replicas across every stripe.  Callers must hold all stripes or be
+  /// single-threaded (unordered_map::size is not atomic).
+  [[nodiscard]] std::size_t object_count() const {
+    std::size_t n = 0;
+    for (const auto& s : stripes_) n += s.objects.size();
+    return n;
+  }
 
   /// Cumulative write traffic (monotonic, unlike bytes_stored): successful
   /// puts and the bytes they carried.  Feeds offload/recovery-traffic
   /// observability without the caller re-deriving it from IoAccounting.
-  [[nodiscard]] std::uint64_t put_count() const { return put_count_; }
-  [[nodiscard]] Bytes bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t put_count() const {
+    return put_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Bytes bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
   /// Store (or overwrite) a replica.  Overwrites update the header and do
   /// not double-count bytes.  Fails with kOutOfRange when the write would
@@ -61,7 +115,7 @@ class StorageServer {
   bool erase(ObjectId oid);
 
   [[nodiscard]] bool contains(ObjectId oid) const {
-    return objects_.contains(oid);
+    return stripe(oid).objects.contains(oid);
   }
 
   [[nodiscard]] std::optional<StoredObject> get(ObjectId oid) const;
@@ -70,7 +124,8 @@ class StorageServer {
   /// bit after re-integration).
   Status set_header(ObjectId oid, const ObjectHeader& header);
 
-  /// All replicas on this server (unordered).  Used by recovery scans.
+  /// All replicas on this server (unordered).  Used by recovery scans;
+  /// callers must hold all stripes or be single-threaded.
   [[nodiscard]] std::vector<StoredObject> list() const;
 
   void clear();
@@ -80,17 +135,30 @@ class StorageServer {
   void set_listener(StoreListener* listener) { listener_ = listener; }
 
  private:
-  StoreListener* listener_{nullptr};
-  ServerId id_{};
-  Bytes capacity_{0};  // 0 = unlimited
-  Bytes bytes_stored_{0};
-  Bytes bytes_written_{0};       // cumulative; survives clear()
-  std::uint64_t put_count_{0};   // cumulative; survives clear()
   struct Entry {
     ObjectHeader header;
     Bytes size;
   };
-  std::unordered_map<ObjectId, Entry> objects_;
+  /// One sub-directory per stripe, padded so neighbouring stripes never
+  /// share a cacheline under concurrent mutation.
+  struct alignas(64) DirectoryStripe {
+    std::unordered_map<ObjectId, Entry> objects;
+  };
+
+  [[nodiscard]] DirectoryStripe& stripe(ObjectId oid) {
+    return stripes_[shard_index_for(oid)];
+  }
+  [[nodiscard]] const DirectoryStripe& stripe(ObjectId oid) const {
+    return stripes_[shard_index_for(oid)];
+  }
+
+  StoreListener* listener_{nullptr};
+  ServerId id_{};
+  Bytes capacity_{0};  // 0 = unlimited
+  std::atomic<Bytes> bytes_stored_{0};
+  std::atomic<Bytes> bytes_written_{0};      // cumulative; survives clear()
+  std::atomic<std::uint64_t> put_count_{0};  // cumulative; survives clear()
+  std::array<DirectoryStripe, kStoreStripes> stripes_;
 };
 
 }  // namespace ech

@@ -1,0 +1,33 @@
+// Object-directory striping shared by the store and the concurrent facade.
+//
+// The store partitions every server's replica directory into kStoreStripes
+// sub-directories keyed by shard_index_for(oid); ConcurrentElasticCluster
+// keeps one shared_mutex per stripe so the request path (write/read/remove
+// of ONE object) locks only the stripe that owns the object while control-
+// plane operations acquire all stripes in fixed order.  Holding stripe i
+// exclusively therefore protects sub-directory i of EVERY server — two
+// writers in different stripes never touch the same map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ech {
+
+/// Stripe count — a power of two so the index is a mask.  16 stripes keep
+/// lock contention negligible for the thread counts the serving bench runs
+/// (1..8 workers) without bloating every StorageServer with map overhead.
+inline constexpr std::size_t kStoreStripes = 16;
+
+/// Stripe owning `oid`.  The multiplicative mix (splitmix-style) spreads
+/// sequential oids — the serving bench preloads 0..N and appends fresh ids
+/// from a counter — across all stripes instead of clustering them.
+[[nodiscard]] constexpr std::size_t shard_index_for(ObjectId oid) noexcept {
+  std::uint64_t x = oid.value * 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x & (kStoreStripes - 1));
+}
+
+}  // namespace ech
