@@ -36,6 +36,10 @@ struct Flags {
   double read_fraction{0.20};
   bool churn{true};
   bool sweep{false};
+  /// --net: serve through ech::client over the fabric ONLY.  Default
+  /// threads mode runs both transports so the committed JSON tracks the
+  /// in-process and net-served paths side by side.
+  bool net_only{false};
   ech::PlacementBackendKind backend{ech::PlacementBackendKind::kRing};
   std::string backend_name{"ring"};
   std::string json_path;
@@ -63,6 +67,8 @@ Flags parse_flags(int argc, char** argv) {
       f.churn = false;
     } else if (arg == "--sweep") {
       f.sweep = true;
+    } else if (arg == "--net") {
+      f.net_only = true;
     } else if (arg == "--backend" && i + 1 < argc) {
       f.backend_name = argv[++i];
       const auto kind = ech::parse_backend_kind(f.backend_name);
@@ -83,7 +89,7 @@ Flags parse_flags(int argc, char** argv) {
           "usage: %s [--threads N] [--ms N] [--objects N] [--servers N]\n"
           "          [--replicas N] [--backend ring|jump|dx] [--no-churn]\n"
           "          [--write-fraction F] [--read-fraction F]\n"
-          "          [--sweep] [--quick] [--json <path>]\n",
+          "          [--sweep] [--net] [--quick] [--json <path>]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -105,19 +111,20 @@ std::string iso_timestamp() {
 
 void append_run_json(std::string& out, const std::string& name,
                      std::uint32_t threads, const ServingReport& r,
-                     bool first) {
-  char buf[1024];
+                     bool net, bool first) {
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
-      "%s    {\"name\": \"%s\", \"threads\": %u, "
+      "%s    {\"name\": \"%s\", \"transport\": \"%s\", \"threads\": %u, "
       "\"ops_per_sec\": %.1f, \"total_ops\": %llu, "
       "\"placement_ops\": %llu, \"read_ops\": %llu, \"write_ops\": %llu, "
       "\"errors\": %llu, \"resizes\": %llu, "
       "\"p50_ns\": %llu, \"p90_ns\": %llu, \"p99_ns\": %llu, "
       "\"p999_ns\": %llu, \"mean_ns\": %.1f, "
       "\"epoch_retirements\": %llu, \"epoch_slow_pins\": %llu, "
-      "\"epoch_fallback_pins\": %llu}",
-      first ? "" : ",\n", name.c_str(), threads, r.ops_per_sec,
+      "\"epoch_fallback_pins\": %llu",
+      first ? "" : ",\n", name.c_str(), net ? "net" : "inproc", threads,
+      r.ops_per_sec,
       static_cast<unsigned long long>(r.total_ops),
       static_cast<unsigned long long>(r.placement_ops),
       static_cast<unsigned long long>(r.read_ops),
@@ -132,6 +139,20 @@ void append_run_json(std::string& out, const std::string& name,
       static_cast<unsigned long long>(r.epoch_slow_pins),
       static_cast<unsigned long long>(r.epoch_fallback_pins));
   out += buf;
+  if (net) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"client_cache_hits\": %llu, \"client_cache_misses\": %llu, "
+        "\"client_invalidations\": %llu, \"client_misroutes\": %llu, "
+        "\"client_degraded_reads\": %llu",
+        static_cast<unsigned long long>(r.client_cache_hits),
+        static_cast<unsigned long long>(r.client_cache_misses),
+        static_cast<unsigned long long>(r.client_invalidations),
+        static_cast<unsigned long long>(r.client_misroutes),
+        static_cast<unsigned long long>(r.client_degraded_reads));
+    out += buf;
+  }
+  out += "}";
 }
 
 }  // namespace
@@ -171,45 +192,75 @@ int main(int argc, char** argv) {
     series = flags.threads;
   }
 
+  // Transport passes: default threads mode measures the in-process path
+  // AND the net-served path (ech::client over the deterministic fabric),
+  // so the committed JSON tracks the routing-library overhead release over
+  // release.  --net keeps only the net pass; --sweep stays in-process (the
+  // proportionality story is about the cluster, not the transport).
+  std::vector<bool> transports;
+  if (flags.net_only) {
+    transports = {true};
+  } else if (flags.sweep) {
+    transports = {false};
+  } else {
+    transports = {false, true};
+  }
+
   std::string runs;
   bool first = true;
-  for (const std::uint32_t point : series) {
-    ServingConfig config;
-    config.server_count = flags.servers;
-    config.replicas = flags.replicas;
-    config.placement_backend = flags.backend;
-    config.threads = flags.sweep ? sweep_threads : point;
-    config.preload_objects = flags.objects;
-    config.write_fraction = flags.write_fraction;
-    config.read_fraction = flags.read_fraction;
-    config.duration_ms = flags.duration_ms;
-    if (flags.sweep) {
-      config.active_servers = point;
-      config.resize_churn = false;
-    } else {
-      config.resize_churn = flags.churn;
+  for (const bool net : transports) {
+    if (net && transports.size() > 1) {
+      std::printf("-- net-served (ech::client over fabric) --\n");
     }
-    ech::serve::ServingEngine engine(config);
-    auto run = engine.run();
-    if (!run.ok()) {
-      std::fprintf(stderr, "run failed (%s=%u): %s\n",
-                   flags.sweep ? "active" : "threads", point,
-                   run.status().to_string().c_str());
-      return 1;
+    for (const std::uint32_t point : series) {
+      ServingConfig config;
+      config.server_count = flags.servers;
+      config.replicas = flags.replicas;
+      config.placement_backend = flags.backend;
+      config.threads = flags.sweep ? sweep_threads : point;
+      config.preload_objects = flags.objects;
+      config.write_fraction = flags.write_fraction;
+      config.read_fraction = flags.read_fraction;
+      config.duration_ms = flags.duration_ms;
+      config.net = net;
+      if (flags.sweep) {
+        config.active_servers = point;
+        config.resize_churn = false;
+      } else {
+        config.resize_churn = flags.churn;
+      }
+      ech::serve::ServingEngine engine(config);
+      auto run = engine.run();
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed (%s=%u%s): %s\n",
+                     flags.sweep ? "active" : "threads", point,
+                     net ? ", net" : "", run.status().to_string().c_str());
+        return 1;
+      }
+      const ServingReport& r = run.value();
+      ech::bench::print_row(
+          {std::to_string(point), std::to_string(static_cast<std::uint64_t>(
+                                      r.ops_per_sec)),
+           std::to_string(r.p50_ns / 1000), std::to_string(r.p90_ns / 1000),
+           std::to_string(r.p99_ns / 1000), std::to_string(r.p999_ns / 1000),
+           std::to_string(r.errors), std::to_string(r.resizes)},
+          10);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s/%s:%u",
+                    net ? "serving-net" : "serving",
+                    flags.sweep ? "active" : "threads", point);
+      append_run_json(runs, name, config.threads, r, net, first);
+      first = false;
+      if (net) {
+        std::printf("  cache: hits=%llu misses=%llu invalidations=%llu "
+                    "misroutes=%llu degraded_reads=%llu\n",
+                    static_cast<unsigned long long>(r.client_cache_hits),
+                    static_cast<unsigned long long>(r.client_cache_misses),
+                    static_cast<unsigned long long>(r.client_invalidations),
+                    static_cast<unsigned long long>(r.client_misroutes),
+                    static_cast<unsigned long long>(r.client_degraded_reads));
+      }
     }
-    const ServingReport& r = run.value();
-    ech::bench::print_row(
-        {std::to_string(point), std::to_string(static_cast<std::uint64_t>(
-                                    r.ops_per_sec)),
-         std::to_string(r.p50_ns / 1000), std::to_string(r.p90_ns / 1000),
-         std::to_string(r.p99_ns / 1000), std::to_string(r.p999_ns / 1000),
-         std::to_string(r.errors), std::to_string(r.resizes)},
-        10);
-    char name[64];
-    std::snprintf(name, sizeof(name), "serving/%s:%u",
-                  flags.sweep ? "active" : "threads", point);
-    append_run_json(runs, name, config.threads, r, first);
-    first = false;
   }
 
   if (!flags.json_path.empty()) {
@@ -229,6 +280,7 @@ int main(int argc, char** argv) {
         "    \"replicas\": %u,\n"
         "    \"backend\": \"%s\",\n"
         "    \"mode\": \"%s\",\n"
+        "    \"transport\": \"%s\",\n"
         "    \"preload_objects\": %llu,\n"
         "    \"write_fraction\": %.3f,\n"
         "    \"read_fraction\": %.3f,\n"
@@ -238,6 +290,7 @@ int main(int argc, char** argv) {
         iso_timestamp().c_str(), std::thread::hardware_concurrency(),
         ech::bench::build_type(), flags.servers, flags.replicas,
         flags.backend_name.c_str(), flags.sweep ? "sweep" : "threads",
+        flags.net_only ? "net" : (flags.sweep ? "inproc" : "inproc+net"),
         static_cast<unsigned long long>(flags.objects),
         flags.write_fraction, flags.read_fraction,
         static_cast<unsigned long long>(flags.duration_ms),

@@ -27,6 +27,12 @@
 //   net partition <shard> [both|requests|replies]
 //                               cut the client<->shard link (--net only)
 //   net heal                    heal all cuts, close breakers, drain queue
+//   client stats                routing-cache counters of the REPL's client
+//   client route <oid>          cached route vs the placement oracle
+//   client write|read|remove <oid>
+//                               issue the op through the client library
+//                               (epoch-stamped RPC to per-server endpoints
+//                               on a private fabric; misroutes repair)
 //   metrics dump|json|watch     registry snapshot (Prometheus text, JSON,
 //                               or a refreshing key-metric view)
 //   persist <dir>               journal every mutation to <dir> (WAL +
@@ -52,6 +58,8 @@
 #include <thread>
 
 #include "chaos/campaign.h"
+#include "client/client.h"
+#include "client/storage_rpc.h"
 #include "common/csv.h"
 #include "common/log.h"
 #include "core/elastic_cluster.h"
@@ -199,8 +207,140 @@ void handle_net(net::RemoteDirtyFabric* rig, std::istringstream& ss) {
   }
 }
 
+// Lazy client-side routing rig: a private fabric with one epoch-checking
+// RPC endpoint per server (client/storage_rpc.h) plus one Client whose
+// placement cache is fed by the REPL cluster's own index.  Built on first
+// `client` command so plain sessions pay nothing.  After a `resize` the
+// cached snapshot is stale on purpose — `client route` shows the stale
+// answer, the next `client write/read` shows the misroute repairing.
+struct ClientRig {
+  client::LocalClusterApi api;
+  client::StorageRig rig;
+  client::Client cli;
+
+  explicit ClientRig(ElasticCluster& c)
+      : api(c),
+        rig(/*seed=*/7, api, c.server_count()),
+        cli(rig.fabric(), rig.client_node(0),
+            [&c] { return c.placement_index(); }, nullptr, config_for(c)) {}
+
+  static client::ClientConfig config_for(const ElasticCluster& c) {
+    client::ClientConfig cfg;
+    cfg.replicas = c.config().replicas;
+    cfg.op_deadline_ticks = 4096;
+    return cfg;
+  }
+};
+
+void print_servers(const std::vector<ServerId>& servers,
+                   const ElasticCluster& c) {
+  for (ServerId s : servers) {
+    std::printf(" %u%s", s.value, c.chain().is_primary(s) ? "[P]" : "");
+  }
+}
+
+void handle_client(ElasticCluster& c, std::unique_ptr<ClientRig>& rig,
+                   std::istringstream& ss) {
+  std::string sub;
+  ss >> sub;
+  if (sub.empty()) {
+    std::printf("usage: client [stats|route <oid>|write <oid>|read <oid>|"
+                "remove <oid>]\n");
+    return;
+  }
+  if (rig == nullptr) rig = std::make_unique<ClientRig>(c);
+  client::Client& cli = rig->cli;
+  if (sub == "stats") {
+    const client::ClientStats& st = cli.stats();
+    const auto epoch = cli.cached_epoch();
+    std::printf("cached epoch: %s (cluster at %u)\n",
+                epoch ? std::to_string(epoch->value).c_str() : "none",
+                c.current_version().value);
+    std::printf("ops %llu; cache hits %llu, misses %llu, invalidations "
+                "%llu\n",
+                static_cast<unsigned long long>(st.ops),
+                static_cast<unsigned long long>(st.cache_hits),
+                static_cast<unsigned long long>(st.cache_misses),
+                static_cast<unsigned long long>(st.invalidations));
+    std::printf("misroutes %llu, degraded reads %llu, repairs exhausted "
+                "%llu\n",
+                static_cast<unsigned long long>(st.misroutes),
+                static_cast<unsigned long long>(st.degraded_reads),
+                static_cast<unsigned long long>(st.repairs_exhausted));
+    std::printf("writes queued %llu, flushed %llu (%zu pending)\n",
+                static_cast<unsigned long long>(st.queued_writes),
+                static_cast<unsigned long long>(st.flushed_writes),
+                cli.pending_writes());
+    return;
+  }
+  std::uint64_t oid = 0;
+  if (!(ss >> oid)) {
+    std::printf("usage: client %s <oid>\n", sub.c_str());
+    return;
+  }
+  if (sub == "route") {
+    const auto cached = cli.cached_route(ObjectId{oid});
+    const auto oracle = c.placement_of(ObjectId{oid});
+    if (!cached.ok()) {
+      std::printf("cached: %s\n", cached.status().to_string().c_str());
+    } else {
+      std::printf("cached (epoch %s):",
+                  cli.cached_epoch()
+                      ? std::to_string(cli.cached_epoch()->value).c_str()
+                      : "?");
+      print_servers(cached.value().servers, c);
+      std::printf("\n");
+    }
+    if (!oracle.ok()) {
+      std::printf("oracle: %s\n", oracle.status().to_string().c_str());
+    } else {
+      std::printf("oracle (version %u):", c.current_version().value);
+      print_servers(oracle.value().servers, c);
+      std::printf("\n");
+    }
+    if (cached.ok() && oracle.ok()) {
+      const bool same = cached.value().servers == oracle.value().servers;
+      std::printf("%s\n", same ? "route is FRESH"
+                               : "route is STALE (next op will repair)");
+    }
+  } else if (sub == "write") {
+    const auto ack = cli.write(ObjectId{oid}, 0);
+    if (!ack.ok()) {
+      std::printf("%s\n", ack.status().to_string().c_str());
+    } else if (ack.value().queued) {
+      std::printf("queued (primary unreachable); %zu pending\n",
+                  cli.pending_writes());
+    } else {
+      std::printf("acked at version %u, %s stored\n",
+                  ack.value().version.value,
+                  fmt_bytes(ack.value().size).c_str());
+    }
+  } else if (sub == "read") {
+    const auto r = cli.read(ObjectId{oid});
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().to_string().c_str());
+    } else {
+      std::printf("object %llu readable from:",
+                  static_cast<unsigned long long>(oid));
+      for (ServerId s : r.value()) std::printf(" %u", s.value);
+      std::printf("\n");
+    }
+  } else if (sub == "remove") {
+    const auto r = cli.remove(ObjectId{oid});
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().to_string().c_str());
+    } else {
+      std::printf("removed %llu replica(s)\n",
+                  static_cast<unsigned long long>(r.value()));
+    }
+  } else {
+    std::printf("usage: client [stats|route <oid>|write <oid>|read <oid>|"
+                "remove <oid>]\n");
+  }
+}
+
 bool handle(ElasticCluster& c, kv::Store& kv, net::RemoteDirtyFabric* rig,
-            const std::string& line) {
+            std::unique_ptr<ClientRig>& client_rig, const std::string& line) {
   std::istringstream ss(line);
   std::string cmd;
   if (!(ss >> cmd)) return true;
@@ -212,6 +352,7 @@ bool handle(ElasticCluster& c, kv::Store& kv, net::RemoteDirtyFabric* rig,
         "resize <n> | maintain [mib] | fail <id> | recover <id> |\n"
         "repair [mib] | dirty | layout | kv <command...> |\n"
         "net [status|partition <shard> [mode]|heal] |\n"
+        "client [stats|route <oid>|write <oid>|read <oid>|remove <oid>] |\n"
         "metrics [dump|json|watch] | persist <dir> | checkpoint | quit\n");
   } else if (cmd == "status") {
     print_status(c);
@@ -317,6 +458,8 @@ bool handle(ElasticCluster& c, kv::Store& kv, net::RemoteDirtyFabric* rig,
                 kv::to_string(kv::execute_command_line(kv, rest)).c_str());
   } else if (cmd == "net") {
     handle_net(rig, ss);
+  } else if (cmd == "client") {
+    handle_client(c, client_rig, ss);
   } else {
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
   }
@@ -494,6 +637,7 @@ int main(int argc, char** argv) {
     cluster = std::move(created).value();
   }
   kv::Store scratch_kv;  // raw KV playground for the `kv` command
+  std::unique_ptr<ClientRig> client_rig;  // built on first `client` command
 
   std::printf("echctl — %u servers, %u replicas, %s backend%s (type 'help')\n",
               cluster->server_count(), cluster->config().replicas,
@@ -504,7 +648,7 @@ int main(int argc, char** argv) {
     std::printf("ech> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
-    if (!handle(*cluster, scratch_kv, netrig.get(), line)) break;
+    if (!handle(*cluster, scratch_kv, netrig.get(), client_rig, line)) break;
   }
   return 0;
 }

@@ -1,0 +1,195 @@
+// ech::client::Client — epoch-aware routing over the net fabric.
+//
+// The production pattern this reproduces is tikv-client-c's RegionCache:
+// a client caches placement state keyed by epoch, routes every op straight
+// to the owning server, and treats routing errors as cache-repair signals
+// instead of asking a coordinator per op.  Concretely:
+//
+//   cache lifecycle    A shared_ptr to one immutable PlacementBackend
+//                      snapshot, fetched lazily from a PlacementSource
+//                      (e.g. ConcurrentElasticCluster::pinned_index).
+//                      Hits cost nothing; the cache is only refreshed when
+//                      the cluster proves it stale.
+//
+//   repair protocol    A server rejects mis-stamped ("-EPOCH <v>") or
+//                      mis-routed ("-NOTPRIMARY <v>") requests without
+//                      executing them.  The client counts a misroute,
+//                      invalidates, refetches the snapshot (timed into
+//                      ech_client_repair_ns_total), and re-routes the SAME
+//                      op — bounded by max_repairs and the op deadline.
+//                      The rejection carries the server's epoch, so one
+//                      bounce is normally enough to fast-forward.
+//
+//   degradation        Reads fall back through the remaining replicas when
+//                      the preferred target is unreachable (counted in
+//                      ech_client_degraded_reads_total).  Writes/removes
+//                      must reach the primary; when it is partitioned away
+//                      a write either fails fast (write_queue_capacity == 0)
+//                      or parks in a bounded FIFO replayed by
+//                      flush_pending()/on_heal() — the queued ack says so.
+//
+// Deadlines: every op gets an absolute fabric-tick deadline
+// (now + op_deadline_ticks) that propagates through each RPC's retry
+// ladder via RpcClient::call_before, so repair rounds and replica
+// fallbacks share one budget instead of multiplying worst cases.
+//
+// Threading: a Client is single-owner (one per worker thread), like
+// RpcClient beneath it.  Distinct Clients over one fabric are safe
+// concurrently; each pumps virtual time only while inside a call.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/storage_rpc.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/fabric.h"
+#include "net/retry.h"
+#include "net/rpc.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "placement/backend.h"
+
+namespace ech::client {
+
+/// Where fresh placement snapshots come from (the cluster's epoch domain,
+/// a control-plane RPC, ...).  Must be callable from the client's thread.
+using PlacementSource =
+    std::function<std::shared_ptr<const PlacementBackend>()>;
+
+/// ServerId -> fabric node.  Defaults to StorageRig::server_node.
+using NodeResolver = std::function<net::NodeId(ServerId)>;
+
+struct ClientConfig {
+  std::uint32_t replicas{3};
+  net::RetryPolicy retry{};
+  net::CircuitBreakerConfig breaker{};
+  /// Whole-op budget in fabric ticks, shared by every repair round and
+  /// replica fallback of one read/write/remove.
+  std::uint64_t op_deadline_ticks{512};
+  /// Routing-rejection bounces tolerated per op before giving up.
+  std::uint32_t max_repairs{4};
+  /// Reads may fall back to non-preferred replicas.
+  bool degraded_reads{true};
+  /// Writes parked while the primary is unreachable (0 = fail fast).
+  std::size_t write_queue_capacity{0};
+  obs::MetricsRegistry* metrics{nullptr};  // null = process default
+  const obs::Clock* clock{nullptr};        // null = wall clock (repair_ns)
+  std::uint64_t seed{1};                   // backoff jitter
+};
+
+/// What a write acknowledged: the version the store executed it at (read
+/// back server-side after the write, so it is exact even across a
+/// concurrent resize) — or queued=true when the op parked in the pending
+/// queue instead of executing.
+struct WriteAck {
+  Version version{0};
+  Bytes size{0};
+  bool queued{false};
+};
+
+/// Per-client op/routing counters (process-wide ech_client_* counters in
+/// obs aggregate across clients; this struct is this client's share).
+struct ClientStats {
+  std::uint64_t ops{0};
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+  std::uint64_t invalidations{0};
+  std::uint64_t misroutes{0};
+  std::uint64_t degraded_reads{0};
+  std::uint64_t repairs_exhausted{0};
+  std::uint64_t queued_writes{0};
+  std::uint64_t flushed_writes{0};
+};
+
+class Client {
+ public:
+  Client(net::Fabric& fabric, net::NodeId self, PlacementSource source,
+         NodeResolver node_of = nullptr, const ClientConfig& config = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // -- data path ----------------------------------------------------------
+
+  [[nodiscard]] Expected<WriteAck> write(ObjectId oid, Bytes size);
+  [[nodiscard]] Expected<std::vector<ServerId>> read(ObjectId oid);
+  [[nodiscard]] Expected<std::uint64_t> remove(ObjectId oid);
+
+  /// "V" probe: the epoch one server currently serves (no cache involved).
+  [[nodiscard]] Expected<Version> probe_epoch(ServerId server);
+
+  // -- cache --------------------------------------------------------------
+
+  /// The cached placement for `oid`, fetching a snapshot only if none is
+  /// cached.  Introspection: never repairs, so after a resize this shows
+  /// exactly the stale answer the next op would be routed by.
+  [[nodiscard]] Expected<Placement> cached_route(ObjectId oid);
+  [[nodiscard]] std::optional<Version> cached_epoch() const;
+  void invalidate();
+
+  // -- degradation --------------------------------------------------------
+
+  /// Replay queued writes in FIFO order until one still fails; returns how
+  /// many flushed.  Queued ids are reused so a write that executed before
+  /// its ack was lost is deduplicated server-side, not doubled.
+  std::size_t flush_pending();
+  [[nodiscard]] std::size_t pending_writes() const { return pending_.size(); }
+  /// Operator heal: close breakers, then drain the queue.
+  void on_heal();
+
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] net::RpcClient& rpc() { return rpc_; }
+  [[nodiscard]] net::NodeId node() const { return rpc_.node(); }
+
+ private:
+  struct PendingWrite {
+    ObjectId oid;
+    Bytes size;
+    std::uint64_t rpc_id;
+  };
+
+  /// Cached snapshot, fetched on demand (counts hit/miss).
+  [[nodiscard]] std::shared_ptr<const PlacementBackend> snapshot();
+  /// Invalidate + timed refetch after a routing rejection.
+  void repair();
+  /// Preferred target order for `op` under `placement`.
+  [[nodiscard]] std::vector<ServerId> route_targets(
+      Op op, const PlacementBackend& snap, const Placement& placement) const;
+  /// The shared op loop: route, send, and absorb reroute rejections.
+  /// `rpc_id_io` (nullable) seeds the first attempt's id and reports the
+  /// last id used — the write queue's exactly-once handle.
+  [[nodiscard]] Expected<kv::Reply> issue(Op op, ObjectId oid, Bytes size,
+                                          std::uint64_t* rpc_id_io,
+                                          bool* degraded);
+  [[nodiscard]] Expected<WriteAck> enqueue(ObjectId oid, Bytes size,
+                                           std::uint64_t rpc_id);
+
+  net::Fabric* fabric_;
+  PlacementSource source_;
+  NodeResolver node_of_;
+  ClientConfig cfg_;
+  net::RpcClient rpc_;
+  const obs::Clock* clock_;
+
+  std::shared_ptr<const PlacementBackend> cache_;
+  std::deque<PendingWrite> pending_;
+  ClientStats stats_;
+
+  struct Instruments {
+    obs::Counter* cache_hits{nullptr};
+    obs::Counter* cache_misses{nullptr};
+    obs::Counter* invalidations{nullptr};
+    obs::Counter* misroutes{nullptr};
+    obs::Counter* degraded_reads{nullptr};
+    obs::Counter* repair_ns{nullptr};
+  } ins_{};
+};
+
+}  // namespace ech::client

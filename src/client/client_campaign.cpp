@@ -1,0 +1,291 @@
+#include "client/client_campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "client/client.h"
+#include "client/storage_rpc.h"
+#include "common/rng.h"
+#include "core/concurrent_cluster.h"
+#include "net/fabric.h"
+
+namespace ech::client {
+namespace {
+
+constexpr Bytes kDrainBudget = static_cast<Bytes>(1) << 40;
+constexpr int kMaxDrainRounds = 64;
+
+/// Disjoint per-client key spaces let every worker model its own
+/// acknowledged state without cross-thread coordination.
+ObjectId make_oid(std::uint32_t client_index, std::uint32_t key) {
+  return ObjectId{(static_cast<std::uint64_t>(client_index) + 1) << 32 | key};
+}
+
+/// One worker's exact view of what it was acked.  `uncertain` holds keys
+/// whose last mutation FAILED: exactly-once RPC means the op may still
+/// have executed server-side (ack lost), so the store-side state is
+/// unknowable and the key is withdrawn from the durability model.
+struct WorkerModel {
+  chaos::Model acked;
+  std::unordered_set<ObjectId> uncertain;
+};
+
+struct ControlEvent {
+  enum class Kind : std::uint8_t { kResize, kPartition, kHealAll };
+  Kind kind;
+  std::uint64_t at_ops;  // fire once the phase op counter passes this
+};
+
+void worker_run(Client& client, WorkerModel& model, Rng rng,
+                const ClientCampaignConfig& cfg, std::uint32_t client_index,
+                std::atomic<std::uint64_t>& ops_done,
+                std::atomic<std::uint64_t>& lost_reads) {
+  for (std::uint32_t i = 0; i < cfg.ops_per_client_per_phase; ++i) {
+    const ObjectId oid = make_oid(
+        client_index,
+        1 + static_cast<std::uint32_t>(
+                rng.uniform(0, cfg.keys_per_client - 1)));
+    const double roll = rng.next_double();
+    if (roll < 0.55) {
+      const Bytes size =
+          4 * kKiB + static_cast<Bytes>(rng.uniform(0, 60)) * kKiB;
+      const Expected<WriteAck> r = client.write(oid, size);
+      if (r.ok() && !r.value().queued) {
+        model.acked[oid] =
+            chaos::ModelObject{r.value().size, r.value().version};
+        model.uncertain.erase(oid);
+      } else {
+        // Queued (executes later at an unknowable epoch) or failed (may
+        // still execute as a zombie retransmission): either way the acked
+        // state of this key is gone.
+        model.acked.erase(oid);
+        model.uncertain.insert(oid);
+      }
+    } else if (roll < 0.90) {
+      const Expected<std::vector<ServerId>> r = client.read(oid);
+      if (!r.ok() && r.status().code() == StatusCode::kNotFound &&
+          model.acked.contains(oid) && !model.uncertain.contains(oid)) {
+        // An acked-and-certain object vanished from the read path: the
+        // client-visible durability failure the campaign exists to catch.
+        lost_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      const Expected<std::uint64_t> r = client.remove(oid);
+      if (r.ok()) {
+        model.acked.erase(oid);
+        model.uncertain.erase(oid);
+      } else {
+        model.acked.erase(oid);
+        model.uncertain.insert(oid);
+      }
+    }
+    ops_done.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+ClientCampaignResult run_client_campaign(const ClientCampaignConfig& cfg) {
+  ClientCampaignResult result;
+  Rng rng(cfg.seed);
+
+  ElasticClusterConfig cluster_cfg;
+  cluster_cfg.server_count = cfg.servers;
+  cluster_cfg.replicas = cfg.replicas;
+  cluster_cfg.vnode_budget = cfg.vnode_budget;
+  cluster_cfg.placement_backend = cfg.backend;
+  cluster_cfg.metrics = cfg.metrics;
+  auto made = ConcurrentElasticCluster::create(cluster_cfg);
+  if (!made.ok()) {
+    result.summary = "cluster create failed: " + made.status().to_string();
+    return result;
+  }
+  const std::unique_ptr<ConcurrentElasticCluster> cluster =
+      std::move(made).value();
+  ConcurrentClusterApi api(*cluster);
+  StorageRig rig(cfg.seed, api, cfg.servers);
+  chaos::InvariantChecker checker(cluster->unsynchronized());
+
+  // Resizes never go below the expansion chain's primary floor (primaries
+  // hold every object's residency copy) or the replication level.
+  const std::uint32_t floor = std::max(
+      cfg.replicas, cluster->unsynchronized().primary_count());
+
+  ClientConfig client_cfg;
+  client_cfg.replicas = cfg.replicas;
+  client_cfg.write_queue_capacity = cfg.write_queue_capacity;
+  client_cfg.metrics = cfg.metrics;
+  // All clients share one fabric clock, so every concurrent retry ladder
+  // (and there are many: the schedule cuts links on purpose) burns
+  // virtual time for everyone.  Under a sanitizer a descheduled client
+  // can also sleep through several resizes and bounce once per missed
+  // epoch.  Give each op generous repair/deadline headroom — the
+  // acceptance bounds (repairs_exhausted == 0, misroute rate) stay just
+  // as strict, they must simply not fail on scheduler timing.
+  client_cfg.op_deadline_ticks = 1u << 16;
+  client_cfg.max_repairs = 32;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<WorkerModel> models(cfg.clients);
+  for (std::uint32_t c = 0; c < cfg.clients; ++c) {
+    client_cfg.seed = cfg.seed * 611953 + c;
+    clients.push_back(std::make_unique<Client>(
+        rig.fabric(), rig.client_node(c),
+        [&cluster] { return cluster->pinned_index(); }, nullptr, client_cfg));
+  }
+
+  std::atomic<std::uint64_t> lost_reads{0};
+  const std::uint64_t phase_ops =
+      static_cast<std::uint64_t>(cfg.clients) * cfg.ops_per_client_per_phase;
+
+  for (std::uint32_t phase = 0;
+       phase < cfg.phases && !result.violation.has_value(); ++phase) {
+    // Seeded control schedule for this phase, paced by the op counter.
+    std::vector<ControlEvent> events;
+    for (std::uint32_t i = 0; i < cfg.resizes_per_phase; ++i) {
+      events.push_back({ControlEvent::Kind::kResize, 0});
+    }
+    for (std::uint32_t i = 0; i < cfg.partitions_per_phase; ++i) {
+      events.push_back({ControlEvent::Kind::kPartition, 0});
+    }
+    for (std::uint32_t i = 0; i < cfg.partitions_per_phase / 2; ++i) {
+      events.push_back({ControlEvent::Kind::kHealAll, 0});
+    }
+    for (std::size_t i = events.size(); i > 1; --i) {  // Fisher–Yates
+      std::swap(events[i - 1],
+                events[rng.uniform(0, static_cast<std::uint64_t>(i - 1))]);
+    }
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      events[i].at_ops = phase_ops * (i + 1) / (events.size() + 1);
+    }
+
+    std::atomic<std::uint64_t> ops_done{0};
+    std::vector<std::thread> workers;
+    for (std::uint32_t c = 0; c < cfg.clients; ++c) {
+      workers.emplace_back(worker_run, std::ref(*clients[c]),
+                           std::ref(models[c]),
+                           Rng(cfg.seed * 7919 + phase * 131 + c), cfg, c,
+                           std::ref(ops_done), std::ref(lost_reads));
+    }
+
+    // Driver: inject the schedule as the op counter crosses thresholds,
+    // with a slice of maintenance after each event so migration overlaps
+    // traffic instead of parking for the phase barrier.
+    std::thread driver([&] {
+      Rng drv(cfg.seed * 104729 + phase);
+      for (const ControlEvent& ev : events) {
+        while (ops_done.load(std::memory_order_relaxed) < ev.at_ops) {
+          std::this_thread::yield();
+        }
+        switch (ev.kind) {
+          case ControlEvent::Kind::kResize: {
+            const std::uint32_t target = static_cast<std::uint32_t>(
+                drv.uniform(floor, cfg.servers));
+            (void)cluster->request_resize(target);
+            ++result.resizes;
+            break;
+          }
+          case ControlEvent::Kind::kPartition: {
+            const std::uint32_t ci =
+                static_cast<std::uint32_t>(drv.uniform(0, cfg.clients - 1));
+            const net::NodeId server =
+                1 + static_cast<net::NodeId>(drv.uniform(0, cfg.servers - 1));
+            const auto mode =
+                static_cast<net::PartitionMode>(drv.uniform(0, 2));
+            rig.fabric().partition(rig.client_node(ci), server, mode);
+            ++result.partitions;
+            break;
+          }
+          case ControlEvent::Kind::kHealAll: {
+            rig.fabric().heal_all();
+            ++result.heals;
+            break;
+          }
+        }
+        (void)cluster->maintenance_step(4 * kMiB);
+        (void)cluster->repair_step(4 * kMiB);
+      }
+    });
+
+    for (std::thread& w : workers) w.join();
+    driver.join();
+
+    // -- phase barrier: heal, flush, quiesce, verify ---------------------
+    rig.fabric().heal_all();
+    ++result.heals;
+    // Deliver every straggler now: zombie mutations of failed (uncertain)
+    // ops either execute here or die on the epoch gate — before the model
+    // is compared against the store.
+    rig.fabric().pump_all();
+    for (const auto& client : clients) client->on_heal();
+    rig.fabric().pump_all();
+    (void)cluster->request_resize(cfg.servers);
+    for (int round = 0; round < kMaxDrainRounds; ++round) {
+      (void)cluster->repair_step(kDrainBudget);
+      (void)cluster->maintenance_step(kDrainBudget);
+      const ElasticCluster& inner = cluster->unsynchronized();
+      if (inner.repair_backlog() == 0 && inner.dirty_table().empty() &&
+          inner.pending_maintenance_bytes() == 0) {
+        break;
+      }
+    }
+    chaos::Model model;
+    for (const WorkerModel& wm : models) {
+      for (const auto& [oid, mo] : wm.acked) {
+        if (!wm.uncertain.contains(oid)) model.emplace(oid, mo);
+      }
+    }
+    result.violation = checker.check(model, nullptr);
+    ++result.invariant_checks;
+  }
+
+  for (const auto& client : clients) {
+    const ClientStats& s = client->stats();
+    result.total_ops += s.ops;
+    result.misroutes += s.misroutes;
+    result.repairs_exhausted += s.repairs_exhausted;
+    result.degraded_reads += s.degraded_reads;
+    result.queued_writes += s.queued_writes;
+    result.flushed_writes += s.flushed_writes;
+  }
+  for (const WorkerModel& wm : models) {
+    result.uncertain_keys += wm.uncertain.size();
+  }
+  result.lost_reads = lost_reads.load();
+  result.misroute_rate =
+      result.total_ops == 0
+          ? 0.0
+          : static_cast<double>(result.misroutes) /
+                static_cast<double>(result.total_ops);
+  result.fabric_fingerprint = rig.fabric().delivery_fingerprint();
+
+  const bool bounds_ok = !result.violation.has_value() &&
+                         result.lost_reads == 0 &&
+                         result.repairs_exhausted == 0 &&
+                         result.misroute_rate < cfg.max_misroute_rate;
+  result.passed = bounds_ok;
+
+  std::ostringstream out;
+  out << "client campaign seed " << cfg.seed << ": " << result.total_ops
+      << " ops across " << cfg.clients << " clients, " << result.resizes
+      << " resizes, " << result.partitions << " partitions, "
+      << result.misroutes << " misroutes (rate " << result.misroute_rate
+      << "), " << result.degraded_reads << " degraded reads, "
+      << result.uncertain_keys << " uncertain keys";
+  if (result.violation.has_value()) {
+    out << " — VIOLATION " << result.violation->invariant << ": "
+        << result.violation->detail;
+  } else if (!bounds_ok) {
+    out << " — BOUNDS FAILED (lost_reads " << result.lost_reads
+        << ", repairs_exhausted " << result.repairs_exhausted
+        << ", misroute_rate " << result.misroute_rate << ")";
+  }
+  result.summary = out.str();
+  return result;
+}
+
+}  // namespace ech::client

@@ -1,0 +1,93 @@
+// Client-routing chaos campaign: resize storms under directed partitions
+// with several concurrent ech::client::Client threads, checked against the
+// chaos InvariantChecker plus client-level acceptance bounds.
+//
+// Shape of one run (all control events derived from the seed):
+//
+//   * One ConcurrentElasticCluster served over a StorageRig fabric by
+//     `clients` worker threads, each owning a Client and a disjoint key
+//     space (oid = (client+1) << 32 | key), so every thread can model its
+//     own acknowledged state exactly.
+//   * A driver thread paced by the shared completed-op counter injects a
+//     seeded schedule of resizes (between the primary floor and full
+//     power), directed client<->server partitions (kAToB drops requests,
+//     kBToA drops acks — the exactly-once/dedupe direction), heals, and
+//     maintenance pumping.
+//   * Ops that FAIL are moved to an `uncertain` set and withdrawn from the
+//     model: with exactly-once RPC a mutation whose every ack was lost may
+//     still have executed, so its store-side version is unknowable — the
+//     invariant that matters (and is asserted) is that every op the client
+//     ACKED stays durable at exactly its acked version/size.
+//   * Phase barrier: workers park, the fabric heals, breakers reset,
+//     pending writes flush, the cluster resizes to full power and drains,
+//     then the four paper invariants run over the merged model.
+//
+// Acceptance (the ISSUE's chaos criteria), all reported in the result:
+//   zero invariant violations; zero acked-then-lost reads; zero misroutes
+//   that exhausted their repair budget (every misroute repaired within one
+//   op's retry ladder); misroute rate below `max_misroute_rate`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chaos/invariant_checker.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "placement/backend.h"
+
+namespace ech::client {
+
+struct ClientCampaignConfig {
+  std::uint64_t seed{1};
+  std::uint32_t servers{24};
+  std::uint32_t replicas{3};
+  std::uint32_t clients{4};
+  std::uint32_t phases{3};
+  std::uint32_t ops_per_client_per_phase{400};
+  /// Distinct keys per client (small enough that overwrites happen).
+  std::uint32_t keys_per_client{48};
+  /// Control events injected per phase, spread over its op count.
+  std::uint32_t resizes_per_phase{6};
+  std::uint32_t partitions_per_phase{5};
+  /// Per-client pending-write queue (0 = fail fast while partitioned).
+  std::size_t write_queue_capacity{0};
+  PlacementBackendKind backend{PlacementBackendKind::kRing};
+  std::uint32_t vnode_budget{2000};
+  double max_misroute_rate{0.05};
+  /// Private registry recommended (client counters are process-global).
+  obs::MetricsRegistry* metrics{nullptr};
+};
+
+struct ClientCampaignResult {
+  bool passed{false};
+  std::string summary;
+
+  std::uint64_t total_ops{0};
+  std::uint64_t ok_ops{0};
+  std::uint64_t failed_ops{0};
+  std::uint64_t uncertain_keys{0};
+  std::uint64_t misroutes{0};
+  std::uint64_t repairs_exhausted{0};
+  std::uint64_t degraded_reads{0};
+  std::uint64_t queued_writes{0};
+  std::uint64_t flushed_writes{0};
+  /// Reads of an acked, certain key that came back NOT_FOUND (must be 0).
+  std::uint64_t lost_reads{0};
+  double misroute_rate{0.0};
+
+  std::uint64_t resizes{0};
+  std::uint64_t partitions{0};
+  std::uint64_t heals{0};
+  std::uint64_t invariant_checks{0};
+  /// FNV chain over the fabric's delivery order (replay evidence).
+  std::uint64_t fabric_fingerprint{0};
+
+  std::optional<chaos::Violation> violation;
+};
+
+[[nodiscard]] ClientCampaignResult run_client_campaign(
+    const ClientCampaignConfig& config);
+
+}  // namespace ech::client

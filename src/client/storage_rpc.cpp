@@ -1,0 +1,234 @@
+#include "client/storage_rpc.h"
+
+#include <cstdlib>
+
+#include "net/kv_shard.h"
+
+namespace ech::client {
+namespace {
+
+char op_tag(Op op) {
+  switch (op) {
+    case Op::kWrite:
+      return 'W';
+    case Op::kRead:
+      return 'G';
+    case Op::kRemove:
+      return 'D';
+    case Op::kEpochProbe:
+      return 'V';
+  }
+  return '?';
+}
+
+// Parses one base-10 field at *cursor, advancing past it.  Returns false on
+// junk; a trailing delimiter (space or NUL) is required.
+bool parse_u64(const char** cursor, std::uint64_t* out) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(*cursor, &end, 10);
+  if (end == *cursor || (*end != ' ' && *end != '\0')) return false;
+  *out = v;
+  *cursor = (*end == ' ') ? end + 1 : end;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_request(const Request& req) {
+  std::string out(1, op_tag(req.op));
+  out += ' ';
+  out += std::to_string(req.epoch.value);
+  out += ' ';
+  out += std::to_string(req.oid.value);
+  if (req.op == Op::kWrite) {
+    out += ' ';
+    out += std::to_string(req.size);
+  }
+  return out;
+}
+
+std::optional<Request> decode_request(const std::string& body) {
+  if (body.size() < 3 || body[1] != ' ') return std::nullopt;
+  Request req;
+  switch (body[0]) {
+    case 'W':
+      req.op = Op::kWrite;
+      break;
+    case 'G':
+      req.op = Op::kRead;
+      break;
+    case 'D':
+      req.op = Op::kRemove;
+      break;
+    case 'V':
+      req.op = Op::kEpochProbe;
+      break;
+    default:
+      return std::nullopt;
+  }
+  const char* cursor = body.c_str() + 2;
+  std::uint64_t epoch = 0;
+  std::uint64_t oid = 0;
+  if (!parse_u64(&cursor, &epoch) || !parse_u64(&cursor, &oid)) {
+    return std::nullopt;
+  }
+  req.epoch = Version{static_cast<std::uint32_t>(epoch)};
+  req.oid = ObjectId{oid};
+  if (req.op == Op::kWrite) {
+    std::uint64_t size = 0;
+    if (!parse_u64(&cursor, &size)) return std::nullopt;
+    req.size = static_cast<Bytes>(size);
+  }
+  return req;
+}
+
+kv::Reply epoch_mismatch_reply(Version server_epoch) {
+  return kv::Reply::error("EPOCH " + std::to_string(server_epoch.value));
+}
+
+kv::Reply not_primary_reply(Version server_epoch) {
+  return kv::Reply::error("NOTPRIMARY " + std::to_string(server_epoch.value));
+}
+
+bool parse_reroute(const kv::Reply& reply, Version* server_epoch,
+                   bool* epoch_mismatch) {
+  if (reply.kind != kv::Reply::Kind::kError) return false;
+  const std::string& text = reply.text;
+  std::size_t prefix = 0;
+  bool mismatch = false;
+  if (text.rfind("EPOCH ", 0) == 0) {
+    prefix = 6;
+    mismatch = true;
+  } else if (text.rfind("NOTPRIMARY ", 0) == 0) {
+    prefix = 11;
+  } else {
+    return false;
+  }
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str() + prefix, &end, 10);
+  if (end == text.c_str() + prefix) return false;
+  if (server_epoch != nullptr) {
+    *server_epoch = Version{static_cast<std::uint32_t>(v)};
+  }
+  if (epoch_mismatch != nullptr) *epoch_mismatch = mismatch;
+  return true;
+}
+
+kv::Reply status_reply(const Status& status) {
+  return kv::Reply::error("ERR " +
+                          std::to_string(static_cast<int>(status.code())) +
+                          " " + status.message());
+}
+
+Status parse_status(const kv::Reply& reply) {
+  if (reply.kind != kv::Reply::Kind::kError) return Status::ok();
+  const std::string& text = reply.text;
+  if (text.rfind("ERR ", 0) != 0) {
+    return Status{StatusCode::kInternal, "malformed error reply: " + text};
+  }
+  char* end = nullptr;
+  const long code = std::strtol(text.c_str() + 4, &end, 10);
+  if (end == text.c_str() + 4) {
+    return Status{StatusCode::kInternal, "malformed error reply: " + text};
+  }
+  std::string message = (*end == ' ') ? std::string(end + 1) : std::string();
+  return Status{static_cast<StatusCode>(code), std::move(message)};
+}
+
+StorageRpcServer::StorageRpcServer(net::Fabric& fabric, net::NodeId node,
+                                   ServerId self, StorageApi& api)
+    : self_(self),
+      api_(&api),
+      server_(fabric, node,
+              [this](const std::string& body) { return handle(body); }) {}
+
+std::string StorageRpcServer::handle(const std::string& body) {
+  const std::optional<Request> req = decode_request(body);
+  if (!req.has_value()) {
+    return net::encode_reply(kv::Reply::error("ERR 3 malformed request"));
+  }
+  if (req->op == Op::kEpochProbe) {
+    return net::encode_reply(kv::Reply::integer_reply(api_->version().value));
+  }
+  // Epoch gate: never execute a request stamped with another epoch.  The
+  // reply carries our epoch so a stale client fast-forwards in one round
+  // trip (and a FUTURE-stamped request — the client heard of a resize we
+  // haven't — bounces until this server observes it too).
+  const Version server_epoch = api_->version();
+  if (req->epoch != server_epoch) {
+    return net::encode_reply(epoch_mismatch_reply(server_epoch));
+  }
+  // Ownership gate: at the right epoch, the request must still have been
+  // routed to a server the placement names for this oid — the primary for
+  // mutations, any replica for reads.  (Advisory under concurrency: a
+  // resize between the two reads above/below re-routes via EPOCH on the
+  // next op; correctness is carried by the epoch gate + executed-state
+  // acks, this check enforces the routing discipline.)
+  const Expected<Placement> placed = api_->placement_of(req->oid);
+  if (!placed.ok()) {
+    return net::encode_reply(status_reply(placed.status()));
+  }
+  const Placement& placement = placed.value();
+  bool member = false;
+  bool owner = false;
+  for (ServerId s : placement.servers) {
+    if (s != self_) continue;
+    member = true;
+    break;
+  }
+  for (ServerId s : placement.servers) {
+    if (api_->is_primary_role(s)) {
+      owner = (s == self_);
+      break;
+    }
+  }
+  switch (req->op) {
+    case Op::kWrite: {
+      if (!owner) return net::encode_reply(not_primary_reply(server_epoch));
+      const Status s = api_->write(req->oid, req->size);
+      if (!s.is_ok()) return net::encode_reply(status_reply(s));
+      // Ack the executed state, not the validated epoch: the paired stat
+      // reads back what this write actually stamped.
+      const Expected<ObjectStat> st = api_->stat(req->oid);
+      if (!st.ok()) return net::encode_reply(status_reply(st.status()));
+      return net::encode_reply(kv::Reply::array_reply(
+          {std::to_string(st.value().version.value),
+           std::to_string(st.value().size)}));
+    }
+    case Op::kRead: {
+      if (!member) return net::encode_reply(not_primary_reply(server_epoch));
+      const Expected<std::vector<ServerId>> replicas = api_->read(req->oid);
+      if (!replicas.ok()) {
+        return net::encode_reply(status_reply(replicas.status()));
+      }
+      std::vector<std::string> items;
+      items.reserve(replicas.value().size());
+      for (ServerId s : replicas.value()) {
+        items.push_back(std::to_string(s.value));
+      }
+      return net::encode_reply(kv::Reply::array_reply(std::move(items)));
+    }
+    case Op::kRemove: {
+      if (!owner) return net::encode_reply(not_primary_reply(server_epoch));
+      const std::uint64_t erased = api_->remove_object(req->oid);
+      return net::encode_reply(
+          kv::Reply::integer_reply(static_cast<std::int64_t>(erased)));
+    }
+    case Op::kEpochProbe:
+      break;  // handled above
+  }
+  return net::encode_reply(kv::Reply::error("ERR 7 unreachable"));
+}
+
+StorageRig::StorageRig(std::uint64_t seed, StorageApi& api,
+                       std::uint32_t server_count)
+    : fabric_(seed), server_count_(server_count) {
+  servers_.reserve(server_count);
+  for (std::uint32_t i = 1; i <= server_count; ++i) {
+    const ServerId id{i};
+    servers_.push_back(
+        std::make_unique<StorageRpcServer>(fabric_, server_node(id), id, api));
+  }
+}
+
+}  // namespace ech::client

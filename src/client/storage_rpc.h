@@ -1,0 +1,196 @@
+// Server side of the client routing protocol: epoch-checked storage RPCs.
+//
+// Every storage server speaks a tiny epoch-stamped command set inside the
+// exactly-once Q/R frames of net::RpcServer (replies use the kv::Reply
+// codec from net/kv_shard.h):
+//
+//   "W <epoch> <oid> <size>"  write   -> *2 [executed-version, stored-size]
+//   "G <epoch> <oid>"         read    -> *n [replica server ids]
+//   "D <epoch> <oid>"         remove  -> :erased-replica-count
+//   "V 0 0"                   epoch probe -> :current-epoch
+//
+// The epoch check is the routing contract (tikv's RegionCache pattern): a
+// server REJECTS — without executing — any request stamped with an epoch
+// other than its own, replying "-EPOCH <server-epoch>" so the client can
+// fast-forward its cache instead of polling a coordinator.  A request at
+// the right epoch but addressed to a server that is not the object's
+// routing owner (writes/removes: the placement's primary; reads: any
+// placement replica) is refused with "-NOTPRIMARY <server-epoch>".  The
+// epoch gate is also what fences zombie mutations: a request delayed
+// across a resize arrives stamped with a dead epoch and dies here.
+//
+// Write acks carry the *executed* version read back from the store (not
+// the epoch the request was validated against): a resize may land between
+// validation and execution, and the client's model must track the store
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/concurrent_cluster.h"
+#include "core/elastic_cluster.h"
+#include "kvstore/command.h"
+#include "net/fabric.h"
+#include "net/rpc.h"
+#include "obs/metrics.h"
+#include "placement/placement.h"
+
+namespace ech::client {
+
+// -- wire codec -------------------------------------------------------------
+
+enum class Op : std::uint8_t { kWrite, kRead, kRemove, kEpochProbe };
+
+struct Request {
+  Op op{Op::kEpochProbe};
+  Version epoch{0};
+  ObjectId oid{0};
+  Bytes size{0};  // writes only
+};
+
+[[nodiscard]] std::string encode_request(const Request& req);
+[[nodiscard]] std::optional<Request> decode_request(const std::string& body);
+
+/// "-EPOCH <v>" / "-NOTPRIMARY <v>" rejections.  Both mean "re-route";
+/// EPOCH additionally carries proof the cache epoch itself is stale.
+[[nodiscard]] kv::Reply epoch_mismatch_reply(Version server_epoch);
+[[nodiscard]] kv::Reply not_primary_reply(Version server_epoch);
+/// If `reply` is a routing rejection, yields the server's epoch.
+[[nodiscard]] bool parse_reroute(const kv::Reply& reply, Version* server_epoch,
+                                 bool* epoch_mismatch);
+/// "-ERR <code> <message>" carries any other Status across the wire.
+[[nodiscard]] kv::Reply status_reply(const Status& status);
+[[nodiscard]] Status parse_status(const kv::Reply& reply);
+
+// -- storage facade ---------------------------------------------------------
+
+/// What a storage-server RPC handler needs from the cluster.  Adapters
+/// exist for both facades so echctl's single-threaded REPL cluster and the
+/// serving bench's concurrent one serve the same protocol.
+class StorageApi {
+ public:
+  virtual ~StorageApi() = default;
+
+  virtual Status write(ObjectId oid, Bytes size) = 0;
+  [[nodiscard]] virtual Expected<std::vector<ServerId>> read(ObjectId oid) = 0;
+  virtual std::uint64_t remove_object(ObjectId oid) = 0;
+  [[nodiscard]] virtual Expected<ObjectStat> stat(ObjectId oid) = 0;
+  [[nodiscard]] virtual Expected<Placement> placement_of(ObjectId oid) = 0;
+  [[nodiscard]] virtual Version version() const = 0;
+  [[nodiscard]] virtual bool is_primary_role(ServerId id) const = 0;
+};
+
+/// Adapter over the thread-safe facade (net serving bench, campaigns).
+class ConcurrentClusterApi final : public StorageApi {
+ public:
+  explicit ConcurrentClusterApi(ConcurrentElasticCluster& cluster)
+      : cluster_(&cluster) {}
+
+  Status write(ObjectId oid, Bytes size) override {
+    return cluster_->write(oid, size);
+  }
+  Expected<std::vector<ServerId>> read(ObjectId oid) override {
+    return cluster_->read(oid);
+  }
+  std::uint64_t remove_object(ObjectId oid) override {
+    return cluster_->remove_object(oid);
+  }
+  Expected<ObjectStat> stat(ObjectId oid) override {
+    return cluster_->stat(oid);
+  }
+  Expected<Placement> placement_of(ObjectId oid) override {
+    return cluster_->placement_of(oid);
+  }
+  Version version() const override { return cluster_->current_version(); }
+  bool is_primary_role(ServerId id) const override {
+    return cluster_->pinned_index()->is_primary(id);
+  }
+
+ private:
+  ConcurrentElasticCluster* cluster_;
+};
+
+/// Adapter over the plain cluster (echctl REPL; single-threaded only).
+class LocalClusterApi final : public StorageApi {
+ public:
+  explicit LocalClusterApi(ElasticCluster& cluster) : cluster_(&cluster) {}
+
+  Status write(ObjectId oid, Bytes size) override {
+    return cluster_->write(oid, size);
+  }
+  Expected<std::vector<ServerId>> read(ObjectId oid) override {
+    return cluster_->read(oid);
+  }
+  std::uint64_t remove_object(ObjectId oid) override {
+    return cluster_->remove_object(oid);
+  }
+  Expected<ObjectStat> stat(ObjectId oid) override {
+    return cluster_->stat_object(oid);
+  }
+  Expected<Placement> placement_of(ObjectId oid) override {
+    return cluster_->placement_of(oid);
+  }
+  Version version() const override { return cluster_->current_version(); }
+  bool is_primary_role(ServerId id) const override {
+    return cluster_->placement_index()->is_primary(id);
+  }
+
+ private:
+  ElasticCluster* cluster_;
+};
+
+// -- per-server RPC endpoint ------------------------------------------------
+
+/// One storage server's RPC face: validates epoch + ownership, executes
+/// against the shared StorageApi, acks with the executed state.
+class StorageRpcServer {
+ public:
+  StorageRpcServer(net::Fabric& fabric, net::NodeId node, ServerId self,
+                   StorageApi& api);
+
+  [[nodiscard]] std::string handle(const std::string& body);
+  [[nodiscard]] net::RpcServer& rpc() { return server_; }
+  [[nodiscard]] ServerId id() const { return self_; }
+
+ private:
+  ServerId self_;
+  StorageApi* api_;
+  net::RpcServer server_;
+};
+
+// -- rig --------------------------------------------------------------------
+
+/// Fabric + one StorageRpcServer per storage server, with the node-id
+/// convention clients must share: server s binds node s.value (ids are
+/// 1-based), clients bind nodes above server_count.
+class StorageRig {
+ public:
+  StorageRig(std::uint64_t seed, StorageApi& api, std::uint32_t server_count);
+
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] static net::NodeId server_node(ServerId id) {
+    return id.value;
+  }
+  [[nodiscard]] net::NodeId client_node(std::uint32_t client_index) const {
+    return server_count_ + 1 + client_index;
+  }
+  [[nodiscard]] std::uint32_t server_count() const { return server_count_; }
+  /// The endpoint serving `id` (ids are 1-based; exposes the rpc reply
+  /// cache / execution counters for tests).
+  [[nodiscard]] StorageRpcServer& server(ServerId id) {
+    return *servers_[id.value - 1];
+  }
+
+ private:
+  net::Fabric fabric_;
+  std::uint32_t server_count_;
+  std::vector<std::unique_ptr<StorageRpcServer>> servers_;
+};
+
+}  // namespace ech::client

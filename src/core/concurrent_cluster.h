@@ -90,6 +90,11 @@ class ConcurrentElasticCluster {
     std::unique_lock lock(stripes_[shard_index_for(oid)].m);
     return inner_->remove_object(oid);
   }
+  /// Newest stored version/size/holders (net write-ack path).
+  [[nodiscard]] Expected<ObjectStat> stat(ObjectId oid) const {
+    std::shared_lock lock(stripes_[shard_index_for(oid)].m);
+    return inner_->stat_object(oid);
+  }
   /// Lock-free and write-free: pins the current epoch via a per-thread
   /// slot and runs Algorithm 1 on the cached snapshot.  The lookup counter
   /// is a sharded-cell relaxed add — no contention and no registry lock on

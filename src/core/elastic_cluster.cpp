@@ -213,6 +213,36 @@ Expected<std::vector<ServerId>> ElasticCluster::read(ObjectId oid) const {
   return out;
 }
 
+Expected<ObjectStat> ElasticCluster::stat_object(ObjectId oid) const {
+  const std::vector<ServerId> holders = store_.locate(oid);
+  if (holders.empty()) {
+    return Status{StatusCode::kNotFound,
+                  "object " + std::to_string(oid.value) + " not stored"};
+  }
+  const PlacementBackend& index = *index_;
+  ObjectStat out;
+  for (ServerId s : holders) {
+    const auto obj = store_.server(s).get(oid);
+    if (obj.has_value() && index.is_active(s) &&
+        obj->header.version > out.version) {
+      out.version = obj->header.version;
+      out.size = obj->size;
+    }
+  }
+  for (ServerId s : holders) {
+    const auto obj = store_.server(s).get(oid);
+    if (obj.has_value() && index.is_active(s) &&
+        obj->header.version == out.version) {
+      out.holders.push_back(s);
+    }
+  }
+  if (out.holders.empty()) {
+    return Status{StatusCode::kUnavailable,
+                  "no active replica of object " + std::to_string(oid.value)};
+  }
+  return out;
+}
+
 std::uint64_t ElasticCluster::remove_object(ObjectId oid) {
   SyncGuard sync(*this);
   const std::uint64_t erased = store_.erase_object(oid);

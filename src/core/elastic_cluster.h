@@ -104,6 +104,14 @@ struct ElasticClusterConfig {
   obs::Tracer* tracer{nullptr};
 };
 
+/// Result of stat_object(): the newest stored header plus the active
+/// replicas that carry exactly that version.
+struct ObjectStat {
+  Bytes size{0};
+  Version version{0};
+  std::vector<ServerId> holders;
+};
+
 class ElasticCluster final : public StorageSystem {
  public:
   /// Validates the configuration (replicas <= server_count etc.).
@@ -122,6 +130,12 @@ class ElasticCluster final : public StorageSystem {
   [[nodiscard]] Expected<std::vector<ServerId>> read(
       ObjectId oid) const override;
   std::uint64_t remove_object(ObjectId oid) override;
+  /// Newest stored version/size of an object and the active replicas that
+  /// carry it (read()'s selection rule, with the header exposed).  The net
+  /// serving path acks writes with the *executed* version from here, so a
+  /// client's model of an object tracks the store exactly even when a
+  /// resize lands between routing and execution.
+  [[nodiscard]] Expected<ObjectStat> stat_object(ObjectId oid) const;
   Status request_resize(std::uint32_t target) override;
   [[nodiscard]] std::uint32_t active_count() const override;
   [[nodiscard]] std::uint32_t server_count() const override {

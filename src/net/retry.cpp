@@ -20,6 +20,14 @@ std::uint64_t RetryPolicy::backoff_ticks(std::uint32_t attempt,
   return b - rng.uniform(0, spread - 1);
 }
 
+std::uint64_t RetryPolicy::backoff_ticks(std::uint32_t attempt, Rng& rng,
+                                         std::uint64_t remaining_ticks) const {
+  // Draw unconditionally so truncation never perturbs the jitter stream —
+  // a truncated schedule replays tick-for-tick from the same seed.
+  const std::uint64_t b = backoff_ticks(attempt, rng);
+  return std::min(b, remaining_ticks);
+}
+
 bool CircuitBreaker::allow(std::uint64_t now) {
   switch (state_) {
     case State::kClosed:
@@ -28,16 +36,32 @@ bool CircuitBreaker::allow(std::uint64_t now) {
       if (now - opened_at_ >= config_.open_cooldown_ticks) {
         state_ = State::kHalfOpen;
         probe_in_flight_ = true;
+        probe_deadline_ = now + probe_timeout();
         return true;  // the probe
       }
       return false;
     case State::kHalfOpen:
-      // One probe at a time; further traffic waits for its verdict.
-      if (probe_in_flight_) return false;
+      // One probe at a time; further traffic waits for its verdict.  A
+      // probe whose verdict never arrived (datagram lost, caller died) is
+      // abandoned after its timeout: back to open so cool-down + re-probe
+      // continue instead of wedging half-open forever.
+      if (probe_in_flight_) {
+        if (now >= probe_deadline_) {
+          probe_in_flight_ = false;
+          trip(now);
+        }
+        return false;
+      }
       probe_in_flight_ = true;
+      probe_deadline_ = now + probe_timeout();
       return true;
   }
   return false;
+}
+
+std::uint64_t CircuitBreaker::probe_timeout() const {
+  return config_.probe_timeout_ticks != 0 ? config_.probe_timeout_ticks
+                                          : config_.open_cooldown_ticks;
 }
 
 void CircuitBreaker::record_success(std::uint64_t) {

@@ -10,6 +10,8 @@
 //     open   --[cool-down elapsed]------> half-open (one probe admitted)
 //     half-open --[probe succeeds]------> closed
 //     half-open --[probe fails]---------> open (cool-down restarts)
+//     half-open --[probe lost: no verdict within probe_timeout_ticks]
+//                ----------------------> open (cool-down restarts)
 #pragma once
 
 #include <cstdint>
@@ -34,6 +36,14 @@ struct RetryPolicy {
   /// `attempt` is 0-based (delay before the first retry).
   [[nodiscard]] std::uint64_t backoff_ticks(std::uint32_t attempt,
                                             Rng& rng) const;
+
+  /// Deadline-aware variant: the drawn backoff is truncated to
+  /// `remaining_ticks` so a near-deadline call never sleeps past the
+  /// budget its final attempt still needs.  Callers pass the budget left
+  /// *after* reserving the next attempt's reply window; 0 means "retry
+  /// immediately" (the remaining window all goes to waiting for a reply).
+  [[nodiscard]] std::uint64_t backoff_ticks(std::uint32_t attempt, Rng& rng,
+                                            std::uint64_t remaining_ticks) const;
 };
 
 struct CircuitBreakerConfig {
@@ -41,6 +51,10 @@ struct CircuitBreakerConfig {
   std::uint32_t failure_threshold{5};
   /// Cool-down before a half-open probe is admitted.
   std::uint64_t open_cooldown_ticks{128};
+  /// How long an admitted half-open probe may stay unresolved before the
+  /// breaker gives up on it and re-opens (a lost probe datagram must not
+  /// wedge the breaker in half-open forever).  0 = open_cooldown_ticks.
+  std::uint64_t probe_timeout_ticks{0};
 };
 
 class CircuitBreaker {
@@ -68,6 +82,7 @@ class CircuitBreaker {
 
  private:
   void trip(std::uint64_t now);
+  [[nodiscard]] std::uint64_t probe_timeout() const;
 
   CircuitBreakerConfig config_;
   State state_{State::kClosed};
@@ -75,6 +90,8 @@ class CircuitBreaker {
   std::uint64_t opened_at_{0};
   std::uint64_t times_opened_{0};
   bool probe_in_flight_{false};
+  /// Tick past which an unresolved half-open probe counts as lost.
+  std::uint64_t probe_deadline_{0};
 };
 
 }  // namespace ech::net

@@ -23,10 +23,11 @@ bool parse_frame(const std::string& payload, char expect_tag,
   return true;
 }
 
-// Cache key: caller and rpc id, mixed so one map serves all callers.
-std::uint64_t cache_key(NodeId from, std::uint64_t id) {
-  return hash_combine(static_cast<std::uint64_t>(from), id);
-}
+// Granularity of the reply wait inside an attempt window.  A couple of
+// default round trips: big enough that the pump loop is cheap, small
+// enough that a successful call costs ~RTT of virtual time, not a full
+// attempt window.
+constexpr std::uint64_t kAttemptPumpSlice = 4;
 
 }  // namespace
 
@@ -45,7 +46,7 @@ void RpcServer::deliver(NodeId from, const std::string& payload) {
   std::uint64_t id = 0;
   std::string body;
   if (!parse_frame(payload, 'Q', &id, &body)) return;  // junk: drop
-  const std::uint64_t key = cache_key(from, id);
+  const CacheKey key{from, id};
   std::string reply;
   bool cached = false;
   {
@@ -143,6 +144,18 @@ std::optional<std::string> RpcClient::take_reply(std::uint64_t id) {
 
 Expected<std::string> RpcClient::call(NodeId to, const std::string& request,
                                       std::uint64_t rpc_id) {
+  return call_before(to, request, kNoDeadline, rpc_id);
+}
+
+Expected<std::string> RpcClient::call_before(NodeId to,
+                                             const std::string& request,
+                                             std::uint64_t deadline_tick,
+                                             std::uint64_t rpc_id) {
+  if (fabric_->now() >= deadline_tick) {
+    return Status{StatusCode::kUnavailable,
+                  "op deadline exhausted before rpc to node " +
+                      std::to_string(to)};
+  }
   CircuitBreaker& br = breaker(to);
   const std::uint64_t opened_before = br.times_opened();
   if (!br.allow(fabric_->now())) {
@@ -154,10 +167,10 @@ Expected<std::string> RpcClient::call(NodeId to, const std::string& request,
   }
   if (rpc_id == 0) rpc_id = next_id_++;
   const std::uint64_t start = fabric_->now();
-  const std::uint64_t overall_deadline =
-      policy_.deadline_ticks == 0
-          ? std::numeric_limits<std::uint64_t>::max()
-          : start + policy_.deadline_ticks;
+  const std::uint64_t overall_deadline = std::min(
+      policy_.deadline_ticks == 0 ? std::numeric_limits<std::uint64_t>::max()
+                                  : start + policy_.deadline_ticks,
+      deadline_tick);
   const std::string frame = "Q " + std::to_string(rpc_id) + " " + request;
 
   for (std::uint32_t attempt = 0;; ++attempt) {
@@ -165,8 +178,19 @@ Expected<std::string> RpcClient::call(NodeId to, const std::string& request,
     const std::uint64_t attempt_deadline =
         std::min(fabric_->now() + policy_.attempt_timeout_ticks,
                  overall_deadline);
-    fabric_->pump_until(attempt_deadline);
-    if (auto reply = take_reply(rpc_id)) {
+    // Wait in small slices instead of one jump to the attempt deadline:
+    // pump_until() always advances the shared clock to its horizon, so a
+    // single jump would charge the FULL attempt window to every concurrent
+    // caller's deadline (and to the latency histogram) even when the reply
+    // lands on tick two.  A concurrent pumper may deliver our reply for
+    // us, so re-check the mailbox before every slice.
+    std::optional<std::string> reply = take_reply(rpc_id);
+    while (!reply && fabric_->now() < attempt_deadline) {
+      fabric_->pump_until(
+          std::min(fabric_->now() + kAttemptPumpSlice, attempt_deadline));
+      reply = take_reply(rpc_id);
+    }
+    if (reply) {
       br.record_success(fabric_->now());
       ins_.latency->observe(static_cast<double>(fabric_->now() - start));
       return *reply;
@@ -177,7 +201,16 @@ Expected<std::string> RpcClient::call(NodeId to, const std::string& request,
       break;
     }
     ins_.retries->add(1);
-    const std::uint64_t backoff = policy_.backoff_ticks(attempt, rng_);
+    // Truncate the backoff to what the deadline leaves over AFTER the next
+    // attempt's reply window — otherwise the final attempt fires at the
+    // deadline itself and times out with zero ticks to hear back.
+    const std::uint64_t remaining = overall_deadline - fabric_->now();
+    const std::uint64_t backoff_budget =
+        remaining > policy_.attempt_timeout_ticks
+            ? remaining - policy_.attempt_timeout_ticks
+            : 0;
+    const std::uint64_t backoff =
+        policy_.backoff_ticks(attempt, rng_, backoff_budget);
     fabric_->pump_until(std::min(fabric_->now() + backoff, overall_deadline));
     // A straggler reply may land during the backoff window.
     if (auto reply = take_reply(rpc_id)) {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/fabric.h"
@@ -57,14 +59,28 @@ class RpcServer final : public Endpoint {
   [[nodiscard]] std::uint64_t cache_hits() const;
 
  private:
+  // The dedup key MUST be the exact (caller, rpc-id) pair: rpc ids are
+  // allocated per client, so two callers routinely hold the same numeric
+  // id, and a collapsed 64-bit mix of the pair can collide for dense
+  // nearby inputs — serving caller A a cached reply that belongs to
+  // caller B.  Equality on the pair makes that impossible; the hash only
+  // affects bucketing.
+  using CacheKey = std::pair<NodeId, std::uint64_t>;
+  struct CacheKeyHash {
+    [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          mix64(hash_combine(mix64(k.first), k.second)));
+    }
+  };
+
   Fabric* fabric_;
   NodeId self_;
   Handler handler_;
   std::size_t cache_capacity_;
 
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::string> replies_;  // key -> reply
-  std::vector<std::uint64_t> fifo_;  // insertion order, for eviction
+  std::unordered_map<CacheKey, std::string, CacheKeyHash> replies_;
+  std::vector<CacheKey> fifo_;  // insertion order, for eviction
   std::size_t fifo_head_{0};
   std::uint64_t executions_{0};
   std::uint64_t cache_hits_{0};
@@ -89,6 +105,19 @@ class RpcClient final : public Endpoint {
   /// replaying a queued mutation that may already have executed.
   Expected<std::string> call(NodeId to, const std::string& request,
                              std::uint64_t rpc_id = 0);
+
+  /// No-deadline sentinel for call_before().
+  static constexpr std::uint64_t kNoDeadline =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// call() with an additional absolute-tick cap on the whole ladder: the
+  /// call stops retrying — and truncates backoffs — at
+  /// min(start + policy.deadline_ticks, deadline_tick).  This is how an
+  /// op-level deadline propagates through nested retries without each
+  /// layer re-budgeting from scratch.
+  Expected<std::string> call_before(NodeId to, const std::string& request,
+                                    std::uint64_t deadline_tick,
+                                    std::uint64_t rpc_id = 0);
 
   /// Pre-allocate an id so a mutation can be journaled before first send.
   [[nodiscard]] std::uint64_t allocate_rpc_id() { return next_id_++; }

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "client/client.h"
+#include "client/storage_rpc.h"
 #include "common/rng.h"
 #include "core/concurrent_cluster.h"
 #include "obs/export.h"
@@ -105,11 +107,45 @@ Expected<ServingReport> ServingEngine::run() {
   const auto deadline =
       start + std::chrono::milliseconds(config_.duration_ms);
 
+  // Net mode: every storage server gets an epoch-checking RPC endpoint on
+  // one deterministic fabric; workers build their own ech::client below.
+  std::unique_ptr<client::ConcurrentClusterApi> net_api;
+  std::unique_ptr<client::StorageRig> net_rig;
+  if (config_.net) {
+    net_api = std::make_unique<client::ConcurrentClusterApi>(*cluster);
+    net_rig = std::make_unique<client::StorageRig>(config_.seed, *net_api,
+                                                   config_.server_count);
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(config_.threads);
   for (std::uint32_t t = 0; t < config_.threads; ++t) {
     workers.emplace_back([&, t] {
       Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + t);
+      std::unique_ptr<client::Client> net_client;
+      if (config_.net) {
+        client::ClientConfig ccfg;
+        ccfg.replicas = config_.replicas;
+        ccfg.op_deadline_ticks = config_.net_op_deadline_ticks;
+        // All workers pump ONE fabric clock, so any concurrent pump burns
+        // everyone's attempt window.  Scale the per-attempt budget with
+        // thread count and let the op deadline (not the per-call retry
+        // budget) bound the ladder, or contention masquerades as endpoint
+        // failure and trips breakers on healthy servers.
+        ccfg.retry.max_attempts = 64;
+        ccfg.retry.attempt_timeout_ticks = 256ull * config_.threads;
+        ccfg.retry.max_backoff_ticks = 16;
+        ccfg.retry.deadline_ticks = 0;
+        // No endpoint in this bench ever actually fails; a breaker trip
+        // here is always a false positive from pump contention.
+        ccfg.breaker.failure_threshold = 1u << 30;
+        ccfg.max_repairs = 8;
+        ccfg.metrics = &registry;
+        ccfg.seed = config_.seed * 0x9E3779B97F4A7C15ULL + t;
+        net_client = std::make_unique<client::Client>(
+            net_rig->fabric(), net_rig->client_node(t),
+            [&] { return cluster->pinned_index(); }, nullptr, ccfg);
+      }
       std::uint64_t local_placement = 0;
       std::uint64_t local_read = 0;
       std::uint64_t local_write = 0;
@@ -127,17 +163,25 @@ Expected<ServingReport> ServingEngine::run() {
               config_.preload_objects > 0 && rng.bernoulli(0.5)
                   ? ObjectId{rng.uniform(0, config_.preload_objects - 1)}
                   : ObjectId{fresh++};
-          if (!cluster->write(oid, 0).is_ok()) ++local_errors;
+          const bool ok = net_client ? net_client->write(oid, 0).ok()
+                                     : cluster->write(oid, 0).is_ok();
+          if (!ok) ++local_errors;
           ops_write.inc();
           ++local_write;
         } else if (dice < config_.write_fraction + config_.read_fraction) {
           const ObjectId oid{rng.uniform(0, config_.preload_objects - 1)};
-          if (!cluster->read(oid).ok()) ++local_errors;
+          const bool ok = net_client ? net_client->read(oid).ok()
+                                     : cluster->read(oid).ok();
+          if (!ok) ++local_errors;
           ops_read.inc();
           ++local_read;
         } else {
           const ObjectId oid{rng.next_u64()};
-          if (!cluster->placement_of(oid).ok()) ++local_errors;
+          // Net mode routes this through the client's placement cache —
+          // the client-side analogue of the lock-free placement_of path.
+          const bool ok = net_client ? net_client->cached_route(oid).ok()
+                                     : cluster->placement_of(oid).ok();
+          if (!ok) ++local_errors;
           ops_placement.inc();
           ++local_placement;
         }
@@ -221,6 +265,21 @@ Expected<ServingReport> ServingEngine::run() {
   report.epoch_retirements = epochs.retirements();
   report.epoch_slow_pins = epochs.slow_pins();
   report.epoch_fallback_pins = epochs.fallback_pins();
+
+  if (config_.net) {
+    const auto counter_value = [&snap](const char* name) -> std::uint64_t {
+      const obs::MetricSample* s = obs::find_sample(snap, name);
+      return s != nullptr ? static_cast<std::uint64_t>(s->value) : 0;
+    };
+    report.client_cache_hits = counter_value("ech_client_cache_hits_total");
+    report.client_cache_misses =
+        counter_value("ech_client_cache_misses_total");
+    report.client_invalidations =
+        counter_value("ech_client_invalidations_total");
+    report.client_misroutes = counter_value("ech_client_misroutes_total");
+    report.client_degraded_reads =
+        counter_value("ech_client_degraded_reads_total");
+  }
   return report;
 }
 

@@ -65,6 +65,20 @@ struct ServingConfig {
   std::uint64_t churn_period_ms{50};
   Bytes maintenance_budget{64 * kDefaultObjectSize};
   std::uint64_t seed{42};
+  /// Serve over the net fabric through ech::client::Client instead of
+  /// in-process calls: every server gets an epoch-checking RPC endpoint on
+  /// a deterministic fabric (client/storage_rpc.h) and every worker owns a
+  /// Client with a stale-epoch-tolerant placement cache, so the measured
+  /// path includes framing, routing, misroute repair under churn, and the
+  /// retry/breaker machinery.  Placement ops become client-cache routing
+  /// lookups (the client-side analogue of placement_of).  Preload stays
+  /// in-process (control-plane bulk load, not the measured path).
+  bool net{false};
+  /// Per-op deadline (fabric ticks) in net mode.  Generous by default:
+  /// worker clients share ONE fabric clock, so every concurrent pump
+  /// advances everyone's virtual time — a tight budget here measures clock
+  /// contention, not the routing path.
+  std::uint64_t net_op_deadline_ticks{1u << 20};
   /// Registry the cluster + engine report into (nullptr = a private one
   /// owned by the engine, so repeated runs don't aggregate).
   obs::MetricsRegistry* metrics{nullptr};
@@ -89,6 +103,12 @@ struct ServingReport {
   std::uint64_t epoch_retirements{0};
   std::uint64_t epoch_slow_pins{0};
   std::uint64_t epoch_fallback_pins{0};
+  // Client routing-cache health (net mode only; ech_client_* counters).
+  std::uint64_t client_cache_hits{0};
+  std::uint64_t client_cache_misses{0};
+  std::uint64_t client_invalidations{0};
+  std::uint64_t client_misroutes{0};
+  std::uint64_t client_degraded_reads{0};
 };
 
 class ServingEngine {

@@ -1,0 +1,109 @@
+// Concurrent clients over one fabric and one cluster, raced against a
+// control thread issuing resizes — the TSan target for the client routing
+// path (rpc framing, reply mailboxes, server handlers, placement-cache
+// refetch all run on several threads at once).  Runs under `ctest -L
+// concurrency`, typically in a -DECH_SANITIZE=thread build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "client/storage_rpc.h"
+#include "common/rng.h"
+#include "core/concurrent_cluster.h"
+
+namespace ech::client {
+namespace {
+
+TEST(ClientConcurrencyTest, FourClientsSurviveAResizeStorm) {
+  constexpr std::uint32_t kServers = 12;
+  constexpr std::uint32_t kClients = 4;
+  constexpr std::uint32_t kOpsPerClient = 120;
+
+  ElasticClusterConfig ccfg;
+  ccfg.server_count = kServers;
+  ccfg.replicas = 3;
+  ccfg.vnode_budget = 1000;
+  auto created = ConcurrentElasticCluster::create(ccfg);
+  ASSERT_TRUE(created.ok());
+  const std::unique_ptr<ConcurrentElasticCluster> cluster =
+      std::move(created).value();
+
+  ConcurrentClusterApi api(*cluster);
+  StorageRig rig(/*seed=*/21, api, kServers);
+
+  std::atomic<std::uint64_t> ok_ops{0};
+  std::atomic<std::uint64_t> failed_ops{0};
+  std::atomic<std::uint64_t> done_clients{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kClients);
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientConfig cfg;
+      cfg.replicas = 3;
+      cfg.op_deadline_ticks = 1u << 20;
+      cfg.retry.max_attempts = 64;
+      cfg.retry.attempt_timeout_ticks = 256 * kClients;
+      cfg.retry.deadline_ticks = 0;
+      cfg.breaker.failure_threshold = 1u << 30;  // no real failures here
+      cfg.max_repairs = 8;
+      cfg.seed = 1000 + c;
+      Client cli(rig.fabric(), rig.client_node(c),
+                 [&] { return cluster->pinned_index(); }, nullptr, cfg);
+      Rng rng(77 * (c + 1));
+      std::uint64_t local_ok = 0;
+      std::uint64_t local_failed = 0;
+      for (std::uint32_t i = 0; i < kOpsPerClient; ++i) {
+        // Disjoint key spaces: no cross-client write races on one oid.
+        const ObjectId oid{(static_cast<std::uint64_t>(c + 1) << 32) |
+                           rng.uniform(0, 15)};
+        bool ok;
+        if (rng.bernoulli(0.6)) {
+          ok = cli.write(oid, 0).ok();
+        } else {
+          const auto r = cli.read(oid);
+          // kNotFound is a valid answer for a never-written key.
+          ok = r.ok() || r.status().code() == StatusCode::kNotFound;
+        }
+        (ok ? local_ok : local_failed) += 1;
+      }
+      ok_ops.fetch_add(local_ok);
+      failed_ops.fetch_add(local_failed);
+      done_clients.fetch_add(1);
+    });
+  }
+
+  // Control thread: resize storm while the clients route.  Paced so
+  // repairs can keep up — the contract under churn is "bounded bounces
+  // per op", not "survives an unbounded resize livelock".
+  // Primary floor is a property of the (immutable) expansion chain; read
+  // it once before any thread races on the cluster.
+  const std::uint32_t floor =
+      std::max(ccfg.replicas, cluster->unsynchronized().primary_count());
+  std::thread controller([&] {
+    Rng rng(5);
+    while (done_clients.load() < kClients) {
+      (void)cluster->request_resize(
+          static_cast<std::uint32_t>(rng.uniform(floor, kServers)));
+      (void)cluster->maintenance_step(4 * kMiB);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (auto& w : workers) w.join();
+  controller.join();
+
+  // No partitions and no real failures: every op must have landed, through
+  // however many misroute repairs the storm caused.
+  EXPECT_EQ(failed_ops.load(), 0u);
+  EXPECT_EQ(ok_ops.load(),
+            static_cast<std::uint64_t>(kClients) * kOpsPerClient);
+}
+
+}  // namespace
+}  // namespace ech::client

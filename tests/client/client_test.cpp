@@ -1,0 +1,376 @@
+// Client routing library: codec round trips, epoch/ownership rejections,
+// cache lifecycle (hit, staleness, repair), degraded reads, write
+// queueing with exactly-once flush, and per-op deadline bounding.  All
+// single-threaded over the plain cluster facade; the concurrent story is
+// covered by client_chaos_test.cpp / client_concurrency_test.cpp.
+#include "client/client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "client/storage_rpc.h"
+#include "core/elastic_cluster.h"
+#include "net/kv_shard.h"
+
+namespace ech::client {
+namespace {
+
+std::unique_ptr<ElasticCluster> make_cluster(std::uint32_t servers = 10,
+                                             std::uint32_t replicas = 3) {
+  ElasticClusterConfig cfg;
+  cfg.server_count = servers;
+  cfg.replicas = replicas;
+  cfg.vnode_budget = 500;  // cheap index rebuilds; placement semantics same
+  auto created = ElasticCluster::create(cfg);
+  EXPECT_TRUE(created.ok());
+  return std::move(created).value();
+}
+
+/// The server a client routes mutations to: the placement's first
+/// primary-role replica (matches Client::route_targets).
+ServerId owner_of(const ElasticCluster& c, ObjectId oid) {
+  const auto p = c.placement_of(oid);
+  EXPECT_TRUE(p.ok());
+  const auto idx = c.placement_index();
+  for (ServerId s : p.value().servers) {
+    if (idx->is_primary(s)) return s;
+  }
+  return p.value().servers.front();
+}
+
+/// Cluster + rig + one client, wired the way echctl does it.
+struct TestBed {
+  explicit TestBed(std::uint32_t servers = 10, std::uint32_t replicas = 3,
+                   ClientConfig cfg = {})
+      : cluster(make_cluster(servers, replicas)),
+        api(*cluster),
+        rig(/*seed=*/11, api, servers),
+        cli(rig.fabric(), rig.client_node(0),
+            [this] { return cluster->placement_index(); }, nullptr, cfg) {}
+
+  std::unique_ptr<ElasticCluster> cluster;
+  LocalClusterApi api;
+  StorageRig rig;
+  Client cli;
+};
+
+TEST(StorageRpcCodecTest, RequestRoundTrips) {
+  for (const Op op : {Op::kWrite, Op::kRead, Op::kRemove, Op::kEpochProbe}) {
+    Request req;
+    req.op = op;
+    req.epoch = Version{7};
+    req.oid = ObjectId{0xDEADBEEFull << 8};
+    req.size = op == Op::kWrite ? 4096 : 0;
+    const auto back = decode_request(encode_request(req));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->op, req.op);
+    EXPECT_EQ(back->epoch.value, req.epoch.value);
+    EXPECT_EQ(back->oid.value, req.oid.value);
+    EXPECT_EQ(back->size, req.size);
+  }
+  EXPECT_FALSE(decode_request("").has_value());
+  EXPECT_FALSE(decode_request("X 1 2").has_value());
+  EXPECT_FALSE(decode_request("W 1").has_value());
+}
+
+TEST(StorageRpcCodecTest, RerouteRepliesParse) {
+  Version epoch{0};
+  bool mismatch = false;
+  EXPECT_TRUE(parse_reroute(epoch_mismatch_reply(Version{9}), &epoch,
+                            &mismatch));
+  EXPECT_EQ(epoch.value, 9u);
+  EXPECT_TRUE(mismatch);
+  EXPECT_TRUE(parse_reroute(not_primary_reply(Version{4}), &epoch,
+                            &mismatch));
+  EXPECT_EQ(epoch.value, 4u);
+  EXPECT_FALSE(mismatch);
+  EXPECT_FALSE(parse_reroute(kv::Reply::ok(), &epoch, &mismatch));
+  EXPECT_FALSE(parse_reroute(kv::Reply::error("ERR 14 nope"), &epoch,
+                             &mismatch));
+}
+
+TEST(StorageRpcCodecTest, StatusCrossesTheWire) {
+  const Status s{StatusCode::kNotFound, "no such object"};
+  const Status back = parse_status(status_reply(s));
+  EXPECT_EQ(back.code(), StatusCode::kNotFound);
+  EXPECT_EQ(back.message(), "no such object");
+  EXPECT_TRUE(parse_status(status_reply(Status::ok())).is_ok());
+}
+
+TEST(ClientTest, WriteReadRemoveRoundTrip) {
+  TestBed t;
+  const ObjectId oid{42};
+  const auto ack = t.cli.write(oid, 2 * kMiB);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  EXPECT_FALSE(ack.value().queued);
+  EXPECT_EQ(ack.value().version.value, t.cluster->current_version().value);
+  EXPECT_EQ(ack.value().size, 2 * kMiB);
+
+  const auto holders = t.cli.read(oid);
+  ASSERT_TRUE(holders.ok());
+  EXPECT_EQ(holders.value().size(), 3u);
+
+  const auto removed = t.cli.remove(oid);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value(), 3u);
+  EXPECT_FALSE(t.cli.read(oid).ok());
+  EXPECT_EQ(t.cli.stats().misroutes, 0u);
+}
+
+TEST(ClientTest, EpochProbeTracksResizes) {
+  TestBed t;
+  const auto before = t.cli.probe_epoch(ServerId{1});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().value, t.cluster->current_version().value);
+  ASSERT_TRUE(t.cluster->request_resize(6).is_ok());
+  const auto after = t.cli.probe_epoch(ServerId{1});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().value, t.cluster->current_version().value);
+  EXPECT_GT(after.value().value, before.value().value);
+}
+
+TEST(ClientTest, CachedRouteGoesStaleAndOpsRepairIt) {
+  TestBed t;
+  const ObjectId oid{7};
+  ASSERT_TRUE(t.cli.write(oid, 0).ok());
+  const Version cached_before = *t.cli.cached_epoch();
+
+  ASSERT_TRUE(t.cluster->request_resize(5).is_ok());
+  // Introspection never repairs: the cache still answers at the old epoch.
+  EXPECT_EQ(t.cli.cached_epoch()->value, cached_before.value);
+  ASSERT_TRUE(t.cli.cached_route(oid).ok());
+  EXPECT_EQ(t.cli.cached_epoch()->value, cached_before.value);
+
+  // The next op gets bounced with -EPOCH, repairs, and lands.
+  const auto ack = t.cli.write(oid, 0);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  EXPECT_GE(t.cli.stats().misroutes, 1u);
+  EXPECT_GE(t.cli.stats().invalidations, 1u);
+  EXPECT_EQ(t.cli.cached_epoch()->value,
+            t.cluster->current_version().value);
+  EXPECT_EQ(ack.value().version.value, t.cluster->current_version().value);
+}
+
+TEST(ClientTest, ManualInvalidateRefetches) {
+  TestBed t;
+  ASSERT_TRUE(t.cli.cached_route(ObjectId{1}).ok());
+  const std::uint64_t misses_before = t.cli.stats().cache_misses;
+  ASSERT_TRUE(t.cli.cached_route(ObjectId{2}).ok());  // hit
+  EXPECT_EQ(t.cli.stats().cache_misses, misses_before);
+  t.cli.invalidate();
+  EXPECT_FALSE(t.cli.cached_epoch().has_value());
+  ASSERT_TRUE(t.cli.cached_route(ObjectId{3}).ok());  // miss: refetch
+  EXPECT_EQ(t.cli.stats().cache_misses, misses_before + 1);
+}
+
+TEST(ClientTest, RawRpcAtWrongEpochIsRejectedWithoutExecuting) {
+  TestBed t;
+  const ObjectId oid{99};
+  const ServerId owner = owner_of(*t.cluster, oid);
+  Request req;
+  req.op = Op::kWrite;
+  req.epoch = Version{t.cluster->current_version().value + 1};  // from the future
+  req.oid = oid;
+  req.size = kMiB;
+  const auto raw = t.cli.rpc().call(StorageRig::server_node(owner),
+                                    encode_request(req));
+  ASSERT_TRUE(raw.ok());
+  Version server_epoch{0};
+  bool mismatch = false;
+  ASSERT_TRUE(parse_reroute(net::decode_reply(raw.value()), &server_epoch,
+                            &mismatch));
+  EXPECT_TRUE(mismatch);
+  EXPECT_EQ(server_epoch.value, t.cluster->current_version().value);
+  EXPECT_FALSE(t.cluster->read(oid).ok());  // fenced: never executed
+}
+
+TEST(ClientTest, RawRpcToNonOwnerIsRefusedNotPrimary) {
+  TestBed t;
+  const ObjectId oid{123};
+  const auto placement = t.cluster->placement_of(oid);
+  ASSERT_TRUE(placement.ok());
+  const ServerId owner = owner_of(*t.cluster, oid);
+  // Any server outside the placement is a non-owner for a write.
+  ServerId stranger{0};
+  for (std::uint32_t s = 1; s <= 10; ++s) {
+    bool member = false;
+    for (ServerId p : placement.value().servers) {
+      if (p.value == s) member = true;
+    }
+    if (!member) {
+      stranger = ServerId{s};
+      break;
+    }
+  }
+  ASSERT_NE(stranger.value, 0u);
+  ASSERT_NE(stranger.value, owner.value);
+  Request req;
+  req.op = Op::kWrite;
+  req.epoch = t.cluster->current_version();
+  req.oid = oid;
+  req.size = kMiB;
+  const auto raw = t.cli.rpc().call(StorageRig::server_node(stranger),
+                                    encode_request(req));
+  ASSERT_TRUE(raw.ok());
+  Version server_epoch{0};
+  bool mismatch = true;
+  ASSERT_TRUE(parse_reroute(net::decode_reply(raw.value()), &server_epoch,
+                            &mismatch));
+  EXPECT_FALSE(mismatch);  // right epoch, wrong server
+  EXPECT_FALSE(t.cluster->read(oid).ok());
+}
+
+TEST(ClientTest, ReadsDegradeToReplicaWhenPreferredUnreachable) {
+  TestBed t;
+  const ObjectId oid{55};
+  ASSERT_TRUE(t.cli.write(oid, 0).ok());
+  const auto route = t.cli.cached_route(oid);
+  ASSERT_TRUE(route.ok());
+  const ServerId preferred = route.value().servers.front();
+  t.rig.fabric().partition(t.cli.node(), StorageRig::server_node(preferred));
+
+  const auto holders = t.cli.read(oid);
+  ASSERT_TRUE(holders.ok()) << holders.status().to_string();
+  EXPECT_GE(t.cli.stats().degraded_reads, 1u);
+}
+
+TEST(ClientTest, ReadsFailWhenFallbackDisabled) {
+  ClientConfig cfg;
+  cfg.degraded_reads = false;
+  cfg.op_deadline_ticks = 512;
+  TestBed t(10, 3, cfg);
+  const ObjectId oid{56};
+  ASSERT_TRUE(t.cli.write(oid, 0).ok());
+  const ServerId preferred = t.cli.cached_route(oid).value().servers.front();
+  t.rig.fabric().partition(t.cli.node(), StorageRig::server_node(preferred));
+  EXPECT_FALSE(t.cli.read(oid).ok());
+  EXPECT_EQ(t.cli.stats().degraded_reads, 0u);
+}
+
+TEST(ClientTest, WritesFailFastWithoutAQueue) {
+  ClientConfig cfg;
+  cfg.op_deadline_ticks = 128;  // tighter than the rpc policy's own budget
+  TestBed t(10, 3, cfg);
+  const ObjectId oid{77};
+  const ServerId owner = owner_of(*t.cluster, oid);
+  t.rig.fabric().partition(t.cli.node(), StorageRig::server_node(owner));
+
+  const std::uint64_t start = t.rig.fabric().now();
+  const auto ack = t.cli.write(oid, 0);
+  EXPECT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(t.cli.pending_writes(), 0u);
+  // The op deadline bounds the whole ladder (small slack: the last pump
+  // slice may overshoot by the slice length).
+  EXPECT_LE(t.rig.fabric().now(), start + 128 + 8);
+}
+
+TEST(ClientTest, QueuedWriteFlushesExactlyOnceAfterHeal) {
+  ClientConfig cfg;
+  cfg.write_queue_capacity = 4;
+  cfg.op_deadline_ticks = 256;
+  TestBed t(10, 3, cfg);
+  const ObjectId oid{88};
+  const ServerId owner = owner_of(*t.cluster, oid);
+  // Block replies only: the write EXECUTES server-side, the ack dies, and
+  // the client parks the op with the same rpc id.
+  t.rig.fabric().partition(t.cli.node(), StorageRig::server_node(owner),
+                           net::PartitionMode::kBToA);
+  const auto ack = t.cli.write(oid, kMiB);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  EXPECT_TRUE(ack.value().queued);
+  EXPECT_EQ(t.cli.pending_writes(), 1u);
+  EXPECT_EQ(t.cli.stats().queued_writes, 1u);
+
+  t.rig.fabric().heal_all();
+  t.cli.on_heal();
+  EXPECT_EQ(t.cli.pending_writes(), 0u);
+  EXPECT_EQ(t.cli.stats().flushed_writes, 1u);
+  EXPECT_TRUE(t.cluster->read(oid).ok());
+  // Exactly-once: the flush reused the dark attempt's rpc id, so the
+  // server answered the replay from its reply cache instead of executing
+  // the write a second time.
+  net::RpcServer& srv = t.rig.server(owner).rpc();
+  EXPECT_EQ(srv.executions(), 1u);
+  EXPECT_GE(srv.cache_hits(), 1u);
+}
+
+TEST(ClientTest, QueueCapacityBoundsParkedWrites) {
+  ClientConfig cfg;
+  cfg.write_queue_capacity = 2;
+  cfg.op_deadline_ticks = 128;
+  TestBed t(6, 3, cfg);
+  // Partition the client from every server: all writes park (or fail once
+  // the queue is full).
+  for (std::uint32_t s = 1; s <= 6; ++s) {
+    t.rig.fabric().partition(t.cli.node(), s);
+  }
+  std::uint64_t queued = 0;
+  std::uint64_t failed = 0;
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    const auto ack = t.cli.write(ObjectId{1000 + k}, 0);
+    if (ack.ok() && ack.value().queued) {
+      ++queued;
+    } else if (!ack.ok()) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(queued, 2u);
+  EXPECT_EQ(failed, 2u);
+  EXPECT_EQ(t.cli.pending_writes(), 2u);
+
+  t.rig.fabric().heal_all();
+  t.cli.on_heal();
+  EXPECT_EQ(t.cli.pending_writes(), 0u);
+  EXPECT_TRUE(t.cluster->read(ObjectId{1000}).ok());
+  EXPECT_TRUE(t.cluster->read(ObjectId{1001}).ok());
+}
+
+TEST(ClientTest, RepairBudgetBoundsRoutingBounces) {
+  // A placement source that always serves a stale snapshot: every repair
+  // refetches the same dead epoch, so the op must exhaust max_repairs and
+  // fail instead of bouncing forever.
+  auto cluster = make_cluster(8, 2);
+  LocalClusterApi api(*cluster);
+  StorageRig rig(3, api, 8);
+  const auto stale = cluster->placement_index();
+  ASSERT_TRUE(cluster->request_resize(5).is_ok());
+  ClientConfig cfg;
+  cfg.max_repairs = 3;
+  cfg.op_deadline_ticks = 1u << 16;
+  Client cli(rig.fabric(), rig.client_node(0), [stale] { return stale; },
+             nullptr, cfg);
+  const auto ack = cli.write(ObjectId{5}, 0);
+  EXPECT_FALSE(ack.ok());
+  EXPECT_EQ(cli.stats().repairs_exhausted, 1u);
+  EXPECT_GE(cli.stats().misroutes, 1u);
+  EXPECT_LE(cli.stats().misroutes, 4u);  // initial try + max_repairs bounces
+}
+
+TEST(ClientTest, NetMetricsAggregateAcrossClients) {
+  obs::MetricsRegistry registry;
+  ClientConfig cfg;
+  cfg.metrics = &registry;
+  TestBed t(10, 3, cfg);
+  ASSERT_TRUE(t.cli.write(ObjectId{1}, 0).ok());
+  ASSERT_TRUE(t.cluster->request_resize(6).is_ok());
+  ASSERT_TRUE(t.cli.write(ObjectId{1}, 0).ok());  // misroute + repair
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const auto* hits = obs::find_sample(snap, "ech_client_cache_hits_total");
+  const auto* misroutes =
+      obs::find_sample(snap, "ech_client_misroutes_total");
+  const auto* repair_ns =
+      obs::find_sample(snap, "ech_client_repair_ns_total");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misroutes, nullptr);
+  ASSERT_NE(repair_ns, nullptr);
+  EXPECT_GE(hits->value, 1.0);
+  EXPECT_GE(misroutes->value, 1.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(misroutes->value),
+            t.cli.stats().misroutes);
+}
+
+}  // namespace
+}  // namespace ech::client

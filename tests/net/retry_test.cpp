@@ -124,6 +124,82 @@ TEST(CircuitBreakerTest, ResetClosesImmediately) {
   EXPECT_TRUE(breaker.allow(1));
 }
 
+TEST(RetryPolicyTest, BackoffTruncatesToRemainingDeadline) {
+  RetryPolicy policy;
+  policy.base_backoff_ticks = 16;
+  policy.max_backoff_ticks = 256;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  // Untruncated schedule: 16, 32, 64 ...; a 10-tick budget clamps them all.
+  EXPECT_EQ(policy.backoff_ticks(0, rng, 10), 10u);
+  EXPECT_EQ(policy.backoff_ticks(1, rng, 10), 10u);
+  // A generous budget leaves the schedule untouched.
+  EXPECT_EQ(policy.backoff_ticks(2, rng, 1000), 64u);
+  // Zero budget: no sleep at all (the caller is at the deadline).
+  EXPECT_EQ(policy.backoff_ticks(0, rng, 0), 0u);
+}
+
+TEST(RetryPolicyTest, TruncationPreservesJitterStream) {
+  // The truncating overload must consume exactly one draw like the plain
+  // one, so a replay that hits the deadline at a different attempt still
+  // sees the same jitter sequence afterwards.
+  RetryPolicy policy;
+  policy.jitter = 0.5;
+  const auto tail = [&](bool truncate_first) {
+    Rng rng(77);
+    if (truncate_first) {
+      (void)policy.backoff_ticks(0, rng, 1);
+    } else {
+      (void)policy.backoff_ticks(0, rng);
+    }
+    std::vector<std::uint64_t> out;
+    for (std::uint32_t a = 1; a < 8; ++a) {
+      out.push_back(policy.backoff_ticks(a, rng));
+    }
+    return out;
+  };
+  EXPECT_EQ(tail(true), tail(false));
+}
+
+TEST(CircuitBreakerTest, DroppedHalfOpenProbeReopensInsteadOfWedging) {
+  // Regression: the probe rpc can vanish without ever producing a verdict
+  // (caller crashed, reply partitioned away).  The breaker used to stay
+  // half-open with probe_in_flight_ set forever, rejecting every caller.
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ticks = 10;
+  cfg.probe_timeout_ticks = 20;
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(10));  // probe admitted...
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // ...and never resolved.  Within the probe window callers still fast-fail.
+  EXPECT_FALSE(breaker.allow(15));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // Past the window the breaker must give up on the lost probe and re-open
+  // (fresh cool-down), not wedge.
+  EXPECT_FALSE(breaker.allow(30));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // After the new cool-down a fresh probe is admitted and can close.
+  EXPECT_TRUE(breaker.allow(40));
+  breaker.record_success(41);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(42));
+}
+
+TEST(CircuitBreakerTest, ProbeTimeoutDefaultsToCooldown) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ticks = 10;  // probe_timeout_ticks left at 0
+  CircuitBreaker breaker(cfg);
+  breaker.record_failure(0);
+  EXPECT_TRUE(breaker.allow(10));
+  EXPECT_FALSE(breaker.allow(19));  // within the implied 10-tick window
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(20));  // window elapsed: back to open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
 TEST(CircuitBreakerTest, StateNamesAreStable) {
   EXPECT_STREQ(CircuitBreaker::state_name(CircuitBreaker::State::kClosed),
                "closed");

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "net/kv_shard.h"
@@ -129,6 +130,96 @@ TEST(RpcTest, BreakerHalfOpenProbeRecoversAfterHeal) {
   EXPECT_TRUE(recovered);
   EXPECT_EQ(rig.client.breaker(kServer).state(),
             CircuitBreaker::State::kClosed);
+}
+
+TEST(RpcTest, CallBeforeFailsFastPastDeadlineAndNeverPumpsBeyond) {
+  TestRig rig(4);
+  rig.fabric.partition(kClient, kServer);
+  const std::uint64_t deadline = rig.fabric.now() + 10;
+  // Default attempt timeout (16) exceeds the 10-tick budget: the ladder
+  // must be cut at the op deadline, not run to its own schedule.
+  auto r = rig.client.call_before(kServer, "x", deadline);
+  EXPECT_FALSE(r.ok());
+  EXPECT_LE(rig.fabric.now(), deadline);
+  // An already-exhausted deadline is rejected without touching the wire.
+  rig.fabric.advance(20);
+  const std::uint64_t sent_before = rig.fabric.stats().sent;
+  r = rig.client.call_before(kServer, "x", deadline);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rig.fabric.stats().sent, sent_before);
+}
+
+TEST(RpcTest, FinalAttemptRetainsReplyWindowUnderDeadline) {
+  // Regression: the backoff before the last attempt used to be clamped to
+  // the overall deadline itself, so the final retransmission fired AT the
+  // deadline with zero ticks to hear the reply — a guaranteed timeout even
+  // against a healthy server.  The backoff must instead be truncated to
+  // deadline minus one attempt window.
+  Fabric fabric(1);
+  struct SwallowFirst : Endpoint {
+    Fabric* f{nullptr};
+    int seen{0};
+    void deliver(NodeId from, const std::string& payload) override {
+      if (++seen == 1) return;  // the first request dies inside the server
+      const std::uint64_t id =
+          std::strtoull(payload.c_str() + 2, nullptr, 10);
+      f->send(kServer, from, "R " + std::to_string(id) + " pong");
+    }
+  } server;
+  server.f = &fabric;
+  fabric.bind(kServer, &server);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.attempt_timeout_ticks = 8;
+  policy.base_backoff_ticks = 64;  // wants to sleep far past the deadline
+  policy.max_backoff_ticks = 64;
+  policy.jitter = 0.0;
+  policy.deadline_ticks = 0;  // only the caller's deadline binds
+  RpcClient client(fabric, kClient, policy);
+  // Budget 20: attempt 1 times out at 8, the truncated backoff leaves an
+  // 8-tick reply window, and attempt 2's reply lands well inside it.
+  const auto r = client.call_before(kServer, "ping", fabric.now() + 20);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), "pong");
+  EXPECT_EQ(server.seen, 2);
+  fabric.unbind(kServer);
+}
+
+TEST(RpcTest, ReplyCacheNeverCrossesCallers) {
+  // Regression: the reply cache used to collapse (caller, rpc-id) into one
+  // 64-bit boost-style hash_combine, which is nearly affine in the id —
+  // two clients at adjacent nodes whose per-client id counters drift ~4096
+  // apart collided systematically, and one caller was served a cached
+  // reply belonging to the other (a read's replica list arriving as a
+  // write ack).  Dense same-range ids from two adjacent nodes must each
+  // execute and echo their own body, with zero dedup hits.
+  Fabric fabric(17);
+  int handled = 0;
+  RpcServer server(fabric, kServer,
+                   [&handled](const std::string& body) {
+                     ++handled;
+                     return "ok:" + body;
+                   },
+                   /*reply_cache_entries=*/1 << 16);
+  constexpr NodeId kClientA = 301;
+  constexpr NodeId kClientB = 302;
+  RpcClient a(fabric, kClientA, RetryPolicy{});
+  RpcClient b(fabric, kClientB, RetryPolicy{});
+  constexpr std::uint64_t kIds = 5000;  // spans several multiples of 4096
+  int wrong = 0;
+  for (std::uint64_t id = 1; id <= kIds; ++id) {
+    const auto ra =
+        a.call(kServer, "a" + std::to_string(id), /*rpc_id=*/id);
+    const auto rb =
+        b.call(kServer, "b" + std::to_string(id), /*rpc_id=*/id);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    if (ra.value() != "ok:a" + std::to_string(id)) ++wrong;
+    if (rb.value() != "ok:b" + std::to_string(id)) ++wrong;
+  }
+  EXPECT_EQ(wrong, 0);
+  EXPECT_EQ(handled, static_cast<int>(2 * kIds));
+  EXPECT_EQ(server.cache_hits(), 0u);
 }
 
 TEST(RpcTest, SameSeedSameOutcome) {
