@@ -6,11 +6,17 @@
 // Machine-readable results for the perf trajectory (release builds only):
 //   ./serving_engine --json BENCH_serving.json
 //
-// Two modes:
-//   * default — ops/s vs worker threads under resize churn,
+// Modes:
+//   * default — ops/s vs worker threads under resize churn (closed loop),
+//     followed by an open-loop goodput-vs-offered-load series,
 //   * --sweep — ops/s vs active-set size (performance proportionality:
-//     fixed thread count, churn off, one entry per active size).
-// Both honor --backend ring|jump|dx (the cluster's placement backend).
+//     fixed thread count, churn off, one entry per active size),
+//   * --open-loop — ONLY the open-loop series: a seeded Poisson (or
+//     --arrival burst) generator offers load into the admission-controlled
+//     queue at fractions/multiples of measured saturation (or exactly
+//     --offered-load ops/s), reporting goodput, typed sheds and queue wait
+//     AT OFFERED LOAD — latency free of coordinated omission.
+// All honor --backend ring|jump|dx (the cluster's placement backend).
 #include <cstdio>
 #include <ctime>
 #include <string>
@@ -43,6 +49,18 @@ struct Flags {
   ech::PlacementBackendKind backend{ech::PlacementBackendKind::kRing};
   std::string backend_name{"ring"};
   std::string json_path;
+  /// --open-loop: skip the closed-loop passes, run only the open-loop
+  /// series.  (The default full run appends the open-loop series anyway.)
+  bool open_loop_only{false};
+  /// 0 = auto: calibrate saturation closed-loop, then sweep multipliers.
+  double offered_load{0.0};
+  ech::serve::ArrivalProcess arrival{ech::serve::ArrivalProcess::kPoisson};
+  std::string arrival_name{"poisson"};
+  std::uint64_t seed{42};
+  /// Synthetic per-op service cost for the open-loop series, so the single
+  /// generator thread can overdrive saturation even on a small box.
+  std::uint64_t spin_ns{20'000};
+  bool quick{false};
 };
 
 Flags parse_flags(int argc, char** argv) {
@@ -82,14 +100,36 @@ Flags parse_flags(int argc, char** argv) {
       f.threads = {1, 2};
       f.duration_ms = 250;
       f.objects = 2'000;
+      f.quick = true;
     } else if (arg == "--json" && i + 1 < argc) {
       f.json_path = argv[++i];
+    } else if (arg == "--open-loop") {
+      f.open_loop_only = true;
+    } else if (arg == "--offered-load" && i + 1 < argc) {
+      f.offered_load = std::stod(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      f.seed = std::stoull(argv[++i]);
+    } else if (arg == "--spin" && i + 1 < argc) {
+      f.spin_ns = std::stoull(argv[++i]);
+    } else if (arg == "--arrival" && i + 1 < argc) {
+      f.arrival_name = argv[++i];
+      if (f.arrival_name == "poisson") {
+        f.arrival = ech::serve::ArrivalProcess::kPoisson;
+      } else if (f.arrival_name == "burst") {
+        f.arrival = ech::serve::ArrivalProcess::kBurst;
+      } else {
+        std::fprintf(stderr, "unknown arrival: %s (poisson|burst)\n",
+                     f.arrival_name.c_str());
+        std::exit(1);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--threads N] [--ms N] [--objects N] [--servers N]\n"
           "          [--replicas N] [--backend ring|jump|dx] [--no-churn]\n"
           "          [--write-fraction F] [--read-fraction F]\n"
-          "          [--sweep] [--net] [--quick] [--json <path>]\n",
+          "          [--sweep] [--net] [--quick] [--json <path>]\n"
+          "          [--open-loop] [--offered-load OPS_PER_SEC]\n"
+          "          [--arrival poisson|burst] [--seed N] [--spin NS]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -152,6 +192,28 @@ void append_run_json(std::string& out, const std::string& name,
         static_cast<unsigned long long>(r.client_degraded_reads));
     out += buf;
   }
+  if (r.offered_ops > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"offered_ops\": %llu, \"admitted_ops\": %llu, "
+        "\"goodput_per_sec\": %.1f, \"shed_total\": %llu, "
+        "\"shed_queue_full\": %llu, \"shed_priority\": %llu, "
+        "\"shed_deadline\": %llu, \"overloaded_errors\": %llu, "
+        "\"queue_wait_p50_ns\": %llu, \"queue_wait_p99_ns\": %llu, "
+        "\"concurrency_limit_floor\": %u, \"bg_throttled_slices\": %llu",
+        static_cast<unsigned long long>(r.offered_ops),
+        static_cast<unsigned long long>(r.admitted_ops), r.goodput_per_sec,
+        static_cast<unsigned long long>(r.shed_total),
+        static_cast<unsigned long long>(r.shed_queue_full),
+        static_cast<unsigned long long>(r.shed_priority),
+        static_cast<unsigned long long>(r.shed_deadline),
+        static_cast<unsigned long long>(r.overloaded_errors),
+        static_cast<unsigned long long>(r.queue_wait_p50_ns),
+        static_cast<unsigned long long>(r.queue_wait_p99_ns),
+        r.concurrency_limit_floor,
+        static_cast<unsigned long long>(r.bg_throttled_slices));
+    out += buf;
+  }
   out += "}";
 }
 
@@ -174,9 +236,12 @@ int main(int argc, char** argv) {
               flags.write_fraction, flags.read_fraction,
               (flags.churn && !flags.sweep) ? "on" : "off",
               ech::bench::build_type(), std::thread::hardware_concurrency());
-  ech::bench::print_row({flags.sweep ? "active" : "threads", "ops/s", "p50_us",
-                         "p90_us", "p99_us", "p999_us", "errors", "resizes"},
-                        10);
+  if (!flags.open_loop_only) {
+    ech::bench::print_row({flags.sweep ? "active" : "threads", "ops/s",
+                           "p50_us", "p90_us", "p99_us", "p999_us", "errors",
+                           "resizes"},
+                          10);
+  }
 
   // Sweep mode varies the active-set size at a fixed thread count
   // (performance proportionality); default mode varies worker threads.
@@ -208,6 +273,7 @@ int main(int argc, char** argv) {
 
   std::string runs;
   bool first = true;
+  if (!flags.open_loop_only) {
   for (const bool net : transports) {
     if (net && transports.size() > 1) {
       std::printf("-- net-served (ech::client over fabric) --\n");
@@ -262,6 +328,80 @@ int main(int argc, char** argv) {
       }
     }
   }
+  }
+
+  // Open-loop series: goodput + queue wait AT OFFERED LOAD.  With no
+  // --offered-load, saturation is calibrated closed-loop (same spin) per
+  // transport and the series sweeps multiples of it through overload.
+  if (!flags.sweep) {
+    const std::uint32_t ol_threads = flags.threads.back();
+    std::vector<double> multipliers =
+        flags.quick ? std::vector<double>{0.5, 2.0}
+                    : std::vector<double>{0.5, 1.0, 2.0, 3.0};
+    if (flags.offered_load > 0.0) multipliers = {1.0};
+    std::printf("\n-- open-loop (arrival=%s, spin=%lluns, threads=%u, "
+                "seed=%llu) --\n",
+                flags.arrival_name.c_str(),
+                static_cast<unsigned long long>(flags.spin_ns), ol_threads,
+                static_cast<unsigned long long>(flags.seed));
+    ech::bench::print_row({"offered/s", "goodput/s", "shed", "qwait_p99us",
+                           "p99_us", "errors", "transport"},
+                          12);
+    for (const bool net : transports) {
+      ServingConfig base;
+      base.server_count = flags.servers;
+      base.replicas = flags.replicas;
+      base.placement_backend = flags.backend;
+      base.threads = ol_threads;
+      base.preload_objects = flags.objects;
+      base.write_fraction = flags.write_fraction;
+      base.read_fraction = flags.read_fraction;
+      base.resize_churn = flags.churn;
+      base.net = net;
+      base.seed = flags.seed;
+      base.service_spin_ns = flags.spin_ns;
+      double saturation = flags.offered_load;
+      if (saturation <= 0.0) {
+        ServingConfig calib = base;
+        calib.duration_ms = flags.quick ? 200 : 500;
+        auto measured = ech::serve::ServingEngine(calib).run();
+        if (!measured.ok()) {
+          std::fprintf(stderr, "open-loop calibration failed: %s\n",
+                       measured.status().to_string().c_str());
+          return 1;
+        }
+        saturation = measured.value().ops_per_sec;
+      }
+      for (const double mult : multipliers) {
+        ServingConfig config = base;
+        config.open_loop = true;
+        config.offered_load = saturation * mult;
+        config.arrival = flags.arrival;
+        config.duration_ms = flags.duration_ms;
+        ech::serve::ServingEngine engine(config);
+        auto run = engine.run();
+        if (!run.ok()) {
+          std::fprintf(stderr, "open-loop run failed (%.1fx%s): %s\n", mult,
+                       net ? ", net" : "", run.status().to_string().c_str());
+          return 1;
+        }
+        const ServingReport& r = run.value();
+        ech::bench::print_row(
+            {std::to_string(static_cast<std::uint64_t>(config.offered_load)),
+             std::to_string(static_cast<std::uint64_t>(r.goodput_per_sec)),
+             std::to_string(r.shed_total),
+             std::to_string(r.queue_wait_p99_ns / 1000),
+             std::to_string(r.p99_ns / 1000), std::to_string(r.errors),
+             net ? "net" : "inproc"},
+            12);
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s/load:%.2fx",
+                      net ? "serving-open-net" : "serving-open", mult);
+        append_run_json(runs, name, ol_threads, r, net, first);
+        first = false;
+      }
+    }
+  }
 
   if (!flags.json_path.empty()) {
     std::FILE* out = std::fopen(flags.json_path.c_str(), "w");
@@ -285,7 +425,9 @@ int main(int argc, char** argv) {
         "    \"write_fraction\": %.3f,\n"
         "    \"read_fraction\": %.3f,\n"
         "    \"duration_ms\": %llu,\n"
-        "    \"resize_churn\": %s\n"
+        "    \"resize_churn\": %s,\n"
+        "    \"seed\": %llu,\n"
+        "    \"net_op_deadline_ticks\": %llu\n"
         "  },\n  \"benchmarks\": [\n%s\n  ]\n}\n",
         iso_timestamp().c_str(), std::thread::hardware_concurrency(),
         ech::bench::build_type(), flags.servers, flags.replicas,
@@ -294,7 +436,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(flags.objects),
         flags.write_fraction, flags.read_fraction,
         static_cast<unsigned long long>(flags.duration_ms),
-        (flags.churn && !flags.sweep) ? "true" : "false", runs.c_str());
+        (flags.churn && !flags.sweep) ? "true" : "false",
+        static_cast<unsigned long long>(flags.seed),
+        static_cast<unsigned long long>(ServingConfig{}.net_op_deadline_ticks),
+        runs.c_str());
     std::fclose(out);
     std::printf("\nwrote %s\n", flags.json_path.c_str());
   }

@@ -47,6 +47,15 @@
 //   echctl chaos replay <schedule-file> [same cluster flags]
 // Exit code 0 = all invariants held; 1 = violation (minimal schedule and
 // replay instructions are printed).
+//
+// Overload mode (no REPL):
+//   echctl overload run [--seed N] [--net] [--quick] [--threads T]
+//                       [--servers n] [--replicas r] [--multiplier X]
+//                       [--spin NS]
+// Measures saturation closed-loop, then drives an open-loop storm at
+// X times saturation under resize churn (and partitions with --net) and
+// checks goodput floor, typed sheds, retry-budget cap and recovery.
+// Exit code 0 = the graceful-degradation contract held.
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -68,6 +77,7 @@
 #include "net/remote_dirty_table.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/overload_campaign.h"
 
 namespace {
 
@@ -562,12 +572,74 @@ int run_chaos(int argc, char** argv) {
   return result.passed ? 0 : 1;
 }
 
+int overload_usage() {
+  std::fprintf(
+      stderr,
+      "usage: echctl overload run [--seed N] [--net] [--quick]\n"
+      "                           [--threads T] [--servers n] [--replicas r]\n"
+      "                           [--multiplier X] [--spin NS]\n"
+      "Drives the serving path Xx past measured saturation (default 3x)\n"
+      "under resize churn (and partitions with --net) and checks the\n"
+      "graceful-degradation contract; exit 0 = contract held.\n");
+  return 2;
+}
+
+int run_overload(int argc, char** argv) {
+  serve::OverloadCampaignConfig cfg;
+  const std::string mode = argc >= 3 ? argv[2] : "";
+  if (mode != "run") return overload_usage();
+  for (int i = 3; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--net") == 0) {
+      cfg.net = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      cfg.threads =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--servers") == 0) {
+      cfg.server_count =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--replicas") == 0) {
+      cfg.replicas =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--multiplier") == 0) {
+      cfg.storm_saturation_multiplier = std::strtod(next(), nullptr);
+    } else if (std::strcmp(argv[i], "--spin") == 0) {
+      cfg.service_spin_ns = std::strtoull(next(), nullptr, 10);
+    } else {
+      return overload_usage();
+    }
+  }
+  std::printf("overload campaign: seed %llu, %s facade, %.1fx saturation "
+              "storm\n",
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.net ? "net" : "in-process",
+              cfg.storm_saturation_multiplier);
+  const auto result = serve::run_overload_campaign(cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "campaign failed to run: %s\n",
+                 result.status().to_string().c_str());
+    return 2;
+  }
+  std::printf("%s", serve::format_overload_report(result.value()).c_str());
+  return result.value().passed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "chaos") == 0) {
     Logger::instance().set_level(LogLevel::kError);
     return run_chaos(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "overload") == 0) {
+    Logger::instance().set_level(LogLevel::kError);
+    return run_overload(argc, argv);
   }
   Logger::instance().set_level(LogLevel::kError);
   // Private registry (instead of the process default) so `metrics dump`

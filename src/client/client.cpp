@@ -36,6 +36,10 @@ Client::Client(net::Fabric& fabric, net::NodeId self, PlacementSource source,
   ins_.degraded_reads =
       &reg.counter("ech_client_degraded_reads_total", {},
                    "Reads served by a non-preferred replica fallback");
+  ins_.queue_rejections =
+      &reg.counter("ech_client_queue_rejections_total", {},
+                   "Writes refused (typed kOverloaded) because the bounded "
+                   "pending-write queue was full");
   ins_.repair_ns = &reg.counter("ech_client_repair_ns_total", {},
                                 "Nanoseconds spent refetching placement "
                                 "snapshots after routing rejections");
@@ -129,6 +133,13 @@ Expected<kv::Reply> Client::issue(Op op, ObjectId oid, Bytes size,
       const Expected<std::string> wire =
           rpc_.call_before(node_of_(targets[i]), body, deadline, rpc_id);
       if (!wire.ok()) {
+        // An overload verdict (retry budget exhausted, or shed server-side)
+        // is honored, not worked around: hammering the remaining replicas
+        // or burning repair rounds is exactly the blind retry that turns
+        // overload metastable.  Fail the op fast and typed.
+        if (wire.status().code() == StatusCode::kOverloaded) {
+          return wire.status();
+        }
         // Unreachable/timed out: a mutation must not blind-fire elsewhere
         // (single-target anyway); a read falls through to the next replica.
         last = wire.status();
@@ -196,7 +207,12 @@ Expected<WriteAck> Client::write(ObjectId oid, Bytes size) {
 Expected<WriteAck> Client::enqueue(ObjectId oid, Bytes size,
                                    std::uint64_t rpc_id) {
   if (pending_.size() >= cfg_.write_queue_capacity) {
-    return Status{StatusCode::kUnavailable,
+    // Typed queue-full rejection: callers can tell "shed because the
+    // degradation buffer is exhausted" (back off) from "primary
+    // unreachable" (maybe re-route/heal) without string matching.
+    ++stats_.queue_rejections;
+    ins_.queue_rejections->add(1);
+    return Status{StatusCode::kOverloaded,
                   "primary unreachable and write queue full (" +
                       std::to_string(pending_.size()) + " pending)"};
   }

@@ -27,6 +27,11 @@
 //                      a write either fails fast (write_queue_capacity == 0)
 //                      or parks in a bounded FIFO replayed by
 //                      flush_pending()/on_heal() — the queued ack says so.
+//                      A full queue rejects with a typed kOverloaded
+//                      (ech_client_queue_rejections_total), and any
+//                      kOverloaded verdict from below (server shed, retry
+//                      budget) fails the op fast: no replica fallback, no
+//                      repair rounds, no blind retry.
 //
 // Deadlines: every op gets an absolute fabric-tick deadline
 // (now + op_deadline_ticks) that propagates through each RPC's retry
@@ -106,6 +111,9 @@ struct ClientStats {
   std::uint64_t repairs_exhausted{0};
   std::uint64_t queued_writes{0};
   std::uint64_t flushed_writes{0};
+  /// Writes refused with a typed kOverloaded because the bounded pending
+  /// queue was already full (never silently dropped).
+  std::uint64_t queue_rejections{0};
 };
 
 class Client {
@@ -188,6 +196,7 @@ class Client {
     obs::Counter* invalidations{nullptr};
     obs::Counter* misroutes{nullptr};
     obs::Counter* degraded_reads{nullptr};
+    obs::Counter* queue_rejections{nullptr};
     obs::Counter* repair_ns{nullptr};
   } ins_{};
 };

@@ -21,6 +21,11 @@ enum class StatusCode {
   kUnavailable,     // e.g. not enough active servers for the replication level
   kOutOfRange,
   kInternal,
+  // Load was shed on purpose (admission queue full/expired, retry budget
+  // exhausted, priority shedding).  Callers must fail fast: unlike
+  // kUnavailable, an overloaded system is made WORSE by blind retries.
+  // Appended last so numeric codes on the RPC wire stay stable.
+  kOverloaded,
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode c) noexcept {
@@ -33,6 +38,7 @@ enum class StatusCode {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -14,11 +14,63 @@
 //                ----------------------> open (cool-down restarts)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/rng.h"
 
 namespace ech::net {
+
+/// Token-bucket retry budget (the Finagle/Envoy pattern): successful calls
+/// deposit `ratio` tokens, every retry withdraws one, so sustained retry
+/// volume is capped at ~`ratio` x the success rate and a dead endpoint
+/// degrades into fast-fail instead of a retry storm.  `initial_tokens`
+/// funds cold-start retries before any success has been seen.  Purely
+/// count-based (no clock), so budget decisions replay from a seed.
+struct RetryBudgetConfig {
+  /// Tokens earned per successful call (0 = budget disabled: unlimited
+  /// retries, the pre-budget behavior).
+  double ratio{0.0};
+  double initial_tokens{10.0};
+  double max_tokens{100.0};
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetConfig& config = {})
+      : cfg_(config),
+        tokens_(std::min(config.initial_tokens, config.max_tokens)) {}
+
+  [[nodiscard]] bool enabled() const { return cfg_.ratio > 0.0; }
+
+  void record_success() {
+    if (!enabled()) return;
+    tokens_ = std::min(cfg_.max_tokens, tokens_ + cfg_.ratio);
+  }
+
+  /// Withdraw one token for a retry.  False = exhausted: the caller must
+  /// fail fast with kOverloaded instead of retrying.
+  [[nodiscard]] bool try_spend() {
+    if (!enabled()) return true;
+    if (tokens_ < 1.0) {
+      ++exhausted_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    ++spent_;
+    return true;
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+  [[nodiscard]] std::uint64_t spent() const { return spent_; }
+  [[nodiscard]] std::uint64_t exhausted() const { return exhausted_; }
+
+ private:
+  RetryBudgetConfig cfg_;
+  double tokens_{0.0};
+  std::uint64_t spent_{0};
+  std::uint64_t exhausted_{0};
+};
 
 struct RetryPolicy {
   std::uint32_t max_attempts{4};
@@ -31,6 +83,10 @@ struct RetryPolicy {
   /// Fraction of the capped backoff randomized away: the delay is drawn
   /// uniformly from ((1 - jitter) * b, b].  0 = fully deterministic.
   double jitter{0.5};
+  /// Per-client retry budget (disabled by default).  Enforced by RpcClient:
+  /// an exhausted budget turns further retries into typed kOverloaded
+  /// fast-failures instead of a retry storm.
+  RetryBudgetConfig budget{};
 
   /// Capped exponential backoff with deterministic jitter from `rng`.
   /// `attempt` is 0-based (delay before the first retry).

@@ -94,7 +94,8 @@ RpcClient::RpcClient(Fabric& fabric, NodeId self, const RetryPolicy& policy,
       self_(self),
       policy_(policy),
       breaker_config_(breaker_config),
-      rng_(seed) {
+      rng_(seed),
+      budget_(policy.budget) {
   obs::MetricsRegistry& reg = obs::registry_or_default(metrics);
   ins_.retries = &reg.counter("net_retries_total", {},
                               "RPC attempts retried after a timeout");
@@ -106,8 +107,17 @@ RpcClient::RpcClient(Fabric& fabric, NodeId self, const RetryPolicy& policy,
   ins_.breaker_rejected =
       &reg.counter("net_breaker_rejected_total", {},
                    "RPCs rejected fast by an open circuit breaker");
+  ins_.budget_spent = &reg.counter("ech_retry_budget_spent_total", {},
+                                   "Retry-budget tokens spent on retries");
+  ins_.budget_exhausted =
+      &reg.counter("ech_retry_budget_exhausted_total", {},
+                   "Retries refused (fast-fail kOverloaded) because the "
+                   "retry budget was exhausted");
+  ins_.budget_tokens = &reg.gauge("ech_retry_budget_tokens", {},
+                                  "Current retry-budget token balance");
   ins_.latency = &reg.histogram("net_rpc_latency_ticks", {},
                                 "Successful RPC latency in fabric ticks");
+  ins_.budget_tokens->set(budget_.tokens());
   fabric_->bind(self_, this);
 }
 
@@ -192,6 +202,8 @@ Expected<std::string> RpcClient::call_before(NodeId to,
     }
     if (reply) {
       br.record_success(fabric_->now());
+      budget_.record_success();
+      ins_.budget_tokens->set(budget_.tokens());
       ins_.latency->observe(static_cast<double>(fabric_->now() - start));
       return *reply;
     }
@@ -200,6 +212,21 @@ Expected<std::string> RpcClient::call_before(NodeId to,
         fabric_->now() >= overall_deadline) {
       break;
     }
+    // Retry storms are where overload turns metastable: every further
+    // attempt must be paid for out of the budget earned by successes.
+    if (!budget_.try_spend()) {
+      ins_.budget_exhausted->add(1);
+      br.record_failure(fabric_->now());
+      ins_.breaker_open->add(br.times_opened() - opened_before);
+      return Status{StatusCode::kOverloaded,
+                    "retry budget exhausted for rpc " +
+                        std::to_string(rpc_id) + " to node " +
+                        std::to_string(to) + " (" +
+                        std::to_string(budget_.exhausted()) +
+                        " refusals so far)"};
+    }
+    ins_.budget_spent->add(1);
+    ins_.budget_tokens->set(budget_.tokens());
     ins_.retries->add(1);
     // Truncate the backoff to what the deadline leaves over AFTER the next
     // attempt's reply window — otherwise the final attempt fires at the
@@ -215,6 +242,8 @@ Expected<std::string> RpcClient::call_before(NodeId to,
     // A straggler reply may land during the backoff window.
     if (auto reply = take_reply(rpc_id)) {
       br.record_success(fabric_->now());
+      budget_.record_success();
+      ins_.budget_tokens->set(budget_.tokens());
       ins_.latency->observe(static_cast<double>(fabric_->now() - start));
       return *reply;
     }

@@ -16,7 +16,10 @@
 // until the reply lands or the attempt deadline passes, backing off
 // between attempts per RetryPolicy.  A per-destination CircuitBreaker
 // sheds load while a node is unreachable; open-breaker rejections fail in
-// one tick instead of a full retry ladder.
+// one tick instead of a full retry ladder.  An optional per-client
+// RetryBudget (RetryPolicy::budget) caps retries at a fraction of
+// successes: once exhausted, a timed-out call fails fast with a typed
+// kOverloaded status instead of feeding a retry storm.
 #pragma once
 
 #include <cstdint>
@@ -128,6 +131,10 @@ class RpcClient final : public Endpoint {
     if (next_id_ <= max_used) next_id_ = max_used + 1;
   }
 
+  /// The client's retry budget (configured via RetryPolicy::budget; spends
+  /// a token per retry, earns RetryBudgetConfig::ratio per success).
+  [[nodiscard]] RetryBudget& retry_budget() { return budget_; }
+
   /// Breaker for `to` (created on first use).
   [[nodiscard]] CircuitBreaker& breaker(NodeId to);
   /// Operator heal: close every breaker so drains probe immediately.
@@ -147,6 +154,7 @@ class RpcClient final : public Endpoint {
   RetryPolicy policy_;
   CircuitBreakerConfig breaker_config_;
   Rng rng_;
+  RetryBudget budget_;
   std::uint64_t next_id_{1};
   std::unordered_map<NodeId, std::unique_ptr<CircuitBreaker>> breakers_;
 
@@ -158,6 +166,9 @@ class RpcClient final : public Endpoint {
     obs::Counter* timeouts{nullptr};
     obs::Counter* breaker_open{nullptr};
     obs::Counter* breaker_rejected{nullptr};
+    obs::Counter* budget_spent{nullptr};
+    obs::Counter* budget_exhausted{nullptr};
+    obs::Gauge* budget_tokens{nullptr};
     obs::Histogram* latency{nullptr};
   } ins_{};
 };

@@ -1,0 +1,216 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ech::serve {
+
+const char* request_class_name(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kPlacement:
+      return "placement";
+    case RequestClass::kRead:
+      return "read";
+    case RequestClass::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+const char* shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kPriority:
+      return "priority";
+    case ShedReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         std::uint32_t max_concurrency)
+    : cfg_(config),
+      max_concurrency_(std::max(1u, max_concurrency)),
+      limit_(config.initial_concurrency != 0
+                 ? std::min(config.initial_concurrency, max_concurrency_)
+                 : max_concurrency_) {
+  cfg_.queue_capacity = std::max<std::size_t>(1, cfg_.queue_capacity);
+  cfg_.min_concurrency = std::max(1u, cfg_.min_concurrency);
+  cfg_.aimd_window = std::max(8u, cfg_.aimd_window);
+  window_.reserve(cfg_.aimd_window);
+  stats_.limit = limit_.load(std::memory_order_relaxed);
+  stats_.limit_floor = stats_.limit;
+
+  obs::MetricsRegistry& reg = obs::registry_or_default(cfg_.metrics);
+  for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+    const char* cname = request_class_name(static_cast<RequestClass>(c));
+    ins_.admitted[c] =
+        &reg.counter("ech_admit_total", {{"class", cname}},
+                     "Requests admitted into the serving queue");
+    for (std::size_t r = 0; r < kShedReasonCount; ++r) {
+      ins_.shed[c][r] = &reg.counter(
+          "ech_shed_total",
+          {{"class", cname},
+           {"reason", shed_reason_name(static_cast<ShedReason>(r))}},
+          "Requests shed with a typed kOverloaded rejection");
+    }
+  }
+  ins_.queue_wait = &reg.histogram(
+      "ech_admit_queue_wait_ns", {},
+      "Time admitted requests spent queued before service, nanoseconds");
+  ins_.limit = &reg.gauge("ech_admit_concurrency_limit", {},
+                          "Adaptive (AIMD) in-flight concurrency limit");
+  ins_.depth =
+      &reg.gauge("ech_admit_queue_depth", {}, "Current admission queue depth");
+  ins_.limit->set(static_cast<double>(stats_.limit));
+}
+
+void AdmissionController::shed_locked(RequestClass cls, ShedReason reason) {
+  ++stats_.shed_total;
+  ++stats_.shed[static_cast<std::size_t>(cls)][static_cast<std::size_t>(
+      reason)];
+  ins_.shed[static_cast<std::size_t>(cls)][static_cast<std::size_t>(reason)]
+      ->add(1);
+}
+
+Status AdmissionController::offer(RequestClass cls, std::uint64_t payload,
+                                  std::uint64_t now_ns) {
+  std::lock_guard lock(mu_);
+  ++stats_.offered;
+  const double occupancy = static_cast<double>(queue_.size()) /
+                           static_cast<double>(cfg_.queue_capacity);
+  // Shed the cheap classes first; a write is only refused by a full queue.
+  if (queue_.size() >= cfg_.queue_capacity) {
+    shed_locked(cls, ShedReason::kQueueFull);
+    return Status{StatusCode::kOverloaded,
+                  std::string("queue full: shed ") + request_class_name(cls)};
+  }
+  if ((cls == RequestClass::kPlacement &&
+       occupancy >= cfg_.placement_shed_occupancy) ||
+      (cls == RequestClass::kRead && occupancy >= cfg_.read_shed_occupancy)) {
+    shed_locked(cls, ShedReason::kPriority);
+    return Status{StatusCode::kOverloaded,
+                  std::string("priority shed of ") + request_class_name(cls) +
+                      " at occupancy " + std::to_string(queue_.size()) + "/" +
+                      std::to_string(cfg_.queue_capacity)};
+  }
+  ++stats_.admitted;
+  ins_.admitted[static_cast<std::size_t>(cls)]->add(1);
+  queue_.push_back(AdmissionTicket{cls, payload, now_ns});
+  // Overwrite arrival with the caller's scheduled time if it passed one in
+  // `now_ns` (the open-loop generator always does).
+  queue_.back().arrival_ns = now_ns;
+  depth_.store(queue_.size(), std::memory_order_relaxed);
+  ins_.depth->set(static_cast<double>(queue_.size()));
+  return Status::ok();
+}
+
+bool AdmissionController::try_acquire_slot() {
+  std::uint32_t cur = inflight_.load(std::memory_order_relaxed);
+  const std::uint32_t limit = limit_.load(std::memory_order_relaxed);
+  while (cur < limit) {
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionController::release_slot() {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::optional<AdmissionTicket> AdmissionController::pop(
+    std::uint64_t now_ns, std::uint64_t* queue_wait_ns) {
+  std::lock_guard lock(mu_);
+  while (!queue_.empty()) {
+    AdmissionTicket ticket = queue_.front();
+    queue_.pop_front();
+    const std::uint64_t wait =
+        now_ns > ticket.arrival_ns ? now_ns - ticket.arrival_ns : 0;
+    // Queue-deadline expiry: if what remains of the request's deadline
+    // cannot cover the service time we are currently observing, serving it
+    // would be pure waste — the caller already counts it lost.
+    const std::uint64_t spent_plus_service = wait + ewma_service_ns_;
+    if (ewma_service_ns_ > 0 && spent_plus_service > cfg_.queue_deadline_ns) {
+      shed_locked(ticket.cls, ShedReason::kDeadline);
+      continue;
+    }
+    depth_.store(queue_.size(), std::memory_order_relaxed);
+    ins_.depth->set(static_cast<double>(queue_.size()));
+    ins_.queue_wait->observe(wait);
+    if (queue_wait_ns != nullptr) *queue_wait_ns = wait;
+    return ticket;
+  }
+  depth_.store(0, std::memory_order_relaxed);
+  ins_.depth->set(0.0);
+  return std::nullopt;
+}
+
+void AdmissionController::complete(std::uint64_t queue_wait_ns,
+                                   std::uint64_t service_ns) {
+  std::lock_guard lock(mu_);
+  ++stats_.completed;
+  ewma_service_ns_ = ewma_service_ns_ == 0
+                         ? service_ns
+                         : (7 * ewma_service_ns_ + service_ns) / 8;
+  stats_.ewma_service_ns = ewma_service_ns_;
+  window_.push_back(queue_wait_ns);
+  if (window_.size() >= cfg_.aimd_window) adjust_limit_locked();
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void AdmissionController::adjust_limit_locked() {
+  // p99 of the window by nth_element; the window is small (hundreds).
+  const std::size_t rank = (window_.size() * 99) / 100;
+  std::nth_element(window_.begin(),
+                   window_.begin() + static_cast<std::ptrdiff_t>(rank),
+                   window_.end());
+  const std::uint64_t p99 = window_[rank];
+  window_.clear();
+  std::uint32_t limit = limit_.load(std::memory_order_relaxed);
+  if (p99 > cfg_.target_p99_queue_wait_ns) {
+    const auto scaled = static_cast<std::uint32_t>(
+        static_cast<double>(limit) * cfg_.multiplicative_decrease);
+    limit = std::max(cfg_.min_concurrency, scaled);
+    ++stats_.limit_decreases;
+  } else {
+    limit = std::min(max_concurrency_, limit + cfg_.additive_increase);
+    ++stats_.limit_increases;
+  }
+  limit_.store(limit, std::memory_order_relaxed);
+  stats_.limit = limit;
+  stats_.limit_floor = std::min(stats_.limit_floor, limit);
+  ins_.limit->set(static_cast<double>(limit));
+}
+
+bool AdmissionController::background_throttled() const {
+  const double occupancy =
+      static_cast<double>(depth_.load(std::memory_order_relaxed)) /
+      static_cast<double>(cfg_.queue_capacity);
+  return occupancy >= cfg_.background_throttle_occupancy;
+}
+
+std::size_t AdmissionController::queue_depth() const {
+  return depth_.load(std::memory_order_relaxed);
+}
+
+std::uint32_t AdmissionController::concurrency_limit() const {
+  return limit_.load(std::memory_order_relaxed);
+}
+
+std::uint32_t AdmissionController::inflight() const {
+  return inflight_.load(std::memory_order_relaxed);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard lock(mu_);
+  AdmissionStats out = stats_;
+  out.limit = limit_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ech::serve

@@ -1,0 +1,186 @@
+// Admission control for the serving path: the piece that turns "pushed
+// past saturation" into graceful degradation instead of queue collapse.
+//
+// An AdmissionController guards one bounded request queue in front of a
+// worker pool.  Three mechanisms compose (all rejections are TYPED —
+// StatusCode::kOverloaded — never silent drops or timeouts):
+//
+//   priority shedding    Requests carry a RequestClass.  As queue occupancy
+//                        rises, cheaper-to-refuse classes are shed first:
+//                        placement lookups at `placement_shed_occupancy`,
+//                        reads at `read_shed_occupancy`, writes only when
+//                        the queue is actually full.  Below all of those,
+//                        `background_throttled()` flips first, telling the
+//                        maintenance/repair pump to yield its budget to
+//                        foreground traffic — background throttles BEFORE
+//                        any foreground request is shed.
+//
+//   queue-deadline expiry  Every ticket records its (scheduled) arrival
+//                        time.  At dequeue, a ticket whose remaining
+//                        deadline cannot cover the observed (EWMA) service
+//                        time is expired — serving it would burn a worker
+//                        on a request the client has already given up on,
+//                        which is how retry storms go metastable.
+//
+//   adaptive concurrency  AIMD on the p99 of measured queue wait: every
+//                        `aimd_window` completions, p99 above target
+//                        multiplies the in-flight limit down, p99 at/below
+//                        target adds one back.  Workers acquire a slot
+//                        before serving, so a latency regression sheds
+//                        load instead of stacking queueing delay.
+//
+// Queue wait is measured separately from service time (the histogram
+// `ech_admit_queue_wait_ns` vs the engine's `ech_serve_latency_ns`), so an
+// open-loop bench can report latency *at offered load* without folding
+// coordinated omission into the service numbers.
+//
+// Thread safety: offer/pop/complete/try_acquire_slot are safe from any
+// number of arrival and worker threads (one internal mutex around the
+// queue + AIMD window; obs counters are lock-free).  Time is injected as
+// nanosecond arguments, so unit tests drive the controller with a virtual
+// clock and every decision is deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ech::serve {
+
+/// Shed order: placement first, then reads, writes last (mutations are the
+/// requests the client can least afford to lose).
+enum class RequestClass : std::uint8_t { kPlacement = 0, kRead = 1, kWrite = 2 };
+inline constexpr std::size_t kRequestClassCount = 3;
+[[nodiscard]] const char* request_class_name(RequestClass cls);
+
+enum class ShedReason : std::uint8_t {
+  kQueueFull = 0,  // bounded queue at capacity
+  kPriority = 1,   // class shed at its occupancy threshold
+  kDeadline = 2,   // expired in queue: remaining deadline < observed service
+};
+inline constexpr std::size_t kShedReasonCount = 3;
+[[nodiscard]] const char* shed_reason_name(ShedReason reason);
+
+struct AdmissionConfig {
+  std::size_t queue_capacity{4096};
+  /// Queue-occupancy fractions at which each class sheds at admission.
+  /// Writes have no threshold: they shed only when the queue is full.
+  double placement_shed_occupancy{0.50};
+  double read_shed_occupancy{0.75};
+  /// Occupancy at which background maintenance/repair should be throttled
+  /// (strictly below the foreground thresholds: background yields first).
+  double background_throttle_occupancy{0.40};
+  /// Total time a request may spend queued before serving it is pointless.
+  std::uint64_t queue_deadline_ns{20'000'000};  // 20 ms
+  /// AIMD bounds for the adaptive concurrency limit.  initial 0 = start at
+  /// the worker-pool size handed to the constructor.
+  std::uint32_t min_concurrency{1};
+  std::uint32_t initial_concurrency{0};
+  std::uint64_t target_p99_queue_wait_ns{4'000'000};  // 4 ms
+  /// Completions per AIMD adjustment (also the p99 sample-window size).
+  std::uint32_t aimd_window{256};
+  std::uint32_t additive_increase{1};
+  double multiplicative_decrease{0.5};
+  obs::MetricsRegistry* metrics{nullptr};  // null = process default
+};
+
+/// One queued request.  `payload` is opaque to the controller (the serving
+/// engine packs the object id); `arrival_ns` is the *scheduled* arrival
+/// time from the open-loop process, so queue wait includes any backlog the
+/// generator itself fell behind on.
+struct AdmissionTicket {
+  RequestClass cls{RequestClass::kPlacement};
+  std::uint64_t payload{0};
+  std::uint64_t arrival_ns{0};
+};
+
+struct AdmissionStats {
+  std::uint64_t offered{0};
+  std::uint64_t admitted{0};
+  std::uint64_t completed{0};
+  std::uint64_t shed_total{0};
+  /// [class][reason] -> typed rejections.
+  std::uint64_t shed[kRequestClassCount][kShedReasonCount]{};
+  std::uint32_t limit{0};        // current concurrency limit
+  std::uint32_t limit_floor{0};  // lowest limit ever reached
+  std::uint64_t limit_increases{0};
+  std::uint64_t limit_decreases{0};
+  std::uint64_t ewma_service_ns{0};
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config,
+                      std::uint32_t max_concurrency);
+
+  // -- arrival side ---------------------------------------------------------
+
+  /// Admit `cls` into the queue or shed it with a typed kOverloaded status
+  /// (reason in the message and in ech_shed_total{class,reason}).
+  [[nodiscard]] Status offer(RequestClass cls, std::uint64_t payload,
+                             std::uint64_t now_ns);
+
+  // -- worker side ----------------------------------------------------------
+
+  /// Claim an in-flight slot under the adaptive limit.  False = at limit;
+  /// the worker should yield briefly and try again.
+  [[nodiscard]] bool try_acquire_slot();
+  /// Return a slot claimed by try_acquire_slot() without serving (e.g. the
+  /// queue was empty).  complete() releases the slot itself.
+  void release_slot();
+
+  /// Pop the next serviceable ticket.  Tickets that expired in queue are
+  /// shed (reason kDeadline) and skipped.  Records queue wait into the
+  /// histogram and `*queue_wait_ns`.  nullopt = queue empty.
+  [[nodiscard]] std::optional<AdmissionTicket> pop(
+      std::uint64_t now_ns, std::uint64_t* queue_wait_ns);
+
+  /// Account a served request: updates the EWMA service time and the AIMD
+  /// window, and releases the worker's slot.
+  void complete(std::uint64_t queue_wait_ns, std::uint64_t service_ns);
+
+  // -- signals --------------------------------------------------------------
+
+  /// True while queue occupancy is at/above the background threshold: the
+  /// maintenance/repair pump should skip its slice (foreground first; it
+  /// is throttled before ANY foreground class sheds).
+  [[nodiscard]] bool background_throttled() const;
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::uint32_t concurrency_limit() const;
+  [[nodiscard]] std::uint32_t inflight() const;
+  [[nodiscard]] AdmissionStats stats() const;
+
+ private:
+  void shed_locked(RequestClass cls, ShedReason reason);
+  void adjust_limit_locked();
+
+  AdmissionConfig cfg_;
+  std::uint32_t max_concurrency_;
+
+  mutable std::mutex mu_;
+  std::deque<AdmissionTicket> queue_;
+  std::vector<std::uint64_t> window_;  // queue waits since last adjustment
+  std::uint64_t ewma_service_ns_{0};
+  AdmissionStats stats_;
+
+  std::atomic<std::uint32_t> limit_;
+  std::atomic<std::uint32_t> inflight_{0};
+  std::atomic<std::size_t> depth_{0};  // lock-free occupancy reads
+
+  struct Instruments {
+    obs::Counter* admitted[kRequestClassCount]{};
+    obs::Counter* shed[kRequestClassCount][kShedReasonCount]{};
+    obs::Histogram* queue_wait{nullptr};
+    obs::Gauge* limit{nullptr};
+    obs::Gauge* depth{nullptr};
+  } ins_{};
+};
+
+}  // namespace ech::serve

@@ -1,0 +1,279 @@
+#include "serve/overload_campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace ech::serve {
+namespace {
+
+/// Mean goodput (ops/s) over window indices [lo, hi) of the series.  With
+/// four or more windows the single best and worst are trimmed first: one
+/// scheduler hiccup on a small CI box must not swing a phase estimate.
+double window_rate(const std::vector<std::uint64_t>& windows, std::size_t lo,
+                   std::size_t hi, std::uint64_t window_ms) {
+  lo = std::min(lo, windows.size());
+  hi = std::min(hi, windows.size());
+  if (hi <= lo) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t lowest = windows[lo];
+  std::uint64_t highest = windows[lo];
+  for (std::size_t i = lo; i < hi; ++i) {
+    total += windows[i];
+    lowest = std::min(lowest, windows[i]);
+    highest = std::max(highest, windows[i]);
+  }
+  std::size_t n = hi - lo;
+  if (n >= 4) {
+    total -= lowest + highest;
+    n -= 2;
+  }
+  return static_cast<double>(total) * 1000.0 /
+         (static_cast<double>(n) * static_cast<double>(window_ms));
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            const char* name) {
+  const obs::MetricSample* s = obs::find_sample(snap, name);
+  return s != nullptr ? static_cast<std::uint64_t>(s->value) : 0;
+}
+
+std::string fmt(const char* pattern, double a, double b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), pattern, a, b);
+  return buf;
+}
+
+}  // namespace
+
+Expected<OverloadCampaignReport> run_overload_campaign(
+    const OverloadCampaignConfig& config) {
+  OverloadCampaignConfig cfg = config;
+  if (cfg.quick) {
+    cfg.server_count = std::min(cfg.server_count, 24u);
+    cfg.preload_objects = std::min<std::uint64_t>(cfg.preload_objects, 2000);
+    cfg.baseline_ms = std::min<std::uint64_t>(cfg.baseline_ms, 400);
+    cfg.storm_ms = std::min<std::uint64_t>(cfg.storm_ms, 500);
+    // Recovery keeps more length than the other phases: post-storm the
+    // controller is repaying the maintenance debt the throttle deferred,
+    // and "recovered" must mean after that repayment, not during it.
+    cfg.recovery_ms = std::min<std::uint64_t>(cfg.recovery_ms, 800);
+    // Short phases mean few windows per estimate, and the quick campaign
+    // is what sanitizer CI runs (ASan/UBSan roughly double service cost):
+    // leave headroom against window-quantization noise on both gates.
+    // The full-length campaign keeps the 0.95 / 0.70 acceptance bars.
+    cfg.recovery_fraction = std::min(cfg.recovery_fraction, 0.90);
+    cfg.goodput_floor_fraction = std::min(cfg.goodput_floor_fraction, 0.60);
+  }
+  if (cfg.baseline_fraction <= 0.0 || cfg.baseline_fraction >= 1.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "baseline_fraction must be in (0, 1)"};
+  }
+  if (cfg.storm_saturation_multiplier < 1.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "storm_saturation_multiplier must be >= 1"};
+  }
+  if (cfg.window_ms == 0 ||
+      cfg.baseline_ms / cfg.window_ms < 3 || cfg.storm_ms / cfg.window_ms < 3 ||
+      cfg.recovery_ms / cfg.window_ms < 3) {
+    return Status{StatusCode::kInvalidArgument,
+                  "each phase needs at least 3 goodput windows"};
+  }
+
+  // Shared cluster/workload shape for both phases: saturation only means
+  // something if it was measured under the same churn and service cost the
+  // overload run will see.
+  ServingConfig base;
+  base.server_count = cfg.server_count;
+  base.replicas = cfg.replicas;
+  base.threads = cfg.threads;
+  base.preload_objects = cfg.preload_objects;
+  base.write_fraction = cfg.write_fraction;
+  base.read_fraction = cfg.read_fraction;
+  base.resize_churn = true;
+  base.churn_period_ms = cfg.churn_period_ms;
+  base.seed = cfg.seed;
+  base.net = cfg.net;
+  base.service_spin_ns = cfg.service_spin_ns;
+
+  // Phase 1: closed-loop calibration — the saturation reference.
+  ServingConfig calib = base;
+  calib.duration_ms = cfg.quick ? 250 : 600;
+  const Expected<ServingReport> calibrated = ServingEngine(calib).run();
+  if (!calibrated.ok()) return calibrated.status();
+  const double saturation = calibrated.value().ops_per_sec;
+  if (saturation <= 0.0) {
+    return Status{StatusCode::kInternal,
+                  "calibration measured zero throughput"};
+  }
+
+  // Phase 2: one open-loop run shaped baseline -> storm -> recovery.
+  obs::MetricsRegistry registry;
+  ServingConfig storm = base;
+  storm.metrics = &registry;
+  storm.open_loop = true;
+  storm.offered_load = cfg.baseline_fraction * saturation;
+  storm.window_ms = cfg.window_ms;
+  storm.duration_ms = cfg.baseline_ms + cfg.storm_ms + cfg.recovery_ms;
+  storm.storm_start_ms = cfg.baseline_ms;
+  storm.storm_end_ms = cfg.baseline_ms + cfg.storm_ms;
+  storm.storm_offered_multiplier =
+      cfg.storm_saturation_multiplier / cfg.baseline_fraction;
+  storm.storm_partitions = cfg.net ? cfg.storm_partitions : 0;
+  storm.net_retry_budget = cfg.retry_budget;
+  // Brownout floor: AIMD may pull concurrency down while queue waits are
+  // deadline-bound, but never below all-but-one worker — the goodput floor
+  // is a harder promise than the latency target during a deliberate storm.
+  storm.admission.min_concurrency = std::max(1u, cfg.threads - 1);
+  storm.admission.queue_deadline_ns = 25'000'000;         // 25 ms
+  storm.admission.target_p99_queue_wait_ns = 15'000'000;  // 15 ms
+  storm.admission.queue_capacity = 2048;
+  const Expected<ServingReport> ran = ServingEngine(storm).run();
+  if (!ran.ok()) return ran.status();
+  const ServingReport& report = ran.value();
+
+  OverloadCampaignReport out;
+  out.serving = report;
+  out.saturation_ops_per_sec = saturation;
+  out.offered_ops = report.offered_ops;
+  out.shed_total = report.shed_total;
+  out.shed_queue_full = report.shed_queue_full;
+  out.shed_priority = report.shed_priority;
+  out.shed_deadline = report.shed_deadline;
+  out.overloaded_errors = report.overloaded_errors;
+  out.untyped_errors = report.errors;
+  out.bg_throttled_slices = report.bg_throttled_slices;
+  out.concurrency_limit_floor = report.concurrency_limit_floor;
+
+  // Phase windows, skipping the first window after each transition (ramp)
+  // and the trailing partial bucket.
+  const std::size_t b_end = cfg.baseline_ms / cfg.window_ms;
+  const std::size_t s_end = (cfg.baseline_ms + cfg.storm_ms) / cfg.window_ms;
+  const std::size_t r_end = storm.duration_ms / cfg.window_ms;
+  out.baseline_goodput =
+      window_rate(report.goodput_windows, 1, b_end, cfg.window_ms);
+  out.storm_goodput =
+      window_rate(report.goodput_windows, b_end + 1, s_end, cfg.window_ms);
+  // Recovery is judged on the second half of the tail: the contract is
+  // "recovered within the post-storm window", not "instantly".
+  const std::size_t r_lo = s_end + (r_end - s_end) / 2;
+  out.recovery_goodput =
+      window_rate(report.goodput_windows, r_lo, r_end, cfg.window_ms);
+
+  // Retry-budget accounting (net mode): the budget can earn at most
+  // ratio * successes on top of each client's initial allowance, so spent
+  // retries beyond slack * cap would mean the bucket failed to bound the
+  // storm.
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  out.retries_spent = counter_value(snap, "ech_retry_budget_spent_total");
+  out.budget_refusals =
+      counter_value(snap, "ech_retry_budget_exhausted_total");
+  if (cfg.net && cfg.retry_budget.ratio > 0.0) {
+    std::uint64_t rpc_successes = 0;
+    if (const obs::MetricSample* s =
+            obs::find_sample(snap, "net_rpc_latency_ticks")) {
+      rpc_successes = s->histogram.count;
+    }
+    out.retry_cap = static_cast<std::uint64_t>(
+        cfg.retry_budget.ratio * static_cast<double>(rpc_successes) +
+        cfg.retry_budget.initial_tokens * cfg.threads);
+  }
+
+  // Verdicts.
+  double floor_fraction = cfg.goodput_floor_fraction;
+  if (storm.storm_partitions > 0) {
+    floor_fraction =
+        std::max(0.0, floor_fraction - cfg.partition_floor_discount);
+  }
+  out.goodput_ok = out.storm_goodput >= floor_fraction * saturation;
+  if (!out.goodput_ok) {
+    out.failures.push_back(
+        fmt("storm goodput %.0f ops/s below floor %.0f ops/s",
+            out.storm_goodput, floor_fraction * saturation));
+  }
+  // Typed degradation: in-process nothing can time out, so ANY untyped
+  // error is a contract break.  Over the fabric, untyped kUnavailable is
+  // attributable to the deliberate partitions — but only when there were
+  // partitions to attribute it to.
+  out.typed_ok = out.untyped_errors == 0 ||
+                 (cfg.net && storm.storm_partitions > 0);
+  if (!out.typed_ok) {
+    out.failures.push_back(
+        fmt("untyped errors %.0f (expected 0: every refusal must be a typed "
+            "kOverloaded; typed count was %.0f)",
+            static_cast<double>(out.untyped_errors),
+            static_cast<double>(out.overloaded_errors)));
+  }
+  out.recovery_ok =
+      out.recovery_goodput >= cfg.recovery_fraction * out.baseline_goodput;
+  if (!out.recovery_ok) {
+    out.failures.push_back(
+        fmt("recovery goodput %.0f ops/s below %.0f ops/s "
+            "(fraction of baseline)",
+            out.recovery_goodput,
+            cfg.recovery_fraction * out.baseline_goodput));
+  }
+  out.retry_ok = !cfg.net || cfg.retry_budget.ratio <= 0.0 ||
+                 static_cast<double>(out.retries_spent) <=
+                     cfg.retry_cap_slack * static_cast<double>(out.retry_cap);
+  if (!out.retry_ok) {
+    out.failures.push_back(fmt("retries %.0f exceed budget cap %.0f",
+                               static_cast<double>(out.retries_spent),
+                               cfg.retry_cap_slack *
+                                   static_cast<double>(out.retry_cap)));
+  }
+  out.passed =
+      out.goodput_ok && out.typed_ok && out.recovery_ok && out.retry_ok;
+  return out;
+}
+
+std::string format_overload_report(const OverloadCampaignReport& report) {
+  std::string s;
+  char line[256];
+  const auto add = [&](const char* text) {
+    s += text;
+    s += '\n';
+  };
+  std::snprintf(line, sizeof(line), "saturation          %10.0f ops/s",
+                report.saturation_ops_per_sec);
+  add(line);
+  std::snprintf(line, sizeof(line),
+                "goodput baseline/storm/recovery  %.0f / %.0f / %.0f ops/s",
+                report.baseline_goodput, report.storm_goodput,
+                report.recovery_goodput);
+  add(line);
+  std::snprintf(line, sizeof(line),
+                "offered %llu  shed %llu (full %llu, priority %llu, "
+                "deadline %llu)",
+                static_cast<unsigned long long>(report.offered_ops),
+                static_cast<unsigned long long>(report.shed_total),
+                static_cast<unsigned long long>(report.shed_queue_full),
+                static_cast<unsigned long long>(report.shed_priority),
+                static_cast<unsigned long long>(report.shed_deadline));
+  add(line);
+  std::snprintf(line, sizeof(line),
+                "typed kOverloaded %llu  untyped errors %llu  "
+                "bg throttled slices %llu  limit floor %u",
+                static_cast<unsigned long long>(report.overloaded_errors),
+                static_cast<unsigned long long>(report.untyped_errors),
+                static_cast<unsigned long long>(report.bg_throttled_slices),
+                report.concurrency_limit_floor);
+  add(line);
+  std::snprintf(line, sizeof(line),
+                "retries spent %llu  cap %llu  budget refusals %llu",
+                static_cast<unsigned long long>(report.retries_spent),
+                static_cast<unsigned long long>(report.retry_cap),
+                static_cast<unsigned long long>(report.budget_refusals));
+  add(line);
+  for (const std::string& f : report.failures) {
+    s += "FAIL: ";
+    s += f;
+    s += '\n';
+  }
+  s += report.passed ? "overload campaign: PASS" : "overload campaign: FAIL";
+  s += '\n';
+  return s;
+}
+
+}  // namespace ech::serve

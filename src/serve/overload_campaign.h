@@ -1,0 +1,133 @@
+// Seeded overload chaos campaign: drive the serving path 2-4x past
+// saturation while the membership churns (and, in net mode, while servers
+// are partitioned away), then hold the system to the graceful-degradation
+// contract:
+//
+//   goodput floor    During the storm, goodput (successful completions/s)
+//                    stays at or above `goodput_floor_fraction` of the
+//                    measured saturation — excess load is refused at
+//                    admission, it does not collapse the work that IS
+//                    admitted.
+//
+//   typed rejections Every shed request got StatusCode::kOverloaded, never
+//                    a timeout.  In-process that means zero untyped errors
+//                    at any offered load; in net mode untyped kUnavailable
+//                    is only tolerated when the storm also cut partitions
+//                    (those failures are attributable to unreachability,
+//                    not to load).
+//
+//   bounded retries  Net mode: total retries stay within `retry_cap_slack`
+//                    of what the token-bucket retry budget could possibly
+//                    have earned (ratio * successes + initial tokens per
+//                    client) — i.e. the budget actually bounded the storm.
+//
+//   recovery         Within the post-storm tail, goodput returns to at
+//                    least `recovery_fraction` of the pre-storm baseline
+//                    measured in the SAME run on the SAME cluster.
+//
+// The campaign runs two phases: a short closed-loop calibration (the same
+// cluster shape, churn and synthetic service cost) to measure saturation,
+// then ONE open-loop run shaped baseline -> storm -> recovery via the
+// engine's storm profile.  Everything stochastic flows from `seed`, so a
+// failing campaign replays exactly:  `echctl overload run --seed N [--net]`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/serving_engine.h"
+
+namespace ech::serve {
+
+struct OverloadCampaignConfig {
+  std::uint64_t seed{1};
+  /// Serve over the net fabric through ech::client (adds retry-budget and
+  /// partition coverage); false = in-process facade.
+  bool net{false};
+  /// CI smoke sizing: shorter phases, smaller cluster.
+  bool quick{false};
+
+  // Cluster / workload shape (shared by calibration and the overload run).
+  std::uint32_t server_count{48};
+  std::uint32_t replicas{3};
+  std::uint32_t threads{4};
+  std::uint64_t preload_objects{4000};
+  double write_fraction{0.10};
+  double read_fraction{0.30};
+  /// Synthetic per-op service cost.  Keeps saturation low enough that one
+  /// generator thread can overdrive it 3-4x even on a small CI box.
+  std::uint64_t service_spin_ns{40'000};
+  std::uint64_t churn_period_ms{50};
+
+  // Phase lengths of the single open-loop run.
+  std::uint64_t baseline_ms{600};
+  std::uint64_t storm_ms{900};
+  std::uint64_t recovery_ms{900};
+  std::uint64_t window_ms{50};
+  /// Baseline offered load as a fraction of measured saturation (must be
+  /// comfortably below 1 so "recovered" has a stable reference).
+  double baseline_fraction{0.5};
+  /// Storm offered load as a multiple of measured saturation (the 2-4x).
+  double storm_saturation_multiplier{3.0};
+  /// Net mode: servers partitioned away for the storm window.
+  std::uint32_t storm_partitions{2};
+
+  // Assertion knobs (defaults = the acceptance bar).
+  double goodput_floor_fraction{0.70};
+  /// Subtracted from the goodput floor when the storm also injects
+  /// partitions: cutting servers removes real capacity (their primaries'
+  /// writes cannot complete anywhere), so holding the pure-overload floor
+  /// would punish the partition coverage for existing.
+  double partition_floor_discount{0.10};
+  double recovery_fraction{0.95};
+  double retry_cap_slack{1.2};
+  /// Retry budget handed to every net-mode worker client.
+  net::RetryBudgetConfig retry_budget{0.1, 10.0, 100.0};
+};
+
+struct OverloadCampaignReport {
+  // Measured rates, ops/s.
+  double saturation_ops_per_sec{0};
+  double baseline_goodput{0};
+  double storm_goodput{0};
+  double recovery_goodput{0};
+  // Degradation accounting from the overload run.
+  std::uint64_t offered_ops{0};
+  std::uint64_t shed_total{0};
+  std::uint64_t shed_queue_full{0};
+  std::uint64_t shed_priority{0};
+  std::uint64_t shed_deadline{0};
+  std::uint64_t overloaded_errors{0};
+  std::uint64_t untyped_errors{0};
+  std::uint64_t bg_throttled_slices{0};
+  std::uint32_t concurrency_limit_floor{0};
+  // Retry-budget accounting (net mode).
+  std::uint64_t retries_spent{0};
+  std::uint64_t retry_cap{0};
+  std::uint64_t budget_refusals{0};
+  // Verdicts.
+  bool goodput_ok{false};
+  bool typed_ok{false};
+  bool recovery_ok{false};
+  bool retry_ok{false};
+  bool passed{false};
+  /// Human-readable reasons for every failed assertion (empty on pass).
+  std::vector<std::string> failures;
+  /// The full open-loop report (windows included) for dumps/debugging.
+  ServingReport serving;
+};
+
+/// Run the calibration + overload phases and evaluate the contract.  A
+/// failing ASSERTION comes back as a report with passed == false and the
+/// reasons in `failures`; a Status is only returned when the campaign
+/// could not run at all (bad config, cluster construction failure).
+[[nodiscard]] Expected<OverloadCampaignReport> run_overload_campaign(
+    const OverloadCampaignConfig& config);
+
+/// One-line-per-fact text rendering for echctl / CI logs.
+[[nodiscard]] std::string format_overload_report(
+    const OverloadCampaignReport& report);
+
+}  // namespace ech::serve

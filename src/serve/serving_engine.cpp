@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,16 @@ using Clock = std::chrono::steady_clock;
 std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+// Synthetic service work: busy-wait so the cost is CPU like real serving
+// work, not a scheduler sleep (which would let workers overlap for free and
+// defeat the point of lowering saturation).
+void spin_for_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto until = Clock::now() + std::chrono::nanoseconds(ns);
+  while (Clock::now() < until) {
+  }
 }
 
 }  // namespace
@@ -49,6 +60,21 @@ Expected<ServingReport> ServingEngine::run() {
   if (config_.preload_objects == 0 && config_.read_fraction > 0.0) {
     return Status{StatusCode::kInvalidArgument,
                   "read_fraction > 0 requires preload_objects > 0"};
+  }
+  if (config_.open_loop && config_.offered_load <= 0.0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "open_loop requires offered_load > 0"};
+  }
+  if (config_.open_loop && config_.window_ms == 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "open_loop requires window_ms > 0"};
+  }
+  if (config_.arrival == ArrivalProcess::kBurst &&
+      (config_.burst_multiplier < 1.0 ||
+       config_.burst_on_ms + config_.burst_off_ms == 0)) {
+    return Status{StatusCode::kInvalidArgument,
+                  "burst arrivals need burst_multiplier >= 1 and a non-empty "
+                  "on+off period"};
   }
 
   ElasticClusterConfig cluster_config;
@@ -98,6 +124,24 @@ Expected<ServingReport> ServingEngine::run() {
   std::atomic<std::uint64_t> write_ops{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> resizes{0};
+  std::atomic<std::uint64_t> ok_completed{0};
+  std::atomic<std::uint64_t> overloaded_errors{0};
+  std::atomic<std::uint64_t> bg_throttled{0};
+
+  // Open-loop plumbing: one admission controller guarding the worker pool,
+  // plus a per-window goodput series (successful completions bucketed by
+  // completion time) for degradation/recovery-shape assertions.
+  std::unique_ptr<AdmissionController> admission;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> windows;
+  std::size_t window_count = 0;
+  if (config_.open_loop) {
+    AdmissionConfig acfg = config_.admission;
+    acfg.metrics = &registry;
+    admission = std::make_unique<AdmissionController>(acfg, config_.threads);
+    window_count =
+        static_cast<std::size_t>(config_.duration_ms / config_.window_ms) + 2;
+    windows = std::make_unique<std::atomic<std::uint64_t>[]>(window_count);
+  }
 
   const std::uint32_t churn_low =
       config_.churn_low != 0
@@ -136,9 +180,23 @@ Expected<ServingReport> ServingEngine::run() {
         ccfg.retry.attempt_timeout_ticks = 256ull * config_.threads;
         ccfg.retry.max_backoff_ticks = 16;
         ccfg.retry.deadline_ticks = 0;
-        // No endpoint in this bench ever actually fails; a breaker trip
-        // here is always a false positive from pump contention.
-        ccfg.breaker.failure_threshold = 1u << 30;
+        ccfg.retry.budget = config_.net_retry_budget;
+        // Without injected partitions no endpoint in this bench ever
+        // actually fails, so a breaker trip would always be a false
+        // positive from pump contention.  With storm partitions the
+        // breaker is part of the path under test: it must fast-fail the
+        // cut servers instead of letting every op burn a full attempt
+        // ladder of virtual time on them.
+        if (config_.storm_partitions > 0) {
+          ccfg.breaker.failure_threshold = 3;
+          // Long cool-down: every half-open probe to a still-cut server
+          // burns a full attempt window of (real) pump time, so probing
+          // eagerly turns the breaker itself into an overload source.
+          ccfg.breaker.open_cooldown_ticks =
+              ccfg.retry.attempt_timeout_ticks * 16;
+        } else {
+          ccfg.breaker.failure_threshold = 1u << 30;
+        }
         ccfg.max_repairs = 8;
         ccfg.metrics = &registry;
         ccfg.seed = config_.seed * 0x9E3779B97F4A7C15ULL + t;
@@ -150,6 +208,79 @@ Expected<ServingReport> ServingEngine::run() {
       std::uint64_t local_read = 0;
       std::uint64_t local_write = 0;
       std::uint64_t local_errors = 0;
+      if (config_.open_loop) {
+        // Open loop: drain the admission queue under the adaptive
+        // concurrency limit; the generator thread decides what arrives.
+        const auto execute = [&](RequestClass cls,
+                                 ObjectId oid) -> StatusCode {
+          switch (cls) {
+            case RequestClass::kWrite:
+              ops_write.inc();
+              ++local_write;
+              if (net_client) return net_client->write(oid, 0).status().code();
+              return cluster->write(oid, 0).code();
+            case RequestClass::kRead:
+              ops_read.inc();
+              ++local_read;
+              if (net_client) return net_client->read(oid).status().code();
+              return cluster->read(oid).status().code();
+            case RequestClass::kPlacement:
+              break;
+          }
+          ops_placement.inc();
+          ++local_placement;
+          if (net_client) {
+            return net_client->cached_route(oid).status().code();
+          }
+          return cluster->placement_of(oid).status().code();
+        };
+        std::uint64_t local_ok = 0;
+        std::uint64_t local_overloaded = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (!admission->try_acquire_slot()) {
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+            continue;
+          }
+          std::uint64_t wait_ns = 0;
+          const std::optional<AdmissionTicket> ticket =
+              admission->pop(elapsed_ns(start, Clock::now()), &wait_ns);
+          if (!ticket.has_value()) {
+            admission->release_slot();
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+            continue;
+          }
+          const auto op_start = Clock::now();
+          const StatusCode verdict =
+              execute(ticket->cls, ObjectId{ticket->payload});
+          spin_for_ns(config_.service_spin_ns);
+          const auto op_end = Clock::now();
+          const std::uint64_t service = elapsed_ns(op_start, op_end);
+          latency.observe(service);
+          admission->complete(wait_ns, service);
+          if (verdict == StatusCode::kOk) {
+            ++local_ok;
+            const std::size_t w = std::min(
+                window_count - 1,
+                static_cast<std::size_t>(
+                    elapsed_ns(start, op_end) /
+                    (config_.window_ms * 1'000'000ull)));
+            windows[w].fetch_add(1, std::memory_order_relaxed);
+          } else if (verdict == StatusCode::kOverloaded) {
+            ++local_overloaded;
+          } else {
+            ++local_errors;
+          }
+        }
+        ok_completed.fetch_add(local_ok, std::memory_order_relaxed);
+        overloaded_errors.fetch_add(local_overloaded,
+                                    std::memory_order_relaxed);
+        placement_ops.fetch_add(local_placement, std::memory_order_relaxed);
+        read_ops.fetch_add(local_read, std::memory_order_relaxed);
+        write_ops.fetch_add(local_write, std::memory_order_relaxed);
+        errors.fetch_add(local_errors, std::memory_order_relaxed);
+        op_errors.add(local_errors);
+        return;
+      }
       std::uint64_t fresh = (static_cast<std::uint64_t>(t) + 1) << 40;
       auto now = Clock::now();
       while (now < deadline && !stop.load(std::memory_order_relaxed)) {
@@ -185,6 +316,7 @@ Expected<ServingReport> ServingEngine::run() {
           ops_placement.inc();
           ++local_placement;
         }
+        spin_for_ns(config_.service_spin_ns);
         now = Clock::now();
         latency.observe(elapsed_ns(op_start, now));
       }
@@ -193,6 +325,112 @@ Expected<ServingReport> ServingEngine::run() {
       write_ops.fetch_add(local_write, std::memory_order_relaxed);
       errors.fetch_add(local_errors, std::memory_order_relaxed);
       op_errors.add(local_errors);
+    });
+  }
+
+  // Open-loop arrival generator: schedules arrivals on a virtual timeline
+  // (sched_ns from run start), paces real time to it, and offers each into
+  // the admission queue stamped with its SCHEDULED arrival — so if this
+  // thread (or the queue) falls behind, the backlog is charged to queue
+  // wait instead of silently stretching inter-arrival gaps (coordinated
+  // omission).  The whole arrival sequence is a pure function of the seed.
+  std::thread generator;
+  if (config_.open_loop) {
+    generator = std::thread([&] {
+      Rng arrivals(config_.seed ^ 0xA5F152E9D3B6C7ULL);
+      Rng mix(config_.seed * 0x9E3779B97F4A7C15ULL + 0xC0FFEE);
+      std::uint64_t fresh = 1ull << 62;
+      const double period_ms =
+          static_cast<double>(config_.burst_on_ms + config_.burst_off_ms);
+      const double on_ms = static_cast<double>(config_.burst_on_ms);
+      // Residual off-phase rate that keeps the long-run mean at
+      // offered_load (0 when the on phase already carries the whole mean).
+      double off_factor = 0.0;
+      if (config_.arrival == ArrivalProcess::kBurst &&
+          config_.burst_off_ms > 0) {
+        off_factor =
+            std::max(0.0, (period_ms - config_.burst_multiplier * on_ms) /
+                              static_cast<double>(config_.burst_off_ms));
+      }
+      double sched_ns = 0.0;
+      bool partitioned = false;
+      const auto set_partitions = [&](bool want) {
+        if (net_rig == nullptr || config_.storm_partitions == 0 ||
+            want == partitioned) {
+          return;
+        }
+        if (want) {
+          for (std::uint32_t s = 0; s < config_.storm_partitions; ++s) {
+            for (std::uint32_t t = 0; t < config_.threads; ++t) {
+              net_rig->fabric().partition(
+                  net_rig->client_node(t),
+                  client::StorageRig::server_node(ServerId{s}));
+            }
+          }
+        } else {
+          net_rig->fabric().heal_all();
+        }
+        partitioned = want;
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double sched_ms = sched_ns / 1e6;
+        if (sched_ms >= static_cast<double>(config_.duration_ms)) break;
+        double rate = config_.offered_load;
+        const bool in_storm =
+            config_.storm_end_ms > config_.storm_start_ms &&
+            sched_ms >= static_cast<double>(config_.storm_start_ms) &&
+            sched_ms < static_cast<double>(config_.storm_end_ms);
+        set_partitions(in_storm);
+        if (in_storm) rate *= config_.storm_offered_multiplier;
+        if (config_.arrival == ArrivalProcess::kBurst) {
+          const double phase =
+              period_ms > 0.0 ? std::fmod(sched_ms, period_ms) : 0.0;
+          rate *= phase < on_ms ? config_.burst_multiplier : off_factor;
+        }
+        if (rate <= 0.0) {
+          // Dead off phase: jump the virtual clock to the next on window.
+          const double phase = std::fmod(sched_ms, period_ms);
+          sched_ns += (period_ms - phase) * 1e6;
+          continue;
+        }
+        sched_ns += arrivals.exponential(rate) * 1e9;
+        const auto due =
+            start + std::chrono::nanoseconds(
+                        static_cast<std::uint64_t>(sched_ns));
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto now = Clock::now();
+          if (now >= due || now >= deadline) break;
+          std::this_thread::sleep_for(std::min<Clock::duration>(
+              std::chrono::milliseconds(1), due - now));
+        }
+        // Past the wall deadline the pacing loop above stops sleeping but
+        // the arrivals keep flowing: a generator that fell behind (CPU
+        // contention) burst-offers the remainder of its virtual schedule
+        // instead of truncating it, so offered_ops really is a pure
+        // function of the seed.  The excess surfaces as typed sheds.
+        // Class + key: the same mix semantics as the closed loop.
+        const double dice = mix.next_double();
+        RequestClass cls = RequestClass::kPlacement;
+        ObjectId oid{0};
+        if (dice < config_.write_fraction) {
+          cls = RequestClass::kWrite;
+          oid = config_.preload_objects > 0 && mix.bernoulli(0.5)
+                    ? ObjectId{mix.uniform(0, config_.preload_objects - 1)}
+                    : ObjectId{fresh++};
+        } else if (dice < config_.write_fraction + config_.read_fraction) {
+          cls = RequestClass::kRead;
+          oid = ObjectId{mix.uniform(0, config_.preload_objects - 1)};
+        } else {
+          oid = ObjectId{mix.next_u64()};
+        }
+        // Sheds are accounted (typed) inside the controller; the generator
+        // is fire-and-forget like a real open-loop client population.
+        (void)admission->offer(cls, oid.value,
+                               static_cast<std::uint64_t>(sched_ns));
+      }
+      // Never leave the fabric cut after the storm (e.g. a deadline that
+      // lands inside the storm window).
+      set_partitions(false);
     });
   }
 
@@ -219,13 +457,29 @@ Expected<ServingReport> ServingEngine::run() {
           resizes.fetch_add(1, std::memory_order_relaxed);
         }
         low = !low;
-        (void)cluster->maintenance_step(config_.maintenance_budget);
+        // Graceful-degradation order: background maintenance yields its
+        // slice while the admission queue runs hot — BEFORE any foreground
+        // class is shed (the throttle occupancy sits below every shed
+        // threshold).  Resizes themselves still happen: membership change
+        // is the disturbance under test, not optional work.
+        if (admission != nullptr && admission->background_throttled()) {
+          bg_throttled.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          (void)cluster->maintenance_step(config_.maintenance_budget);
+        }
         next_churn =
             Clock::now() + std::chrono::milliseconds(config_.churn_period_ms);
       }
     });
   }
 
+  if (generator.joinable()) {
+    // The generator returns at the deadline; only then may the workers be
+    // released (they exit on `stop`, not the clock, so every arrival
+    // scheduled before the deadline got its chance to be served or shed).
+    generator.join();
+    stop.store(true, std::memory_order_relaxed);
+  }
   for (auto& w : workers) w.join();
   // The measurement window closes when the last worker stops issuing
   // requests; joining the controller first used to inflate duration_s (and
@@ -279,6 +533,42 @@ Expected<ServingReport> ServingEngine::run() {
     report.client_misroutes = counter_value("ech_client_misroutes_total");
     report.client_degraded_reads =
         counter_value("ech_client_degraded_reads_total");
+  }
+
+  if (config_.open_loop) {
+    const AdmissionStats astats = admission->stats();
+    report.offered_ops = astats.offered;
+    report.admitted_ops = astats.admitted;
+    report.completed_ops = astats.completed;
+    report.shed_total = astats.shed_total;
+    for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+      report.shed_queue_full +=
+          astats.shed[c][static_cast<std::size_t>(ShedReason::kQueueFull)];
+      report.shed_priority +=
+          astats.shed[c][static_cast<std::size_t>(ShedReason::kPriority)];
+      report.shed_deadline +=
+          astats.shed[c][static_cast<std::size_t>(ShedReason::kDeadline)];
+    }
+    report.overloaded_errors = overloaded_errors.load();
+    report.goodput_per_sec =
+        report.duration_s > 0
+            ? static_cast<double>(ok_completed.load()) / report.duration_s
+            : 0.0;
+    if (const obs::MetricSample* s =
+            obs::find_sample(snap, "ech_admit_queue_wait_ns")) {
+      report.queue_wait_p50_ns = obs::histogram_quantile(s->histogram, 0.50);
+      report.queue_wait_p99_ns = obs::histogram_quantile(s->histogram, 0.99);
+    }
+    report.concurrency_limit_final = astats.limit;
+    report.concurrency_limit_floor = astats.limit_floor;
+    report.limit_decreases = astats.limit_decreases;
+    report.bg_throttled_slices = bg_throttled.load();
+    report.window_ms = config_.window_ms;
+    report.goodput_windows.reserve(window_count);
+    for (std::size_t i = 0; i < window_count; ++i) {
+      report.goodput_windows.push_back(
+          windows[i].load(std::memory_order_relaxed));
+    }
   }
   return report;
 }

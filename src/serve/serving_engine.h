@@ -18,8 +18,19 @@
 //
 // Closed-loop means each worker issues its next request as soon as the
 // previous one returns: throughput is the system's, not an offered load.
-// Open-loop arrival processes, batching and admission control layer on top
-// of this in later PRs.
+//
+// Open-loop mode (`open_loop = true`) decouples arrivals from service: one
+// seeded generator thread schedules arrivals from a Poisson (or on/off
+// burst) process at `offered_load` ops/s and offers them into an
+// AdmissionController's bounded queue; the worker pool drains the queue
+// under the controller's adaptive concurrency limit.  Queue wait is
+// measured from the SCHEDULED arrival time (not the enqueue call), so a
+// generator that falls behind still charges the backlog to the system —
+// the standard coordinated-omission fix.  Excess load is shed with typed
+// kOverloaded rejections (never timeouts); the report splits goodput from
+// offered load and carries a per-window goodput series so a chaos campaign
+// can assert degradation and recovery shape across ONE run (baseline →
+// storm → recovery), not across incomparable runs.
 //
 // Measurement contract: duration_s spans preload-done to last-worker-join —
 // the controller thread (which sleeps in small slices and re-checks the
@@ -30,13 +41,22 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "net/retry.h"
 #include "obs/metrics.h"
 #include "placement/backend.h"
+#include "serve/admission.h"
 
 namespace ech::serve {
+
+/// Open-loop arrival process shapes.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson = 0,  // memoryless inter-arrivals at the offered rate
+  kBurst = 1,    // on/off-modulated Poisson (mean preserved; see burst_*)
+};
 
 struct ServingConfig {
   std::uint32_t server_count{300};
@@ -82,6 +102,47 @@ struct ServingConfig {
   /// Registry the cluster + engine report into (nullptr = a private one
   /// owned by the engine, so repeated runs don't aggregate).
   obs::MetricsRegistry* metrics{nullptr};
+
+  // -- open-loop arrivals + admission control -------------------------------
+
+  /// Open-loop mode: a seeded generator offers `offered_load` ops/s into an
+  /// admission-controlled bounded queue; workers drain it.  Requires
+  /// offered_load > 0.
+  bool open_loop{false};
+  /// Target arrival rate, ops/s (open-loop mode only).
+  double offered_load{0.0};
+  ArrivalProcess arrival{ArrivalProcess::kPoisson};
+  /// Burst shape (arrival = kBurst): `burst_on_ms` of every
+  /// (burst_on_ms + burst_off_ms) period runs at offered_load *
+  /// burst_multiplier; the off phase runs at whatever residual rate keeps
+  /// the long-run mean at offered_load (clamped at zero).
+  double burst_multiplier{4.0};
+  std::uint64_t burst_on_ms{20};
+  std::uint64_t burst_off_ms{80};
+  /// Admission queue / shedding / AIMD knobs (see serve/admission.h).
+  AdmissionConfig admission{};
+  /// Synthetic per-op service work (busy-wait), nanoseconds.  Lets a bench
+  /// on a small box drop saturation low enough that one generator thread
+  /// can overdrive it by 3-4x.  0 = none.  Applies in both loop modes.
+  std::uint64_t service_spin_ns{0};
+  /// Goodput series bucket width for the open-loop report.
+  std::uint64_t window_ms{50};
+  /// Offered-load storm: between storm_start_ms and storm_end_ms (of
+  /// scheduled-arrival time) the generator multiplies the arrival rate by
+  /// storm_offered_multiplier.  start == end = no storm.  The chaos
+  /// campaign uses this to shape baseline -> overload -> recovery within
+  /// one run on one cluster.
+  std::uint64_t storm_start_ms{0};
+  std::uint64_t storm_end_ms{0};
+  double storm_offered_multiplier{1.0};
+  /// Net + open-loop chaos: for the storm window the generator also
+  /// partitions the first N servers away from every client node (healed at
+  /// storm end), so overload is compounded by unreachability — the
+  /// retry-budget / breaker path is exercised, not just queueing.
+  std::uint32_t storm_partitions{0};
+  /// Retry budget for net-mode worker clients (disabled by default, like
+  /// RetryPolicy itself; the overload campaign turns it on).
+  net::RetryBudgetConfig net_retry_budget{};
 };
 
 struct ServingReport {
@@ -109,6 +170,34 @@ struct ServingReport {
   std::uint64_t client_invalidations{0};
   std::uint64_t client_misroutes{0};
   std::uint64_t client_degraded_reads{0};
+  // Open-loop admission accounting (open_loop mode only).  `errors` above
+  // excludes typed kOverloaded verdicts, which land in overloaded_errors:
+  // under deliberate overload a shed is correct behavior, not a failure.
+  std::uint64_t offered_ops{0};
+  std::uint64_t admitted_ops{0};
+  std::uint64_t completed_ops{0};
+  std::uint64_t shed_total{0};
+  std::uint64_t shed_queue_full{0};
+  std::uint64_t shed_priority{0};
+  std::uint64_t shed_deadline{0};
+  std::uint64_t overloaded_errors{0};
+  /// Successfully completed admitted ops per second of run time.
+  double goodput_per_sec{0};
+  // Queue wait at dequeue (ech_admit_queue_wait_ns), separate from the
+  // service-time histogram above.
+  std::uint64_t queue_wait_p50_ns{0};
+  std::uint64_t queue_wait_p99_ns{0};
+  // AIMD concurrency-limit trajectory.
+  std::uint32_t concurrency_limit_final{0};
+  std::uint32_t concurrency_limit_floor{0};
+  std::uint64_t limit_decreases{0};
+  /// Maintenance slices skipped because the admission queue was hot
+  /// (background yields before any foreground class sheds).
+  std::uint64_t bg_throttled_slices{0};
+  /// Goodput series: successful completions per `window_ms` bucket of run
+  /// time, in order.  Empty in closed-loop mode.
+  std::uint64_t window_ms{0};
+  std::vector<std::uint64_t> goodput_windows;
 };
 
 class ServingEngine {

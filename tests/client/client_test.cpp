@@ -328,6 +328,37 @@ TEST(ClientTest, QueueCapacityBoundsParkedWrites) {
   EXPECT_TRUE(t.cluster->read(ObjectId{1001}).ok());
 }
 
+TEST(ClientTest, FullWriteQueueRejectsTypedOverloaded) {
+  // Queue-full is a distinct, typed verdict: kOverloaded ("degradation
+  // buffer exhausted, back off"), not kUnavailable ("primary unreachable,
+  // maybe re-route") — and it is counted, never silently dropped.
+  obs::MetricsRegistry registry;
+  ClientConfig cfg;
+  cfg.write_queue_capacity = 1;
+  cfg.op_deadline_ticks = 128;
+  cfg.metrics = &registry;
+  TestBed t(6, 3, cfg);
+  for (std::uint32_t s = 1; s <= 6; ++s) {
+    t.rig.fabric().partition(t.cli.node(), s);
+  }
+  const auto parked = t.cli.write(ObjectId{2000}, 0);
+  ASSERT_TRUE(parked.ok());
+  EXPECT_TRUE(parked.value().queued);
+  const auto refused = t.cli.write(ObjectId{2001}, 0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(t.cli.stats().queue_rejections, 1u);
+  const auto* sample = obs::find_sample(
+      registry.snapshot(), "ech_client_queue_rejections_total");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->value, 1.0);
+  // The parked write is intact and still flushes after heal.
+  t.rig.fabric().heal_all();
+  t.cli.on_heal();
+  EXPECT_EQ(t.cli.pending_writes(), 0u);
+  EXPECT_TRUE(t.cluster->read(ObjectId{2000}).ok());
+}
+
 TEST(ClientTest, RepairBudgetBoundsRoutingBounces) {
   // A placement source that always serves a stale snapshot: every repair
   // refetches the same dead epoch, so the op must exhaust max_repairs and

@@ -200,6 +200,55 @@ TEST(CircuitBreakerTest, ProbeTimeoutDefaultsToCooldown) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
 }
 
+TEST(RetryBudgetTest, DisabledBudgetNeverRefuses) {
+  RetryBudget budget;  // ratio 0 = disabled
+  EXPECT_FALSE(budget.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(budget.try_spend());
+  }
+  EXPECT_EQ(budget.spent(), 0u);      // disabled budget does no accounting
+  EXPECT_EQ(budget.exhausted(), 0u);
+}
+
+TEST(RetryBudgetTest, InitialTokensFundColdStartThenExhaust) {
+  RetryBudget budget({/*ratio=*/0.1, /*initial_tokens=*/3.0,
+                      /*max_tokens=*/100.0});
+  EXPECT_TRUE(budget.enabled());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());  // bucket empty, no successes yet
+  EXPECT_EQ(budget.spent(), 3u);
+  EXPECT_EQ(budget.exhausted(), 1u);
+}
+
+TEST(RetryBudgetTest, SuccessesEarnRatioTokens) {
+  RetryBudget budget({/*ratio=*/0.5, /*initial_tokens=*/0.0,
+                      /*max_tokens=*/100.0});
+  EXPECT_FALSE(budget.try_spend());  // empty at birth
+  budget.record_success();
+  EXPECT_FALSE(budget.try_spend());  // 0.5 tokens: still below a whole one
+  budget.record_success();
+  EXPECT_TRUE(budget.try_spend());   // 1.0 earned by two successes
+  EXPECT_FALSE(budget.try_spend());  // and spent again
+}
+
+TEST(RetryBudgetTest, TokensCapAtMax) {
+  RetryBudget budget({/*ratio=*/1.0, /*initial_tokens=*/0.0,
+                      /*max_tokens=*/2.0});
+  for (int i = 0; i < 50; ++i) budget.record_success();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());  // cap bounded the burst to 2 retries
+}
+
+TEST(RetryBudgetTest, InitialTokensClampedToMax) {
+  RetryBudget budget({/*ratio=*/0.1, /*initial_tokens=*/50.0,
+                      /*max_tokens=*/5.0});
+  EXPECT_DOUBLE_EQ(budget.tokens(), 5.0);
+}
+
 TEST(CircuitBreakerTest, StateNamesAreStable) {
   EXPECT_STREQ(CircuitBreaker::state_name(CircuitBreaker::State::kClosed),
                "closed");

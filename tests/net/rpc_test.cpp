@@ -222,6 +222,52 @@ TEST(RpcTest, ReplyCacheNeverCrossesCallers) {
   EXPECT_EQ(server.cache_hits(), 0u);
 }
 
+TEST(RpcTest, ExhaustedRetryBudgetFailsFastWithOverloaded) {
+  // A dead server vs a finite retry budget: the first calls burn the
+  // initial allowance on real retries, then further calls degrade into a
+  // typed kOverloaded refusal at the first retry decision — no ladder.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.attempt_timeout_ticks = 4;
+  policy.budget = {/*ratio=*/0.1, /*initial_tokens=*/3.0,
+                   /*max_tokens=*/100.0};
+  TestRig rig(6, policy);
+  rig.fabric.partition(kClient, kServer);
+  // Call 1: 3 retries allowed (initial tokens), then max_attempts binds.
+  auto r = rig.client.call(kServer, "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // Call 2: the bucket is empty, so the first retry decision refuses.
+  r = rig.client.call(kServer, "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOverloaded);
+  // The refusal cost one attempt window, not a full ladder.
+  const std::uint64_t before = rig.fabric.now();
+  EXPECT_EQ(rig.client.call(kServer, "x").status().code(),
+            StatusCode::kOverloaded);
+  EXPECT_LE(rig.fabric.now() - before, 2 * policy.attempt_timeout_ticks);
+  // Metrics agree: 3 spends, >= 2 refusals.
+  const auto snap = rig.metrics.snapshot();
+  const auto* spent =
+      obs::find_sample(snap, "ech_retry_budget_spent_total");
+  const auto* exhausted =
+      obs::find_sample(snap, "ech_retry_budget_exhausted_total");
+  ASSERT_NE(spent, nullptr);
+  ASSERT_NE(exhausted, nullptr);
+  EXPECT_DOUBLE_EQ(spent->value, 3.0);
+  EXPECT_GE(exhausted->value, 2.0);
+  // Heal the link: successes re-earn tokens and retries resume (the budget
+  // degrades, it does not latch).  40 successes earn ~4 tokens — enough to
+  // fund the full 3-retry ladder of the final dead-node call.
+  rig.fabric.heal(kClient, kServer);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(rig.client.call(kServer, "y").ok());
+  }
+  rig.fabric.partition(kClient, kServer);
+  EXPECT_EQ(rig.client.call(kServer, "z").status().code(),
+            StatusCode::kUnavailable);  // real retries again, then timeout
+}
+
 TEST(RpcTest, SameSeedSameOutcome) {
   const auto run = [](std::uint64_t seed) {
     RetryPolicy policy;

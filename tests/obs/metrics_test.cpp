@@ -221,5 +221,46 @@ TEST(JsonExport, EscapesStrings) {
   EXPECT_NE(json.find("a\\\\b\\\"c\\nd"), std::string::npos) << json;
 }
 
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  EXPECT_EQ(histogram_quantile(HistogramSnapshot{}, 0.5), 0u);
+  // count > 0 with no materialized buckets is equally inert (a snapshot
+  // taken mid-reset must not index into an empty vector).
+  HistogramSnapshot half;
+  half.count = 3;
+  EXPECT_EQ(histogram_quantile(half, 0.99), 0u);
+}
+
+TEST(HistogramQuantile, SingleBucketAnswersEveryQuantile) {
+  HistogramSnapshot snap;
+  snap.buckets = {{128, 10}};
+  snap.count = 10;
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(histogram_quantile(snap, q), 128u) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, ExtremeQuantilesClampToFirstAndLastBucket) {
+  HistogramSnapshot snap;
+  snap.buckets = {{10, 4}, {20, 7}, {40, 8}};  // cumulative counts
+  snap.count = 8;
+  // q=0 clamps to rank 1: the first bucket's bound, not 0.
+  EXPECT_EQ(histogram_quantile(snap, 0.0), 10u);
+  EXPECT_EQ(histogram_quantile(snap, -0.5), 10u);  // and below is clamped
+  // q=1 is the last sample; past 1 clamps to it rather than running off
+  // the rank computation.
+  EXPECT_EQ(histogram_quantile(snap, 1.0), 40u);
+  EXPECT_EQ(histogram_quantile(snap, 2.0), 40u);
+}
+
+TEST(HistogramQuantile, NearestRankLandsInTheRightBucket) {
+  HistogramSnapshot snap;
+  snap.buckets = {{10, 4}, {20, 7}, {40, 8}};
+  snap.count = 8;
+  EXPECT_EQ(histogram_quantile(snap, 0.50), 10u);   // rank 4 of 8
+  EXPECT_EQ(histogram_quantile(snap, 0.625), 20u);  // rank 5
+  EXPECT_EQ(histogram_quantile(snap, 0.875), 20u);  // rank 7
+  EXPECT_EQ(histogram_quantile(snap, 0.9), 40u);    // rank 8
+}
+
 }  // namespace
 }  // namespace ech::obs

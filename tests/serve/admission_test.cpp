@@ -1,0 +1,209 @@
+// AdmissionController unit tests: every decision is driven by injected
+// nanosecond timestamps, so the priority-shed ladder, queue-deadline
+// expiry and AIMD limit moves are all exercised deterministically with no
+// threads and no real clock.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ech::serve {
+namespace {
+
+AdmissionConfig small_config(std::size_t capacity = 10) {
+  AdmissionConfig cfg;
+  cfg.queue_capacity = capacity;
+  cfg.metrics = nullptr;  // per-test registries below where metrics matter
+  return cfg;
+}
+
+TEST(AdmissionTest, AdmitsUntilCapacityThenShedsTyped) {
+  obs::MetricsRegistry registry;
+  AdmissionConfig cfg = small_config(4);
+  cfg.metrics = &registry;
+  AdmissionController ctl(cfg, /*max_concurrency=*/2);
+  // Writes have no occupancy threshold: they fill the queue to the brim.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ctl.offer(RequestClass::kWrite, i, /*now_ns=*/i).is_ok());
+  }
+  EXPECT_EQ(ctl.queue_depth(), 4u);
+  const Status s = ctl.offer(RequestClass::kWrite, 99, 10);
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  EXPECT_NE(s.to_string().find("queue full"), std::string::npos);
+  const AdmissionStats st = ctl.stats();
+  EXPECT_EQ(st.offered, 5u);
+  EXPECT_EQ(st.admitted, 4u);
+  EXPECT_EQ(st.shed_total, 1u);
+  EXPECT_EQ(st.shed[static_cast<std::size_t>(RequestClass::kWrite)]
+                   [static_cast<std::size_t>(ShedReason::kQueueFull)],
+            1u);
+  const auto* shed = obs::find_sample(
+      registry.snapshot(), "ech_shed_total",
+      {{"class", "write"}, {"reason", "queue_full"}});
+  ASSERT_NE(shed, nullptr);
+  EXPECT_DOUBLE_EQ(shed->value, 1.0);
+}
+
+TEST(AdmissionTest, ShedOrderPlacementThenReadsThenWrites) {
+  // Capacity 10: background throttles at occupancy 0.40, placement sheds
+  // at 0.50, reads at 0.75, writes only when the queue is full.
+  AdmissionController ctl(small_config(10), 4);
+  EXPECT_FALSE(ctl.background_throttled());
+  std::uint64_t t = 0;
+  // Fill to the placement threshold with writes.
+  while (ctl.queue_depth() < 5) {
+    ASSERT_TRUE(ctl.offer(RequestClass::kWrite, t, t).is_ok());
+    ++t;
+  }
+  EXPECT_TRUE(ctl.background_throttled());  // 5/10 >= 0.40
+  // At 50% occupancy placement sheds, reads and writes still admit.
+  EXPECT_EQ(ctl.offer(RequestClass::kPlacement, t, t).code(),
+            StatusCode::kOverloaded);
+  EXPECT_TRUE(ctl.offer(RequestClass::kRead, t, t).is_ok());     // -> 6/10
+  EXPECT_TRUE(ctl.offer(RequestClass::kRead, t, t).is_ok());     // -> 7/10
+  EXPECT_TRUE(ctl.offer(RequestClass::kWrite, t, t).is_ok());    // -> 8/10
+  // At 80% occupancy (>= 0.75) reads shed too; writes go to the brim.
+  EXPECT_EQ(ctl.offer(RequestClass::kRead, t, t).code(),
+            StatusCode::kOverloaded);
+  while (ctl.queue_depth() < 10) {
+    ASSERT_TRUE(ctl.offer(RequestClass::kWrite, t, t).is_ok());
+  }
+  EXPECT_EQ(ctl.offer(RequestClass::kWrite, t, t).code(),
+            StatusCode::kOverloaded);
+  const AdmissionStats st = ctl.stats();
+  EXPECT_EQ(st.shed[static_cast<std::size_t>(RequestClass::kPlacement)]
+                   [static_cast<std::size_t>(ShedReason::kPriority)],
+            1u);
+  EXPECT_EQ(st.shed[static_cast<std::size_t>(RequestClass::kRead)]
+                   [static_cast<std::size_t>(ShedReason::kPriority)],
+            1u);
+}
+
+TEST(AdmissionTest, BackgroundThrottlesBeforeAnyForegroundShed) {
+  AdmissionController ctl(small_config(10), 4);
+  std::uint64_t t = 0;
+  // 4/10 = the background threshold exactly; no foreground class sheds yet.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ctl.offer(RequestClass::kWrite, t, t).is_ok());
+  }
+  EXPECT_TRUE(ctl.background_throttled());
+  EXPECT_TRUE(ctl.offer(RequestClass::kPlacement, t, t).is_ok());  // 4/10
+  EXPECT_EQ(ctl.stats().shed_total, 0u);
+}
+
+TEST(AdmissionTest, PopReportsScheduledQueueWait) {
+  AdmissionController ctl(small_config(), 2);
+  ASSERT_TRUE(ctl.offer(RequestClass::kRead, 7, /*now_ns=*/1000).is_ok());
+  std::uint64_t wait = 0;
+  const auto ticket = ctl.pop(/*now_ns=*/5000, &wait);
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(ticket->cls, RequestClass::kRead);
+  EXPECT_EQ(ticket->payload, 7u);
+  EXPECT_EQ(ticket->arrival_ns, 1000u);
+  EXPECT_EQ(wait, 4000u);
+  EXPECT_EQ(ctl.queue_depth(), 0u);
+  EXPECT_FALSE(ctl.pop(6000, &wait).has_value());  // empty
+}
+
+TEST(AdmissionTest, ExpiredTicketsAreShedAtDequeueNotServed) {
+  AdmissionConfig cfg = small_config();
+  cfg.queue_deadline_ns = 1'000'000;  // 1 ms
+  AdmissionController ctl(cfg, 2);
+  // Teach the controller a service-time estimate (EWMA needs one sample;
+  // expiry is inert before that — with no estimate, nothing can expire).
+  ASSERT_TRUE(ctl.offer(RequestClass::kRead, 1, 0).is_ok());
+  ASSERT_TRUE(ctl.try_acquire_slot());
+  std::uint64_t wait = 0;
+  ASSERT_TRUE(ctl.pop(0, &wait).has_value());
+  ctl.complete(/*queue_wait_ns=*/0, /*service_ns=*/400'000);
+  // Now: a stale ticket (wait 900us + ewma ~400us > 1ms) followed by a
+  // fresh one.  pop must shed the first and hand out the second.
+  ASSERT_TRUE(ctl.offer(RequestClass::kRead, 2, /*now=*/0).is_ok());
+  ASSERT_TRUE(ctl.offer(RequestClass::kWrite, 3, /*now=*/890'000).is_ok());
+  const auto ticket = ctl.pop(/*now=*/900'000, &wait);
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(ticket->payload, 3u);
+  const AdmissionStats st = ctl.stats();
+  EXPECT_EQ(st.shed[static_cast<std::size_t>(RequestClass::kRead)]
+                   [static_cast<std::size_t>(ShedReason::kDeadline)],
+            1u);
+}
+
+TEST(AdmissionTest, SlotAccountingHonorsTheLimit) {
+  AdmissionConfig cfg = small_config();
+  cfg.initial_concurrency = 2;
+  AdmissionController ctl(cfg, /*max_concurrency=*/4);
+  EXPECT_EQ(ctl.concurrency_limit(), 2u);
+  EXPECT_TRUE(ctl.try_acquire_slot());
+  EXPECT_TRUE(ctl.try_acquire_slot());
+  EXPECT_FALSE(ctl.try_acquire_slot());  // at limit
+  EXPECT_EQ(ctl.inflight(), 2u);
+  ctl.release_slot();
+  EXPECT_TRUE(ctl.try_acquire_slot());
+  ctl.complete(0, 1000);  // complete releases the slot it accounts
+  EXPECT_EQ(ctl.inflight(), 1u);
+}
+
+TEST(AdmissionTest, AimdDecreasesOnHighQueueWaitAndRecovers) {
+  AdmissionConfig cfg = small_config();
+  cfg.aimd_window = 8;
+  cfg.target_p99_queue_wait_ns = 1'000'000;  // 1 ms
+  cfg.min_concurrency = 1;
+  AdmissionController ctl(cfg, /*max_concurrency=*/8);
+  EXPECT_EQ(ctl.concurrency_limit(), 8u);
+  // One window of 5 ms queue waits: p99 over target, limit halves to 4.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ctl.try_acquire_slot());
+    ctl.complete(/*queue_wait_ns=*/5'000'000, /*service_ns=*/1000);
+  }
+  EXPECT_EQ(ctl.concurrency_limit(), 4u);
+  // Another bad window: 4 -> 2.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ctl.try_acquire_slot());
+    ctl.complete(5'000'000, 1000);
+  }
+  EXPECT_EQ(ctl.concurrency_limit(), 2u);
+  const AdmissionStats mid = ctl.stats();
+  EXPECT_EQ(mid.limit_decreases, 2u);
+  EXPECT_EQ(mid.limit_floor, 2u);
+  // Healthy windows add back one at a time, capped at max_concurrency.
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ctl.try_acquire_slot());
+      ctl.complete(/*queue_wait_ns=*/0, 1000);
+    }
+  }
+  EXPECT_EQ(ctl.concurrency_limit(), 8u);
+  const AdmissionStats st = ctl.stats();
+  EXPECT_GE(st.limit_increases, 6u);
+  EXPECT_EQ(st.limit_floor, 2u);  // floor is a high-water-mark of distress
+}
+
+TEST(AdmissionTest, AimdNeverDropsBelowMinConcurrency) {
+  AdmissionConfig cfg = small_config();
+  cfg.aimd_window = 8;
+  cfg.target_p99_queue_wait_ns = 1;
+  cfg.min_concurrency = 3;
+  AdmissionController ctl(cfg, /*max_concurrency=*/8);
+  for (int w = 0; w < 6; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ctl.try_acquire_slot());
+      ctl.complete(/*queue_wait_ns=*/1'000'000, 1000);
+    }
+  }
+  EXPECT_EQ(ctl.concurrency_limit(), 3u);
+  EXPECT_EQ(ctl.stats().limit_floor, 3u);
+}
+
+TEST(AdmissionTest, NamesAreStable) {
+  EXPECT_STREQ(request_class_name(RequestClass::kPlacement), "placement");
+  EXPECT_STREQ(request_class_name(RequestClass::kRead), "read");
+  EXPECT_STREQ(request_class_name(RequestClass::kWrite), "write");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kPriority), "priority");
+  EXPECT_STREQ(shed_reason_name(ShedReason::kDeadline), "deadline");
+}
+
+}  // namespace
+}  // namespace ech::serve

@@ -1,0 +1,83 @@
+// Overload chaos campaign: config validation plus one quick seeded run per
+// facade asserting the graceful-degradation contract end to end.  These
+// runs are wall-clock sensitive (phases are real milliseconds), so this
+// suite is deliberately NOT in the concurrency label — it would flake
+// under TSan's scheduler, where every thread runs ~10x slower.
+#include "serve/overload_campaign.h"
+
+#include <gtest/gtest.h>
+
+namespace ech::serve {
+namespace {
+
+OverloadCampaignConfig quick_config(std::uint64_t seed, bool net) {
+  OverloadCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.net = net;
+  cfg.quick = true;
+  return cfg;
+}
+
+TEST(OverloadCampaign, RejectsDegenerateBaselineFraction) {
+  OverloadCampaignConfig cfg = quick_config(1, false);
+  cfg.baseline_fraction = 1.5;
+  const auto r = run_overload_campaign(cfg);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OverloadCampaign, RejectsSubSaturationStorm) {
+  OverloadCampaignConfig cfg = quick_config(1, false);
+  cfg.storm_saturation_multiplier = 0.5;
+  EXPECT_FALSE(run_overload_campaign(cfg).ok());
+}
+
+TEST(OverloadCampaign, RejectsPhasesShorterThanThreeWindows) {
+  OverloadCampaignConfig cfg = quick_config(1, false);
+  cfg.quick = false;
+  cfg.baseline_ms = 100;
+  cfg.window_ms = 50;  // 2 windows of baseline
+  EXPECT_FALSE(run_overload_campaign(cfg).ok());
+}
+
+TEST(OverloadCampaign, QuickInprocStormDegradesGracefully) {
+  const auto r = run_overload_campaign(quick_config(1, /*net=*/false));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const OverloadCampaignReport& rep = r.value();
+  EXPECT_TRUE(rep.passed) << format_overload_report(rep);
+  // The storm really was a storm: offered load outran capacity and the
+  // excess came back as typed sheds, not timeouts.
+  EXPECT_GT(rep.saturation_ops_per_sec, 0.0);
+  EXPECT_GT(rep.shed_total, 0u);
+  EXPECT_EQ(rep.untyped_errors, 0u);
+  // Admission-side conservation: deadline sheds come out of admitted
+  // tickets (they expire at dequeue), the other reasons refuse at offer.
+  EXPECT_EQ(rep.offered_ops, rep.serving.admitted_ops +
+                                 rep.shed_queue_full + rep.shed_priority);
+  // Background maintenance yielded to foreground during the storm.
+  EXPECT_GT(rep.bg_throttled_slices, 0u);
+}
+
+TEST(OverloadCampaign, QuickNetStormBoundsRetries) {
+  const auto r = run_overload_campaign(quick_config(2, /*net=*/true));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const OverloadCampaignReport& rep = r.value();
+  EXPECT_TRUE(rep.passed) << format_overload_report(rep);
+  // Net mode adds the retry-budget leg of the contract: a nonzero cap was
+  // computed and honored.
+  EXPECT_GT(rep.retry_cap, 0u);
+  EXPECT_LE(static_cast<double>(rep.retries_spent),
+            1.2 * static_cast<double>(rep.retry_cap));
+}
+
+TEST(OverloadCampaign, ReportFormatsEveryVerdict) {
+  OverloadCampaignReport rep;
+  rep.failures.push_back("storm goodput 1 ops/s below floor 2 ops/s");
+  const std::string text = format_overload_report(rep);
+  EXPECT_NE(text.find("saturation"), std::string::npos);
+  EXPECT_NE(text.find("FAIL: storm goodput"), std::string::npos);
+  EXPECT_NE(text.find("overload campaign: FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ech::serve

@@ -78,6 +78,88 @@ TEST(ServingEngine, DurationNotInflatedByChurnController) {
   EXPECT_LT(wall_s, 3.0);
 }
 
+TEST(ServingEngine, OpenLoopRequiresOfferedLoad) {
+  ServingConfig config = small_config();
+  config.open_loop = true;  // offered_load left at 0
+  ServingEngine engine(config);
+  const auto report = engine.run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServingEngine, OpenLoopReportsOfferedAdmittedAndGoodput) {
+  ServingConfig config = small_config();
+  config.open_loop = true;
+  config.offered_load = 2'000.0;  // far below saturation: nothing sheds
+  config.window_ms = 25;
+  ServingEngine engine(config);
+  const auto report = engine.run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const ServingReport& r = report.value();
+  EXPECT_GT(r.offered_ops, 0u);
+  // Offer-side conservation (deadline sheds expire already-admitted
+  // tickets at dequeue, so they are NOT part of this sum).
+  EXPECT_EQ(r.offered_ops,
+            r.admitted_ops + r.shed_queue_full + r.shed_priority);
+  EXPECT_EQ(r.completed_ops, r.total_ops);
+  EXPECT_GT(r.goodput_per_sec, 0.0);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.overloaded_errors, 0u);
+  // ~100ms / 25ms windows: the series exists and sums to the successful
+  // completions (windows only count kOk verdicts).
+  ASSERT_GE(r.goodput_windows.size(), 4u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t w : r.goodput_windows) sum += w;
+  EXPECT_EQ(sum, r.completed_ops - r.overloaded_errors - r.errors);
+}
+
+TEST(ServingEngine, OpenLoopOverloadShedsTypedNotTimeouts) {
+  // Offer far past what two workers with a 200us spin can serve: the
+  // excess must surface as typed sheds (admission) with zero untyped
+  // errors, and goodput must stay near the service capacity.
+  ServingConfig config = small_config();
+  config.open_loop = true;
+  config.offered_load = 40'000.0;
+  config.service_spin_ns = 200'000;  // caps capacity at ~10k/s across 2
+  config.duration_ms = 200;
+  config.admission.queue_capacity = 64;
+  ServingEngine engine(config);
+  const auto report = engine.run();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const ServingReport& r = report.value();
+  EXPECT_GT(r.shed_total, 0u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.offered_ops,
+            r.admitted_ops + r.shed_queue_full + r.shed_priority);
+}
+
+TEST(ServingEngine, OpenLoopSameSeedSameArrivals) {
+  const auto offered = [](std::uint64_t seed) {
+    ServingConfig config = small_config();
+    config.open_loop = true;
+    config.offered_load = 5'000.0;
+    config.seed = seed;
+    ServingEngine engine(config);
+    const auto report = engine.run();
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? report.value().offered_ops : 0;
+  };
+  // The arrival schedule is a pure function of the seed (virtual
+  // timeline); wall-clock only decides how much of it gets SERVED.
+  EXPECT_EQ(offered(7), offered(7));
+}
+
+TEST(ServingEngine, BurstArrivalsNeedSaneProfile) {
+  ServingConfig config = small_config();
+  config.open_loop = true;
+  config.offered_load = 1'000.0;
+  config.arrival = ArrivalProcess::kBurst;
+  config.burst_on_ms = 0;
+  config.burst_off_ms = 0;  // zero period: rejected
+  ServingEngine engine(config);
+  EXPECT_FALSE(engine.run().ok());
+}
+
 TEST(ServingEngine, SweepZeroMaintenanceBudgetDoesNotHang) {
   // Sweep mode drains re-integration before the clock starts; a zero
   // budget used to make that drain loop spin forever.

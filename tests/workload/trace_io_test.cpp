@@ -12,8 +12,16 @@ namespace {
 
 class TraceIoTest : public ::testing::Test {
  protected:
+  // One file per test case: a shared path races under `ctest -j` (each
+  // case is its own process, and one TearDown can delete the file another
+  // case is still reading).
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ech_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
+  }
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/ech_trace_test.csv";
+  std::string path_;
 };
 
 TEST_F(TraceIoTest, RoundTripPreservesSeries) {
